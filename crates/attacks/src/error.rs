@@ -1,0 +1,92 @@
+use axsnn_core::CoreError;
+use axsnn_neuromorphic::NeuroError;
+use axsnn_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for attack generation.
+///
+/// # Example
+///
+/// ```
+/// use axsnn_attacks::AttackError;
+///
+/// let e = AttackError::InvalidBudget { message: "epsilon must be ≥ 0".into() };
+/// assert!(e.to_string().contains("epsilon"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AttackError {
+    /// The attack budget/configuration is invalid.
+    InvalidBudget {
+        /// Description of the violated precondition.
+        message: String,
+    },
+    /// The victim/surrogate model failed.
+    Model(CoreError),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// An event-stream operation failed.
+    Event(NeuroError),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::InvalidBudget { message } => write!(f, "invalid attack budget: {message}"),
+            AttackError::Model(e) => write!(f, "model error during attack: {e}"),
+            AttackError::Tensor(e) => write!(f, "tensor error during attack: {e}"),
+            AttackError::Event(e) => write!(f, "event error during attack: {e}"),
+        }
+    }
+}
+
+impl Error for AttackError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AttackError::Model(e) => Some(e),
+            AttackError::Tensor(e) => Some(e),
+            AttackError::Event(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for AttackError {
+    fn from(e: CoreError) -> Self {
+        AttackError::Model(e)
+    }
+}
+
+impl From<TensorError> for AttackError {
+    fn from(e: TensorError) -> Self {
+        AttackError::Tensor(e)
+    }
+}
+
+impl From<NeuroError> for AttackError {
+    fn from(e: NeuroError) -> Self {
+        AttackError::Event(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AttackError>();
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        let e: AttackError = TensorError::LengthMismatch {
+            expected: 1,
+            actual: 2,
+        }
+        .into();
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for attack invariants: every attack must respect
+//! its budget for arbitrary inputs and configurations.
+
+use axsnn_attacks::gradient::{AttackBudget, Bim, Fgsm, GradientSource, ImageAttack, Pgd};
+use axsnn_attacks::neuromorphic::{FrameAttack, FrameAttackConfig};
+use axsnn_attacks::Result;
+use axsnn_neuromorphic::event::{DvsEvent, EventStream, Polarity};
+use axsnn_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A fixed synthetic gradient source: returns a deterministic pattern so
+/// attacks are exercised without training a model.
+struct PatternSource;
+
+impl GradientSource for PatternSource {
+    fn loss_gradient(&mut self, image: &Tensor, label: usize) -> Result<Tensor> {
+        let data: Vec<f32> = image
+            .as_slice()
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ((i + label) as f32 * 0.37).sin() * (1.0 + v))
+            .collect();
+        Ok(Tensor::from_vec(data, image.shape().dims())?)
+    }
+}
+
+proptest! {
+    /// Every gradient attack keeps l∞(adv − clean) ≤ ε and adv ∈ [0,1].
+    #[test]
+    fn gradient_attacks_respect_ball(
+        data in proptest::collection::vec(0.0f32..1.0, 16),
+        eps in 0.0f32..0.9,
+        steps in 1usize..12,
+        seed in 0u64..100,
+    ) {
+        let image = Tensor::from_vec(data, &[16]).unwrap();
+        let budget = AttackBudget { epsilon: eps, step_size: (eps / 3.0).max(0.01), steps };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut src = PatternSource;
+        for adv in [
+            Fgsm::new(budget).perturb(&mut src, &image, 1, &mut rng).unwrap(),
+            Bim::new(budget).perturb(&mut src, &image, 1, &mut rng).unwrap(),
+            Pgd::new(budget).perturb(&mut src, &image, 1, &mut rng).unwrap(),
+        ] {
+            prop_assert!(adv.sub(&image).unwrap().linf_norm() <= eps + 1e-5);
+            prop_assert!(adv.min() >= 0.0 && adv.max() <= 1.0);
+            prop_assert!(adv.is_finite());
+        }
+    }
+
+    /// The frame attack adds exactly boundary·slices·polarities events and
+    /// never touches existing ones.
+    #[test]
+    fn frame_attack_event_arithmetic(
+        w in 2usize..32,
+        h in 2usize..32,
+        slices in 1usize..16,
+        both in proptest::bool::ANY,
+    ) {
+        let clean = EventStream::from_events(
+            w, h,
+            vec![DvsEvent::new((w / 2) as u16, (h / 2) as u16, Polarity::On, 0.5)],
+        ).unwrap();
+        let attack = FrameAttack::new(FrameAttackConfig { time_slices: slices, both_polarities: both, thickness: 1 });
+        let adv = attack.perturb(&clean).unwrap();
+        let boundary = 2 * w + 2 * h.saturating_sub(2);
+        let per_slice = boundary * if both { 2 } else { 1 };
+        prop_assert_eq!(adv.len(), clean.len() + per_slice * slices);
+        // The clean event survives.
+        let clean_survives = adv
+            .events()
+            .iter()
+            .any(|e| e.x == (w / 2) as u16 && e.y == (h / 2) as u16 && e.t == 0.5);
+        prop_assert!(clean_survives);
+    }
+
+    /// Attack budget validation accepts exactly the documented domain.
+    #[test]
+    fn budget_validation_domain(eps in -1.0f32..2.0, step in -1.0f32..2.0, steps in 0usize..4) {
+        let b = AttackBudget { epsilon: eps, step_size: step, steps };
+        let valid = eps >= 0.0 && (eps == 0.0 || step > 0.0) && steps >= 1;
+        prop_assert_eq!(b.validate().is_ok(), valid);
+    }
+}

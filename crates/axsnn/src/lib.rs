@@ -1,0 +1,59 @@
+//! Security-aware approximate spiking neural networks.
+//!
+//! This is the facade crate of the AxSNN workspace — a from-scratch Rust
+//! reproduction of *"Security-Aware Approximate Spiking Neural Networks"*
+//! (Ahmad, Siddique, Hoque; DATE 2023). It re-exports the full stack:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`tensor`] | `axsnn-tensor` | dense f32 tensors, GEMM, conv2d, pooling |
+//! | [`core`] | `axsnn-core` | LIF SNN simulator, BPTT training, ANN twin, conversion, approximation, precision scaling |
+//! | [`neuromorphic`] | `axsnn-neuromorphic` | DVS events, frame accumulation, AQF (Algorithm 2) |
+//! | [`datasets`] | `axsnn-datasets` | synthetic MNIST and DVS128-Gesture generators |
+//! | [`attacks`] | `axsnn-attacks` | FGSM/BIM/PGD and Sparse/Frame attacks |
+//! | [`defense`] | `axsnn-defense` | robustness metrics, Algorithm 1 search, experiment scenarios |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use axsnn::core::approx::ApproximationLevel;
+//! use axsnn::core::network::SnnConfig;
+//! use axsnn::defense::scenario::{MnistScenario, MnistScenarioConfig};
+//! use axsnn::datasets::mnist::MnistConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Small scenario so the doctest runs quickly.
+//! let mut cfg = MnistScenarioConfig::default();
+//! cfg.mnist = MnistConfig { size: 16, train_per_class: 6, test_per_class: 2, ..cfg.mnist };
+//! cfg.train.epochs = 3;
+//! let scenario = MnistScenario::prepare(cfg)?;
+//!
+//! // Accurate SNN and its approximate counterpart.
+//! let snn_cfg = SnnConfig { threshold: 1.0, time_steps: 16, leak: 0.9 };
+//! let acc = scenario.acc_snn(snn_cfg)?;
+//! let ax = scenario.ax_snn(snn_cfg, ApproximationLevel::new(0.1).expect("valid"))?;
+//! assert_eq!(acc.depth(), ax.depth());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use axsnn_attacks as attacks;
+pub use axsnn_core as core;
+pub use axsnn_datasets as datasets;
+pub use axsnn_defense as defense;
+pub use axsnn_neuromorphic as neuromorphic;
+pub use axsnn_tensor as tensor;
+
+/// Workspace version string.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! Ablation: AQF cost as a function of its parameters (spatial window,
+//! quantization step). The accuracy side of this ablation is printed by
+//! `cargo run -p axsnn-bench --bin ablations`.
+
+use axsnn::datasets::dvs::{DvsGestureConfig, SyntheticDvsGestures};
+use axsnn::neuromorphic::aqf::{approximate_quantized_filter, AqfConfig};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_aqf_parameters(c: &mut Criterion) {
+    let gen = SyntheticDvsGestures::new(DvsGestureConfig {
+        train_per_class: 1,
+        test_per_class: 0,
+        ..DvsGestureConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(0);
+    let stream = gen.generate_sample(7, &mut rng);
+
+    let mut group = c.benchmark_group("aqf_spatial_window");
+    for s in [1usize, 2, 3, 4] {
+        let cfg = AqfConfig {
+            spatial_window: s,
+            ..AqfConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(s), &cfg, |b, cfg| {
+            b.iter(|| black_box(approximate_quantized_filter(black_box(&stream), cfg).unwrap()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("aqf_quantization_step");
+    for (name, qt) in [("0", 0.0f32), ("0.01", 0.01), ("0.015", 0.015), ("0.05", 0.05)] {
+        let cfg = AqfConfig {
+            quantization_step: qt,
+            ..AqfConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(approximate_quantized_filter(black_box(&stream), cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aqf_parameters);
+criterion_main!(benches);

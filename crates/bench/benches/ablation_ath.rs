@@ -1,0 +1,58 @@
+//! Ablation: cost of the three approximation operators — relative
+//! magnitude cut, quantile (magnitude-ranked) pruning, and the Eq. (1)
+//! security-aware `a_th` computation.
+
+use axsnn::core::approx::{
+    apply_approximation, apply_eq1_approximation, apply_quantile_approximation,
+    ApproximationLevel,
+};
+use axsnn::core::layer::Layer;
+use axsnn::core::network::{SnnConfig, SpikeStats, SpikingNetwork};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn network() -> SpikingNetwork {
+    let cfg = SnnConfig::default();
+    let mut rng = StdRng::seed_from_u64(0);
+    SpikingNetwork::new(
+        vec![
+            Layer::spiking_linear(&mut rng, 256, 96, &cfg),
+            Layer::spiking_linear(&mut rng, 96, 64, &cfg),
+            Layer::output_linear(&mut rng, 64, 10),
+        ],
+        cfg,
+    )
+    .expect("static topology")
+}
+
+fn bench_ath(c: &mut Criterion) {
+    let level = ApproximationLevel::new(0.1).expect("valid");
+    let base = network();
+    c.bench_function("approx_relative_magnitude", |b| {
+        b.iter(|| {
+            let mut net = base.clone();
+            black_box(apply_approximation(&mut net, level))
+        })
+    });
+    c.bench_function("approx_quantile", |b| {
+        b.iter(|| {
+            let mut net = base.clone();
+            black_box(apply_quantile_approximation(&mut net, level))
+        })
+    });
+    let stats = SpikeStats {
+        spikes_per_layer: vec![800.0, 400.0],
+        synaptic_ops: 0.0,
+        time_steps: 16,
+    };
+    c.bench_function("approx_eq1_security_aware", |b| {
+        b.iter(|| {
+            let mut net = base.clone();
+            black_box(apply_eq1_approximation(&mut net, &stats, 1.0).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_ath);
+criterion_main!(benches);

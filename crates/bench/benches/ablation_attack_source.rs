@@ -1,0 +1,52 @@
+//! Ablation: attack-crafting cost for the two gradient sources — the
+//! accurate ANN twin (the paper's threat model) vs direct surrogate
+//! gradients through the SNN (white-box).
+
+use axsnn::attacks::gradient::{
+    AnnGradientSource, AttackBudget, ImageAttack, Pgd, SnnGradientSource,
+};
+use axsnn::core::ann::{AnnLayer, AnnNetwork};
+use axsnn::core::layer::Layer;
+use axsnn::core::network::{SnnConfig, SpikingNetwork};
+use axsnn::tensor::Tensor;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sources(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let ann = AnnNetwork::new(vec![
+        AnnLayer::Flatten,
+        AnnLayer::linear_relu(&mut rng, 256, 96),
+        AnnLayer::linear_out(&mut rng, 96, 10),
+    ])
+    .expect("static topology");
+    let cfg = SnnConfig { threshold: 1.0, time_steps: 16, leak: 0.9 };
+    let mut snn = SpikingNetwork::new(
+        vec![
+            Layer::spiking_linear(&mut rng, 256, 96, &cfg),
+            Layer::output_linear(&mut rng, 96, 10),
+        ],
+        cfg,
+    )
+    .expect("static topology");
+    let image = Tensor::full(&[1, 16, 16], 0.5);
+    let budget = AttackBudget { epsilon: 0.1, step_size: 0.02, steps: 5 };
+
+    c.bench_function("pgd_via_ann_gradients", |b| {
+        b.iter(|| {
+            let mut src = AnnGradientSource::new(&ann);
+            black_box(Pgd::new(budget).perturb(&mut src, black_box(&image), 2, &mut rng).unwrap())
+        })
+    });
+    let flat = image.reshape(&[256]).unwrap();
+    c.bench_function("pgd_via_snn_surrogate_gradients_T16", |b| {
+        b.iter(|| {
+            let mut src = SnnGradientSource::new(&mut snn);
+            black_box(Pgd::new(budget).perturb(&mut src, black_box(&flat), 2, &mut rng).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_sources);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation: spike-encoder cost (Poisson vs deterministic vs direct) for
+//! full classification passes. Accuracy deltas are printed by the
+//! `ablations` binary.
+
+use axsnn::core::encoding::Encoder;
+use axsnn::core::layer::Layer;
+use axsnn::core::network::{SnnConfig, SpikingNetwork};
+use axsnn::tensor::Tensor;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_encoders(c: &mut Criterion) {
+    let cfg = SnnConfig { threshold: 1.0, time_steps: 32, leak: 0.9 };
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut net = SpikingNetwork::new(
+        vec![
+            Layer::spiking_linear(&mut rng, 256, 96, &cfg),
+            Layer::output_linear(&mut rng, 96, 10),
+        ],
+        cfg,
+    )
+    .expect("static topology");
+    let image = Tensor::full(&[256], 0.45);
+
+    let mut group = c.benchmark_group("encoder_classify_T32");
+    for (name, enc) in [
+        ("direct", Encoder::DirectCurrent),
+        ("deterministic", Encoder::Deterministic),
+        ("poisson", Encoder::Poisson),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &enc, |b, enc| {
+            b.iter(|| black_box(net.classify(black_box(&image), *enc, &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoders);
+criterion_main!(benches);

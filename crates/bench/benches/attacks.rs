@@ -1,0 +1,81 @@
+//! Criterion benchmarks of attack crafting and the AQF defense filter.
+
+use axsnn::attacks::gradient::{AnnGradientSource, AttackBudget, Bim, ImageAttack, Pgd};
+use axsnn::attacks::neuromorphic::{FrameAttack, FrameAttackConfig};
+use axsnn::core::ann::{AnnLayer, AnnNetwork};
+use axsnn::datasets::dvs::{DvsGestureConfig, SyntheticDvsGestures};
+use axsnn::neuromorphic::aqf::{approximate_quantized_filter, AqfConfig};
+use axsnn::tensor::{init, Tensor};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ann() -> AnnNetwork {
+    let mut rng = StdRng::seed_from_u64(0);
+    AnnNetwork::new(vec![
+        AnnLayer::Flatten,
+        AnnLayer::linear_relu(&mut rng, 256, 96),
+        AnnLayer::linear_out(&mut rng, 96, 10),
+    ])
+    .expect("static topology")
+}
+
+fn bench_gradient_attacks(c: &mut Criterion) {
+    let net = ann();
+    let mut rng = StdRng::seed_from_u64(1);
+    let image = init::uniform(&mut rng, &[1, 16, 16], 0.5).clamp(0.0, 1.0);
+    let budget = AttackBudget {
+        epsilon: 0.1,
+        step_size: 0.02,
+        steps: 10,
+    };
+    c.bench_function("pgd_craft_16x16_10steps", |b| {
+        b.iter(|| {
+            let mut src = AnnGradientSource::new(&net);
+            black_box(
+                Pgd::new(budget)
+                    .perturb(&mut src, black_box(&image), 3, &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+    c.bench_function("bim_craft_16x16_10steps", |b| {
+        b.iter(|| {
+            let mut src = AnnGradientSource::new(&net);
+            black_box(
+                Bim::new(budget)
+                    .perturb(&mut src, black_box(&image), 3, &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+    c.bench_function("ann_input_gradient_16x16", |b| {
+        b.iter(|| black_box(net.input_gradient(black_box(&image), 3).unwrap()))
+    });
+    let _ = Tensor::zeros(&[1]);
+}
+
+fn bench_event_attacks_and_aqf(c: &mut Criterion) {
+    let gen = SyntheticDvsGestures::new(DvsGestureConfig {
+        train_per_class: 1,
+        test_per_class: 0,
+        ..DvsGestureConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(2);
+    let stream = gen.generate_sample(3, &mut rng);
+    let frame = FrameAttack::new(FrameAttackConfig::default());
+    c.bench_function("frame_attack_32x32", |b| {
+        b.iter(|| black_box(frame.perturb(black_box(&stream)).unwrap()))
+    });
+    let framed = frame.perturb(&stream).unwrap();
+    let aqf = AqfConfig::default();
+    c.bench_function("aqf_filter_clean_stream", |b| {
+        b.iter(|| black_box(approximate_quantized_filter(black_box(&stream), &aqf).unwrap()))
+    });
+    c.bench_function("aqf_filter_framed_stream", |b| {
+        b.iter(|| black_box(approximate_quantized_filter(black_box(&framed), &aqf).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_gradient_attacks, bench_event_attacks_and_aqf);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion benchmarks of full SNN inference pipelines: AccSNN vs AxSNN
+//! forward passes (the energy argument is measured separately via
+//! synaptic-operation counts — see the `ablations` binary).
+
+use axsnn::core::approx::{apply_quantile_approximation, ApproximationLevel};
+use axsnn::core::encoding::Encoder;
+use axsnn::core::layer::Layer;
+use axsnn::core::network::{SnnConfig, SpikingNetwork};
+use axsnn::core::train::{train_snn, TrainConfig};
+use axsnn::tensor::Tensor;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn network(cfg: SnnConfig) -> SpikingNetwork {
+    let mut rng = StdRng::seed_from_u64(0);
+    SpikingNetwork::new(
+        vec![
+            Layer::spiking_linear(&mut rng, 256, 96, &cfg),
+            Layer::spiking_linear(&mut rng, 96, 64, &cfg),
+            Layer::output_linear(&mut rng, 64, 10),
+        ],
+        cfg,
+    )
+    .expect("static topology")
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let cfg = SnnConfig {
+        threshold: 1.0,
+        time_steps: 32,
+        leak: 0.9,
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    let image = Tensor::full(&[256], 0.4);
+
+    let mut acc = network(cfg);
+    c.bench_function("accsnn_classify_T32", |b| {
+        b.iter(|| {
+            black_box(
+                acc.classify(black_box(&image), Encoder::DirectCurrent, &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+
+    let mut ax = network(cfg);
+    apply_quantile_approximation(&mut ax, ApproximationLevel::new(0.1).expect("valid"));
+    c.bench_function("axsnn_0p1_classify_T32", |b| {
+        b.iter(|| {
+            black_box(
+                ax.classify(black_box(&image), Encoder::DirectCurrent, &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+
+    let mut poisson = network(cfg);
+    c.bench_function("accsnn_classify_poisson_T32", |b| {
+        b.iter(|| {
+            black_box(
+                poisson
+                    .classify(black_box(&image), Encoder::Poisson, &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let cfg = SnnConfig {
+        threshold: 0.8,
+        time_steps: 8,
+        leak: 0.9,
+    };
+    let mut rng = StdRng::seed_from_u64(2);
+    let data: Vec<(Tensor, usize)> = (0..8)
+        .map(|i| (Tensor::full(&[256], 0.1 + 0.08 * (i % 10) as f32), i % 10))
+        .collect();
+    let tcfg = TrainConfig {
+        epochs: 1,
+        learning_rate: 0.05,
+        momentum: 0.9,
+        batch_size: 8,
+        encoder: Encoder::DirectCurrent,
+    };
+    c.bench_function("surrogate_bptt_epoch_8samples_T8", |b| {
+        b.iter(|| {
+            let mut net = network(cfg);
+            black_box(train_snn(&mut net, black_box(&data), &tcfg, &mut rng).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_inference, bench_training_step);
+criterion_main!(benches);

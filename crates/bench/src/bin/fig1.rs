@@ -1,0 +1,50 @@
+//! Fig. 1 — motivational case study: AccSNN vs AxSNN (approximation
+//! level 0.1) accuracy under PGD across perturbation budgets.
+//!
+//! Paper reference series (MNIST, V_th = 0.25, T = 32):
+//! ε:      0    0.1  0.3  0.5  0.7  0.9  1.0  1.5
+//! AccSNN: 97   ~97  ~96  95   ~93  ~90  88   10
+//! AxSNN:  52   ~50  ~45  40   ~35  ~30  25   10
+
+use axsnn::attacks::gradient::{AnnGradientSource, AttackBudget, Pgd};
+use axsnn::core::approx::ApproximationLevel;
+use axsnn::core::encoding::Encoder;
+use axsnn::defense::metrics::evaluate_image_attack;
+use axsnn_bench::{capped_test, epsilon_scale, mnist_scenario, seed, snn_config};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EPSILONS: [f32; 8] = [0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0, 1.5];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(seed());
+    eprintln!("fig1: preparing MNIST scenario…");
+    let scenario = mnist_scenario();
+    let test = capped_test(&scenario);
+    let cfg = snn_config(0.25, 32);
+
+    println!("# Fig. 1 — AccSNN vs AxSNN(0.1) under PGD (V_th=0.25, T=32)");
+    println!("{:>6} {:>10} {:>10}", "eps", "AccSNN", "AxSNN");
+    for eps in EPSILONS {
+        let pgd = Pgd::new(AttackBudget::for_epsilon(eps * epsilon_scale()));
+        let mut row = Vec::new();
+        for level in [0.0f32, 0.1] {
+            let mut net =
+                scenario.ax_snn(cfg, ApproximationLevel::new(level).expect("valid level"))?;
+            let mut source = AnnGradientSource::new(scenario.adversary());
+            let out = evaluate_image_attack(
+                &mut net,
+                &mut source,
+                &pgd,
+                &test,
+                Encoder::DirectCurrent,
+                &mut rng,
+            )?;
+            row.push(out.adversarial_accuracy);
+        }
+        println!("{eps:>6.2} {:>10.1} {:>10.1}", row[0], row[1]);
+    }
+    println!("\n# shape check: AxSNN column must sit well below AccSNN at every ε,");
+    println!("# and both must decay as ε grows (paper: 45–68% gap at ε ≥ 0.5).");
+    Ok(())
+}

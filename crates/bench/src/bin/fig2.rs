@@ -1,0 +1,54 @@
+//! Fig. 2 — robustness of the MNIST classifier under PGD across
+//! approximation levels {0, 0.001, 0.01, 0.1, 1}.
+//!
+//! Paper reference points (V_th = 0.25, T = 32): at ε = 0 the levels give
+//! 96 / 96 / 93 / 51 / 10 %; at ε = 0.9 they give 89 / ~85 / 77 / 25 /
+//! 10 % (labels A–D in the paper).
+
+use axsnn::attacks::gradient::{AnnGradientSource, AttackBudget, Pgd};
+use axsnn::core::approx::ApproximationLevel;
+use axsnn::core::encoding::Encoder;
+use axsnn::defense::metrics::evaluate_image_attack;
+use axsnn_bench::{capped_test, epsilon_scale, mnist_scenario, seed, snn_config};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EPSILONS: [f32; 8] = [0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0, 1.5];
+const LEVELS: [f32; 5] = [0.0, 0.001, 0.01, 0.1, 1.0];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(seed());
+    eprintln!("fig2: preparing MNIST scenario…");
+    let scenario = mnist_scenario();
+    let test = capped_test(&scenario);
+    let cfg = snn_config(0.25, 32);
+
+    println!("# Fig. 2 — PGD across approximation levels (V_th=0.25, T=32)");
+    print!("{:>6}", "eps");
+    for l in LEVELS {
+        print!("{:>10}", format!("ax={l}"));
+    }
+    println!();
+    for eps in EPSILONS {
+        let pgd = Pgd::new(AttackBudget::for_epsilon(eps * epsilon_scale()));
+        print!("{eps:>6.2}");
+        for level in LEVELS {
+            let mut net =
+                scenario.ax_snn(cfg, ApproximationLevel::new(level).expect("valid level"))?;
+            let mut source = AnnGradientSource::new(scenario.adversary());
+            let out = evaluate_image_attack(
+                &mut net,
+                &mut source,
+                &pgd,
+                &test,
+                Encoder::DirectCurrent,
+                &mut rng,
+            )?;
+            print!("{:>10.1}", out.adversarial_accuracy);
+        }
+        println!();
+    }
+    println!("\n# shape check: monotone decay along both axes; level 1.0 pinned at");
+    println!("# chance (10%); level 0.1 far below level 0.01 (paper: 51% vs 93% clean).");
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Fig. 3 — robustness of the MNIST classifier under BIM across
+//! approximation levels {0, 0.001, 0.01, 0.1, 1}.
+//!
+//! Paper reference points (labels E–H): BIM at ε = 0.9 drops level 0.01
+//! from 93% (clean) to 71%, while the AccSNN drops from 96% to 82%.
+
+use axsnn::attacks::gradient::{AnnGradientSource, AttackBudget, Bim};
+use axsnn::core::approx::ApproximationLevel;
+use axsnn::core::encoding::Encoder;
+use axsnn::defense::metrics::evaluate_image_attack;
+use axsnn_bench::{capped_test, epsilon_scale, mnist_scenario, seed, snn_config};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EPSILONS: [f32; 8] = [0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0, 1.5];
+const LEVELS: [f32; 5] = [0.0, 0.001, 0.01, 0.1, 1.0];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(seed());
+    eprintln!("fig3: preparing MNIST scenario…");
+    let scenario = mnist_scenario();
+    let test = capped_test(&scenario);
+    let cfg = snn_config(0.25, 32);
+
+    println!("# Fig. 3 — BIM across approximation levels (V_th=0.25, T=32)");
+    print!("{:>6}", "eps");
+    for l in LEVELS {
+        print!("{:>10}", format!("ax={l}"));
+    }
+    println!();
+    for eps in EPSILONS {
+        let bim = Bim::new(AttackBudget::for_epsilon(eps * epsilon_scale()));
+        print!("{eps:>6.2}");
+        for level in LEVELS {
+            let mut net =
+                scenario.ax_snn(cfg, ApproximationLevel::new(level).expect("valid level"))?;
+            let mut source = AnnGradientSource::new(scenario.adversary());
+            let out = evaluate_image_attack(
+                &mut net,
+                &mut source,
+                &bim,
+                &test,
+                Encoder::DirectCurrent,
+                &mut rng,
+            )?;
+            print!("{:>10.1}", out.adversarial_accuracy);
+        }
+        println!();
+    }
+    println!("\n# shape check: same ordering as Fig. 2; BIM is slightly weaker than");
+    println!("# PGD at equal ε (no random restart).");
+    Ok(())
+}

@@ -1,0 +1,254 @@
+//! Shared harness for the figure/table reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one artifact of the paper's
+//! evaluation (see DESIGN.md §3 and EXPERIMENTS.md). They share the
+//! scenario construction and sweep helpers defined here.
+//!
+//! Scale knobs (environment variables):
+//!
+//! * `AXSNN_FULL=1` — paper-architecture conv networks and larger data
+//!   (slow; minutes per figure),
+//! * `AXSNN_SAMPLES=n` — evaluation samples per configuration (default
+//!   40 static / all DVS test),
+//! * `AXSNN_SEED=n` — experiment seed (default 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use axsnn::core::network::SnnConfig;
+use axsnn::datasets::dvs::DvsGestureConfig;
+use axsnn::datasets::mnist::MnistConfig;
+use axsnn::defense::scenario::{
+    Architecture, DvsScenario, DvsScenarioConfig, MnistScenario, MnistScenarioConfig,
+};
+use axsnn::tensor::Tensor;
+
+/// Reads the scale mode from `AXSNN_FULL`.
+pub fn full_scale() -> bool {
+    std::env::var("AXSNN_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Reads the experiment seed from `AXSNN_SEED` (default 1).
+pub fn seed() -> u64 {
+    std::env::var("AXSNN_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Reads the per-configuration evaluation sample cap from
+/// `AXSNN_SAMPLES` (default 40).
+pub fn sample_cap() -> usize {
+    std::env::var("AXSNN_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40)
+}
+
+/// Reads the ε-axis calibration factor from `AXSNN_EPS_SCALE`
+/// (default 0.1).
+///
+/// The paper's ε axis spans 0..1.5 on a 28×28 conv SNN whose rate-coded
+/// pipeline heavily attenuates gradient attacks; our substrate (small
+/// synthetic-digit models, clean direct-current gradients) is intrinsically
+/// less robust, so the same qualitative regimes (no effect → gradual decay
+/// → collapse) occur at ~10× smaller ε. The factor compresses the axis
+/// while preserving the paper's ordering and crossover shape
+/// (EXPERIMENTS.md documents this calibration).
+pub fn epsilon_scale() -> f32 {
+    std::env::var("AXSNN_EPS_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.1)
+}
+
+/// The paper's threshold grid: 0.25..=2.25 step 0.25.
+pub fn threshold_grid() -> Vec<f32> {
+    (1..=9).map(|i| i as f32 * 0.25).collect()
+}
+
+/// The paper's time-step grid: 32..=80 step 8.
+pub fn time_step_grid() -> Vec<usize> {
+    (0..=6).map(|i| 32 + i * 8).collect()
+}
+
+/// Builds the MNIST scenario used by Figs. 1–6, 7a and Table I.
+///
+/// # Panics
+///
+/// Panics when scenario preparation fails — a bug, not an input error,
+/// since all inputs are generated.
+pub fn mnist_scenario() -> MnistScenario {
+    let full = full_scale();
+    let cfg = MnistScenarioConfig {
+        mnist: MnistConfig {
+            size: if full { 28 } else { 16 },
+            train_per_class: if full { 80 } else { 40 },
+            test_per_class: if full { 20 } else { 8 },
+            noise: 0.04,
+            seed: seed(),
+        },
+        architecture: if full {
+            Architecture::PaperConv
+        } else {
+            Architecture::FastMlp
+        },
+        seed: seed(),
+        ..MnistScenarioConfig::default()
+    };
+    MnistScenario::prepare(cfg).expect("MNIST scenario preparation")
+}
+
+/// Builds the DVS gesture scenario used by Fig. 7b and Table II.
+///
+/// # Panics
+///
+/// Panics when scenario preparation fails.
+pub fn dvs_scenario() -> DvsScenario {
+    let full = full_scale();
+    let cfg = DvsScenarioConfig {
+        dvs: DvsGestureConfig {
+            train_per_class: if full { 16 } else { 8 },
+            test_per_class: if full { 6 } else { 3 },
+            ..DvsGestureConfig::default()
+        },
+        architecture: if full {
+            Architecture::PaperConv
+        } else {
+            Architecture::FastMlp
+        },
+        seed: seed(),
+        ..DvsScenarioConfig::default()
+    };
+    DvsScenario::prepare(cfg).expect("DVS scenario preparation")
+}
+
+/// Takes the first `sample_cap()` test samples of a static dataset.
+pub fn capped_test(scenario: &MnistScenario) -> Vec<(Tensor, usize)> {
+    scenario
+        .dataset()
+        .test
+        .iter()
+        .take(sample_cap())
+        .cloned()
+        .collect()
+}
+
+/// Standard SNN configuration at a grid point (leak fixed at 0.95 across
+/// all experiments, as in the scenario defaults).
+pub fn snn_config(threshold: f32, time_steps: usize) -> SnnConfig {
+    SnnConfig {
+        threshold,
+        time_steps,
+        leak: 0.9,
+    }
+}
+
+/// Sweeps the paper's `(V_th, T)` grid for one precision scale and one
+/// attack, reproducing a Figs. 4–6 heatmap: each cell is the adversarial
+/// accuracy of the precision-scaled AxSNN (approximation level 0.01 by
+/// default) at ε = 1.
+///
+/// Returns `cells[t_index][vth_index]` aligned with [`time_step_grid`] /
+/// [`threshold_grid`].
+///
+/// # Panics
+///
+/// Panics on internal pipeline failures (all inputs are generated).
+pub fn heatmap_sweep(
+    scenario: &MnistScenario,
+    precision: axsnn::core::precision::PrecisionScale,
+    attack: axsnn::defense::search::StaticAttackKind,
+    approx_level: f32,
+    epsilon: f32,
+) -> Vec<Vec<f32>> {
+    use axsnn::attacks::gradient::{AnnGradientSource, AttackBudget, Bim, Pgd};
+    use axsnn::core::approx::ApproximationLevel;
+    use axsnn::core::encoding::Encoder;
+    use axsnn::core::precision::apply_precision;
+    use axsnn::defense::metrics::evaluate_image_attack;
+    use axsnn::defense::search::StaticAttackKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(seed());
+    let test = capped_test(scenario);
+    let thresholds = threshold_grid();
+    let steps = time_step_grid();
+    let budget = AttackBudget::for_epsilon(epsilon * epsilon_scale());
+    let level = ApproximationLevel::new(approx_level).expect("valid level");
+
+    let mut cells = Vec::with_capacity(steps.len());
+    for &t in &steps {
+        let mut row = Vec::with_capacity(thresholds.len());
+        for &v in &thresholds {
+            let mut net = scenario
+                .ax_snn(snn_config(v, t), level)
+                .expect("conversion");
+            apply_precision(&mut net, precision);
+            let mut source = AnnGradientSource::new(scenario.adversary());
+            let out = match attack {
+                StaticAttackKind::Pgd => evaluate_image_attack(
+                    &mut net,
+                    &mut source,
+                    &Pgd::new(budget),
+                    &test,
+                    Encoder::DirectCurrent,
+                    &mut rng,
+                ),
+                StaticAttackKind::Bim => evaluate_image_attack(
+                    &mut net,
+                    &mut source,
+                    &Bim::new(budget),
+                    &test,
+                    Encoder::DirectCurrent,
+                    &mut rng,
+                ),
+            }
+            .expect("evaluation");
+            row.push(out.adversarial_accuracy);
+        }
+        cells.push(row);
+    }
+    cells
+}
+
+/// Prints a heatmap in the paper's Figs. 4–6 orientation: rows =
+/// time steps (descending), columns = threshold voltage (ascending).
+pub fn print_heatmap(title: &str, thresholds: &[f32], time_steps: &[usize], cells: &[Vec<f32>]) {
+    println!("\n{title}");
+    print!("{:>6}", "T\\Vth");
+    for v in thresholds {
+        print!("{v:>7.2}");
+    }
+    println!();
+    for (ri, &t) in time_steps.iter().enumerate().rev() {
+        print!("{t:>6}");
+        for ci in 0..thresholds.len() {
+            print!("{:>7.0}", cells[ri][ci]);
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_match_paper() {
+        assert_eq!(threshold_grid().len(), 9);
+        assert_eq!(threshold_grid()[0], 0.25);
+        assert_eq!(*threshold_grid().last().unwrap(), 2.25);
+        assert_eq!(time_step_grid(), vec![32, 40, 48, 56, 64, 72, 80]);
+    }
+
+    #[test]
+    fn env_defaults() {
+        // Do not set the env vars here (tests run in parallel); just
+        // check the parsing defaults are sane.
+        assert!(sample_cap() >= 1);
+        let _ = seed();
+        let _ = full_scale();
+    }
+}

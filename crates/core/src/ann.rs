@@ -1,0 +1,627 @@
+//! The reference (accurate) artificial twin network.
+//!
+//! The paper's threat model (Sec. III) assumes the adversary crafts
+//! adversarial examples on an *accurate classifier model*; this module is
+//! that model. It mirrors the spiking topology with ReLU activations and
+//! provides standard backprop — including gradients with respect to the
+//! *input*, which the PGD/BIM attacks consume — plus activation-range
+//! recording for data-based ANN→SNN threshold balancing
+//! ([`crate::convert`]).
+
+use crate::{CoreError, Result};
+use axsnn_tensor::conv::{self, Conv2dSpec};
+use axsnn_tensor::{init, linalg, ops, Tensor};
+use rand::Rng;
+
+/// A layer of the reference ANN.
+#[derive(Debug, Clone)]
+pub enum AnnLayer {
+    /// Convolution followed by ReLU.
+    ConvRelu {
+        /// Convolution geometry.
+        spec: Conv2dSpec,
+        /// Weights `[Cout,Cin,K,K]`.
+        weight: Tensor,
+        /// Bias `[Cout]`.
+        bias: Tensor,
+    },
+    /// Fully-connected layer followed by ReLU.
+    LinearRelu {
+        /// Weights `[Out,In]`.
+        weight: Tensor,
+        /// Bias `[Out]`.
+        bias: Tensor,
+    },
+    /// Final fully-connected layer (raw logits, no activation).
+    LinearOut {
+        /// Weights `[Out,In]`.
+        weight: Tensor,
+        /// Bias `[Out]`.
+        bias: Tensor,
+    },
+    /// Average pooling with square window.
+    AvgPool {
+        /// Window / stride.
+        window: usize,
+    },
+    /// Max pooling with square window.
+    MaxPool {
+        /// Window / stride.
+        window: usize,
+    },
+    /// Flatten to rank-1.
+    Flatten,
+    /// Dropout (identity at inference; the ANN trains with inverted
+    /// dropout).
+    Dropout {
+        /// Drop probability.
+        probability: f32,
+    },
+}
+
+impl AnnLayer {
+    fn has_params(&self) -> bool {
+        matches!(
+            self,
+            AnnLayer::ConvRelu { .. } | AnnLayer::LinearRelu { .. } | AnnLayer::LinearOut { .. }
+        )
+    }
+}
+
+/// Per-layer tape recorded during a forward pass for backprop.
+#[derive(Debug, Clone)]
+enum Tape {
+    Conv {
+        input: Tensor,
+        preact: Tensor,
+    },
+    Linear {
+        input: Tensor,
+        preact: Tensor,
+    },
+    LinearOut {
+        input: Tensor,
+    },
+    Pool {
+        input_dims: Vec<usize>,
+    },
+    MaxPool {
+        input_dims: Vec<usize>,
+        argmax: Vec<usize>,
+    },
+    Flatten {
+        input_dims: Vec<usize>,
+    },
+    Dropout {
+        mask: Vec<f32>,
+    },
+}
+
+/// Gradients of one ANN layer's parameters.
+#[derive(Debug, Clone, Default)]
+pub struct AnnLayerGrads {
+    /// Gradient of the weights (empty tensor for parameterless layers).
+    pub weight: Option<Tensor>,
+    /// Gradient of the bias.
+    pub bias: Option<Tensor>,
+}
+
+/// Result of a backward pass.
+#[derive(Debug, Clone)]
+pub struct AnnBackward {
+    /// Gradient with respect to the network input.
+    pub input_grad: Tensor,
+    /// Per-layer parameter gradients (aligned with the layer stack).
+    pub layer_grads: Vec<AnnLayerGrads>,
+}
+
+/// The reference feed-forward ANN.
+///
+/// # Example
+///
+/// ```
+/// use axsnn_core::ann::{AnnNetwork, AnnLayer};
+/// use axsnn_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), axsnn_core::CoreError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let net = AnnNetwork::new(vec![
+///     AnnLayer::linear_relu(&mut rng, 4, 8),
+///     AnnLayer::linear_out(&mut rng, 8, 2),
+/// ])?;
+/// let logits = net.forward(&Tensor::ones(&[4]))?;
+/// assert_eq!(logits.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnnNetwork {
+    layers: Vec<AnnLayer>,
+}
+
+impl AnnLayer {
+    /// Kaiming-initialized conv+ReLU layer.
+    pub fn conv_relu<R: Rng>(rng: &mut R, spec: Conv2dSpec) -> AnnLayer {
+        let fan_in = spec.in_channels * spec.kernel * spec.kernel;
+        AnnLayer::ConvRelu {
+            spec,
+            weight: init::kaiming_uniform(
+                rng,
+                &[spec.out_channels, spec.in_channels, spec.kernel, spec.kernel],
+                fan_in,
+            ),
+            bias: Tensor::zeros(&[spec.out_channels]),
+        }
+    }
+
+    /// Kaiming-initialized linear+ReLU layer.
+    pub fn linear_relu<R: Rng>(rng: &mut R, inputs: usize, outputs: usize) -> AnnLayer {
+        AnnLayer::LinearRelu {
+            weight: init::kaiming_uniform(rng, &[outputs, inputs], inputs),
+            bias: Tensor::zeros(&[outputs]),
+        }
+    }
+
+    /// Kaiming-initialized output (logit) layer.
+    pub fn linear_out<R: Rng>(rng: &mut R, inputs: usize, outputs: usize) -> AnnLayer {
+        AnnLayer::LinearOut {
+            weight: init::kaiming_uniform(rng, &[outputs, inputs], inputs),
+            bias: Tensor::zeros(&[outputs]),
+        }
+    }
+}
+
+impl AnnNetwork {
+    /// Builds a network from a layer stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] for an empty stack or when the last
+    /// layer is not [`AnnLayer::LinearOut`].
+    pub fn new(layers: Vec<AnnLayer>) -> Result<Self> {
+        if layers.is_empty() {
+            return Err(CoreError::Config {
+                message: "ANN needs at least one layer".into(),
+            });
+        }
+        if !matches!(layers.last(), Some(AnnLayer::LinearOut { .. })) {
+            return Err(CoreError::Config {
+                message: "last ANN layer must be linear_out".into(),
+            });
+        }
+        Ok(AnnNetwork { layers })
+    }
+
+    /// Shared access to the layers.
+    pub fn layers(&self) -> &[AnnLayer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers.
+    pub fn layers_mut(&mut self) -> &mut [AnnLayer] {
+        &mut self.layers
+    }
+
+    /// Inference forward pass (dropout = identity).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = match layer {
+                AnnLayer::ConvRelu { spec, weight, bias } => {
+                    conv::conv2d(&x, weight, bias, spec)?.map(|v| v.max(0.0))
+                }
+                AnnLayer::LinearRelu { weight, bias } => {
+                    let flat = flatten_if_needed(&x)?;
+                    linalg::matvec(weight, &flat)?.add(bias)?.map(|v| v.max(0.0))
+                }
+                AnnLayer::LinearOut { weight, bias } => {
+                    let flat = flatten_if_needed(&x)?;
+                    linalg::matvec(weight, &flat)?.add(bias)?
+                }
+                AnnLayer::AvgPool { window } => conv::avg_pool2d(&x, *window)?,
+                AnnLayer::MaxPool { window } => conv::max_pool2d(&x, *window)?.output,
+                AnnLayer::Flatten => x.reshape(&[x.len()])?,
+                AnnLayer::Dropout { .. } => x,
+            };
+        }
+        Ok(x)
+    }
+
+    /// Predicted class label for an input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward errors.
+    pub fn classify(&self, input: &Tensor) -> Result<usize> {
+        Ok(self.forward(input)?.argmax().unwrap_or(0))
+    }
+
+    /// Training/attack forward pass that records a tape, then backprop.
+    ///
+    /// When `train` is set, dropout is active (inverted dropout with the
+    /// provided RNG); attacks use `train = false` so gradients flow
+    /// through the inference behaviour.
+    ///
+    /// Returns `(logits, loss, backward)` for cross-entropy against
+    /// `label`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers.
+    pub fn forward_backward<R: Rng>(
+        &self,
+        input: &Tensor,
+        label: usize,
+        train: bool,
+        rng: &mut R,
+    ) -> Result<(Tensor, f32, AnnBackward)> {
+        // Forward with tape.
+        let mut tapes: Vec<Tape> = Vec::with_capacity(self.layers.len());
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = match layer {
+                AnnLayer::ConvRelu { spec, weight, bias } => {
+                    let pre = conv::conv2d(&x, weight, bias, spec)?;
+                    tapes.push(Tape::Conv {
+                        input: x.clone(),
+                        preact: pre.clone(),
+                    });
+                    pre.map(|v| v.max(0.0))
+                }
+                AnnLayer::LinearRelu { weight, bias } => {
+                    let flat = flatten_if_needed(&x)?;
+                    let pre = linalg::matvec(weight, &flat)?.add(bias)?;
+                    tapes.push(Tape::Linear {
+                        input: flat,
+                        preact: pre.clone(),
+                    });
+                    pre.map(|v| v.max(0.0))
+                }
+                AnnLayer::LinearOut { weight, bias } => {
+                    let flat = flatten_if_needed(&x)?;
+                    tapes.push(Tape::LinearOut { input: flat.clone() });
+                    linalg::matvec(weight, &flat)?.add(bias)?
+                }
+                AnnLayer::AvgPool { window } => {
+                    tapes.push(Tape::Pool {
+                        input_dims: x.shape().dims().to_vec(),
+                    });
+                    conv::avg_pool2d(&x, *window)?
+                }
+                AnnLayer::MaxPool { window } => {
+                    let out = conv::max_pool2d(&x, *window)?;
+                    tapes.push(Tape::MaxPool {
+                        input_dims: x.shape().dims().to_vec(),
+                        argmax: out.argmax,
+                    });
+                    out.output
+                }
+                AnnLayer::Flatten => {
+                    tapes.push(Tape::Flatten {
+                        input_dims: x.shape().dims().to_vec(),
+                    });
+                    x.reshape(&[x.len()])?
+                }
+                AnnLayer::Dropout { probability } => {
+                    let keep = 1.0 - probability;
+                    let mask: Vec<f32> = if train && *probability > 0.0 {
+                        (0..x.len())
+                            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+                            .collect()
+                    } else {
+                        vec![1.0; x.len()]
+                    };
+                    let masked: Vec<f32> = x
+                        .as_slice()
+                        .iter()
+                        .zip(&mask)
+                        .map(|(&v, &m)| v * m)
+                        .collect();
+                    let shaped = Tensor::from_vec(masked, x.shape().dims())?;
+                    tapes.push(Tape::Dropout { mask });
+                    shaped
+                }
+            };
+        }
+        let logits = x;
+        let (loss, mut grad) = ops::cross_entropy_with_grad(&logits, label)?;
+
+        // Backward.
+        let mut layer_grads: Vec<AnnLayerGrads> = Vec::with_capacity(self.layers.len());
+        for (layer, tape) in self.layers.iter().zip(&tapes).rev() {
+            let mut lg = AnnLayerGrads::default();
+            grad = match (layer, tape) {
+                (AnnLayer::ConvRelu { spec, weight, .. }, Tape::Conv { input, preact }) => {
+                    let gpre = grad.zip(preact, |g, p| if p > 0.0 { g } else { 0.0 })?;
+                    let grads = conv::conv2d_backward(input, weight, &gpre, spec)?;
+                    lg.weight = Some(grads.weight);
+                    lg.bias = Some(grads.bias);
+                    grads.input
+                }
+                (AnnLayer::LinearRelu { weight, .. }, Tape::Linear { input, preact }) => {
+                    let gpre = grad.zip(preact, |g, p| if p > 0.0 { g } else { 0.0 })?;
+                    lg.weight = Some(linalg::outer(&gpre, input)?);
+                    lg.bias = Some(gpre.clone());
+                    let wt = linalg::transpose(weight)?;
+                    linalg::matvec(&wt, &gpre)?
+                }
+                (AnnLayer::LinearOut { weight, .. }, Tape::LinearOut { input }) => {
+                    lg.weight = Some(linalg::outer(&grad, input)?);
+                    lg.bias = Some(grad.clone());
+                    let wt = linalg::transpose(weight)?;
+                    linalg::matvec(&wt, &grad)?
+                }
+                (AnnLayer::AvgPool { window }, Tape::Pool { input_dims }) => {
+                    conv::avg_pool2d_backward(&grad, input_dims, *window)?
+                }
+                (AnnLayer::MaxPool { .. }, Tape::MaxPool { input_dims, argmax }) => {
+                    conv::max_pool2d_backward(&grad, argmax, input_dims)?
+                }
+                (AnnLayer::Flatten, Tape::Flatten { input_dims }) => grad.reshape(input_dims)?,
+                (AnnLayer::Dropout { .. }, Tape::Dropout { mask }) => {
+                    let data: Vec<f32> = grad
+                        .as_slice()
+                        .iter()
+                        .zip(mask)
+                        .map(|(&g, &m)| g * m)
+                        .collect();
+                    Tensor::from_vec(data, grad.shape().dims())?
+                }
+                _ => {
+                    return Err(CoreError::Incompatible {
+                        message: "tape/layer mismatch in ANN backward".into(),
+                    })
+                }
+            };
+            layer_grads.push(lg);
+        }
+        layer_grads.reverse();
+
+        Ok((
+            logits,
+            loss,
+            AnnBackward {
+                input_grad: grad,
+                layer_grads,
+            },
+        ))
+    }
+
+    /// Gradient of the cross-entropy loss with respect to the input —
+    /// the quantity PGD/BIM ascend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward/backward errors.
+    pub fn input_gradient(&self, input: &Tensor, label: usize) -> Result<Tensor> {
+        // Dropout inactive ⇒ RNG is unused; a trivial seeded RNG keeps the
+        // signature simple.
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let (_, _, back) = self.forward_backward(input, label, false, &mut rng)?;
+        Ok(back.input_grad)
+    }
+
+    /// Applies SGD updates from accumulated gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Incompatible`] when `grads` is not aligned
+    /// with the layer stack.
+    pub fn apply_grads(&mut self, grads: &[AnnLayerGrads], lr: f32) -> Result<()> {
+        if grads.len() != self.layers.len() {
+            return Err(CoreError::Incompatible {
+                message: format!(
+                    "gradient stack length {} != layer count {}",
+                    grads.len(),
+                    self.layers.len()
+                ),
+            });
+        }
+        for (layer, g) in self.layers.iter_mut().zip(grads) {
+            if !layer.has_params() {
+                continue;
+            }
+            let (w, b) = match layer {
+                AnnLayer::ConvRelu { weight, bias, .. }
+                | AnnLayer::LinearRelu { weight, bias }
+                | AnnLayer::LinearOut { weight, bias } => (weight, bias),
+                _ => unreachable!("has_params filtered"),
+            };
+            if let (Some(gw), Some(gb)) = (&g.weight, &g.bias) {
+                *w = w.sub(&gw.scale(lr))?;
+                *b = b.sub(&gb.scale(lr))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Records the maximum post-activation value of every parameterized
+    /// layer over a calibration set — the `λ_l` used by data-based
+    /// threshold balancing in [`crate::convert`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward errors.
+    pub fn activation_maxima(&self, calibration: &[Tensor]) -> Result<Vec<f32>> {
+        let mut maxima = vec![f32::MIN_POSITIVE; self.parameterized_layer_count()];
+        for sample in calibration {
+            let mut x = sample.clone();
+            let mut pi = 0usize;
+            for layer in &self.layers {
+                x = match layer {
+                    AnnLayer::ConvRelu { spec, weight, bias } => {
+                        let a = conv::conv2d(&x, weight, bias, spec)?.map(|v| v.max(0.0));
+                        maxima[pi] = maxima[pi].max(a.max());
+                        pi += 1;
+                        a
+                    }
+                    AnnLayer::LinearRelu { weight, bias } => {
+                        let flat = flatten_if_needed(&x)?;
+                        let a = linalg::matvec(weight, &flat)?.add(bias)?.map(|v| v.max(0.0));
+                        maxima[pi] = maxima[pi].max(a.max());
+                        pi += 1;
+                        a
+                    }
+                    AnnLayer::LinearOut { weight, bias } => {
+                        let flat = flatten_if_needed(&x)?;
+                        let a = linalg::matvec(weight, &flat)?.add(bias)?;
+                        maxima[pi] = maxima[pi].max(a.max().abs().max(1e-6));
+                        pi += 1;
+                        a
+                    }
+                    AnnLayer::AvgPool { window } => conv::avg_pool2d(&x, *window)?,
+                    AnnLayer::MaxPool { window } => conv::max_pool2d(&x, *window)?.output,
+                    AnnLayer::Flatten => x.reshape(&[x.len()])?,
+                    AnnLayer::Dropout { .. } => x,
+                };
+            }
+        }
+        Ok(maxima)
+    }
+
+    /// Number of layers carrying weights.
+    pub fn parameterized_layer_count(&self) -> usize {
+        self.layers.iter().filter(|l| l.has_params()).count()
+    }
+
+    /// Total number of learnable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                AnnLayer::ConvRelu { weight, bias, .. }
+                | AnnLayer::LinearRelu { weight, bias }
+                | AnnLayer::LinearOut { weight, bias } => weight.len() + bias.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+fn flatten_if_needed(x: &Tensor) -> Result<Tensor> {
+    if x.shape().rank() == 1 {
+        Ok(x.clone())
+    } else {
+        x.reshape(&[x.len()]).map_err(CoreError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp(rng: &mut StdRng) -> AnnNetwork {
+        AnnNetwork::new(vec![
+            AnnLayer::linear_relu(rng, 4, 16),
+            AnnLayer::linear_out(rng, 16, 3),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn constructor_validates_stack() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(AnnNetwork::new(vec![]).is_err());
+        assert!(AnnNetwork::new(vec![AnnLayer::linear_relu(&mut rng, 2, 2)]).is_err());
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = mlp(&mut rng);
+        let y = net.forward(&Tensor::ones(&[4])).unwrap();
+        assert_eq!(y.len(), 3);
+    }
+
+    #[test]
+    fn conv_stack_forward() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = AnnNetwork::new(vec![
+            AnnLayer::conv_relu(
+                &mut rng,
+                Conv2dSpec {
+                    in_channels: 1,
+                    out_channels: 4,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
+            ),
+            AnnLayer::AvgPool { window: 2 },
+            AnnLayer::Flatten,
+            AnnLayer::linear_out(&mut rng, 4 * 4 * 4, 10),
+        ])
+        .unwrap();
+        let y = net.forward(&Tensor::ones(&[1, 8, 8])).unwrap();
+        assert_eq!(y.len(), 10);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = mlp(&mut rng);
+        let x = Tensor::from_vec(vec![0.3, -0.2, 0.9, 0.1], &[4]).unwrap();
+        let g = net.input_gradient(&x, 1).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let loss = |inp: &Tensor| {
+                let logits = net.forward(inp).unwrap();
+                ops::cross_entropy_with_grad(&logits, 1).unwrap().0
+            };
+            let num = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!(
+                (num - g.as_slice()[i]).abs() < 5e-3,
+                "input grad mismatch at {i}: {num} vs {}",
+                g.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = mlp(&mut rng);
+        let x = Tensor::from_vec(vec![0.5, 0.1, -0.4, 0.8], &[4]).unwrap();
+        let label = 2;
+        let (_, loss0, back) = net.forward_backward(&x, label, true, &mut rng).unwrap();
+        net.apply_grads(&back.layer_grads, 0.5).unwrap();
+        let (_, loss1, _) = net.forward_backward(&x, label, false, &mut rng).unwrap();
+        assert!(loss1 < loss0, "one SGD step must reduce loss: {loss0} → {loss1}");
+    }
+
+    #[test]
+    fn activation_maxima_per_layer() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = mlp(&mut rng);
+        let calib = vec![Tensor::ones(&[4]), Tensor::full(&[4], 0.5)];
+        let maxima = net.activation_maxima(&calib).unwrap();
+        assert_eq!(maxima.len(), 2);
+        assert!(maxima.iter().all(|&m| m > 0.0));
+    }
+
+    #[test]
+    fn dropout_identity_at_inference() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = AnnNetwork::new(vec![
+            AnnLayer::linear_relu(&mut rng, 4, 8),
+            AnnLayer::Dropout { probability: 0.5 },
+            AnnLayer::linear_out(&mut rng, 8, 2),
+        ])
+        .unwrap();
+        let x = Tensor::ones(&[4]);
+        let a = net.forward(&x).unwrap();
+        let b = net.forward(&x).unwrap();
+        assert_eq!(a, b);
+    }
+}

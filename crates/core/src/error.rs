@@ -1,0 +1,105 @@
+use axsnn_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for SNN construction, simulation and training.
+///
+/// # Example
+///
+/// ```
+/// use axsnn_core::CoreError;
+///
+/// let err = CoreError::Config { message: "time_steps must be > 0".into() };
+/// assert!(err.to_string().contains("time_steps"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Underlying tensor operation failed (shape/rank/index errors).
+    Tensor(TensorError),
+    /// Invalid network or training configuration.
+    Config {
+        /// Description of the invalid configuration.
+        message: String,
+    },
+    /// The network received an input whose shape does not match the first
+    /// layer's expectation.
+    InputShape {
+        /// Shape expected by the first layer.
+        expected: Vec<usize>,
+        /// Shape actually supplied.
+        actual: Vec<usize>,
+    },
+    /// Backward pass was requested without a recorded forward pass.
+    NoRecordedForward,
+    /// Two networks or layer stacks are structurally incompatible
+    /// (e.g. for conversion or weight transplant).
+    Incompatible {
+        /// Description of the incompatibility.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::Config { message } => write!(f, "invalid configuration: {message}"),
+            CoreError::InputShape { expected, actual } => write!(
+                f,
+                "input shape {actual:?} does not match expected {expected:?}"
+            ),
+            CoreError::NoRecordedForward => {
+                write!(f, "backward requested without a recorded forward pass")
+            }
+            CoreError::Incompatible { message } => write!(f, "incompatible models: {message}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_tensor_error_with_source() {
+        let te = TensorError::LengthMismatch {
+            expected: 4,
+            actual: 2,
+        };
+        let ce: CoreError = te.clone().into();
+        assert_eq!(ce, CoreError::Tensor(te));
+        assert!(Error::source(&ce).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+
+    #[test]
+    fn display_variants() {
+        let e = CoreError::InputShape {
+            expected: vec![1, 28, 28],
+            actual: vec![1, 32, 32],
+        };
+        assert!(e.to_string().contains("28"));
+        assert!(CoreError::NoRecordedForward.to_string().contains("forward"));
+    }
+}

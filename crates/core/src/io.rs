@@ -1,0 +1,378 @@
+//! Model persistence: JSON save/load for spiking networks and their ANN
+//! twins.
+//!
+//! Algorithm 1 sweeps dozens of `(V_th, T)` configurations; persisting
+//! the trained accurate model once and re-loading it per grid point is
+//! how a deployment would actually use this library. The format is
+//! self-describing JSON built from the crate's `serde` derives — stable
+//! across runs and diffable in experiments.
+
+use crate::ann::{AnnLayer, AnnNetwork};
+use crate::layer::Layer;
+use crate::network::{SnnConfig, SpikingNetwork};
+use crate::{CoreError, Result};
+use axsnn_tensor::conv::Conv2dSpec;
+use axsnn_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Serializable description of one layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum LayerSpec {
+    /// Spiking or ANN convolution.
+    Conv {
+        /// Input channels.
+        in_channels: usize,
+        /// Output channels.
+        out_channels: usize,
+        /// Kernel side.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        padding: usize,
+        /// Filter weights.
+        weight: Tensor,
+        /// Bias.
+        bias: Tensor,
+    },
+    /// Spiking or ANN hidden linear layer.
+    Linear {
+        /// Weights `[out, in]`.
+        weight: Tensor,
+        /// Bias.
+        bias: Tensor,
+    },
+    /// Readout / logit layer.
+    Output {
+        /// Weights `[out, in]`.
+        weight: Tensor,
+        /// Bias.
+        bias: Tensor,
+    },
+    /// Average pooling.
+    AvgPool {
+        /// Window / stride.
+        window: usize,
+    },
+    /// Max pooling.
+    MaxPool {
+        /// Window / stride.
+        window: usize,
+    },
+    /// Flatten.
+    Flatten,
+    /// Dropout.
+    Dropout {
+        /// Drop probability.
+        probability: f32,
+    },
+}
+
+/// Serializable snapshot of a spiking network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnnSnapshot {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Structural configuration.
+    pub config: SnnConfig,
+    /// Layer stack.
+    pub layers: Vec<LayerSpec>,
+}
+
+/// Serializable snapshot of an ANN.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnnSnapshot {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Layer stack.
+    pub layers: Vec<LayerSpec>,
+}
+
+const FORMAT_VERSION: u32 = 1;
+
+/// Captures a spiking network into a serializable snapshot.
+///
+/// # Errors
+///
+/// Currently infallible for well-formed networks; returns `Result` to
+/// keep room for validation.
+pub fn snapshot_snn(net: &SpikingNetwork) -> Result<SnnSnapshot> {
+    let mut layers = Vec::with_capacity(net.depth());
+    for layer in net.layers() {
+        layers.push(match layer {
+            Layer::SpikingConv2d(l) => LayerSpec::Conv {
+                in_channels: l.spec.in_channels,
+                out_channels: l.spec.out_channels,
+                kernel: l.spec.kernel,
+                stride: l.spec.stride,
+                padding: l.spec.padding,
+                weight: l.weight.value.clone(),
+                bias: l.bias.value.clone(),
+            },
+            Layer::SpikingLinear(l) => LayerSpec::Linear {
+                weight: l.weight.value.clone(),
+                bias: l.bias.value.clone(),
+            },
+            Layer::OutputLinear(l) => LayerSpec::Output {
+                weight: l.weight.value.clone(),
+                bias: l.bias.value.clone(),
+            },
+            Layer::AvgPool2d(l) => LayerSpec::AvgPool { window: l.window },
+            Layer::MaxPool2d(l) => LayerSpec::MaxPool { window: l.window },
+            Layer::Flatten(_) => LayerSpec::Flatten,
+            Layer::Dropout(d) => LayerSpec::Dropout {
+                probability: d.probability,
+            },
+        });
+    }
+    Ok(SnnSnapshot {
+        version: FORMAT_VERSION,
+        config: *net.config(),
+        layers,
+    })
+}
+
+/// Rebuilds a spiking network from a snapshot.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Incompatible`] for unsupported versions or
+/// inconsistent layer shapes.
+pub fn restore_snn(snapshot: &SnnSnapshot) -> Result<SpikingNetwork> {
+    if snapshot.version != FORMAT_VERSION {
+        return Err(CoreError::Incompatible {
+            message: format!("unsupported snapshot version {}", snapshot.version),
+        });
+    }
+    let cfg = snapshot.config;
+    let mut layers = Vec::with_capacity(snapshot.layers.len());
+    for spec in &snapshot.layers {
+        layers.push(match spec {
+            LayerSpec::Conv {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                weight,
+                bias,
+            } => Layer::spiking_conv2d_from(
+                Conv2dSpec {
+                    in_channels: *in_channels,
+                    out_channels: *out_channels,
+                    kernel: *kernel,
+                    stride: *stride,
+                    padding: *padding,
+                },
+                weight.clone(),
+                bias.clone(),
+                &cfg,
+            )?,
+            LayerSpec::Linear { weight, bias } => {
+                Layer::spiking_linear_from(weight.clone(), bias.clone(), &cfg)?
+            }
+            LayerSpec::Output { weight, bias } => {
+                Layer::output_linear_from(weight.clone(), bias.clone())?
+            }
+            LayerSpec::AvgPool { window } => Layer::avg_pool2d(*window),
+            LayerSpec::MaxPool { window } => Layer::max_pool2d(*window),
+            LayerSpec::Flatten => Layer::flatten(),
+            LayerSpec::Dropout { probability } => Layer::dropout(*probability),
+        });
+    }
+    SpikingNetwork::new(layers, cfg)
+}
+
+/// Captures an ANN into a serializable snapshot.
+///
+/// # Errors
+///
+/// Currently infallible for well-formed networks.
+pub fn snapshot_ann(net: &AnnNetwork) -> Result<AnnSnapshot> {
+    let mut layers = Vec::with_capacity(net.layers().len());
+    for layer in net.layers() {
+        layers.push(match layer {
+            AnnLayer::ConvRelu { spec, weight, bias } => LayerSpec::Conv {
+                in_channels: spec.in_channels,
+                out_channels: spec.out_channels,
+                kernel: spec.kernel,
+                stride: spec.stride,
+                padding: spec.padding,
+                weight: weight.clone(),
+                bias: bias.clone(),
+            },
+            AnnLayer::LinearRelu { weight, bias } => LayerSpec::Linear {
+                weight: weight.clone(),
+                bias: bias.clone(),
+            },
+            AnnLayer::LinearOut { weight, bias } => LayerSpec::Output {
+                weight: weight.clone(),
+                bias: bias.clone(),
+            },
+            AnnLayer::AvgPool { window } => LayerSpec::AvgPool { window: *window },
+            AnnLayer::MaxPool { window } => LayerSpec::MaxPool { window: *window },
+            AnnLayer::Flatten => LayerSpec::Flatten,
+            AnnLayer::Dropout { probability } => LayerSpec::Dropout {
+                probability: *probability,
+            },
+        });
+    }
+    Ok(AnnSnapshot {
+        version: FORMAT_VERSION,
+        layers,
+    })
+}
+
+/// Rebuilds an ANN from a snapshot.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Incompatible`] for unsupported versions.
+pub fn restore_ann(snapshot: &AnnSnapshot) -> Result<AnnNetwork> {
+    if snapshot.version != FORMAT_VERSION {
+        return Err(CoreError::Incompatible {
+            message: format!("unsupported snapshot version {}", snapshot.version),
+        });
+    }
+    let mut layers = Vec::with_capacity(snapshot.layers.len());
+    for spec in &snapshot.layers {
+        layers.push(match spec {
+            LayerSpec::Conv {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                weight,
+                bias,
+            } => AnnLayer::ConvRelu {
+                spec: Conv2dSpec {
+                    in_channels: *in_channels,
+                    out_channels: *out_channels,
+                    kernel: *kernel,
+                    stride: *stride,
+                    padding: *padding,
+                },
+                weight: weight.clone(),
+                bias: bias.clone(),
+            },
+            LayerSpec::Linear { weight, bias } => AnnLayer::LinearRelu {
+                weight: weight.clone(),
+                bias: bias.clone(),
+            },
+            LayerSpec::Output { weight, bias } => AnnLayer::LinearOut {
+                weight: weight.clone(),
+                bias: bias.clone(),
+            },
+            LayerSpec::AvgPool { window } => AnnLayer::AvgPool { window: *window },
+            LayerSpec::MaxPool { window } => AnnLayer::MaxPool { window: *window },
+            LayerSpec::Flatten => AnnLayer::Flatten,
+            LayerSpec::Dropout { probability } => AnnLayer::Dropout {
+                probability: *probability,
+            },
+        });
+    }
+    AnnNetwork::new(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Encoder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_snn() -> SpikingNetwork {
+        let cfg = SnnConfig {
+            threshold: 0.8,
+            time_steps: 8,
+            leak: 0.9,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        SpikingNetwork::new(
+            vec![
+                Layer::spiking_conv2d(
+                    &mut rng,
+                    Conv2dSpec {
+                        in_channels: 1,
+                        out_channels: 2,
+                        kernel: 3,
+                        stride: 1,
+                        padding: 1,
+                    },
+                    &cfg,
+                ),
+                Layer::avg_pool2d(2),
+                Layer::flatten(),
+                Layer::dropout(0.1),
+                Layer::spiking_linear(&mut rng, 2 * 2 * 2, 6, &cfg),
+                Layer::output_linear(&mut rng, 6, 3),
+            ],
+            cfg,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn snn_snapshot_roundtrip_preserves_behaviour() {
+        let mut original = sample_snn();
+        let snapshot = snapshot_snn(&original).unwrap();
+        let mut restored = restore_snn(&snapshot).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(0);
+        let image = Tensor::full(&[1, 4, 4], 0.6);
+        let a = original.classify(&image, Encoder::DirectCurrent, &mut rng).unwrap();
+        let b = restored.classify(&image, Encoder::DirectCurrent, &mut rng).unwrap();
+        assert_eq!(a, b, "restored network must classify identically");
+        assert_eq!(original.depth(), restored.depth());
+        assert_eq!(original.parameter_count(), restored.parameter_count());
+    }
+
+    #[test]
+    fn snn_snapshot_restore_is_stable() {
+        let original = sample_snn();
+        let snapshot = snapshot_snn(&original).unwrap();
+        let restored = restore_snn(&snapshot).unwrap();
+        let again = snapshot_snn(&restored).unwrap();
+        assert_eq!(snapshot.layers.len(), again.layers.len());
+        assert_eq!(snapshot.config, again.config);
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let original = sample_snn();
+        let mut snapshot = snapshot_snn(&original).unwrap();
+        snapshot.version = 999;
+        assert!(restore_snn(&snapshot).is_err());
+    }
+
+    #[test]
+    fn ann_snapshot_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let ann = AnnNetwork::new(vec![
+            AnnLayer::conv_relu(
+                &mut rng,
+                Conv2dSpec {
+                    in_channels: 1,
+                    out_channels: 2,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
+            ),
+            AnnLayer::Flatten,
+            AnnLayer::linear_relu(&mut rng, 2 * 4 * 4, 8),
+            AnnLayer::Dropout { probability: 0.2 },
+            AnnLayer::linear_out(&mut rng, 8, 3),
+        ])
+        .unwrap();
+        let snapshot = snapshot_ann(&ann).unwrap();
+        let restored = restore_ann(&snapshot).unwrap();
+        let image = Tensor::full(&[1, 4, 4], 0.4);
+        assert_eq!(
+            ann.forward(&image).unwrap(),
+            restored.forward(&image).unwrap()
+        );
+    }
+}

@@ -1,0 +1,815 @@
+//! Spiking network layers with BPTT support.
+//!
+//! Each [`Layer`] processes one spike frame per time step
+//! ([`Layer::forward_step`]) and can optionally record a tape for
+//! backpropagation-through-time ([`Layer::backward_step`], driven in
+//! strict reverse time order by [`crate::network::SpikingNetwork`]).
+//!
+//! The spiking layers (conv / linear) own a LIF population; pooling,
+//! flatten and dropout are stateless per step; [`OutputLinear`] is a
+//! non-spiking integrator readout whose per-step outputs the network sums
+//! into logits — the standard readout for surrogate-gradient SNNs.
+//!
+//! The backward recurrence uses the *detached-reset* convention: the
+//! hard reset's dependence on the spike is treated as a constant, and the
+//! membrane carry is `∂v[t+1]/∂v[t] = leak · (1 − s[t])`.
+
+use crate::lif::{LifParams, LifState};
+use crate::network::SnnConfig;
+use crate::{CoreError, Result};
+use axsnn_tensor::conv::{self, Conv2dSpec};
+use axsnn_tensor::{init, linalg, Tensor};
+use rand::Rng;
+
+/// Learnable parameter pair (value + gradient accumulator + momentum).
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient since the last [`Param::apply`].
+    pub grad: Tensor,
+    velocity: Tensor,
+}
+
+impl Param {
+    /// Wraps a tensor as a learnable parameter with zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let dims = value.shape().dims().to_vec();
+        Param {
+            value,
+            grad: Tensor::zeros(&dims),
+            velocity: Tensor::zeros(&dims),
+        }
+    }
+
+    /// Zeroes the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_inplace(|_| 0.0);
+    }
+
+    /// SGD-with-momentum update: `v ← μ·v − lr·g; w ← w + v`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors (cannot occur when the parameter was
+    /// built through [`Param::new`]).
+    pub fn apply(&mut self, lr: f32, momentum: f32) -> Result<()> {
+        self.velocity = self.velocity.scale(momentum).sub(&self.grad.scale(lr))?;
+        self.value = self.value.add(&self.velocity)?;
+        Ok(())
+    }
+}
+
+/// Per-step tape entry for a spiking synaptic layer.
+#[derive(Debug, Clone)]
+struct SpikeTape {
+    input: Tensor,
+    pre_membrane: Vec<f32>,
+    spikes: Vec<f32>,
+}
+
+/// Spiking 2-D convolution layer (`[Cin,H,W] → [Cout,OH,OW]` spikes).
+#[derive(Debug, Clone)]
+pub struct SpikingConv2d {
+    /// Convolution geometry.
+    pub spec: Conv2dSpec,
+    /// Filter weights `[Cout,Cin,K,K]`.
+    pub weight: Param,
+    /// Per-filter bias `[Cout]`.
+    pub bias: Param,
+    lif_params: LifParams,
+    state: Option<LifState>,
+    tape: Vec<SpikeTape>,
+    carry: Vec<f32>,
+    input_hw: Option<(usize, usize)>,
+}
+
+/// Spiking fully-connected layer (`[In] → [Out]` spikes).
+#[derive(Debug, Clone)]
+pub struct SpikingLinear {
+    /// Weights `[Out, In]`.
+    pub weight: Param,
+    /// Bias `[Out]`.
+    pub bias: Param,
+    lif_params: LifParams,
+    state: LifState,
+    tape: Vec<SpikeTape>,
+    carry: Vec<f32>,
+}
+
+/// Non-spiking integrator readout; the network sums its per-step outputs.
+#[derive(Debug, Clone)]
+pub struct OutputLinear {
+    /// Weights `[Out, In]`.
+    pub weight: Param,
+    /// Bias `[Out]`.
+    pub bias: Param,
+    inputs: Vec<Tensor>,
+}
+
+/// Average-pooling layer over spikes (linear, stateless).
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    /// Square window / stride.
+    pub window: usize,
+    input_dims: Vec<usize>,
+}
+
+/// Max-pooling layer over spikes (winner-take-all, stateless per step).
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    /// Square window / stride.
+    pub window: usize,
+    input_dims: Vec<usize>,
+    argmax_per_step: Vec<Vec<usize>>,
+}
+
+/// Flatten `[C,H,W] → [C·H·W]`.
+#[derive(Debug, Clone)]
+pub struct Flatten {
+    input_dims: Vec<usize>,
+}
+
+/// Spike dropout with a per-sample mask held fixed across time steps.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    /// Drop probability in `[0, 1)`.
+    pub probability: f32,
+    /// Whether dropout is active (training) or identity (inference).
+    pub train_mode: bool,
+    mask: Option<Vec<f32>>,
+}
+
+/// A layer of a [`crate::network::SpikingNetwork`].
+///
+/// # Example
+///
+/// ```
+/// use axsnn_core::layer::Layer;
+/// use axsnn_core::network::SnnConfig;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let cfg = SnnConfig::default();
+/// let layer = Layer::spiking_linear(&mut rng, 16, 8, &cfg);
+/// assert_eq!(layer.kind(), "spiking_linear");
+/// ```
+#[derive(Debug, Clone)]
+pub enum Layer {
+    /// Spiking convolution.
+    SpikingConv2d(SpikingConv2d),
+    /// Spiking fully-connected layer.
+    SpikingLinear(SpikingLinear),
+    /// Integrator readout (final layer).
+    OutputLinear(OutputLinear),
+    /// Average pooling.
+    AvgPool2d(AvgPool2d),
+    /// Max pooling.
+    MaxPool2d(MaxPool2d),
+    /// Flattening.
+    Flatten(Flatten),
+    /// Dropout.
+    Dropout(Dropout),
+}
+
+impl Layer {
+    /// Creates a spiking convolution layer with Kaiming-uniform weights.
+    pub fn spiking_conv2d<R: Rng>(rng: &mut R, spec: Conv2dSpec, cfg: &SnnConfig) -> Layer {
+        let fan_in = spec.in_channels * spec.kernel * spec.kernel;
+        let weight = init::kaiming_uniform(
+            rng,
+            &[spec.out_channels, spec.in_channels, spec.kernel, spec.kernel],
+            fan_in,
+        );
+        Layer::SpikingConv2d(SpikingConv2d {
+            spec,
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[spec.out_channels])),
+            lif_params: cfg.lif_params(),
+            state: None,
+            tape: Vec::new(),
+            carry: Vec::new(),
+            input_hw: None,
+        })
+    }
+
+    /// Creates a spiking fully-connected layer.
+    pub fn spiking_linear<R: Rng>(rng: &mut R, inputs: usize, outputs: usize, cfg: &SnnConfig) -> Layer {
+        let weight = init::kaiming_uniform(rng, &[outputs, inputs], inputs);
+        Layer::SpikingLinear(SpikingLinear {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[outputs])),
+            lif_params: cfg.lif_params(),
+            state: LifState::new(outputs, cfg.lif_params()),
+            tape: Vec::new(),
+            carry: vec![0.0; outputs],
+        })
+    }
+
+    /// Creates the integrator readout layer.
+    pub fn output_linear<R: Rng>(rng: &mut R, inputs: usize, outputs: usize) -> Layer {
+        let weight = init::kaiming_uniform(rng, &[outputs, inputs], inputs);
+        Layer::OutputLinear(OutputLinear {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[outputs])),
+            inputs: Vec::new(),
+        })
+    }
+
+    /// Creates a spiking convolution layer from existing weights
+    /// (ANN→SNN conversion / weight transplant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Incompatible`] when the weight/bias shapes do
+    /// not match `spec`.
+    pub fn spiking_conv2d_from(
+        spec: Conv2dSpec,
+        weight: Tensor,
+        bias: Tensor,
+        cfg: &SnnConfig,
+    ) -> Result<Layer> {
+        let expected = [spec.out_channels, spec.in_channels, spec.kernel, spec.kernel];
+        if weight.shape().dims() != expected || bias.len() != spec.out_channels {
+            return Err(CoreError::Incompatible {
+                message: format!(
+                    "conv weight {:?}/bias {:?} incompatible with spec {:?}",
+                    weight.shape().dims(),
+                    bias.shape().dims(),
+                    spec
+                ),
+            });
+        }
+        Ok(Layer::SpikingConv2d(SpikingConv2d {
+            spec,
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+            lif_params: cfg.lif_params(),
+            state: None,
+            tape: Vec::new(),
+            carry: Vec::new(),
+            input_hw: None,
+        }))
+    }
+
+    /// Creates a spiking fully-connected layer from existing weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Incompatible`] for a non-matrix weight or a
+    /// bias that does not match the output count.
+    pub fn spiking_linear_from(weight: Tensor, bias: Tensor, cfg: &SnnConfig) -> Result<Layer> {
+        if weight.shape().rank() != 2 || bias.len() != weight.shape().dims()[0] {
+            return Err(CoreError::Incompatible {
+                message: "linear weight must be [out,in] with matching bias".into(),
+            });
+        }
+        let outputs = weight.shape().dims()[0];
+        Ok(Layer::SpikingLinear(SpikingLinear {
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+            lif_params: cfg.lif_params(),
+            state: LifState::new(outputs, cfg.lif_params()),
+            tape: Vec::new(),
+            carry: vec![0.0; outputs],
+        }))
+    }
+
+    /// Creates the integrator readout from existing weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Incompatible`] for mismatched shapes.
+    pub fn output_linear_from(weight: Tensor, bias: Tensor) -> Result<Layer> {
+        if weight.shape().rank() != 2 || bias.len() != weight.shape().dims()[0] {
+            return Err(CoreError::Incompatible {
+                message: "output weight must be [out,in] with matching bias".into(),
+            });
+        }
+        Ok(Layer::OutputLinear(OutputLinear {
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+            inputs: Vec::new(),
+        }))
+    }
+
+    /// Creates an average-pooling layer with square window `window`.
+    pub fn avg_pool2d(window: usize) -> Layer {
+        Layer::AvgPool2d(AvgPool2d {
+            window,
+            input_dims: Vec::new(),
+        })
+    }
+
+    /// Creates a max-pooling layer with square window `window`.
+    pub fn max_pool2d(window: usize) -> Layer {
+        Layer::MaxPool2d(MaxPool2d {
+            window,
+            input_dims: Vec::new(),
+            argmax_per_step: Vec::new(),
+        })
+    }
+
+    /// Creates a flatten layer.
+    pub fn flatten() -> Layer {
+        Layer::Flatten(Flatten {
+            input_dims: Vec::new(),
+        })
+    }
+
+    /// Creates a dropout layer (active only in train mode).
+    pub fn dropout(probability: f32) -> Layer {
+        Layer::Dropout(Dropout {
+            probability,
+            train_mode: false,
+            mask: None,
+        })
+    }
+
+    /// A short static name for the layer variant (diagnostics).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Layer::SpikingConv2d(_) => "spiking_conv2d",
+            Layer::SpikingLinear(_) => "spiking_linear",
+            Layer::OutputLinear(_) => "output_linear",
+            Layer::AvgPool2d(_) => "avg_pool2d",
+            Layer::MaxPool2d(_) => "max_pool2d",
+            Layer::Flatten(_) => "flatten",
+            Layer::Dropout(_) => "dropout",
+        }
+    }
+
+    /// Returns `true` for layers that own LIF neurons.
+    pub fn is_spiking(&self) -> bool {
+        matches!(self, Layer::SpikingConv2d(_) | Layer::SpikingLinear(_))
+    }
+
+    /// Mutable access to the layer's weight/bias parameters, if any.
+    pub fn params_mut(&mut self) -> Option<(&mut Param, &mut Param)> {
+        match self {
+            Layer::SpikingConv2d(l) => Some((&mut l.weight, &mut l.bias)),
+            Layer::SpikingLinear(l) => Some((&mut l.weight, &mut l.bias)),
+            Layer::OutputLinear(l) => Some((&mut l.weight, &mut l.bias)),
+            _ => None,
+        }
+    }
+
+    /// Shared access to the layer's weight/bias parameters, if any.
+    pub fn params(&self) -> Option<(&Param, &Param)> {
+        match self {
+            Layer::SpikingConv2d(l) => Some((&l.weight, &l.bias)),
+            Layer::SpikingLinear(l) => Some((&l.weight, &l.bias)),
+            Layer::OutputLinear(l) => Some((&l.weight, &l.bias)),
+            _ => None,
+        }
+    }
+
+    /// Overrides the LIF parameters of a spiking layer (no-op otherwise).
+    pub fn set_lif_params(&mut self, params: LifParams) {
+        match self {
+            Layer::SpikingConv2d(l) => {
+                l.lif_params = params;
+                l.state = None;
+            }
+            Layer::SpikingLinear(l) => {
+                l.lif_params = params;
+                l.state = LifState::new(l.state.len(), params);
+            }
+            _ => {}
+        }
+    }
+
+    /// The LIF parameters of a spiking layer, if any.
+    pub fn lif_params(&self) -> Option<LifParams> {
+        match self {
+            Layer::SpikingConv2d(l) => Some(l.lif_params),
+            Layer::SpikingLinear(l) => Some(l.lif_params),
+            _ => None,
+        }
+    }
+
+    /// Sets dropout train/inference mode (no-op for other layers).
+    pub fn set_train_mode(&mut self, train: bool) {
+        if let Layer::Dropout(d) = self {
+            d.train_mode = train;
+        }
+    }
+
+    /// Clears membrane state and BPTT tape; draws a fresh dropout mask
+    /// lazily on the next forward step.
+    pub fn reset(&mut self) {
+        match self {
+            Layer::SpikingConv2d(l) => {
+                if let Some(s) = &mut l.state {
+                    s.reset();
+                }
+                l.tape.clear();
+                l.carry.clear();
+            }
+            Layer::SpikingLinear(l) => {
+                l.state.reset();
+                l.tape.clear();
+                l.carry.fill(0.0);
+            }
+            Layer::OutputLinear(l) => l.inputs.clear(),
+            Layer::MaxPool2d(l) => l.argmax_per_step.clear(),
+            Layer::Dropout(d) => d.mask = None,
+            _ => {}
+        }
+    }
+
+    /// Processes one time step.
+    ///
+    /// When `record` is set the layer stores the tape needed by
+    /// [`Layer::backward_step`].
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors when the input does not match the layer
+    /// geometry.
+    pub fn forward_step<R: Rng>(
+        &mut self,
+        input: &Tensor,
+        record: bool,
+        rng: &mut R,
+    ) -> Result<Tensor> {
+        match self {
+            Layer::SpikingConv2d(l) => {
+                let current = conv::conv2d(input, &l.weight.value, &l.bias.value, &l.spec)?;
+                let dims = current.shape().dims().to_vec();
+                let idims = input.shape().dims();
+                l.input_hw = Some((idims[1], idims[2]));
+                let state = l
+                    .state
+                    .get_or_insert_with(|| LifState::new(current.len(), l.lif_params));
+                if state.len() != current.len() {
+                    *state = LifState::new(current.len(), l.lif_params);
+                }
+                let out = state.step(current.as_slice());
+                if record {
+                    if l.carry.len() != current.len() {
+                        l.carry = vec![0.0; current.len()];
+                    }
+                    l.tape.push(SpikeTape {
+                        input: input.clone(),
+                        pre_membrane: out.pre_reset_membrane,
+                        spikes: out.spikes.clone(),
+                    });
+                }
+                Tensor::from_vec(out.spikes, &dims).map_err(CoreError::from)
+            }
+            Layer::SpikingLinear(l) => {
+                let flat = if input.shape().rank() == 1 {
+                    input.clone()
+                } else {
+                    input.reshape(&[input.len()])?
+                };
+                let current = linalg::matvec(&l.weight.value, &flat)?.add(&l.bias.value)?;
+                let out = l.state.step(current.as_slice());
+                if record {
+                    l.tape.push(SpikeTape {
+                        input: flat,
+                        pre_membrane: out.pre_reset_membrane,
+                        spikes: out.spikes.clone(),
+                    });
+                }
+                let n = out.spikes.len();
+                Tensor::from_vec(out.spikes, &[n]).map_err(CoreError::from)
+            }
+            Layer::OutputLinear(l) => {
+                let flat = if input.shape().rank() == 1 {
+                    input.clone()
+                } else {
+                    input.reshape(&[input.len()])?
+                };
+                let out = linalg::matvec(&l.weight.value, &flat)?.add(&l.bias.value)?;
+                if record {
+                    l.inputs.push(flat);
+                }
+                Ok(out)
+            }
+            Layer::AvgPool2d(l) => {
+                l.input_dims = input.shape().dims().to_vec();
+                conv::avg_pool2d(input, l.window).map_err(CoreError::from)
+            }
+            Layer::MaxPool2d(l) => {
+                l.input_dims = input.shape().dims().to_vec();
+                let out = conv::max_pool2d(input, l.window)?;
+                if record {
+                    l.argmax_per_step.push(out.argmax);
+                }
+                Ok(out.output)
+            }
+            Layer::Flatten(l) => {
+                l.input_dims = input.shape().dims().to_vec();
+                input.reshape(&[input.len()]).map_err(CoreError::from)
+            }
+            Layer::Dropout(d) => {
+                if !d.train_mode || d.probability <= 0.0 {
+                    return Ok(input.clone());
+                }
+                let keep = 1.0 - d.probability;
+                if d.mask.as_ref().map(|m| m.len()) != Some(input.len()) {
+                    d.mask = Some(
+                        (0..input.len())
+                            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+                            .collect(),
+                    );
+                }
+                let mask = d.mask.as_ref().expect("mask was just ensured");
+                let data: Vec<f32> = input
+                    .as_slice()
+                    .iter()
+                    .zip(mask)
+                    .map(|(&v, &m)| v * m)
+                    .collect();
+                Tensor::from_vec(data, input.shape().dims()).map_err(CoreError::from)
+            }
+        }
+    }
+
+    /// Backward pass for time step `t` (must be called in strictly
+    /// decreasing `t` after a recorded forward pass).
+    ///
+    /// Returns the gradient with respect to the layer input at step `t`
+    /// and accumulates parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoRecordedForward`] when no tape exists for
+    /// step `t`.
+    pub fn backward_step(&mut self, grad_out: &Tensor, t: usize) -> Result<Tensor> {
+        match self {
+            Layer::SpikingConv2d(l) => {
+                let tape = l.tape.get(t).ok_or(CoreError::NoRecordedForward)?;
+                if l.carry.len() != tape.spikes.len() {
+                    l.carry = vec![0.0; tape.spikes.len()];
+                }
+                let leak = l.lif_params.leak;
+                let mut gv = vec![0.0f32; tape.spikes.len()];
+                for (i, g) in gv.iter_mut().enumerate() {
+                    let gs = grad_out.as_slice()[i];
+                    *g = gs * l.lif_params.surrogate_grad(tape.pre_membrane[i])
+                        + l.carry[i] * leak * (1.0 - tape.spikes[i]);
+                }
+                l.carry.copy_from_slice(&gv);
+                let (h, w) = l.input_hw.ok_or(CoreError::NoRecordedForward)?;
+                let (oh, ow) = l.spec.output_hw(h, w);
+                let gcur = Tensor::from_vec(gv, &[l.spec.out_channels, oh, ow])?;
+                let grads =
+                    conv::conv2d_backward(&tape.input, &l.weight.value, &gcur, &l.spec)?;
+                l.weight.grad = l.weight.grad.add(&grads.weight)?;
+                l.bias.grad = l.bias.grad.add(&grads.bias)?;
+                Ok(grads.input)
+            }
+            Layer::SpikingLinear(l) => {
+                let tape = l.tape.get(t).ok_or(CoreError::NoRecordedForward)?;
+                let leak = l.lif_params.leak;
+                let mut gv = vec![0.0f32; tape.spikes.len()];
+                for (i, g) in gv.iter_mut().enumerate() {
+                    let gs = grad_out.as_slice()[i];
+                    *g = gs * l.lif_params.surrogate_grad(tape.pre_membrane[i])
+                        + l.carry[i] * leak * (1.0 - tape.spikes[i]);
+                }
+                l.carry.copy_from_slice(&gv);
+                let n = gv.len();
+                let gvt = Tensor::from_vec(gv, &[n])?;
+                let gw = linalg::outer(&gvt, &tape.input)?;
+                l.weight.grad = l.weight.grad.add(&gw)?;
+                l.bias.grad = l.bias.grad.add(&gvt)?;
+                let wt = linalg::transpose(&l.weight.value)?;
+                linalg::matvec(&wt, &gvt).map_err(CoreError::from)
+            }
+            Layer::OutputLinear(l) => {
+                let input = l.inputs.get(t).ok_or(CoreError::NoRecordedForward)?;
+                let gw = linalg::outer(grad_out, input)?;
+                l.weight.grad = l.weight.grad.add(&gw)?;
+                l.bias.grad = l.bias.grad.add(grad_out)?;
+                let wt = linalg::transpose(&l.weight.value)?;
+                linalg::matvec(&wt, grad_out).map_err(CoreError::from)
+            }
+            Layer::AvgPool2d(l) => {
+                if l.input_dims.is_empty() {
+                    return Err(CoreError::NoRecordedForward);
+                }
+                conv::avg_pool2d_backward(grad_out, &l.input_dims, l.window)
+                    .map_err(CoreError::from)
+            }
+            Layer::MaxPool2d(l) => {
+                let argmax = l
+                    .argmax_per_step
+                    .get(t)
+                    .ok_or(CoreError::NoRecordedForward)?;
+                conv::max_pool2d_backward(grad_out, argmax, &l.input_dims)
+                    .map_err(CoreError::from)
+            }
+            Layer::Flatten(l) => {
+                if l.input_dims.is_empty() {
+                    return Err(CoreError::NoRecordedForward);
+                }
+                grad_out.reshape(&l.input_dims).map_err(CoreError::from)
+            }
+            Layer::Dropout(d) => {
+                if !d.train_mode || d.probability <= 0.0 {
+                    return Ok(grad_out.clone());
+                }
+                let mask = d.mask.as_ref().ok_or(CoreError::NoRecordedForward)?;
+                let data: Vec<f32> = grad_out
+                    .as_slice()
+                    .iter()
+                    .zip(mask)
+                    .map(|(&g, &m)| g * m)
+                    .collect();
+                Tensor::from_vec(data, grad_out.shape().dims()).map_err(CoreError::from)
+            }
+        }
+    }
+
+    /// Zeroes parameter gradients and the BPTT membrane-carry state.
+    pub fn zero_grads(&mut self) {
+        if let Some((w, b)) = self.params_mut() {
+            w.zero_grad();
+            b.zero_grad();
+        }
+        match self {
+            Layer::SpikingConv2d(l) => l.carry.fill(0.0),
+            Layer::SpikingLinear(l) => l.carry.fill(0.0),
+            _ => {}
+        }
+    }
+
+    /// Applies an SGD-with-momentum update to the layer parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors (cannot occur for well-formed layers).
+    pub fn apply_grads(&mut self, lr: f32, momentum: f32) -> Result<()> {
+        if let Some((w, b)) = self.params_mut() {
+            w.apply(lr, momentum)?;
+            b.apply(lr, momentum)?;
+        }
+        Ok(())
+    }
+
+    /// Number of spikes emitted at the most recent recorded step, if the
+    /// layer spikes. Used for the Eq. (1) spike statistics.
+    pub fn last_step_spike_count(&self) -> Option<f32> {
+        match self {
+            Layer::SpikingConv2d(l) => l.tape.last().map(|t| t.spikes.iter().sum()),
+            Layer::SpikingLinear(l) => l.tape.last().map(|t| t.spikes.iter().sum()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> SnnConfig {
+        SnnConfig {
+            threshold: 1.0,
+            time_steps: 4,
+            leak: 0.9,
+        }
+    }
+
+    #[test]
+    fn linear_layer_emits_binary_spikes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Layer::spiking_linear(&mut rng, 4, 3, &cfg());
+        let x = Tensor::ones(&[4]);
+        let y = l.forward_step(&x, false, &mut rng).unwrap();
+        assert_eq!(y.len(), 3);
+        assert!(y.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn conv_layer_output_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 4,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let mut l = Layer::spiking_conv2d(&mut rng, spec, &cfg());
+        let x = Tensor::ones(&[1, 8, 8]);
+        let y = l.forward_step(&x, false, &mut rng).unwrap();
+        assert_eq!(y.shape().dims(), &[4, 8, 8]);
+    }
+
+    #[test]
+    fn reset_clears_membrane() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Layer::spiking_linear(&mut rng, 2, 2, &cfg());
+        let x = Tensor::full(&[2], 0.4);
+        let a = l.forward_step(&x, false, &mut rng).unwrap();
+        l.reset();
+        let b = l.forward_step(&x, false, &mut rng).unwrap();
+        assert_eq!(a, b, "after reset the first step must be reproducible");
+    }
+
+    #[test]
+    fn dropout_identity_in_inference() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut d = Layer::dropout(0.5);
+        let x = Tensor::ones(&[10]);
+        let y = d.forward_step(&x, false, &mut rng).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn dropout_mask_fixed_across_steps() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut d = Layer::dropout(0.5);
+        d.set_train_mode(true);
+        let x = Tensor::ones(&[64]);
+        let a = d.forward_step(&x, false, &mut rng).unwrap();
+        let b = d.forward_step(&x, false, &mut rng).unwrap();
+        assert_eq!(a, b, "mask must persist within a sample");
+        d.reset();
+        let c = d.forward_step(&x, false, &mut rng).unwrap();
+        assert_ne!(a, c, "mask must be redrawn after reset");
+    }
+
+    #[test]
+    fn flatten_roundtrip_backward() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut f = Layer::flatten();
+        let x = Tensor::ones(&[2, 3, 4]);
+        let y = f.forward_step(&x, true, &mut rng).unwrap();
+        assert_eq!(y.shape().dims(), &[24]);
+        let g = f.backward_step(&Tensor::ones(&[24]), 0).unwrap();
+        assert_eq!(g.shape().dims(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Layer::spiking_linear(&mut rng, 2, 2, &cfg());
+        let e = l.backward_step(&Tensor::ones(&[2]), 0);
+        assert!(matches!(e, Err(CoreError::NoRecordedForward)));
+    }
+
+    #[test]
+    fn output_linear_accumulates_param_grads() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Layer::output_linear(&mut rng, 3, 2);
+        let x = Tensor::ones(&[3]);
+        l.forward_step(&x, true, &mut rng).unwrap();
+        let g = Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap();
+        l.backward_step(&g, 0).unwrap();
+        let (w, b) = l.params().unwrap();
+        assert_eq!(b.grad.as_slice(), &[1.0, -1.0]);
+        assert_eq!(w.grad.as_slice(), &[1.0, 1.0, 1.0, -1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn max_pool_layer_forward_and_backward() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Layer::max_pool2d(2);
+        assert_eq!(l.kind(), "max_pool2d");
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 0.0, 0.0, 2.0, //
+                0.0, 0.0, 0.0, 0.0, //
+                0.0, 3.0, 0.0, 0.0, //
+                0.0, 0.0, 0.0, 4.0,
+            ],
+            &[1, 4, 4],
+        )
+        .unwrap();
+        let y = l.forward_step(&x, true, &mut rng).unwrap();
+        assert_eq!(y.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        let g = l.backward_step(&Tensor::ones(&[1, 2, 2]), 0).unwrap();
+        assert_eq!(g.sum(), 4.0);
+        assert_eq!(g.at(&[0, 0, 0]).unwrap(), 1.0); // routed to the winner
+    }
+
+    #[test]
+    fn max_pool_backward_without_record_errors() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Layer::max_pool2d(2);
+        let x = Tensor::ones(&[1, 4, 4]);
+        l.forward_step(&x, false, &mut rng).unwrap();
+        assert!(l.backward_step(&Tensor::ones(&[1, 2, 2]), 0).is_err());
+    }
+
+    #[test]
+    fn set_lif_params_changes_firing() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Layer::spiking_linear(&mut rng, 4, 4, &cfg());
+        l.set_lif_params(LifParams {
+            threshold: 1000.0,
+            leak: 0.9,
+            surrogate_alpha: 2.0,
+        });
+        let x = Tensor::ones(&[4]);
+        let y = l.forward_step(&x, false, &mut rng).unwrap();
+        assert_eq!(y.sum(), 0.0, "huge threshold must silence the layer");
+    }
+}

@@ -1,0 +1,66 @@
+//! Spiking neural network core for the AxSNN reproduction.
+//!
+//! This crate implements the paper's model substrate end to end:
+//!
+//! * [`lif`] — leaky-integrate-and-fire neuron dynamics with a fast-sigmoid
+//!   surrogate gradient,
+//! * [`encoding`] — rate (Poisson / deterministic / direct-current) spike
+//!   encoders for static images,
+//! * [`layer`] — spiking convolution, linear, pooling, dropout and
+//!   integrator readout layers with full BPTT state,
+//! * [`network`] — [`network::SpikingNetwork`], a time-stepped simulator
+//!   over a layer stack,
+//! * [`train`] — surrogate-gradient backpropagation-through-time training,
+//! * [`ann`] — the reference (accurate) artificial twin network used both
+//!   by the paper's threat model for attack crafting and for fast
+//!   ANN→SNN conversion,
+//! * [`convert`] — data-based threshold balancing conversion,
+//! * [`approx`] — approximation levels and Eq. (1) `a_th` computation that
+//!   turn an AccSNN into an AxSNN,
+//! * [`io`] — serializable model snapshots (save a trained model once,
+//!   restore per grid point),
+//! * [`precision`] — FP32/FP16/INT8 precision scaling and scalar
+//!   quantization.
+//!
+//! # Example
+//!
+//! ```
+//! use axsnn_core::network::{SnnConfig, SpikingNetwork};
+//! use axsnn_core::layer::Layer;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), axsnn_core::CoreError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let cfg = SnnConfig { threshold: 1.0, time_steps: 8, leak: 0.9 };
+//! let net = SpikingNetwork::new(
+//!     vec![
+//!         Layer::spiking_linear(&mut rng, 4, 6, &cfg),
+//!         Layer::output_linear(&mut rng, 6, 2),
+//!     ],
+//!     cfg,
+//! )?;
+//! assert_eq!(net.config().time_steps, 8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod ann;
+pub mod approx;
+pub mod convert;
+pub mod encoding;
+pub mod io;
+pub mod layer;
+pub mod lif;
+pub mod network;
+pub mod precision;
+pub mod train;
+
+pub use error::CoreError;
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,315 @@
+//! Leaky-integrate-and-fire (LIF) neuron dynamics.
+//!
+//! The paper's SNNs (Sec. II) use the standard LIF model: each neuron
+//! integrates synaptic current into a membrane potential `v`; when `v`
+//! crosses the threshold voltage `V_th` the neuron emits a spike and the
+//! potential hard-resets to zero. Between spikes the potential decays by a
+//! multiplicative leak factor.
+//!
+//! For training, the non-differentiable Heaviside spike function is
+//! replaced in the backward pass by the *fast-sigmoid surrogate*
+//! `1 / (1 + α·|v − V_th|)²`, the de-facto standard surrogate gradient.
+
+use axsnn_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a population of LIF neurons.
+///
+/// # Example
+///
+/// ```
+/// use axsnn_core::lif::LifParams;
+///
+/// let p = LifParams { threshold: 1.0, leak: 0.9, surrogate_alpha: 2.0 };
+/// assert!(p.leak <= 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifParams {
+    /// Threshold voltage `V_th` above which the neuron fires.
+    pub threshold: f32,
+    /// Multiplicative membrane leak per time step (1.0 = perfect
+    /// integrator, 0.0 = memoryless).
+    pub leak: f32,
+    /// Sharpness `α` of the fast-sigmoid surrogate gradient.
+    pub surrogate_alpha: f32,
+}
+
+impl Default for LifParams {
+    fn default() -> Self {
+        LifParams {
+            threshold: 1.0,
+            leak: 0.9,
+            surrogate_alpha: 2.0,
+        }
+    }
+}
+
+impl LifParams {
+    /// Heaviside spike function: 1.0 when `v` crosses the threshold.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let p = axsnn_core::lif::LifParams::default();
+    /// assert_eq!(p.spike(1.5), 1.0);
+    /// assert_eq!(p.spike(0.5), 0.0);
+    /// ```
+    pub fn spike(&self, v: f32) -> f32 {
+        if v >= self.threshold {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Fast-sigmoid surrogate derivative of the spike function at
+    /// membrane potential `v`.
+    ///
+    /// Peaks at `v == threshold` with value 1 and decays quadratically.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let p = axsnn_core::lif::LifParams::default();
+    /// assert_eq!(p.surrogate_grad(p.threshold), 1.0);
+    /// assert!(p.surrogate_grad(p.threshold + 1.0) < 0.2);
+    /// ```
+    pub fn surrogate_grad(&self, v: f32) -> f32 {
+        let x = self.surrogate_alpha * (v - self.threshold).abs();
+        1.0 / ((1.0 + x) * (1.0 + x))
+    }
+}
+
+/// State of a population of LIF neurons: one membrane potential per neuron.
+///
+/// The state is advanced one time step at a time by [`LifState::step`],
+/// which consumes the synaptic input current for that step and returns the
+/// emitted spikes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifState {
+    membrane: Vec<f32>,
+    params: LifParams,
+}
+
+/// One time step's result: spikes and (pre-reset) membrane potentials.
+///
+/// The pre-reset potentials are what the surrogate gradient is evaluated
+/// at during BPTT, so [`LifState::step`] exposes them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutput {
+    /// Binary spikes (0.0 / 1.0) per neuron.
+    pub spikes: Vec<f32>,
+    /// Membrane potential per neuron evaluated before reset.
+    pub pre_reset_membrane: Vec<f32>,
+}
+
+impl LifState {
+    /// Creates a resting (zero-potential) population of `n` neurons.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use axsnn_core::lif::{LifParams, LifState};
+    ///
+    /// let s = LifState::new(10, LifParams::default());
+    /// assert_eq!(s.len(), 10);
+    /// ```
+    pub fn new(n: usize, params: LifParams) -> Self {
+        LifState {
+            membrane: vec![0.0; n],
+            params,
+        }
+    }
+
+    /// Number of neurons in the population.
+    pub fn len(&self) -> usize {
+        self.membrane.len()
+    }
+
+    /// Returns `true` when the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.membrane.is_empty()
+    }
+
+    /// The neuron parameters.
+    pub fn params(&self) -> LifParams {
+        self.params
+    }
+
+    /// Current membrane potentials.
+    pub fn membrane(&self) -> &[f32] {
+        &self.membrane
+    }
+
+    /// Resets all membrane potentials to zero (start of a new sample).
+    pub fn reset(&mut self) {
+        self.membrane.fill(0.0);
+    }
+
+    /// Advances the population one time step with synaptic input
+    /// `current` (one value per neuron).
+    ///
+    /// Dynamics: `v ← leak·v + I`; if `v ≥ V_th` emit a spike and
+    /// hard-reset `v` to 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `current.len()` differs from the population size; this
+    /// indicates a wiring bug in the layer above, not a user input error.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use axsnn_core::lif::{LifParams, LifState};
+    ///
+    /// let mut s = LifState::new(1, LifParams { threshold: 1.0, leak: 1.0, surrogate_alpha: 2.0 });
+    /// assert_eq!(s.step(&[0.6]).spikes, vec![0.0]); // v = 0.6
+    /// assert_eq!(s.step(&[0.6]).spikes, vec![1.0]); // v = 1.2 ≥ 1.0 → fire
+    /// assert_eq!(s.membrane()[0], 0.0);             // hard reset
+    /// ```
+    pub fn step(&mut self, current: &[f32]) -> StepOutput {
+        assert_eq!(
+            current.len(),
+            self.membrane.len(),
+            "synaptic current size {} != population size {}",
+            current.len(),
+            self.membrane.len()
+        );
+        let mut spikes = vec![0.0f32; self.membrane.len()];
+        let mut pre = vec![0.0f32; self.membrane.len()];
+        for (i, v) in self.membrane.iter_mut().enumerate() {
+            *v = self.params.leak * *v + current[i];
+            pre[i] = *v;
+            if *v >= self.params.threshold {
+                spikes[i] = 1.0;
+                *v = 0.0;
+            }
+        }
+        StepOutput {
+            spikes,
+            pre_reset_membrane: pre,
+        }
+    }
+
+    /// Spike probability per Eq. (1) of the paper: `min(1, V_m / V_th)`.
+    ///
+    /// Negative membrane potentials clamp to probability 0.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use axsnn_core::lif::{LifParams, LifState};
+    ///
+    /// let s = LifState::new(1, LifParams::default());
+    /// assert_eq!(s.spike_probability(0.5), 0.5);
+    /// assert_eq!(s.spike_probability(3.0), 1.0);
+    /// assert_eq!(s.spike_probability(-1.0), 0.0);
+    /// ```
+    pub fn spike_probability(&self, membrane: f32) -> f32 {
+        if self.params.threshold <= 0.0 {
+            return 1.0;
+        }
+        (membrane / self.params.threshold).clamp(0.0, 1.0)
+    }
+}
+
+/// Applies the Heaviside spike function to a whole tensor of membrane
+/// potentials, producing a binary spike tensor.
+///
+/// # Example
+///
+/// ```
+/// use axsnn_core::lif::{spike_tensor, LifParams};
+/// use axsnn_tensor::Tensor;
+///
+/// let v = Tensor::from_vec(vec![0.5, 1.5, -0.2], &[3]).unwrap();
+/// let s = spike_tensor(&v, &LifParams::default());
+/// assert_eq!(s.as_slice(), &[0.0, 1.0, 0.0]);
+/// ```
+pub fn spike_tensor(membrane: &Tensor, params: &LifParams) -> Tensor {
+    membrane.map(|v| params.spike(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leak_decays_membrane() {
+        let mut s = LifState::new(1, LifParams {
+            threshold: 10.0,
+            leak: 0.5,
+            surrogate_alpha: 2.0,
+        });
+        s.step(&[1.0]); // v = 1.0
+        s.step(&[0.0]); // v = 0.5
+        assert!((s.membrane()[0] - 0.5).abs() < 1e-6);
+        s.step(&[0.0]); // v = 0.25
+        assert!((s.membrane()[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fires_exactly_at_threshold() {
+        let mut s = LifState::new(1, LifParams {
+            threshold: 1.0,
+            leak: 1.0,
+            surrogate_alpha: 2.0,
+        });
+        let out = s.step(&[1.0]);
+        assert_eq!(out.spikes, vec![1.0]);
+        assert_eq!(out.pre_reset_membrane, vec![1.0]);
+        assert_eq!(s.membrane()[0], 0.0);
+    }
+
+    #[test]
+    fn higher_threshold_fires_less() {
+        let fire_count = |vth: f32| {
+            let mut s = LifState::new(1, LifParams {
+                threshold: vth,
+                leak: 0.9,
+                surrogate_alpha: 2.0,
+            });
+            (0..20)
+                .map(|_| s.step(&[0.4]).spikes[0])
+                .sum::<f32>()
+        };
+        assert!(fire_count(0.5) > fire_count(1.0));
+        assert!(fire_count(1.0) > fire_count(3.0));
+    }
+
+    #[test]
+    fn surrogate_is_symmetric_and_peaked() {
+        let p = LifParams::default();
+        let at = p.surrogate_grad(p.threshold);
+        let below = p.surrogate_grad(p.threshold - 0.5);
+        let above = p.surrogate_grad(p.threshold + 0.5);
+        assert_eq!(at, 1.0);
+        assert!((below - above).abs() < 1e-6);
+        assert!(below < at);
+    }
+
+    #[test]
+    fn reset_zeroes_state() {
+        let mut s = LifState::new(3, LifParams::default());
+        s.step(&[0.5, 0.4, 0.3]);
+        s.reset();
+        assert!(s.membrane().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn spike_probability_clamps() {
+        let s = LifState::new(1, LifParams {
+            threshold: 2.0,
+            ..LifParams::default()
+        });
+        assert_eq!(s.spike_probability(1.0), 0.5);
+        assert_eq!(s.spike_probability(5.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "synaptic current size")]
+    fn step_panics_on_size_mismatch() {
+        let mut s = LifState::new(2, LifParams::default());
+        s.step(&[1.0]);
+    }
+}

@@ -1,0 +1,387 @@
+//! Precision scaling: FP32 / FP16 / INT8 weight quantization and the
+//! scalar quantization step `q_t` used by AQF and Table II.
+//!
+//! Precision scaling is the paper's first defense knob (Algorithm 1,
+//! line 8): quantizing the weights of an AxSNN changes which connections
+//! survive the `a_th` cut and — per QuSecNets \[12\] — acts as a gradient
+//! obfuscation / denoising defense. FP16 is emulated in software with a
+//! correct round-to-nearest-even `f32 → f16 → f32` round trip; INT8 is
+//! symmetric per-tensor affine quantization.
+
+
+use crate::network::SpikingNetwork;
+use axsnn_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Precision scale applied to network weights.
+///
+/// # Example
+///
+/// ```
+/// use axsnn_core::precision::PrecisionScale;
+///
+/// assert_eq!(PrecisionScale::Int8.to_string(), "INT8");
+/// assert_eq!(PrecisionScale::Fp32.bits(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrecisionScale {
+    /// Native single precision (identity quantization).
+    Fp32,
+    /// IEEE-754 binary16, software emulated.
+    Fp16,
+    /// Symmetric per-tensor 8-bit integers.
+    Int8,
+}
+
+impl PrecisionScale {
+    /// All scales in the order the paper sweeps them.
+    pub const ALL: [PrecisionScale; 3] =
+        [PrecisionScale::Fp32, PrecisionScale::Fp16, PrecisionScale::Int8];
+
+    /// Bit width of the representation.
+    pub fn bits(&self) -> u32 {
+        match self {
+            PrecisionScale::Fp32 => 32,
+            PrecisionScale::Fp16 => 16,
+            PrecisionScale::Int8 => 8,
+        }
+    }
+
+    /// Quantizes a tensor to this precision and dequantizes back to f32.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use axsnn_core::precision::PrecisionScale;
+    /// use axsnn_tensor::Tensor;
+    ///
+    /// let w = Tensor::from_vec(vec![0.1234567, -1.0], &[2]).unwrap();
+    /// let q = PrecisionScale::Int8.quantize_tensor(&w);
+    /// // 8-bit grid: 127 levels of max|w| = 1.0.
+    /// assert!((q.as_slice()[0] - 0.1234567).abs() < 1.0 / 127.0);
+    /// assert_eq!(q.as_slice()[1], -1.0);
+    /// ```
+    pub fn quantize_tensor(&self, t: &Tensor) -> Tensor {
+        match self {
+            PrecisionScale::Fp32 => t.clone(),
+            PrecisionScale::Fp16 => t.map(|v| f16_round_trip(v)),
+            PrecisionScale::Int8 => {
+                let max = t.linf_norm();
+                if max == 0.0 {
+                    return t.clone();
+                }
+                let scale = max / 127.0;
+                t.map(|v| (v / scale).round().clamp(-127.0, 127.0) * scale)
+            }
+        }
+    }
+}
+
+impl fmt::Display for PrecisionScale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrecisionScale::Fp32 => write!(f, "FP32"),
+            PrecisionScale::Fp16 => write!(f, "FP16"),
+            PrecisionScale::Int8 => write!(f, "INT8"),
+        }
+    }
+}
+
+/// Quantizes all weights and biases of a spiking network in place.
+///
+/// Returns the number of parameter tensors touched.
+///
+/// # Example
+///
+/// ```
+/// use axsnn_core::layer::Layer;
+/// use axsnn_core::network::{SnnConfig, SpikingNetwork};
+/// use axsnn_core::precision::{apply_precision, PrecisionScale};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), axsnn_core::CoreError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let cfg = SnnConfig::default();
+/// let mut net = SpikingNetwork::new(
+///     vec![
+///         Layer::spiking_linear(&mut rng, 4, 4, &cfg),
+///         Layer::output_linear(&mut rng, 4, 2),
+///     ],
+///     cfg,
+/// )?;
+/// assert_eq!(apply_precision(&mut net, PrecisionScale::Int8), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn apply_precision(net: &mut SpikingNetwork, scale: PrecisionScale) -> usize {
+    let mut touched = 0usize;
+    for layer in net.layers_mut() {
+        if let Some((w, b)) = layer.params_mut() {
+            w.value = scale.quantize_tensor(&w.value);
+            b.value = scale.quantize_tensor(&b.value);
+            touched += 1;
+        }
+    }
+    touched
+}
+
+/// Quantizes every layer's weights with a *scalar step* `q_t`
+/// (`w ← round(w/q_t)·q_t`) — the quantization used by Table II's
+/// `(q_t, a_th)` combinations and Algorithm 2's event preprocessing.
+///
+/// A step of `0.0` is the identity (matching Table II's `(0.0, 0.001)`
+/// row).
+pub fn apply_step_quantization(net: &mut SpikingNetwork, step: f32) -> usize {
+    if step <= 0.0 {
+        return 0;
+    }
+    let mut touched = 0usize;
+    for layer in net.layers_mut() {
+        if let Some((w, b)) = layer.params_mut() {
+            w.value = quantize_step_tensor(&w.value, step);
+            b.value = quantize_step_tensor(&b.value, step);
+            touched += 1;
+        }
+    }
+    touched
+}
+
+/// Scalar step quantization of a tensor: `round(v/step)·step`.
+///
+/// # Example
+///
+/// ```
+/// use axsnn_core::precision::quantize_step_tensor;
+/// use axsnn_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![0.26, -0.24], &[2]).unwrap();
+/// let q = quantize_step_tensor(&t, 0.1);
+/// assert!((q.as_slice()[0] - 0.3).abs() < 1e-6);
+/// assert!((q.as_slice()[1] + 0.2).abs() < 1e-6);
+/// ```
+pub fn quantize_step_tensor(t: &Tensor, step: f32) -> Tensor {
+    if step <= 0.0 {
+        return t.clone();
+    }
+    t.map(|v| (v / step).round() * step)
+}
+
+/// Scalar step quantization of a single value.
+pub fn quantize_step(v: f32, step: f32) -> f32 {
+    if step <= 0.0 {
+        v
+    } else {
+        (v / step).round() * step
+    }
+}
+
+/// Converts `f32 → IEEE binary16 → f32` with round-to-nearest-even.
+///
+/// Out-of-range magnitudes saturate to ±∞ as real fp16 hardware would;
+/// NaN round-trips to NaN.
+///
+/// # Example
+///
+/// ```
+/// let v = axsnn_core::precision::f16_round_trip(1.0005);
+/// assert!((v - 1.0005).abs() < 0.001); // fp16 has ~3 decimal digits
+/// ```
+pub fn f16_round_trip(v: f32) -> f32 {
+    f16_to_f32(f32_to_f16(v))
+}
+
+/// Converts an `f32` to raw IEEE binary16 bits (round-to-nearest-even).
+pub fn f32_to_f16(v: f32) -> u16 {
+    let bits = v.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf or NaN.
+        return sign | 0x7c00 | if mant != 0 { 0x0200 } else { 0 };
+    }
+    // Re-bias from 127 to 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow → inf
+    }
+    if unbiased >= -14 {
+        // Normal half.
+        let half_exp = (unbiased + 15) as u32;
+        let mut half_mant = mant >> 13;
+        let round_bits = mant & 0x1fff;
+        // Round to nearest even.
+        if round_bits > 0x1000 || (round_bits == 0x1000 && (half_mant & 1) == 1) {
+            half_mant += 1;
+        }
+        // Mantissa overflow carries into the exponent (still valid bits).
+        return sign | ((half_exp << 10) as u16).wrapping_add(half_mant as u16);
+    }
+    if unbiased >= -24 {
+        // Subnormal half.
+        let shift = (-14 - unbiased) as u32;
+        let full_mant = mant | 0x0080_0000; // implicit leading 1
+        let mut half_mant = full_mant >> (13 + shift);
+        let rem = full_mant & ((1u32 << (13 + shift)) - 1);
+        let half_point = 1u32 << (12 + shift);
+        if rem > half_point || (rem == half_point && (half_mant & 1) == 1) {
+            half_mant += 1;
+        }
+        return sign | half_mant as u16;
+    }
+    sign // underflow → signed zero
+}
+
+/// Converts raw IEEE binary16 bits back to `f32`.
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mant = (h & 0x03ff) as u32;
+    let bits = if exp == 0 {
+        if mant == 0 {
+            sign // signed zero
+        } else {
+            // Subnormal half = mant · 2⁻²⁴; exact in f32.
+            let mag = mant as f32 * 2.0f32.powi(-24);
+            return if sign != 0 { -mag } else { mag };
+        }
+    } else if exp == 0x1f {
+        sign | 0x7f80_0000 | (mant << 13) // inf / nan
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mant << 13)
+    };
+    f32::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use crate::network::SnnConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn f16_exact_values_survive() {
+        for &v in &[0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0] {
+            assert_eq!(f16_round_trip(v), v, "{v} should be exactly representable");
+        }
+    }
+
+    #[test]
+    fn f16_signed_zero_and_specials() {
+        assert_eq!(f16_round_trip(-0.0).to_bits(), (-0.0f32).to_bits());
+        assert_eq!(f16_round_trip(f32::INFINITY), f32::INFINITY);
+        assert_eq!(f16_round_trip(f32::NEG_INFINITY), f32::NEG_INFINITY);
+        assert!(f16_round_trip(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn f16_overflow_saturates_to_inf() {
+        assert_eq!(f16_round_trip(1e6), f32::INFINITY);
+        assert_eq!(f16_round_trip(-1e6), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn f16_subnormals() {
+        // Smallest positive half subnormal is 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(f16_round_trip(tiny), tiny);
+        // Below half of that underflows to zero.
+        assert_eq!(f16_round_trip(2.0f32.powi(-26)), 0.0);
+    }
+
+    #[test]
+    fn f16_error_bounded_by_relative_epsilon() {
+        let mut x = 0.001f32;
+        while x < 100.0 {
+            let r = f16_round_trip(x);
+            let rel = ((r - x) / x).abs();
+            assert!(rel < 1.0 / 1024.0, "fp16 relative error too big at {x}: {rel}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn int8_grid_has_255_levels() {
+        let t = Tensor::from_vec((0..1000).map(|i| i as f32 / 500.0 - 1.0).collect(), &[1000])
+            .unwrap();
+        let q = PrecisionScale::Int8.quantize_tensor(&t);
+        let mut levels: Vec<i64> = q
+            .as_slice()
+            .iter()
+            .map(|&v| (v * 127.0 / q.linf_norm()).round() as i64)
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        assert!(levels.len() <= 255);
+        assert!(levels.len() > 200, "should use most of the grid");
+    }
+
+    #[test]
+    fn int8_zero_tensor_is_identity() {
+        let t = Tensor::zeros(&[4]);
+        assert_eq!(PrecisionScale::Int8.quantize_tensor(&t), t);
+    }
+
+    #[test]
+    fn fp32_is_identity() {
+        let t = Tensor::from_vec(vec![0.123456789, -9.87], &[2]).unwrap();
+        assert_eq!(PrecisionScale::Fp32.quantize_tensor(&t), t);
+    }
+
+    #[test]
+    fn quantization_error_ordering() {
+        // INT8 error ≥ FP16 error ≥ FP32 error on a generic tensor.
+        let t = Tensor::from_vec(
+            (0..256).map(|i| (i as f32 * 0.731).sin()).collect(),
+            &[256],
+        )
+        .unwrap();
+        let err = |s: PrecisionScale| s.quantize_tensor(&t).sub(&t).unwrap().l2_norm();
+        assert_eq!(err(PrecisionScale::Fp32), 0.0);
+        assert!(err(PrecisionScale::Fp16) <= err(PrecisionScale::Int8));
+    }
+
+    #[test]
+    fn step_quantization_rounds() {
+        assert_eq!(quantize_step(0.26, 0.1), 0.30000001192092896f32.min(0.3));
+        assert_eq!(quantize_step(1.0, 0.0), 1.0);
+        let t = Tensor::from_vec(vec![0.04, 0.06], &[2]).unwrap();
+        let q = quantize_step_tensor(&t, 0.1);
+        assert_eq!(q.as_slice()[0], 0.0);
+        assert!((q.as_slice()[1] - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn apply_precision_touches_all_param_layers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = SnnConfig::default();
+        let mut net = crate::network::SpikingNetwork::new(
+            vec![
+                Layer::spiking_linear(&mut rng, 4, 4, &cfg),
+                Layer::flatten(),
+                Layer::output_linear(&mut rng, 4, 2),
+            ],
+            cfg,
+        )
+        .unwrap();
+        assert_eq!(apply_precision(&mut net, PrecisionScale::Fp16), 2);
+    }
+
+    #[test]
+    fn exhaustive_f16_f32_f16_roundtrip() {
+        // Every finite half value must round-trip exactly through f32.
+        for h in 0..=0xffffu16 {
+            let exp = (h >> 10) & 0x1f;
+            if exp == 0x1f {
+                continue; // inf/nan handled elsewhere
+            }
+            let f = f16_to_f32(h);
+            let back = f32_to_f16(f);
+            assert_eq!(back, h, "half bits {h:#06x} → {f} → {back:#06x}");
+        }
+    }
+}

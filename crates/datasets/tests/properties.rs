@@ -1,0 +1,89 @@
+//! Property-based tests for the synthetic dataset generators.
+
+use axsnn_datasets::dvs::{DvsGestureConfig, SyntheticDvsGestures, CLASSES as DVS_CLASSES};
+use axsnn_datasets::mnist::{MnistConfig, SyntheticMnist, CLASSES as MNIST_CLASSES};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every rendered digit stays in [0,1] with visible ink, at any size
+    /// divisible by 4 and any seed.
+    #[test]
+    fn mnist_render_invariants(size4 in 3usize..8, digit in 0usize..MNIST_CLASSES, seed in 0u64..500) {
+        let size = size4 * 4;
+        let gen = SyntheticMnist::new(MnistConfig {
+            size,
+            train_per_class: 1,
+            test_per_class: 0,
+            noise: 0.02,
+            seed,
+        });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let img = gen.render(digit, &mut rng);
+        prop_assert_eq!(img.shape().dims(), &[1, size, size]);
+        prop_assert!(img.min() >= 0.0 && img.max() <= 1.0);
+        prop_assert!(img.sum() > 1.0, "digit {digit} at {size} nearly blank");
+    }
+
+    /// Dataset splits have the exact requested sizes and balanced labels.
+    #[test]
+    fn mnist_split_sizes(train in 1usize..5, test in 1usize..4, seed in 0u64..100) {
+        let d = SyntheticMnist::new(MnistConfig {
+            size: 16,
+            train_per_class: train,
+            test_per_class: test,
+            noise: 0.02,
+            seed,
+        }).generate();
+        prop_assert_eq!(d.train.len(), train * MNIST_CLASSES);
+        prop_assert_eq!(d.test.len(), test * MNIST_CLASSES);
+        for c in 0..MNIST_CLASSES {
+            prop_assert_eq!(d.train.iter().filter(|(_, l)| *l == c).count(), train);
+            prop_assert_eq!(d.test.iter().filter(|(_, l)| *l == c).count(), test);
+        }
+    }
+
+    /// Every generated gesture stream is valid for its sensor and
+    /// non-trivially populated.
+    #[test]
+    fn dvs_sample_invariants(class in 0usize..DVS_CLASSES, seed in 0u64..200) {
+        let gen = SyntheticDvsGestures::new(DvsGestureConfig {
+            train_per_class: 1,
+            test_per_class: 0,
+            micro_steps: 40,
+            events_per_step: 3,
+            noise_events: 5,
+            ..DvsGestureConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = gen.generate_sample(class, &mut rng);
+        prop_assert!(s.len() > 30);
+        for e in s.events() {
+            prop_assert!((e.x as usize) < s.width());
+            prop_assert!((e.y as usize) < s.height());
+            prop_assert!((0.0..1.0).contains(&e.t));
+        }
+        // Time-sorted by construction.
+        for pair in s.events().windows(2) {
+            prop_assert!(pair[0].t <= pair[1].t);
+        }
+    }
+
+    /// Seeded generation is a pure function of the configuration.
+    #[test]
+    fn generators_deterministic(seed in 0u64..100) {
+        let cfg = MnistConfig {
+            size: 16,
+            train_per_class: 2,
+            test_per_class: 1,
+            noise: 0.05,
+            seed,
+        };
+        let a = SyntheticMnist::new(cfg).generate();
+        let b = SyntheticMnist::new(cfg).generate();
+        prop_assert_eq!(a.train[0].0.as_slice(), b.train[0].0.as_slice());
+    }
+}

@@ -1,0 +1,112 @@
+use axsnn_attacks::AttackError;
+use axsnn_core::CoreError;
+use axsnn_neuromorphic::NeuroError;
+use axsnn_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for defense evaluation and search.
+///
+/// # Example
+///
+/// ```
+/// use axsnn_defense::DefenseError;
+///
+/// let e = DefenseError::InvalidSearchSpace { message: "empty threshold grid".into() };
+/// assert!(e.to_string().contains("threshold"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DefenseError {
+    /// The Algorithm 1 search space or configuration is invalid.
+    InvalidSearchSpace {
+        /// Description of the violated precondition.
+        message: String,
+    },
+    /// Evaluation data is empty or malformed.
+    InvalidData {
+        /// Description of the problem.
+        message: String,
+    },
+    /// An underlying model operation failed.
+    Core(CoreError),
+    /// An attack failed.
+    Attack(AttackError),
+    /// An event-stream operation failed.
+    Neuro(NeuroError),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for DefenseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DefenseError::InvalidSearchSpace { message } => {
+                write!(f, "invalid search space: {message}")
+            }
+            DefenseError::InvalidData { message } => write!(f, "invalid data: {message}"),
+            DefenseError::Core(e) => write!(f, "core error: {e}"),
+            DefenseError::Attack(e) => write!(f, "attack error: {e}"),
+            DefenseError::Neuro(e) => write!(f, "event error: {e}"),
+            DefenseError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for DefenseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DefenseError::Core(e) => Some(e),
+            DefenseError::Attack(e) => Some(e),
+            DefenseError::Neuro(e) => Some(e),
+            DefenseError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for DefenseError {
+    fn from(e: CoreError) -> Self {
+        DefenseError::Core(e)
+    }
+}
+
+impl From<AttackError> for DefenseError {
+    fn from(e: AttackError) -> Self {
+        DefenseError::Attack(e)
+    }
+}
+
+impl From<NeuroError> for DefenseError {
+    fn from(e: NeuroError) -> Self {
+        DefenseError::Neuro(e)
+    }
+}
+
+impl From<TensorError> for DefenseError {
+    fn from(e: TensorError) -> Self {
+        DefenseError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DefenseError>();
+    }
+
+    #[test]
+    fn conversion_chain() {
+        let te = TensorError::LengthMismatch {
+            expected: 1,
+            actual: 2,
+        };
+        let ae: AttackError = te.into();
+        let de: DefenseError = ae.into();
+        assert!(Error::source(&de).is_some());
+    }
+}

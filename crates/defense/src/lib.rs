@@ -1,0 +1,38 @@
+//! Security-aware AxSNN defenses (the paper's core contribution).
+//!
+//! * [`metrics`] — robustness evaluation: clean/adversarial accuracy and
+//!   the paper's robustness metric `R(ε) = (1 − adv/|Dts|)·100` for both
+//!   static (PGD/BIM) and neuromorphic (Sparse/Frame) attacks, with an
+//!   optional AQF preprocessing stage,
+//! * [`search`] — Algorithm 1: the precision-scaling robustness search
+//!   over `(V_th, T, precision scale, a_th)` under a quality constraint
+//!   `Q`,
+//! * [`scenario`] — reusable end-to-end experiment scenarios (train the
+//!   accurate model, convert, approximate, attack, defend) shared by the
+//!   examples and the benchmark harness,
+//! * [`adv_train`] — FGSM adversarial training of the accurate twin (the
+//!   paper's future-work hardening, stackable with precision scaling).
+//!
+//! # Example
+//!
+//! ```
+//! use axsnn_defense::metrics::RobustnessOutcome;
+//!
+//! let r = RobustnessOutcome { clean_accuracy: 95.0, adversarial_accuracy: 80.0, robustness: 80.0, samples: 100 };
+//! assert_eq!(r.accuracy_loss(), 15.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod adv_train;
+pub mod metrics;
+pub mod scenario;
+pub mod search;
+
+pub use error::DefenseError;
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, DefenseError>;

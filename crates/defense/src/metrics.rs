@@ -1,0 +1,241 @@
+//! Robustness evaluation metrics.
+//!
+//! Implements the paper's robustness accounting: an attack *succeeds* on a
+//! sample when the victim's prediction under the adversarial input differs
+//! from the true label; `R(ε) = (1 − adv/|Dts|)·100` (Algorithm 1,
+//! line 21). Accuracy loss is always reported against a caller-supplied
+//! baseline (the AccSNN's clean accuracy in most of the paper's tables).
+
+use crate::{DefenseError, Result};
+use axsnn_attacks::gradient::{GradientSource, ImageAttack};
+use axsnn_attacks::neuromorphic::{
+    EventModel, FrameAttack, SnnEventModel, SparseAttack,
+};
+use axsnn_core::encoding::Encoder;
+use axsnn_core::network::SpikingNetwork;
+use axsnn_neuromorphic::aqf::{approximate_quantized_filter, AqfConfig};
+use axsnn_neuromorphic::event::EventStream;
+use axsnn_tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a robustness evaluation.
+///
+/// # Example
+///
+/// ```
+/// use axsnn_defense::metrics::RobustnessOutcome;
+///
+/// let o = RobustnessOutcome { clean_accuracy: 92.0, adversarial_accuracy: 15.0, robustness: 15.0, samples: 44 };
+/// assert_eq!(o.accuracy_loss(), 77.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessOutcome {
+    /// Accuracy on clean inputs, percent.
+    pub clean_accuracy: f32,
+    /// Accuracy under attack, percent.
+    pub adversarial_accuracy: f32,
+    /// The paper's `R(ε)` — rate of failed attacks, percent.
+    pub robustness: f32,
+    /// Number of evaluated samples.
+    pub samples: usize,
+}
+
+impl RobustnessOutcome {
+    /// Accuracy loss of the attacked model against its own clean
+    /// accuracy.
+    pub fn accuracy_loss(&self) -> f32 {
+        self.clean_accuracy - self.adversarial_accuracy
+    }
+
+    /// Accuracy loss against an external baseline (e.g. the AccSNN's
+    /// clean accuracy, the comparison the paper's headline numbers use).
+    pub fn accuracy_loss_vs(&self, baseline_accuracy: f32) -> f32 {
+        baseline_accuracy - self.adversarial_accuracy
+    }
+}
+
+/// Evaluates a spiking network under a gradient-based image attack.
+///
+/// For every `(image, label)` pair the attack crafts an adversarial image
+/// through `source` (the adversary's surrogate, usually the accurate ANN)
+/// and the victim SNN classifies both the clean and adversarial image.
+///
+/// # Errors
+///
+/// Returns [`DefenseError::InvalidData`] for empty data and propagates
+/// attack/model failures.
+pub fn evaluate_image_attack<A: ImageAttack, R: Rng>(
+    victim: &mut SpikingNetwork,
+    source: &mut dyn GradientSource,
+    attack: &A,
+    data: &[(Tensor, usize)],
+    encoder: Encoder,
+    rng: &mut R,
+) -> Result<RobustnessOutcome> {
+    if data.is_empty() {
+        return Err(DefenseError::InvalidData {
+            message: "evaluation data must be non-empty".into(),
+        });
+    }
+    let mut clean_correct = 0usize;
+    let mut adv_correct = 0usize;
+    for (image, label) in data {
+        if victim.classify(image, encoder, rng)? == *label {
+            clean_correct += 1;
+        }
+        let adversarial = attack.perturb(source, image, *label, rng)?;
+        if victim.classify(&adversarial, encoder, rng)? == *label {
+            adv_correct += 1;
+        }
+    }
+    let n = data.len() as f32;
+    let adv_acc = 100.0 * adv_correct as f32 / n;
+    Ok(RobustnessOutcome {
+        clean_accuracy: 100.0 * clean_correct as f32 / n,
+        adversarial_accuracy: adv_acc,
+        robustness: adv_acc,
+        samples: data.len(),
+    })
+}
+
+/// Evaluates clean accuracy of a spiking network on image data.
+///
+/// # Errors
+///
+/// Returns [`DefenseError::InvalidData`] for empty data.
+pub fn clean_image_accuracy<R: Rng>(
+    victim: &mut SpikingNetwork,
+    data: &[(Tensor, usize)],
+    encoder: Encoder,
+    rng: &mut R,
+) -> Result<f32> {
+    if data.is_empty() {
+        return Err(DefenseError::InvalidData {
+            message: "evaluation data must be non-empty".into(),
+        });
+    }
+    let mut correct = 0usize;
+    for (image, label) in data {
+        if victim.classify(image, encoder, rng)? == *label {
+            correct += 1;
+        }
+    }
+    Ok(100.0 * correct as f32 / data.len() as f32)
+}
+
+/// A neuromorphic attack choice for event-domain evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventAttackKind {
+    /// No attack (clean evaluation).
+    None,
+    /// The loss-guided sparse attack.
+    Sparse(SparseAttack),
+    /// The boundary frame attack.
+    Frame(FrameAttack),
+}
+
+impl EventAttackKind {
+    /// Attack name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventAttackKind::None => "None",
+            EventAttackKind::Sparse(a) => a.name(),
+            EventAttackKind::Frame(a) => a.name(),
+        }
+    }
+}
+
+/// Evaluates a spiking network on event streams under a neuromorphic
+/// attack, optionally protected by AQF (Algorithm 2).
+///
+/// The sparse attack queries `surrogate` (the adversary's accurate model
+/// per the threat model); the frame attack is model-free. When `aqf` is
+/// set, the *victim* filters every incoming stream before classification
+/// — the defended pipeline of Table II.
+///
+/// # Errors
+///
+/// Returns [`DefenseError::InvalidData`] for empty data and propagates
+/// attack/filter/model failures.
+pub fn evaluate_event_attack<R: Rng>(
+    victim: &mut SpikingNetwork,
+    surrogate: &mut SpikingNetwork,
+    attack: EventAttackKind,
+    data: &[(EventStream, usize)],
+    aqf: Option<&AqfConfig>,
+    rng: &mut R,
+) -> Result<RobustnessOutcome> {
+    if data.is_empty() {
+        return Err(DefenseError::InvalidData {
+            message: "evaluation data must be non-empty".into(),
+        });
+    }
+    let mut clean_correct = 0usize;
+    let mut adv_correct = 0usize;
+    for (stream, label) in data {
+        // Craft the adversarial stream against the surrogate.
+        let adversarial = match attack {
+            EventAttackKind::None => stream.clone(),
+            EventAttackKind::Sparse(a) => {
+                let mut model = SnnEventModel::new(surrogate);
+                a.perturb(&mut model, stream, *label, rng)?
+            }
+            EventAttackKind::Frame(a) => a.perturb(stream)?,
+        };
+        // Victim pipeline: optional AQF, then classify.
+        let classify = |victim: &mut SpikingNetwork, s: &EventStream| -> Result<usize> {
+            let filtered;
+            let input = match aqf {
+                Some(cfg) => {
+                    let (f, _) = approximate_quantized_filter(s, cfg)?;
+                    filtered = f;
+                    &filtered
+                }
+                None => s,
+            };
+            let mut model = SnnEventModel::new(victim);
+            Ok(model.predict(input)?)
+        };
+        if classify(victim, stream)? == *label {
+            clean_correct += 1;
+        }
+        if classify(victim, &adversarial)? == *label {
+            adv_correct += 1;
+        }
+    }
+    let n = data.len() as f32;
+    let adv_acc = 100.0 * adv_correct as f32 / n;
+    Ok(RobustnessOutcome {
+        clean_accuracy: 100.0 * clean_correct as f32 / n,
+        adversarial_accuracy: adv_acc,
+        robustness: adv_acc,
+        samples: data.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_arithmetic() {
+        let o = RobustnessOutcome {
+            clean_accuracy: 90.0,
+            adversarial_accuracy: 40.0,
+            robustness: 40.0,
+            samples: 10,
+        };
+        assert_eq!(o.accuracy_loss(), 50.0);
+        assert_eq!(o.accuracy_loss_vs(97.0), 57.0);
+    }
+
+    #[test]
+    fn attack_kind_names() {
+        assert_eq!(EventAttackKind::None.name(), "None");
+        let s = EventAttackKind::Sparse(SparseAttack::new(Default::default()));
+        assert_eq!(s.name(), "Sparse");
+        let f = EventAttackKind::Frame(FrameAttack::new(Default::default()));
+        assert_eq!(f.name(), "Frame");
+    }
+}

@@ -1,0 +1,382 @@
+//! Algorithm 1 — precision-scaling robustness search.
+//!
+//! The search explores the grid of threshold voltages, time steps and
+//! precision scales; for each candidate it trains/obtains an accurate SNN
+//! (line 3, via a caller-supplied trainer so both surrogate-gradient
+//! training and ANN→SNN conversion plug in), verifies the quality
+//! constraint `Q` (line 4), crafts adversarial examples on the accurate
+//! model (line 5), precision-scales and approximates the network with the
+//! Eq. (1) `a_th` (lines 8–11), and measures the robustness
+//! `R(ε) = (1 − adv/|Dts|)·100` (line 21). The first configuration with
+//! `R ≥ Q` is returned (lines 22–24), along with the full evaluation
+//! trace for Table I-style reporting.
+
+use crate::metrics::{evaluate_image_attack, RobustnessOutcome};
+use crate::{DefenseError, Result};
+use axsnn_attacks::gradient::{AnnGradientSource, AttackBudget, Bim, Pgd};
+use axsnn_core::ann::AnnNetwork;
+use axsnn_core::approx::apply_eq1_approximation;
+use axsnn_core::encoding::Encoder;
+use axsnn_core::network::{SnnConfig, SpikingNetwork};
+use axsnn_core::precision::{apply_precision, PrecisionScale};
+use axsnn_tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Gradient attack selection for the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StaticAttackKind {
+    /// Projected gradient descent.
+    Pgd,
+    /// Basic iterative method.
+    Bim,
+}
+
+impl StaticAttackKind {
+    /// Attack name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StaticAttackKind::Pgd => "PGD",
+            StaticAttackKind::Bim => "BIM",
+        }
+    }
+}
+
+/// The (V_th, T, precision, a_th-scale) grid Algorithm 1 sweeps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Threshold voltages to test (paper: 0.25..=2.25 step 0.25).
+    pub thresholds: Vec<f32>,
+    /// Time steps to test (paper: 32..=80 step 8).
+    pub time_steps: Vec<usize>,
+    /// Precision scales (paper: FP32, FP16, INT8).
+    pub precision_scales: Vec<PrecisionScale>,
+    /// Multipliers applied to the Eq. (1) `a_th` (candidate approximation
+    /// strengths).
+    pub approx_scales: Vec<f32>,
+}
+
+impl SearchSpace {
+    /// The paper's full grid.
+    pub fn paper_grid() -> Self {
+        SearchSpace {
+            thresholds: (1..=9).map(|i| i as f32 * 0.25).collect(),
+            time_steps: (0..=6).map(|i| 32 + i * 8).collect(),
+            precision_scales: PrecisionScale::ALL.to_vec(),
+            approx_scales: vec![0.5, 1.0, 1.5],
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.thresholds.is_empty()
+            || self.time_steps.is_empty()
+            || self.precision_scales.is_empty()
+            || self.approx_scales.is_empty()
+        {
+            return Err(DefenseError::InvalidSearchSpace {
+                message: "all search dimensions must be non-empty".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of the search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrecisionSearchConfig {
+    /// The grid to sweep.
+    pub space: SearchSpace,
+    /// Quality constraint `Q` in percent: minimum clean accuracy for a
+    /// trained model *and* minimum robustness for acceptance.
+    pub quality_constraint: f32,
+    /// Perturbation budget ε of the attack.
+    pub epsilon: f32,
+    /// Which gradient attack the adversary uses.
+    pub attack: StaticAttackKind,
+    /// Stop at the first satisfying configuration (the paper's behaviour)
+    /// or sweep everything for a full trace.
+    pub stop_at_first: bool,
+}
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchRecord {
+    /// Threshold voltage.
+    pub threshold: f32,
+    /// Time steps.
+    pub time_steps: usize,
+    /// Precision scale.
+    pub precision: PrecisionScale,
+    /// `a_th` scale multiplier used.
+    pub approx_scale: f32,
+    /// Effective mean approximation level produced by Eq. (1)
+    /// (fraction of weights pruned, a proxy for the paper's `a_th`).
+    pub pruned_fraction: f32,
+    /// Robustness / adversarial accuracy outcome.
+    pub outcome: RobustnessOutcome,
+}
+
+/// Result of a full search run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// First (or best, when not stopping early) satisfying record.
+    pub best: Option<SearchRecord>,
+    /// Every evaluated configuration in sweep order.
+    pub trace: Vec<SearchRecord>,
+    /// Configurations whose clean accuracy failed the quality constraint
+    /// (line 4) and were skipped, as `(threshold, time_steps)` pairs.
+    pub skipped: Vec<(f32, usize)>,
+}
+
+/// Runs Algorithm 1.
+///
+/// * `trainer` produces an accurate SNN for a given configuration
+///   (line 3) — pass a closure doing surrogate-gradient training or
+///   ANN→SNN conversion.
+/// * `adversary` is the accurate classifier the attacker crafts on
+///   (threat model, Sec. III).
+/// * `test` is `Dts`.
+///
+/// # Errors
+///
+/// Returns [`DefenseError::InvalidSearchSpace`] / [`DefenseError::InvalidData`]
+/// for malformed inputs and propagates training/attack failures.
+pub fn precision_scaling_search<F, R>(
+    config: &PrecisionSearchConfig,
+    trainer: &mut F,
+    adversary: &AnnNetwork,
+    test: &[(Tensor, usize)],
+    rng: &mut R,
+) -> Result<SearchOutcome>
+where
+    F: FnMut(SnnConfig) -> axsnn_core::Result<SpikingNetwork>,
+    R: Rng,
+{
+    config.space.validate()?;
+    if test.is_empty() {
+        return Err(DefenseError::InvalidData {
+            message: "test set must be non-empty".into(),
+        });
+    }
+    let budget = AttackBudget::for_epsilon(config.epsilon);
+    let mut outcome = SearchOutcome::default();
+
+    'grid: for &threshold in &config.space.thresholds {
+        for &time_steps in &config.space.time_steps {
+            let snn_cfg = SnnConfig {
+                threshold,
+                time_steps,
+                leak: 0.9,
+            };
+            // Line 3: obtain the accurate model.
+            let accurate = trainer(snn_cfg).map_err(DefenseError::from)?;
+            // Line 4: quality gate on clean accuracy.
+            let mut probe = accurate.clone();
+            let clean =
+                crate::metrics::clean_image_accuracy(&mut probe, test, Encoder::DirectCurrent, rng)?;
+            if clean < config.quality_constraint {
+                outcome.skipped.push((threshold, time_steps));
+                continue;
+            }
+            // Collect spike statistics once per accurate model for Eq. (1).
+            let stats = {
+                let mut stat_net = accurate.clone();
+                let sample = &test[0].0;
+                let frames = Encoder::DirectCurrent.encode(sample, time_steps, rng)
+                    .map_err(DefenseError::from)?;
+                stat_net
+                    .forward(&frames, false, rng)
+                    .map_err(DefenseError::from)?
+                    .stats
+            };
+            for &precision in &config.space.precision_scales {
+                for &approx_scale in &config.space.approx_scales {
+                    // Lines 8–11: precision-scale then approximate.
+                    let mut candidate = accurate.clone();
+                    apply_precision(&mut candidate, precision);
+                    let report = apply_eq1_approximation(&mut candidate, &stats, approx_scale)
+                        .map_err(DefenseError::from)?;
+                    // Lines 15–21: attack and measure robustness.
+                    let mut source = AnnGradientSource::new(adversary);
+                    let eval = match config.attack {
+                        StaticAttackKind::Pgd => evaluate_image_attack(
+                            &mut candidate,
+                            &mut source,
+                            &Pgd::new(budget),
+                            test,
+                            Encoder::DirectCurrent,
+                            rng,
+                        )?,
+                        StaticAttackKind::Bim => evaluate_image_attack(
+                            &mut candidate,
+                            &mut source,
+                            &Bim::new(budget),
+                            test,
+                            Encoder::DirectCurrent,
+                            rng,
+                        )?,
+                    };
+                    let record = SearchRecord {
+                        threshold,
+                        time_steps,
+                        precision,
+                        approx_scale,
+                        pruned_fraction: report.pruned_fraction(),
+                        outcome: eval,
+                    };
+                    let satisfies = record.outcome.robustness >= config.quality_constraint;
+                    outcome.trace.push(record.clone());
+                    let better = match &outcome.best {
+                        None => satisfies,
+                        Some(b) => {
+                            satisfies && record.outcome.robustness > b.outcome.robustness
+                        }
+                    };
+                    if better {
+                        outcome.best = Some(record);
+                        if config.stop_at_first {
+                            break 'grid;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axsnn_core::ann::AnnLayer;
+    use axsnn_core::convert::ann_to_snn;
+    use axsnn_core::train::{train_ann, TrainConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_setup(rng: &mut StdRng) -> (AnnNetwork, Vec<(Tensor, usize)>) {
+        let mut ann = AnnNetwork::new(vec![
+            AnnLayer::linear_relu(rng, 4, 16),
+            AnnLayer::linear_out(rng, 16, 2),
+        ])
+        .unwrap();
+        let data: Vec<(Tensor, usize)> = (0..32)
+            .map(|i| {
+                let c = i % 2;
+                let base = if c == 0 { 0.15 } else { 0.85 };
+                let x = Tensor::from_vec(
+                    (0..4)
+                        .map(|_| (base + rng.gen_range(-0.05..0.05f32)).clamp(0.0, 1.0))
+                        .collect(),
+                    &[4],
+                )
+                .unwrap();
+                (x, c)
+            })
+            .collect();
+        train_ann(
+            &mut ann,
+            &data,
+            &TrainConfig {
+                epochs: 25,
+                learning_rate: 0.3,
+                momentum: 0.0,
+                batch_size: 8,
+                encoder: Encoder::DirectCurrent,
+            },
+            rng,
+        )
+        .unwrap();
+        (ann, data)
+    }
+
+    #[test]
+    fn search_space_validation() {
+        let mut s = SearchSpace::paper_grid();
+        assert!(s.validate().is_ok());
+        s.thresholds.clear();
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn paper_grid_dimensions() {
+        let s = SearchSpace::paper_grid();
+        assert_eq!(s.thresholds.len(), 9);
+        assert_eq!(s.time_steps, vec![32, 40, 48, 56, 64, 72, 80]);
+        assert_eq!(s.precision_scales.len(), 3);
+    }
+
+    #[test]
+    fn search_finds_configuration_on_toy_problem() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let (ann, data) = toy_setup(&mut rng);
+        let calib: Vec<Tensor> = data.iter().take(8).map(|(x, _)| x.clone()).collect();
+        let test: Vec<(Tensor, usize)> = data.iter().take(12).cloned().collect();
+        let config = PrecisionSearchConfig {
+            space: SearchSpace {
+                thresholds: vec![1.0],
+                time_steps: vec![24],
+                precision_scales: vec![PrecisionScale::Fp32, PrecisionScale::Int8],
+                approx_scales: vec![0.5],
+            },
+            quality_constraint: 60.0,
+            epsilon: 0.05,
+            attack: StaticAttackKind::Pgd,
+            stop_at_first: false,
+        };
+        let ann_for_trainer = ann.clone();
+        let mut trainer = move |cfg: SnnConfig| ann_to_snn(&ann_for_trainer, cfg, &calib);
+        let out =
+            precision_scaling_search(&config, &mut trainer, &ann, &test, &mut rng).unwrap();
+        assert!(!out.trace.is_empty());
+        assert!(
+            out.best.is_some(),
+            "an easy blob task with tiny ε must satisfy Q=60: {:?}",
+            out.trace
+        );
+    }
+
+    #[test]
+    fn quality_gate_skips_bad_models() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let (ann, data) = toy_setup(&mut rng);
+        let test: Vec<(Tensor, usize)> = data.iter().take(8).cloned().collect();
+        let config = PrecisionSearchConfig {
+            space: SearchSpace {
+                thresholds: vec![50.0], // absurd threshold → silent network
+                time_steps: vec![8],
+                precision_scales: vec![PrecisionScale::Fp32],
+                approx_scales: vec![1.0],
+            },
+            quality_constraint: 60.0,
+            epsilon: 0.1,
+            attack: StaticAttackKind::Bim,
+            stop_at_first: true,
+        };
+        let calib: Vec<Tensor> = data.iter().take(4).map(|(x, _)| x.clone()).collect();
+        let ann2 = ann.clone();
+        let mut trainer = move |cfg: SnnConfig| ann_to_snn(&ann2, cfg, &calib);
+        let out =
+            precision_scaling_search(&config, &mut trainer, &ann, &test, &mut rng).unwrap();
+        assert_eq!(out.skipped, vec![(50.0, 8)]);
+        assert!(out.trace.is_empty());
+        assert!(out.best.is_none());
+    }
+
+    #[test]
+    fn empty_test_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (ann, _) = toy_setup(&mut rng);
+        let config = PrecisionSearchConfig {
+            space: SearchSpace::paper_grid(),
+            quality_constraint: 50.0,
+            epsilon: 0.1,
+            attack: StaticAttackKind::Pgd,
+            stop_at_first: true,
+        };
+        let mut trainer =
+            |_cfg: SnnConfig| -> axsnn_core::Result<SpikingNetwork> { unreachable!() };
+        let r = precision_scaling_search(&config, &mut trainer, &ann, &[], &mut rng);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,72 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for event-stream operations.
+///
+/// # Example
+///
+/// ```
+/// use axsnn_neuromorphic::event::EventStream;
+///
+/// let err = EventStream::new(0, 32).unwrap_err();
+/// assert!(err.to_string().contains("sensor"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NeuroError {
+    /// Sensor geometry is invalid (zero width/height).
+    InvalidSensor {
+        /// Requested width.
+        width: usize,
+        /// Requested height.
+        height: usize,
+    },
+    /// An event lies outside the sensor area or time range.
+    EventOutOfRange {
+        /// Human-readable description of the offending coordinate.
+        message: String,
+    },
+    /// A filter or accumulation parameter is invalid.
+    InvalidParameter {
+        /// Description of the violated precondition.
+        message: String,
+    },
+}
+
+impl fmt::Display for NeuroError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NeuroError::InvalidSensor { width, height } => {
+                write!(f, "invalid sensor geometry {width}x{height}")
+            }
+            NeuroError::EventOutOfRange { message } => {
+                write!(f, "event out of range: {message}")
+            }
+            NeuroError::InvalidParameter { message } => {
+                write!(f, "invalid parameter: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NeuroError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NeuroError::InvalidSensor {
+            width: 0,
+            height: 128,
+        };
+        assert!(e.to_string().contains("0x128"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NeuroError>();
+    }
+}

@@ -1,0 +1,174 @@
+//! Event-to-frame accumulation.
+//!
+//! SNN simulators consume spike frames, so an [`EventStream`] is binned
+//! into `T` time windows; each window becomes a `[2, H, W]` tensor (one
+//! channel per polarity). Binary accumulation (any event → 1.0) is the
+//! default, matching spike semantics; count accumulation is available for
+//! rate analysis.
+
+use crate::event::EventStream;
+use crate::{NeuroError, Result};
+use axsnn_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// How multiple events in the same (bin, pixel, polarity) cell combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Accumulation {
+    /// Any event produces a unit spike (the SNN input convention).
+    Binary,
+    /// Events are counted.
+    Count,
+}
+
+/// Bins an event stream into `time_steps` spike frames of shape
+/// `[2, height, width]`.
+///
+/// # Errors
+///
+/// Returns [`NeuroError::InvalidParameter`] when `time_steps` is zero.
+///
+/// # Example
+///
+/// ```
+/// use axsnn_neuromorphic::event::{DvsEvent, EventStream, Polarity};
+/// use axsnn_neuromorphic::frames::{accumulate_frames, Accumulation};
+///
+/// # fn main() -> Result<(), axsnn_neuromorphic::NeuroError> {
+/// let s = EventStream::from_events(4, 4, vec![
+///     DvsEvent::new(1, 2, Polarity::On, 0.1),
+///     DvsEvent::new(3, 0, Polarity::Off, 0.9),
+/// ])?;
+/// let frames = accumulate_frames(&s, 2, Accumulation::Binary)?;
+/// assert_eq!(frames.len(), 2);
+/// assert_eq!(frames[0].shape().dims(), &[2, 4, 4]);
+/// assert_eq!(frames[0].at(&[0, 2, 1]).unwrap(), 1.0); // On event, first bin
+/// assert_eq!(frames[1].at(&[1, 0, 3]).unwrap(), 1.0); // Off event, second bin
+/// # Ok(())
+/// # }
+/// ```
+pub fn accumulate_frames(
+    stream: &EventStream,
+    time_steps: usize,
+    mode: Accumulation,
+) -> Result<Vec<Tensor>> {
+    if time_steps == 0 {
+        return Err(NeuroError::InvalidParameter {
+            message: "time_steps must be > 0".into(),
+        });
+    }
+    let (w, h) = (stream.width(), stream.height());
+    let mut frames = vec![Tensor::zeros(&[2, h, w]); time_steps];
+    for e in stream {
+        // t ∈ [0,1) ⇒ bin ∈ [0, time_steps).
+        let bin = ((e.t * time_steps as f32) as usize).min(time_steps - 1);
+        let c = e.polarity.channel();
+        let idx = [c, e.y as usize, e.x as usize];
+        let frame = &mut frames[bin];
+        let current = frame.at(&idx).unwrap_or(0.0);
+        let next = match mode {
+            Accumulation::Binary => 1.0,
+            Accumulation::Count => current + 1.0,
+        };
+        frame
+            .set(&idx, next)
+            .map_err(|te| NeuroError::EventOutOfRange {
+                message: te.to_string(),
+            })?;
+    }
+    Ok(frames)
+}
+
+/// Collapses an event stream into a single rate image `[2, H, W]` with
+/// values normalized by the maximum cell count (all-zero streams stay
+/// zero). Useful for visualization and for static-style attacks on
+/// event data.
+///
+/// # Errors
+///
+/// Propagates accumulation errors.
+pub fn rate_image(stream: &EventStream) -> Result<Tensor> {
+    let frames = accumulate_frames(stream, 1, Accumulation::Count)?;
+    let img = frames.into_iter().next().expect("one frame requested");
+    let max = img.max();
+    if max <= 0.0 {
+        Ok(img)
+    } else {
+        Ok(img.scale(1.0 / max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DvsEvent, Polarity};
+
+    fn stream() -> EventStream {
+        EventStream::from_events(
+            4,
+            4,
+            vec![
+                DvsEvent::new(0, 0, Polarity::On, 0.05),
+                DvsEvent::new(0, 0, Polarity::On, 0.10),
+                DvsEvent::new(2, 1, Polarity::Off, 0.60),
+                DvsEvent::new(3, 3, Polarity::On, 0.99),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_time_steps_rejected() {
+        assert!(accumulate_frames(&stream(), 0, Accumulation::Binary).is_err());
+    }
+
+    #[test]
+    fn binary_accumulation_saturates() {
+        let frames = accumulate_frames(&stream(), 4, Accumulation::Binary).unwrap();
+        // Two events at (0,0,On) in bin 0 produce a single unit spike.
+        assert_eq!(frames[0].at(&[0, 0, 0]).unwrap(), 1.0);
+        assert_eq!(frames[0].sum(), 1.0);
+    }
+
+    #[test]
+    fn count_accumulation_adds() {
+        let frames = accumulate_frames(&stream(), 4, Accumulation::Count).unwrap();
+        assert_eq!(frames[0].at(&[0, 0, 0]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn events_land_in_correct_bins() {
+        let frames = accumulate_frames(&stream(), 4, Accumulation::Binary).unwrap();
+        assert_eq!(frames[2].at(&[1, 1, 2]).unwrap(), 1.0); // t=0.60 → bin 2
+        assert_eq!(frames[3].at(&[0, 3, 3]).unwrap(), 1.0); // t=0.99 → bin 3
+        assert_eq!(frames[1].sum(), 0.0);
+    }
+
+    #[test]
+    fn polarities_use_separate_channels() {
+        let frames = accumulate_frames(&stream(), 1, Accumulation::Count).unwrap();
+        assert_eq!(frames[0].at(&[0, 1, 2]).unwrap(), 0.0); // On channel empty there
+        assert_eq!(frames[0].at(&[1, 1, 2]).unwrap(), 1.0); // Off channel has it
+    }
+
+    #[test]
+    fn rate_image_normalized() {
+        let img = rate_image(&stream()).unwrap();
+        assert_eq!(img.max(), 1.0);
+        assert_eq!(img.at(&[0, 0, 0]).unwrap(), 1.0); // densest cell
+        assert_eq!(img.at(&[1, 1, 2]).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn rate_image_of_empty_stream_is_zero() {
+        let s = EventStream::new(4, 4).unwrap();
+        let img = rate_image(&s).unwrap();
+        assert_eq!(img.sum(), 0.0);
+    }
+
+    #[test]
+    fn total_events_preserved_by_count_mode() {
+        let frames = accumulate_frames(&stream(), 8, Accumulation::Count).unwrap();
+        let total: f32 = frames.iter().map(|f| f.sum()).sum();
+        assert_eq!(total, 4.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Neuromorphic (DVS) event substrate and the AQF defense.
+//!
+//! Dynamic vision sensors emit sparse `(x, y, polarity, t)` events instead
+//! of frames. This crate provides:
+//!
+//! * [`event`] — [`event::DvsEvent`] and [`event::EventStream`], the
+//!   event-camera data model,
+//! * [`frames`] — accumulation of event streams into per-time-step spike
+//!   frames (`[2, H, W]`, one channel per polarity) that feed the SNN,
+//! * [`aqf`] — the paper's Algorithm 2, the *approximate
+//!   quantization-aware filter*: timestamps are quantized with step `q_t`
+//!   and spatio-temporally uncorrelated events (adversarial noise) are
+//!   removed,
+//! * [`stats`] — stream statistics, rate profiles, windowing and
+//!   cropping transforms.
+//!
+//! # Example
+//!
+//! ```
+//! use axsnn_neuromorphic::event::{DvsEvent, EventStream, Polarity};
+//!
+//! # fn main() -> Result<(), axsnn_neuromorphic::NeuroError> {
+//! let mut stream = EventStream::new(32, 32)?;
+//! stream.push(DvsEvent::new(3, 4, Polarity::On, 0.25))?;
+//! assert_eq!(stream.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod aqf;
+pub mod event;
+pub mod frames;
+pub mod stats;
+
+pub use error::NeuroError;
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, NeuroError>;

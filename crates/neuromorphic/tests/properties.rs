@@ -1,0 +1,110 @@
+//! Property-based tests for event streams, frame accumulation and AQF.
+
+use axsnn_neuromorphic::aqf::{approximate_quantized_filter, AqfConfig};
+use axsnn_neuromorphic::event::{DvsEvent, EventStream, Polarity};
+use axsnn_neuromorphic::frames::{accumulate_frames, rate_image, Accumulation};
+use proptest::prelude::*;
+
+const W: usize = 16;
+const H: usize = 16;
+
+fn event_strategy() -> impl Strategy<Value = DvsEvent> {
+    (
+        0u16..W as u16,
+        0u16..H as u16,
+        proptest::bool::ANY,
+        0.0f32..0.999,
+    )
+        .prop_map(|(x, y, p, t)| {
+            DvsEvent::new(x, y, if p { Polarity::On } else { Polarity::Off }, t)
+        })
+}
+
+fn stream_strategy(max_events: usize) -> impl Strategy<Value = EventStream> {
+    proptest::collection::vec(event_strategy(), 0..max_events)
+        .prop_map(|events| EventStream::from_events(W, H, events).expect("valid events"))
+}
+
+proptest! {
+    /// Count-mode accumulation conserves the total number of events.
+    #[test]
+    fn count_accumulation_conserves_events(stream in stream_strategy(200), t in 1usize..32) {
+        let frames = accumulate_frames(&stream, t, Accumulation::Count).unwrap();
+        let total: f32 = frames.iter().map(|f| f.sum()).sum();
+        prop_assert_eq!(total as usize, stream.len());
+    }
+
+    /// Binary-mode accumulation is bounded by count-mode cell-wise.
+    #[test]
+    fn binary_bounded_by_count(stream in stream_strategy(150), t in 1usize..16) {
+        let bin = accumulate_frames(&stream, t, Accumulation::Binary).unwrap();
+        let cnt = accumulate_frames(&stream, t, Accumulation::Count).unwrap();
+        for (b, c) in bin.iter().zip(&cnt) {
+            for (bv, cv) in b.as_slice().iter().zip(c.as_slice()) {
+                prop_assert!(bv <= cv);
+                prop_assert!(*bv == 0.0 || *bv == 1.0);
+            }
+        }
+    }
+
+    /// Rate images are normalized to [0, 1].
+    #[test]
+    fn rate_image_normalized(stream in stream_strategy(100)) {
+        let img = rate_image(&stream).unwrap();
+        prop_assert!(img.min() >= 0.0);
+        prop_assert!(img.max() <= 1.0);
+    }
+
+    /// AQF never invents events and the report accounting is exact.
+    #[test]
+    fn aqf_only_removes(stream in stream_strategy(200)) {
+        let (kept, report) = approximate_quantized_filter(&stream, &AqfConfig::default()).unwrap();
+        prop_assert!(kept.len() <= stream.len());
+        prop_assert_eq!(report.input_events, stream.len());
+        prop_assert_eq!(
+            report.kept_events + report.removed_uncorrelated + report.removed_saturated,
+            report.input_events
+        );
+    }
+
+    /// AQF output timestamps lie on the quantization grid.
+    #[test]
+    fn aqf_quantizes_timestamps(stream in stream_strategy(100), step_milli in 5u32..50) {
+        let step = step_milli as f32 / 1000.0;
+        let cfg = AqfConfig { quantization_step: step, ..AqfConfig::default() };
+        let (kept, _) = approximate_quantized_filter(&stream, &cfg).unwrap();
+        for e in kept.events() {
+            let snapped = (e.t / step).round() * step;
+            let snapped = snapped.clamp(0.0, 0.999_999);
+            prop_assert!((e.t - snapped).abs() < 1e-4, "t {} off grid {}", e.t, snapped);
+        }
+    }
+
+    /// AQF is stable under re-filtering: a second pass removes at most a
+    /// few boundary-condition events, never adds any.
+    #[test]
+    fn aqf_refilter_shrinks(stream in stream_strategy(150)) {
+        let cfg = AqfConfig::default();
+        let (once, _) = approximate_quantized_filter(&stream, &cfg).unwrap();
+        let (twice, _) = approximate_quantized_filter(&once, &cfg).unwrap();
+        prop_assert!(twice.len() <= once.len());
+    }
+
+    /// Event pushes reject invalid coordinates for arbitrary geometry.
+    #[test]
+    fn push_validation(w in 1usize..64, h in 1usize..64, x in 0u16..128, y in 0u16..128) {
+        let mut s = EventStream::new(w, h).unwrap();
+        let r = s.push(DvsEvent::new(x, y, Polarity::On, 0.5));
+        prop_assert_eq!(r.is_ok(), (x as usize) < w && (y as usize) < h);
+    }
+
+    /// Boundary count never exceeds the stream length and counts exactly
+    /// the events on the border.
+    #[test]
+    fn boundary_count_consistent(stream in stream_strategy(120)) {
+        let manual = stream.events().iter().filter(|e| {
+            e.x == 0 || e.y == 0 || e.x as usize == W - 1 || e.y as usize == H - 1
+        }).count();
+        prop_assert_eq!(stream.boundary_event_count(), manual);
+    }
+}

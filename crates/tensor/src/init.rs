@@ -1,0 +1,126 @@
+//! Weight initializers.
+//!
+//! All initializers take an explicit RNG so experiments are reproducible
+//! bit-for-bit from a seed — the experiment harness in `axsnn-bench`
+//! depends on this.
+
+use crate::Tensor;
+use rand::Rng;
+
+/// Uniform initialization in `[-limit, limit]`.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let t = axsnn_tensor::init::uniform(&mut rng, &[4, 4], 0.1);
+/// assert!(t.as_slice().iter().all(|v| v.abs() <= 0.1));
+/// ```
+pub fn uniform<R: Rng>(rng: &mut R, dims: &[usize], limit: f32) -> Tensor {
+    let volume: usize = dims.iter().product();
+    let data = (0..volume)
+        .map(|_| rng.gen_range(-limit..=limit))
+        .collect();
+    Tensor::from_vec(data, dims).expect("volume matches by construction")
+}
+
+/// Kaiming/He-style uniform initialization with `limit = sqrt(6 / fan_in)`.
+///
+/// `fan_in` of zero falls back to a limit of 1.0 rather than dividing by
+/// zero, which can only happen for degenerate zero-sized layers.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let w = axsnn_tensor::init::kaiming_uniform(&mut rng, &[8, 1, 5, 5], 25);
+/// assert_eq!(w.len(), 200);
+/// ```
+pub fn kaiming_uniform<R: Rng>(rng: &mut R, dims: &[usize], fan_in: usize) -> Tensor {
+    let limit = if fan_in == 0 {
+        1.0
+    } else {
+        (6.0 / fan_in as f32).sqrt()
+    };
+    uniform(rng, dims, limit)
+}
+
+/// Standard-normal initialization scaled by `std`.
+///
+/// Uses a Box–Muller transform so only a uniform RNG is required.
+pub fn normal<R: Rng>(rng: &mut R, dims: &[usize], std: f32) -> Tensor {
+    let volume: usize = dims.iter().product();
+    let mut data = Vec::with_capacity(volume);
+    while data.len() < volume {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < volume {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(data, dims).expect("volume matches by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = uniform(&mut rng, &[1000], 0.25);
+        assert!(t.as_slice().iter().all(|v| v.abs() <= 0.25));
+        // Not degenerate: spread over both signs.
+        assert!(t.as_slice().iter().any(|&v| v > 0.1));
+        assert!(t.as_slice().iter().any(|&v| v < -0.1));
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = uniform(&mut StdRng::seed_from_u64(42), &[64], 1.0);
+        let b = uniform(&mut StdRng::seed_from_u64(42), &[64], 1.0);
+        assert_eq!(a, b);
+        let c = uniform(&mut StdRng::seed_from_u64(43), &[64], 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn kaiming_limit_shrinks_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = kaiming_uniform(&mut rng, &[1000], 600);
+        let limit = (6.0f32 / 600.0).sqrt();
+        assert!(t.as_slice().iter().all(|v| v.abs() <= limit + 1e-6));
+    }
+
+    #[test]
+    fn kaiming_zero_fan_in_does_not_panic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = kaiming_uniform(&mut rng, &[4], 0);
+        assert!(t.as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn normal_statistics_roughly_correct() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = normal(&mut rng, &[10_000], 2.0);
+        let mean = t.mean();
+        let var = t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
+            / t.len() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_odd_volume() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = normal(&mut rng, &[7], 1.0);
+        assert_eq!(t.len(), 7);
+    }
+}

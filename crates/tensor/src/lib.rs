@@ -1,0 +1,55 @@
+//! Dense `f32` tensor substrate for the AxSNN reproduction.
+//!
+//! This crate provides the numerical foundation that the rest of the
+//! workspace builds on: an owned, contiguous, row-major [`Tensor`] with
+//! shape metadata, elementwise and reduction operations, matrix
+//! multiplication ([`linalg::matmul`]), 2-D convolution and pooling kernels
+//! (forward *and* backward passes, [`conv`]), and weight initializers
+//! ([`init`]).
+//!
+//! The paper's authors used a Python deep-learning stack as their substrate;
+//! no equivalent mature crate exists offline, so this crate implements the
+//! required kernels from scratch. Everything is deterministic given a seeded
+//! RNG, which the experiment harness relies on for reproducibility.
+//!
+//! # Example
+//!
+//! ```
+//! use axsnn_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), axsnn_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::full(&[2, 2], 0.5);
+//! let c = a.add(&b)?;
+//! assert_eq!(c.as_slice(), &[1.5, 2.5, 3.5, 4.5]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod shape;
+mod tensor;
+
+pub mod conv;
+pub mod init;
+pub mod linalg;
+pub mod ops;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience result alias used throughout this crate.
+///
+/// # Example
+///
+/// ```
+/// fn make() -> axsnn_tensor::Result<axsnn_tensor::Tensor> {
+///     axsnn_tensor::Tensor::from_vec(vec![0.0; 4], &[2, 2])
+/// }
+/// assert!(make().is_ok());
+/// ```
+pub type Result<T> = std::result::Result<T, TensorError>;

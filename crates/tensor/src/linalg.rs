@@ -1,0 +1,329 @@
+//! Matrix operations: GEMM, transposed matmul variants and outer products.
+//!
+//! These are the only dense linear-algebra kernels the SNN stack needs:
+//! `matmul` for fully-connected forward passes, the `*_at` / `*_bt`
+//! transposed variants for the corresponding backward passes, and `outer`
+//! for rank-1 weight-gradient accumulation.
+
+use crate::{Result, Tensor, TensorError};
+
+fn check_rank2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    let dims = t.shape().dims();
+    if dims.len() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: dims.len(),
+            op,
+        });
+    }
+    Ok((dims[0], dims[1]))
+}
+
+/// Computes `C = A · B` for row-major rank-2 tensors.
+///
+/// Uses an ikj loop order so the inner loop streams contiguously through
+/// both `B` and `C`, which is the standard cache-friendly layout for
+/// row-major GEMM without blocking.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either input is not rank-2 and
+/// [`TensorError::ShapeMismatch`] when the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use axsnn_tensor::{linalg, Tensor};
+///
+/// # fn main() -> axsnn_tensor::Result<()> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+/// assert_eq!(linalg::matmul(&a, &i)?.as_slice(), a.as_slice());
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_rank2(a, "matmul")?;
+    let (k2, n) = check_rank2(b, "matmul")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+            op: "matmul",
+        });
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let aik = av[i * k + p];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bv[p * n..(p + 1) * n];
+            let crow = &mut out[i * n..(i + 1) * n];
+            for (c, &bval) in crow.iter_mut().zip(brow) {
+                *c += aik * bval;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Computes `C = Aᵀ · B`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] or [`TensorError::ShapeMismatch`]
+/// analogous to [`matmul`].
+pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = check_rank2(a, "matmul_at")?;
+    let (k2, n) = check_rank2(b, "matmul_at")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+            op: "matmul_at",
+        });
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for p in 0..k {
+        let arow = &av[p * m..(p + 1) * m];
+        let brow = &bv[p * n..(p + 1) * n];
+        for (i, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let crow = &mut out[i * n..(i + 1) * n];
+            for (c, &bval) in crow.iter_mut().zip(brow) {
+                *c += aval * bval;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Computes `C = A · Bᵀ`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] or [`TensorError::ShapeMismatch`]
+/// analogous to [`matmul`].
+pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_rank2(a, "matmul_bt")?;
+    let (n, k2) = check_rank2(b, "matmul_bt")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+            op: "matmul_bt",
+        });
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bv[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Transposes a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix inputs.
+///
+/// # Example
+///
+/// ```
+/// use axsnn_tensor::{linalg, Tensor};
+///
+/// # fn main() -> axsnn_tensor::Result<()> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])?;
+/// let t = linalg::transpose(&a)?;
+/// assert_eq!(t.shape().dims(), &[3, 2]);
+/// assert_eq!(t.at(&[2, 1])?, 6.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn transpose(a: &Tensor) -> Result<Tensor> {
+    let (m, n) = check_rank2(a, "transpose")?;
+    let av = a.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = av[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, &[n, m])
+}
+
+/// Outer product of two rank-1 tensors: `C[i][j] = a[i]·b[j]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-vector inputs.
+pub fn outer(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.shape().rank() != 1 {
+        return Err(TensorError::RankMismatch {
+            expected: 1,
+            actual: a.shape().rank(),
+            op: "outer",
+        });
+    }
+    if b.shape().rank() != 1 {
+        return Err(TensorError::RankMismatch {
+            expected: 1,
+            actual: b.shape().rank(),
+            op: "outer",
+        });
+    }
+    let m = a.len();
+    let n = b.len();
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[i * n + j] = av[i] * bv[j];
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Matrix–vector product `y = A·x` for a rank-2 `a` and rank-1 `x`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`]
+/// when inputs are not a compatible matrix/vector pair.
+///
+/// # Example
+///
+/// ```
+/// use axsnn_tensor::{linalg, Tensor};
+///
+/// # fn main() -> axsnn_tensor::Result<()> {
+/// let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 2.0], &[2, 2])?;
+/// let x = Tensor::from_vec(vec![3.0, 4.0], &[2])?;
+/// assert_eq!(linalg::matvec(&a, &x)?.as_slice(), &[3.0, 8.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_rank2(a, "matvec")?;
+    if x.shape().rank() != 1 || x.len() != k {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.shape().dims().to_vec(),
+            rhs: x.shape().dims().to_vec(),
+            op: "matvec",
+        });
+    }
+    let av = a.as_slice();
+    let xv = x.as_slice();
+    let mut out = vec![0.0f32; m];
+    for i in 0..m {
+        let row = &av[i * k..(i + 1) * k];
+        out[i] = row.iter().zip(xv).map(|(&w, &v)| w * v).sum();
+    }
+    Tensor::from_vec(out, &[m])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: Vec<f32>, dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data, dims).unwrap()
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rect() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape().dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[4.0, 5.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = t(vec![0.0; 6], &[2, 3]);
+        let b = t(vec![0.0; 6], &[2, 3]);
+        assert!(matmul(&a, &b).is_err());
+        let v = t(vec![0.0; 3], &[3]);
+        assert!(matmul(&v, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_at_equals_explicit_transpose() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let b = t(vec![1.0, -1.0, 2.0, 0.5, 0.0, 3.0], &[3, 2]);
+        let via_at = matmul_at(&a, &b).unwrap();
+        let explicit = matmul(&transpose(&a).unwrap(), &b).unwrap();
+        assert_eq!(via_at, explicit);
+    }
+
+    #[test]
+    fn matmul_bt_equals_explicit_transpose() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(vec![1.0, -1.0, 0.5, 2.0], &[2, 2]);
+        let via_bt = matmul_bt(&a, &b).unwrap();
+        let explicit = matmul(&a, &transpose(&b).unwrap()).unwrap();
+        assert_eq!(via_bt, explicit);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = t((0..12).map(|i| i as f32).collect(), &[3, 4]);
+        let tt = transpose(&transpose(&a).unwrap()).unwrap();
+        assert_eq!(tt, a);
+    }
+
+    #[test]
+    fn outer_product() {
+        let a = t(vec![1.0, 2.0], &[2]);
+        let b = t(vec![3.0, 4.0, 5.0], &[3]);
+        let o = outer(&a, &b).unwrap();
+        assert_eq!(o.shape().dims(), &[2, 3]);
+        assert_eq!(o.as_slice(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let x = t(vec![1.0, 0.5, -1.0], &[3]);
+        let y = matvec(&a, &x).unwrap();
+        let xm = x.reshape(&[3, 1]).unwrap();
+        let ym = matmul(&a, &xm).unwrap();
+        assert_eq!(y.as_slice(), ym.as_slice());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = t(vec![2.0, -1.0, 0.5, 3.0], &[2, 2]);
+        let i = t(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        assert_eq!(matmul(&a, &i).unwrap(), a);
+        assert_eq!(matmul(&i, &a).unwrap(), a);
+    }
+}

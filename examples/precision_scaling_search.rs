@@ -1,0 +1,106 @@
+//! Algorithm 1 in action: search `(V_th, T, precision, a_th)` for the
+//! most robust AxSNN configuration under PGD (small-scale Table I).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p axsnn --example precision_scaling_search
+//! ```
+
+use axsnn::core::convert::ann_to_snn;
+use axsnn::core::network::SnnConfig;
+use axsnn::core::precision::PrecisionScale;
+use axsnn::datasets::mnist::MnistConfig;
+use axsnn::defense::scenario::{MnistScenario, MnistScenarioConfig};
+use axsnn::defense::search::{
+    precision_scaling_search, PrecisionSearchConfig, SearchSpace, StaticAttackKind,
+};
+use axsnn::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(3);
+
+    println!("preparing scenario…");
+    let mut cfg = MnistScenarioConfig::default();
+    cfg.mnist = MnistConfig {
+        size: 16,
+        train_per_class: 30,
+        test_per_class: 4,
+        ..cfg.mnist
+    };
+    let scenario = MnistScenario::prepare(cfg)?;
+    let calibration: Vec<Tensor> = scenario
+        .dataset()
+        .train
+        .iter()
+        .take(16)
+        .map(|(x, _)| x.clone())
+        .collect();
+
+    let search_cfg = PrecisionSearchConfig {
+        space: SearchSpace {
+            thresholds: vec![0.5, 1.0, 1.5],
+            time_steps: vec![16, 32],
+            precision_scales: vec![PrecisionScale::Fp32, PrecisionScale::Fp16, PrecisionScale::Int8],
+            // Eq. (1) thresholds are layer-scale; these multipliers span
+            // mild → moderate approximation on the MLP substrate.
+            approx_scales: vec![0.001, 0.005],
+        },
+        quality_constraint: 55.0,
+        epsilon: 0.05,
+        attack: StaticAttackKind::Pgd,
+        stop_at_first: false,
+    };
+    println!(
+        "running Algorithm 1 over {} configurations (PGD, ε = {}, Q = {}%)…",
+        search_cfg.space.thresholds.len()
+            * search_cfg.space.time_steps.len()
+            * search_cfg.space.precision_scales.len()
+            * search_cfg.space.approx_scales.len(),
+        search_cfg.epsilon,
+        search_cfg.quality_constraint
+    );
+
+    let ann = scenario.ann().clone();
+    let mut trainer = move |snn_cfg: SnnConfig| ann_to_snn(&ann, snn_cfg, &calibration);
+    let outcome = precision_scaling_search(
+        &search_cfg,
+        &mut trainer,
+        scenario.adversary(),
+        &scenario.dataset().test,
+        &mut rng,
+    )?;
+
+    println!("\n=== trace ({} configurations evaluated) ===", outcome.trace.len());
+    println!(
+        "{:>6} {:>4} {:>6} {:>6} {:>8} {:>8}",
+        "V_th", "T", "prec", "scale", "pruned", "R(ε) %"
+    );
+    for r in &outcome.trace {
+        println!(
+            "{:>6.2} {:>4} {:>6} {:>6.3} {:>7.1}% {:>8.1}",
+            r.threshold,
+            r.time_steps,
+            r.precision.to_string(),
+            r.approx_scale,
+            100.0 * r.pruned_fraction,
+            r.outcome.robustness
+        );
+    }
+    if !outcome.skipped.is_empty() {
+        println!("skipped (failed quality gate): {:?}", outcome.skipped);
+    }
+    match &outcome.best {
+        Some(best) => println!(
+            "\nbest configuration: V_th {} T {} {} scale {} → robustness {:.1}%",
+            best.threshold,
+            best.time_steps,
+            best.precision,
+            best.approx_scale,
+            best.outcome.robustness
+        ),
+        None => println!("\nno configuration satisfied the quality constraint"),
+    }
+    Ok(())
+}

@@ -1,0 +1,112 @@
+//! Quickstart: train an accurate model, build an AccSNN and an AxSNN,
+//! attack both with PGD, then defend the AxSNN with precision scaling.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p axsnn --example quickstart
+//! ```
+
+use axsnn::attacks::gradient::{AnnGradientSource, AttackBudget, Pgd};
+use axsnn::core::approx::ApproximationLevel;
+use axsnn::core::encoding::Encoder;
+use axsnn::core::network::SnnConfig;
+use axsnn::core::precision::{apply_precision, PrecisionScale};
+use axsnn::datasets::mnist::MnistConfig;
+use axsnn::defense::metrics::{clean_image_accuracy, evaluate_image_attack};
+use axsnn::defense::scenario::{MnistScenario, MnistScenarioConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    println!("== AxSNN quickstart ==");
+    println!("1. generating synthetic MNIST and training the accurate ANN twin…");
+    let mut cfg = MnistScenarioConfig::default();
+    cfg.mnist = MnistConfig {
+        size: 16,
+        train_per_class: 30,
+        test_per_class: 6,
+        ..cfg.mnist
+    };
+    let scenario = MnistScenario::prepare(cfg)?;
+    println!(
+        "   ANN test accuracy: {:.1}%",
+        scenario.ann_test_accuracy()?
+    );
+
+    let snn_cfg = SnnConfig {
+        threshold: 1.0,
+        time_steps: 32,
+        leak: 0.9,
+    };
+    println!("2. converting to an accurate SNN (V_th = {}, T = {})…", snn_cfg.threshold, snn_cfg.time_steps);
+    let mut acc_snn = scenario.acc_snn(snn_cfg)?;
+    let acc_clean = clean_image_accuracy(
+        &mut acc_snn,
+        &scenario.dataset().test,
+        Encoder::DirectCurrent,
+        &mut rng,
+    )?;
+    println!("   AccSNN clean accuracy: {acc_clean:.1}%");
+
+    let level = ApproximationLevel::new(0.1).expect("valid level");
+    println!("3. approximating (level {}) → AxSNN…", level.value());
+    let mut ax_snn = scenario.ax_snn(snn_cfg, level)?;
+    let ax_clean = clean_image_accuracy(
+        &mut ax_snn,
+        &scenario.dataset().test,
+        Encoder::DirectCurrent,
+        &mut rng,
+    )?;
+    println!("   AxSNN clean accuracy: {ax_clean:.1}%");
+
+    println!("4. PGD attack (ε = 0.5, axis scale 0.1 → effective 0.05) on both models…");
+    let pgd = Pgd::new(AttackBudget::for_epsilon(0.05));
+    let mut source = AnnGradientSource::new(scenario.adversary());
+    let acc_attacked = evaluate_image_attack(
+        &mut acc_snn,
+        &mut source,
+        &pgd,
+        &scenario.dataset().test,
+        Encoder::DirectCurrent,
+        &mut rng,
+    )?;
+    let ax_attacked = evaluate_image_attack(
+        &mut ax_snn,
+        &mut source,
+        &pgd,
+        &scenario.dataset().test,
+        Encoder::DirectCurrent,
+        &mut rng,
+    )?;
+    println!(
+        "   AccSNN under PGD: {:.1}% (loss {:.1}%)",
+        acc_attacked.adversarial_accuracy,
+        acc_attacked.accuracy_loss_vs(acc_clean)
+    );
+    println!(
+        "   AxSNN  under PGD: {:.1}% (loss {:.1}% vs AccSNN clean)",
+        ax_attacked.adversarial_accuracy,
+        ax_attacked.accuracy_loss_vs(acc_clean)
+    );
+
+    println!("5. defense: precision-scaled AxSNN (INT8 + mild approximation)…");
+    let mut defended = scenario.ax_snn(snn_cfg, ApproximationLevel::new(0.01).expect("valid"))?;
+    apply_precision(&mut defended, PrecisionScale::Int8);
+    let defended_attacked = evaluate_image_attack(
+        &mut defended,
+        &mut source,
+        &pgd,
+        &scenario.dataset().test,
+        Encoder::DirectCurrent,
+        &mut rng,
+    )?;
+    println!(
+        "   precision-scaled AxSNN under PGD: {:.1}% (loss {:.1}% vs AccSNN clean)",
+        defended_attacked.adversarial_accuracy,
+        defended_attacked.accuracy_loss_vs(acc_clean)
+    );
+    println!("done.");
+    Ok(())
+}

@@ -1,0 +1,202 @@
+//! End-to-end defense tests: the neuromorphic attack/defense pipeline
+//! (Fig. 7b / Table II shape) and Algorithm 1 on a reduced grid.
+
+use axsnn::attacks::neuromorphic::{
+    FrameAttack, FrameAttackConfig, SparseAttack, SparseAttackConfig,
+};
+use axsnn::core::approx::ApproximationLevel;
+use axsnn::core::convert::ann_to_snn;
+use axsnn::core::network::SnnConfig;
+use axsnn::core::precision::PrecisionScale;
+use axsnn::datasets::dvs::DvsGestureConfig;
+use axsnn::datasets::mnist::MnistConfig;
+use axsnn::defense::metrics::{evaluate_event_attack, EventAttackKind};
+use axsnn::defense::scenario::{
+    DvsScenario, DvsScenarioConfig, MnistScenario, MnistScenarioConfig,
+};
+use axsnn::defense::search::{
+    precision_scaling_search, PrecisionSearchConfig, SearchSpace, StaticAttackKind,
+};
+use axsnn::neuromorphic::aqf::AqfConfig;
+use axsnn::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dvs_scenario() -> DvsScenario {
+    DvsScenario::prepare(DvsScenarioConfig {
+        dvs: DvsGestureConfig {
+            train_per_class: 6,
+            test_per_class: 2,
+            micro_steps: 80,
+            events_per_step: 5,
+            noise_events: 20,
+            ..DvsGestureConfig::default()
+        },
+        ..DvsScenarioConfig::default()
+    })
+    .expect("DVS scenario must prepare")
+}
+
+#[test]
+fn frame_attack_collapses_undefended_snn() {
+    let s = dvs_scenario();
+    let cfg = SnnConfig {
+        threshold: 1.0,
+        time_steps: 24,
+        leak: 0.9,
+    };
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut victim = s.acc_snn(cfg).unwrap();
+    let mut surrogate = s.acc_snn(cfg).unwrap();
+
+    let clean = evaluate_event_attack(
+        &mut victim,
+        &mut surrogate,
+        EventAttackKind::None,
+        &s.dataset().test,
+        None,
+        &mut rng,
+    )
+    .unwrap();
+    let framed = evaluate_event_attack(
+        &mut victim,
+        &mut surrogate,
+        EventAttackKind::Frame(FrameAttack::new(FrameAttackConfig::default())),
+        &s.dataset().test,
+        None,
+        &mut rng,
+    )
+    .unwrap();
+    assert!(
+        framed.adversarial_accuracy <= clean.clean_accuracy,
+        "frame attack should not help accuracy: clean {} vs framed {}",
+        clean.clean_accuracy,
+        framed.adversarial_accuracy
+    );
+}
+
+#[test]
+fn aqf_defends_against_frame_attack() {
+    let s = dvs_scenario();
+    let cfg = SnnConfig {
+        threshold: 1.0,
+        time_steps: 24,
+        leak: 0.9,
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    let attack = EventAttackKind::Frame(FrameAttack::new(FrameAttackConfig::default()));
+    let aqf = AqfConfig {
+        quantization_step: 0.015,
+        ..AqfConfig::default()
+    };
+
+    let mut undefended = s.acc_snn(cfg).unwrap();
+    let mut surrogate = s.acc_snn(cfg).unwrap();
+    let bare = evaluate_event_attack(
+        &mut undefended,
+        &mut surrogate,
+        attack,
+        &s.dataset().test,
+        None,
+        &mut rng,
+    )
+    .unwrap();
+
+    let mut defended = s.acc_snn(cfg).unwrap();
+    let guarded = evaluate_event_attack(
+        &mut defended,
+        &mut surrogate,
+        attack,
+        &s.dataset().test,
+        Some(&aqf),
+        &mut rng,
+    )
+    .unwrap();
+
+    // The paper's Table II shape: AQF recovers accuracy under the frame
+    // attack (boundary events are spatio-temporally anomalous and get
+    // filtered).
+    assert!(
+        guarded.adversarial_accuracy >= bare.adversarial_accuracy,
+        "AQF should not hurt under frame attack: bare {} vs AQF {}",
+        bare.adversarial_accuracy,
+        guarded.adversarial_accuracy
+    );
+}
+
+#[test]
+fn sparse_attack_runs_within_budget_on_real_snn() {
+    let s = dvs_scenario();
+    let cfg = SnnConfig {
+        threshold: 1.0,
+        time_steps: 16,
+        leak: 0.9,
+    };
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut victim = s
+        .ax_snn(cfg, ApproximationLevel::new(0.05).unwrap())
+        .unwrap();
+    let mut surrogate = s.acc_snn(cfg).unwrap();
+    let sparse = EventAttackKind::Sparse(SparseAttack::new(SparseAttackConfig {
+        budget_fraction: 0.1,
+        events_per_iteration: 16,
+        max_iterations: 10,
+        ..SparseAttackConfig::default()
+    }));
+    let data: Vec<_> = s.dataset().test.iter().take(4).cloned().collect();
+    let out =
+        evaluate_event_attack(&mut victim, &mut surrogate, sparse, &data, None, &mut rng)
+            .unwrap();
+    assert_eq!(out.samples, 4);
+    assert!(out.adversarial_accuracy <= 100.0);
+}
+
+#[test]
+fn algorithm1_reduced_grid_finds_robust_configuration() {
+    let scenario = MnistScenario::prepare(MnistScenarioConfig {
+        mnist: MnistConfig {
+            size: 16,
+            train_per_class: 20,
+            test_per_class: 3,
+            noise: 0.03,
+            seed: 9,
+        },
+        seed: 9,
+        ..MnistScenarioConfig::default()
+    })
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let calibration: Vec<Tensor> = scenario
+        .dataset()
+        .train
+        .iter()
+        .take(12)
+        .map(|(x, _)| x.clone())
+        .collect();
+    let cfg = PrecisionSearchConfig {
+        space: SearchSpace {
+            thresholds: vec![1.0],
+            time_steps: vec![24],
+            precision_scales: vec![PrecisionScale::Int8],
+            approx_scales: vec![0.5],
+        },
+        quality_constraint: 40.0,
+        epsilon: 0.1,
+        attack: StaticAttackKind::Pgd,
+        stop_at_first: true,
+    };
+    let ann = scenario.ann().clone();
+    let mut trainer = move |c: SnnConfig| ann_to_snn(&ann, c, &calibration);
+    let out = precision_scaling_search(
+        &cfg,
+        &mut trainer,
+        scenario.adversary(),
+        &scenario.dataset().test,
+        &mut rng,
+    )
+    .unwrap();
+    assert!(
+        !out.trace.is_empty() || !out.skipped.is_empty(),
+        "search must evaluate or skip something"
+    );
+}
