@@ -51,7 +51,9 @@ impl NoiseAttack {
         if eps <= 0.0 {
             return Ok(image.clamp(0.0, 1.0));
         }
-        let noise: Vec<f32> = (0..image.len()).map(|_| rng.gen_range(-eps..=eps)).collect();
+        let noise: Vec<f32> = (0..image.len())
+            .map(|_| rng.gen_range(-eps..=eps))
+            .collect();
         let noisy = image.add(&Tensor::from_vec(noise, image.shape().dims())?)?;
         Ok(noisy.clamp(0.0, 1.0))
     }
@@ -127,7 +129,9 @@ impl TargetedPgd {
         if eps == 0.0 {
             return Ok(image.clamp(0.0, 1.0));
         }
-        let noise: Vec<f32> = (0..image.len()).map(|_| rng.gen_range(-eps..=eps)).collect();
+        let noise: Vec<f32> = (0..image.len())
+            .map(|_| rng.gen_range(-eps..=eps))
+            .collect();
         let mut x = image
             .add(&Tensor::from_vec(noise, image.shape().dims())?)?
             .zip(image, |xi, ci| xi.clamp(ci - eps, ci + eps))?

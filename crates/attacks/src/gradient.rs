@@ -59,12 +59,12 @@ impl AttackBudget {
     /// Returns [`AttackError::InvalidBudget`] for negative ε, non-positive
     /// step size with positive ε, or zero steps.
     pub fn validate(&self) -> Result<()> {
-        if !(self.epsilon >= 0.0) {
+        if self.epsilon < 0.0 || self.epsilon.is_nan() {
             return Err(AttackError::InvalidBudget {
                 message: format!("epsilon must be ≥ 0, got {}", self.epsilon),
             });
         }
-        if self.epsilon > 0.0 && !(self.step_size > 0.0) {
+        if self.epsilon > 0.0 && (self.step_size <= 0.0 || self.step_size.is_nan()) {
             return Err(AttackError::InvalidBudget {
                 message: format!("step_size must be > 0, got {}", self.step_size),
             });
@@ -293,7 +293,9 @@ impl ImageAttack for Pgd {
             return Ok(image.clamp(0.0, 1.0));
         }
         let eps = self.budget.epsilon;
-        let noise: Vec<f32> = (0..image.len()).map(|_| rng.gen_range(-eps..=eps)).collect();
+        let noise: Vec<f32> = (0..image.len())
+            .map(|_| rng.gen_range(-eps..=eps))
+            .collect();
         let start = image.add(&Tensor::from_vec(noise, image.shape().dims())?)?;
         let mut x = clip_to_ball(&start, image, eps)?;
         for _ in 0..self.budget.steps {
@@ -390,7 +392,9 @@ mod tests {
                 steps: 3,
             };
             let adv = match name {
-                "fgsm" => Fgsm::new(budget).perturb(&mut src, &x, y, &mut rng).unwrap(),
+                "fgsm" => Fgsm::new(budget)
+                    .perturb(&mut src, &x, y, &mut rng)
+                    .unwrap(),
                 "bim" => Bim::new(budget).perturb(&mut src, &x, y, &mut rng).unwrap(),
                 _ => Pgd::new(budget).perturb(&mut src, &x, y, &mut rng).unwrap(),
             };
@@ -409,9 +413,12 @@ mod tests {
             steps: 20,
         };
         for adv in [
-            Fgsm::new(AttackBudget { epsilon: 0.15, ..budget })
-                .perturb(&mut src, &x, y, &mut rng)
-                .unwrap(),
+            Fgsm::new(AttackBudget {
+                epsilon: 0.15,
+                ..budget
+            })
+            .perturb(&mut src, &x, y, &mut rng)
+            .unwrap(),
             Bim::new(budget).perturb(&mut src, &x, y, &mut rng).unwrap(),
             Pgd::new(budget).perturb(&mut src, &x, y, &mut rng).unwrap(),
         ] {

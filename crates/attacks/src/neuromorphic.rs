@@ -142,7 +142,10 @@ impl SparseAttack {
         label: usize,
         rng: &mut R,
     ) -> Result<EventStream> {
-        if !(self.config.budget_fraction > 0.0) || self.config.events_per_iteration == 0 {
+        if self.config.budget_fraction <= 0.0
+            || self.config.budget_fraction.is_nan()
+            || self.config.events_per_iteration == 0
+        {
             return Err(AttackError::InvalidBudget {
                 message: "sparse attack needs positive budget and batch size".into(),
             });
@@ -190,7 +193,11 @@ impl SparseAttack {
             if inject {
                 batch = self.config.events_per_iteration.min(budget - injected);
                 let (px, py) = (rng.gen_range(0..w) as u16, rng.gen_range(0..h) as u16);
-                let polarity = if rng.gen::<bool>() { Polarity::On } else { Polarity::Off };
+                let polarity = if rng.gen::<bool>() {
+                    Polarity::On
+                } else {
+                    Polarity::Off
+                };
                 for i in 0..batch {
                     let t = ((i as f32 + 0.5) / batch as f32).min(0.999_999);
                     candidate.push(DvsEvent::new(px, py, polarity, t))?;
@@ -396,7 +403,11 @@ mod tests {
         let adv = SparseAttack::new(cfg)
             .perturb(&mut model, &stream, 0, &mut rng)
             .unwrap();
-        assert_eq!(model.predict(&adv).unwrap(), 1, "attack should flip the label");
+        assert_eq!(
+            model.predict(&adv).unwrap(),
+            1,
+            "attack should flip the label"
+        );
     }
 
     #[test]
@@ -455,7 +466,10 @@ mod tests {
     fn frame_attack_is_model_free_and_deterministic() {
         let stream = clean_stream();
         let attack = FrameAttack::new(FrameAttackConfig::default());
-        assert_eq!(attack.perturb(&stream).unwrap(), attack.perturb(&stream).unwrap());
+        assert_eq!(
+            attack.perturb(&stream).unwrap(),
+            attack.perturb(&stream).unwrap()
+        );
     }
 
     #[test]

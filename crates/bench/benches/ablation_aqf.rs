@@ -30,7 +30,12 @@ fn bench_aqf_parameters(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("aqf_quantization_step");
-    for (name, qt) in [("0", 0.0f32), ("0.01", 0.01), ("0.015", 0.015), ("0.05", 0.05)] {
+    for (name, qt) in [
+        ("0", 0.0f32),
+        ("0.01", 0.01),
+        ("0.015", 0.015),
+        ("0.05", 0.05),
+    ] {
         let cfg = AqfConfig {
             quantization_step: qt,
             ..AqfConfig::default()

@@ -3,8 +3,7 @@
 //! security-aware `a_th` computation.
 
 use axsnn::core::approx::{
-    apply_approximation, apply_eq1_approximation, apply_quantile_approximation,
-    ApproximationLevel,
+    apply_approximation, apply_eq1_approximation, apply_quantile_approximation, ApproximationLevel,
 };
 use axsnn::core::layer::Layer;
 use axsnn::core::network::{SnnConfig, SpikeStats, SpikingNetwork};

@@ -21,7 +21,11 @@ fn bench_sources(c: &mut Criterion) {
         AnnLayer::linear_out(&mut rng, 96, 10),
     ])
     .expect("static topology");
-    let cfg = SnnConfig { threshold: 1.0, time_steps: 16, leak: 0.9 };
+    let cfg = SnnConfig {
+        threshold: 1.0,
+        time_steps: 16,
+        leak: 0.9,
+    };
     let mut snn = SpikingNetwork::new(
         vec![
             Layer::spiking_linear(&mut rng, 256, 96, &cfg),
@@ -31,19 +35,31 @@ fn bench_sources(c: &mut Criterion) {
     )
     .expect("static topology");
     let image = Tensor::full(&[1, 16, 16], 0.5);
-    let budget = AttackBudget { epsilon: 0.1, step_size: 0.02, steps: 5 };
+    let budget = AttackBudget {
+        epsilon: 0.1,
+        step_size: 0.02,
+        steps: 5,
+    };
 
     c.bench_function("pgd_via_ann_gradients", |b| {
         b.iter(|| {
             let mut src = AnnGradientSource::new(&ann);
-            black_box(Pgd::new(budget).perturb(&mut src, black_box(&image), 2, &mut rng).unwrap())
+            black_box(
+                Pgd::new(budget)
+                    .perturb(&mut src, black_box(&image), 2, &mut rng)
+                    .unwrap(),
+            )
         })
     });
     let flat = image.reshape(&[256]).unwrap();
     c.bench_function("pgd_via_snn_surrogate_gradients_T16", |b| {
         b.iter(|| {
             let mut src = SnnGradientSource::new(&mut snn);
-            black_box(Pgd::new(budget).perturb(&mut src, black_box(&flat), 2, &mut rng).unwrap())
+            black_box(
+                Pgd::new(budget)
+                    .perturb(&mut src, black_box(&flat), 2, &mut rng)
+                    .unwrap(),
+            )
         })
     });
 }

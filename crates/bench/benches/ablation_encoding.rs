@@ -11,7 +11,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench_encoders(c: &mut Criterion) {
-    let cfg = SnnConfig { threshold: 1.0, time_steps: 32, leak: 0.9 };
+    let cfg = SnnConfig {
+        threshold: 1.0,
+        time_steps: 32,
+        leak: 0.9,
+    };
     let mut rng = StdRng::seed_from_u64(0);
     let mut net = SpikingNetwork::new(
         vec![

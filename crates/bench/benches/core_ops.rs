@@ -57,7 +57,13 @@ fn bench_encoding(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let image = init::uniform(&mut rng, &[1, 28, 28], 0.5).clamp(0.0, 1.0);
     c.bench_function("encode_poisson_28x28_T32", |b| {
-        b.iter(|| black_box(Encoder::Poisson.encode(black_box(&image), 32, &mut rng).unwrap()))
+        b.iter(|| {
+            black_box(
+                Encoder::Poisson
+                    .encode(black_box(&image), 32, &mut rng)
+                    .unwrap(),
+            )
+        })
     });
     c.bench_function("encode_deterministic_28x28_T32", |b| {
         b.iter(|| {

@@ -1,0 +1,108 @@
+//! Criterion benchmarks of the event-driven sparse forward kernels
+//! against their dense counterparts on the paper's MNIST-scale layers,
+//! across realistic spike densities.
+
+use axsnn::tensor::conv::{conv2d, Conv2dSpec};
+use axsnn::tensor::sparse::{sparse_conv2d, sparse_matvec_bias, SpikeVector};
+use axsnn::tensor::{init, linalg, Tensor};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DENSITIES: [f32; 4] = [0.01, 0.05, 0.10, 0.20];
+
+/// Deterministic binary frame at the requested density.
+fn spike_frame(len: usize, density: f32, dims: &[usize]) -> Tensor {
+    let data: Vec<f32> = (0..len)
+        .map(|i| {
+            let mut h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5bf0_3635;
+            h ^= h >> 29;
+            h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            let unit = (h >> 40) as f32 / (1u64 << 24) as f32;
+            if unit < density {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Tensor::from_vec(data, dims).unwrap()
+}
+
+/// 28×28 conv layer of the paper's MNIST architecture: 16 input maps,
+/// 32 filters, 3×3 kernel, same padding.
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let spec = Conv2dSpec {
+        in_channels: 16,
+        out_channels: 32,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let weight = init::uniform(&mut rng, &[32, 16, 3, 3], 0.2);
+    let bias = Tensor::zeros(&[32]);
+
+    let mut group = c.benchmark_group("conv2d_16x28x28_to_32");
+    for &density in &DENSITIES {
+        let input = spike_frame(16 * 28 * 28, density, &[16, 28, 28]);
+        let events = SpikeVector::from_dense(&input).expect("binary frame");
+        group.bench_with_input(
+            BenchmarkId::new("dense", format!("{:.0}%", density * 100.0)),
+            &input,
+            |b, input| {
+                b.iter(|| black_box(conv2d(black_box(input), &weight, &bias, &spec).unwrap()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sparse", format!("{:.0}%", density * 100.0)),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    black_box(
+                        sparse_conv2d(black_box(events), (28, 28), &weight, &bias, &spec).unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Fully-connected layer at the paper's flattened MNIST width.
+fn bench_linear(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let weight = init::uniform(&mut rng, &[256, 1568], 0.1);
+    let bias = Tensor::zeros(&[256]);
+
+    let mut group = c.benchmark_group("linear_1568_to_256");
+    for &density in &DENSITIES {
+        let input = spike_frame(1568, density, &[1568]);
+        let events = SpikeVector::from_dense(&input).expect("binary frame");
+        group.bench_with_input(
+            BenchmarkId::new("dense", format!("{:.0}%", density * 100.0)),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    black_box(
+                        linalg::matvec(&weight, black_box(input))
+                            .unwrap()
+                            .add(&bias)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sparse", format!("{:.0}%", density * 100.0)),
+            &events,
+            |b, events| {
+                b.iter(|| black_box(sparse_matvec_bias(&weight, black_box(events), &bias).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(sparse_forward, bench_conv, bench_linear);
+criterion_main!(sparse_forward);

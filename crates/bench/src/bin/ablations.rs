@@ -14,8 +14,7 @@ use axsnn::attacks::gradient::{
 };
 use axsnn::attacks::neuromorphic::{FrameAttack, FrameAttackConfig};
 use axsnn::core::approx::{
-    apply_approximation, apply_eq1_approximation, apply_quantile_approximation,
-    ApproximationLevel,
+    apply_approximation, apply_eq1_approximation, apply_quantile_approximation, ApproximationLevel,
 };
 use axsnn::core::encoding::Encoder;
 use axsnn::defense::metrics::{
@@ -34,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = snn_config(1.0, 32);
     let budget = AttackBudget::for_epsilon(epsilon_scale());
 
-    println!("# Ablation 1 — attack gradient source (PGD, effective ε = {:.2})", epsilon_scale());
+    println!(
+        "# Ablation 1 — attack gradient source (PGD, effective ε = {:.2})",
+        epsilon_scale()
+    );
     {
         let mut victim = scenario.acc_snn(cfg)?;
         let mut source = AnnGradientSource::new(scenario.adversary());
@@ -60,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         let whitebox = 100.0 * correct as f32 / test.len() as f32;
-        println!("  transfer (ANN twin): {:.1}%   white-box (SNN surrogate): {whitebox:.1}%", transfer.adversarial_accuracy);
+        println!(
+            "  transfer (ANN twin): {:.1}%   white-box (SNN surrogate): {whitebox:.1}%",
+            transfer.adversarial_accuracy
+        );
         println!("  → the white-box attack should be at least as strong (lower accuracy).");
     }
 
@@ -83,7 +88,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let frames = Encoder::DirectCurrent.encode(&test[0].0, 32, &mut rng)?;
             probe.forward(&frames, false, &mut rng)?.stats
         };
-        for (name, which) in [("relative-magnitude", 0), ("quantile", 1), ("eq1-security-aware", 2)] {
+        for (name, which) in [
+            ("relative-magnitude", 0),
+            ("quantile", 1),
+            ("eq1-security-aware", 2),
+        ] {
             let mut net = scenario.acc_snn(cfg)?;
             let report = match which {
                 0 => apply_approximation(&mut net, level),

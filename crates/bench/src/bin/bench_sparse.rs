@@ -1,0 +1,251 @@
+//! Smoke benchmark: dense vs event-driven sparse forward kernels,
+//! exported to `BENCH_sparse.json` for the CI perf trajectory.
+//!
+//! Times the paper's MNIST-scale conv and linear layers at several
+//! spike densities plus a full-network inference pass, and writes one
+//! JSON record per measurement with the dense/sparse ns and speedup.
+//!
+//! Usage: `cargo run --release -p axsnn-bench --bin bench_sparse [out.json]`
+//! (default output path `BENCH_sparse.json`). `AXSNN_BENCH_ITERS`
+//! scales the iteration counts (default 30).
+
+use axsnn::core::layer::Layer;
+use axsnn::core::network::{SnnConfig, SpikingNetwork};
+use axsnn::tensor::conv::{conv2d, Conv2dSpec};
+use axsnn::tensor::sparse::{sparse_conv2d, sparse_matvec_bias, SpikeVector};
+use axsnn::tensor::{init, linalg, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Record {
+    name: String,
+    density: f32,
+    dense_ns: f64,
+    sparse_ns: f64,
+}
+
+impl Record {
+    fn speedup(&self) -> f64 {
+        self.dense_ns / self.sparse_ns.max(1.0)
+    }
+}
+
+fn iters() -> u32 {
+    std::env::var("AXSNN_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30)
+}
+
+fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+    let n = iters();
+    // One warmup round, then the timed rounds.
+    f();
+    let start = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / n as f64
+}
+
+fn spike_frame(len: usize, density: f32, dims: &[usize]) -> Tensor {
+    salted_spike_frame(len, density, dims, 0x1234_5678)
+}
+
+fn salted_spike_frame(len: usize, density: f32, dims: &[usize], salt: u64) -> Tensor {
+    let data: Vec<f32> = (0..len)
+        .map(|i| {
+            let mut h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt;
+            h ^= h >> 29;
+            h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            let unit = (h >> 40) as f32 / (1u64 << 24) as f32;
+            if unit < density {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Tensor::from_vec(data, dims).unwrap()
+}
+
+fn conv_records(records: &mut Vec<Record>) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let spec = Conv2dSpec {
+        in_channels: 16,
+        out_channels: 32,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let weight = init::uniform(&mut rng, &[32, 16, 3, 3], 0.2);
+    let bias = Tensor::zeros(&[32]);
+    for &density in &[0.01f32, 0.05, 0.10, 0.20] {
+        let input = spike_frame(16 * 28 * 28, density, &[16, 28, 28]);
+        let events = SpikeVector::from_dense(&input).expect("binary frame");
+        let dense_ns = time_ns(|| {
+            black_box(conv2d(black_box(&input), &weight, &bias, &spec).unwrap());
+        });
+        let sparse_ns = time_ns(|| {
+            black_box(sparse_conv2d(black_box(&events), (28, 28), &weight, &bias, &spec).unwrap());
+        });
+        records.push(Record {
+            name: "conv2d_16x28x28_to_32".into(),
+            density,
+            dense_ns,
+            sparse_ns,
+        });
+    }
+}
+
+fn linear_records(records: &mut Vec<Record>) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let weight = init::uniform(&mut rng, &[256, 1568], 0.1);
+    let bias = Tensor::zeros(&[256]);
+    for &density in &[0.01f32, 0.05, 0.10, 0.20] {
+        let input = spike_frame(1568, density, &[1568]);
+        let events = SpikeVector::from_dense(&input).expect("binary frame");
+        let dense_ns = time_ns(|| {
+            black_box(
+                linalg::matvec(&weight, black_box(&input))
+                    .unwrap()
+                    .add(&bias)
+                    .unwrap(),
+            );
+        });
+        let sparse_ns = time_ns(|| {
+            black_box(sparse_matvec_bias(&weight, black_box(&events), &bias).unwrap());
+        });
+        records.push(Record {
+            name: "linear_1568_to_256".into(),
+            density,
+            dense_ns,
+            sparse_ns,
+        });
+    }
+}
+
+/// Full-network inference: the end-to-end path the attack sweeps pay
+/// for, with the sparse gate on (default threshold) vs forced dense.
+fn network_records(records: &mut Vec<Record>) {
+    let cfg = SnnConfig {
+        threshold: 0.8,
+        time_steps: 16,
+        leak: 0.9,
+    };
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut sparse_net = SpikingNetwork::new(
+        vec![
+            Layer::spiking_conv2d(
+                &mut rng,
+                Conv2dSpec {
+                    in_channels: 1,
+                    out_channels: 16,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
+                &cfg,
+            ),
+            Layer::max_pool2d(2),
+            Layer::spiking_conv2d(
+                &mut rng,
+                Conv2dSpec {
+                    in_channels: 16,
+                    out_channels: 32,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
+                &cfg,
+            ),
+            Layer::max_pool2d(2),
+            Layer::flatten(),
+            Layer::spiking_linear(&mut rng, 32 * 7 * 7, 128, &cfg),
+            Layer::output_linear(&mut rng, 128, 10),
+        ],
+        cfg,
+    )
+    .expect("static topology");
+    let mut dense_net = sparse_net.clone();
+    dense_net.set_sparse_threshold(0.0);
+
+    let density = 0.10f32;
+    let frames: Vec<Tensor> = (0..16)
+        .map(|t| salted_spike_frame(28 * 28, density, &[1, 28, 28], t as u64))
+        .collect();
+    let mut frng = StdRng::seed_from_u64(3);
+    let dense_ns = time_ns(|| {
+        black_box(dense_net.forward(&frames, false, &mut frng).unwrap());
+    });
+    let sparse_ns = time_ns(|| {
+        black_box(sparse_net.forward(&frames, false, &mut frng).unwrap());
+    });
+    records.push(Record {
+        name: "network_forward_T16_28x28".into(),
+        density,
+        dense_ns,
+        sparse_ns,
+    });
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sparse.json".to_string());
+    let mut records = Vec::new();
+    conv_records(&mut records);
+    linear_records(&mut records);
+    network_records(&mut records);
+
+    println!(
+        "{:<28} {:>8} {:>14} {:>14} {:>9}",
+        "benchmark", "density", "dense ns", "sparse ns", "speedup"
+    );
+    let mut json = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        println!(
+            "{:<28} {:>7.0}% {:>14.0} {:>14.0} {:>8.2}x",
+            r.name,
+            r.density * 100.0,
+            r.dense_ns,
+            r.sparse_ns,
+            r.speedup()
+        );
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        json.push_str(&format!(
+            "  {{\"name\": \"{}\", \"density\": {:.2}, \"dense_ns\": {:.0}, \"sparse_ns\": {:.0}, \"speedup\": {:.3}}}{sep}\n",
+            r.name, r.density, r.dense_ns, r.sparse_ns, r.speedup()
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    println!("\nwrote {out_path}");
+
+    // Guard the acceptance bar: at ≤10% density the sparse kernels must
+    // be at least 2× faster than dense on the MNIST-scale layers.
+    let gate: Vec<&Record> = records
+        .iter()
+        .filter(|r| r.density <= 0.10 && !r.name.starts_with("network_"))
+        .collect();
+    let failing: Vec<String> = gate
+        .iter()
+        .filter(|r| r.speedup() < 2.0)
+        .map(|r| {
+            format!(
+                "{} @ {:.0}%: {:.2}x",
+                r.name,
+                r.density * 100.0,
+                r.speedup()
+            )
+        })
+        .collect();
+    if failing.is_empty() {
+        println!("speedup gate passed: all kernel benchmarks ≥ 2x at ≤10% density");
+    } else {
+        eprintln!("speedup gate FAILED: {failing:?}");
+        std::process::exit(1);
+    }
+}

@@ -57,8 +57,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let ann = scenario.ann().clone();
             let calib = calibration.clone();
             let mut trainer = move |c: SnnConfig| ann_to_snn(&ann, c, &calib);
-            let outcome =
-                precision_scaling_search(&cfg, &mut trainer, scenario.adversary(), &test, &mut rng)?;
+            let outcome = precision_scaling_search(
+                &cfg,
+                &mut trainer,
+                scenario.adversary(),
+                &test,
+                &mut rng,
+            )?;
             match outcome.best {
                 Some(best) => println!(
                     "{:>6.2} {:>4} {:>6} {:>8} {:>7.1}% {:>9.1}%",

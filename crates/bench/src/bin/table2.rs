@@ -59,10 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ] {
         for (qt, ath) in COMBOS {
-            let mut victim = scenario.ax_snn(
-                cfg,
-                ApproximationLevel::new(ath).expect("valid level"),
-            )?;
+            let mut victim =
+                scenario.ax_snn(cfg, ApproximationLevel::new(ath).expect("valid level"))?;
             // Adversary's surrogate: victim weights, mismatched (V_th, T).
             let mut surrogate = scenario.acc_snn(snn_config(0.75, 24))?;
             let aqf = AqfConfig {

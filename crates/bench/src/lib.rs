@@ -25,7 +25,9 @@ use axsnn::tensor::Tensor;
 
 /// Reads the scale mode from `AXSNN_FULL`.
 pub fn full_scale() -> bool {
-    std::env::var("AXSNN_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("AXSNN_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Reads the experiment seed from `AXSNN_SEED` (default 1).
@@ -164,53 +166,78 @@ pub fn heatmap_sweep(
 ) -> Vec<Vec<f32>> {
     use axsnn::attacks::gradient::{AnnGradientSource, AttackBudget, Bim, Pgd};
     use axsnn::core::approx::ApproximationLevel;
+    use axsnn::core::batch::{fan_out_with, sample_seed};
     use axsnn::core::encoding::Encoder;
     use axsnn::core::precision::apply_precision;
     use axsnn::defense::metrics::evaluate_image_attack;
     use axsnn::defense::search::StaticAttackKind;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::convert::Infallible;
 
-    let mut rng = StdRng::seed_from_u64(seed());
     let test = capped_test(scenario);
     let thresholds = threshold_grid();
     let steps = time_step_grid();
     let budget = AttackBudget::for_epsilon(epsilon * epsilon_scale());
     let level = ApproximationLevel::new(approx_level).expect("valid level");
 
-    let mut cells = Vec::with_capacity(steps.len());
-    for &t in &steps {
-        let mut row = Vec::with_capacity(thresholds.len());
-        for &v in &thresholds {
-            let mut net = scenario
-                .ax_snn(snn_config(v, t), level)
-                .expect("conversion");
-            apply_precision(&mut net, precision);
-            let mut source = AnnGradientSource::new(scenario.adversary());
-            let out = match attack {
-                StaticAttackKind::Pgd => evaluate_image_attack(
-                    &mut net,
-                    &mut source,
-                    &Pgd::new(budget),
-                    &test,
-                    Encoder::DirectCurrent,
-                    &mut rng,
-                ),
-                StaticAttackKind::Bim => evaluate_image_attack(
-                    &mut net,
-                    &mut source,
-                    &Bim::new(budget),
-                    &test,
-                    Encoder::DirectCurrent,
-                    &mut rng,
-                ),
-            }
-            .expect("evaluation");
-            row.push(out.adversarial_accuracy);
+    // Every (V_th, T) grid point is independent: its own converted
+    // network, gradient source and seeded generator. Fan the cells out
+    // across cores (AXSNN_THREADS overrides, 0 = all cores).
+    let jobs: Vec<(usize, usize)> = (0..steps.len())
+        .flat_map(|ti| (0..thresholds.len()).map(move |vi| (ti, vi)))
+        .collect();
+    let eval_cell = |&(ti, vi): &(usize, usize)| -> f32 {
+        let (t, v) = (steps[ti], thresholds[vi]);
+        let cell_index = ti * thresholds.len() + vi;
+        let mut rng = StdRng::seed_from_u64(sample_seed(seed(), cell_index));
+        let mut net = scenario
+            .ax_snn(snn_config(v, t), level)
+            .expect("conversion");
+        apply_precision(&mut net, precision);
+        let mut source = AnnGradientSource::new(scenario.adversary());
+        let out = match attack {
+            StaticAttackKind::Pgd => evaluate_image_attack(
+                &mut net,
+                &mut source,
+                &Pgd::new(budget),
+                &test,
+                Encoder::DirectCurrent,
+                &mut rng,
+            ),
+            StaticAttackKind::Bim => evaluate_image_attack(
+                &mut net,
+                &mut source,
+                &Bim::new(budget),
+                &test,
+                Encoder::DirectCurrent,
+                &mut rng,
+            ),
         }
-        cells.push(row);
-    }
-    cells
+        .expect("evaluation");
+        out.adversarial_accuracy
+    };
+
+    let flat: Vec<f32> = fan_out_with(
+        jobs.len(),
+        sweep_threads(),
+        || (),
+        |(), i, slot: &mut f32| -> Result<(), Infallible> {
+            *slot = eval_cell(&jobs[i]);
+            Ok(())
+        },
+    )
+    .unwrap_or_else(|e| match e {});
+    flat.chunks(thresholds.len()).map(<[f32]>::to_vec).collect()
+}
+
+/// Reads the sweep worker count from `AXSNN_THREADS` (default 0 = all
+/// available cores).
+pub fn sweep_threads() -> usize {
+    std::env::var("AXSNN_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 /// Prints a heatmap in the paper's Figs. 4–6 orientation: rows =
@@ -224,8 +251,8 @@ pub fn print_heatmap(title: &str, thresholds: &[f32], time_steps: &[usize], cell
     println!();
     for (ri, &t) in time_steps.iter().enumerate().rev() {
         print!("{t:>6}");
-        for ci in 0..thresholds.len() {
-            print!("{:>7.0}", cells[ri][ci]);
+        for cell in cells[ri].iter().take(thresholds.len()) {
+            print!("{cell:>7.0}");
         }
         println!();
     }

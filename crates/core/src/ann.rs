@@ -148,7 +148,12 @@ impl AnnLayer {
             spec,
             weight: init::kaiming_uniform(
                 rng,
-                &[spec.out_channels, spec.in_channels, spec.kernel, spec.kernel],
+                &[
+                    spec.out_channels,
+                    spec.in_channels,
+                    spec.kernel,
+                    spec.kernel,
+                ],
                 fan_in,
             ),
             bias: Tensor::zeros(&[spec.out_channels]),
@@ -217,7 +222,9 @@ impl AnnNetwork {
                 }
                 AnnLayer::LinearRelu { weight, bias } => {
                     let flat = flatten_if_needed(&x)?;
-                    linalg::matvec(weight, &flat)?.add(bias)?.map(|v| v.max(0.0))
+                    linalg::matvec(weight, &flat)?
+                        .add(bias)?
+                        .map(|v| v.max(0.0))
                 }
                 AnnLayer::LinearOut { weight, bias } => {
                     let flat = flatten_if_needed(&x)?;
@@ -284,7 +291,9 @@ impl AnnNetwork {
                 }
                 AnnLayer::LinearOut { weight, bias } => {
                     let flat = flatten_if_needed(&x)?;
-                    tapes.push(Tape::LinearOut { input: flat.clone() });
+                    tapes.push(Tape::LinearOut {
+                        input: flat.clone(),
+                    });
                     linalg::matvec(weight, &flat)?.add(bias)?
                 }
                 AnnLayer::AvgPool { window } => {
@@ -311,7 +320,13 @@ impl AnnNetwork {
                     let keep = 1.0 - probability;
                     let mask: Vec<f32> = if train && *probability > 0.0 {
                         (0..x.len())
-                            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+                            .map(|_| {
+                                if rng.gen::<f32>() < keep {
+                                    1.0 / keep
+                                } else {
+                                    0.0
+                                }
+                            })
                             .collect()
                     } else {
                         vec![1.0; x.len()]
@@ -462,7 +477,9 @@ impl AnnNetwork {
                     }
                     AnnLayer::LinearRelu { weight, bias } => {
                         let flat = flatten_if_needed(&x)?;
-                        let a = linalg::matvec(weight, &flat)?.add(bias)?.map(|v| v.max(0.0));
+                        let a = linalg::matvec(weight, &flat)?
+                            .add(bias)?
+                            .map(|v| v.max(0.0));
                         maxima[pi] = maxima[pi].max(a.max());
                         pi += 1;
                         a
@@ -597,7 +614,10 @@ mod tests {
         let (_, loss0, back) = net.forward_backward(&x, label, true, &mut rng).unwrap();
         net.apply_grads(&back.layer_grads, 0.5).unwrap();
         let (_, loss1, _) = net.forward_backward(&x, label, false, &mut rng).unwrap();
-        assert!(loss1 < loss0, "one SGD step must reduce loss: {loss0} → {loss1}");
+        assert!(
+            loss1 < loss0,
+            "one SGD step must reduce loss: {loss0} → {loss1}"
+        );
     }
 
     #[test]

@@ -326,8 +326,8 @@ pub fn apply_eq1_approximation(
             }
             let outputs = w.value.shape().dims()[0].max(1);
             let connections = total / outputs;
-            let mean_weight = w.value.as_slice().iter().map(|v| v.abs()).sum::<f32>()
-                / total.max(1) as f32;
+            let mean_weight =
+                w.value.as_slice().iter().map(|v| v.abs()).sum::<f32>() / total.max(1) as f32;
             // V_m proxy: half the threshold (mid-charge), per Sec. IV-A's
             // min(1, V_m/V_th) spike-probability weighting.
             let ath = ath_eq1(&Eq1Inputs {
@@ -409,7 +409,11 @@ mod tests {
         let mut n = net(&mut rng);
         let report = apply_approximation(&mut n, ApproximationLevel::new(1.0).unwrap());
         // Only elements equal to max|w| survive.
-        assert!(report.pruned_fraction() > 0.95, "{}", report.pruned_fraction());
+        assert!(
+            report.pruned_fraction() > 0.95,
+            "{}",
+            report.pruned_fraction()
+        );
     }
 
     #[test]
@@ -421,12 +425,14 @@ mod tests {
                 let mut rng2 = StdRng::seed_from_u64(0);
                 let mut n = net(&mut rng2);
                 let _ = &mut rng;
-                apply_approximation(&mut n, ApproximationLevel::new(l).unwrap())
-                    .pruned_fraction()
+                apply_approximation(&mut n, ApproximationLevel::new(l).unwrap()).pruned_fraction()
             })
             .collect();
         for pair in fractions.windows(2) {
-            assert!(pair[0] <= pair[1], "pruning must grow with level: {fractions:?}");
+            assert!(
+                pair[0] <= pair[1],
+                "pruning must grow with level: {fractions:?}"
+            );
         }
     }
 

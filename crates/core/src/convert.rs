@@ -147,7 +147,10 @@ mod tests {
             .iter()
             .filter(|(x, y)| ann.classify(x).unwrap() == *y)
             .count();
-        assert!(ann_acc >= 55, "ANN should fit the toy set, got {ann_acc}/60");
+        assert!(
+            ann_acc >= 55,
+            "ANN should fit the toy set, got {ann_acc}/60"
+        );
 
         let calib: Vec<Tensor> = data.iter().take(16).map(|(x, _)| x.clone()).collect();
         let cfg = SnnConfig {
@@ -195,7 +198,11 @@ mod tests {
         assert_eq!(snn.layers()[1].kind(), "max_pool2d");
         let mut rng2 = StdRng::seed_from_u64(0);
         let label = snn
-            .classify(&Tensor::full(&[1, 4, 4], 0.5), Encoder::DirectCurrent, &mut rng2)
+            .classify(
+                &Tensor::full(&[1, 4, 4], 0.5),
+                Encoder::DirectCurrent,
+                &mut rng2,
+            )
             .unwrap();
         assert!(label < 3);
     }
@@ -236,7 +243,13 @@ mod tests {
         let kinds: Vec<&str> = snn.layers().iter().map(|l| l.kind()).collect();
         assert_eq!(
             kinds,
-            vec!["spiking_conv2d", "avg_pool2d", "flatten", "dropout", "output_linear"]
+            vec![
+                "spiking_conv2d",
+                "avg_pool2d",
+                "flatten",
+                "dropout",
+                "output_linear"
+            ]
         );
     }
 }

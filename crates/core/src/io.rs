@@ -322,8 +322,12 @@ mod tests {
 
         let mut rng = StdRng::seed_from_u64(0);
         let image = Tensor::full(&[1, 4, 4], 0.6);
-        let a = original.classify(&image, Encoder::DirectCurrent, &mut rng).unwrap();
-        let b = restored.classify(&image, Encoder::DirectCurrent, &mut rng).unwrap();
+        let a = original
+            .classify(&image, Encoder::DirectCurrent, &mut rng)
+            .unwrap();
+        let b = restored
+            .classify(&image, Encoder::DirectCurrent, &mut rng)
+            .unwrap();
         assert_eq!(a, b, "restored network must classify identically");
         assert_eq!(original.depth(), restored.depth());
         assert_eq!(original.parameter_count(), restored.parameter_count());

@@ -18,6 +18,7 @@ use crate::lif::{LifParams, LifState};
 use crate::network::SnnConfig;
 use crate::{CoreError, Result};
 use axsnn_tensor::conv::{self, Conv2dSpec};
+use axsnn_tensor::sparse::{self, SpikeVector, DEFAULT_DENSITY_THRESHOLD};
 use axsnn_tensor::{init, linalg, Tensor};
 use rand::Rng;
 
@@ -42,20 +43,45 @@ impl Param {
         }
     }
 
-    /// Zeroes the gradient accumulator.
+    /// Zeroes the gradient accumulator (in place, allocation-free).
     pub fn zero_grad(&mut self) {
-        self.grad.map_inplace(|_| 0.0);
+        self.grad.as_mut_slice().fill(0.0);
     }
 
     /// SGD-with-momentum update: `v ← μ·v − lr·g; w ← w + v`.
     ///
+    /// Runs fully in place — no temporary tensors are allocated, which
+    /// matters because this executes once per parameter per optimizer
+    /// step.
+    ///
     /// # Errors
     ///
-    /// Propagates tensor shape errors (cannot occur when the parameter was
-    /// built through [`Param::new`]).
+    /// Returns a shape error when the (public) `grad` tensor no longer
+    /// matches the value shape; cannot fail for parameters whose grad
+    /// was only written through the layer machinery.
     pub fn apply(&mut self, lr: f32, momentum: f32) -> Result<()> {
-        self.velocity = self.velocity.scale(momentum).sub(&self.grad.scale(lr))?;
-        self.value = self.value.add(&self.velocity)?;
+        if self.grad.len() != self.value.len() {
+            return Err(CoreError::from(axsnn_tensor::TensorError::LengthMismatch {
+                expected: self.value.len(),
+                actual: self.grad.len(),
+            }));
+        }
+        for (v, &g) in self
+            .velocity
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.grad.as_slice())
+        {
+            *v = momentum * *v - lr * g;
+        }
+        for (w, &v) in self
+            .value
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.velocity.as_slice())
+        {
+            *w += v;
+        }
         Ok(())
     }
 }
@@ -82,6 +108,8 @@ pub struct SpikingConv2d {
     tape: Vec<SpikeTape>,
     carry: Vec<f32>,
     input_hw: Option<(usize, usize)>,
+    last_spikes: Option<f32>,
+    sparse_threshold: f32,
 }
 
 /// Spiking fully-connected layer (`[In] → [Out]` spikes).
@@ -95,6 +123,8 @@ pub struct SpikingLinear {
     state: LifState,
     tape: Vec<SpikeTape>,
     carry: Vec<f32>,
+    last_spikes: Option<f32>,
+    sparse_threshold: f32,
 }
 
 /// Non-spiking integrator readout; the network sums its per-step outputs.
@@ -105,6 +135,7 @@ pub struct OutputLinear {
     /// Bias `[Out]`.
     pub bias: Param,
     inputs: Vec<Tensor>,
+    sparse_threshold: f32,
 }
 
 /// Average-pooling layer over spikes (linear, stateless).
@@ -113,6 +144,7 @@ pub struct AvgPool2d {
     /// Square window / stride.
     pub window: usize,
     input_dims: Vec<usize>,
+    sparse_threshold: f32,
 }
 
 /// Max-pooling layer over spikes (winner-take-all, stateless per step).
@@ -122,6 +154,7 @@ pub struct MaxPool2d {
     pub window: usize,
     input_dims: Vec<usize>,
     argmax_per_step: Vec<Vec<usize>>,
+    sparse_threshold: f32,
 }
 
 /// Flatten `[C,H,W] → [C·H·W]`.
@@ -178,7 +211,12 @@ impl Layer {
         let fan_in = spec.in_channels * spec.kernel * spec.kernel;
         let weight = init::kaiming_uniform(
             rng,
-            &[spec.out_channels, spec.in_channels, spec.kernel, spec.kernel],
+            &[
+                spec.out_channels,
+                spec.in_channels,
+                spec.kernel,
+                spec.kernel,
+            ],
             fan_in,
         );
         Layer::SpikingConv2d(SpikingConv2d {
@@ -190,11 +228,18 @@ impl Layer {
             tape: Vec::new(),
             carry: Vec::new(),
             input_hw: None,
+            last_spikes: None,
+            sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
         })
     }
 
     /// Creates a spiking fully-connected layer.
-    pub fn spiking_linear<R: Rng>(rng: &mut R, inputs: usize, outputs: usize, cfg: &SnnConfig) -> Layer {
+    pub fn spiking_linear<R: Rng>(
+        rng: &mut R,
+        inputs: usize,
+        outputs: usize,
+        cfg: &SnnConfig,
+    ) -> Layer {
         let weight = init::kaiming_uniform(rng, &[outputs, inputs], inputs);
         Layer::SpikingLinear(SpikingLinear {
             weight: Param::new(weight),
@@ -203,6 +248,8 @@ impl Layer {
             state: LifState::new(outputs, cfg.lif_params()),
             tape: Vec::new(),
             carry: vec![0.0; outputs],
+            last_spikes: None,
+            sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
         })
     }
 
@@ -213,6 +260,7 @@ impl Layer {
             weight: Param::new(weight),
             bias: Param::new(Tensor::zeros(&[outputs])),
             inputs: Vec::new(),
+            sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
         })
     }
 
@@ -229,7 +277,12 @@ impl Layer {
         bias: Tensor,
         cfg: &SnnConfig,
     ) -> Result<Layer> {
-        let expected = [spec.out_channels, spec.in_channels, spec.kernel, spec.kernel];
+        let expected = [
+            spec.out_channels,
+            spec.in_channels,
+            spec.kernel,
+            spec.kernel,
+        ];
         if weight.shape().dims() != expected || bias.len() != spec.out_channels {
             return Err(CoreError::Incompatible {
                 message: format!(
@@ -249,6 +302,8 @@ impl Layer {
             tape: Vec::new(),
             carry: Vec::new(),
             input_hw: None,
+            last_spikes: None,
+            sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
         }))
     }
 
@@ -272,6 +327,8 @@ impl Layer {
             state: LifState::new(outputs, cfg.lif_params()),
             tape: Vec::new(),
             carry: vec![0.0; outputs],
+            last_spikes: None,
+            sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
         }))
     }
 
@@ -290,6 +347,7 @@ impl Layer {
             weight: Param::new(weight),
             bias: Param::new(bias),
             inputs: Vec::new(),
+            sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
         }))
     }
 
@@ -298,6 +356,7 @@ impl Layer {
         Layer::AvgPool2d(AvgPool2d {
             window,
             input_dims: Vec::new(),
+            sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
         })
     }
 
@@ -307,6 +366,7 @@ impl Layer {
             window,
             input_dims: Vec::new(),
             argmax_per_step: Vec::new(),
+            sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
         })
     }
 
@@ -405,11 +465,13 @@ impl Layer {
                 }
                 l.tape.clear();
                 l.carry.clear();
+                l.last_spikes = None;
             }
             Layer::SpikingLinear(l) => {
                 l.state.reset();
                 l.tape.clear();
                 l.carry.fill(0.0);
+                l.last_spikes = None;
             }
             Layer::OutputLinear(l) => l.inputs.clear(),
             Layer::MaxPool2d(l) => l.argmax_per_step.clear(),
@@ -435,9 +497,27 @@ impl Layer {
     ) -> Result<Tensor> {
         match self {
             Layer::SpikingConv2d(l) => {
-                let current = conv::conv2d(input, &l.weight.value, &l.bias.value, &l.spec)?;
-                let dims = current.shape().dims().to_vec();
                 let idims = input.shape().dims();
+                // Event-driven fast path: binary sparse frames skip the
+                // dense window sweep. Recorded (training) steps always
+                // take the dense kernel so the BPTT tape and its
+                // numerics are unchanged.
+                let sparse_input = if record || idims.len() != 3 || idims[0] != l.spec.in_channels {
+                    None
+                } else {
+                    SpikeVector::from_dense_if_sparse(input, l.sparse_threshold)
+                };
+                let current = match &sparse_input {
+                    Some(events) => sparse::sparse_conv2d(
+                        events,
+                        (idims[1], idims[2]),
+                        &l.weight.value,
+                        &l.bias.value,
+                        &l.spec,
+                    )?,
+                    None => conv::conv2d(input, &l.weight.value, &l.bias.value, &l.spec)?,
+                };
+                let dims = current.shape().dims().to_vec();
                 l.input_hw = Some((idims[1], idims[2]));
                 let state = l
                     .state
@@ -446,6 +526,7 @@ impl Layer {
                     *state = LifState::new(current.len(), l.lif_params);
                 }
                 let out = state.step(current.as_slice());
+                l.last_spikes = Some(out.spikes.iter().sum());
                 if record {
                     if l.carry.len() != current.len() {
                         l.carry = vec![0.0; current.len()];
@@ -459,16 +540,31 @@ impl Layer {
                 Tensor::from_vec(out.spikes, &dims).map_err(CoreError::from)
             }
             Layer::SpikingLinear(l) => {
-                let flat = if input.shape().rank() == 1 {
-                    input.clone()
+                let sparse_input = if record {
+                    None
                 } else {
-                    input.reshape(&[input.len()])?
+                    SpikeVector::from_dense_if_sparse(input, l.sparse_threshold)
                 };
-                let current = linalg::matvec(&l.weight.value, &flat)?.add(&l.bias.value)?;
+                let (current, flat) = match &sparse_input {
+                    Some(events) => (
+                        sparse::sparse_matvec_bias(&l.weight.value, events, &l.bias.value)?,
+                        None,
+                    ),
+                    None => {
+                        let flat = if input.shape().rank() == 1 {
+                            input.clone()
+                        } else {
+                            input.reshape(&[input.len()])?
+                        };
+                        let current = linalg::matvec(&l.weight.value, &flat)?.add(&l.bias.value)?;
+                        (current, Some(flat))
+                    }
+                };
                 let out = l.state.step(current.as_slice());
+                l.last_spikes = Some(out.spikes.iter().sum());
                 if record {
                     l.tape.push(SpikeTape {
-                        input: flat,
+                        input: flat.expect("recorded steps always take the dense path"),
                         pre_membrane: out.pre_reset_membrane,
                         spikes: out.spikes.clone(),
                     });
@@ -477,6 +573,14 @@ impl Layer {
                 Tensor::from_vec(out.spikes, &[n]).map_err(CoreError::from)
             }
             Layer::OutputLinear(l) => {
+                if !record {
+                    if let Some(events) =
+                        SpikeVector::from_dense_if_sparse(input, l.sparse_threshold)
+                    {
+                        return sparse::sparse_matvec_bias(&l.weight.value, &events, &l.bias.value)
+                            .map_err(CoreError::from);
+                    }
+                }
                 let flat = if input.shape().rank() == 1 {
                     input.clone()
                 } else {
@@ -490,10 +594,26 @@ impl Layer {
             }
             Layer::AvgPool2d(l) => {
                 l.input_dims = input.shape().dims().to_vec();
+                if !record && l.input_dims.len() == 3 {
+                    if let Some(events) =
+                        SpikeVector::from_dense_if_sparse(input, l.sparse_threshold)
+                    {
+                        return sparse::sparse_avg_pool2d(&events, &l.input_dims, l.window)
+                            .map_err(CoreError::from);
+                    }
+                }
                 conv::avg_pool2d(input, l.window).map_err(CoreError::from)
             }
             Layer::MaxPool2d(l) => {
                 l.input_dims = input.shape().dims().to_vec();
+                if !record && l.input_dims.len() == 3 {
+                    if let Some(events) =
+                        SpikeVector::from_dense_if_sparse(input, l.sparse_threshold)
+                    {
+                        return sparse::sparse_max_pool2d(&events, &l.input_dims, l.window)
+                            .map_err(CoreError::from);
+                    }
+                }
                 let out = conv::max_pool2d(input, l.window)?;
                 if record {
                     l.argmax_per_step.push(out.argmax);
@@ -512,7 +632,13 @@ impl Layer {
                 if d.mask.as_ref().map(|m| m.len()) != Some(input.len()) {
                     d.mask = Some(
                         (0..input.len())
-                            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+                            .map(|_| {
+                                if rng.gen::<f32>() < keep {
+                                    1.0 / keep
+                                } else {
+                                    0.0
+                                }
+                            })
                             .collect(),
                     );
                 }
@@ -556,8 +682,7 @@ impl Layer {
                 let (h, w) = l.input_hw.ok_or(CoreError::NoRecordedForward)?;
                 let (oh, ow) = l.spec.output_hw(h, w);
                 let gcur = Tensor::from_vec(gv, &[l.spec.out_channels, oh, ow])?;
-                let grads =
-                    conv::conv2d_backward(&tape.input, &l.weight.value, &gcur, &l.spec)?;
+                let grads = conv::conv2d_backward(&tape.input, &l.weight.value, &gcur, &l.spec)?;
                 l.weight.grad = l.weight.grad.add(&grads.weight)?;
                 l.bias.grad = l.bias.grad.add(&grads.bias)?;
                 Ok(grads.input)
@@ -600,8 +725,7 @@ impl Layer {
                     .argmax_per_step
                     .get(t)
                     .ok_or(CoreError::NoRecordedForward)?;
-                conv::max_pool2d_backward(grad_out, argmax, &l.input_dims)
-                    .map_err(CoreError::from)
+                conv::max_pool2d_backward(grad_out, argmax, &l.input_dims).map_err(CoreError::from)
             }
             Layer::Flatten(l) => {
                 if l.input_dims.is_empty() {
@@ -651,12 +775,41 @@ impl Layer {
         Ok(())
     }
 
-    /// Number of spikes emitted at the most recent recorded step, if the
+    /// Number of spikes emitted at the most recent forward step, if the
     /// layer spikes. Used for the Eq. (1) spike statistics.
+    ///
+    /// Tracked as a running counter so statistics no longer require
+    /// recording the full BPTT tape during inference.
     pub fn last_step_spike_count(&self) -> Option<f32> {
         match self {
-            Layer::SpikingConv2d(l) => l.tape.last().map(|t| t.spikes.iter().sum()),
-            Layer::SpikingLinear(l) => l.tape.last().map(|t| t.spikes.iter().sum()),
+            Layer::SpikingConv2d(l) => l.last_spikes,
+            Layer::SpikingLinear(l) => l.last_spikes,
+            _ => None,
+        }
+    }
+
+    /// Sets the spike-density threshold below which this layer's forward
+    /// pass takes the event-driven sparse kernels on non-recorded steps
+    /// (`0.0` forces the dense path; no-op for flatten/dropout layers).
+    pub fn set_sparse_threshold(&mut self, threshold: f32) {
+        match self {
+            Layer::SpikingConv2d(l) => l.sparse_threshold = threshold,
+            Layer::SpikingLinear(l) => l.sparse_threshold = threshold,
+            Layer::OutputLinear(l) => l.sparse_threshold = threshold,
+            Layer::AvgPool2d(l) => l.sparse_threshold = threshold,
+            Layer::MaxPool2d(l) => l.sparse_threshold = threshold,
+            _ => {}
+        }
+    }
+
+    /// The layer's sparse-density threshold, if it has a sparse path.
+    pub fn sparse_threshold(&self) -> Option<f32> {
+        match self {
+            Layer::SpikingConv2d(l) => Some(l.sparse_threshold),
+            Layer::SpikingLinear(l) => Some(l.sparse_threshold),
+            Layer::OutputLinear(l) => Some(l.sparse_threshold),
+            Layer::AvgPool2d(l) => Some(l.sparse_threshold),
+            Layer::MaxPool2d(l) => Some(l.sparse_threshold),
             _ => None,
         }
     }

@@ -51,6 +51,7 @@ mod error;
 
 pub mod ann;
 pub mod approx;
+pub mod batch;
 pub mod convert;
 pub mod encoding;
 pub mod io;

@@ -236,11 +236,14 @@ mod tests {
 
     #[test]
     fn leak_decays_membrane() {
-        let mut s = LifState::new(1, LifParams {
-            threshold: 10.0,
-            leak: 0.5,
-            surrogate_alpha: 2.0,
-        });
+        let mut s = LifState::new(
+            1,
+            LifParams {
+                threshold: 10.0,
+                leak: 0.5,
+                surrogate_alpha: 2.0,
+            },
+        );
         s.step(&[1.0]); // v = 1.0
         s.step(&[0.0]); // v = 0.5
         assert!((s.membrane()[0] - 0.5).abs() < 1e-6);
@@ -250,11 +253,14 @@ mod tests {
 
     #[test]
     fn fires_exactly_at_threshold() {
-        let mut s = LifState::new(1, LifParams {
-            threshold: 1.0,
-            leak: 1.0,
-            surrogate_alpha: 2.0,
-        });
+        let mut s = LifState::new(
+            1,
+            LifParams {
+                threshold: 1.0,
+                leak: 1.0,
+                surrogate_alpha: 2.0,
+            },
+        );
         let out = s.step(&[1.0]);
         assert_eq!(out.spikes, vec![1.0]);
         assert_eq!(out.pre_reset_membrane, vec![1.0]);
@@ -264,14 +270,15 @@ mod tests {
     #[test]
     fn higher_threshold_fires_less() {
         let fire_count = |vth: f32| {
-            let mut s = LifState::new(1, LifParams {
-                threshold: vth,
-                leak: 0.9,
-                surrogate_alpha: 2.0,
-            });
-            (0..20)
-                .map(|_| s.step(&[0.4]).spikes[0])
-                .sum::<f32>()
+            let mut s = LifState::new(
+                1,
+                LifParams {
+                    threshold: vth,
+                    leak: 0.9,
+                    surrogate_alpha: 2.0,
+                },
+            );
+            (0..20).map(|_| s.step(&[0.4]).spikes[0]).sum::<f32>()
         };
         assert!(fire_count(0.5) > fire_count(1.0));
         assert!(fire_count(1.0) > fire_count(3.0));
@@ -298,10 +305,13 @@ mod tests {
 
     #[test]
     fn spike_probability_clamps() {
-        let s = LifState::new(1, LifParams {
-            threshold: 2.0,
-            ..LifParams::default()
-        });
+        let s = LifState::new(
+            1,
+            LifParams {
+                threshold: 2.0,
+                ..LifParams::default()
+            },
+        );
         assert_eq!(s.spike_probability(1.0), 0.5);
         assert_eq!(s.spike_probability(5.0), 1.0);
     }

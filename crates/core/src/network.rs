@@ -228,6 +228,15 @@ impl SpikingNetwork {
         }
     }
 
+    /// Sets every layer's spike-density threshold for the event-driven
+    /// sparse forward path (`0.0` forces the dense kernels everywhere —
+    /// useful for A/B comparisons and equivalence tests).
+    pub fn set_sparse_threshold(&mut self, threshold: f32) {
+        for l in &mut self.layers {
+            l.set_sparse_threshold(threshold);
+        }
+    }
+
     /// Runs the network over a sequence of input frames (one per time
     /// step), returning accumulated logits and spike statistics.
     ///
@@ -274,7 +283,7 @@ impl SpikingNetwork {
             for (li, layer) in self.layers.iter_mut().enumerate() {
                 let fan_out = nonzero_weights[li] / x.len().max(1);
                 let in_spikes = x.sum();
-                x = layer.forward_step(&x, record || layer.is_spiking(), rng)?;
+                x = layer.forward_step(&x, record, rng)?;
                 if layer.is_spiking() {
                     let emitted = layer.last_step_spike_count().unwrap_or(0.0);
                     stats.spikes_per_layer[spiking_idx] += emitted;
@@ -286,15 +295,6 @@ impl SpikingNetwork {
                 None => x,
                 Some(acc) => acc.add(&x)?,
             });
-        }
-        // When not recording we still asked spiking layers to record their
-        // tapes for spike statistics; drop them now to free memory.
-        if !record {
-            for l in &mut self.layers {
-                if l.is_spiking() {
-                    l.reset();
-                }
-            }
         }
         Ok(ForwardOutput {
             logits: logits.expect("at least one frame was processed"),
@@ -481,7 +481,10 @@ mod tests {
             };
             let mut net = small_net(&mut rng, cfg);
             let frames = vec![Tensor::full(&[6], 1.0); 8];
-            net.forward(&frames, false, &mut rng).unwrap().stats.total_spikes()
+            net.forward(&frames, false, &mut rng)
+                .unwrap()
+                .stats
+                .total_spikes()
         };
         assert!(spikes_at(0.2) >= spikes_at(1.0));
         assert!(spikes_at(1.0) >= spikes_at(5.0));
@@ -526,14 +529,22 @@ mod tests {
         };
         let mut net = small_net(&mut rng, cfg);
         let frames = vec![Tensor::full(&[6], 1.0); 8];
-        let low = net.forward(&frames, false, &mut rng).unwrap().stats.total_spikes();
+        let low = net
+            .forward(&frames, false, &mut rng)
+            .unwrap()
+            .stats
+            .total_spikes();
         net.reconfigure(SnnConfig {
             threshold: 5.0,
             time_steps: 8,
             leak: 0.9,
         })
         .unwrap();
-        let high = net.forward(&frames, false, &mut rng).unwrap().stats.total_spikes();
+        let high = net
+            .forward(&frames, false, &mut rng)
+            .unwrap()
+            .stats
+            .total_spikes();
         assert!(high < low);
     }
 

@@ -8,7 +8,6 @@
 //! correct round-to-nearest-even `f32 → f16 → f32` round trip; INT8 is
 //! symmetric per-tensor affine quantization.
 
-
 use crate::network::SpikingNetwork;
 use axsnn_tensor::Tensor;
 use serde::{Deserialize, Serialize};
@@ -36,8 +35,11 @@ pub enum PrecisionScale {
 
 impl PrecisionScale {
     /// All scales in the order the paper sweeps them.
-    pub const ALL: [PrecisionScale; 3] =
-        [PrecisionScale::Fp32, PrecisionScale::Fp16, PrecisionScale::Int8];
+    pub const ALL: [PrecisionScale; 3] = [
+        PrecisionScale::Fp32,
+        PrecisionScale::Fp16,
+        PrecisionScale::Int8,
+    ];
 
     /// Bit width of the representation.
     pub fn bits(&self) -> u32 {
@@ -65,7 +67,7 @@ impl PrecisionScale {
     pub fn quantize_tensor(&self, t: &Tensor) -> Tensor {
         match self {
             PrecisionScale::Fp32 => t.clone(),
-            PrecisionScale::Fp16 => t.map(|v| f16_round_trip(v)),
+            PrecisionScale::Fp16 => t.map(f16_round_trip),
             PrecisionScale::Int8 => {
                 let max = t.linf_norm();
                 if max == 0.0 {
@@ -299,15 +301,18 @@ mod tests {
         while x < 100.0 {
             let r = f16_round_trip(x);
             let rel = ((r - x) / x).abs();
-            assert!(rel < 1.0 / 1024.0, "fp16 relative error too big at {x}: {rel}");
+            assert!(
+                rel < 1.0 / 1024.0,
+                "fp16 relative error too big at {x}: {rel}"
+            );
             x *= 1.37;
         }
     }
 
     #[test]
     fn int8_grid_has_255_levels() {
-        let t = Tensor::from_vec((0..1000).map(|i| i as f32 / 500.0 - 1.0).collect(), &[1000])
-            .unwrap();
+        let t =
+            Tensor::from_vec((0..1000).map(|i| i as f32 / 500.0 - 1.0).collect(), &[1000]).unwrap();
         let q = PrecisionScale::Int8.quantize_tensor(&t);
         let mut levels: Vec<i64> = q
             .as_slice()
@@ -328,18 +333,15 @@ mod tests {
 
     #[test]
     fn fp32_is_identity() {
-        let t = Tensor::from_vec(vec![0.123456789, -9.87], &[2]).unwrap();
+        let t = Tensor::from_vec(vec![0.123_456_79, -9.87], &[2]).unwrap();
         assert_eq!(PrecisionScale::Fp32.quantize_tensor(&t), t);
     }
 
     #[test]
     fn quantization_error_ordering() {
         // INT8 error ≥ FP16 error ≥ FP32 error on a generic tensor.
-        let t = Tensor::from_vec(
-            (0..256).map(|i| (i as f32 * 0.731).sin()).collect(),
-            &[256],
-        )
-        .unwrap();
+        let t =
+            Tensor::from_vec((0..256).map(|i| (i as f32 * 0.731).sin()).collect(), &[256]).unwrap();
         let err = |s: PrecisionScale| s.quantize_tensor(&t).sub(&t).unwrap().l2_norm();
         assert_eq!(err(PrecisionScale::Fp32), 0.0);
         assert!(err(PrecisionScale::Fp16) <= err(PrecisionScale::Int8));
@@ -347,7 +349,7 @@ mod tests {
 
     #[test]
     fn step_quantization_rounds() {
-        assert_eq!(quantize_step(0.26, 0.1), 0.30000001192092896f32.min(0.3));
+        assert_eq!(quantize_step(0.26, 0.1), 0.3_f32.min(0.3));
         assert_eq!(quantize_step(1.0, 0.0), 1.0);
         let t = Tensor::from_vec(vec![0.04, 0.06], &[2]).unwrap();
         let q = quantize_step_tensor(&t, 0.1);

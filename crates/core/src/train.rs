@@ -51,7 +51,7 @@ impl TrainConfig {
                 message: "epochs and batch_size must be > 0".into(),
             });
         }
-        if !(self.learning_rate > 0.0) {
+        if self.learning_rate <= 0.0 || self.learning_rate.is_nan() {
             return Err(CoreError::Config {
                 message: format!("learning_rate must be positive, got {}", self.learning_rate),
             });
@@ -266,11 +266,15 @@ mod tests {
 
     #[test]
     fn train_config_validation() {
-        let mut cfg = TrainConfig::default();
-        cfg.epochs = 0;
+        let cfg = TrainConfig {
+            epochs: 0,
+            ..TrainConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = TrainConfig::default();
-        cfg.learning_rate = -1.0;
+        let cfg = TrainConfig {
+            learning_rate: -1.0,
+            ..TrainConfig::default()
+        };
         assert!(cfg.validate().is_err());
         assert!(TrainConfig::default().validate().is_ok());
     }

@@ -159,10 +159,14 @@ impl SyntheticDvsGestures {
                     let jy = rng.gen_range(-0.035..0.035f32);
                     // Offset along the motion axis decides the edge side.
                     let along = (jx * vx + jy * vy) / vnorm;
-                    let polarity = if along >= 0.0 { Polarity::On } else { Polarity::Off };
+                    let polarity = if along >= 0.0 {
+                        Polarity::On
+                    } else {
+                        Polarity::Off
+                    };
                     let x = ((q.0 + jx) * w).clamp(0.0, w - 1.0) as u16;
                     let y = ((q.1 + jy) * h).clamp(0.0, h - 1.0) as u16;
-                    let jitter_t = rng.gen_range(0.0..0.8) / c.micro_steps as f32;
+                    let jitter_t = rng.gen_range(0.0..0.8f32) / c.micro_steps as f32;
                     let time = (t + jitter_t).min(0.999_999);
                     let _ = stream.push(DvsEvent::new(x, y, polarity, time));
                 }
@@ -173,7 +177,11 @@ impl SyntheticDvsGestures {
         for _ in 0..c.noise_events {
             let x = rng.gen_range(0..c.width) as u16;
             let y = rng.gen_range(0..c.height) as u16;
-            let p = if rng.gen::<bool>() { Polarity::On } else { Polarity::Off };
+            let p = if rng.gen::<bool>() {
+                Polarity::On
+            } else {
+                Polarity::Off
+            };
             let t = rng.gen_range(0.0..1.0f32).min(0.999_999);
             let _ = stream.push(DvsEvent::new(x, y, p, t));
         }
@@ -303,7 +311,11 @@ mod tests {
         let gen = SyntheticDvsGestures::new(small());
         let mut rng = StdRng::seed_from_u64(5);
         let s = gen.generate_sample(1, &mut rng);
-        let on = s.events().iter().filter(|e| e.polarity == Polarity::On).count();
+        let on = s
+            .events()
+            .iter()
+            .filter(|e| e.polarity == Polarity::On)
+            .count();
         let off = s.len() - on;
         assert!(on > 10 && off > 10, "on {on}, off {off}");
     }
@@ -317,9 +329,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let right = gen.generate_sample(1, &mut rng); // right-hand wave
         let left = gen.generate_sample(2, &mut rng); // left-hand wave
-        let mean_x = |s: &EventStream| {
-            s.events().iter().map(|e| e.x as f32).sum::<f32>() / s.len() as f32
-        };
+        let mean_x =
+            |s: &EventStream| s.events().iter().map(|e| e.x as f32).sum::<f32>() / s.len() as f32;
         assert!(
             mean_x(&right) > mean_x(&left) + 5.0,
             "right {} vs left {}",

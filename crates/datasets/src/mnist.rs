@@ -230,9 +230,7 @@ fn digit_strokes(digit: usize) -> Vec<Stroke> {
             vec![(0.62, 0.2), (0.4, 0.5)],
             arc(0.5, 0.64, 0.18, 0.16, 0.0, 360.0, 18),
         ],
-        7 => vec![
-            vec![(0.3, 0.22), (0.7, 0.22), (0.42, 0.8)],
-        ],
+        7 => vec![vec![(0.3, 0.22), (0.7, 0.22), (0.42, 0.8)]],
         8 => vec![
             arc(0.5, 0.34, 0.16, 0.13, 0.0, 360.0, 16),
             arc(0.5, 0.66, 0.2, 0.16, 0.0, 360.0, 16),
@@ -290,7 +288,10 @@ mod tests {
             let img = gen.render(digit, &mut rng);
             let ink = img.sum();
             assert!(ink > 5.0, "digit {digit} nearly blank: ink {ink}");
-            assert!(ink < (24 * 24) as f32 * 0.5, "digit {digit} floods the image");
+            assert!(
+                ink < (24 * 24) as f32 * 0.5,
+                "digit {digit} floods the image"
+            );
         }
     }
 

@@ -162,16 +162,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut net = mlp(&mut rng);
         let data = blobs(&mut rng, 8);
-        let mut cfg = AdvTrainConfig::default();
-        cfg.adversarial_fraction = 1.5;
+        let cfg = AdvTrainConfig {
+            adversarial_fraction: 1.5,
+            ..AdvTrainConfig::default()
+        };
         assert!(adversarial_train_ann(&mut net, &data, &cfg, &mut rng).is_err());
-        assert!(adversarial_train_ann(
-            &mut net,
-            &[],
-            &AdvTrainConfig::default(),
-            &mut rng
-        )
-        .is_err());
+        assert!(
+            adversarial_train_ann(&mut net, &[], &AdvTrainConfig::default(), &mut rng).is_err()
+        );
     }
 
     #[test]
@@ -248,6 +246,9 @@ mod tests {
             adversarial_fraction: 0.0,
         };
         let report = adversarial_train_ann(&mut net, &data, &cfg, &mut rng).unwrap();
-        assert!(report.final_accuracy() > 90.0, "clean training must converge");
+        assert!(
+            report.final_accuracy() > 90.0,
+            "clean training must converge"
+        );
     }
 }

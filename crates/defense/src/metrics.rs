@@ -8,9 +8,7 @@
 
 use crate::{DefenseError, Result};
 use axsnn_attacks::gradient::{GradientSource, ImageAttack};
-use axsnn_attacks::neuromorphic::{
-    EventModel, FrameAttack, SnnEventModel, SparseAttack,
-};
+use axsnn_attacks::neuromorphic::{EventModel, FrameAttack, SnnEventModel, SparseAttack};
 use axsnn_core::encoding::Encoder;
 use axsnn_core::network::SpikingNetwork;
 use axsnn_neuromorphic::aqf::{approximate_quantized_filter, AqfConfig};
@@ -124,6 +122,105 @@ pub fn clean_image_accuracy<R: Rng>(
     Ok(100.0 * correct as f32 / data.len() as f32)
 }
 
+/// Parallel clean accuracy: fans the batch out across threads via
+/// [`SpikingNetwork::evaluate_batch`] (`threads == 0` uses all cores;
+/// results are identical for every thread count).
+///
+/// # Errors
+///
+/// Returns [`DefenseError::InvalidData`] for empty data.
+pub fn clean_image_accuracy_parallel(
+    victim: &SpikingNetwork,
+    data: &[(Tensor, usize)],
+    encoder: Encoder,
+    seed: u64,
+    threads: usize,
+) -> Result<f32> {
+    if data.is_empty() {
+        return Err(DefenseError::InvalidData {
+            message: "evaluation data must be non-empty".into(),
+        });
+    }
+    Ok(victim
+        .evaluate_batch(data, encoder, seed, threads)?
+        .accuracy)
+}
+
+/// Evaluates a spiking network under a gradient-based image attack with
+/// the work fanned out across threads.
+///
+/// The parallel counterpart of [`evaluate_image_attack`] for the
+/// paper's robustness tables: every worker owns a clone of the victim
+/// and a fresh gradient source from `make_source`, and each sample
+/// draws its encoder randomness from `seed` mixed with the sample's
+/// global index (via [`axsnn_core::batch::sample_seed`]).
+///
+/// Results are identical for every thread count (`threads == 0` uses
+/// all available cores) **provided the gradient source is per-call
+/// deterministic** — i.e. `loss_gradient(image, label)` depends only
+/// on its arguments, as [`axsnn_attacks::gradient::AnnGradientSource`]
+/// and [`axsnn_attacks::gradient::SnnGradientSource`] do. A source
+/// carrying mutable cross-call state (its own RNG, iteration counters)
+/// sees a different call sequence per worker and loses that guarantee.
+///
+/// # Errors
+///
+/// Returns [`DefenseError::InvalidData`] for empty data and propagates
+/// the first attack/model failure.
+pub fn evaluate_image_attack_parallel<A, S, F>(
+    victim: &SpikingNetwork,
+    make_source: F,
+    attack: &A,
+    data: &[(Tensor, usize)],
+    encoder: Encoder,
+    seed: u64,
+    threads: usize,
+) -> Result<RobustnessOutcome>
+where
+    A: ImageAttack + Sync,
+    S: GradientSource,
+    F: Fn() -> S + Sync,
+{
+    use axsnn_core::batch::{fan_out_with, sample_seed};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    if data.is_empty() {
+        return Err(DefenseError::InvalidData {
+            message: "evaluation data must be non-empty".into(),
+        });
+    }
+    // Per-sample outcome flags: bit 0 = clean correct, bit 1 = adversarial
+    // correct.
+    let flags: Vec<u8> = fan_out_with(
+        data.len(),
+        threads,
+        || (victim.clone(), make_source()),
+        |(net, source), i, slot: &mut u8| -> Result<()> {
+            let mut rng = StdRng::seed_from_u64(sample_seed(seed, i));
+            let (image, label) = &data[i];
+            if net.classify(image, encoder, &mut rng)? == *label {
+                *slot |= 1;
+            }
+            let adversarial = attack.perturb(source, image, *label, &mut rng)?;
+            if net.classify(&adversarial, encoder, &mut rng)? == *label {
+                *slot |= 2;
+            }
+            Ok(())
+        },
+    )?;
+    let clean_correct = flags.iter().filter(|f| **f & 1 != 0).count();
+    let adv_correct = flags.iter().filter(|f| **f & 2 != 0).count();
+    let n = data.len() as f32;
+    let adv_acc = 100.0 * adv_correct as f32 / n;
+    Ok(RobustnessOutcome {
+        clean_accuracy: 100.0 * clean_correct as f32 / n,
+        adversarial_accuracy: adv_acc,
+        robustness: adv_acc,
+        samples: data.len(),
+    })
+}
+
 /// A neuromorphic attack choice for event-domain evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EventAttackKind {
@@ -217,6 +314,117 @@ pub fn evaluate_event_attack<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use axsnn_attacks::gradient::{AttackBudget, Fgsm};
+    use axsnn_core::layer::Layer;
+    use axsnn_core::network::SnnConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Deterministic synthetic gradient source so the parallel path can
+    /// be exercised without training a model.
+    struct PatternSource;
+
+    impl GradientSource for PatternSource {
+        fn loss_gradient(&mut self, image: &Tensor, label: usize) -> axsnn_attacks::Result<Tensor> {
+            let data: Vec<f32> = image
+                .as_slice()
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| ((i + label) as f32 * 0.61).cos() * (1.0 + v))
+                .collect();
+            Ok(Tensor::from_vec(data, image.shape().dims())?)
+        }
+    }
+
+    fn victim(seed: u64) -> SpikingNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SnnConfig {
+            threshold: 0.5,
+            time_steps: 6,
+            leak: 0.9,
+        };
+        SpikingNetwork::new(
+            vec![
+                Layer::spiking_linear(&mut rng, 9, 14, &cfg),
+                Layer::output_linear(&mut rng, 14, 3),
+            ],
+            cfg,
+        )
+        .unwrap()
+    }
+
+    fn labelled_data(n: usize) -> Vec<(Tensor, usize)> {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(17);
+        (0..n)
+            .map(|i| {
+                let img: Tensor = (0..9).map(|_| rng.gen::<f32>()).collect();
+                (img, i % 3)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_attack_eval_is_thread_count_invariant() {
+        let net = victim(5);
+        let attack = Fgsm::new(AttackBudget {
+            epsilon: 0.2,
+            step_size: 0.05,
+            steps: 1,
+        });
+        let data = labelled_data(11);
+        let one = evaluate_image_attack_parallel(
+            &net,
+            || PatternSource,
+            &attack,
+            &data,
+            Encoder::DirectCurrent,
+            9,
+            1,
+        )
+        .unwrap();
+        let many = evaluate_image_attack_parallel(
+            &net,
+            || PatternSource,
+            &attack,
+            &data,
+            Encoder::DirectCurrent,
+            9,
+            6,
+        )
+        .unwrap();
+        assert_eq!(one, many);
+        assert_eq!(one.samples, 11);
+        assert!((0.0..=100.0).contains(&one.adversarial_accuracy));
+        assert!((0.0..=100.0).contains(&one.clean_accuracy));
+    }
+
+    #[test]
+    fn parallel_attack_eval_rejects_empty_data() {
+        let net = victim(1);
+        let attack = Fgsm::new(AttackBudget::for_epsilon(0.1));
+        let r = evaluate_image_attack_parallel(
+            &net,
+            || PatternSource,
+            &attack,
+            &[],
+            Encoder::DirectCurrent,
+            0,
+            2,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn parallel_clean_accuracy_matches_batch_api() {
+        let net = victim(2);
+        let data = labelled_data(9);
+        let acc = clean_image_accuracy_parallel(&net, &data, Encoder::DirectCurrent, 4, 3).unwrap();
+        let batch = net
+            .evaluate_batch(&data, Encoder::DirectCurrent, 4, 1)
+            .unwrap();
+        assert!((acc - batch.accuracy).abs() < 1e-6);
+    }
 
     #[test]
     fn outcome_arithmetic() {

@@ -49,7 +49,10 @@ pub enum Architecture {
 ///
 /// Panics when `size` is not divisible by 4 (two 2× pools).
 pub fn mnist_conv_ann<R: Rng>(rng: &mut R, size: usize) -> AnnNetwork {
-    assert!(size % 4 == 0, "image size {size} must be divisible by 4");
+    assert!(
+        size.is_multiple_of(4),
+        "image size {size} must be divisible by 4"
+    );
     let s4 = size / 4;
     AnnNetwork::new(vec![
         AnnLayer::conv_relu(
@@ -109,7 +112,10 @@ pub fn mnist_mlp_ann<R: Rng>(rng: &mut R, size: usize) -> AnnNetwork {
 ///
 /// Panics when `size` is not divisible by 8 (three 2× pools).
 pub fn dvs_conv_ann<R: Rng>(rng: &mut R, size: usize) -> AnnNetwork {
-    assert!(size % 8 == 0, "sensor size {size} must be divisible by 8");
+    assert!(
+        size.is_multiple_of(8),
+        "sensor size {size} must be divisible by 8"
+    );
     let s8 = size / 8;
     AnnNetwork::new(vec![
         AnnLayer::conv_relu(
@@ -538,7 +544,10 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        assert!(acc <= 25.0, "fully approximated SNN must be ~chance, got {acc}%");
+        assert!(
+            acc <= 25.0,
+            "fully approximated SNN must be ~chance, got {acc}%"
+        );
     }
 
     #[test]

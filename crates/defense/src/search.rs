@@ -172,8 +172,12 @@ where
             let accurate = trainer(snn_cfg).map_err(DefenseError::from)?;
             // Line 4: quality gate on clean accuracy.
             let mut probe = accurate.clone();
-            let clean =
-                crate::metrics::clean_image_accuracy(&mut probe, test, Encoder::DirectCurrent, rng)?;
+            let clean = crate::metrics::clean_image_accuracy(
+                &mut probe,
+                test,
+                Encoder::DirectCurrent,
+                rng,
+            )?;
             if clean < config.quality_constraint {
                 outcome.skipped.push((threshold, time_steps));
                 continue;
@@ -182,7 +186,8 @@ where
             let stats = {
                 let mut stat_net = accurate.clone();
                 let sample = &test[0].0;
-                let frames = Encoder::DirectCurrent.encode(sample, time_steps, rng)
+                let frames = Encoder::DirectCurrent
+                    .encode(sample, time_steps, rng)
                     .map_err(DefenseError::from)?;
                 stat_net
                     .forward(&frames, false, rng)
@@ -228,9 +233,7 @@ where
                     outcome.trace.push(record.clone());
                     let better = match &outcome.best {
                         None => satisfies,
-                        Some(b) => {
-                            satisfies && record.outcome.robustness > b.outcome.robustness
-                        }
+                        Some(b) => satisfies && record.outcome.robustness > b.outcome.robustness,
                     };
                     if better {
                         outcome.best = Some(record);
@@ -326,8 +329,7 @@ mod tests {
         };
         let ann_for_trainer = ann.clone();
         let mut trainer = move |cfg: SnnConfig| ann_to_snn(&ann_for_trainer, cfg, &calib);
-        let out =
-            precision_scaling_search(&config, &mut trainer, &ann, &test, &mut rng).unwrap();
+        let out = precision_scaling_search(&config, &mut trainer, &ann, &test, &mut rng).unwrap();
         assert!(!out.trace.is_empty());
         assert!(
             out.best.is_some(),
@@ -356,8 +358,7 @@ mod tests {
         let calib: Vec<Tensor> = data.iter().take(4).map(|(x, _)| x.clone()).collect();
         let ann2 = ann.clone();
         let mut trainer = move |cfg: SnnConfig| ann_to_snn(&ann2, cfg, &calib);
-        let out =
-            precision_scaling_search(&config, &mut trainer, &ann, &test, &mut rng).unwrap();
+        let out = precision_scaling_search(&config, &mut trainer, &ann, &test, &mut rng).unwrap();
         assert_eq!(out.skipped, vec![(50.0, 8)]);
         assert!(out.trace.is_empty());
         assert!(out.best.is_none());

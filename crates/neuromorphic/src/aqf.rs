@@ -78,7 +78,10 @@ impl AqfConfig {
     pub fn validate(&self) -> Result<()> {
         if self.quantization_step < 0.0 {
             return Err(NeuroError::InvalidParameter {
-                message: format!("quantization_step must be ≥ 0, got {}", self.quantization_step),
+                message: format!(
+                    "quantization_step must be ≥ 0, got {}",
+                    self.quantization_step
+                ),
             });
         }
         if self.spatial_window == 0 {
@@ -311,11 +314,15 @@ mod tests {
         // a frame-style attack. Every one of its events must be dropped.
         let mut events = signal_burst(10, 10, 0.2, 8);
         for i in 0..60 {
-            events.push(DvsEvent::new(5, 5, Polarity::On, (i as f32 / 64.0).min(0.999)));
+            events.push(DvsEvent::new(
+                5,
+                5,
+                Polarity::On,
+                (i as f32 / 64.0).min(0.999),
+            ));
         }
         let stream = EventStream::from_events(16, 16, events).unwrap();
-        let (kept, report) =
-            approximate_quantized_filter(&stream, &AqfConfig::default()).unwrap();
+        let (kept, report) = approximate_quantized_filter(&stream, &AqfConfig::default()).unwrap();
         assert!(
             report.removed_saturated >= 60,
             "saturation must trigger: {report:?}"
@@ -330,7 +337,12 @@ mod tests {
         // flooding it.
         let mut events = Vec::new();
         for i in 0..60 {
-            events.push(DvsEvent::new(5, 5, Polarity::On, (i as f32 / 64.0).min(0.999)));
+            events.push(DvsEvent::new(
+                5,
+                5,
+                Polarity::On,
+                (i as f32 / 64.0).min(0.999),
+            ));
         }
         events.push(DvsEvent::new(6, 5, Polarity::Off, 0.5));
         let stream = EventStream::from_events(16, 16, events).unwrap();
@@ -357,7 +369,11 @@ mod tests {
         let (kept, _) = approximate_quantized_filter(&stream, &cfg).unwrap();
         for e in kept.events() {
             let snapped = (e.t / 0.01).round() * 0.01;
-            assert!((e.t - snapped).abs() < 1e-6, "timestamp {} not on grid", e.t);
+            assert!(
+                (e.t - snapped).abs() < 1e-6,
+                "timestamp {} not on grid",
+                e.t
+            );
         }
     }
 

@@ -142,11 +142,7 @@ pub fn crop(
     width: usize,
     height: usize,
 ) -> Result<EventStream> {
-    if width == 0
-        || height == 0
-        || x0 + width > stream.width()
-        || y0 + height > stream.height()
-    {
+    if width == 0 || height == 0 || x0 + width > stream.width() || y0 + height > stream.height() {
         return Err(crate::NeuroError::InvalidParameter {
             message: format!(
                 "crop {width}x{height}@({x0},{y0}) exceeds sensor {}x{}",
@@ -262,12 +258,8 @@ mod tests {
     #[test]
     fn merge_sorts_and_validates() {
         let a = stream();
-        let b = EventStream::from_events(
-            8,
-            8,
-            vec![DvsEvent::new(1, 1, Polarity::On, 0.15)],
-        )
-        .unwrap();
+        let b =
+            EventStream::from_events(8, 8, vec![DvsEvent::new(1, 1, Polarity::On, 0.15)]).unwrap();
         let m = merge(&a, &b).unwrap();
         assert_eq!(m.len(), 5);
         for pair in m.events().windows(2) {

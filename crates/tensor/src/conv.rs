@@ -63,7 +63,12 @@ impl Conv2dSpec {
             });
         }
         let wdims = weight.shape().dims();
-        let expected = [self.out_channels, self.in_channels, self.kernel, self.kernel];
+        let expected = [
+            self.out_channels,
+            self.in_channels,
+            self.kernel,
+            self.kernel,
+        ];
         if wdims != expected {
             return Err(TensorError::ShapeMismatch {
                 lhs: wdims.to_vec(),

@@ -19,9 +19,7 @@ use rand::Rng;
 /// ```
 pub fn uniform<R: Rng>(rng: &mut R, dims: &[usize], limit: f32) -> Tensor {
     let volume: usize = dims.iter().product();
-    let data = (0..volume)
-        .map(|_| rng.gen_range(-limit..=limit))
-        .collect();
+    let data = (0..volume).map(|_| rng.gen_range(-limit..=limit)).collect();
     Tensor::from_vec(data, dims).expect("volume matches by construction")
 }
 
@@ -111,8 +109,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let t = normal(&mut rng, &[10_000], 2.0);
         let mean = t.mean();
-        let var = t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
-            / t.len() as f32;
+        let var = t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / t.len() as f32;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
     }

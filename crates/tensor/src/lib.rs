@@ -4,8 +4,9 @@
 //! workspace builds on: an owned, contiguous, row-major [`Tensor`] with
 //! shape metadata, elementwise and reduction operations, matrix
 //! multiplication ([`linalg::matmul`]), 2-D convolution and pooling kernels
-//! (forward *and* backward passes, [`conv`]), and weight initializers
-//! ([`init`]).
+//! (forward *and* backward passes, [`conv`]), event-driven sparse spike
+//! kernels whose cost scales with activity instead of layer size
+//! ([`sparse`]), and weight initializers ([`init`]).
 //!
 //! The paper's authors used a Python deep-learning stack as their substrate;
 //! no equivalent mature crate exists offline, so this crate implements the
@@ -37,6 +38,7 @@ pub mod conv;
 pub mod init;
 pub mod linalg;
 pub mod ops;
+pub mod sparse;
 
 pub use error::TensorError;
 pub use shape::Shape;

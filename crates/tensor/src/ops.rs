@@ -40,7 +40,10 @@ pub fn softmax(logits: &Tensor) -> Result<Tensor> {
     let max = logits.max();
     let exps: Vec<f32> = logits.as_slice().iter().map(|&v| (v - max).exp()).collect();
     let total: f32 = exps.iter().sum();
-    Tensor::from_vec(exps.into_iter().map(|e| e / total).collect(), &[logits.len()])
+    Tensor::from_vec(
+        exps.into_iter().map(|e| e / total).collect(),
+        &[logits.len()],
+    )
 }
 
 /// One-hot encodes `label` into a vector of length `classes`.

@@ -1,0 +1,671 @@
+//! Event-driven sparse spike kernels.
+//!
+//! Spiking networks propagate *binary* activity between layers, and at
+//! realistic firing rates the overwhelming majority of each spike frame
+//! is zero. The dense kernels in [`crate::linalg`] / [`crate::conv`]
+//! nevertheless pay for every weight: a dense matvec reads all
+//! `out × in` weights, a dense conv visits every output window. This
+//! module exploits the sparsity *event-drively* — compute is proportional
+//! to the number of active spikes, not the layer size:
+//!
+//! * [`SpikeVector`] — the event representation: flat indices of active
+//!   spikes plus the logical dense length,
+//! * [`sparse_matvec`] / [`sparse_matvec_bias`] — sparse×dense product
+//!   that gathers only the weight columns of active inputs,
+//! * [`sparse_conv2d`] — scatter-based convolution that pushes each
+//!   input event through the kernel stencil,
+//! * [`sparse_avg_pool2d`] / [`sparse_max_pool2d`] — pooling directly on
+//!   events,
+//! * [`SpikeVector::from_dense_if_sparse`] — the dense↔sparse gate: a
+//!   frame converts only when it is binary and its density is at most a
+//!   threshold, so the caller always takes the cheaper path.
+//!
+//! All kernels produce results equal to their dense counterparts up to
+//! f32 summation order (bounded by ~1e-6 on the workspace's layer
+//! sizes); the property tests in `tests/sparse_equivalence.rs` pin this
+//! down across shapes, strides, paddings and densities.
+//!
+//! # Example
+//!
+//! ```
+//! use axsnn_tensor::sparse::{sparse_matvec, SpikeVector};
+//! use axsnn_tensor::{linalg, Tensor};
+//!
+//! # fn main() -> axsnn_tensor::Result<()> {
+//! let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])?;
+//! let frame = Tensor::from_vec(vec![0.0, 1.0, 0.0], &[3])?;
+//! let spikes = SpikeVector::from_dense(&frame).expect("binary frame");
+//! assert_eq!(spikes.density(), 1.0 / 3.0);
+//! let sparse = sparse_matvec(&w, &spikes)?;
+//! let dense = linalg::matvec(&w, &frame)?;
+//! assert_eq!(sparse.as_slice(), dense.as_slice());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::conv::Conv2dSpec;
+use crate::{Result, Tensor, TensorError};
+
+/// Default maximum density at which the sparse path is considered
+/// cheaper than the dense one.
+///
+/// The sparse matvec gathers `out × nnz` weights against the dense
+/// kernel's `out × in` stream, and the scatter conv performs
+/// `nnz × Cout × K²` multiply-accumulates against the dense kernel's
+/// `Cout·OH·OW·Cin·K²`; both win roughly in proportion to `1/density`,
+/// with the gather/scatter's worse cache locality eating part of the
+/// margin. A quarter density keeps a comfortable cushion — measured
+/// crossover on the workspace's MNIST-scale layers is well above 40%.
+pub const DEFAULT_DENSITY_THRESHOLD: f32 = 0.25;
+
+/// A binary spike frame in event form: the flat indices of active spikes
+/// plus the logical length of the dense frame they came from.
+///
+/// Indices are stored in increasing order when built through
+/// [`SpikeVector::from_dense`], which scans the dense frame front to
+/// back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpikeVector {
+    indices: Vec<u32>,
+    len: usize,
+}
+
+impl SpikeVector {
+    /// Builds a spike vector from raw event indices and the dense length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] when any index is out of
+    /// bounds for `len`.
+    pub fn new(indices: Vec<u32>, len: usize) -> Result<Self> {
+        if let Some(&bad) = indices.iter().find(|&&i| i as usize >= len) {
+            return Err(TensorError::InvalidArgument {
+                message: format!("spike index {bad} out of bounds for length {len}"),
+            });
+        }
+        Ok(SpikeVector { indices, len })
+    }
+
+    /// Extracts the active indices of a *binary* dense frame.
+    ///
+    /// Returns `None` when any element is neither `0.0` nor `1.0` —
+    /// non-binary frames (analog currents, direct-current encodings)
+    /// must take the dense path because the event form carries no
+    /// magnitudes.
+    pub fn from_dense(t: &Tensor) -> Option<Self> {
+        Self::gather(t, usize::MAX)
+    }
+
+    /// Extracts a binary frame's events only when its density is at most
+    /// `max_density` — the dense↔sparse gate.
+    ///
+    /// Returns `None` when the frame is non-binary **or** denser than
+    /// the threshold, in which case the caller should use the dense
+    /// kernels. The scan aborts as soon as too many events are seen, so
+    /// rejecting a dense frame costs at most `max_density·len + 1`
+    /// index pushes.
+    pub fn from_dense_if_sparse(t: &Tensor, max_density: f32) -> Option<Self> {
+        if max_density <= 0.0 || max_density.is_nan() {
+            return None;
+        }
+        let cap = (max_density as f64 * t.len() as f64).floor() as usize;
+        Self::gather(t, cap)
+    }
+
+    fn gather(t: &Tensor, max_events: usize) -> Option<Self> {
+        let mut indices = Vec::new();
+        for (i, &v) in t.as_slice().iter().enumerate() {
+            if v == 0.0 {
+                continue;
+            }
+            if v != 1.0 || indices.len() >= max_events {
+                return None;
+            }
+            indices.push(i as u32);
+        }
+        Some(SpikeVector {
+            indices,
+            len: t.len(),
+        })
+    }
+
+    /// Number of active spikes (events).
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Logical dense length of the frame.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the logical frame has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Fraction of active elements, in `[0, 1]`; `0.0` for an empty
+    /// frame.
+    pub fn density(&self) -> f32 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.indices.len() as f32 / self.len as f32
+        }
+    }
+
+    /// The flat indices of active spikes.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Materializes the dense binary frame with the given shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when the shape volume
+    /// differs from the spike vector's logical length.
+    pub fn to_dense(&self, dims: &[usize]) -> Result<Tensor> {
+        let mut out = Tensor::zeros(dims);
+        if out.len() != self.len {
+            return Err(TensorError::LengthMismatch {
+                expected: self.len,
+                actual: out.len(),
+            });
+        }
+        let data = out.as_mut_slice();
+        for &i in &self.indices {
+            data[i as usize] = 1.0;
+        }
+        Ok(out)
+    }
+}
+
+fn check_matrix(a: &Tensor, x: &SpikeVector, op: &'static str) -> Result<(usize, usize)> {
+    let dims = a.shape().dims();
+    if dims.len() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: dims.len(),
+            op,
+        });
+    }
+    if x.len() != dims[1] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: dims.to_vec(),
+            rhs: vec![x.len()],
+            op,
+        });
+    }
+    Ok((dims[0], dims[1]))
+}
+
+/// Sparse matrix–vector product `y = A·s` where `s` is a binary spike
+/// vector: accumulates only the weight columns of active inputs.
+///
+/// Each output row is a gather over the active indices within that
+/// contiguous weight row, so compute and memory traffic scale with
+/// `rows × nnz` instead of `rows × cols`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for a non-matrix `a` and
+/// [`TensorError::ShapeMismatch`] when the spike length differs from the
+/// column count.
+pub fn sparse_matvec(a: &Tensor, x: &SpikeVector) -> Result<Tensor> {
+    let (m, k) = check_matrix(a, x, "sparse_matvec")?;
+    let av = a.as_slice();
+    let mut out = vec![0.0f32; m];
+    for (i, o) in out.iter_mut().enumerate() {
+        let row = &av[i * k..(i + 1) * k];
+        let mut acc = 0.0f32;
+        for &j in x.indices() {
+            acc += row[j as usize];
+        }
+        *o = acc;
+    }
+    Tensor::from_vec(out, &[m])
+}
+
+/// [`sparse_matvec`] plus a bias: `y = A·s + b`, matching the fused
+/// form the spiking layers use.
+///
+/// # Errors
+///
+/// As [`sparse_matvec`], plus [`TensorError::ShapeMismatch`] when the
+/// bias length differs from the row count.
+pub fn sparse_matvec_bias(a: &Tensor, x: &SpikeVector, bias: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_matrix(a, x, "sparse_matvec_bias")?;
+    if bias.len() != m {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![m, k],
+            rhs: bias.shape().dims().to_vec(),
+            op: "sparse_matvec_bias",
+        });
+    }
+    let av = a.as_slice();
+    let bv = bias.as_slice();
+    let mut out = vec![0.0f32; m];
+    for (i, o) in out.iter_mut().enumerate() {
+        let row = &av[i * k..(i + 1) * k];
+        let mut acc = bv[i];
+        for &j in x.indices() {
+            acc += row[j as usize];
+        }
+        *o = acc;
+    }
+    Tensor::from_vec(out, &[m])
+}
+
+fn check_conv_input(
+    input: &SpikeVector,
+    in_hw: (usize, usize),
+    weight: &Tensor,
+    spec: &Conv2dSpec,
+) -> Result<()> {
+    if spec.kernel == 0 || spec.stride == 0 {
+        return Err(TensorError::InvalidArgument {
+            message: "conv2d kernel and stride must be non-zero".into(),
+        });
+    }
+    let (h, w) = in_hw;
+    if input.len() != spec.in_channels * h * w {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![input.len()],
+            rhs: vec![spec.in_channels, h, w],
+            op: "sparse_conv2d input",
+        });
+    }
+    let wdims = weight.shape().dims();
+    let expected = [
+        spec.out_channels,
+        spec.in_channels,
+        spec.kernel,
+        spec.kernel,
+    ];
+    if wdims != expected {
+        return Err(TensorError::ShapeMismatch {
+            lhs: wdims.to_vec(),
+            rhs: expected.to_vec(),
+            op: "sparse_conv2d weight",
+        });
+    }
+    if h + 2 * spec.padding < spec.kernel || w + 2 * spec.padding < spec.kernel {
+        return Err(TensorError::InvalidArgument {
+            message: format!(
+                "conv2d kernel {} larger than padded input {}x{}",
+                spec.kernel,
+                h + 2 * spec.padding,
+                w + 2 * spec.padding
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Scatter-based sparse 2-D convolution: `events [Cin·H·W] → output
+/// [Cout,OH,OW]`.
+///
+/// Instead of sliding every output window over the input, each active
+/// spike *pushes* its weight stencil onto the affected output positions,
+/// so the multiply-accumulate count is `nnz × Cout × K²` regardless of
+/// the layer's spatial size.
+///
+/// # Errors
+///
+/// Returns an error when the spike length, weight shape `[Cout,Cin,K,K]`
+/// or bias length disagree with `spec` and `in_hw`, or the kernel does
+/// not fit in the padded input.
+pub fn sparse_conv2d(
+    input: &SpikeVector,
+    in_hw: (usize, usize),
+    weight: &Tensor,
+    bias: &Tensor,
+    spec: &Conv2dSpec,
+) -> Result<Tensor> {
+    check_conv_input(input, in_hw, weight, spec)?;
+    if bias.len() != spec.out_channels {
+        return Err(TensorError::ShapeMismatch {
+            lhs: bias.shape().dims().to_vec(),
+            rhs: vec![spec.out_channels],
+            op: "sparse_conv2d bias",
+        });
+    }
+    let (h, w) = in_hw;
+    let (oh, ow) = spec.output_hw(h, w);
+    let k = spec.kernel;
+    let ohw = oh * ow;
+    let wstride = spec.in_channels * k * k;
+    let wv = weight.as_slice();
+
+    let mut out = vec![0.0f32; spec.out_channels * ohw];
+    for (oc, &b) in bias.as_slice().iter().enumerate() {
+        out[oc * ohw..(oc + 1) * ohw].fill(b);
+    }
+
+    for &flat in input.indices() {
+        let flat = flat as usize;
+        let ic = flat / (h * w);
+        let rem = flat % (h * w);
+        let iy = rem / w;
+        let ix = rem % w;
+        // The padded input row iy + padding is seen by output row oy at
+        // kernel row ky exactly when oy·stride + ky == iy + padding.
+        for ky in 0..k {
+            let oy_num = iy + spec.padding;
+            if oy_num < ky {
+                break; // ky only grows; no further kernel row can match
+            }
+            let oy_off = oy_num - ky;
+            if !oy_off.is_multiple_of(spec.stride) {
+                continue;
+            }
+            let oy = oy_off / spec.stride;
+            if oy >= oh {
+                continue;
+            }
+            for kx in 0..k {
+                let ox_num = ix + spec.padding;
+                if ox_num < kx {
+                    break;
+                }
+                let ox_off = ox_num - kx;
+                if !ox_off.is_multiple_of(spec.stride) {
+                    continue;
+                }
+                let ox = ox_off / spec.stride;
+                if ox >= ow {
+                    continue;
+                }
+                let obase = oy * ow + ox;
+                let wbase = ic * k * k + ky * k + kx;
+                for oc in 0..spec.out_channels {
+                    out[oc * ohw + obase] += wv[oc * wstride + wbase];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[spec.out_channels, oh, ow])
+}
+
+fn check_pool(input: &SpikeVector, dims: &[usize], k: usize) -> Result<(usize, usize, usize)> {
+    if dims.len() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: dims.len(),
+            op: "sparse_pool2d",
+        });
+    }
+    if k == 0 {
+        return Err(TensorError::InvalidArgument {
+            message: "pool window must be non-zero".into(),
+        });
+    }
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    if input.len() != c * h * w {
+        return Err(TensorError::LengthMismatch {
+            expected: c * h * w,
+            actual: input.len(),
+        });
+    }
+    if h % k != 0 || w % k != 0 {
+        return Err(TensorError::InvalidArgument {
+            message: format!("pool window {k} does not divide input {h}x{w}"),
+        });
+    }
+    Ok((c, h, w))
+}
+
+/// Average pooling on events: each active spike contributes `1/k²` to
+/// its window, touching only `nnz` cells.
+///
+/// # Errors
+///
+/// Returns an error for a non-`[C,H,W]` `dims`, `k == 0`, a length
+/// mismatch, or spatial dimensions not divisible by `k`.
+pub fn sparse_avg_pool2d(input: &SpikeVector, dims: &[usize], k: usize) -> Result<Tensor> {
+    let (c, h, w) = check_pool(input, dims, k)?;
+    let (oh, ow) = (h / k, w / k);
+    let inv = 1.0 / (k * k) as f32;
+    let mut out = vec![0.0f32; c * oh * ow];
+    for &flat in input.indices() {
+        let flat = flat as usize;
+        let ch = flat / (h * w);
+        let rem = flat % (h * w);
+        let (iy, ix) = (rem / w, rem % w);
+        out[ch * oh * ow + (iy / k) * ow + ix / k] += inv;
+    }
+    Tensor::from_vec(out, &[c, oh, ow])
+}
+
+/// Max pooling on events: a window of a binary frame maxes to `1.0`
+/// exactly when it contains at least one spike.
+///
+/// This is the *forward value* only — it carries no argmax tape, so the
+/// layer stack uses it exclusively on non-recorded (inference) steps.
+///
+/// # Errors
+///
+/// Same conditions as [`sparse_avg_pool2d`].
+pub fn sparse_max_pool2d(input: &SpikeVector, dims: &[usize], k: usize) -> Result<Tensor> {
+    let (c, h, w) = check_pool(input, dims, k)?;
+    let (oh, ow) = (h / k, w / k);
+    let mut out = vec![0.0f32; c * oh * ow];
+    for &flat in input.indices() {
+        let flat = flat as usize;
+        let ch = flat / (h * w);
+        let rem = flat % (h * w);
+        let (iy, ix) = (rem / w, rem % w);
+        out[ch * oh * ow + (iy / k) * ow + ix / k] = 1.0;
+    }
+    Tensor::from_vec(out, &[c, oh, ow])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{avg_pool2d, conv2d, max_pool2d};
+    use crate::linalg;
+
+    fn binary_frame(len: usize, every: usize) -> Tensor {
+        let data: Vec<f32> = (0..len)
+            .map(|i| if i % every == 0 { 1.0 } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, &[len]).unwrap()
+    }
+
+    #[test]
+    fn from_dense_extracts_indices() {
+        let t = Tensor::from_vec(vec![0.0, 1.0, 0.0, 1.0], &[4]).unwrap();
+        let s = SpikeVector::from_dense(&t).unwrap();
+        assert_eq!(s.indices(), &[1, 3]);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.density(), 0.5);
+    }
+
+    #[test]
+    fn from_dense_rejects_non_binary() {
+        let t = Tensor::from_vec(vec![0.0, 0.5], &[2]).unwrap();
+        assert!(SpikeVector::from_dense(&t).is_none());
+        let neg = Tensor::from_vec(vec![-1.0, 0.0], &[2]).unwrap();
+        assert!(SpikeVector::from_dense(&neg).is_none());
+    }
+
+    #[test]
+    fn density_gate_rejects_dense_frames() {
+        let t = binary_frame(100, 2); // 50% dense
+        assert!(SpikeVector::from_dense_if_sparse(&t, 0.25).is_none());
+        assert!(SpikeVector::from_dense_if_sparse(&t, 0.5).is_some());
+        assert!(SpikeVector::from_dense_if_sparse(&t, 0.0).is_none());
+        let sparse = binary_frame(100, 10); // 10% dense
+        let s = SpikeVector::from_dense_if_sparse(&sparse, 0.25).unwrap();
+        assert_eq!(s.nnz(), 10);
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let t = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[2, 3]).unwrap();
+        let s = SpikeVector::from_dense(&t).unwrap();
+        let back = s.to_dense(&[2, 3]).unwrap();
+        assert_eq!(back, t);
+        assert!(s.to_dense(&[7]).is_err());
+    }
+
+    #[test]
+    fn new_validates_bounds() {
+        assert!(SpikeVector::new(vec![0, 3], 4).is_ok());
+        assert!(SpikeVector::new(vec![4], 4).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let w = Tensor::from_vec((0..20).map(|i| i as f32 * 0.3 - 2.0).collect(), &[4, 5]).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.0], &[5]).unwrap();
+        let s = SpikeVector::from_dense(&x).unwrap();
+        let sparse = sparse_matvec(&w, &s).unwrap();
+        let dense = linalg::matvec(&w, &x).unwrap();
+        for (a, b) in sparse.as_slice().iter().zip(dense.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matvec_bias_matches_dense() {
+        let w = Tensor::from_vec((0..12).map(|i| (i as f32).sin()).collect(), &[3, 4]).unwrap();
+        let b = Tensor::from_vec(vec![0.1, -0.2, 0.3], &[3]).unwrap();
+        let x = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[4]).unwrap();
+        let s = SpikeVector::from_dense(&x).unwrap();
+        let sparse = sparse_matvec_bias(&w, &s, &b).unwrap();
+        let dense = linalg::matvec(&w, &x).unwrap().add(&b).unwrap();
+        for (a, d) in sparse.as_slice().iter().zip(dense.as_slice()) {
+            assert!((a - d).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matvec_shape_errors() {
+        let w = Tensor::zeros(&[3, 4]);
+        let s = SpikeVector::new(vec![0], 5).unwrap();
+        assert!(sparse_matvec(&w, &s).is_err());
+        let v = Tensor::zeros(&[4]);
+        let s4 = SpikeVector::new(vec![0], 4).unwrap();
+        assert!(sparse_matvec(&v, &s4).is_err());
+        let bias = Tensor::zeros(&[2]);
+        let w34 = Tensor::zeros(&[3, 4]);
+        assert!(sparse_matvec_bias(&w34, &s4, &bias).is_err());
+    }
+
+    #[test]
+    fn conv_matches_dense_all_geometries() {
+        for &(stride, padding) in &[(1usize, 0usize), (1, 1), (2, 0), (2, 1), (1, 2)] {
+            let spec = Conv2dSpec {
+                in_channels: 2,
+                out_channels: 3,
+                kernel: 3,
+                stride,
+                padding,
+            };
+            let (h, w) = (6, 7);
+            let input_data: Vec<f32> = (0..2 * h * w)
+                .map(|i| if i % 7 == 0 { 1.0 } else { 0.0 })
+                .collect();
+            let input = Tensor::from_vec(input_data, &[2, h, w]).unwrap();
+            let weight = Tensor::from_vec(
+                (0..3 * 2 * 9).map(|i| (i as f32 * 0.77).cos()).collect(),
+                &[3, 2, 3, 3],
+            )
+            .unwrap();
+            let bias = Tensor::from_vec(vec![0.5, -1.0, 0.25], &[3]).unwrap();
+            let dense = conv2d(&input, &weight, &bias, &spec).unwrap();
+            let events = SpikeVector::from_dense(&input).unwrap();
+            let sparse = sparse_conv2d(&events, (h, w), &weight, &bias, &spec).unwrap();
+            assert_eq!(sparse.shape().dims(), dense.shape().dims());
+            for (a, b) in sparse.as_slice().iter().zip(dense.as_slice()) {
+                assert!(
+                    (a - b).abs() < 1e-5,
+                    "stride {stride} pad {padding}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conv_empty_frame_is_pure_bias() {
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 2,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let events = SpikeVector::new(vec![], 16).unwrap();
+        let weight = Tensor::ones(&[2, 1, 3, 3]);
+        let bias = Tensor::from_vec(vec![0.25, -0.5], &[2]).unwrap();
+        let out = sparse_conv2d(&events, (4, 4), &weight, &bias, &spec).unwrap();
+        for (i, &v) in out.as_slice().iter().enumerate() {
+            let expected = if i < 16 { 0.25 } else { -0.5 };
+            assert_eq!(v, expected);
+        }
+    }
+
+    #[test]
+    fn conv_validation() {
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 3,
+            stride: 1,
+            padding: 0,
+        };
+        let events = SpikeVector::new(vec![], 16).unwrap();
+        let bias = Tensor::zeros(&[1]);
+        // Wrong weight shape.
+        assert!(
+            sparse_conv2d(&events, (4, 4), &Tensor::ones(&[1, 1, 2, 2]), &bias, &spec).is_err()
+        );
+        // Wrong input length.
+        let short = SpikeVector::new(vec![], 9).unwrap();
+        assert!(sparse_conv2d(&short, (4, 4), &Tensor::ones(&[1, 1, 3, 3]), &bias, &spec).is_err());
+        // Kernel larger than input.
+        let tiny = SpikeVector::new(vec![], 4).unwrap();
+        assert!(sparse_conv2d(&tiny, (2, 2), &Tensor::ones(&[1, 1, 3, 3]), &bias, &spec).is_err());
+    }
+
+    #[test]
+    fn avg_pool_matches_dense() {
+        let data: Vec<f32> = (0..2 * 4 * 4)
+            .map(|i| if i % 3 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let input = Tensor::from_vec(data, &[2, 4, 4]).unwrap();
+        let events = SpikeVector::from_dense(&input).unwrap();
+        let sparse = sparse_avg_pool2d(&events, &[2, 4, 4], 2).unwrap();
+        let dense = avg_pool2d(&input, 2).unwrap();
+        for (a, b) in sparse.as_slice().iter().zip(dense.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn max_pool_matches_dense() {
+        let data: Vec<f32> = (0..4 * 4)
+            .map(|i| if i == 5 || i == 10 { 1.0 } else { 0.0 })
+            .collect();
+        let input = Tensor::from_vec(data, &[1, 4, 4]).unwrap();
+        let events = SpikeVector::from_dense(&input).unwrap();
+        let sparse = sparse_max_pool2d(&events, &[1, 4, 4], 2).unwrap();
+        let dense = max_pool2d(&input, 2).unwrap();
+        assert_eq!(sparse.as_slice(), dense.output.as_slice());
+    }
+
+    #[test]
+    fn pool_validation() {
+        let events = SpikeVector::new(vec![], 16).unwrap();
+        assert!(sparse_avg_pool2d(&events, &[1, 4, 4], 0).is_err());
+        assert!(sparse_avg_pool2d(&events, &[1, 5, 4], 2).is_err());
+        assert!(sparse_avg_pool2d(&events, &[4, 4], 2).is_err());
+        assert!(sparse_max_pool2d(&events, &[1, 4, 5], 2).is_err());
+        let wrong_len = SpikeVector::new(vec![], 8).unwrap();
+        assert!(sparse_avg_pool2d(&wrong_len, &[1, 4, 4], 2).is_err());
+    }
+}

@@ -60,8 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("3. attacking three SNN variants with PGD (effective ε = 0.08)…");
     let pgd = Pgd::new(AttackBudget::for_epsilon(0.08));
-    let mut report = |name: &str, mut net: axsnn::core::network::SpikingNetwork,
-                      rng: &mut StdRng|
+    let report = |name: &str,
+                  mut net: axsnn::core::network::SpikingNetwork,
+                  rng: &mut StdRng|
      -> Result<(), Box<dyn std::error::Error>> {
         let mut source = AnnGradientSource::new(scenario.adversary());
         let out = evaluate_image_attack(

@@ -12,17 +12,13 @@ use axsnn::core::approx::ApproximationLevel;
 use axsnn::core::encoding::Encoder;
 use axsnn::core::network::SnnConfig;
 use axsnn::datasets::mnist::MnistConfig;
-use axsnn::defense::metrics::evaluate_image_attack;
+use axsnn::defense::metrics::evaluate_image_attack_parallel;
 use axsnn::defense::scenario::{MnistScenario, MnistScenarioConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const EPSILONS: [f32; 6] = [0.0, 0.1, 0.3, 0.5, 0.7, 0.9];
 const LEVELS: [f32; 4] = [0.0, 0.01, 0.1, 1.0];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = StdRng::seed_from_u64(7);
-
     let mut cfg = MnistScenarioConfig::default();
     cfg.mnist = MnistConfig {
         size: 16,
@@ -48,31 +44,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for eps in EPSILONS {
             print!("{eps:>8.2}");
             for level in LEVELS {
-                let mut net = scenario.ax_snn(
+                let net = scenario.ax_snn(
                     snn_cfg,
                     ApproximationLevel::new(level).expect("valid level"),
                 )?;
-                let mut source = AnnGradientSource::new(scenario.adversary());
                 let budget = AttackBudget::for_epsilon(eps * 0.1); // ε-axis calibration, see EXPERIMENTS.md
+                                                                   // Fan the per-sample attack + classification out across
+                                                                   // all cores (threads = 0); seeded per sample, so the
+                                                                   // numbers are identical whatever the core count.
+                let make_source = || AnnGradientSource::new(scenario.adversary());
                 let outcome = if attack_name == "PGD" {
                     let a = Pgd::new(budget);
-                    evaluate_image_attack(
-                        &mut net,
-                        &mut source,
+                    evaluate_image_attack_parallel(
+                        &net,
+                        make_source,
                         &a,
                         &scenario.dataset().test,
                         Encoder::DirectCurrent,
-                        &mut rng,
+                        7,
+                        0,
                     )?
                 } else {
                     let a = Bim::new(budget);
-                    evaluate_image_attack(
-                        &mut net,
-                        &mut source,
+                    evaluate_image_attack_parallel(
+                        &net,
+                        make_source,
                         &a,
                         &scenario.dataset().test,
                         Encoder::DirectCurrent,
-                        &mut rng,
+                        7,
+                        0,
                     )?
                 };
                 print!("{:>10.1}", outcome.adversarial_accuracy);

@@ -42,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         space: SearchSpace {
             thresholds: vec![0.5, 1.0, 1.5],
             time_steps: vec![16, 32],
-            precision_scales: vec![PrecisionScale::Fp32, PrecisionScale::Fp16, PrecisionScale::Int8],
+            precision_scales: vec![
+                PrecisionScale::Fp32,
+                PrecisionScale::Fp16,
+                PrecisionScale::Int8,
+            ],
             // Eq. (1) thresholds are layer-scale; these multipliers span
             // mild → moderate approximation on the MLP substrate.
             approx_scales: vec![0.001, 0.005],
@@ -72,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut rng,
     )?;
 
-    println!("\n=== trace ({} configurations evaluated) ===", outcome.trace.len());
+    println!(
+        "\n=== trace ({} configurations evaluated) ===",
+        outcome.trace.len()
+    );
     println!(
         "{:>6} {:>4} {:>6} {:>6} {:>8} {:>8}",
         "V_th", "T", "prec", "scale", "pruned", "R(ε) %"

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         time_steps: 32,
         leak: 0.9,
     };
-    println!("2. converting to an accurate SNN (V_th = {}, T = {})…", snn_cfg.threshold, snn_cfg.time_steps);
+    println!(
+        "2. converting to an accurate SNN (V_th = {}, T = {})…",
+        snn_cfg.threshold, snn_cfg.time_steps
+    );
     let mut acc_snn = scenario.acc_snn(snn_cfg)?;
     let acc_clean = clean_image_accuracy(
         &mut acc_snn,

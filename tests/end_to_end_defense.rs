@@ -145,8 +145,7 @@ fn sparse_attack_runs_within_budget_on_real_snn() {
     }));
     let data: Vec<_> = s.dataset().test.iter().take(4).cloned().collect();
     let out =
-        evaluate_event_attack(&mut victim, &mut surrogate, sparse, &data, None, &mut rng)
-            .unwrap();
+        evaluate_event_attack(&mut victim, &mut surrogate, sparse, &data, None, &mut rng).unwrap();
     assert_eq!(out.samples, 4);
     assert!(out.adversarial_accuracy <= 100.0);
 }

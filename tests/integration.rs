@@ -43,9 +43,13 @@ fn pipeline_produces_usable_snn() {
     };
     let mut snn = s.acc_snn(cfg).unwrap();
     let mut rng = StdRng::seed_from_u64(0);
-    let snn_acc =
-        clean_image_accuracy(&mut snn, &s.dataset().test, Encoder::DirectCurrent, &mut rng)
-            .unwrap();
+    let snn_acc = clean_image_accuracy(
+        &mut snn,
+        &s.dataset().test,
+        Encoder::DirectCurrent,
+        &mut rng,
+    )
+    .unwrap();
     assert!(
         snn_acc > ann_acc - 30.0,
         "conversion lost too much: ANN {ann_acc}% vs SNN {snn_acc}%"
@@ -66,16 +70,24 @@ fn approximation_degrades_clean_accuracy_monotonically() {
         let mut net = s
             .ax_snn(cfg, ApproximationLevel::new(level).unwrap())
             .unwrap();
-        let acc =
-            clean_image_accuracy(&mut net, &s.dataset().test, Encoder::DirectCurrent, &mut rng)
-                .unwrap();
+        let acc = clean_image_accuracy(
+            &mut net,
+            &s.dataset().test,
+            Encoder::DirectCurrent,
+            &mut rng,
+        )
+        .unwrap();
         accs.push(acc);
     }
     assert!(
         accs[0] >= accs[1] - 5.0 && accs[1] >= accs[2] - 5.0,
         "accuracy should fall with approximation level: {accs:?}"
     );
-    assert!(accs[2] <= 30.0, "level 1.0 must be near chance: {}", accs[2]);
+    assert!(
+        accs[2] <= 30.0,
+        "level 1.0 must be near chance: {}",
+        accs[2]
+    );
 }
 
 #[test]
@@ -174,9 +186,13 @@ fn precision_scaling_preserves_clean_accuracy() {
     for scale in PrecisionScale::ALL {
         let mut net = s.acc_snn(cfg).unwrap();
         apply_precision(&mut net, scale);
-        let acc =
-            clean_image_accuracy(&mut net, &s.dataset().test, Encoder::DirectCurrent, &mut rng)
-                .unwrap();
+        let acc = clean_image_accuracy(
+            &mut net,
+            &s.dataset().test,
+            Encoder::DirectCurrent,
+            &mut rng,
+        )
+        .unwrap();
         assert!(
             acc >= base_acc - 15.0,
             "{scale} lost too much clean accuracy: {acc}% vs {base_acc}%"
@@ -229,9 +245,13 @@ fn poisson_and_deterministic_encodings_agree_roughly() {
         &mut rng,
     )
     .unwrap();
-    let dc =
-        clean_image_accuracy(&mut net, &s.dataset().test, Encoder::DirectCurrent, &mut rng)
-            .unwrap();
+    let dc = clean_image_accuracy(
+        &mut net,
+        &s.dataset().test,
+        Encoder::DirectCurrent,
+        &mut rng,
+    )
+    .unwrap();
     assert!(
         (det - dc).abs() <= 40.0,
         "encodings disagree wildly: deterministic {det}% vs direct {dc}%"

@@ -1,0 +1,257 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! Implements wall-clock benchmarking with the same surface API as the
+//! real crate — [`Criterion::bench_function`], benchmark groups with
+//! [`BenchmarkGroup::bench_with_input`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — without statistical
+//! analysis, plotting, or HTML reports. Each benchmark warms up briefly,
+//! then measures batches until a time budget is reached and reports the
+//! mean time per iteration to stdout.
+//!
+//! Environment knobs:
+//!
+//! * `CRITERION_SHIM_MEASURE_MS` — measurement budget per benchmark in
+//!   milliseconds (default 200),
+//! * `CRITERION_SHIM_JSON` — when set, the final summary is also written
+//!   as a JSON array of `{name, mean_ns, iterations}` records to the
+//!   given path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark identifier (`group/param` for grouped benches).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+fn measure_budget() -> Duration {
+    let ms = std::env::var("CRITERION_SHIM_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200u64);
+    Duration::from_millis(ms)
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let budget = measure_budget();
+        // Warmup: let caches/allocator settle and estimate cost.
+        let warmup_end = Instant::now() + budget / 10;
+        let mut warmup_iters = 0u64;
+        while Instant::now() < warmup_end || warmup_iters == 0 {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < budget {
+            let start = Instant::now();
+            black_box(routine());
+            total += start.elapsed();
+            iters += 1;
+            if iters >= 10_000_000 {
+                break;
+            }
+        }
+        self.result = Some((total.as_nanos() as f64 / iters.max(1) as f64, iters));
+    }
+}
+
+/// Benchmark registry and runner (the shim's `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        self.record(name.to_string(), &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn record(&mut self, name: String, b: &Bencher) {
+        let (mean_ns, iterations) = b.result.unwrap_or((f64::NAN, 0));
+        println!(
+            "{name:<50} time: {:>12.1} ns/iter  ({iterations} iters)",
+            mean_ns
+        );
+        self.results.push(Measurement {
+            name,
+            mean_ns,
+            iterations,
+        });
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Prints the final summary and honours `CRITERION_SHIM_JSON`.
+    pub fn final_summary(&self) {
+        println!("\n{} benchmarks measured", self.results.len());
+        if let Ok(path) = std::env::var("CRITERION_SHIM_JSON") {
+            let mut out = String::from("[\n");
+            for (i, m) in self.results.iter().enumerate() {
+                let sep = if i + 1 == self.results.len() { "" } else { "," };
+                out.push_str(&format!(
+                    "  {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}}}{sep}\n",
+                    m.name.replace('"', "'"),
+                    m.mean_ns,
+                    m.iterations
+                ));
+            }
+            out.push_str("]\n");
+            if let Err(e) = std::fs::write(&path, out) {
+                eprintln!("criterion shim: cannot write {path}: {e}");
+            }
+        }
+    }
+}
+
+/// Identifier for one parameterized benchmark inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Function-plus-parameter identifier.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.record(name, &b);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        let name = format!("{}/{}", self.name, id.id);
+        self.criterion.record(name, &b);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is time-budgeted here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Finishes the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function from bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_positive_time() {
+        std::env::set_var("CRITERION_SHIM_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert_eq!(c.measurements().len(), 1);
+        assert!(c.measurements()[0].mean_ns > 0.0);
+        assert!(c.measurements()[0].iterations > 0);
+    }
+
+    #[test]
+    fn group_names_compose() {
+        std::env::set_var("CRITERION_SHIM_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        assert_eq!(c.measurements()[0].name, "grp/3");
+    }
+}

@@ -1,0 +1,52 @@
+//! Offline shim for the subset of `serde` this workspace needs.
+//!
+//! The AxSNN crates derive `Serialize`/`Deserialize` on their model and
+//! config types to declare them snapshot-friendly, but no code path in
+//! the workspace performs actual (de)serialization at runtime — the
+//! [`axsnn-core` `io` module] snapshots models into plain Rust structs.
+//! With no network access to crates.io, this shim keeps those derives
+//! compiling: the traits are empty markers with blanket implementations,
+//! and the derive macros (re-exported from the in-tree `serde_derive`)
+//! emit nothing.
+//!
+//! If a future PR adds real serialization (e.g. JSON export of trained
+//! models), replace this shim with the real crate or implement the data
+//! model here.
+//!
+//! [`axsnn-core` `io` module]: ../axsnn_core/io/index.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    #[serde(tag = "kind", rename_all = "snake_case")]
+    enum Sample {
+        #[allow(dead_code)]
+        A { x: u32 },
+        #[allow(dead_code)]
+        B,
+    }
+
+    fn assert_serializable<T: Serialize>() {}
+    fn assert_deserializable<T: for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_and_bounds_compile() {
+        assert_serializable::<Sample>();
+        assert_deserializable::<Sample>();
+    }
+}

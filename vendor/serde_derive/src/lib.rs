@@ -1,0 +1,24 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace's `serde` shim implements [`Serialize`]/[`Deserialize`]
+//! as blanket marker traits, so these derive macros have nothing to
+//! generate: they validate nothing, emit nothing, and exist solely so
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` attributes in
+//! the model code compile unchanged when real serde is unavailable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: the shim's trait is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: the shim's trait is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
