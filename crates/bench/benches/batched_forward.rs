@@ -1,0 +1,122 @@
+//! Criterion benchmarks of the fused batched forward engine against the
+//! sequential per-sample path: the raw spike-plane GEMM kernel and full
+//! `T`-step network inference on pre-encoded batches.
+
+use axsnn::core::fused::FrameTrain;
+use axsnn::core::layer::Layer;
+use axsnn::core::network::{SnnConfig, SpikingNetwork};
+use axsnn::tensor::batched::{sparse_matmul_bias, SpikeMatrix};
+use axsnn::tensor::sparse::{sparse_matvec_bias, SpikeVector};
+use axsnn::tensor::{init, Tensor};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BATCH: usize = 32;
+const DENSITIES: [f32; 3] = [0.05, 0.10, 0.20];
+
+/// Deterministic binary frame at the requested density.
+fn spike_frame(len: usize, density: f32, dims: &[usize], salt: u64) -> Tensor {
+    let data: Vec<f32> = (0..len)
+        .map(|i| {
+            let mut h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt;
+            h ^= h >> 29;
+            h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            let unit = (h >> 40) as f32 / (1u64 << 24) as f32;
+            if unit < density {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Tensor::from_vec(data, dims).unwrap()
+}
+
+/// Spike-plane GEMM vs a loop of per-sample gathers on the paper's
+/// flattened MNIST linear layer.
+fn bench_spike_gemm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let weight = init::uniform(&mut rng, &[256, 1568], 0.1);
+    let bias = Tensor::zeros(&[256]);
+
+    let mut group = c.benchmark_group("spike_gemm_1568_to_256_B32");
+    for &density in &DENSITIES {
+        let rows: Vec<SpikeVector> = (0..BATCH)
+            .map(|b| {
+                SpikeVector::from_dense(&spike_frame(1568, density, &[1568], b as u64))
+                    .expect("binary frame")
+            })
+            .collect();
+        let batch = SpikeMatrix::from_rows(&rows).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("per_sample", format!("{:.0}%", density * 100.0)),
+            &rows,
+            |b, rows| {
+                b.iter(|| {
+                    for events in rows {
+                        black_box(sparse_matvec_bias(&weight, black_box(events), &bias).unwrap());
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fused", format!("{:.0}%", density * 100.0)),
+            &batch,
+            |b, batch| {
+                b.iter(|| black_box(sparse_matmul_bias(&weight, black_box(batch), &bias).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Full 16-step inference of a 32-sample batch through an MNIST-scale
+/// MLP: fused `forward_batch` vs the per-sample `classify_frames` loop.
+fn bench_network_forward(c: &mut Criterion) {
+    let cfg = SnnConfig {
+        threshold: 0.8,
+        time_steps: 16,
+        leak: 0.9,
+    };
+    let mut rng = StdRng::seed_from_u64(2);
+    let net = SpikingNetwork::new(
+        vec![
+            Layer::spiking_linear(&mut rng, 1568, 512, &cfg),
+            Layer::spiking_linear(&mut rng, 512, 256, &cfg),
+            Layer::output_linear(&mut rng, 256, 10),
+        ],
+        cfg,
+    )
+    .expect("static topology");
+
+    let density = 0.10f32;
+    let trains: Vec<FrameTrain> = (0..BATCH)
+        .map(|b| {
+            let frames: Vec<Tensor> = (0..16)
+                .map(|t| spike_frame(1568, density, &[1568], (b * 131 + t) as u64))
+                .collect();
+            FrameTrain::from_frames(&frames).unwrap()
+        })
+        .collect();
+    let materialized: Vec<Vec<Tensor>> = trains.iter().map(|t| t.to_frames().unwrap()).collect();
+
+    let mut group = c.benchmark_group("mlp_forward_T16_1568_B32");
+    let mut sequential_net = net.clone();
+    let mut srng = StdRng::seed_from_u64(7);
+    group.bench_function("per_sample", |b| {
+        b.iter(|| {
+            for frames in &materialized {
+                black_box(sequential_net.classify_frames(frames, &mut srng).unwrap());
+            }
+        })
+    });
+    let mut fused_net = net.clone();
+    group.bench_function("fused", |b| {
+        b.iter(|| black_box(fused_net.forward_batch(black_box(&trains)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(batched_forward, bench_spike_gemm, bench_network_forward);
+criterion_main!(batched_forward);

@@ -53,6 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 epsilon: epsilon_scale(),
                 attack,
                 stop_at_first: false,
+                threads: 0,
             };
             let ann = scenario.ann().clone();
             let calib = calibration.clone();

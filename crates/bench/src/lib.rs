@@ -151,6 +151,14 @@ pub fn snn_config(threshold: f32, time_steps: usize) -> SnnConfig {
 /// accuracy of the precision-scaled AxSNN (approximation level 0.01 by
 /// default) at ε = 1.
 ///
+/// The adversarial test set is crafted **once** — it depends only on
+/// the adversary's surrogate and ε, not on the swept `(V_th, T)` — and
+/// its encoded frame trains are cached per `T`
+/// ([`axsnn::datasets::cache::EncodedCache`]), so the 63 grid cells
+/// share 7 encode passes and every cell is one fused batched
+/// classification of pre-encoded shards instead of a from-scratch
+/// attack + encode + per-sample forward.
+///
 /// Returns `cells[t_index][vth_index]` aligned with [`time_step_grid`] /
 /// [`threshold_grid`].
 ///
@@ -164,12 +172,12 @@ pub fn heatmap_sweep(
     approx_level: f32,
     epsilon: f32,
 ) -> Vec<Vec<f32>> {
-    use axsnn::attacks::gradient::{AnnGradientSource, AttackBudget, Bim, Pgd};
+    use axsnn::attacks::gradient::{AnnGradientSource, AttackBudget, Bim, ImageAttack, Pgd};
     use axsnn::core::approx::ApproximationLevel;
     use axsnn::core::batch::{fan_out_with, sample_seed};
     use axsnn::core::encoding::Encoder;
     use axsnn::core::precision::apply_precision;
-    use axsnn::defense::metrics::evaluate_image_attack;
+    use axsnn::datasets::cache::EncodedCache;
     use axsnn::defense::search::StaticAttackKind;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -181,41 +189,47 @@ pub fn heatmap_sweep(
     let budget = AttackBudget::for_epsilon(epsilon * epsilon_scale());
     let level = ApproximationLevel::new(approx_level).expect("valid level");
 
-    // Every (V_th, T) grid point is independent: its own converted
-    // network, gradient source and seeded generator. Fan the cells out
-    // across cores (AXSNN_THREADS overrides, 0 = all cores).
+    // Craft the adversarial set once, fanned out with the per-sample
+    // seeding convention so results are thread-count invariant.
+    let adv: Vec<(axsnn::tensor::Tensor, usize)> = fan_out_with(
+        test.len(),
+        sweep_threads(),
+        || AnnGradientSource::new(scenario.adversary()),
+        |source, i, slot: &mut Option<(axsnn::tensor::Tensor, usize)>| {
+            let mut rng = StdRng::seed_from_u64(sample_seed(seed(), i));
+            let (image, label) = &test[i];
+            let adversarial = match attack {
+                StaticAttackKind::Pgd => Pgd::new(budget).perturb(source, image, *label, &mut rng),
+                StaticAttackKind::Bim => Bim::new(budget).perturb(source, image, *label, &mut rng),
+            }
+            .expect("attack crafting");
+            *slot = Some((adversarial, *label));
+            Ok::<(), Infallible>(())
+        },
+    )
+    .unwrap_or_else(|e| match e {})
+    .into_iter()
+    .map(|s| s.expect("every slot crafted"))
+    .collect();
+
+    // Encoded-frame cache shared by all cells with the same T; the
+    // cells themselves are the parallel axis, so each cell classifies
+    // its cached shards single-threaded.
+    let adv_cache = EncodedCache::new(&adv, seed(), 1);
+
     let jobs: Vec<(usize, usize)> = (0..steps.len())
         .flat_map(|ti| (0..thresholds.len()).map(move |vi| (ti, vi)))
         .collect();
     let eval_cell = |&(ti, vi): &(usize, usize)| -> f32 {
         let (t, v) = (steps[ti], thresholds[vi]);
-        let cell_index = ti * thresholds.len() + vi;
-        let mut rng = StdRng::seed_from_u64(sample_seed(seed(), cell_index));
         let mut net = scenario
             .ax_snn(snn_config(v, t), level)
             .expect("conversion");
         apply_precision(&mut net, precision);
-        let mut source = AnnGradientSource::new(scenario.adversary());
-        let out = match attack {
-            StaticAttackKind::Pgd => evaluate_image_attack(
-                &mut net,
-                &mut source,
-                &Pgd::new(budget),
-                &test,
-                Encoder::DirectCurrent,
-                &mut rng,
-            ),
-            StaticAttackKind::Bim => evaluate_image_attack(
-                &mut net,
-                &mut source,
-                &Bim::new(budget),
-                &test,
-                Encoder::DirectCurrent,
-                &mut rng,
-            ),
-        }
-        .expect("evaluation");
-        out.adversarial_accuracy
+        let adv_set = adv_cache
+            .get(Encoder::DirectCurrent, t)
+            .expect("encoded cache");
+        adv_set.accuracy(&net, 1).expect("evaluation")
     };
 
     let flat: Vec<f32> = fan_out_with(
@@ -228,6 +242,10 @@ pub fn heatmap_sweep(
         },
     )
     .unwrap_or_else(|e| match e {});
+    assert!(
+        adv_cache.encode_passes() <= steps.len(),
+        "cells sharing a T must share one encode pass"
+    );
     flat.chunks(thresholds.len()).map(<[f32]>::to_vec).collect()
 }
 

@@ -143,11 +143,20 @@ where
 }
 
 impl SpikingNetwork {
-    /// Classifies a batch of images in parallel.
+    /// Classifies a batch of images in parallel through the fused
+    /// batched forward engine: samples encode with their per-index
+    /// seeded generators, shard into fused batches of
+    /// [`crate::fused::DEFAULT_FUSED_BATCH`], and each shard runs one
+    /// spike-plane GEMM forward for all its samples in lockstep.
     ///
     /// `seed` drives the per-sample encoder randomness (see the module
     /// docs); `threads == 0` uses all available cores. Results are
-    /// identical for every thread count.
+    /// identical for every thread count **and** bit-for-bit identical
+    /// to per-sample [`SpikingNetwork::classify`] under the same seeds
+    /// — the fused engine makes the same per-row gate decisions and
+    /// runs the same kernels (see [`crate::fused`]). Networks with
+    /// active train-mode dropout fall back to the per-sample path,
+    /// whose per-sample RNG streams the fused path cannot reproduce.
     ///
     /// # Errors
     ///
@@ -159,15 +168,30 @@ impl SpikingNetwork {
         seed: u64,
         threads: usize,
     ) -> Result<Vec<usize>> {
-        fan_out(self, images.len(), threads, |net, i, slot: &mut usize| {
-            let mut rng = StdRng::seed_from_u64(sample_seed(seed, i));
-            *slot = net.classify(&images[i], encoder, &mut rng)?;
-            Ok(())
-        })
+        if self.train_dropout_active() {
+            return fan_out(self, images.len(), threads, |net, i, slot: &mut usize| {
+                let mut rng = StdRng::seed_from_u64(sample_seed(seed, i));
+                *slot = net.classify(&images[i], encoder, &mut rng)?;
+                Ok(())
+            });
+        }
+        self.classify_images_fused(
+            images,
+            encoder,
+            seed,
+            threads,
+            crate::fused::DEFAULT_FUSED_BATCH,
+        )
     }
 
     /// Classifies a batch of pre-encoded frame sequences in parallel
     /// (the event-camera pipeline, where encoding happens upstream).
+    ///
+    /// Homogeneous batches (every sample the same `T` and frame shape,
+    /// no active dropout) take the fused batched path; heterogeneous
+    /// ones fall back to per-sample classification. Either way the
+    /// predictions are bit-for-bit those of
+    /// [`SpikingNetwork::classify_frames`] per sample.
     ///
     /// `seed` drives any per-sample forward randomness (e.g. train-mode
     /// dropout), mixed with the sample index exactly as in
@@ -182,6 +206,27 @@ impl SpikingNetwork {
         seed: u64,
         threads: usize,
     ) -> Result<Vec<usize>> {
+        use crate::fused::FrameTrain;
+        let fusable = !self.train_dropout_active()
+            && !batches.is_empty()
+            && !batches[0].is_empty()
+            && batches.iter().all(|frames| {
+                frames.len() == batches[0].len()
+                    && frames
+                        .iter()
+                        .all(|f| f.shape().dims() == batches[0][0].shape().dims())
+            });
+        if fusable {
+            let trains = batches
+                .iter()
+                .map(|frames| FrameTrain::from_frames(frames))
+                .collect::<Result<Vec<_>>>()?;
+            return self.classify_trains_sharded(
+                &trains,
+                threads,
+                crate::fused::DEFAULT_FUSED_BATCH,
+            );
+        }
         fan_out(self, batches.len(), threads, |net, i, slot: &mut usize| {
             let mut rng = StdRng::seed_from_u64(sample_seed(seed, i));
             *slot = net.classify_frames(&batches[i], &mut rng)?;
@@ -189,8 +234,9 @@ impl SpikingNetwork {
         })
     }
 
-    /// Evaluates labelled image data in parallel, returning per-sample
-    /// predictions and aggregate accuracy.
+    /// Evaluates labelled image data in parallel through the fused
+    /// batched engine, returning per-sample predictions and aggregate
+    /// accuracy.
     ///
     /// # Errors
     ///
@@ -202,11 +248,22 @@ impl SpikingNetwork {
         seed: u64,
         threads: usize,
     ) -> Result<BatchEvaluation> {
-        let predictions = fan_out(self, data.len(), threads, |net, i, slot: &mut usize| {
-            let mut rng = StdRng::seed_from_u64(sample_seed(seed, i));
-            *slot = net.classify(&data[i].0, encoder, &mut rng)?;
-            Ok(())
-        })?;
+        let predictions = if self.train_dropout_active() {
+            fan_out(self, data.len(), threads, |net, i, slot: &mut usize| {
+                let mut rng = StdRng::seed_from_u64(sample_seed(seed, i));
+                *slot = net.classify(&data[i].0, encoder, &mut rng)?;
+                Ok(())
+            })?
+        } else {
+            self.classify_images_fused_with(
+                data.len(),
+                |i| &data[i].0,
+                encoder,
+                seed,
+                threads,
+                crate::fused::DEFAULT_FUSED_BATCH,
+            )?
+        };
         let correct = predictions
             .iter()
             .zip(data)

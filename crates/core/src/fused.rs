@@ -1,0 +1,910 @@
+//! Fused batched forward: B samples through the layer stack in lockstep.
+//!
+//! The per-sample simulator in [`crate::network`] is matvec-shaped —
+//! every forward streams the full weight set for one sample. Attack
+//! sweeps and dataset evaluation run hundreds of independent samples
+//! against the same frozen network, so this module packs B encoded
+//! samples ([`FrameTrain`]) and drives all of them through every time
+//! step together: spike planes become a CSR
+//! [`axsnn_tensor::batched::SpikeMatrix`] and the linear layers run as
+//! one spike-plane GEMM per step ([`axsnn_tensor::batched::sparse_matmul_bias`]),
+//! which loads each weight row once per *batch* instead of once per
+//! sample. Membrane state lives in `[B, n]` blocks
+//! ([`crate::lif::BatchedLifState`]).
+//!
+//! # Bit-for-bit equivalence
+//!
+//! The fused path is not "approximately" the per-sample path — it *is*
+//! the per-sample path, re-scheduled. Every batch row makes the same
+//! dense/sparse gate decision the per-sample forward would make (the
+//! density gate of PR 1, applied per row per layer per step), and every
+//! kernel routes through the same shared gather/scatter helpers in the
+//! same order, so `forward_batch` logits equal per-sample
+//! [`SpikingNetwork::forward`] logits bit for bit. The property suite
+//! in `tests/batched_equivalence.rs` pins this across shapes, batch
+//! sizes, densities and thread counts.
+//!
+//! The fused path is inference-only: recorded (training) steps need the
+//! per-sample BPTT tape, and train-mode dropout draws per-sample masks,
+//! so [`SpikingNetwork::forward_batch`] rejects networks with active
+//! dropout and callers fall back to the per-sample path.
+
+use crate::batch::{fan_out_with, sample_seed};
+use crate::encoding::Encoder;
+use crate::layer::{FallbackCounter, Layer};
+use crate::lif::BatchedLifState;
+use crate::network::SpikingNetwork;
+use crate::{CoreError, Result};
+use axsnn_tensor::batched::{matmul_bt_bias, sparse_matmul_bias, SpikeMatrix};
+use axsnn_tensor::conv::{self, Conv2dSpec};
+use axsnn_tensor::sparse::{self, SpikeVector};
+use axsnn_tensor::{Tensor, TensorError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default number of samples fused into one batched forward pass.
+///
+/// Large enough to amortize each weight row across many gathers, small
+/// enough that a shard's `[B, n]` blocks stay cache-resident and a
+/// dataset still splits into enough shards to feed all cores.
+pub const DEFAULT_FUSED_BATCH: usize = 32;
+
+/// One encoded time-step frame of a sample.
+///
+/// Binary frames (rate-coded spike trains, event-camera planes) are
+/// stored directly in event form — the representation every sparse
+/// kernel consumes and a fraction of the dense footprint. Analog frames
+/// (direct-current encoding) keep their dense tensor.
+#[derive(Debug, Clone)]
+pub enum EncodedFrame {
+    /// A binary frame as its active-spike events.
+    Spikes(SpikeVector),
+    /// A non-binary frame (analog current); always takes dense kernels.
+    Analog(Tensor),
+}
+
+/// A sample's full encoded frame train: `T` frames sharing one shape.
+///
+/// This is the unit the fused batch engine and the dataset-level
+/// encoded cache exchange: encode once, classify under many network
+/// configurations.
+///
+/// # Example
+///
+/// ```
+/// use axsnn_core::encoding::Encoder;
+/// use axsnn_core::fused::FrameTrain;
+/// use axsnn_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), axsnn_core::CoreError> {
+/// let image = Tensor::full(&[4], 0.5);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let train = FrameTrain::encode(&image, Encoder::Deterministic, 8, &mut rng)?;
+/// assert_eq!(train.time_steps(), 8);
+/// assert_eq!(train.dims(), &[4]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameTrain {
+    dims: Vec<usize>,
+    frames: Vec<EncodedFrame>,
+}
+
+impl FrameTrain {
+    /// Encodes an image into a frame train, storing binary frames as
+    /// spike vectors. Produces exactly the frames
+    /// [`Encoder::encode`] would: materializing them back yields the
+    /// identical tensors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors (`time_steps == 0`).
+    pub fn encode<R: Rng>(
+        image: &Tensor,
+        encoder: Encoder,
+        time_steps: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let frames = encoder.encode(image, time_steps, rng)?;
+        Self::from_frames(&frames)
+    }
+
+    /// Packs already-materialized frames, storing binary ones as spike
+    /// vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] when frames disagree on shape.
+    pub fn from_frames(frames: &[Tensor]) -> Result<Self> {
+        let dims: Vec<usize> = frames
+            .first()
+            .map(|f| f.shape().dims().to_vec())
+            .unwrap_or_default();
+        let mut encoded = Vec::with_capacity(frames.len());
+        for f in frames {
+            if f.shape().dims() != dims.as_slice() {
+                return Err(CoreError::Config {
+                    message: format!(
+                        "frame train mixes shapes {:?} and {:?}",
+                        dims,
+                        f.shape().dims()
+                    ),
+                });
+            }
+            encoded.push(match SpikeVector::from_dense(f) {
+                Some(events) => EncodedFrame::Spikes(events),
+                None => EncodedFrame::Analog(f.clone()),
+            });
+        }
+        Ok(FrameTrain {
+            dims,
+            frames: encoded,
+        })
+    }
+
+    /// Number of time steps.
+    pub fn time_steps(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Shape shared by every frame.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The encoded frames.
+    pub fn frames(&self) -> &[EncodedFrame] {
+        &self.frames
+    }
+
+    /// Fraction of frames stored in event (spike) form.
+    pub fn spike_frame_fraction(&self) -> f32 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        let spikes = self
+            .frames
+            .iter()
+            .filter(|f| matches!(f, EncodedFrame::Spikes(_)))
+            .count();
+        spikes as f32 / self.frames.len() as f32
+    }
+
+    /// Materializes the dense frame sequence (for per-sample paths).
+    ///
+    /// # Errors
+    ///
+    /// Cannot fail for trains built through the constructors.
+    pub fn to_frames(&self) -> Result<Vec<Tensor>> {
+        self.frames
+            .iter()
+            .map(|f| match f {
+                EncodedFrame::Spikes(s) => s.to_dense(&self.dims).map_err(CoreError::from),
+                EncodedFrame::Analog(t) => Ok(t.clone()),
+            })
+            .collect()
+    }
+}
+
+/// Output of a fused batched forward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchForwardOutput {
+    /// Accumulated readout logits, `[B, classes]`.
+    pub logits: Tensor,
+    /// Total spikes per spiking layer, summed over the batch and all
+    /// time steps (the batch-level analogue of
+    /// [`crate::network::SpikeStats::spikes_per_layer`]).
+    pub spikes_per_layer: Vec<f32>,
+    /// Time steps simulated.
+    pub time_steps: usize,
+}
+
+impl BatchForwardOutput {
+    /// Number of batch rows.
+    pub fn batch(&self) -> usize {
+        self.logits.shape().dims()[0]
+    }
+
+    /// Predicted class per row — first strict maximum, matching
+    /// [`Tensor::argmax`] on the per-sample logits.
+    pub fn predictions(&self) -> Vec<usize> {
+        let dims = self.logits.shape().dims();
+        let (b, c) = (dims[0], dims[1]);
+        let data = self.logits.as_slice();
+        (0..b)
+            .map(|r| {
+                let row = &data[r * c..(r + 1) * c];
+                let mut best = 0usize;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+/// One sample's view of the input activity plane.
+#[derive(Debug, Clone)]
+enum PlaneRow {
+    /// Binary frame in event form.
+    Events(SpikeVector),
+    /// Analog (or gate-rejected) frame in dense form.
+    Dense(Tensor),
+}
+
+/// Storage of the batch's activity plane between two layers.
+enum PlaneData {
+    /// Per-sample rows (the input plane, fed from [`FrameTrain`]s).
+    Rows(Vec<PlaneRow>),
+    /// One contiguous `[B, n]` block (every inter-layer plane) — no
+    /// per-row tensor materialization between layers.
+    Stacked(Vec<f32>),
+}
+
+/// The batch's activity plane between two layers: B rows sharing one
+/// logical shape.
+struct BatchPlane {
+    dims: Vec<usize>,
+    batch: usize,
+    data: PlaneData,
+}
+
+impl BatchPlane {
+    fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Replicates [`SpikeVector::from_dense_if_sparse`]'s admission
+    /// rule for row `r`, returning the row's events exactly when the
+    /// per-sample gate would: the frame is binary and its density is at
+    /// most `threshold`.
+    fn admit(&self, r: usize, threshold: f32) -> Option<SpikeVector> {
+        let len = self.volume();
+        match &self.data {
+            PlaneData::Rows(rows) => match &rows[r] {
+                PlaneRow::Events(events) => {
+                    if threshold <= 0.0 || threshold.is_nan() {
+                        return None;
+                    }
+                    let cap = (threshold as f64 * len as f64).floor() as usize;
+                    if events.nnz() <= cap {
+                        Some(events.clone())
+                    } else {
+                        None
+                    }
+                }
+                PlaneRow::Dense(t) => SpikeVector::from_dense_if_sparse(t, threshold),
+            },
+            PlaneData::Stacked(block) => {
+                SpikeVector::from_slice_if_sparse(&block[r * len..(r + 1) * len], threshold)
+            }
+        }
+    }
+
+    /// Appends row `r`'s dense values to `out` (for packing the dense
+    /// GEMM fallback block).
+    fn extend_dense(&self, r: usize, out: &mut Vec<f32>) {
+        let len = self.volume();
+        match &self.data {
+            PlaneData::Rows(rows) => match &rows[r] {
+                PlaneRow::Events(events) => {
+                    let base = out.len();
+                    out.resize(base + len, 0.0);
+                    for &j in events.indices() {
+                        out[base + j as usize] = 1.0;
+                    }
+                }
+                PlaneRow::Dense(t) => out.extend_from_slice(t.as_slice()),
+            },
+            PlaneData::Stacked(block) => out.extend_from_slice(&block[r * len..(r + 1) * len]),
+        }
+    }
+
+    /// Materializes row `r` as the dense tensor the per-sample path
+    /// would have seen (for the dense conv/pool kernels).
+    fn dense_row(&self, r: usize) -> Result<Tensor> {
+        let len = self.volume();
+        match &self.data {
+            PlaneData::Rows(rows) => match &rows[r] {
+                PlaneRow::Events(events) => events.to_dense(&self.dims).map_err(CoreError::from),
+                PlaneRow::Dense(t) => Ok(t.clone()),
+            },
+            PlaneData::Stacked(block) => {
+                Tensor::from_vec(block[r * len..(r + 1) * len].to_vec(), &self.dims)
+                    .map_err(CoreError::from)
+            }
+        }
+    }
+}
+
+/// Computes the `[B, out]` current block of a (spiking or readout)
+/// linear layer: sparse-admitted rows fuse into one spike-plane GEMM,
+/// the rest batch through the dense `X·Wᵀ + b` fallback. Each row is
+/// bit-identical to its per-sample counterpart.
+fn linear_current_block(
+    weight: &Tensor,
+    bias: &Tensor,
+    threshold: f32,
+    plane: &BatchPlane,
+    fallbacks: &FallbackCounter,
+) -> Result<Vec<f32>> {
+    let wdims = weight.shape().dims();
+    if wdims.len() != 2 {
+        return Err(CoreError::from(TensorError::RankMismatch {
+            expected: 2,
+            actual: wdims.len(),
+            op: "forward_batch linear",
+        }));
+    }
+    let (out_n, in_n) = (wdims[0], wdims[1]);
+    let b = plane.batch;
+    let mut block = vec![0.0f32; b * out_n];
+    let mut sparse_rows: Vec<SpikeVector> = Vec::new();
+    let mut sparse_pos: Vec<usize> = Vec::new();
+    let mut dense_data: Vec<f32> = Vec::new();
+    let mut dense_pos: Vec<usize> = Vec::new();
+    for r in 0..b {
+        match plane.admit(r, threshold) {
+            Some(events) => {
+                sparse_pos.push(r);
+                sparse_rows.push(events);
+            }
+            None => {
+                if threshold > 0.0 {
+                    fallbacks.bump();
+                }
+                dense_pos.push(r);
+                plane.extend_dense(r, &mut dense_data);
+            }
+        }
+    }
+    if !sparse_rows.is_empty() {
+        let batch = SpikeMatrix::from_rows(&sparse_rows).map_err(CoreError::from)?;
+        let y = sparse_matmul_bias(weight, &batch, bias).map_err(CoreError::from)?;
+        let yv = y.as_slice();
+        for (s, &r) in sparse_pos.iter().enumerate() {
+            block[r * out_n..(r + 1) * out_n].copy_from_slice(&yv[s * out_n..(s + 1) * out_n]);
+        }
+    }
+    if !dense_pos.is_empty() {
+        let x = Tensor::from_vec(dense_data, &[dense_pos.len(), in_n]).map_err(CoreError::from)?;
+        let y = matmul_bt_bias(&x, weight, bias).map_err(CoreError::from)?;
+        let yv = y.as_slice();
+        for (d, &r) in dense_pos.iter().enumerate() {
+            block[r * out_n..(r + 1) * out_n].copy_from_slice(&yv[d * out_n..(d + 1) * out_n]);
+        }
+    }
+    Ok(block)
+}
+
+/// Computes the `[B, Cout·OH·OW]` current block of a spiking conv
+/// layer: admitted rows scatter their events directly into the block
+/// through the shared stencil kernel, the rest run the dense conv.
+fn conv_current_block(
+    spec: &Conv2dSpec,
+    weight: &Tensor,
+    bias: &Tensor,
+    threshold: f32,
+    plane: &BatchPlane,
+    fallbacks: &FallbackCounter,
+) -> Result<(Vec<f32>, Vec<usize>)> {
+    if plane.dims.len() != 3 {
+        return Err(CoreError::from(TensorError::RankMismatch {
+            expected: 3,
+            actual: plane.dims.len(),
+            op: "forward_batch conv",
+        }));
+    }
+    let (c, h, w) = (plane.dims[0], plane.dims[1], plane.dims[2]);
+    if c != spec.in_channels {
+        return Err(CoreError::from(TensorError::ShapeMismatch {
+            lhs: plane.dims.clone(),
+            rhs: vec![spec.in_channels],
+            op: "forward_batch conv input channels",
+        }));
+    }
+    if spec.kernel == 0
+        || spec.stride == 0
+        || h + 2 * spec.padding < spec.kernel
+        || w + 2 * spec.padding < spec.kernel
+    {
+        return Err(CoreError::from(TensorError::InvalidArgument {
+            message: format!(
+                "conv2d kernel {} incompatible with padded input {}x{}",
+                spec.kernel,
+                h + 2 * spec.padding,
+                w + 2 * spec.padding
+            ),
+        }));
+    }
+    let (oh, ow) = spec.output_hw(h, w);
+    let n = spec.out_channels * oh * ow;
+    let b = plane.batch;
+    let mut block = vec![0.0f32; b * n];
+    for r in 0..b {
+        let slot = &mut block[r * n..(r + 1) * n];
+        match plane.admit(r, threshold) {
+            Some(events) => {
+                sparse::sparse_conv2d_into(&events, (h, w), weight, bias, spec, slot)?;
+            }
+            None => {
+                if threshold > 0.0 {
+                    fallbacks.bump();
+                }
+                let t = plane.dense_row(r)?;
+                let out = conv::conv2d(&t, weight, bias, spec)?;
+                slot.copy_from_slice(out.as_slice());
+            }
+        }
+    }
+    Ok((block, vec![spec.out_channels, oh, ow]))
+}
+
+/// Pools every row of the plane (max or avg), keeping the per-sample
+/// gate semantics: rows admitted by the density gate pool on events,
+/// the rest on the dense kernels.
+fn pool_plane(
+    plane: BatchPlane,
+    window: usize,
+    threshold: f32,
+    max: bool,
+    fallbacks: &FallbackCounter,
+) -> Result<BatchPlane> {
+    let gate_ok = plane.dims.len() == 3;
+    let b = plane.batch;
+    let mut out = Vec::new();
+    let mut out_dims = Vec::new();
+    for r in 0..b {
+        let pooled = match gate_ok.then(|| plane.admit(r, threshold)).flatten() {
+            Some(events) => {
+                if max {
+                    sparse::sparse_max_pool2d(&events, &plane.dims, window)?
+                } else {
+                    sparse::sparse_avg_pool2d(&events, &plane.dims, window)?
+                }
+            }
+            None => {
+                if gate_ok && threshold > 0.0 {
+                    fallbacks.bump();
+                }
+                let t = plane.dense_row(r)?;
+                if max {
+                    conv::max_pool2d(&t, window)?.output
+                } else {
+                    conv::avg_pool2d(&t, window)?
+                }
+            }
+        };
+        if out_dims.is_empty() {
+            out_dims = pooled.shape().dims().to_vec();
+            out.reserve(b * pooled.len());
+        }
+        out.extend_from_slice(pooled.as_slice());
+    }
+    Ok(BatchPlane {
+        dims: out_dims,
+        batch: b,
+        data: PlaneData::Stacked(out),
+    })
+}
+
+impl SpikingNetwork {
+    /// Returns `true` when any dropout layer would actively drop spikes
+    /// — the one stochastic, per-sample-masked piece of the forward
+    /// pass, which the fused batch engine cannot reproduce.
+    pub fn train_dropout_active(&self) -> bool {
+        self.layers()
+            .iter()
+            .any(|l| matches!(l, Layer::Dropout(d) if d.train_mode && d.probability > 0.0))
+    }
+
+    /// Runs the fused batched forward pass: every sample of `trains`
+    /// advances through all layers together at each time step, with
+    /// spike-plane GEMMs for the linear layers and `[B, n]` membrane
+    /// blocks for the LIF populations.
+    ///
+    /// Row `b` of the returned logits equals
+    /// `self.forward(&trains[b].to_frames()?, false, rng)` bit for bit
+    /// (see the module docs for why).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] for an empty batch, empty or
+    /// mismatched frame trains, or a network with active train-mode
+    /// dropout; propagates layer shape errors.
+    pub fn forward_batch(&mut self, trains: &[FrameTrain]) -> Result<BatchForwardOutput> {
+        let first = trains.first().ok_or_else(|| CoreError::Config {
+            message: "forward_batch needs at least one sample".into(),
+        })?;
+        let time_steps = first.time_steps();
+        if time_steps == 0 {
+            return Err(CoreError::Config {
+                message: "forward_batch needs at least one input frame".into(),
+            });
+        }
+        for tr in trains {
+            if tr.time_steps() != time_steps || tr.dims() != first.dims() {
+                return Err(CoreError::Config {
+                    message: format!(
+                        "forward_batch needs homogeneous trains: got T={} dims {:?} vs T={} dims {:?}",
+                        tr.time_steps(),
+                        tr.dims(),
+                        time_steps,
+                        first.dims()
+                    ),
+                });
+            }
+        }
+        if self.train_dropout_active() {
+            return Err(CoreError::Config {
+                message: "forward_batch is inference-only: disable train-mode dropout".into(),
+            });
+        }
+        let b = trains.len();
+        let dims0 = first.dims().to_vec();
+        let depth = self.depth();
+        let spiking_layers = self.layers().iter().filter(|l| l.is_spiking()).count();
+        let mut spikes_per_layer = vec![0.0f32; spiking_layers];
+        let mut states: Vec<Option<BatchedLifState>> = vec![None; depth];
+        let mut logits: Option<Vec<f32>> = None;
+        let mut classes = 0usize;
+
+        for t in 0..time_steps {
+            let mut plane = BatchPlane {
+                dims: dims0.clone(),
+                batch: b,
+                data: PlaneData::Rows(
+                    trains
+                        .iter()
+                        .map(|tr| match &tr.frames()[t] {
+                            EncodedFrame::Spikes(s) => PlaneRow::Events(s.clone()),
+                            EncodedFrame::Analog(a) => PlaneRow::Dense(a.clone()),
+                        })
+                        .collect(),
+                ),
+            };
+            let mut spiking_idx = 0usize;
+            for (li, layer) in self.layers_mut().iter_mut().enumerate() {
+                match layer {
+                    Layer::SpikingConv2d(l) => {
+                        let (current, out_dims) = conv_current_block(
+                            &l.spec,
+                            &l.weight.value,
+                            &l.bias.value,
+                            l.sparse_threshold,
+                            &plane,
+                            &l.dense_fallbacks,
+                        )?;
+                        let n = current.len() / b;
+                        let state = match &mut states[li] {
+                            Some(s) if s.batch() == b && s.neurons() == n => s,
+                            slot => slot.insert(BatchedLifState::new(b, n, l.lif_params)),
+                        };
+                        let spikes = state.step(&current);
+                        spikes_per_layer[spiking_idx] += spikes.iter().sum::<f32>();
+                        spiking_idx += 1;
+                        plane = BatchPlane {
+                            dims: out_dims,
+                            batch: b,
+                            data: PlaneData::Stacked(spikes),
+                        };
+                    }
+                    Layer::SpikingLinear(l) => {
+                        let current = linear_current_block(
+                            &l.weight.value,
+                            &l.bias.value,
+                            l.sparse_threshold,
+                            &plane,
+                            &l.dense_fallbacks,
+                        )?;
+                        let n = current.len() / b;
+                        let state = match &mut states[li] {
+                            Some(s) if s.batch() == b && s.neurons() == n => s,
+                            slot => slot.insert(BatchedLifState::new(b, n, l.lif_params)),
+                        };
+                        let spikes = state.step(&current);
+                        spikes_per_layer[spiking_idx] += spikes.iter().sum::<f32>();
+                        spiking_idx += 1;
+                        plane = BatchPlane {
+                            dims: vec![n],
+                            batch: b,
+                            data: PlaneData::Stacked(spikes),
+                        };
+                    }
+                    Layer::OutputLinear(l) => {
+                        let block = linear_current_block(
+                            &l.weight.value,
+                            &l.bias.value,
+                            l.sparse_threshold,
+                            &plane,
+                            &l.dense_fallbacks,
+                        )?;
+                        let n = block.len() / b;
+                        plane = BatchPlane {
+                            dims: vec![n],
+                            batch: b,
+                            data: PlaneData::Stacked(block),
+                        };
+                    }
+                    Layer::AvgPool2d(l) => {
+                        plane = pool_plane(
+                            plane,
+                            l.window,
+                            l.sparse_threshold,
+                            false,
+                            &l.dense_fallbacks,
+                        )?;
+                    }
+                    Layer::MaxPool2d(l) => {
+                        plane = pool_plane(
+                            plane,
+                            l.window,
+                            l.sparse_threshold,
+                            true,
+                            &l.dense_fallbacks,
+                        )?;
+                    }
+                    Layer::Flatten(_) => {
+                        let len = plane.volume();
+                        if let PlaneData::Rows(rows) = &mut plane.data {
+                            for row in rows.iter_mut() {
+                                if let PlaneRow::Dense(t) = row {
+                                    *t = t.reshape(&[len])?;
+                                }
+                            }
+                        }
+                        plane.dims = vec![len];
+                    }
+                    Layer::Dropout(_) => {
+                        // Inference dropout is the identity (train-mode
+                        // dropout was rejected above).
+                    }
+                }
+            }
+            // Accumulate the readout plane into the logits, in the same
+            // ascending-t elementwise order as the per-sample forward.
+            classes = plane.volume();
+            let acc = logits.get_or_insert_with(|| vec![0.0f32; b * classes]);
+            match &plane.data {
+                PlaneData::Stacked(block) => {
+                    for (slot, &v) in acc.iter_mut().zip(block) {
+                        *slot += v;
+                    }
+                }
+                PlaneData::Rows(_) => {
+                    for r in 0..b {
+                        let out = plane.dense_row(r)?;
+                        for (slot, &v) in acc[r * classes..(r + 1) * classes]
+                            .iter_mut()
+                            .zip(out.as_slice())
+                        {
+                            *slot += v;
+                        }
+                    }
+                }
+            }
+        }
+
+        let logits = Tensor::from_vec(
+            logits.expect("at least one time step was processed"),
+            &[b, classes],
+        )
+        .map_err(CoreError::from)?;
+        Ok(BatchForwardOutput {
+            logits,
+            spikes_per_layer,
+            time_steps,
+        })
+    }
+
+    /// Classifies a batch of encoded frame trains through one fused
+    /// forward pass, returning the predicted class per sample.
+    ///
+    /// Predictions are bit-for-bit identical to per-sample
+    /// [`SpikingNetwork::classify_frames`] on the materialized trains.
+    ///
+    /// # Errors
+    ///
+    /// As [`SpikingNetwork::forward_batch`].
+    pub fn classify_batch_fused(&mut self, trains: &[FrameTrain]) -> Result<Vec<usize>> {
+        if trains.is_empty() {
+            return Ok(Vec::new());
+        }
+        Ok(self.forward_batch(trains)?.predictions())
+    }
+
+    /// Classifies encoded frame trains sharded across threads: the
+    /// train list splits into fused batches of at most `batch` samples
+    /// and the shards fan out via [`crate::batch::fan_out_with`]
+    /// (`threads == 0` uses all cores). Results are identical for every
+    /// thread count and batch size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first fused forward error.
+    pub fn classify_trains_sharded(
+        &self,
+        trains: &[FrameTrain],
+        threads: usize,
+        batch: usize,
+    ) -> Result<Vec<usize>> {
+        let n = trains.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let batch = batch.max(1);
+        let shards = n.div_ceil(batch);
+        let per_shard: Vec<Vec<usize>> = fan_out_with(
+            shards,
+            threads,
+            || self.clone(),
+            |net, s, slot: &mut Vec<usize>| -> Result<()> {
+                let lo = s * batch;
+                let hi = (lo + batch).min(n);
+                *slot = net.classify_batch_fused(&trains[lo..hi])?;
+                Ok(())
+            },
+        )?;
+        Ok(per_shard.concat())
+    }
+
+    /// Encodes and classifies labelled or unlabelled images through the
+    /// fused sharded path with the workspace's per-sample seeding
+    /// convention: sample `i` encodes under
+    /// `StdRng::seed_from_u64(sample_seed(seed, i))`, exactly like the
+    /// per-sample batch evaluators, so predictions match them bit for
+    /// bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding and fused forward errors.
+    pub fn classify_images_fused(
+        &self,
+        images: &[Tensor],
+        encoder: Encoder,
+        seed: u64,
+        threads: usize,
+        batch: usize,
+    ) -> Result<Vec<usize>> {
+        self.classify_images_fused_with(images.len(), |i| &images[i], encoder, seed, threads, batch)
+    }
+
+    /// [`SpikingNetwork::classify_images_fused`] over an arbitrary
+    /// image accessor, so callers holding `(Tensor, label)` pairs can
+    /// classify without first copying every image into a new vector.
+    pub(crate) fn classify_images_fused_with<'a, F>(
+        &self,
+        n: usize,
+        image_at: F,
+        encoder: Encoder,
+        seed: u64,
+        threads: usize,
+        batch: usize,
+    ) -> Result<Vec<usize>>
+    where
+        F: Fn(usize) -> &'a Tensor + Sync,
+    {
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let time_steps = self.config().time_steps;
+        let batch = batch.max(1);
+        let shards = n.div_ceil(batch);
+        let image_at = &image_at;
+        let per_shard: Vec<Vec<usize>> = fan_out_with(
+            shards,
+            threads,
+            || self.clone(),
+            |net, s, slot: &mut Vec<usize>| -> Result<()> {
+                let lo = s * batch;
+                let hi = (lo + batch).min(n);
+                let mut trains = Vec::with_capacity(hi - lo);
+                for i in lo..hi {
+                    let mut rng = StdRng::seed_from_u64(sample_seed(seed, i));
+                    trains.push(FrameTrain::encode(
+                        image_at(i),
+                        encoder,
+                        time_steps,
+                        &mut rng,
+                    )?);
+                }
+                *slot = net.classify_batch_fused(&trains)?;
+                Ok(())
+            },
+        )?;
+        Ok(per_shard.concat())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::SnnConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn frame_train_roundtrips_and_compresses() {
+        let image = Tensor::full(&[6], 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let train = FrameTrain::encode(&image, Encoder::Deterministic, 8, &mut rng).unwrap();
+        assert_eq!(train.time_steps(), 8);
+        assert_eq!(train.spike_frame_fraction(), 1.0);
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let reference = Encoder::Deterministic.encode(&image, 8, &mut rng2).unwrap();
+        assert_eq!(train.to_frames().unwrap(), reference);
+    }
+
+    #[test]
+    fn analog_trains_keep_dense_frames() {
+        let image = Tensor::full(&[4], 0.3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let train = FrameTrain::encode(&image, Encoder::DirectCurrent, 4, &mut rng).unwrap();
+        assert_eq!(train.spike_frame_fraction(), 0.0);
+        assert!(matches!(train.frames()[0], EncodedFrame::Analog(_)));
+    }
+
+    #[test]
+    fn from_frames_rejects_mixed_shapes() {
+        let frames = vec![Tensor::zeros(&[4]), Tensor::zeros(&[5])];
+        assert!(FrameTrain::from_frames(&frames).is_err());
+    }
+
+    #[test]
+    fn forward_batch_validates_inputs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = SnnConfig {
+            threshold: 0.5,
+            time_steps: 4,
+            leak: 0.9,
+        };
+        let mut net = SpikingNetwork::new(
+            vec![
+                Layer::spiking_linear(&mut rng, 4, 6, &cfg),
+                Layer::output_linear(&mut rng, 6, 2),
+            ],
+            cfg,
+        )
+        .unwrap();
+        assert!(net.forward_batch(&[]).is_err(), "empty batch rejected");
+        let empty = FrameTrain::from_frames(&[]).unwrap();
+        assert!(net.forward_batch(&[empty]).is_err(), "empty train rejected");
+        let a = FrameTrain::from_frames(&vec![Tensor::zeros(&[4]); 4]).unwrap();
+        let b = FrameTrain::from_frames(&vec![Tensor::zeros(&[4]); 3]).unwrap();
+        assert!(
+            net.forward_batch(&[a.clone(), b]).is_err(),
+            "ragged T rejected"
+        );
+        assert!(net.forward_batch(&[a]).is_ok());
+    }
+
+    #[test]
+    fn forward_batch_rejects_train_mode_dropout() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = SnnConfig {
+            threshold: 0.5,
+            time_steps: 2,
+            leak: 0.9,
+        };
+        let mut net = SpikingNetwork::new(
+            vec![
+                Layer::spiking_linear(&mut rng, 3, 4, &cfg),
+                Layer::dropout(0.5),
+                Layer::output_linear(&mut rng, 4, 2),
+            ],
+            cfg,
+        )
+        .unwrap();
+        let train = FrameTrain::from_frames(&vec![Tensor::ones(&[3]); 2]).unwrap();
+        assert!(!net.train_dropout_active());
+        assert!(net.forward_batch(std::slice::from_ref(&train)).is_ok());
+        net.set_train_mode(true);
+        assert!(net.train_dropout_active());
+        assert!(net.forward_batch(&[train]).is_err());
+    }
+}

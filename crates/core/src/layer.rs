@@ -21,6 +21,8 @@ use axsnn_tensor::conv::{self, Conv2dSpec};
 use axsnn_tensor::sparse::{self, SpikeVector, DEFAULT_DENSITY_THRESHOLD};
 use axsnn_tensor::{init, linalg, Tensor};
 use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Learnable parameter pair (value + gradient accumulator + momentum).
 #[derive(Debug, Clone)]
@@ -86,6 +88,27 @@ impl Param {
     }
 }
 
+/// Dense-fallback counter shared across clones of a layer.
+///
+/// The sharded batch evaluators hand each worker a *clone* of the
+/// network; an `Arc`-shared atomic lets those workers' fallback events
+/// aggregate into the instance the caller holds, so the sparse→dense
+/// degradation stays observable on exactly the sweep paths it matters
+/// for. Relaxed ordering suffices — it is a statistics counter with no
+/// ordering dependencies.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FallbackCounter(Arc<AtomicU64>);
+
+impl FallbackCounter {
+    pub(crate) fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// Per-step tape entry for a spiking synaptic layer.
 #[derive(Debug, Clone)]
 struct SpikeTape {
@@ -103,13 +126,14 @@ pub struct SpikingConv2d {
     pub weight: Param,
     /// Per-filter bias `[Cout]`.
     pub bias: Param,
-    lif_params: LifParams,
+    pub(crate) lif_params: LifParams,
     state: Option<LifState>,
     tape: Vec<SpikeTape>,
     carry: Vec<f32>,
     input_hw: Option<(usize, usize)>,
     last_spikes: Option<f32>,
-    sparse_threshold: f32,
+    pub(crate) sparse_threshold: f32,
+    pub(crate) dense_fallbacks: FallbackCounter,
 }
 
 /// Spiking fully-connected layer (`[In] → [Out]` spikes).
@@ -119,12 +143,13 @@ pub struct SpikingLinear {
     pub weight: Param,
     /// Bias `[Out]`.
     pub bias: Param,
-    lif_params: LifParams,
+    pub(crate) lif_params: LifParams,
     state: LifState,
     tape: Vec<SpikeTape>,
     carry: Vec<f32>,
     last_spikes: Option<f32>,
-    sparse_threshold: f32,
+    pub(crate) sparse_threshold: f32,
+    pub(crate) dense_fallbacks: FallbackCounter,
 }
 
 /// Non-spiking integrator readout; the network sums its per-step outputs.
@@ -135,7 +160,8 @@ pub struct OutputLinear {
     /// Bias `[Out]`.
     pub bias: Param,
     inputs: Vec<Tensor>,
-    sparse_threshold: f32,
+    pub(crate) sparse_threshold: f32,
+    pub(crate) dense_fallbacks: FallbackCounter,
 }
 
 /// Average-pooling layer over spikes (linear, stateless).
@@ -144,7 +170,8 @@ pub struct AvgPool2d {
     /// Square window / stride.
     pub window: usize,
     input_dims: Vec<usize>,
-    sparse_threshold: f32,
+    pub(crate) sparse_threshold: f32,
+    pub(crate) dense_fallbacks: FallbackCounter,
 }
 
 /// Max-pooling layer over spikes (winner-take-all, stateless per step).
@@ -154,7 +181,8 @@ pub struct MaxPool2d {
     pub window: usize,
     input_dims: Vec<usize>,
     argmax_per_step: Vec<Vec<usize>>,
-    sparse_threshold: f32,
+    pub(crate) sparse_threshold: f32,
+    pub(crate) dense_fallbacks: FallbackCounter,
 }
 
 /// Flatten `[C,H,W] → [C·H·W]`.
@@ -230,6 +258,7 @@ impl Layer {
             input_hw: None,
             last_spikes: None,
             sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
+            dense_fallbacks: FallbackCounter::default(),
         })
     }
 
@@ -250,6 +279,7 @@ impl Layer {
             carry: vec![0.0; outputs],
             last_spikes: None,
             sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
+            dense_fallbacks: FallbackCounter::default(),
         })
     }
 
@@ -261,6 +291,7 @@ impl Layer {
             bias: Param::new(Tensor::zeros(&[outputs])),
             inputs: Vec::new(),
             sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
+            dense_fallbacks: FallbackCounter::default(),
         })
     }
 
@@ -304,6 +335,7 @@ impl Layer {
             input_hw: None,
             last_spikes: None,
             sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
+            dense_fallbacks: FallbackCounter::default(),
         }))
     }
 
@@ -329,6 +361,7 @@ impl Layer {
             carry: vec![0.0; outputs],
             last_spikes: None,
             sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
+            dense_fallbacks: FallbackCounter::default(),
         }))
     }
 
@@ -348,6 +381,7 @@ impl Layer {
             bias: Param::new(bias),
             inputs: Vec::new(),
             sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
+            dense_fallbacks: FallbackCounter::default(),
         }))
     }
 
@@ -357,6 +391,7 @@ impl Layer {
             window,
             input_dims: Vec::new(),
             sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
+            dense_fallbacks: FallbackCounter::default(),
         })
     }
 
@@ -367,6 +402,7 @@ impl Layer {
             input_dims: Vec::new(),
             argmax_per_step: Vec::new(),
             sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
+            dense_fallbacks: FallbackCounter::default(),
         })
     }
 
@@ -505,7 +541,11 @@ impl Layer {
                 let sparse_input = if record || idims.len() != 3 || idims[0] != l.spec.in_channels {
                     None
                 } else {
-                    SpikeVector::from_dense_if_sparse(input, l.sparse_threshold)
+                    let events = SpikeVector::from_dense_if_sparse(input, l.sparse_threshold);
+                    if events.is_none() && l.sparse_threshold > 0.0 {
+                        l.dense_fallbacks.bump();
+                    }
+                    events
                 };
                 let current = match &sparse_input {
                     Some(events) => sparse::sparse_conv2d(
@@ -543,7 +583,11 @@ impl Layer {
                 let sparse_input = if record {
                     None
                 } else {
-                    SpikeVector::from_dense_if_sparse(input, l.sparse_threshold)
+                    let events = SpikeVector::from_dense_if_sparse(input, l.sparse_threshold);
+                    if events.is_none() && l.sparse_threshold > 0.0 {
+                        l.dense_fallbacks.bump();
+                    }
+                    events
                 };
                 let (current, flat) = match &sparse_input {
                     Some(events) => (
@@ -574,11 +618,17 @@ impl Layer {
             }
             Layer::OutputLinear(l) => {
                 if !record {
-                    if let Some(events) =
-                        SpikeVector::from_dense_if_sparse(input, l.sparse_threshold)
-                    {
-                        return sparse::sparse_matvec_bias(&l.weight.value, &events, &l.bias.value)
+                    match SpikeVector::from_dense_if_sparse(input, l.sparse_threshold) {
+                        Some(events) => {
+                            return sparse::sparse_matvec_bias(
+                                &l.weight.value,
+                                &events,
+                                &l.bias.value,
+                            )
                             .map_err(CoreError::from);
+                        }
+                        None if l.sparse_threshold > 0.0 => l.dense_fallbacks.bump(),
+                        None => {}
                     }
                 }
                 let flat = if input.shape().rank() == 1 {
@@ -595,11 +645,13 @@ impl Layer {
             Layer::AvgPool2d(l) => {
                 l.input_dims = input.shape().dims().to_vec();
                 if !record && l.input_dims.len() == 3 {
-                    if let Some(events) =
-                        SpikeVector::from_dense_if_sparse(input, l.sparse_threshold)
-                    {
-                        return sparse::sparse_avg_pool2d(&events, &l.input_dims, l.window)
-                            .map_err(CoreError::from);
+                    match SpikeVector::from_dense_if_sparse(input, l.sparse_threshold) {
+                        Some(events) => {
+                            return sparse::sparse_avg_pool2d(&events, &l.input_dims, l.window)
+                                .map_err(CoreError::from);
+                        }
+                        None if l.sparse_threshold > 0.0 => l.dense_fallbacks.bump(),
+                        None => {}
                     }
                 }
                 conv::avg_pool2d(input, l.window).map_err(CoreError::from)
@@ -607,11 +659,13 @@ impl Layer {
             Layer::MaxPool2d(l) => {
                 l.input_dims = input.shape().dims().to_vec();
                 if !record && l.input_dims.len() == 3 {
-                    if let Some(events) =
-                        SpikeVector::from_dense_if_sparse(input, l.sparse_threshold)
-                    {
-                        return sparse::sparse_max_pool2d(&events, &l.input_dims, l.window)
-                            .map_err(CoreError::from);
+                    match SpikeVector::from_dense_if_sparse(input, l.sparse_threshold) {
+                        Some(events) => {
+                            return sparse::sparse_max_pool2d(&events, &l.input_dims, l.window)
+                                .map_err(CoreError::from);
+                        }
+                        None if l.sparse_threshold > 0.0 => l.dense_fallbacks.bump(),
+                        None => {}
                     }
                 }
                 let out = conv::max_pool2d(input, l.window)?;
@@ -799,6 +853,30 @@ impl Layer {
             Layer::AvgPool2d(l) => l.sparse_threshold = threshold,
             Layer::MaxPool2d(l) => l.sparse_threshold = threshold,
             _ => {}
+        }
+    }
+
+    /// Cumulative count of *dense-fallback conversions*: inference
+    /// steps where this layer wanted the event-driven sparse path
+    /// (threshold above zero) but the gate declined — because the frame
+    /// was non-binary (e.g. de-binarized by an upstream average pool)
+    /// or denser than the threshold. Makes the silent sparse→dense
+    /// degradation observable; in the fused batched path each declined
+    /// batch *row* counts once, matching the per-sample unit.
+    ///
+    /// Returns `None` for layers without a sparse path. The counter is
+    /// shared across clones of the layer (the sharded batch evaluators
+    /// clone the network per worker, and those workers' fallbacks
+    /// aggregate into the caller's instance) and is never reset by
+    /// [`Layer::reset`].
+    pub fn dense_fallback_count(&self) -> Option<u64> {
+        match self {
+            Layer::SpikingConv2d(l) => Some(l.dense_fallbacks.get()),
+            Layer::SpikingLinear(l) => Some(l.dense_fallbacks.get()),
+            Layer::OutputLinear(l) => Some(l.dense_fallbacks.get()),
+            Layer::AvgPool2d(l) => Some(l.dense_fallbacks.get()),
+            Layer::MaxPool2d(l) => Some(l.dense_fallbacks.get()),
+            _ => None,
         }
     }
 

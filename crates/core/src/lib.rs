@@ -54,6 +54,7 @@ pub mod approx;
 pub mod batch;
 pub mod convert;
 pub mod encoding;
+pub mod fused;
 pub mod io;
 pub mod layer;
 pub mod lif;

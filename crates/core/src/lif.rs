@@ -213,6 +213,98 @@ impl LifState {
     }
 }
 
+/// Membrane state for a *batch* of identical LIF populations: `B × n`
+/// potentials advanced in lockstep by the fused batched forward engine.
+///
+/// Row `b` evolves exactly like an independent [`LifState`] of size `n`
+/// fed row `b` of each current block — the update is elementwise, so
+/// the batched step is bit-identical per row to the per-sample step.
+///
+/// # Example
+///
+/// ```
+/// use axsnn_core::lif::{BatchedLifState, LifParams};
+///
+/// let params = LifParams { threshold: 1.0, leak: 1.0, surrogate_alpha: 2.0 };
+/// let mut s = BatchedLifState::new(2, 1, params);
+/// assert_eq!(s.step(&[0.6, 1.2]), vec![0.0, 1.0]); // row 1 fires
+/// assert_eq!(s.step(&[0.6, 0.3]), vec![1.0, 0.0]); // row 0 integrated to 1.2
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchedLifState {
+    membrane: Vec<f32>,
+    batch: usize,
+    neurons: usize,
+    params: LifParams,
+}
+
+impl BatchedLifState {
+    /// Creates `batch` resting populations of `neurons` neurons each.
+    pub fn new(batch: usize, neurons: usize, params: LifParams) -> Self {
+        BatchedLifState {
+            membrane: vec![0.0; batch * neurons],
+            batch,
+            neurons,
+            params,
+        }
+    }
+
+    /// Number of batch rows.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Neurons per batch row.
+    pub fn neurons(&self) -> usize {
+        self.neurons
+    }
+
+    /// The shared neuron parameters.
+    pub fn params(&self) -> LifParams {
+        self.params
+    }
+
+    /// Current membrane potentials, row-major `[B, n]`.
+    pub fn membrane(&self) -> &[f32] {
+        &self.membrane
+    }
+
+    /// Resets all potentials to zero (start of a new batch).
+    pub fn reset(&mut self) {
+        self.membrane.fill(0.0);
+    }
+
+    /// Advances every population one time step with the stacked
+    /// synaptic current block `[B, n]`, returning the binary spike
+    /// block of the same shape.
+    ///
+    /// Dynamics per element match [`LifState::step`]: `v ← leak·v + I`;
+    /// fire and hard-reset at `v ≥ V_th`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `current.len() != B·n` — a wiring bug in the layer
+    /// above, not a user input error.
+    pub fn step(&mut self, current: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            current.len(),
+            self.membrane.len(),
+            "batched synaptic current size {} != B*n = {}",
+            current.len(),
+            self.membrane.len()
+        );
+        let mut spikes = vec![0.0f32; self.membrane.len()];
+        for ((v, &i), s) in self.membrane.iter_mut().zip(current).zip(spikes.iter_mut()) {
+            *v = self.params.leak * *v + i;
+            if *v >= self.params.threshold {
+                *s = 1.0;
+                *v = 0.0;
+            }
+        }
+        spikes
+    }
+}
+
 /// Applies the Heaviside spike function to a whole tensor of membrane
 /// potentials, producing a binary spike tensor.
 ///
@@ -321,5 +413,39 @@ mod tests {
     fn step_panics_on_size_mismatch() {
         let mut s = LifState::new(2, LifParams::default());
         s.step(&[1.0]);
+    }
+
+    #[test]
+    fn batched_rows_bitwise_match_per_sample_state() {
+        let params = LifParams {
+            threshold: 0.7,
+            leak: 0.9,
+            surrogate_alpha: 2.0,
+        };
+        let (b, n) = (3usize, 4usize);
+        let mut batched = BatchedLifState::new(b, n, params);
+        let mut singles: Vec<LifState> = (0..b).map(|_| LifState::new(n, params)).collect();
+        for t in 0..10 {
+            let current: Vec<f32> = (0..b * n)
+                .map(|i| ((i + t) as f32 * 0.61).sin().abs())
+                .collect();
+            let spikes = batched.step(&current);
+            for (r, single) in singles.iter_mut().enumerate() {
+                let out = single.step(&current[r * n..(r + 1) * n]);
+                assert_eq!(&spikes[r * n..(r + 1) * n], out.spikes.as_slice());
+                assert_eq!(&batched.membrane()[r * n..(r + 1) * n], single.membrane());
+            }
+        }
+        batched.reset();
+        assert!(batched.membrane().iter().all(|&v| v == 0.0));
+        assert_eq!(batched.batch(), b);
+        assert_eq!(batched.neurons(), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "batched synaptic current size")]
+    fn batched_step_panics_on_size_mismatch() {
+        let mut s = BatchedLifState::new(2, 2, LifParams::default());
+        s.step(&[1.0; 3]);
     }
 }

@@ -114,6 +114,34 @@ impl SpikeStats {
     }
 }
 
+/// One layer's entry in the [`SparseEligibility`] report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerEligibility {
+    /// Layer kind (as [`Layer::kind`]).
+    pub kind: String,
+    /// Whether the layer has an event-driven kernel at all.
+    pub has_sparse_kernel: bool,
+    /// Whether the layer's input can still be binary at this depth
+    /// (assuming a binary network input).
+    pub binary_input: bool,
+    /// Whether this layer destroys binarity for everything downstream
+    /// (average pooling, active train-mode dropout).
+    pub debinarizes: bool,
+}
+
+/// Result of [`SpikingNetwork::sparse_eligible`]: which layers can ever
+/// take the event-driven sparse path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseEligibility {
+    /// Per-layer audit entries, in stack order.
+    pub per_layer: Vec<LayerEligibility>,
+    /// `true` when every layer with a sparse kernel can receive binary
+    /// input — no silent dense degradation anywhere.
+    pub fully_eligible: bool,
+    /// Index of the first de-binarizing layer, if any.
+    pub first_debinarizing: Option<usize>,
+}
+
 /// Output of a forward simulation.
 #[derive(Debug, Clone)]
 pub struct ForwardOutput {
@@ -347,6 +375,71 @@ impl SpikingNetwork {
     pub fn zero_grads(&mut self) {
         for l in &mut self.layers {
             l.zero_grads();
+        }
+    }
+
+    /// Per-layer dense-fallback counters (see
+    /// [`Layer::dense_fallback_count`]); `0` for layers without a
+    /// sparse path.
+    pub fn dense_fallback_counts(&self) -> Vec<u64> {
+        self.layers
+            .iter()
+            .map(|l| l.dense_fallback_count().unwrap_or(0))
+            .collect()
+    }
+
+    /// Total dense-fallback conversions across all layers — the
+    /// observable form of the "avg pooling silently forces the dense
+    /// path" degradation.
+    pub fn total_dense_fallbacks(&self) -> u64 {
+        self.dense_fallback_counts().iter().sum()
+    }
+
+    /// Static sparse-path eligibility audit: walks the layer stack
+    /// assuming a binary (rate-coded) network input and reports, per
+    /// layer, whether its input can still be binary when it arrives —
+    /// i.e. whether the event-driven kernels can ever engage there.
+    ///
+    /// Average pooling de-binarizes inter-layer frames (window sums
+    /// become fractions), silently forcing every downstream layer onto
+    /// the dense path until the next spiking layer re-binarizes; this
+    /// report makes that visible before running anything.
+    pub fn sparse_eligible(&self) -> SparseEligibility {
+        let mut per_layer = Vec::with_capacity(self.layers.len());
+        let mut first_debinarizing = None;
+        let mut binary = true;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let has_sparse_kernel = layer.sparse_threshold().is_some();
+            let debinarizes = match layer {
+                Layer::AvgPool2d(p) => p.window > 1,
+                Layer::Dropout(d) => d.train_mode && d.probability > 0.0,
+                _ => false,
+            };
+            per_layer.push(LayerEligibility {
+                kind: layer.kind().to_string(),
+                has_sparse_kernel,
+                binary_input: binary,
+                debinarizes,
+            });
+            if debinarizes && first_debinarizing.is_none() {
+                first_debinarizing = Some(i);
+            }
+            binary = if layer.is_spiking() {
+                // LIF populations emit binary spikes regardless of input.
+                true
+            } else if matches!(layer, Layer::OutputLinear(_)) {
+                false
+            } else {
+                binary && !debinarizes
+            };
+        }
+        let fully_eligible = per_layer
+            .iter()
+            .all(|l| !l.has_sparse_kernel || l.binary_input);
+        SparseEligibility {
+            per_layer,
+            fully_eligible,
+            first_debinarizing,
         }
     }
 

@@ -1,0 +1,287 @@
+//! Encoded-frame cache for sharded attack sweeps.
+//!
+//! Grid sweeps (`(V_th, T, precision, a_th)` searches, heatmap
+//! figures) classify the *same* test set under dozens of network
+//! configurations. Before this cache, every grid cell re-encoded the
+//! dataset from scratch — `O(grid × dataset × encode)` work for inputs
+//! that only depend on `(encoding, T)`. [`EncodedCache`] encodes each
+//! sample's frame train exactly once per distinct `(encoding, T)` key
+//! (binary frames stored directly as
+//! [`axsnn_core::fused::FrameTrain`] spike vectors), shards the
+//! encoding across threads via [`axsnn_core::batch::fan_out_with`],
+//! and hands every grid cell that shares the key the same immutable
+//! [`EncodedSet`] — turning the sweep into
+//! `O(dataset × encode + grid × forward)`.
+//!
+//! Encoding uses the workspace's per-sample seeding convention
+//! ([`axsnn_core::batch::sample_seed`]), so cached classifications are
+//! bit-for-bit those of the per-sample evaluators under the same seed.
+//!
+//! # Example
+//!
+//! ```
+//! use axsnn_core::encoding::Encoder;
+//! use axsnn_datasets::cache::EncodedCache;
+//! use axsnn_tensor::Tensor;
+//!
+//! # fn main() -> axsnn_core::Result<()> {
+//! let data = vec![(Tensor::full(&[4], 0.5), 0), (Tensor::full(&[4], 0.9), 1)];
+//! let cache = EncodedCache::new(&data, 7, 1);
+//! let a = cache.get(Encoder::Deterministic, 8)?;
+//! let b = cache.get(Encoder::Deterministic, 8)?; // cache hit
+//! assert_eq!(cache.encode_passes(), 1);
+//! assert_eq!(a.trains.len(), b.trains.len());
+//! # Ok(())
+//! # }
+//! ```
+
+use axsnn_core::batch::{fan_out_with, sample_seed};
+use axsnn_core::encoding::Encoder;
+use axsnn_core::fused::{FrameTrain, DEFAULT_FUSED_BATCH};
+use axsnn_core::network::SpikingNetwork;
+use axsnn_core::Result;
+use axsnn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One fully encoded dataset: a frame train per sample plus the labels,
+/// immutable and shared (`Arc`) across every grid cell with the same
+/// `(encoding, T)`.
+#[derive(Debug, Clone)]
+pub struct EncodedSet {
+    /// Encoded frame train per sample, in dataset order.
+    pub trains: Vec<FrameTrain>,
+    /// True label per sample.
+    pub labels: Vec<usize>,
+}
+
+impl EncodedSet {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.trains.len()
+    }
+
+    /// Returns `true` when the set has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.trains.is_empty()
+    }
+
+    /// Classifies every sample through the fused sharded batch path
+    /// (`threads == 0` uses all cores; results are thread-count
+    /// invariant).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fused forward errors.
+    pub fn classify(&self, net: &SpikingNetwork, threads: usize) -> Result<Vec<usize>> {
+        net.classify_trains_sharded(&self.trains, threads, DEFAULT_FUSED_BATCH)
+    }
+
+    /// Accuracy (percent) of a network on this encoded set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fused forward errors.
+    pub fn accuracy(&self, net: &SpikingNetwork, threads: usize) -> Result<f32> {
+        if self.trains.is_empty() {
+            return Ok(0.0);
+        }
+        let predictions = self.classify(net, threads)?;
+        let correct = predictions
+            .iter()
+            .zip(&self.labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        Ok(100.0 * correct as f32 / self.trains.len() as f32)
+    }
+}
+
+/// A lazy per-`(encoding, T)` cache of encoded frame trains over one
+/// labelled dataset.
+///
+/// Thread-safe: sweeps may call [`EncodedCache::get`] from many worker
+/// threads; the first caller for a key encodes (itself sharded across
+/// `threads` workers) while the rest block and then share the result.
+/// The map lock is deliberately held across the encode — that is what
+/// makes "each key encodes exactly once" hold even when many grid
+/// cells request the same key simultaneously. The cost is that
+/// first-touch encodes for *distinct* keys also serialize; encoding is
+/// a small fraction of a sweep cell's work, so the simplicity wins
+/// over per-key locking for now (see ROADMAP: cache-aware sweep
+/// scheduling).
+#[derive(Debug)]
+pub struct EncodedCache<'d> {
+    data: &'d [(Tensor, usize)],
+    seed: u64,
+    threads: usize,
+    entries: Mutex<HashMap<(Encoder, usize), Arc<EncodedSet>>>,
+    encode_passes: AtomicUsize,
+}
+
+impl<'d> EncodedCache<'d> {
+    /// Creates an empty cache over `data`. `seed` drives the
+    /// per-sample encoder randomness (mixed with each sample's index);
+    /// `threads` is the encoding fan-out width (`0` = all cores).
+    pub fn new(data: &'d [(Tensor, usize)], seed: u64, threads: usize) -> Self {
+        EncodedCache {
+            data,
+            seed,
+            threads,
+            entries: Mutex::new(HashMap::new()),
+            encode_passes: AtomicUsize::new(0),
+        }
+    }
+
+    /// The underlying labelled dataset.
+    pub fn data(&self) -> &'d [(Tensor, usize)] {
+        self.data
+    }
+
+    /// Number of *full-dataset encode passes* performed so far — one
+    /// per distinct `(encoding, T)` requested, regardless of how many
+    /// grid cells asked. The counter a sweep test pins to prove the
+    /// dataset is encoded exactly once.
+    pub fn encode_passes(&self) -> usize {
+        self.encode_passes.load(Ordering::SeqCst)
+    }
+
+    /// Returns the encoded set for `(encoder, time_steps)`, encoding it
+    /// on first request (sharded across the cache's thread budget via
+    /// [`fan_out_with`]) and reusing it afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors (e.g. `time_steps == 0`).
+    pub fn get(&self, encoder: Encoder, time_steps: usize) -> Result<Arc<EncodedSet>> {
+        let mut entries = self.entries.lock().expect("encoded cache poisoned");
+        if let Some(set) = entries.get(&(encoder, time_steps)) {
+            return Ok(Arc::clone(set));
+        }
+        let seed = self.seed;
+        let trains: Vec<FrameTrain> = fan_out_with(
+            self.data.len(),
+            self.threads,
+            || (),
+            |(), i, slot: &mut Option<FrameTrain>| -> Result<()> {
+                let mut rng = StdRng::seed_from_u64(sample_seed(seed, i));
+                *slot = Some(FrameTrain::encode(
+                    &self.data[i].0,
+                    encoder,
+                    time_steps,
+                    &mut rng,
+                )?);
+                Ok(())
+            },
+        )?
+        .into_iter()
+        .map(|t| t.expect("every slot filled"))
+        .collect();
+        let set = Arc::new(EncodedSet {
+            trains,
+            labels: self.data.iter().map(|(_, l)| *l).collect(),
+        });
+        self.encode_passes.fetch_add(1, Ordering::SeqCst);
+        entries.insert((encoder, time_steps), Arc::clone(&set));
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axsnn_core::layer::Layer;
+    use axsnn_core::network::SnnConfig;
+    use rand::Rng;
+
+    fn data(n: usize) -> Vec<(Tensor, usize)> {
+        let mut rng = StdRng::seed_from_u64(3);
+        (0..n)
+            .map(|i| {
+                let img: Vec<f32> = (0..6).map(|_| rng.gen::<f32>()).collect();
+                (Tensor::from_vec(img, &[6]).unwrap(), i % 2)
+            })
+            .collect()
+    }
+
+    fn net(seed: u64, time_steps: usize) -> SpikingNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SnnConfig {
+            threshold: 0.5,
+            time_steps,
+            leak: 0.9,
+        };
+        SpikingNetwork::new(
+            vec![
+                Layer::spiking_linear(&mut rng, 6, 10, &cfg),
+                Layer::output_linear(&mut rng, 10, 2),
+            ],
+            cfg,
+        )
+        .unwrap()
+    }
+
+    /// The acceptance property: a sweep over a 4-cell grid sharing
+    /// `(T, encoding)` encodes the dataset exactly once.
+    #[test]
+    fn four_cell_grid_encodes_dataset_exactly_once() {
+        let data = data(12);
+        let cache = EncodedCache::new(&data, 5, 2);
+        let net = net(1, 8);
+        let mut accuracies = Vec::new();
+        for _cell in 0..4 {
+            let set = cache.get(Encoder::Deterministic, 8).unwrap();
+            accuracies.push(set.accuracy(&net, 2).unwrap());
+        }
+        assert_eq!(cache.encode_passes(), 1, "4 cells, one encode pass");
+        assert!(accuracies.windows(2).all(|w| w[0] == w[1]));
+        // A different T is a different key — exactly one more pass.
+        cache.get(Encoder::Deterministic, 4).unwrap();
+        cache.get(Encoder::Deterministic, 4).unwrap();
+        assert_eq!(cache.encode_passes(), 2);
+        // As is a different encoder at the same T.
+        cache.get(Encoder::Poisson, 8).unwrap();
+        assert_eq!(cache.encode_passes(), 3);
+    }
+
+    /// Cached classification equals the per-sample seeded batch path.
+    #[test]
+    fn cached_classification_matches_classify_batch() {
+        let data = data(17);
+        let seed = 9;
+        let cache = EncodedCache::new(&data, seed, 3);
+        let net = net(2, 6);
+        for encoder in [
+            Encoder::Poisson,
+            Encoder::Deterministic,
+            Encoder::DirectCurrent,
+        ] {
+            let set = cache.get(encoder, 6).unwrap();
+            let cached = set.classify(&net, 4).unwrap();
+            let images: Vec<Tensor> = data.iter().map(|(x, _)| x.clone()).collect();
+            let direct = net.classify_batch(&images, encoder, seed, 4).unwrap();
+            assert_eq!(cached, direct, "{encoder:?}");
+        }
+    }
+
+    #[test]
+    fn empty_dataset_is_fine() {
+        let data: Vec<(Tensor, usize)> = Vec::new();
+        let cache = EncodedCache::new(&data, 0, 1);
+        let set = cache.get(Encoder::Deterministic, 4).unwrap();
+        assert!(set.is_empty());
+        assert_eq!(set.accuracy(&net(0, 4), 1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn encode_errors_propagate_and_do_not_poison() {
+        let data = data(3);
+        let cache = EncodedCache::new(&data, 0, 1);
+        assert!(cache.get(Encoder::Deterministic, 0).is_err());
+        assert_eq!(cache.encode_passes(), 0);
+        assert!(cache.get(Encoder::Deterministic, 4).is_ok());
+        assert_eq!(cache.encode_passes(), 1);
+    }
+}

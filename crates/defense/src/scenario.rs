@@ -45,6 +45,13 @@ pub enum Architecture {
 /// Builds the paper's 7-layer MNIST ANN (3 conv, 2 pool, 2 FC) for an
 /// `S × S` input.
 ///
+/// The pools are **max** pools: the paper's topology only fixes the
+/// 2× down-sampling, and average pooling de-binarizes the inter-layer
+/// spike frames after conversion, silently forcing every downstream
+/// layer onto the dense kernels (PR 1 measured 1.1× → 6.9× end-to-end
+/// from this one switch; `SpikingNetwork::sparse_eligible` and the
+/// dense-fallback counters now make the degradation observable).
+///
 /// # Panics
 ///
 /// Panics when `size` is not divisible by 4 (two 2× pools).
@@ -65,7 +72,7 @@ pub fn mnist_conv_ann<R: Rng>(rng: &mut R, size: usize) -> AnnNetwork {
                 padding: 2,
             },
         ),
-        AnnLayer::AvgPool { window: 2 },
+        AnnLayer::MaxPool { window: 2 },
         AnnLayer::conv_relu(
             rng,
             Conv2dSpec {
@@ -76,7 +83,7 @@ pub fn mnist_conv_ann<R: Rng>(rng: &mut R, size: usize) -> AnnNetwork {
                 padding: 2,
             },
         ),
-        AnnLayer::AvgPool { window: 2 },
+        AnnLayer::MaxPool { window: 2 },
         AnnLayer::conv_relu(
             rng,
             Conv2dSpec {
@@ -108,6 +115,11 @@ pub fn mnist_mlp_ann<R: Rng>(rng: &mut R, size: usize) -> AnnNetwork {
 /// Builds the paper's 8-layer DVS ANN (2 conv, 3 pool, 1 dropout, 2 FC)
 /// for a `2 × S × S` event-frame input.
 ///
+/// Max pooling throughout, for the same sparse-path-eligibility reason
+/// as [`mnist_conv_ann`] — on the DVS pipeline every inter-layer frame
+/// is a binary event plane, which max pooling preserves and average
+/// pooling destroys.
+///
 /// # Panics
 ///
 /// Panics when `size` is not divisible by 8 (three 2× pools).
@@ -128,7 +140,7 @@ pub fn dvs_conv_ann<R: Rng>(rng: &mut R, size: usize) -> AnnNetwork {
                 padding: 1,
             },
         ),
-        AnnLayer::AvgPool { window: 2 },
+        AnnLayer::MaxPool { window: 2 },
         AnnLayer::conv_relu(
             rng,
             Conv2dSpec {
@@ -139,8 +151,8 @@ pub fn dvs_conv_ann<R: Rng>(rng: &mut R, size: usize) -> AnnNetwork {
                 padding: 1,
             },
         ),
-        AnnLayer::AvgPool { window: 2 },
-        AnnLayer::AvgPool { window: 2 },
+        AnnLayer::MaxPool { window: 2 },
+        AnnLayer::MaxPool { window: 2 },
         AnnLayer::Dropout { probability: 0.1 },
         AnnLayer::Flatten,
         AnnLayer::linear_out(rng, 16 * s8 * s8, DVS_CLASSES),
@@ -557,6 +569,36 @@ mod tests {
         assert_eq!(m.layers().len(), 8);
         let d = dvs_conv_ann(&mut rng, 32);
         assert_eq!(d.layers().len(), 8);
+    }
+
+    /// The pooling audit: both paper architectures convert into SNNs
+    /// whose every sparse-kernel layer can receive binary input — no
+    /// silent dense-path degradation anywhere in the stack.
+    #[test]
+    fn paper_architectures_are_fully_sparse_eligible() {
+        use axsnn_core::convert::ann_to_snn;
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = SnnConfig {
+            threshold: 1.0,
+            time_steps: 8,
+            leak: 0.9,
+        };
+        let calib = vec![Tensor::full(&[1, 16, 16], 0.5)];
+        let mnist = ann_to_snn(&mnist_conv_ann(&mut rng, 16), cfg, &calib).unwrap();
+        let report = mnist.sparse_eligible();
+        assert!(
+            report.fully_eligible,
+            "MNIST paper net must be sparse-eligible end to end: {report:?}"
+        );
+        assert_eq!(report.first_debinarizing, None);
+
+        let dvs_calib = vec![Tensor::full(&[2, 32, 32], 0.5)];
+        let dvs = ann_to_snn(&dvs_conv_ann(&mut rng, 32), cfg, &dvs_calib).unwrap();
+        let report = dvs.sparse_eligible();
+        assert!(
+            report.fully_eligible,
+            "DVS paper net must be sparse-eligible end to end: {report:?}"
+        );
     }
 
     #[test]

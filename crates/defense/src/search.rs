@@ -10,15 +10,30 @@
 //! `R(ε) = (1 − adv/|Dts|)·100` (line 21). The first configuration with
 //! `R ≥ Q` is returned (lines 22–24), along with the full evaluation
 //! trace for Table I-style reporting.
+//!
+//! # Sweep-scale amortization
+//!
+//! Two observations collapse the per-cell cost of the grid. First, the
+//! adversarial examples depend only on `(attack, ε, adversary, Dts)` —
+//! none of the swept knobs — so the search crafts them **once** and
+//! every cell reuses them. Second, a cell's encoded inputs depend only
+//! on `(encoding, T)`, so the clean and adversarial test sets live in
+//! [`EncodedCache`]s keyed by `(encoding, T)`: all cells sharing a `T`
+//! classify the same cached, sharded frame trains through the fused
+//! batch engine ([`axsnn_core::fused`]). [`SearchOutcome::encode_passes`]
+//! records how many full-dataset encode passes actually happened.
 
-use crate::metrics::{evaluate_image_attack, RobustnessOutcome};
+use crate::metrics::RobustnessOutcome;
 use crate::{DefenseError, Result};
-use axsnn_attacks::gradient::{AnnGradientSource, AttackBudget, Bim, Pgd};
+use axsnn_attacks::gradient::{
+    AnnGradientSource, AttackBudget, Bim, GradientSource, ImageAttack, Pgd,
+};
 use axsnn_core::ann::AnnNetwork;
 use axsnn_core::approx::apply_eq1_approximation;
 use axsnn_core::encoding::Encoder;
 use axsnn_core::network::{SnnConfig, SpikingNetwork};
 use axsnn_core::precision::{apply_precision, PrecisionScale};
+use axsnn_datasets::cache::EncodedCache;
 use axsnn_tensor::Tensor;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -96,6 +111,9 @@ pub struct PrecisionSearchConfig {
     /// Stop at the first satisfying configuration (the paper's behaviour)
     /// or sweep everything for a full trace.
     pub stop_at_first: bool,
+    /// Worker threads for encoding and fused batch classification
+    /// (`0` = all available cores).
+    pub threads: usize,
 }
 
 /// One evaluated configuration.
@@ -126,6 +144,11 @@ pub struct SearchOutcome {
     /// Configurations whose clean accuracy failed the quality constraint
     /// (line 4) and were skipped, as `(threshold, time_steps)` pairs.
     pub skipped: Vec<(f32, usize)>,
+    /// Full-dataset encode passes performed (clean + adversarial): one
+    /// per distinct `(encoding, T)` actually visited, however many grid
+    /// cells shared it. A grid with a single `T` costs exactly 2 —
+    /// clean once, adversarial once.
+    pub encode_passes: usize,
 }
 
 /// Runs Algorithm 1.
@@ -161,6 +184,20 @@ where
     let budget = AttackBudget::for_epsilon(config.epsilon);
     let mut outcome = SearchOutcome::default();
 
+    // Lines 5/15: craft the adversarial test set *once* — it depends
+    // only on the attacker's surrogate and ε, never on the swept knobs.
+    let adv_data: Vec<(Tensor, usize)> = {
+        let mut source = AnnGradientSource::new(adversary);
+        match config.attack {
+            StaticAttackKind::Pgd => craft_all(&Pgd::new(budget), &mut source, test, rng)?,
+            StaticAttackKind::Bim => craft_all(&Bim::new(budget), &mut source, test, rng)?,
+        }
+    };
+    // Encoded-frame caches shared by every grid cell with the same T.
+    let cache_seed = rng.gen::<u64>();
+    let clean_cache = EncodedCache::new(test, cache_seed, config.threads);
+    let adv_cache = EncodedCache::new(&adv_data, cache_seed ^ 0xadf0_0d5e, config.threads);
+
     'grid: for &threshold in &config.space.thresholds {
         for &time_steps in &config.space.time_steps {
             let snn_cfg = SnnConfig {
@@ -170,14 +207,16 @@ where
             };
             // Line 3: obtain the accurate model.
             let accurate = trainer(snn_cfg).map_err(DefenseError::from)?;
+            let clean_set = clean_cache
+                .get(Encoder::DirectCurrent, time_steps)
+                .map_err(DefenseError::from)?;
+            let adv_set = adv_cache
+                .get(Encoder::DirectCurrent, time_steps)
+                .map_err(DefenseError::from)?;
             // Line 4: quality gate on clean accuracy.
-            let mut probe = accurate.clone();
-            let clean = crate::metrics::clean_image_accuracy(
-                &mut probe,
-                test,
-                Encoder::DirectCurrent,
-                rng,
-            )?;
+            let clean = clean_set
+                .accuracy(&accurate, config.threads)
+                .map_err(DefenseError::from)?;
             if clean < config.quality_constraint {
                 outcome.skipped.push((threshold, time_steps));
                 continue;
@@ -201,25 +240,19 @@ where
                     apply_precision(&mut candidate, precision);
                     let report = apply_eq1_approximation(&mut candidate, &stats, approx_scale)
                         .map_err(DefenseError::from)?;
-                    // Lines 15–21: attack and measure robustness.
-                    let mut source = AnnGradientSource::new(adversary);
-                    let eval = match config.attack {
-                        StaticAttackKind::Pgd => evaluate_image_attack(
-                            &mut candidate,
-                            &mut source,
-                            &Pgd::new(budget),
-                            test,
-                            Encoder::DirectCurrent,
-                            rng,
-                        )?,
-                        StaticAttackKind::Bim => evaluate_image_attack(
-                            &mut candidate,
-                            &mut source,
-                            &Bim::new(budget),
-                            test,
-                            Encoder::DirectCurrent,
-                            rng,
-                        )?,
+                    // Lines 15–21: classify the cached clean and
+                    // adversarial sets through the fused batch engine.
+                    let clean_acc = clean_set
+                        .accuracy(&candidate, config.threads)
+                        .map_err(DefenseError::from)?;
+                    let adv_acc = adv_set
+                        .accuracy(&candidate, config.threads)
+                        .map_err(DefenseError::from)?;
+                    let eval = RobustnessOutcome {
+                        clean_accuracy: clean_acc,
+                        adversarial_accuracy: adv_acc,
+                        robustness: adv_acc,
+                        samples: test.len(),
                     };
                     let record = SearchRecord {
                         threshold,
@@ -245,7 +278,21 @@ where
             }
         }
     }
+    outcome.encode_passes = clean_cache.encode_passes() + adv_cache.encode_passes();
     Ok(outcome)
+}
+
+/// Crafts the adversarial counterpart of every test sample against the
+/// adversary's surrogate.
+fn craft_all<A: ImageAttack, R: Rng>(
+    attack: &A,
+    source: &mut dyn GradientSource,
+    test: &[(Tensor, usize)],
+    rng: &mut R,
+) -> Result<Vec<(Tensor, usize)>> {
+    test.iter()
+        .map(|(image, label)| Ok((attack.perturb(source, image, *label, rng)?, *label)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -320,21 +367,28 @@ mod tests {
                 thresholds: vec![1.0],
                 time_steps: vec![24],
                 precision_scales: vec![PrecisionScale::Fp32, PrecisionScale::Int8],
-                approx_scales: vec![0.5],
+                approx_scales: vec![0.5, 1.0],
             },
             quality_constraint: 60.0,
             epsilon: 0.05,
             attack: StaticAttackKind::Pgd,
             stop_at_first: false,
+            threads: 2,
         };
         let ann_for_trainer = ann.clone();
         let mut trainer = move |cfg: SnnConfig| ann_to_snn(&ann_for_trainer, cfg, &calib);
         let out = precision_scaling_search(&config, &mut trainer, &ann, &test, &mut rng).unwrap();
-        assert!(!out.trace.is_empty());
+        assert_eq!(out.trace.len(), 4, "2 precisions × 2 approx scales");
         assert!(
             out.best.is_some(),
             "an easy blob task with tiny ε must satisfy Q=60: {:?}",
             out.trace
+        );
+        // The sweep's four grid cells share (T, encoding): the clean and
+        // adversarial datasets each encode exactly once.
+        assert_eq!(
+            out.encode_passes, 2,
+            "4-cell grid must encode clean + adversarial exactly once each"
         );
     }
 
@@ -354,6 +408,7 @@ mod tests {
             epsilon: 0.1,
             attack: StaticAttackKind::Bim,
             stop_at_first: true,
+            threads: 1,
         };
         let calib: Vec<Tensor> = data.iter().take(4).map(|(x, _)| x.clone()).collect();
         let ann2 = ann.clone();
@@ -374,6 +429,7 @@ mod tests {
             epsilon: 0.1,
             attack: StaticAttackKind::Pgd,
             stop_at_first: true,
+            threads: 1,
         };
         let mut trainer =
             |_cfg: SnnConfig| -> axsnn_core::Result<SpikingNetwork> { unreachable!() };

@@ -1,0 +1,643 @@
+//! Batched spike-plane kernels: B samples through one GEMM-shaped pass.
+//!
+//! The event-driven kernels in [`crate::sparse`] are matvec-shaped: one
+//! sample's frame against the full weight matrix. When a batch of B
+//! samples runs in lockstep (attack sweeps, dataset evaluation), that
+//! shape re-streams every weight row B times — for MNIST-scale linear
+//! layers the weights are megabytes while each frame's events are a few
+//! hundred indices, so weight traffic dominates. This module packs B
+//! spike frames into a CSR [`SpikeMatrix`] and provides kernels that
+//! walk the weights *once per batch*:
+//!
+//! * [`sparse_matmul`] / [`sparse_matmul_bias`] — `[out, in] × B events
+//!   → [B, out]`, weight-row-outer so each row is gathered against all
+//!   B index lists while it is hot in cache,
+//! * [`matmul_bt_bias`] — the dense batched fallback (`X · Wᵀ + b`) for
+//!   analog planes, with the same cache-friendly row-dot shape,
+//! * [`sparse_conv2d_batch`] — scatter conv over B stacked spike
+//!   planes into a `[B, Cout·OH·OW]` block,
+//! * [`sparse_avg_pool2d_batch`] / [`sparse_max_pool2d_batch`] —
+//!   event pooling over stacked planes.
+//!
+//! Every per-row result is **bit-identical** to the corresponding
+//! per-sample kernel in [`crate::sparse`] / [`crate::linalg`]: the
+//! batched kernels route each row through the same shared gather /
+//! scatter helpers in the same order, which is what lets the fused
+//! batch forward in `axsnn-core` promise bit-for-bit equivalence with
+//! per-sample classification.
+//!
+//! The linear-layer kernels ([`sparse_matmul`], [`sparse_matmul_bias`],
+//! [`matmul_bt_bias`]) are the ones the fused engine calls on its hot
+//! path. The conv/pool batch kernels are the standalone all-sparse
+//! batch API — inside the fused engine, batches mix gate-admitted and
+//! dense rows per step, so it drives the shared per-row primitives
+//! ([`crate::sparse::sparse_conv2d_into`], the event pools) directly
+//! against its own row partition instead.
+//!
+//! # Example
+//!
+//! ```
+//! use axsnn_tensor::batched::{sparse_matmul, SpikeMatrix};
+//! use axsnn_tensor::sparse::SpikeVector;
+//! use axsnn_tensor::Tensor;
+//!
+//! # fn main() -> axsnn_tensor::Result<()> {
+//! let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])?;
+//! let rows = vec![
+//!     SpikeVector::new(vec![0], 3)?,
+//!     SpikeVector::new(vec![1, 2], 3)?,
+//! ];
+//! let batch = SpikeMatrix::from_rows(&rows)?;
+//! let y = sparse_matmul(&w, &batch)?;
+//! assert_eq!(y.shape().dims(), &[2, 2]);
+//! assert_eq!(y.as_slice(), &[1.0, 4.0, 5.0, 11.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::conv::Conv2dSpec;
+use crate::sparse::{gather_row, sparse_conv2d_into, SpikeVector};
+use crate::{Result, Tensor, TensorError};
+
+/// A batch of binary spike frames in CSR form: one concatenated index
+/// array plus row offsets, all rows sharing the same logical dense
+/// length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpikeMatrix {
+    indices: Vec<u32>,
+    row_ptr: Vec<usize>,
+    cols: usize,
+}
+
+impl SpikeMatrix {
+    /// Packs per-sample spike vectors into CSR form.
+    ///
+    /// An empty slice yields a 0-row matrix with zero columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the rows disagree on
+    /// their logical dense length.
+    pub fn from_rows(rows: &[SpikeVector]) -> Result<Self> {
+        let cols = rows.first().map(SpikeVector::len).unwrap_or(0);
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        row_ptr.push(0usize);
+        let nnz: usize = rows.iter().map(SpikeVector::nnz).sum();
+        let mut indices = Vec::with_capacity(nnz);
+        for r in rows {
+            if r.len() != cols {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: vec![cols],
+                    rhs: vec![r.len()],
+                    op: "SpikeMatrix::from_rows",
+                });
+            }
+            indices.extend_from_slice(r.indices());
+            row_ptr.push(indices.len());
+        }
+        Ok(SpikeMatrix {
+            indices,
+            row_ptr,
+            cols,
+        })
+    }
+
+    /// Extracts a binary `[B, n]` tensor's events row by row.
+    ///
+    /// Returns `None` when any element is neither `0.0` nor `1.0`.
+    pub fn from_dense(t: &Tensor) -> Option<Self> {
+        let dims = t.shape().dims();
+        if dims.len() != 2 {
+            return None;
+        }
+        let (b, n) = (dims[0], dims[1]);
+        let data = t.as_slice();
+        let mut rows = Vec::with_capacity(b);
+        for r in 0..b {
+            let row = Tensor::from_vec(data[r * n..(r + 1) * n].to_vec(), &[n]).ok()?;
+            rows.push(SpikeVector::from_dense(&row)?);
+        }
+        Self::from_rows(&rows).ok()
+    }
+
+    /// Number of batch rows.
+    pub fn rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Logical dense length of each row.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of active spikes across the batch.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Returns `true` when the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows() == 0
+    }
+
+    /// The active indices of batch row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[u32] {
+        &self.indices[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Mean fraction of active elements across the batch.
+    pub fn density(&self) -> f32 {
+        let total = self.rows() * self.cols;
+        if total == 0 {
+            0.0
+        } else {
+            self.indices.len() as f32 / total as f32
+        }
+    }
+
+    /// Materializes the dense binary `[B, n]` tensor.
+    pub fn to_dense(&self) -> Tensor {
+        let b = self.rows();
+        let mut out = vec![0.0f32; b * self.cols];
+        for r in 0..b {
+            let base = r * self.cols;
+            for &j in self.row(r) {
+                out[base + j as usize] = 1.0;
+            }
+        }
+        Tensor::from_vec(out, &[b, self.cols]).expect("volume matches by construction")
+    }
+}
+
+fn check_weight(w: &Tensor, cols: usize, op: &'static str) -> Result<(usize, usize)> {
+    let dims = w.shape().dims();
+    if dims.len() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: dims.len(),
+            op,
+        });
+    }
+    if cols != dims[1] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: dims.to_vec(),
+            rhs: vec![cols],
+            op,
+        });
+    }
+    Ok((dims[0], dims[1]))
+}
+
+/// The GEMM microkernel: gathers one sample's index list against a tile
+/// of 4 weight rows at once, writing 4 outputs.
+///
+/// The per-sample gather's cost is dominated by the dependent
+/// index-load → data-load chain; sharing each index load across 4
+/// weight rows quarters the index traffic and gives the out-of-order
+/// core 16 independent accumulator chains. Per output row the
+/// accumulation order is *identical* to [`gather_row`] (4 j-lanes
+/// combined as `(a0 + a1) + (a2 + a3)`, then the remainder tail), so
+/// every output stays bit-identical to the per-sample kernel.
+#[inline]
+fn gather_row_x4(rows: [&[f32]; 4], indices: &[u32], init: [f32; 4], out: &mut [f32]) {
+    let mut acc = [[0.0f32; 4]; 4];
+    for (m, &b) in init.iter().enumerate() {
+        acc[m][0] = b;
+    }
+    let mut chunks = indices.chunks_exact(4);
+    for c in &mut chunks {
+        let j = [c[0] as usize, c[1] as usize, c[2] as usize, c[3] as usize];
+        for m in 0..4 {
+            let row = rows[m];
+            acc[m][0] += row[j[0]];
+            acc[m][1] += row[j[1]];
+            acc[m][2] += row[j[2]];
+            acc[m][3] += row[j[3]];
+        }
+    }
+    let rem = chunks.remainder();
+    for m in 0..4 {
+        let mut tail = (acc[m][0] + acc[m][1]) + (acc[m][2] + acc[m][3]);
+        for &j in rem {
+            tail += rows[m][j as usize];
+        }
+        out[m] = tail;
+    }
+}
+
+fn sparse_matmul_impl(w: &Tensor, x: &SpikeMatrix, bias: Option<&Tensor>) -> Vec<f32> {
+    let dims = w.shape().dims();
+    let (m, k) = (dims[0], dims[1]);
+    let b = x.rows();
+    let wv = w.as_slice();
+    let mut out = vec![0.0f32; b * m];
+    // Weight-row tiles of 4 stay L1-resident while all B index lists
+    // gather against them — weight traffic is per *batch*, not per
+    // sample, and each index load feeds 4 rows.
+    let mut o = 0usize;
+    while o + 4 <= m {
+        let rows = [
+            &wv[o * k..(o + 1) * k],
+            &wv[(o + 1) * k..(o + 2) * k],
+            &wv[(o + 2) * k..(o + 3) * k],
+            &wv[(o + 3) * k..(o + 4) * k],
+        ];
+        let init = match bias {
+            Some(bias) => {
+                let bv = bias.as_slice();
+                [bv[o], bv[o + 1], bv[o + 2], bv[o + 3]]
+            }
+            None => [0.0; 4],
+        };
+        for r in 0..b {
+            gather_row_x4(rows, x.row(r), init, &mut out[r * m + o..r * m + o + 4]);
+        }
+        o += 4;
+    }
+    while o < m {
+        let row = &wv[o * k..(o + 1) * k];
+        let init = bias.map(|bv| bv.as_slice()[o]).unwrap_or(0.0);
+        for r in 0..b {
+            out[r * m + o] = gather_row(row, x.row(r), init);
+        }
+        o += 1;
+    }
+    out
+}
+
+/// Batched sparse product `Y = S · Wᵀ` for a CSR spike batch `S` of
+/// shape `[B, in]` and weights `[out, in]`, producing `[B, out]`.
+///
+/// Weight rows are processed in tiles of 4 that stay cache-hot across
+/// the whole batch while each sample's index list gathers against them
+/// ([`gather_row_x4`]); weight traffic is `out × in` per *batch*
+/// instead of per sample — the GEMM amortization a per-sample matvec
+/// cannot reach. Row `b` equals `sparse_matvec(w, rows[b])` bit for
+/// bit.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for a non-matrix `w` and
+/// [`TensorError::ShapeMismatch`] when the spike length differs from
+/// the weight column count.
+pub fn sparse_matmul(w: &Tensor, x: &SpikeMatrix) -> Result<Tensor> {
+    let (m, _) = check_weight(w, x.cols(), "sparse_matmul")?;
+    let out = sparse_matmul_impl(w, x, None);
+    Tensor::from_vec(out, &[x.rows(), m])
+}
+
+/// [`sparse_matmul`] plus a per-output bias, matching the fused form
+/// the spiking layers use (`acc` starts at `bias[o]`, exactly like
+/// [`crate::sparse::sparse_matvec_bias`]).
+///
+/// # Errors
+///
+/// As [`sparse_matmul`], plus [`TensorError::ShapeMismatch`] when the
+/// bias length differs from the weight row count.
+pub fn sparse_matmul_bias(w: &Tensor, x: &SpikeMatrix, bias: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_weight(w, x.cols(), "sparse_matmul_bias")?;
+    if bias.len() != m {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![m, k],
+            rhs: bias.shape().dims().to_vec(),
+            op: "sparse_matmul_bias",
+        });
+    }
+    let out = sparse_matmul_impl(w, x, Some(bias));
+    Tensor::from_vec(out, &[x.rows(), m])
+}
+
+/// Dense batched fallback `Y = X · Wᵀ + b` for analog (non-binary)
+/// planes: `x` is `[B, in]`, `w` is `[out, in]`, output `[B, out]`.
+///
+/// Each output element is a sequential row dot with the bias added
+/// *after* the sum — the same order as the per-sample
+/// `matvec(w, x).add(bias)` path, so row `b` is bit-identical to the
+/// per-sample dense result.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`]
+/// when the operands are not conforming matrices or the bias length
+/// differs from the weight row count.
+pub fn matmul_bt_bias(x: &Tensor, w: &Tensor, bias: &Tensor) -> Result<Tensor> {
+    let xdims = x.shape().dims();
+    if xdims.len() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: xdims.len(),
+            op: "matmul_bt_bias",
+        });
+    }
+    let (b, k) = (xdims[0], xdims[1]);
+    let (m, _) = check_weight(w, k, "matmul_bt_bias")?;
+    if bias.len() != m {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![m, k],
+            rhs: bias.shape().dims().to_vec(),
+            op: "matmul_bt_bias",
+        });
+    }
+    let xv = x.as_slice();
+    let wv = w.as_slice();
+    let bv = bias.as_slice();
+    let mut out = vec![0.0f32; b * m];
+    for r in 0..b {
+        let xrow = &xv[r * k..(r + 1) * k];
+        let orow = &mut out[r * m..(r + 1) * m];
+        for (o, slot) in orow.iter_mut().enumerate() {
+            let wrow = &wv[o * k..(o + 1) * k];
+            let mut acc = 0.0f32;
+            for (&xi, &wi) in xrow.iter().zip(wrow) {
+                acc += wi * xi;
+            }
+            *slot = acc + bv[o];
+        }
+    }
+    Tensor::from_vec(out, &[b, m])
+}
+
+/// Batched scatter convolution: B stacked `[Cin·H·W]` spike planes into
+/// a `[B, Cout·OH·OW]` block.
+///
+/// Each row scatters through the same unrolled stencil kernel as
+/// [`crate::sparse::sparse_conv2d`], so row `b` matches the per-sample
+/// result bit for bit; the conv weights (kilobytes) stay cache-hot
+/// across the whole batch.
+///
+/// # Errors
+///
+/// As [`crate::sparse::sparse_conv2d`] per row.
+pub fn sparse_conv2d_batch(
+    x: &SpikeMatrix,
+    in_hw: (usize, usize),
+    weight: &Tensor,
+    bias: &Tensor,
+    spec: &Conv2dSpec,
+) -> Result<Tensor> {
+    crate::sparse::check_conv_geometry(x.cols(), in_hw, weight, spec)?;
+    let (h, w) = in_hw;
+    let (oh, ow) = spec.output_hw(h, w);
+    let b = x.rows();
+    let n = spec.out_channels * oh * ow;
+    let mut out = vec![0.0f32; b * n];
+    for (r, slot) in out.chunks_mut(n.max(1)).enumerate().take(b) {
+        let row = SpikeVector::new(x.row(r).to_vec(), x.cols())?;
+        sparse_conv2d_into(&row, in_hw, weight, bias, spec, slot)?;
+    }
+    Tensor::from_vec(out, &[b, n])
+}
+
+fn check_pool_batch(x: &SpikeMatrix, dims: &[usize], k: usize) -> Result<(usize, usize, usize)> {
+    if dims.len() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: dims.len(),
+            op: "sparse_pool2d_batch",
+        });
+    }
+    if k == 0 {
+        return Err(TensorError::InvalidArgument {
+            message: "pool window must be non-zero".into(),
+        });
+    }
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    if x.cols() != c * h * w {
+        return Err(TensorError::LengthMismatch {
+            expected: c * h * w,
+            actual: x.cols(),
+        });
+    }
+    if h % k != 0 || w % k != 0 {
+        return Err(TensorError::InvalidArgument {
+            message: format!("pool window {k} does not divide input {h}x{w}"),
+        });
+    }
+    Ok((c, h, w))
+}
+
+/// Batched event average pooling: B stacked `[C·H·W]` planes into
+/// `[B, C·OH·OW]`, each active spike adding `1/k²` to its window.
+///
+/// # Errors
+///
+/// As [`crate::sparse::sparse_avg_pool2d`] for the shared `dims`/`k`.
+pub fn sparse_avg_pool2d_batch(x: &SpikeMatrix, dims: &[usize], k: usize) -> Result<Tensor> {
+    let (c, h, w) = check_pool_batch(x, dims, k)?;
+    let (oh, ow) = (h / k, w / k);
+    let inv = 1.0 / (k * k) as f32;
+    let b = x.rows();
+    let n = c * oh * ow;
+    let mut out = vec![0.0f32; b * n];
+    for r in 0..b {
+        let base = r * n;
+        for &flat in x.row(r) {
+            let flat = flat as usize;
+            let ch = flat / (h * w);
+            let rem = flat % (h * w);
+            let (iy, ix) = (rem / w, rem % w);
+            out[base + ch * oh * ow + (iy / k) * ow + ix / k] += inv;
+        }
+    }
+    Tensor::from_vec(out, &[b, n])
+}
+
+/// Batched event max pooling: a window maxes to `1.0` exactly when it
+/// contains at least one spike. Forward value only (no argmax tape), so
+/// the fused engine uses it exclusively on inference steps.
+///
+/// # Errors
+///
+/// As [`crate::sparse::sparse_max_pool2d`] for the shared `dims`/`k`.
+pub fn sparse_max_pool2d_batch(x: &SpikeMatrix, dims: &[usize], k: usize) -> Result<Tensor> {
+    let (c, h, w) = check_pool_batch(x, dims, k)?;
+    let (oh, ow) = (h / k, w / k);
+    let b = x.rows();
+    let n = c * oh * ow;
+    let mut out = vec![0.0f32; b * n];
+    for r in 0..b {
+        let base = r * n;
+        for &flat in x.row(r) {
+            let flat = flat as usize;
+            let ch = flat / (h * w);
+            let rem = flat % (h * w);
+            let (iy, ix) = (rem / w, rem % w);
+            out[base + ch * oh * ow + (iy / k) * ow + ix / k] = 1.0;
+        }
+    }
+    Tensor::from_vec(out, &[b, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg;
+    use crate::sparse::{
+        sparse_avg_pool2d, sparse_conv2d, sparse_matvec, sparse_matvec_bias, sparse_max_pool2d,
+    };
+
+    fn binary_rows(b: usize, n: usize, every: usize) -> Vec<SpikeVector> {
+        (0..b)
+            .map(|r| {
+                let data: Vec<f32> = (0..n)
+                    .map(|i| if (i + r) % every == 0 { 1.0 } else { 0.0 })
+                    .collect();
+                SpikeVector::from_dense(&Tensor::from_vec(data, &[n]).unwrap()).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn csr_structure_roundtrips() {
+        let rows = binary_rows(3, 10, 3);
+        let m = SpikeMatrix::from_rows(&rows).unwrap();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 10);
+        assert!(!m.is_empty());
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(m.row(r), row.indices());
+        }
+        assert_eq!(m.nnz(), rows.iter().map(SpikeVector::nnz).sum::<usize>());
+        let dense = m.to_dense();
+        assert_eq!(dense.shape().dims(), &[3, 10]);
+        let back = SpikeMatrix::from_dense(&dense).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_lengths() {
+        let a = SpikeVector::new(vec![0], 4).unwrap();
+        let b = SpikeVector::new(vec![1], 5).unwrap();
+        assert!(SpikeMatrix::from_rows(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_well_formed() {
+        let m = SpikeMatrix::from_rows(&[]).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.density(), 0.0);
+        let w = Tensor::zeros(&[3, 0]);
+        let y = sparse_matmul(&w, &m).unwrap();
+        assert_eq!(y.shape().dims(), &[0, 3]);
+    }
+
+    #[test]
+    fn from_dense_rejects_non_binary() {
+        let t = Tensor::from_vec(vec![0.0, 0.5, 1.0, 0.0], &[2, 2]).unwrap();
+        assert!(SpikeMatrix::from_dense(&t).is_none());
+        let v = Tensor::zeros(&[4]);
+        assert!(SpikeMatrix::from_dense(&v).is_none(), "rank-1 rejected");
+    }
+
+    #[test]
+    fn matmul_rows_bitwise_match_per_sample_matvec() {
+        let w = Tensor::from_vec(
+            (0..7 * 13).map(|i| (i as f32 * 0.31).sin()).collect(),
+            &[7, 13],
+        )
+        .unwrap();
+        let bias = Tensor::from_vec((0..7).map(|i| i as f32 * 0.2 - 0.5).collect(), &[7]).unwrap();
+        let rows = binary_rows(5, 13, 2);
+        let batch = SpikeMatrix::from_rows(&rows).unwrap();
+        let y = sparse_matmul(&w, &batch).unwrap();
+        let yb = sparse_matmul_bias(&w, &batch, &bias).unwrap();
+        assert_eq!(y.shape().dims(), &[5, 7]);
+        for (r, row) in rows.iter().enumerate() {
+            let per_sample = sparse_matvec(&w, row).unwrap();
+            assert_eq!(&y.as_slice()[r * 7..(r + 1) * 7], per_sample.as_slice());
+            let per_sample_bias = sparse_matvec_bias(&w, row, &bias).unwrap();
+            assert_eq!(
+                &yb.as_slice()[r * 7..(r + 1) * 7],
+                per_sample_bias.as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let batch = SpikeMatrix::from_rows(&binary_rows(2, 6, 2)).unwrap();
+        assert!(sparse_matmul(&Tensor::zeros(&[3, 5]), &batch).is_err());
+        assert!(sparse_matmul(&Tensor::zeros(&[6]), &batch).is_err());
+        let w = Tensor::zeros(&[3, 6]);
+        assert!(sparse_matmul_bias(&w, &batch, &Tensor::zeros(&[2])).is_err());
+    }
+
+    #[test]
+    fn dense_fallback_rows_bitwise_match_matvec_add() {
+        let w = Tensor::from_vec(
+            (0..4 * 9).map(|i| (i as f32 * 0.77).cos()).collect(),
+            &[4, 9],
+        )
+        .unwrap();
+        let bias = Tensor::from_vec(vec![0.1, -0.2, 0.3, 0.0], &[4]).unwrap();
+        let xdata: Vec<f32> = (0..3 * 9).map(|i| (i as f32 * 0.41).sin() * 0.5).collect();
+        let x = Tensor::from_vec(xdata, &[3, 9]).unwrap();
+        let y = matmul_bt_bias(&x, &w, &bias).unwrap();
+        assert_eq!(y.shape().dims(), &[3, 4]);
+        for r in 0..3 {
+            let xrow = Tensor::from_vec(x.as_slice()[r * 9..(r + 1) * 9].to_vec(), &[9]).unwrap();
+            let per_sample = linalg::matvec(&w, &xrow).unwrap().add(&bias).unwrap();
+            assert_eq!(&y.as_slice()[r * 4..(r + 1) * 4], per_sample.as_slice());
+        }
+        assert!(matmul_bt_bias(&x, &Tensor::zeros(&[4, 8]), &bias).is_err());
+        assert!(matmul_bt_bias(&x, &w, &Tensor::zeros(&[5])).is_err());
+        assert!(matmul_bt_bias(&Tensor::zeros(&[9]), &w, &bias).is_err());
+    }
+
+    #[test]
+    fn conv_batch_rows_bitwise_match_per_sample() {
+        let spec = Conv2dSpec {
+            in_channels: 2,
+            out_channels: 3,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let (h, w) = (6, 5);
+        let weight = Tensor::from_vec(
+            (0..3 * 2 * 9).map(|i| (i as f32 * 0.13).sin()).collect(),
+            &[3, 2, 3, 3],
+        )
+        .unwrap();
+        let bias = Tensor::from_vec(vec![0.5, -1.0, 0.25], &[3]).unwrap();
+        let rows = binary_rows(4, 2 * h * w, 5);
+        let batch = SpikeMatrix::from_rows(&rows).unwrap();
+        let y = sparse_conv2d_batch(&batch, (h, w), &weight, &bias, &spec).unwrap();
+        let n = 3 * h * w;
+        assert_eq!(y.shape().dims(), &[4, n]);
+        for (r, row) in rows.iter().enumerate() {
+            let per_sample = sparse_conv2d(row, (h, w), &weight, &bias, &spec).unwrap();
+            assert_eq!(&y.as_slice()[r * n..(r + 1) * n], per_sample.as_slice());
+        }
+    }
+
+    #[test]
+    fn pool_batch_rows_bitwise_match_per_sample() {
+        let dims = [2usize, 4, 4];
+        let rows = binary_rows(3, 2 * 4 * 4, 3);
+        let batch = SpikeMatrix::from_rows(&rows).unwrap();
+        let avg = sparse_avg_pool2d_batch(&batch, &dims, 2).unwrap();
+        let max = sparse_max_pool2d_batch(&batch, &dims, 2).unwrap();
+        let n = 2 * 2 * 2;
+        for (r, row) in rows.iter().enumerate() {
+            let pa = sparse_avg_pool2d(row, &dims, 2).unwrap();
+            let pm = sparse_max_pool2d(row, &dims, 2).unwrap();
+            assert_eq!(&avg.as_slice()[r * n..(r + 1) * n], pa.as_slice());
+            assert_eq!(&max.as_slice()[r * n..(r + 1) * n], pm.as_slice());
+        }
+    }
+
+    #[test]
+    fn pool_batch_validation() {
+        let batch = SpikeMatrix::from_rows(&binary_rows(2, 16, 2)).unwrap();
+        assert!(sparse_avg_pool2d_batch(&batch, &[1, 4, 4], 0).is_err());
+        assert!(sparse_avg_pool2d_batch(&batch, &[1, 5, 4], 2).is_err());
+        assert!(sparse_avg_pool2d_batch(&batch, &[4, 4], 2).is_err());
+        assert!(sparse_max_pool2d_batch(&batch, &[1, 4, 5], 2).is_err());
+        assert!(sparse_max_pool2d_batch(&batch, &[2, 4, 4], 2).is_err());
+    }
+}

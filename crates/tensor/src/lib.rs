@@ -6,7 +6,9 @@
 //! multiplication ([`linalg::matmul`]), 2-D convolution and pooling kernels
 //! (forward *and* backward passes, [`conv`]), event-driven sparse spike
 //! kernels whose cost scales with activity instead of layer size
-//! ([`sparse`]), and weight initializers ([`init`]).
+//! ([`sparse`]), batched spike-plane GEMM kernels that amortize weight
+//! traffic across B samples ([`batched`]), and weight initializers
+//! ([`init`]).
 //!
 //! The paper's authors used a Python deep-learning stack as their substrate;
 //! no equivalent mature crate exists offline, so this crate implements the
@@ -34,6 +36,7 @@ mod error;
 mod shape;
 mod tensor;
 
+pub mod batched;
 pub mod conv;
 pub mod init;
 pub mod linalg;

@@ -21,9 +21,13 @@
 //!   threshold, so the caller always takes the cheaper path.
 //!
 //! All kernels produce results equal to their dense counterparts up to
-//! f32 summation order (bounded by ~1e-6 on the workspace's layer
-//! sizes); the property tests in `tests/sparse_equivalence.rs` pin this
-//! down across shapes, strides, paddings and densities.
+//! f32 summation order (the matvec gathers accumulate 4-wide, so
+//! differences are pure reassociation, bounded by ~1e-5 on the
+//! workspace's layer sizes); the property tests in
+//! `tests/sparse_equivalence.rs` pin this down across shapes, strides,
+//! paddings and densities. The batched counterparts in
+//! [`crate::batched`] route through the same gather/scatter helpers and
+//! are bit-identical per row.
 //!
 //! # Example
 //!
@@ -93,7 +97,7 @@ impl SpikeVector {
     /// must take the dense path because the event form carries no
     /// magnitudes.
     pub fn from_dense(t: &Tensor) -> Option<Self> {
-        Self::gather(t, usize::MAX)
+        Self::gather(t.as_slice(), usize::MAX)
     }
 
     /// Extracts a binary frame's events only when its density is at most
@@ -105,16 +109,23 @@ impl SpikeVector {
     /// rejecting a dense frame costs at most `max_density·len + 1`
     /// index pushes.
     pub fn from_dense_if_sparse(t: &Tensor, max_density: f32) -> Option<Self> {
+        Self::from_slice_if_sparse(t.as_slice(), max_density)
+    }
+
+    /// [`SpikeVector::from_dense_if_sparse`] on a raw slice — the form
+    /// the fused batch engine uses to gate rows of a stacked `[B, n]`
+    /// block without materializing per-row tensors.
+    pub fn from_slice_if_sparse(data: &[f32], max_density: f32) -> Option<Self> {
         if max_density <= 0.0 || max_density.is_nan() {
             return None;
         }
-        let cap = (max_density as f64 * t.len() as f64).floor() as usize;
-        Self::gather(t, cap)
+        let cap = (max_density as f64 * data.len() as f64).floor() as usize;
+        Self::gather(data, cap)
     }
 
-    fn gather(t: &Tensor, max_events: usize) -> Option<Self> {
+    fn gather(t: &[f32], max_events: usize) -> Option<Self> {
         let mut indices = Vec::new();
-        for (i, &v) in t.as_slice().iter().enumerate() {
+        for (i, &v) in t.iter().enumerate() {
             if v == 0.0 {
                 continue;
             }
@@ -181,6 +192,76 @@ impl SpikeVector {
     }
 }
 
+/// Gathers `row[j]` over the active indices, 4-wide.
+///
+/// The naive single-accumulator gather is autovectorization-hostile
+/// (indexed loads with a serial dependency through one accumulator);
+/// four independent accumulators break the dependency chain so the
+/// loads pipeline. The combine order `(a0 + a1) + (a2 + a3)` is fixed,
+/// and every sparse matvec/matmul kernel in the workspace routes
+/// through this one function, so the per-sample and batched engines
+/// produce bit-identical sums for the same row.
+#[inline]
+pub(crate) fn gather_row(row: &[f32], indices: &[u32], init: f32) -> f32 {
+    let mut chunks = indices.chunks_exact(4);
+    let (mut a0, mut a1, mut a2, mut a3) = (init, 0.0f32, 0.0f32, 0.0f32);
+    for c in &mut chunks {
+        a0 += row[c[0] as usize];
+        a1 += row[c[1] as usize];
+        a2 += row[c[2] as usize];
+        a3 += row[c[3] as usize];
+    }
+    let mut tail = (a0 + a1) + (a2 + a3);
+    for &j in chunks.remainder() {
+        tail += row[j as usize];
+    }
+    tail
+}
+
+/// Reference single-accumulator gather kept for equivalence checks of
+/// the unrolled [`gather_row`].
+#[cfg(test)]
+fn gather_row_naive(row: &[f32], indices: &[u32], init: f32) -> f32 {
+    let mut acc = init;
+    for &j in indices {
+        acc += row[j as usize];
+    }
+    acc
+}
+
+/// Scatters one event's weight stencil column onto the output planes:
+/// `out[oc·ohw + obase] += w[oc·wstride + wbase]` for every output
+/// channel, unrolled 4-wide.
+///
+/// Both sides of the accumulate are strided, which defeats
+/// autovectorization; four independent read-modify-write pairs per
+/// iteration pipeline the loads and stores. Each output cell still
+/// receives exactly one add per event, so results are bit-identical to
+/// the naive loop. Shared by the per-sample and batched scatter convs.
+#[inline]
+pub(crate) fn scatter_stencil(
+    out: &mut [f32],
+    wv: &[f32],
+    out_channels: usize,
+    ohw: usize,
+    wstride: usize,
+    obase: usize,
+    wbase: usize,
+) {
+    let mut oc = 0usize;
+    while oc + 4 <= out_channels {
+        out[oc * ohw + obase] += wv[oc * wstride + wbase];
+        out[(oc + 1) * ohw + obase] += wv[(oc + 1) * wstride + wbase];
+        out[(oc + 2) * ohw + obase] += wv[(oc + 2) * wstride + wbase];
+        out[(oc + 3) * ohw + obase] += wv[(oc + 3) * wstride + wbase];
+        oc += 4;
+    }
+    while oc < out_channels {
+        out[oc * ohw + obase] += wv[oc * wstride + wbase];
+        oc += 1;
+    }
+}
+
 fn check_matrix(a: &Tensor, x: &SpikeVector, op: &'static str) -> Result<(usize, usize)> {
     let dims = a.shape().dims();
     if dims.len() != 2 {
@@ -218,11 +299,7 @@ pub fn sparse_matvec(a: &Tensor, x: &SpikeVector) -> Result<Tensor> {
     let mut out = vec![0.0f32; m];
     for (i, o) in out.iter_mut().enumerate() {
         let row = &av[i * k..(i + 1) * k];
-        let mut acc = 0.0f32;
-        for &j in x.indices() {
-            acc += row[j as usize];
-        }
-        *o = acc;
+        *o = gather_row(row, x.indices(), 0.0);
     }
     Tensor::from_vec(out, &[m])
 }
@@ -248,11 +325,7 @@ pub fn sparse_matvec_bias(a: &Tensor, x: &SpikeVector, bias: &Tensor) -> Result<
     let mut out = vec![0.0f32; m];
     for (i, o) in out.iter_mut().enumerate() {
         let row = &av[i * k..(i + 1) * k];
-        let mut acc = bv[i];
-        for &j in x.indices() {
-            acc += row[j as usize];
-        }
-        *o = acc;
+        *o = gather_row(row, x.indices(), bv[i]);
     }
     Tensor::from_vec(out, &[m])
 }
@@ -263,15 +336,24 @@ fn check_conv_input(
     weight: &Tensor,
     spec: &Conv2dSpec,
 ) -> Result<()> {
+    check_conv_geometry(input.len(), in_hw, weight, spec)
+}
+
+pub(crate) fn check_conv_geometry(
+    input_len: usize,
+    in_hw: (usize, usize),
+    weight: &Tensor,
+    spec: &Conv2dSpec,
+) -> Result<()> {
     if spec.kernel == 0 || spec.stride == 0 {
         return Err(TensorError::InvalidArgument {
             message: "conv2d kernel and stride must be non-zero".into(),
         });
     }
     let (h, w) = in_hw;
-    if input.len() != spec.in_channels * h * w {
+    if input_len != spec.in_channels * h * w {
         return Err(TensorError::ShapeMismatch {
-            lhs: vec![input.len()],
+            lhs: vec![input_len],
             rhs: vec![spec.in_channels, h, w],
             op: "sparse_conv2d input",
         });
@@ -324,6 +406,33 @@ pub fn sparse_conv2d(
     spec: &Conv2dSpec,
 ) -> Result<Tensor> {
     check_conv_input(input, in_hw, weight, spec)?;
+    let (h, w) = in_hw;
+    let (oh, ow) = spec.output_hw(h, w);
+    let mut out = vec![0.0f32; spec.out_channels * oh * ow];
+    sparse_conv2d_into(input, in_hw, weight, bias, spec, &mut out)?;
+    Tensor::from_vec(out, &[spec.out_channels, oh, ow])
+}
+
+/// [`sparse_conv2d`] writing into a caller-provided `[Cout·OH·OW]`
+/// buffer — the building block the batched engine uses to scatter each
+/// sample's events directly into its row of a `[B, Cout·OH·OW]` block
+/// without an intermediate allocation.
+///
+/// The buffer is fully overwritten (bias fill, then event scatter).
+///
+/// # Errors
+///
+/// As [`sparse_conv2d`], plus [`TensorError::LengthMismatch`] when the
+/// buffer length differs from the output volume.
+pub fn sparse_conv2d_into(
+    input: &SpikeVector,
+    in_hw: (usize, usize),
+    weight: &Tensor,
+    bias: &Tensor,
+    spec: &Conv2dSpec,
+    out: &mut [f32],
+) -> Result<()> {
+    check_conv_input(input, in_hw, weight, spec)?;
     if bias.len() != spec.out_channels {
         return Err(TensorError::ShapeMismatch {
             lhs: bias.shape().dims().to_vec(),
@@ -338,7 +447,12 @@ pub fn sparse_conv2d(
     let wstride = spec.in_channels * k * k;
     let wv = weight.as_slice();
 
-    let mut out = vec![0.0f32; spec.out_channels * ohw];
+    if out.len() != spec.out_channels * ohw {
+        return Err(TensorError::LengthMismatch {
+            expected: spec.out_channels * ohw,
+            actual: out.len(),
+        });
+    }
     for (oc, &b) in bias.as_slice().iter().enumerate() {
         out[oc * ohw..(oc + 1) * ohw].fill(b);
     }
@@ -379,13 +493,11 @@ pub fn sparse_conv2d(
                 }
                 let obase = oy * ow + ox;
                 let wbase = ic * k * k + ky * k + kx;
-                for oc in 0..spec.out_channels {
-                    out[oc * ohw + obase] += wv[oc * wstride + wbase];
-                }
+                scatter_stencil(out, wv, spec.out_channels, ohw, wstride, obase, wbase);
             }
         }
     }
-    Tensor::from_vec(out, &[spec.out_channels, oh, ow])
+    Ok(())
 }
 
 fn check_pool(input: &SpikeVector, dims: &[usize], k: usize) -> Result<(usize, usize, usize)> {
@@ -459,6 +571,71 @@ pub fn sparse_max_pool2d(input: &SpikeVector, dims: &[usize], k: usize) -> Resul
         out[ch * oh * ow + (iy / k) * ow + ix / k] = 1.0;
     }
     Tensor::from_vec(out, &[c, oh, ow])
+}
+
+/// Reference scatter conv with the pre-unroll single-step `oc` loop,
+/// kept for equivalence checks of the unrolled [`scatter_stencil`]
+/// path. Bit-identical to [`sparse_conv2d`]: each output cell receives
+/// the same adds in the same order.
+#[cfg(test)]
+pub(crate) fn sparse_conv2d_naive(
+    input: &SpikeVector,
+    in_hw: (usize, usize),
+    weight: &Tensor,
+    bias: &Tensor,
+    spec: &Conv2dSpec,
+) -> Result<Tensor> {
+    check_conv_input(input, in_hw, weight, spec)?;
+    let (h, w) = in_hw;
+    let (oh, ow) = spec.output_hw(h, w);
+    let k = spec.kernel;
+    let ohw = oh * ow;
+    let wstride = spec.in_channels * k * k;
+    let wv = weight.as_slice();
+    let mut out = vec![0.0f32; spec.out_channels * ohw];
+    for (oc, &b) in bias.as_slice().iter().enumerate() {
+        out[oc * ohw..(oc + 1) * ohw].fill(b);
+    }
+    for &flat in input.indices() {
+        let flat = flat as usize;
+        let ic = flat / (h * w);
+        let rem = flat % (h * w);
+        let (iy, ix) = (rem / w, rem % w);
+        for ky in 0..k {
+            let oy_num = iy + spec.padding;
+            if oy_num < ky {
+                break;
+            }
+            let oy_off = oy_num - ky;
+            if !oy_off.is_multiple_of(spec.stride) {
+                continue;
+            }
+            let oy = oy_off / spec.stride;
+            if oy >= oh {
+                continue;
+            }
+            for kx in 0..k {
+                let ox_num = ix + spec.padding;
+                if ox_num < kx {
+                    break;
+                }
+                let ox_off = ox_num - kx;
+                if !ox_off.is_multiple_of(spec.stride) {
+                    continue;
+                }
+                let ox = ox_off / spec.stride;
+                if ox >= ow {
+                    continue;
+                }
+                let obase = oy * ow + ox;
+                let wbase = ic * k * k + ky * k + kx;
+                for oc in 0..spec.out_channels {
+                    out[oc * ohw + obase] += wv[oc * wstride + wbase];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[spec.out_channels, oh, ow])
 }
 
 #[cfg(test)]
@@ -630,6 +807,61 @@ mod tests {
         // Kernel larger than input.
         let tiny = SpikeVector::new(vec![], 4).unwrap();
         assert!(sparse_conv2d(&tiny, (2, 2), &Tensor::ones(&[1, 1, 3, 3]), &bias, &spec).is_err());
+    }
+
+    #[test]
+    fn unrolled_gather_matches_naive() {
+        let row: Vec<f32> = (0..97).map(|i| (i as f32 * 0.37).sin()).collect();
+        for nnz in [0usize, 1, 2, 3, 4, 5, 7, 8, 13, 31, 97] {
+            let indices: Vec<u32> = (0..nnz as u32).map(|i| (i * 7) % 97).collect();
+            let fast = gather_row(&row, &indices, 0.5);
+            let naive = gather_row_naive(&row, &indices, 0.5);
+            assert!(
+                (fast - naive).abs() <= 1e-5 * (1.0 + naive.abs()),
+                "nnz {nnz}: {fast} vs {naive}"
+            );
+        }
+    }
+
+    #[test]
+    fn unrolled_scatter_conv_bitwise_matches_naive() {
+        // The oc unroll reorders nothing per output cell, so the
+        // results must be *exactly* equal, across channel counts that
+        // exercise the 4-wide body and every remainder length.
+        for out_channels in [1usize, 2, 3, 4, 5, 6, 7, 8, 11] {
+            let spec = Conv2dSpec {
+                in_channels: 2,
+                out_channels,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            };
+            let (h, w) = (6, 5);
+            let input_data: Vec<f32> = (0..2 * h * w)
+                .map(|i| if i % 4 == 0 { 1.0 } else { 0.0 })
+                .collect();
+            let input = Tensor::from_vec(input_data, &[2, h, w]).unwrap();
+            let events = SpikeVector::from_dense(&input).unwrap();
+            let weight = Tensor::from_vec(
+                (0..out_channels * 2 * 9)
+                    .map(|i| (i as f32 * 0.53).cos())
+                    .collect(),
+                &[out_channels, 2, 3, 3],
+            )
+            .unwrap();
+            let bias = Tensor::from_vec(
+                (0..out_channels).map(|i| i as f32 * 0.1).collect(),
+                &[out_channels],
+            )
+            .unwrap();
+            let fast = sparse_conv2d(&events, (h, w), &weight, &bias, &spec).unwrap();
+            let naive = sparse_conv2d_naive(&events, (h, w), &weight, &bias, &spec).unwrap();
+            assert_eq!(
+                fast.as_slice(),
+                naive.as_slice(),
+                "out_channels {out_channels}"
+            );
+        }
     }
 
     #[test]

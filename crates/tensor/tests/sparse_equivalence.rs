@@ -1,9 +1,11 @@
 //! Property tests pinning the event-driven sparse kernels to their dense
 //! counterparts: for every random shape, stride, padding and spike
 //! density — including the 0% and 100% extremes — the sparse forward
-//! path must match the dense path within 1e-6 per element (1e-5 for
-//! conv, whose accumulation chains are longer).
+//! path must match the dense path within 1e-5 per element (the sparse
+//! gather sums 4-wide, so results differ from the dense sequential sum
+//! only by f32 reassociation).
 
+use axsnn_tensor::batched::{sparse_matmul_bias, SpikeMatrix};
 use axsnn_tensor::conv::{avg_pool2d, conv2d, max_pool2d, Conv2dSpec};
 use axsnn_tensor::sparse::{
     sparse_avg_pool2d, sparse_conv2d, sparse_matvec_bias, sparse_max_pool2d, SpikeVector,
@@ -68,7 +70,7 @@ proptest! {
         let sparse = sparse_matvec_bias(&w, &events, &b).unwrap();
         let dense = linalg::matvec(&w, &x).unwrap().add(&b).unwrap();
         for (s, d) in sparse.as_slice().iter().zip(dense.as_slice()) {
-            prop_assert!((s - d).abs() <= 1e-6 * (1.0 + d.abs()), "{s} vs {d}");
+            prop_assert!((s - d).abs() <= 1e-5 * (1.0 + d.abs()), "{s} vs {d}");
         }
     }
 
@@ -150,6 +152,36 @@ proptest! {
         let dense_max = max_pool2d(&input, k).unwrap();
         let sparse_max = sparse_max_pool2d(&events, &[c, h, w], k).unwrap();
         prop_assert_eq!(sparse_max.as_slice(), dense_max.output.as_slice());
+    }
+
+    /// Every row of the batched spike-plane GEMM is bit-identical to
+    /// the per-sample sparse matvec it fuses — the invariant the
+    /// batched forward engine's bit-for-bit guarantee rests on.
+    #[test]
+    fn batched_matmul_rows_bitwise_equal_matvec(
+        batch in 1usize..16,
+        rows in 1usize..24,
+        cols in 1usize..48,
+        density in density_strategy(),
+        salt in 0u64..1000,
+    ) {
+        let w = Tensor::from_vec(weights(rows * cols, salt), &[rows, cols]).unwrap();
+        let b = Tensor::from_vec(weights(rows, salt ^ 0xabcd), &[rows]).unwrap();
+        let frames: Vec<SpikeVector> = (0..batch)
+            .map(|r| {
+                let x = binary_frame(cols, density, salt.wrapping_add(r as u64));
+                SpikeVector::from_dense(&x).expect("frame is binary")
+            })
+            .collect();
+        let fused = sparse_matmul_bias(&w, &SpikeMatrix::from_rows(&frames).unwrap(), &b).unwrap();
+        prop_assert_eq!(fused.shape().dims(), &[batch, rows]);
+        for (r, events) in frames.iter().enumerate() {
+            let per_sample = sparse_matvec_bias(&w, events, &b).unwrap();
+            prop_assert_eq!(
+                &fused.as_slice()[r * rows..(r + 1) * rows],
+                per_sample.as_slice()
+            );
+        }
     }
 
     /// Round trip dense → events → dense is the identity on binary

@@ -55,6 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         epsilon: 0.05,
         attack: StaticAttackKind::Pgd,
         stop_at_first: false,
+        threads: 0,
     };
     println!(
         "running Algorithm 1 over {} configurations (PGD, ε = {}, Q = {}%)…",

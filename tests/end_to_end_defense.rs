@@ -183,6 +183,7 @@ fn algorithm1_reduced_grid_finds_robust_configuration() {
         epsilon: 0.1,
         attack: StaticAttackKind::Pgd,
         stop_at_first: true,
+        threads: 0,
     };
     let ann = scenario.ann().clone();
     let mut trainer = move |c: SnnConfig| ann_to_snn(&ann, c, &calibration);
