@@ -1,0 +1,373 @@
+//! Smoke benchmark: event-form sparse BPTT tape vs the dense tape, and
+//! the minibatched trainer vs the per-sample loop, exported to
+//! `BENCH_train.json` for the CI perf trajectory (the training
+//! companion of `bench_sparse` / `bench_batch`).
+//!
+//! Times the training step three ways on the paper's MNIST-scale MLP
+//! and a small conv stack — per-sample records time the tape work
+//! (recorded forward over `T` spike frames + reverse-time BPTT), the
+//! minibatch record times the full step including the SGD apply:
+//!
+//! * per-sample **dense tape** (`set_sparse_threshold(0.0)`), the PR 1
+//!   baseline,
+//! * per-sample **sparse tape** (default density gate: event-form tape
+//!   plus sparse outer-product gradient accumulation),
+//! * **minibatched sparse tape** (`forward_batch_recorded` +
+//!   `backward_batch` over B samples, amortizing weight traffic).
+//!
+//! Usage: `cargo run --release -p axsnn-bench --bin bench_train [out.json]`
+//! (default output `BENCH_train.json`). `AXSNN_BENCH_ITERS` scales the
+//! iteration counts (default 10).
+
+use axsnn::core::fused::FrameTrain;
+use axsnn::core::layer::Layer;
+use axsnn::core::network::{SnnConfig, SpikingNetwork};
+use axsnn::tensor::conv::Conv2dSpec;
+use axsnn::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+const BATCH: usize = 16;
+const TIME_STEPS: usize = 8;
+
+struct Record {
+    name: String,
+    density: f32,
+    dense_ns: f64,
+    sparse_ns: f64,
+}
+
+impl Record {
+    fn speedup(&self) -> f64 {
+        self.dense_ns / self.sparse_ns.max(1.0)
+    }
+}
+
+fn iters() -> u32 {
+    std::env::var("AXSNN_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+}
+
+fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+    let n = iters();
+    f(); // warmup
+    let start = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / n as f64
+}
+
+fn spike_frame(len: usize, density: f32, dims: &[usize], salt: u64) -> Tensor {
+    let data: Vec<f32> = (0..len)
+        .map(|i| {
+            let mut h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt;
+            h ^= h >> 29;
+            h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            let unit = (h >> 40) as f32 / (1u64 << 24) as f32;
+            if unit < density {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Tensor::from_vec(data, dims).unwrap()
+}
+
+/// MLP at the paper's flattened MNIST conv width — the weight set
+/// (≈3.9 MB) dominates both the forward stream and the dense backward's
+/// outer-product accumulation, which is exactly what the event tape
+/// masks down to activity.
+fn mlp_net(cfg: SnnConfig) -> SpikingNetwork {
+    let mut rng = StdRng::seed_from_u64(2);
+    SpikingNetwork::new(
+        vec![
+            Layer::spiking_linear(&mut rng, 1568, 512, &cfg),
+            Layer::spiking_linear(&mut rng, 512, 256, &cfg),
+            Layer::output_linear(&mut rng, 256, 10),
+        ],
+        cfg,
+    )
+    .expect("static topology")
+}
+
+fn conv_net(cfg: SnnConfig) -> SpikingNetwork {
+    let mut rng = StdRng::seed_from_u64(3);
+    SpikingNetwork::new(
+        vec![
+            Layer::spiking_conv2d(
+                &mut rng,
+                Conv2dSpec {
+                    in_channels: 1,
+                    out_channels: 16,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
+                &cfg,
+            ),
+            Layer::max_pool2d(2),
+            Layer::flatten(),
+            Layer::spiking_linear(&mut rng, 16 * 14 * 14, 128, &cfg),
+            Layer::output_linear(&mut rng, 128, 10),
+        ],
+        cfg,
+    )
+    .expect("static topology")
+}
+
+fn logit_grad(classes: usize) -> Tensor {
+    Tensor::from_vec(
+        (0..classes)
+            .map(|i| if i == 0 { 0.9 } else { -0.1 })
+            .collect(),
+        &[classes],
+    )
+    .unwrap()
+}
+
+/// One per-sample tape pass: recorded forward over the frame train
+/// plus full BPTT. The SGD apply is excluded here — it is a
+/// density-independent weight-sized pass that real training amortizes
+/// once per minibatch (the minibatch records include it).
+fn per_sample_step(net: &mut SpikingNetwork, frames: &[Tensor], grad: &Tensor) {
+    let mut rng = StdRng::seed_from_u64(7);
+    net.zero_grads();
+    black_box(net.forward(frames, true, &mut rng).unwrap());
+    black_box(net.backward(grad, frames.len()).unwrap());
+}
+
+fn grads_close(a: &SpikingNetwork, b: &SpikingNetwork) -> bool {
+    a.layers()
+        .iter()
+        .zip(b.layers())
+        .filter_map(|(x, y)| x.params().zip(y.params()))
+        .all(|((wa, ba), (wb, bb))| {
+            wa.grad
+                .as_slice()
+                .iter()
+                .zip(wb.grad.as_slice())
+                .chain(ba.grad.as_slice().iter().zip(bb.grad.as_slice()))
+                .all(|(p, q)| (p - q).abs() <= 1e-5 * (1.0 + q.abs()))
+        })
+}
+
+/// Per-sample sparse tape vs per-sample dense tape on one network.
+fn tape_record(
+    records: &mut Vec<Record>,
+    name: &str,
+    net: &SpikingNetwork,
+    dims: &[usize],
+    density: f32,
+) {
+    let len: usize = dims.iter().product();
+    let frames: Vec<Tensor> = (0..TIME_STEPS)
+        .map(|t| spike_frame(len, density, dims, t as u64))
+        .collect();
+    let classes = {
+        let mut probe = net.clone();
+        let mut rng = StdRng::seed_from_u64(0);
+        probe
+            .forward(&frames, false, &mut rng)
+            .unwrap()
+            .logits
+            .len()
+    };
+    let grad = logit_grad(classes);
+
+    let mut dense_net = net.clone();
+    dense_net.set_sparse_threshold(0.0);
+    let dense_ns = time_ns(|| per_sample_step(&mut dense_net, &frames, &grad));
+
+    let mut sparse_net = net.clone();
+    let sparse_ns = time_ns(|| per_sample_step(&mut sparse_net, &frames, &grad));
+
+    // Sanity: the two tapes must produce the same gradients.
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut a = net.clone();
+    a.set_sparse_threshold(0.0);
+    a.zero_grads();
+    a.forward(&frames, true, &mut rng).unwrap();
+    a.backward(&grad, TIME_STEPS).unwrap();
+    let mut b = net.clone();
+    b.zero_grads();
+    b.forward(&frames, true, &mut rng).unwrap();
+    b.backward(&grad, TIME_STEPS).unwrap();
+    assert!(
+        grads_close(&a, &b),
+        "{name}: sparse/dense tape grads diverged"
+    );
+
+    records.push(Record {
+        name: name.into(),
+        density,
+        dense_ns,
+        sparse_ns,
+    });
+}
+
+/// Minibatched sparse-tape trainer vs the per-sample dense-tape loop it
+/// replaces, over a batch of `BATCH` samples.
+fn minibatch_record(
+    records: &mut Vec<Record>,
+    name: &str,
+    net: &SpikingNetwork,
+    dims: &[usize],
+    density: f32,
+) {
+    let len: usize = dims.iter().product();
+    let trains: Vec<FrameTrain> = (0..BATCH)
+        .map(|b| {
+            let frames: Vec<Tensor> = (0..TIME_STEPS)
+                .map(|t| spike_frame(len, density, dims, (b * 131 + t) as u64))
+                .collect();
+            FrameTrain::from_frames(&frames).unwrap()
+        })
+        .collect();
+    let materialized: Vec<Vec<Tensor>> = trains.iter().map(|t| t.to_frames().unwrap()).collect();
+    let classes = {
+        let mut probe = net.clone();
+        let mut rng = StdRng::seed_from_u64(0);
+        probe
+            .forward(&materialized[0], false, &mut rng)
+            .unwrap()
+            .logits
+            .len()
+    };
+    let grad = logit_grad(classes);
+    let scale = 1.0 / BATCH as f32;
+    let grad_row = grad.scale(scale);
+    let mut grad_block = Vec::with_capacity(BATCH * classes);
+    for _ in 0..BATCH {
+        grad_block.extend(grad_row.as_slice());
+    }
+    let grad_block = Tensor::from_vec(grad_block, &[BATCH, classes]).unwrap();
+
+    let mut dense_net = net.clone();
+    dense_net.set_sparse_threshold(0.0);
+    let dense_ns = time_ns(|| {
+        dense_net.zero_grads();
+        for frames in &materialized {
+            let mut rng = StdRng::seed_from_u64(7);
+            black_box(dense_net.forward(frames, true, &mut rng).unwrap());
+            black_box(dense_net.backward(&grad_row, TIME_STEPS).unwrap());
+        }
+        dense_net.apply_grads(0.01, 0.9).unwrap();
+    });
+
+    let mut fused_net = net.clone();
+    let sparse_ns = time_ns(|| {
+        fused_net.zero_grads();
+        let (out, tape) = fused_net
+            .forward_batch_recorded(black_box(&trains))
+            .unwrap();
+        black_box(out);
+        fused_net.backward_batch(&tape, &grad_block).unwrap();
+        fused_net.apply_grads(0.01, 0.9).unwrap();
+    });
+
+    records.push(Record {
+        name: name.into(),
+        density,
+        dense_ns,
+        sparse_ns,
+    });
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_train.json".to_string());
+    let cfg = SnnConfig {
+        threshold: 0.8,
+        time_steps: TIME_STEPS,
+        leak: 0.9,
+    };
+    let mut records = Vec::new();
+    for &density in &[0.05f32, 0.10] {
+        tape_record(
+            &mut records,
+            &format!("mlp_tape_step_T{TIME_STEPS}_1568"),
+            &mlp_net(cfg),
+            &[1568],
+            density,
+        );
+    }
+    tape_record(
+        &mut records,
+        &format!("conv_tape_step_T{TIME_STEPS}_28x28"),
+        &conv_net(cfg),
+        &[1, 28, 28],
+        0.10,
+    );
+    minibatch_record(
+        &mut records,
+        &format!("mlp_minibatch_step_T{TIME_STEPS}_B{BATCH}"),
+        &mlp_net(cfg),
+        &[1568],
+        0.10,
+    );
+
+    println!(
+        "{:<32} {:>8} {:>16} {:>14} {:>9}",
+        "benchmark", "density", "dense-tape ns", "sparse ns", "speedup"
+    );
+    let mut json = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        println!(
+            "{:<32} {:>7.0}% {:>16.0} {:>14.0} {:>8.2}x",
+            r.name,
+            r.density * 100.0,
+            r.dense_ns,
+            r.sparse_ns,
+            r.speedup()
+        );
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        json.push_str(&format!(
+            "  {{\"name\": \"{}\", \"density\": {:.2}, \"time_steps\": {TIME_STEPS}, \"dense_tape_ns\": {:.0}, \"sparse_tape_ns\": {:.0}, \"speedup\": {:.3}}}{sep}\n",
+            r.name, r.density, r.dense_ns, r.sparse_ns, r.speedup()
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    println!("\nwrote {out_path}");
+
+    // CI gate: at ≤10% spike density the sparse tape must be at least
+    // 2× the dense tape per training step on the weight-bound records
+    // (MLP per-sample tape and the minibatched trainer). The conv
+    // record is informational with a no-regression floor: conv weights
+    // are cache-resident, so the event tape saves less there, but must
+    // never lose.
+    let mut failing: Vec<String> = Vec::new();
+    for r in &records {
+        if (r.name.starts_with("mlp_tape") || r.name.starts_with("mlp_minibatch"))
+            && r.density <= 0.10
+            && r.speedup() < 2.0
+        {
+            failing.push(format!(
+                "{} @ {:.0}%: {:.2}x < 2x",
+                r.name,
+                r.density * 100.0,
+                r.speedup()
+            ));
+        }
+        if r.name.starts_with("conv_tape") && r.speedup() < 0.9 {
+            failing.push(format!(
+                "{}: sparse tape regressed conv, {:.2}x < 0.9x",
+                r.name,
+                r.speedup()
+            ));
+        }
+    }
+    if failing.is_empty() {
+        println!("speedup gate passed: sparse tape ≥ 2x dense tape at ≤10% density, conv ≥ 0.9x");
+    } else {
+        eprintln!("speedup gate FAILED: {failing:?}");
+        std::process::exit(1);
+    }
+}

@@ -146,6 +146,63 @@ pub fn snn_config(threshold: f32, time_steps: usize) -> SnnConfig {
     }
 }
 
+/// The cache-aware schedule of a `(V_th, T)` grid sweep: shards of
+/// `(t_index, vth_index)` cells that **never span two time steps**, so
+/// a [`axsnn::core::batch::fan_out_with`] over the shards keeps each
+/// `T`'s encoded frame set hot in the worker(s) that own it instead of
+/// interleaving all `T`s through every worker (row-major scheduling).
+///
+/// With `workers` at most the number of time steps, each shard is one
+/// whole `T` row — one owner per encoded set, no first-touch `Mutex`
+/// contention on the [`axsnn::datasets::cache::EncodedCache`]. With
+/// more workers each row subdivides into contiguous threshold chunks
+/// (still single-`T`, preserving the cache affinity) so the extra
+/// cores are not left idle.
+///
+/// # Example
+///
+/// ```
+/// let shards = axsnn_bench::sweep_schedule(2, 3, 2);
+/// assert_eq!(shards, vec![
+///     vec![(0, 0), (0, 1), (0, 2)],
+///     vec![(1, 0), (1, 1), (1, 2)],
+/// ]);
+/// // More workers than T rows: rows split, still one T per shard.
+/// let shards = axsnn_bench::sweep_schedule(2, 3, 4);
+/// assert_eq!(shards, vec![
+///     vec![(0, 0), (0, 1)],
+///     vec![(0, 2)],
+///     vec![(1, 0), (1, 1)],
+///     vec![(1, 2)],
+/// ]);
+/// ```
+pub fn sweep_schedule(
+    time_steps: usize,
+    thresholds: usize,
+    workers: usize,
+) -> Vec<Vec<(usize, usize)>> {
+    let splits_per_row = if time_steps == 0 {
+        1
+    } else {
+        workers
+            .div_ceil(time_steps.max(1))
+            .clamp(1, thresholds.max(1))
+    };
+    let chunk = thresholds.div_ceil(splits_per_row).max(1);
+    (0..time_steps)
+        .flat_map(|ti| {
+            (0..thresholds)
+                .step_by(chunk)
+                .map(move |lo| {
+                    (lo..(lo + chunk).min(thresholds))
+                        .map(|vi| (ti, vi))
+                        .collect()
+                })
+                .collect::<Vec<Vec<(usize, usize)>>>()
+        })
+        .collect()
+}
+
 /// Sweeps the paper's `(V_th, T)` grid for one precision scale and one
 /// attack, reproducing a Figs. 4–6 heatmap: each cell is the adversarial
 /// accuracy of the precision-scaled AxSNN (approximation level 0.01 by
@@ -157,7 +214,10 @@ pub fn snn_config(threshold: f32, time_steps: usize) -> SnnConfig {
 /// ([`axsnn::datasets::cache::EncodedCache`]), so the 63 grid cells
 /// share 7 encode passes and every cell is one fused batched
 /// classification of pre-encoded shards instead of a from-scratch
-/// attack + encode + per-sample forward.
+/// attack + encode + per-sample forward. The fan-out is grouped by `T`
+/// ([`sweep_schedule`]): each worker owns whole `T` rows, so a shard's
+/// encoded set is touched by exactly one worker and stays hot in its
+/// cache across all nine thresholds.
 ///
 /// Returns `cells[t_index][vth_index]` aligned with [`time_step_grid`] /
 /// [`threshold_grid`].
@@ -217,9 +277,6 @@ pub fn heatmap_sweep(
     // its cached shards single-threaded.
     let adv_cache = EncodedCache::new(&adv, seed(), 1);
 
-    let jobs: Vec<(usize, usize)> = (0..steps.len())
-        .flat_map(|ti| (0..thresholds.len()).map(move |vi| (ti, vi)))
-        .collect();
     let eval_cell = |&(ti, vi): &(usize, usize)| -> f32 {
         let (t, v) = (steps[ti], thresholds[vi]);
         let mut net = scenario
@@ -232,12 +289,18 @@ pub fn heatmap_sweep(
         adv_set.accuracy(&net, 1).expect("evaluation")
     };
 
-    let flat: Vec<f32> = fan_out_with(
-        jobs.len(),
-        sweep_threads(),
+    // Cache-aware fan-out: shards never span two Ts, so each T's
+    // encoded set stays hot in the worker(s) that own it; rows
+    // subdivide only when there are more cores than T rows.
+    let workers =
+        axsnn::core::batch::effective_threads(sweep_threads(), steps.len() * thresholds.len());
+    let shards = sweep_schedule(steps.len(), thresholds.len(), workers);
+    let per_shard: Vec<Vec<f32>> = fan_out_with(
+        shards.len(),
+        workers.min(shards.len()),
         || (),
-        |(), i, slot: &mut f32| -> Result<(), Infallible> {
-            *slot = eval_cell(&jobs[i]);
+        |(), si, slot: &mut Vec<f32>| -> Result<(), Infallible> {
+            *slot = shards[si].iter().map(&eval_cell).collect();
             Ok(())
         },
     )
@@ -246,7 +309,13 @@ pub fn heatmap_sweep(
         adv_cache.encode_passes() <= steps.len(),
         "cells sharing a T must share one encode pass"
     );
-    flat.chunks(thresholds.len()).map(<[f32]>::to_vec).collect()
+    // Reassemble rows in (T, V_th) grid order: shards are emitted in
+    // row-major order and each lies within one T row.
+    let mut rows = vec![Vec::with_capacity(thresholds.len()); steps.len()];
+    for (shard, cells) in shards.iter().zip(per_shard) {
+        rows[shard[0].0].extend(cells);
+    }
+    rows
 }
 
 /// Reads the sweep worker count from `AXSNN_THREADS` (default 0 = all
@@ -286,6 +355,45 @@ mod tests {
         assert_eq!(threshold_grid()[0], 0.25);
         assert_eq!(*threshold_grid().last().unwrap(), 2.25);
         assert_eq!(time_step_grid(), vec![32, 40, 48, 56, 64, 72, 80]);
+    }
+
+    #[test]
+    fn sweep_schedule_groups_cells_by_t() {
+        // The pin for cache-aware sweep scheduling: no shard ever spans
+        // two Ts, every grid cell is scheduled exactly once in grid
+        // order, and with workers ≤ T rows each shard is one whole row.
+        let (nt, nv) = (time_step_grid().len(), threshold_grid().len());
+        for workers in [1usize, 4, nt, 16, 64] {
+            let shards = sweep_schedule(nt, nv, workers);
+            assert!(
+                shards.len() >= workers.min(nt * nv) || shards.len() == nt * nv,
+                "workers {workers}: enough shards to feed the cores"
+            );
+            let mut seen = std::collections::HashSet::new();
+            let mut flat: Vec<(usize, usize)> = Vec::new();
+            for shard in &shards {
+                assert!(!shard.is_empty(), "workers {workers}: no empty shards");
+                let t0 = shard[0].0;
+                for &(cti, cvi) in shard {
+                    assert_eq!(cti, t0, "workers {workers}: shards never span two Ts");
+                    assert!(seen.insert((cti, cvi)), "no cell scheduled twice");
+                    flat.push((cti, cvi));
+                }
+            }
+            assert_eq!(
+                seen.len(),
+                nt * nv,
+                "every grid cell scheduled exactly once"
+            );
+            let expected: Vec<(usize, usize)> = (0..nt)
+                .flat_map(|ti| (0..nv).map(move |vi| (ti, vi)))
+                .collect();
+            assert_eq!(flat, expected, "workers {workers}: grid order preserved");
+        }
+        // Whole rows when workers fit the T count.
+        for shard in sweep_schedule(nt, nv, nt) {
+            assert_eq!(shard.len(), nv, "one whole T row per shard");
+        }
     }
 
     #[test]

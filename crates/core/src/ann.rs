@@ -9,6 +9,7 @@
 //! ([`crate::convert`]).
 
 use crate::{CoreError, Result};
+use axsnn_tensor::batched::matmul_bt_bias;
 use axsnn_tensor::conv::{self, Conv2dSpec};
 use axsnn_tensor::{init, linalg, ops, Tensor};
 use rand::Rng;
@@ -112,6 +113,22 @@ pub struct AnnBackward {
     /// Gradient with respect to the network input.
     pub input_grad: Tensor,
     /// Per-layer parameter gradients (aligned with the layer stack).
+    pub layer_grads: Vec<AnnLayerGrads>,
+}
+
+/// Result of a batched training forward/backward pass
+/// ([`AnnNetwork::forward_backward_batch`]).
+#[derive(Debug, Clone)]
+pub struct AnnBatchBackward {
+    /// Logits `[B, classes]`.
+    pub logits: Tensor,
+    /// Per-sample cross-entropy losses, in batch order.
+    pub losses: Vec<f32>,
+    /// Predicted class per sample (first strict maximum, matching
+    /// [`Tensor::argmax`] per row).
+    pub predictions: Vec<usize>,
+    /// Per-layer parameter gradients summed over the batch (aligned
+    /// with the layer stack).
     pub layer_grads: Vec<AnnLayerGrads>,
 }
 
@@ -407,6 +424,315 @@ impl AnnNetwork {
         ))
     }
 
+    /// Batched training forward/backward: runs a whole minibatch
+    /// through the layer stack with one GEMM per linear layer
+    /// (`X·Wᵀ + b` / `GᵀX`) instead of per-sample matvecs, and returns
+    /// the per-layer gradients summed over the batch.
+    ///
+    /// Row-for-row this is the per-sample [`AnnNetwork::forward_backward`]
+    /// re-scheduled: the batched GEMMs accumulate in the same
+    /// per-element order as a sample-ascending loop of the per-sample
+    /// kernels, so for dropout-free networks the summed gradients are
+    /// bit-identical to accumulating `forward_backward` over the batch.
+    /// With `train` set and dropout present, per-row masks are drawn in
+    /// row order from `rng` (a different stream than interleaved
+    /// per-sample calls, but the same distribution). Convolution layers
+    /// run per row — their weights are cache-resident, so batching has
+    /// nothing to amortize there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] for an empty batch or mismatched
+    /// `inputs`/`labels` lengths, and propagates layer shape errors.
+    pub fn forward_backward_batch<R: Rng>(
+        &self,
+        inputs: &[Tensor],
+        labels: &[usize],
+        train: bool,
+        rng: &mut R,
+    ) -> Result<AnnBatchBackward> {
+        if inputs.is_empty() || inputs.len() != labels.len() {
+            return Err(CoreError::Config {
+                message: format!(
+                    "forward_backward_batch needs matching non-empty inputs/labels, got {}/{}",
+                    inputs.len(),
+                    labels.len()
+                ),
+            });
+        }
+        let b = inputs.len();
+        let row_len = inputs[0].len();
+        let mut dims: Vec<usize> = inputs[0].shape().dims().to_vec();
+        let mut block = Vec::with_capacity(b * row_len);
+        for x in inputs {
+            if x.shape().dims() != dims.as_slice() {
+                return Err(CoreError::Config {
+                    message: "forward_backward_batch needs homogeneous input shapes".into(),
+                });
+            }
+            block.extend_from_slice(x.as_slice());
+        }
+
+        // Forward with a batch tape.
+        enum Tape {
+            Conv {
+                inputs: Vec<Tensor>,
+                preact: Vec<f32>,
+            },
+            Linear {
+                input: Tensor,
+                preact: Vec<f32>,
+            },
+            LinearOut {
+                input: Tensor,
+            },
+            Pool {
+                input_dims: Vec<usize>,
+            },
+            MaxPool {
+                input_dims: Vec<usize>,
+                argmax: Vec<Vec<usize>>,
+            },
+            Identity,
+            Dropout {
+                masks: Vec<f32>,
+            },
+        }
+        let mut tapes: Vec<Tape> = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let n = block.len() / b;
+            match layer {
+                AnnLayer::ConvRelu { spec, weight, bias } => {
+                    let mut rows = Vec::with_capacity(b);
+                    let mut preact = Vec::with_capacity(0);
+                    let mut out = Vec::with_capacity(0);
+                    let mut out_dims = Vec::new();
+                    for r in 0..b {
+                        let x = Tensor::from_vec(block[r * n..(r + 1) * n].to_vec(), &dims)?;
+                        let pre = conv::conv2d(&x, weight, bias, spec)?;
+                        if out_dims.is_empty() {
+                            out_dims = pre.shape().dims().to_vec();
+                            preact.reserve(b * pre.len());
+                            out.reserve(b * pre.len());
+                        }
+                        preact.extend_from_slice(pre.as_slice());
+                        out.extend(pre.as_slice().iter().map(|&v| v.max(0.0)));
+                        rows.push(x);
+                    }
+                    tapes.push(Tape::Conv {
+                        inputs: rows,
+                        preact,
+                    });
+                    block = out;
+                    dims = out_dims;
+                }
+                AnnLayer::LinearRelu { weight, bias } => {
+                    let x = Tensor::from_vec(std::mem::take(&mut block), &[b, n])?;
+                    let pre = matmul_bt_bias(&x, weight, bias).map_err(CoreError::from)?;
+                    let out: Vec<f32> = pre.as_slice().iter().map(|&v| v.max(0.0)).collect();
+                    let out_n = out.len() / b;
+                    tapes.push(Tape::Linear {
+                        input: x,
+                        preact: pre.as_slice().to_vec(),
+                    });
+                    block = out;
+                    dims = vec![out_n];
+                }
+                AnnLayer::LinearOut { weight, bias } => {
+                    let x = Tensor::from_vec(std::mem::take(&mut block), &[b, n])?;
+                    let pre = matmul_bt_bias(&x, weight, bias).map_err(CoreError::from)?;
+                    let out_n = pre.len() / b;
+                    tapes.push(Tape::LinearOut { input: x });
+                    block = pre.as_slice().to_vec();
+                    dims = vec![out_n];
+                }
+                AnnLayer::AvgPool { window } => {
+                    let mut out = Vec::new();
+                    let mut out_dims = Vec::new();
+                    for r in 0..b {
+                        let x = Tensor::from_vec(block[r * n..(r + 1) * n].to_vec(), &dims)?;
+                        let pooled = conv::avg_pool2d(&x, *window)?;
+                        if out_dims.is_empty() {
+                            out_dims = pooled.shape().dims().to_vec();
+                            out.reserve(b * pooled.len());
+                        }
+                        out.extend_from_slice(pooled.as_slice());
+                    }
+                    tapes.push(Tape::Pool {
+                        input_dims: std::mem::replace(&mut dims, out_dims),
+                    });
+                    block = out;
+                }
+                AnnLayer::MaxPool { window } => {
+                    let mut out = Vec::new();
+                    let mut out_dims = Vec::new();
+                    let mut argmax = Vec::with_capacity(b);
+                    for r in 0..b {
+                        let x = Tensor::from_vec(block[r * n..(r + 1) * n].to_vec(), &dims)?;
+                        let pooled = conv::max_pool2d(&x, *window)?;
+                        if out_dims.is_empty() {
+                            out_dims = pooled.output.shape().dims().to_vec();
+                            out.reserve(b * pooled.output.len());
+                        }
+                        out.extend_from_slice(pooled.output.as_slice());
+                        argmax.push(pooled.argmax);
+                    }
+                    tapes.push(Tape::MaxPool {
+                        input_dims: std::mem::replace(&mut dims, out_dims),
+                        argmax,
+                    });
+                    block = out;
+                }
+                AnnLayer::Flatten => {
+                    tapes.push(Tape::Identity);
+                    dims = vec![n];
+                }
+                AnnLayer::Dropout { probability } => {
+                    let keep = 1.0 - probability;
+                    let masks: Vec<f32> = if train && *probability > 0.0 {
+                        (0..block.len())
+                            .map(|_| {
+                                if rng.gen::<f32>() < keep {
+                                    1.0 / keep
+                                } else {
+                                    0.0
+                                }
+                            })
+                            .collect()
+                    } else {
+                        vec![1.0; block.len()]
+                    };
+                    for (v, &m) in block.iter_mut().zip(&masks) {
+                        *v *= m;
+                    }
+                    tapes.push(Tape::Dropout { masks });
+                }
+            }
+        }
+
+        // Losses + logit gradients per row.
+        let classes = block.len() / b;
+        let logits = Tensor::from_vec(block.clone(), &[b, classes])?;
+        let mut losses = Vec::with_capacity(b);
+        let mut predictions = Vec::with_capacity(b);
+        let mut grad = vec![0.0f32; b * classes];
+        for (r, &label) in labels.iter().enumerate() {
+            let row = Tensor::from_vec(block[r * classes..(r + 1) * classes].to_vec(), &[classes])?;
+            let (loss, g) = ops::cross_entropy_with_grad(&row, label)?;
+            losses.push(loss);
+            predictions.push(row.argmax().unwrap_or(0));
+            grad[r * classes..(r + 1) * classes].copy_from_slice(g.as_slice());
+        }
+
+        // Backward through the batch tape.
+        let mut layer_grads: Vec<AnnLayerGrads> = Vec::with_capacity(self.layers.len());
+        for (layer, tape) in self.layers.iter().zip(&tapes).rev() {
+            let mut lg = AnnLayerGrads::default();
+            let n = grad.len() / b;
+            grad = match (layer, tape) {
+                (AnnLayer::ConvRelu { spec, weight, .. }, Tape::Conv { inputs, preact }) => {
+                    let mut gw: Option<Tensor> = None;
+                    let mut gb: Option<Tensor> = None;
+                    let in_len = inputs[0].len();
+                    let mut gi = vec![0.0f32; b * in_len];
+                    for (r, input) in inputs.iter().enumerate() {
+                        let gpre: Vec<f32> = grad[r * n..(r + 1) * n]
+                            .iter()
+                            .zip(&preact[r * n..(r + 1) * n])
+                            .map(|(&g, &p)| if p > 0.0 { g } else { 0.0 })
+                            .collect();
+                        let odims = {
+                            let (oh, ow) =
+                                spec.output_hw(input.shape().dims()[1], input.shape().dims()[2]);
+                            [spec.out_channels, oh, ow]
+                        };
+                        let gpre = Tensor::from_vec(gpre, &odims)?;
+                        let grads = conv::conv2d_backward(input, weight, &gpre, spec)?;
+                        // In-place accumulation: same add order as the
+                        // allocate-then-add form, no per-sample tensors.
+                        match &mut gw {
+                            None => gw = Some(grads.weight),
+                            Some(acc) => crate::layer::acc_grad(acc, &grads.weight),
+                        }
+                        match &mut gb {
+                            None => gb = Some(grads.bias),
+                            Some(acc) => crate::layer::acc_grad(acc, &grads.bias),
+                        }
+                        gi[r * in_len..(r + 1) * in_len].copy_from_slice(grads.input.as_slice());
+                    }
+                    lg.weight = gw;
+                    lg.bias = gb;
+                    gi
+                }
+                (AnnLayer::LinearRelu { weight, .. }, Tape::Linear { input, preact }) => {
+                    let gpre: Vec<f32> = grad
+                        .iter()
+                        .zip(preact)
+                        .map(|(&g, &p)| if p > 0.0 { g } else { 0.0 })
+                        .collect();
+                    let g_block = Tensor::from_vec(gpre, &[b, n])?;
+                    lg.weight = Some(linalg::matmul_at(&g_block, input)?);
+                    lg.bias = Some(column_sums(&g_block)?);
+                    linalg::matmul(&g_block, weight)?.as_slice().to_vec()
+                }
+                (AnnLayer::LinearOut { weight, .. }, Tape::LinearOut { input }) => {
+                    let g_block = Tensor::from_vec(std::mem::take(&mut grad), &[b, n])?;
+                    lg.weight = Some(linalg::matmul_at(&g_block, input)?);
+                    lg.bias = Some(column_sums(&g_block)?);
+                    linalg::matmul(&g_block, weight)?.as_slice().to_vec()
+                }
+                (AnnLayer::AvgPool { window }, Tape::Pool { input_dims }) => {
+                    let in_len: usize = input_dims.iter().product();
+                    let odims = [
+                        input_dims[0],
+                        input_dims[1] / window,
+                        input_dims[2] / window,
+                    ];
+                    let mut gi = vec![0.0f32; b * in_len];
+                    for r in 0..b {
+                        let g_row = Tensor::from_vec(grad[r * n..(r + 1) * n].to_vec(), &odims)?;
+                        let back = conv::avg_pool2d_backward(&g_row, input_dims, *window)?;
+                        gi[r * in_len..(r + 1) * in_len].copy_from_slice(back.as_slice());
+                    }
+                    gi
+                }
+                (AnnLayer::MaxPool { window }, Tape::MaxPool { input_dims, argmax }) => {
+                    let in_len: usize = input_dims.iter().product();
+                    let odims = [
+                        input_dims[0],
+                        input_dims[1] / window,
+                        input_dims[2] / window,
+                    ];
+                    let mut gi = vec![0.0f32; b * in_len];
+                    for r in 0..b {
+                        let g_row = Tensor::from_vec(grad[r * n..(r + 1) * n].to_vec(), &odims)?;
+                        let back = conv::max_pool2d_backward(&g_row, &argmax[r], input_dims)?;
+                        gi[r * in_len..(r + 1) * in_len].copy_from_slice(back.as_slice());
+                    }
+                    gi
+                }
+                (AnnLayer::Flatten, Tape::Identity) => grad,
+                (AnnLayer::Dropout { .. }, Tape::Dropout { masks }) => {
+                    grad.iter().zip(masks).map(|(&g, &m)| g * m).collect()
+                }
+                _ => {
+                    return Err(CoreError::Incompatible {
+                        message: "tape/layer mismatch in batched ANN backward".into(),
+                    })
+                }
+            };
+            layer_grads.push(lg);
+        }
+        layer_grads.reverse();
+
+        Ok(AnnBatchBackward {
+            logits,
+            losses,
+            predictions,
+            layer_grads,
+        })
+    }
+
     /// Gradient of the cross-entropy loss with respect to the input —
     /// the quantity PGD/BIM ascend.
     ///
@@ -518,6 +844,22 @@ impl AnnNetwork {
             })
             .sum()
     }
+}
+
+/// Sums a `[B, n]` block over its rows — the batched bias gradient.
+/// Rows accumulate in ascending batch order, matching a sequential
+/// per-sample accumulation bit for bit.
+fn column_sums(g: &Tensor) -> Result<Tensor> {
+    let dims = g.shape().dims();
+    let (b, n) = (dims[0], dims[1]);
+    let gv = g.as_slice();
+    let mut out = vec![0.0f32; n];
+    for r in 0..b {
+        for (o, &v) in out.iter_mut().zip(&gv[r * n..(r + 1) * n]) {
+            *o += v;
+        }
+    }
+    Tensor::from_vec(out, &[n]).map_err(CoreError::from)
 }
 
 fn flatten_if_needed(x: &Tensor) -> Result<Tensor> {

@@ -24,21 +24,34 @@
 //! in `tests/batched_equivalence.rs` pins this across shapes, batch
 //! sizes, densities and thread counts.
 //!
-//! The fused path is inference-only: recorded (training) steps need the
-//! per-sample BPTT tape, and train-mode dropout draws per-sample masks,
-//! so [`SpikingNetwork::forward_batch`] rejects networks with active
+//! # Minibatched training
+//!
+//! [`SpikingNetwork::forward_batch_recorded`] runs the same fused
+//! engine with an event-form [`BatchTape`]: per layer and time step it
+//! tapes each row's input (events where the density gate admits, dense
+//! otherwise) plus the stacked pre-reset membranes, using the
+//! *exact-order* sparse kernels so every taped current equals what the
+//! dense tape would hold. [`SpikingNetwork::backward_batch`] then walks
+//! time in reverse once for the whole minibatch, accumulating weight
+//! gradients through the event-masked kernels. `train_snn` consumes
+//! minibatches this way instead of sample-at-a-time.
+//!
+//! Train-mode dropout draws per-sample masks the fused engine cannot
+//! reproduce, so both batch entry points reject networks with active
 //! dropout and callers fall back to the per-sample path.
 
 use crate::batch::{fan_out_with, sample_seed};
 use crate::encoding::Encoder;
-use crate::layer::{FallbackCounter, Layer};
+use crate::layer::{acc_grad, surrogate_carry_grad, FallbackCounter, Layer};
 use crate::lif::BatchedLifState;
 use crate::network::SpikingNetwork;
 use crate::{CoreError, Result};
-use axsnn_tensor::batched::{matmul_bt_bias, sparse_matmul_bias, SpikeMatrix};
+use axsnn_tensor::batched::{
+    matmul_bt_bias, sparse_matmul_bias, sparse_matmul_bias_exact, SpikeMatrix,
+};
 use axsnn_tensor::conv::{self, Conv2dSpec};
 use axsnn_tensor::sparse::{self, SpikeVector};
-use axsnn_tensor::{Tensor, TensorError};
+use axsnn_tensor::{linalg, Tensor, TensorError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -322,17 +335,114 @@ impl BatchPlane {
     }
 }
 
+/// One sample-row of a recorded batch plane, as taped for BPTT: event
+/// form when the density gate admitted it, dense values otherwise.
+#[derive(Debug, Clone)]
+enum BatchTapeRow {
+    /// Binary row at or below the sparse threshold, as its events.
+    Events(SpikeVector),
+    /// Analog or gate-rejected row, flattened.
+    Dense(Vec<f32>),
+}
+
+/// One layer's record at one time step of a [`BatchTape`].
+#[derive(Debug, Clone)]
+enum BatchTapeStep {
+    /// Spiking conv layer: per-row taped inputs (logical shape
+    /// `in_dims`) plus the stacked `[B, n]` pre-reset membranes.
+    SpikingConv {
+        rows: Vec<BatchTapeRow>,
+        in_dims: Vec<usize>,
+        pre: Vec<f32>,
+    },
+    /// Spiking linear layer: per-row taped inputs plus pre-reset
+    /// membranes.
+    SpikingLinear {
+        rows: Vec<BatchTapeRow>,
+        pre: Vec<f32>,
+    },
+    /// Integrator readout: per-row taped inputs.
+    Output { rows: Vec<BatchTapeRow> },
+    /// Average pooling: the pre-pool logical shape.
+    AvgPool { in_dims: Vec<usize> },
+    /// Max pooling: pre-pool shape plus per-row argmax winners.
+    MaxPool {
+        in_dims: Vec<usize>,
+        argmax: Vec<Vec<usize>>,
+    },
+    /// Layers whose backward is the identity on the flat `[B, n]`
+    /// block: flatten (a purely logical reshape) and inference dropout.
+    Identity,
+}
+
+/// The BPTT tape of one recorded batch forward pass
+/// ([`SpikingNetwork::forward_batch_recorded`]): per time step and
+/// layer, the per-row inputs (event form where the density gate
+/// admitted them) and the stacked pre-reset membranes of the spiking
+/// layers. Consumed by [`SpikingNetwork::backward_batch`].
+#[derive(Debug, Clone)]
+pub struct BatchTape {
+    batch: usize,
+    time_steps: usize,
+    classes: usize,
+    steps: Vec<Vec<BatchTapeStep>>,
+}
+
+impl BatchTape {
+    /// Number of batch rows recorded.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Time steps recorded.
+    pub fn time_steps(&self) -> usize {
+        self.time_steps
+    }
+
+    /// Fraction of parameterized-layer tape rows stored in event form
+    /// (the sparse-tape engagement rate; `0.0` when nothing admitted).
+    pub fn event_row_fraction(&self) -> f32 {
+        let (mut events, mut total) = (0usize, 0usize);
+        for step in &self.steps {
+            for layer in step {
+                let rows = match layer {
+                    BatchTapeStep::SpikingConv { rows, .. }
+                    | BatchTapeStep::SpikingLinear { rows, .. }
+                    | BatchTapeStep::Output { rows } => rows,
+                    _ => continue,
+                };
+                total += rows.len();
+                events += rows
+                    .iter()
+                    .filter(|r| matches!(r, BatchTapeRow::Events(_)))
+                    .count();
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            events as f32 / total as f32
+        }
+    }
+}
+
 /// Computes the `[B, out]` current block of a (spiking or readout)
 /// linear layer: sparse-admitted rows fuse into one spike-plane GEMM,
 /// the rest batch through the dense `X·Wᵀ + b` fallback. Each row is
 /// bit-identical to its per-sample counterpart.
+///
+/// With `record` set the admitted rows run the exact-order GEMM
+/// ([`sparse_matmul_bias_exact`]) so the taped currents equal the dense
+/// tape's, and the per-row inputs are returned for the tape (empty
+/// otherwise).
 fn linear_current_block(
     weight: &Tensor,
     bias: &Tensor,
     threshold: f32,
     plane: &BatchPlane,
     fallbacks: &FallbackCounter,
-) -> Result<Vec<f32>> {
+    record: bool,
+) -> Result<(Vec<f32>, Vec<BatchTapeRow>)> {
     let wdims = weight.shape().dims();
     if wdims.len() != 2 {
         return Err(CoreError::from(TensorError::RankMismatch {
@@ -365,26 +475,56 @@ fn linear_current_block(
     }
     if !sparse_rows.is_empty() {
         let batch = SpikeMatrix::from_rows(&sparse_rows).map_err(CoreError::from)?;
-        let y = sparse_matmul_bias(weight, &batch, bias).map_err(CoreError::from)?;
+        let y = if record {
+            sparse_matmul_bias_exact(weight, &batch, bias).map_err(CoreError::from)?
+        } else {
+            sparse_matmul_bias(weight, &batch, bias).map_err(CoreError::from)?
+        };
         let yv = y.as_slice();
         for (s, &r) in sparse_pos.iter().enumerate() {
             block[r * out_n..(r + 1) * out_n].copy_from_slice(&yv[s * out_n..(s + 1) * out_n]);
         }
     }
+    let mut dense_x: Option<Tensor> = None;
     if !dense_pos.is_empty() {
-        let x = Tensor::from_vec(dense_data, &[dense_pos.len(), in_n]).map_err(CoreError::from)?;
+        let x = Tensor::from_vec(std::mem::take(&mut dense_data), &[dense_pos.len(), in_n])
+            .map_err(CoreError::from)?;
         let y = matmul_bt_bias(&x, weight, bias).map_err(CoreError::from)?;
         let yv = y.as_slice();
         for (d, &r) in dense_pos.iter().enumerate() {
             block[r * out_n..(r + 1) * out_n].copy_from_slice(&yv[d * out_n..(d + 1) * out_n]);
         }
+        if record {
+            dense_x = Some(x);
+        }
     }
-    Ok(block)
+    let mut rows = Vec::new();
+    if record {
+        let mut slots: Vec<Option<BatchTapeRow>> = (0..b).map(|_| None).collect();
+        for (events, r) in sparse_rows.into_iter().zip(sparse_pos) {
+            slots[r] = Some(BatchTapeRow::Events(events));
+        }
+        if let Some(x) = &dense_x {
+            let xv = x.as_slice();
+            for (d, r) in dense_pos.into_iter().enumerate() {
+                slots[r] = Some(BatchTapeRow::Dense(xv[d * in_n..(d + 1) * in_n].to_vec()));
+            }
+        }
+        rows = slots
+            .into_iter()
+            .map(|s| s.expect("every row partitioned"))
+            .collect();
+    }
+    Ok((block, rows))
 }
 
 /// Computes the `[B, Cout·OH·OW]` current block of a spiking conv
 /// layer: admitted rows scatter their events directly into the block
 /// through the shared stencil kernel, the rest run the dense conv.
+///
+/// The scatter conv already accumulates each output cell in the dense
+/// kernel's order, so the same kernels serve recorded steps; `record`
+/// only asks for the per-row tape inputs back (empty otherwise).
 fn conv_current_block(
     spec: &Conv2dSpec,
     weight: &Tensor,
@@ -392,7 +532,8 @@ fn conv_current_block(
     threshold: f32,
     plane: &BatchPlane,
     fallbacks: &FallbackCounter,
-) -> Result<(Vec<f32>, Vec<usize>)> {
+    record: bool,
+) -> Result<(Vec<f32>, Vec<usize>, Vec<BatchTapeRow>)> {
     if plane.dims.len() != 3 {
         return Err(CoreError::from(TensorError::RankMismatch {
             expected: 3,
@@ -426,11 +567,15 @@ fn conv_current_block(
     let n = spec.out_channels * oh * ow;
     let b = plane.batch;
     let mut block = vec![0.0f32; b * n];
+    let mut rows = Vec::with_capacity(if record { b } else { 0 });
     for r in 0..b {
         let slot = &mut block[r * n..(r + 1) * n];
         match plane.admit(r, threshold) {
             Some(events) => {
                 sparse::sparse_conv2d_into(&events, (h, w), weight, bias, spec, slot)?;
+                if record {
+                    rows.push(BatchTapeRow::Events(events));
+                }
             }
             None => {
                 if threshold > 0.0 {
@@ -439,26 +584,36 @@ fn conv_current_block(
                 let t = plane.dense_row(r)?;
                 let out = conv::conv2d(&t, weight, bias, spec)?;
                 slot.copy_from_slice(out.as_slice());
+                if record {
+                    rows.push(BatchTapeRow::Dense(t.as_slice().to_vec()));
+                }
             }
         }
     }
-    Ok((block, vec![spec.out_channels, oh, ow]))
+    Ok((block, vec![spec.out_channels, oh, ow], rows))
 }
 
 /// Pools every row of the plane (max or avg), keeping the per-sample
 /// gate semantics: rows admitted by the density gate pool on events,
 /// the rest on the dense kernels.
+///
+/// Recorded steps match the per-sample recorded path: always the dense
+/// kernels (max pooling needs its argmax tape, which the event kernel
+/// does not produce), no gate and no fallback accounting. Max-pool
+/// argmax rows are returned when `record` is set.
 fn pool_plane(
     plane: BatchPlane,
     window: usize,
     threshold: f32,
     max: bool,
     fallbacks: &FallbackCounter,
-) -> Result<BatchPlane> {
-    let gate_ok = plane.dims.len() == 3;
+    record: bool,
+) -> Result<(BatchPlane, Vec<Vec<usize>>)> {
+    let gate_ok = !record && plane.dims.len() == 3;
     let b = plane.batch;
     let mut out = Vec::new();
     let mut out_dims = Vec::new();
+    let mut argmax_rows = Vec::with_capacity(if record && max { b } else { 0 });
     for r in 0..b {
         let pooled = match gate_ok.then(|| plane.admit(r, threshold)).flatten() {
             Some(events) => {
@@ -474,7 +629,11 @@ fn pool_plane(
                 }
                 let t = plane.dense_row(r)?;
                 if max {
-                    conv::max_pool2d(&t, window)?.output
+                    let pooled = conv::max_pool2d(&t, window)?;
+                    if record {
+                        argmax_rows.push(pooled.argmax);
+                    }
+                    pooled.output
                 } else {
                     conv::avg_pool2d(&t, window)?
                 }
@@ -486,11 +645,145 @@ fn pool_plane(
         }
         out.extend_from_slice(pooled.as_slice());
     }
-    Ok(BatchPlane {
-        dims: out_dims,
-        batch: b,
-        data: PlaneData::Stacked(out),
-    })
+    Ok((
+        BatchPlane {
+            dims: out_dims,
+            batch: b,
+            data: PlaneData::Stacked(out),
+        },
+        argmax_rows,
+    ))
+}
+
+/// Input-gradient propagation of a linear layer for the whole batch:
+/// `GI = G · W` via one transposed GEMM that streams the weight matrix
+/// **once** per layer per time step instead of once per row. Per
+/// output cell the accumulation runs over the output dimension
+/// ascending — the same order as a per-row
+/// [`axsnn_tensor::linalg::matvec_t`], so rows stay value-identical to
+/// the per-sample backward.
+fn linear_input_grads(weight: &Tensor, gv: Vec<f32>, b: usize, n: usize) -> Result<Vec<f32>> {
+    let g_t = linalg::transpose(&Tensor::from_vec(gv, &[b, n])?)?;
+    let gi = linalg::matmul_at(&g_t, weight).map_err(CoreError::from)?;
+    Ok(gi.as_slice().to_vec())
+}
+
+/// One layer's reverse step over the whole batch block: consumes the
+/// `[B, n_out]` gradient block, accumulates parameter gradients row by
+/// row (ascending `b`, so sparse- and dense-tape accumulation orders
+/// coincide), and returns the `[B, n_in]` gradient block.
+fn backward_batch_layer(
+    layer: &mut Layer,
+    step: &BatchTapeStep,
+    g_block: Vec<f32>,
+    b: usize,
+    carry: &mut Vec<f32>,
+) -> Result<Vec<f32>> {
+    let mismatch = || CoreError::Config {
+        message: "batch tape entry does not match its layer".into(),
+    };
+    match (layer, step) {
+        (Layer::SpikingConv2d(l), BatchTapeStep::SpikingConv { rows, in_dims, pre }) => {
+            if carry.len() != pre.len() {
+                *carry = vec![0.0; pre.len()];
+            }
+            let gv = surrogate_carry_grad(&g_block, pre, carry, &l.lif_params);
+            let (h, w) = (in_dims[1], in_dims[2]);
+            let (oh, ow) = l.spec.output_hw(h, w);
+            let n = l.spec.out_channels * oh * ow;
+            let in_len: usize = in_dims.iter().product();
+            let mut gi_block = vec![0.0f32; b * in_len];
+            for r in 0..b {
+                let gcur = Tensor::from_vec(
+                    gv[r * n..(r + 1) * n].to_vec(),
+                    &[l.spec.out_channels, oh, ow],
+                )?;
+                let grads = match &rows[r] {
+                    BatchTapeRow::Events(events) => sparse::sparse_conv2d_backward(
+                        events,
+                        (h, w),
+                        &l.weight.value,
+                        &gcur,
+                        &l.spec,
+                    )?,
+                    BatchTapeRow::Dense(data) => {
+                        let input = Tensor::from_vec(data.clone(), in_dims)?;
+                        conv::conv2d_backward(&input, &l.weight.value, &gcur, &l.spec)?
+                    }
+                };
+                acc_grad(&mut l.weight.grad, &grads.weight);
+                acc_grad(&mut l.bias.grad, &grads.bias);
+                gi_block[r * in_len..(r + 1) * in_len].copy_from_slice(grads.input.as_slice());
+            }
+            Ok(gi_block)
+        }
+        (Layer::SpikingLinear(l), BatchTapeStep::SpikingLinear { rows, pre }) => {
+            if carry.len() != pre.len() {
+                *carry = vec![0.0; pre.len()];
+            }
+            let gv = surrogate_carry_grad(&g_block, pre, carry, &l.lif_params);
+            let n = pre.len() / b;
+            let in_len = l.weight.value.shape().dims()[1];
+            for r in 0..b {
+                let gvt = Tensor::from_vec(gv[r * n..(r + 1) * n].to_vec(), &[n])?;
+                match &rows[r] {
+                    BatchTapeRow::Events(events) => {
+                        sparse::sparse_outer_acc(&mut l.weight.grad, &gvt, events)?
+                    }
+                    BatchTapeRow::Dense(data) => {
+                        let x = Tensor::from_vec(data.clone(), &[in_len])?;
+                        linalg::outer_acc(&mut l.weight.grad, &gvt, &x)?
+                    }
+                }
+                acc_grad(&mut l.bias.grad, &gvt);
+            }
+            linear_input_grads(&l.weight.value, gv, b, n)
+        }
+        (Layer::OutputLinear(l), BatchTapeStep::Output { rows }) => {
+            let n = g_block.len() / b;
+            let in_len = l.weight.value.shape().dims()[1];
+            for r in 0..b {
+                let g_row = Tensor::from_vec(g_block[r * n..(r + 1) * n].to_vec(), &[n])?;
+                match &rows[r] {
+                    BatchTapeRow::Events(events) => {
+                        sparse::sparse_outer_acc(&mut l.weight.grad, &g_row, events)?
+                    }
+                    BatchTapeRow::Dense(data) => {
+                        let x = Tensor::from_vec(data.clone(), &[in_len])?;
+                        linalg::outer_acc(&mut l.weight.grad, &g_row, &x)?
+                    }
+                }
+                acc_grad(&mut l.bias.grad, &g_row);
+            }
+            linear_input_grads(&l.weight.value, g_block, b, n)
+        }
+        (Layer::AvgPool2d(l), BatchTapeStep::AvgPool { in_dims }) => {
+            let n = g_block.len() / b;
+            let (c, oh, ow) = (in_dims[0], in_dims[1] / l.window, in_dims[2] / l.window);
+            let in_len: usize = in_dims.iter().product();
+            let mut gi_block = vec![0.0f32; b * in_len];
+            for r in 0..b {
+                let g_row = Tensor::from_vec(g_block[r * n..(r + 1) * n].to_vec(), &[c, oh, ow])?;
+                let gi = conv::avg_pool2d_backward(&g_row, in_dims, l.window)?;
+                gi_block[r * in_len..(r + 1) * in_len].copy_from_slice(gi.as_slice());
+            }
+            Ok(gi_block)
+        }
+        (Layer::MaxPool2d(l), BatchTapeStep::MaxPool { in_dims, argmax }) => {
+            let n = g_block.len() / b;
+            let (c, oh, ow) = (in_dims[0], in_dims[1] / l.window, in_dims[2] / l.window);
+            let in_len: usize = in_dims.iter().product();
+            let mut gi_block = vec![0.0f32; b * in_len];
+            for r in 0..b {
+                let g_row = Tensor::from_vec(g_block[r * n..(r + 1) * n].to_vec(), &[c, oh, ow])?;
+                let gi = conv::max_pool2d_backward(&g_row, &argmax[r], in_dims)?;
+                gi_block[r * in_len..(r + 1) * in_len].copy_from_slice(gi.as_slice());
+            }
+            Ok(gi_block)
+        }
+        (Layer::Flatten(_) | Layer::Dropout(_), BatchTapeStep::Identity) => Ok(g_block),
+        _ => Err(mismatch()),
+    }
 }
 
 impl SpikingNetwork {
@@ -518,6 +811,37 @@ impl SpikingNetwork {
     /// mismatched frame trains, or a network with active train-mode
     /// dropout; propagates layer shape errors.
     pub fn forward_batch(&mut self, trains: &[FrameTrain]) -> Result<BatchForwardOutput> {
+        Ok(self.forward_batch_inner(trains, false)?.0)
+    }
+
+    /// [`SpikingNetwork::forward_batch`] with BPTT recording: returns
+    /// the batch output plus the [`BatchTape`] that
+    /// [`SpikingNetwork::backward_batch`] consumes.
+    ///
+    /// Recorded steps make the same per-row density-gate decision as
+    /// the per-sample recorded forward and run the exact-order sparse
+    /// kernels, so row `b` of the logits — and the gradients the tape
+    /// later produces — equal the per-sample recorded pass on
+    /// `trains[b]` (see the module docs; the only difference from the
+    /// per-sample *minibatch* gradient is the f32 summation order
+    /// across samples).
+    ///
+    /// # Errors
+    ///
+    /// As [`SpikingNetwork::forward_batch`].
+    pub fn forward_batch_recorded(
+        &mut self,
+        trains: &[FrameTrain],
+    ) -> Result<(BatchForwardOutput, BatchTape)> {
+        let (out, tape) = self.forward_batch_inner(trains, true)?;
+        Ok((out, tape.expect("recorded pass always produces a tape")))
+    }
+
+    fn forward_batch_inner(
+        &mut self,
+        trains: &[FrameTrain],
+        record: bool,
+    ) -> Result<(BatchForwardOutput, Option<BatchTape>)> {
         let first = trains.first().ok_or_else(|| CoreError::Config {
             message: "forward_batch needs at least one sample".into(),
         })?;
@@ -553,6 +877,8 @@ impl SpikingNetwork {
         let mut states: Vec<Option<BatchedLifState>> = vec![None; depth];
         let mut logits: Option<Vec<f32>> = None;
         let mut classes = 0usize;
+        let mut tape_steps: Vec<Vec<BatchTapeStep>> =
+            Vec::with_capacity(if record { time_steps } else { 0 });
 
         for t in 0..time_steps {
             let mut plane = BatchPlane {
@@ -569,23 +895,33 @@ impl SpikingNetwork {
                 ),
             };
             let mut spiking_idx = 0usize;
+            let mut step_tape: Vec<BatchTapeStep> =
+                Vec::with_capacity(if record { depth } else { 0 });
             for (li, layer) in self.layers_mut().iter_mut().enumerate() {
                 match layer {
                     Layer::SpikingConv2d(l) => {
-                        let (current, out_dims) = conv_current_block(
+                        let in_dims = plane.dims.clone();
+                        let (current, out_dims, rows) = conv_current_block(
                             &l.spec,
                             &l.weight.value,
                             &l.bias.value,
                             l.sparse_threshold,
                             &plane,
                             &l.dense_fallbacks,
+                            record,
                         )?;
                         let n = current.len() / b;
                         let state = match &mut states[li] {
                             Some(s) if s.batch() == b && s.neurons() == n => s,
                             slot => slot.insert(BatchedLifState::new(b, n, l.lif_params)),
                         };
-                        let spikes = state.step(&current);
+                        let spikes = if record {
+                            let (spikes, pre) = state.step_recorded(&current);
+                            step_tape.push(BatchTapeStep::SpikingConv { rows, in_dims, pre });
+                            spikes
+                        } else {
+                            state.step(&current)
+                        };
                         spikes_per_layer[spiking_idx] += spikes.iter().sum::<f32>();
                         spiking_idx += 1;
                         plane = BatchPlane {
@@ -595,19 +931,26 @@ impl SpikingNetwork {
                         };
                     }
                     Layer::SpikingLinear(l) => {
-                        let current = linear_current_block(
+                        let (current, rows) = linear_current_block(
                             &l.weight.value,
                             &l.bias.value,
                             l.sparse_threshold,
                             &plane,
                             &l.dense_fallbacks,
+                            record,
                         )?;
                         let n = current.len() / b;
                         let state = match &mut states[li] {
                             Some(s) if s.batch() == b && s.neurons() == n => s,
                             slot => slot.insert(BatchedLifState::new(b, n, l.lif_params)),
                         };
-                        let spikes = state.step(&current);
+                        let spikes = if record {
+                            let (spikes, pre) = state.step_recorded(&current);
+                            step_tape.push(BatchTapeStep::SpikingLinear { rows, pre });
+                            spikes
+                        } else {
+                            state.step(&current)
+                        };
                         spikes_per_layer[spiking_idx] += spikes.iter().sum::<f32>();
                         spiking_idx += 1;
                         plane = BatchPlane {
@@ -617,13 +960,17 @@ impl SpikingNetwork {
                         };
                     }
                     Layer::OutputLinear(l) => {
-                        let block = linear_current_block(
+                        let (block, rows) = linear_current_block(
                             &l.weight.value,
                             &l.bias.value,
                             l.sparse_threshold,
                             &plane,
                             &l.dense_fallbacks,
+                            record,
                         )?;
+                        if record {
+                            step_tape.push(BatchTapeStep::Output { rows });
+                        }
                         let n = block.len() / b;
                         plane = BatchPlane {
                             dims: vec![n],
@@ -632,25 +979,40 @@ impl SpikingNetwork {
                         };
                     }
                     Layer::AvgPool2d(l) => {
-                        plane = pool_plane(
+                        let in_dims = plane.dims.clone();
+                        let (pooled, _) = pool_plane(
                             plane,
                             l.window,
                             l.sparse_threshold,
                             false,
                             &l.dense_fallbacks,
+                            record,
                         )?;
+                        if record {
+                            step_tape.push(BatchTapeStep::AvgPool { in_dims });
+                        }
+                        plane = pooled;
                     }
                     Layer::MaxPool2d(l) => {
-                        plane = pool_plane(
+                        let in_dims = plane.dims.clone();
+                        let (pooled, argmax) = pool_plane(
                             plane,
                             l.window,
                             l.sparse_threshold,
                             true,
                             &l.dense_fallbacks,
+                            record,
                         )?;
+                        if record {
+                            step_tape.push(BatchTapeStep::MaxPool { in_dims, argmax });
+                        }
+                        plane = pooled;
                     }
                     Layer::Flatten(_) => {
                         let len = plane.volume();
+                        if record {
+                            step_tape.push(BatchTapeStep::Identity);
+                        }
                         if let PlaneData::Rows(rows) = &mut plane.data {
                             for row in rows.iter_mut() {
                                 if let PlaneRow::Dense(t) = row {
@@ -663,8 +1025,14 @@ impl SpikingNetwork {
                     Layer::Dropout(_) => {
                         // Inference dropout is the identity (train-mode
                         // dropout was rejected above).
+                        if record {
+                            step_tape.push(BatchTapeStep::Identity);
+                        }
                     }
                 }
+            }
+            if record {
+                tape_steps.push(step_tape);
             }
             // Accumulate the readout plane into the logits, in the same
             // ascending-t elementwise order as the per-sample forward.
@@ -695,11 +1063,72 @@ impl SpikingNetwork {
             &[b, classes],
         )
         .map_err(CoreError::from)?;
-        Ok(BatchForwardOutput {
-            logits,
-            spikes_per_layer,
+        let tape = record.then_some(BatchTape {
+            batch: b,
             time_steps,
-        })
+            classes,
+            steps: tape_steps,
+        });
+        Ok((
+            BatchForwardOutput {
+                logits,
+                spikes_per_layer,
+                time_steps,
+            },
+            tape,
+        ))
+    }
+
+    /// BPTT backward pass over a recorded batch tape: injects
+    /// `grad_logits` (`[B, classes]`, one row per sample — the logits
+    /// are a sum over time, so each row is injected at every step) and
+    /// accumulates parameter gradients for the whole minibatch in one
+    /// reverse-time sweep.
+    ///
+    /// Weight gradients of rows taped in event form accumulate through
+    /// the event-masked kernels ([`axsnn_tensor::sparse::sparse_outer_acc`],
+    /// [`axsnn_tensor::sparse::sparse_conv2d_backward`]); dense rows use
+    /// the dense kernels. Parameter gradients *accumulate* across calls
+    /// exactly like [`SpikingNetwork::backward`] — call
+    /// [`SpikingNetwork::zero_grads`] between minibatches.
+    ///
+    /// Frame gradients are not materialized (training updates do not
+    /// need them); white-box attacks keep using the per-sample
+    /// [`SpikingNetwork::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] when `grad_logits` does not match
+    /// the tape's `[B, classes]`, or the tape does not match the
+    /// network's layer stack.
+    pub fn backward_batch(&mut self, tape: &BatchTape, grad_logits: &Tensor) -> Result<()> {
+        let b = tape.batch;
+        if grad_logits.shape().dims() != [b, tape.classes] {
+            return Err(CoreError::Config {
+                message: format!(
+                    "backward_batch grad shape {:?} != [{}, {}]",
+                    grad_logits.shape().dims(),
+                    b,
+                    tape.classes
+                ),
+            });
+        }
+        let depth = self.depth();
+        if tape.steps.len() != tape.time_steps || tape.steps.iter().any(|s| s.len() != depth) {
+            return Err(CoreError::Config {
+                message: "batch tape does not match the network's layer stack".into(),
+            });
+        }
+        // Per-layer membrane carries, `[B, n]`, fresh for this sweep.
+        let mut carries: Vec<Vec<f32>> = vec![Vec::new(); depth];
+        for t in (0..tape.time_steps).rev() {
+            let mut g_block: Vec<f32> = grad_logits.as_slice().to_vec();
+            for (li, layer) in self.layers_mut().iter_mut().enumerate().rev() {
+                let step = &tape.steps[t][li];
+                g_block = backward_batch_layer(layer, step, g_block, b, &mut carries[li])?;
+            }
+        }
+        Ok(())
     }
 
     /// Classifies a batch of encoded frame trains through one fused

@@ -13,6 +13,28 @@
 //! The backward recurrence uses the *detached-reset* convention: the
 //! hard reset's dependence on the spike is treated as a constant, and the
 //! membrane carry is `∂v[t+1]/∂v[t] = leak · (1 − s[t])`.
+//!
+//! # Event-form BPTT tape
+//!
+//! Recorded steps run the same density gate as inference: a binary
+//! input frame at or below the layer's sparse threshold is stored on
+//! the tape as a [`SpikeVector`] instead of a dense tensor, the forward
+//! current is computed with the *exact-order* sparse kernels
+//! ([`sparse::sparse_matvec_bias_exact`], [`sparse::sparse_conv2d`])
+//! whose per-element accumulation order matches the dense kernels, and
+//! the backward pass accumulates weight gradients event-drively
+//! ([`sparse::sparse_outer_acc`], [`sparse::sparse_conv2d_backward`]).
+//! The result: training cost scales with spike activity like inference
+//! does, while every gradient stays the same `f32` value the dense tape
+//! produces — at any density, including 100% (the dense kernels'
+//! contributions from inactive inputs are exact zeros). Frames that
+//! fail the gate (analog currents, dense or non-binary activity) fall
+//! back to the dense kernels and a dense tape entry, exactly like the
+//! forward path, and count on [`Layer::dense_fallback_count`].
+//!
+//! The tape stores no spike vectors for the outputs: the emitted spike
+//! pattern is recomputed in the backward pass as
+//! `pre_membrane ≥ V_th`, which is exactly the forward firing rule.
 
 use crate::lif::{LifParams, LifState};
 use crate::network::SnnConfig;
@@ -109,12 +131,24 @@ impl FallbackCounter {
     }
 }
 
+/// An input frame recorded on the BPTT tape: event form when the
+/// density gate admitted it, dense otherwise.
+#[derive(Debug, Clone)]
+pub(crate) enum TapeInput {
+    /// Binary frame at or below the sparse threshold, as its events.
+    Events(SpikeVector),
+    /// Analog or gate-rejected frame (flattened for linear layers).
+    Dense(Tensor),
+}
+
 /// Per-step tape entry for a spiking synaptic layer.
+///
+/// Spikes are not stored: the backward pass recomputes them from the
+/// pre-reset membrane as `pre ≥ V_th`, the forward firing rule.
 #[derive(Debug, Clone)]
 struct SpikeTape {
-    input: Tensor,
+    input: TapeInput,
     pre_membrane: Vec<f32>,
-    spikes: Vec<f32>,
 }
 
 /// Spiking 2-D convolution layer (`[Cin,H,W] → [Cout,OH,OW]` spikes).
@@ -159,7 +193,7 @@ pub struct OutputLinear {
     pub weight: Param,
     /// Bias `[Out]`.
     pub bias: Param,
-    inputs: Vec<Tensor>,
+    inputs: Vec<TapeInput>,
     pub(crate) sparse_threshold: f32,
     pub(crate) dense_fallbacks: FallbackCounter,
 }
@@ -199,6 +233,44 @@ pub struct Dropout {
     /// Whether dropout is active (training) or identity (inference).
     pub train_mode: bool,
     mask: Option<Vec<f32>>,
+}
+
+/// The shared LIF backward recurrence: combines the incoming spike
+/// gradient with the membrane carry into the current gradient
+/// `g[i] = gs[i]·σ'(v[i]) + carry[i]·leak·(1 − s[i])`, recomputing the
+/// spike `s[i]` from the taped pre-reset membrane (`v ≥ V_th`), and
+/// updates the carry in place.
+///
+/// Where the neuron spiked the detached-reset carry term is
+/// `carry·leak·0`, an exact zero, so dropping it leaves the same `f32`
+/// value the fully-expanded dense formula produced.
+pub(crate) fn surrogate_carry_grad(
+    grad_spikes: &[f32],
+    pre_membrane: &[f32],
+    carry: &mut [f32],
+    params: &LifParams,
+) -> Vec<f32> {
+    let leak = params.leak;
+    let mut gv = vec![0.0f32; pre_membrane.len()];
+    for (i, g) in gv.iter_mut().enumerate() {
+        let surrogate = grad_spikes[i] * params.surrogate_grad(pre_membrane[i]);
+        *g = if pre_membrane[i] >= params.threshold {
+            surrogate
+        } else {
+            surrogate + carry[i] * leak
+        };
+    }
+    carry.copy_from_slice(&gv);
+    gv
+}
+
+/// In-place gradient accumulation `acc += delta` — the per-step
+/// parameter-gradient update without a temporary tensor per call.
+pub(crate) fn acc_grad(acc: &mut Tensor, delta: &Tensor) {
+    debug_assert_eq!(acc.len(), delta.len());
+    for (a, &d) in acc.as_mut_slice().iter_mut().zip(delta.as_slice()) {
+        *a += d;
+    }
 }
 
 /// A layer of a [`crate::network::SpikingNetwork`].
@@ -535,10 +607,11 @@ impl Layer {
             Layer::SpikingConv2d(l) => {
                 let idims = input.shape().dims();
                 // Event-driven fast path: binary sparse frames skip the
-                // dense window sweep. Recorded (training) steps always
-                // take the dense kernel so the BPTT tape and its
-                // numerics are unchanged.
-                let sparse_input = if record || idims.len() != 3 || idims[0] != l.spec.in_channels {
+                // dense window sweep. The scatter conv accumulates each
+                // output cell in the dense kernel's order, so recorded
+                // (training) steps take it too and store the event-form
+                // tape — same `f32` currents as the dense tape.
+                let sparse_input = if idims.len() != 3 || idims[0] != l.spec.in_channels {
                     None
                 } else {
                     let events = SpikeVector::from_dense_if_sparse(input, l.sparse_threshold);
@@ -572,17 +645,17 @@ impl Layer {
                         l.carry = vec![0.0; current.len()];
                     }
                     l.tape.push(SpikeTape {
-                        input: input.clone(),
+                        input: match sparse_input {
+                            Some(events) => TapeInput::Events(events),
+                            None => TapeInput::Dense(input.clone()),
+                        },
                         pre_membrane: out.pre_reset_membrane,
-                        spikes: out.spikes.clone(),
                     });
                 }
                 Tensor::from_vec(out.spikes, &dims).map_err(CoreError::from)
             }
             Layer::SpikingLinear(l) => {
-                let sparse_input = if record {
-                    None
-                } else {
+                let sparse_input = {
                     let events = SpikeVector::from_dense_if_sparse(input, l.sparse_threshold);
                     if events.is_none() && l.sparse_threshold > 0.0 {
                         l.dense_fallbacks.bump();
@@ -590,6 +663,13 @@ impl Layer {
                     events
                 };
                 let (current, flat) = match &sparse_input {
+                    // Recorded steps use the exact-order gather so the
+                    // event tape's currents equal the dense tape's;
+                    // inference keeps the faster 4-wide kernel.
+                    Some(events) if record => (
+                        sparse::sparse_matvec_bias_exact(&l.weight.value, events, &l.bias.value)?,
+                        None,
+                    ),
                     Some(events) => (
                         sparse::sparse_matvec_bias(&l.weight.value, events, &l.bias.value)?,
                         None,
@@ -608,39 +688,50 @@ impl Layer {
                 l.last_spikes = Some(out.spikes.iter().sum());
                 if record {
                     l.tape.push(SpikeTape {
-                        input: flat.expect("recorded steps always take the dense path"),
+                        input: match sparse_input {
+                            Some(events) => TapeInput::Events(events),
+                            None => TapeInput::Dense(
+                                flat.expect("gate-rejected steps materialize the flat input"),
+                            ),
+                        },
                         pre_membrane: out.pre_reset_membrane,
-                        spikes: out.spikes.clone(),
                     });
                 }
                 let n = out.spikes.len();
                 Tensor::from_vec(out.spikes, &[n]).map_err(CoreError::from)
             }
             Layer::OutputLinear(l) => {
-                if !record {
-                    match SpikeVector::from_dense_if_sparse(input, l.sparse_threshold) {
-                        Some(events) => {
-                            return sparse::sparse_matvec_bias(
-                                &l.weight.value,
-                                &events,
-                                &l.bias.value,
-                            )
-                            .map_err(CoreError::from);
+                let events = SpikeVector::from_dense_if_sparse(input, l.sparse_threshold);
+                if events.is_none() && l.sparse_threshold > 0.0 {
+                    l.dense_fallbacks.bump();
+                }
+                match events {
+                    Some(events) if !record => {
+                        sparse::sparse_matvec_bias(&l.weight.value, &events, &l.bias.value)
+                            .map_err(CoreError::from)
+                    }
+                    Some(events) => {
+                        let out = sparse::sparse_matvec_bias_exact(
+                            &l.weight.value,
+                            &events,
+                            &l.bias.value,
+                        )?;
+                        l.inputs.push(TapeInput::Events(events));
+                        Ok(out)
+                    }
+                    None => {
+                        let flat = if input.shape().rank() == 1 {
+                            input.clone()
+                        } else {
+                            input.reshape(&[input.len()])?
+                        };
+                        let out = linalg::matvec(&l.weight.value, &flat)?.add(&l.bias.value)?;
+                        if record {
+                            l.inputs.push(TapeInput::Dense(flat));
                         }
-                        None if l.sparse_threshold > 0.0 => l.dense_fallbacks.bump(),
-                        None => {}
+                        Ok(out)
                     }
                 }
-                let flat = if input.shape().rank() == 1 {
-                    input.clone()
-                } else {
-                    input.reshape(&[input.len()])?
-                };
-                let out = linalg::matvec(&l.weight.value, &flat)?.add(&l.bias.value)?;
-                if record {
-                    l.inputs.push(flat);
-                }
-                Ok(out)
             }
             Layer::AvgPool2d(l) => {
                 l.input_dims = input.shape().dims().to_vec();
@@ -722,50 +813,65 @@ impl Layer {
         match self {
             Layer::SpikingConv2d(l) => {
                 let tape = l.tape.get(t).ok_or(CoreError::NoRecordedForward)?;
-                if l.carry.len() != tape.spikes.len() {
-                    l.carry = vec![0.0; tape.spikes.len()];
+                if l.carry.len() != tape.pre_membrane.len() {
+                    l.carry = vec![0.0; tape.pre_membrane.len()];
                 }
-                let leak = l.lif_params.leak;
-                let mut gv = vec![0.0f32; tape.spikes.len()];
-                for (i, g) in gv.iter_mut().enumerate() {
-                    let gs = grad_out.as_slice()[i];
-                    *g = gs * l.lif_params.surrogate_grad(tape.pre_membrane[i])
-                        + l.carry[i] * leak * (1.0 - tape.spikes[i]);
-                }
-                l.carry.copy_from_slice(&gv);
+                let gv = surrogate_carry_grad(
+                    grad_out.as_slice(),
+                    &tape.pre_membrane,
+                    &mut l.carry,
+                    &l.lif_params,
+                );
                 let (h, w) = l.input_hw.ok_or(CoreError::NoRecordedForward)?;
                 let (oh, ow) = l.spec.output_hw(h, w);
                 let gcur = Tensor::from_vec(gv, &[l.spec.out_channels, oh, ow])?;
-                let grads = conv::conv2d_backward(&tape.input, &l.weight.value, &gcur, &l.spec)?;
-                l.weight.grad = l.weight.grad.add(&grads.weight)?;
-                l.bias.grad = l.bias.grad.add(&grads.bias)?;
+                let grads = match &tape.input {
+                    TapeInput::Events(events) => sparse::sparse_conv2d_backward(
+                        events,
+                        (h, w),
+                        &l.weight.value,
+                        &gcur,
+                        &l.spec,
+                    )?,
+                    TapeInput::Dense(input) => {
+                        conv::conv2d_backward(input, &l.weight.value, &gcur, &l.spec)?
+                    }
+                };
+                acc_grad(&mut l.weight.grad, &grads.weight);
+                acc_grad(&mut l.bias.grad, &grads.bias);
                 Ok(grads.input)
             }
             Layer::SpikingLinear(l) => {
                 let tape = l.tape.get(t).ok_or(CoreError::NoRecordedForward)?;
-                let leak = l.lif_params.leak;
-                let mut gv = vec![0.0f32; tape.spikes.len()];
-                for (i, g) in gv.iter_mut().enumerate() {
-                    let gs = grad_out.as_slice()[i];
-                    *g = gs * l.lif_params.surrogate_grad(tape.pre_membrane[i])
-                        + l.carry[i] * leak * (1.0 - tape.spikes[i]);
-                }
-                l.carry.copy_from_slice(&gv);
+                let gv = surrogate_carry_grad(
+                    grad_out.as_slice(),
+                    &tape.pre_membrane,
+                    &mut l.carry,
+                    &l.lif_params,
+                );
                 let n = gv.len();
                 let gvt = Tensor::from_vec(gv, &[n])?;
-                let gw = linalg::outer(&gvt, &tape.input)?;
-                l.weight.grad = l.weight.grad.add(&gw)?;
-                l.bias.grad = l.bias.grad.add(&gvt)?;
-                let wt = linalg::transpose(&l.weight.value)?;
-                linalg::matvec(&wt, &gvt).map_err(CoreError::from)
+                match &tape.input {
+                    TapeInput::Events(events) => {
+                        sparse::sparse_outer_acc(&mut l.weight.grad, &gvt, events)?
+                    }
+                    TapeInput::Dense(input) => linalg::outer_acc(&mut l.weight.grad, &gvt, input)?,
+                }
+                acc_grad(&mut l.bias.grad, &gvt);
+                linalg::matvec_t(&l.weight.value, &gvt).map_err(CoreError::from)
             }
             Layer::OutputLinear(l) => {
                 let input = l.inputs.get(t).ok_or(CoreError::NoRecordedForward)?;
-                let gw = linalg::outer(grad_out, input)?;
-                l.weight.grad = l.weight.grad.add(&gw)?;
-                l.bias.grad = l.bias.grad.add(grad_out)?;
-                let wt = linalg::transpose(&l.weight.value)?;
-                linalg::matvec(&wt, grad_out).map_err(CoreError::from)
+                match input {
+                    TapeInput::Events(events) => {
+                        sparse::sparse_outer_acc(&mut l.weight.grad, grad_out, events)?
+                    }
+                    TapeInput::Dense(input) => {
+                        linalg::outer_acc(&mut l.weight.grad, grad_out, input)?
+                    }
+                }
+                acc_grad(&mut l.bias.grad, grad_out);
+                linalg::matvec_t(&l.weight.value, grad_out).map_err(CoreError::from)
             }
             Layer::AvgPool2d(l) => {
                 if l.input_dims.is_empty() {
@@ -842,9 +948,11 @@ impl Layer {
         }
     }
 
-    /// Sets the spike-density threshold below which this layer's forward
-    /// pass takes the event-driven sparse kernels on non-recorded steps
-    /// (`0.0` forces the dense path; no-op for flatten/dropout layers).
+    /// Sets the spike-density threshold below which this layer's
+    /// forward pass takes the event-driven sparse kernels — and, for
+    /// recorded steps of conv/linear/readout layers, records the
+    /// event-form BPTT tape (`0.0` forces the dense path and a dense
+    /// tape everywhere; no-op for flatten/dropout layers).
     pub fn set_sparse_threshold(&mut self, threshold: f32) {
         match self {
             Layer::SpikingConv2d(l) => l.sparse_threshold = threshold,
@@ -856,13 +964,16 @@ impl Layer {
         }
     }
 
-    /// Cumulative count of *dense-fallback conversions*: inference
-    /// steps where this layer wanted the event-driven sparse path
-    /// (threshold above zero) but the gate declined — because the frame
-    /// was non-binary (e.g. de-binarized by an upstream average pool)
-    /// or denser than the threshold. Makes the silent sparse→dense
-    /// degradation observable; in the fused batched path each declined
-    /// batch *row* counts once, matching the per-sample unit.
+    /// Cumulative count of *dense-fallback conversions*: forward steps
+    /// (inference **and** recorded training steps, which gate onto the
+    /// event-form tape the same way) where this layer wanted the
+    /// event-driven sparse path (threshold above zero) but the gate
+    /// declined — because the frame was non-binary (e.g. an analog
+    /// direct-current encoding, or de-binarized by an upstream average
+    /// pool) or denser than the threshold. Makes the silent
+    /// sparse→dense degradation observable; in the fused batched path
+    /// each declined batch *row* counts once, matching the per-sample
+    /// unit.
     ///
     /// Returns `None` for layers without a sparse path. The counter is
     /// shared across clones of the layer (the sharded batch evaluators

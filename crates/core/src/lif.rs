@@ -303,6 +303,44 @@ impl BatchedLifState {
         }
         spikes
     }
+
+    /// [`BatchedLifState::step`] that additionally returns the
+    /// pre-reset membrane block `[B, n]` — what the surrogate gradient
+    /// is evaluated at, so the recorded batch forward can tape it.
+    ///
+    /// The dynamics per element are identical to [`BatchedLifState::step`];
+    /// the spike block can be recovered from the returned membranes as
+    /// `pre ≥ V_th`.
+    ///
+    /// # Panics
+    ///
+    /// As [`BatchedLifState::step`].
+    pub fn step_recorded(&mut self, current: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        assert_eq!(
+            current.len(),
+            self.membrane.len(),
+            "batched synaptic current size {} != B*n = {}",
+            current.len(),
+            self.membrane.len()
+        );
+        let mut spikes = vec![0.0f32; self.membrane.len()];
+        let mut pre = vec![0.0f32; self.membrane.len()];
+        for (((v, &i), s), p) in self
+            .membrane
+            .iter_mut()
+            .zip(current)
+            .zip(spikes.iter_mut())
+            .zip(pre.iter_mut())
+        {
+            *v = self.params.leak * *v + i;
+            *p = *v;
+            if *v >= self.params.threshold {
+                *s = 1.0;
+                *v = 0.0;
+            }
+        }
+        (spikes, pre)
+    }
 }
 
 /// Applies the Heaviside spike function to a whole tensor of membrane

@@ -340,7 +340,11 @@ impl SpikingNetwork {
     /// Parameter gradients *accumulate* across calls so minibatches can
     /// sum per-sample gradients; call [`SpikingNetwork::zero_grads`]
     /// between batches. The membrane-carry state is freshly cleared by
-    /// the preceding [`SpikingNetwork::forward`].
+    /// the preceding [`SpikingNetwork::forward`]. Training code that
+    /// does not need the frame gradients should prefer the minibatched
+    /// [`SpikingNetwork::forward_batch_recorded`] /
+    /// [`SpikingNetwork::backward_batch`] pair, which runs the whole
+    /// batch through one reverse-time sweep.
     ///
     /// # Errors
     ///

@@ -1,8 +1,19 @@
 //! Training loops: surrogate-gradient BPTT for SNNs and plain backprop
 //! for the reference ANN (Algorithm 1's `trainAccurateSNN`).
+//!
+//! Both trainers consume minibatches through the batched engines:
+//! [`train_snn`] encodes each chunk into
+//! [`crate::fused::FrameTrain`]s and runs one recorded fused forward +
+//! one reverse-time [`SpikingNetwork::backward_batch`] per minibatch
+//! (event-form BPTT tape, sparse gradient kernels where the density
+//! gate admits), and [`train_ann`] runs the batched GEMM
+//! forward/backward of [`AnnNetwork::forward_backward_batch`]. Networks
+//! with active train-mode dropout fall back to the per-sample SNN path,
+//! whose per-sample mask streams the fused engine cannot reproduce.
 
 use crate::ann::AnnNetwork;
 use crate::encoding::Encoder;
+use crate::fused::FrameTrain;
 use crate::network::SpikingNetwork;
 use crate::{CoreError, Result};
 use axsnn_tensor::{ops, Tensor};
@@ -90,6 +101,16 @@ impl TrainReport {
 /// `data` is a slice of `(image, label)` pairs with intensities in
 /// `[0, 1]`.
 ///
+/// Each minibatch runs as **one** recorded fused batch forward
+/// ([`SpikingNetwork::forward_batch_recorded`]) and one reverse-time
+/// [`SpikingNetwork::backward_batch`], so the spike-plane GEMM engine
+/// and the event-form BPTT tape carry the activity-proportional cost
+/// model into training. Networks with active train-mode dropout take
+/// the per-sample recorded path instead (the fused engine cannot
+/// reproduce per-sample mask streams); encoder randomness is drawn in
+/// sample order either way, so the two paths see identical frames and
+/// differ only in the f32 summation order of the minibatch gradient.
+///
 /// # Errors
 ///
 /// Returns [`CoreError::Config`] for invalid hyper-parameters or empty
@@ -110,22 +131,60 @@ pub fn train_snn<R: Rng>(
     let mut order: Vec<usize> = (0..data.len()).collect();
     let mut report = TrainReport::default();
     net.set_train_mode(true);
+    let fused = !net.train_dropout_active();
     for epoch in 0..cfg.epochs {
         order.shuffle(rng);
         let mut loss_sum = 0.0f32;
         let mut correct = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
             net.zero_grads();
-            for &i in chunk {
-                let (image, label) = &data[i];
-                let frames = cfg.encoder.encode(image, time_steps, rng)?;
-                let out = net.forward(&frames, true, rng)?;
-                let (loss, grad) = ops::cross_entropy_with_grad(&out.logits, *label)?;
-                loss_sum += loss;
-                if out.logits.argmax() == Some(*label) {
-                    correct += 1;
+            let scale = 1.0 / chunk.len() as f32;
+            if fused {
+                let mut trains = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    trains.push(FrameTrain::encode(
+                        &data[i].0,
+                        cfg.encoder,
+                        time_steps,
+                        rng,
+                    )?);
                 }
-                net.backward(&grad.scale(1.0 / chunk.len() as f32), time_steps)?;
+                let (out, tape) = net.forward_batch_recorded(&trains)?;
+                let classes = out.logits.shape().dims()[1];
+                let logits = out.logits.as_slice();
+                let mut grad_block = vec![0.0f32; chunk.len() * classes];
+                for (r, &i) in chunk.iter().enumerate() {
+                    let label = data[i].1;
+                    let row = Tensor::from_vec(
+                        logits[r * classes..(r + 1) * classes].to_vec(),
+                        &[classes],
+                    )?;
+                    let (loss, grad) = ops::cross_entropy_with_grad(&row, label)?;
+                    loss_sum += loss;
+                    if row.argmax() == Some(label) {
+                        correct += 1;
+                    }
+                    for (slot, &g) in grad_block[r * classes..(r + 1) * classes]
+                        .iter_mut()
+                        .zip(grad.scale(scale).as_slice())
+                    {
+                        *slot = g;
+                    }
+                }
+                let grad_block = Tensor::from_vec(grad_block, &[chunk.len(), classes])?;
+                net.backward_batch(&tape, &grad_block)?;
+            } else {
+                for &i in chunk {
+                    let (image, label) = &data[i];
+                    let frames = cfg.encoder.encode(image, time_steps, rng)?;
+                    let out = net.forward(&frames, true, rng)?;
+                    let (loss, grad) = ops::cross_entropy_with_grad(&out.logits, *label)?;
+                    loss_sum += loss;
+                    if out.logits.argmax() == Some(*label) {
+                        correct += 1;
+                    }
+                    net.backward(&grad.scale(scale), time_steps)?;
+                }
             }
             net.apply_grads(cfg.learning_rate, cfg.momentum)?;
         }
@@ -162,6 +221,11 @@ pub fn evaluate_snn<R: Rng>(
 
 /// Trains the reference ANN in place with minibatch SGD.
 ///
+/// Each minibatch runs as one batched GEMM forward/backward
+/// ([`AnnNetwork::forward_backward_batch`]); for dropout-free networks
+/// the updates are bit-identical to the per-sample accumulation loop
+/// this replaces.
+///
 /// # Errors
 ///
 /// Returns [`CoreError::Config`] for invalid hyper-parameters or empty
@@ -186,32 +250,21 @@ pub fn train_ann<R: Rng>(
         let mut correct = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
             let scale = 1.0 / chunk.len() as f32;
-            let mut acc: Option<Vec<crate::ann::AnnLayerGrads>> = None;
-            for &i in chunk {
-                let (image, label) = &data[i];
-                let (logits, loss, back) = net.forward_backward(image, *label, true, rng)?;
+            let inputs: Vec<Tensor> = chunk.iter().map(|&i| data[i].0.clone()).collect();
+            let labels: Vec<usize> = chunk.iter().map(|&i| data[i].1).collect();
+            let out = net.forward_backward_batch(&inputs, &labels, true, rng)?;
+            // Per-sample accumulation keeps the reported mean loss
+            // bit-identical to the per-sample loop this replaced.
+            for &loss in &out.losses {
                 loss_sum += loss;
-                if logits.argmax() == Some(*label) {
-                    correct += 1;
-                }
-                acc = Some(match acc {
-                    None => back.layer_grads,
-                    Some(mut grads) => {
-                        for (a, b) in grads.iter_mut().zip(&back.layer_grads) {
-                            if let (Some(aw), Some(bw)) = (&mut a.weight, &b.weight) {
-                                *aw = aw.add(bw)?;
-                            }
-                            if let (Some(ab), Some(bb)) = (&mut a.bias, &b.bias) {
-                                *ab = ab.add(bb)?;
-                            }
-                        }
-                        grads
-                    }
-                });
             }
-            if let Some(grads) = acc {
-                net.apply_grads(&grads, cfg.learning_rate * scale)?;
-            }
+            correct += out
+                .predictions
+                .iter()
+                .zip(&labels)
+                .filter(|(p, l)| p == l)
+                .count();
+            net.apply_grads(&out.layer_grads, cfg.learning_rate * scale)?;
         }
         report.epochs.push(EpochReport {
             epoch,

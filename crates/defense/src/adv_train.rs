@@ -48,6 +48,13 @@ impl Default for AdvTrainConfig {
 /// Each selected sample is perturbed with one signed-gradient step of
 /// size ε against the *current* model before its gradient contributes to
 /// the update — the standard single-step adversarial-training recipe.
+/// Crafting stays per-sample (the FGSM step needs the current model's
+/// input gradient per image, in sample order so the RNG stream is
+/// unchanged); the *update* consumes the whole crafted minibatch
+/// through the batched GEMM trainer
+/// ([`AnnNetwork::forward_backward_batch`]), which for dropout-free
+/// networks is bit-identical to the per-sample accumulation loop it
+/// replaces.
 ///
 /// # Errors
 ///
@@ -77,11 +84,12 @@ pub fn adversarial_train_ann<R: Rng>(
         let mut correct = 0usize;
         for chunk in order.chunks(cfg.train.batch_size) {
             let scale = 1.0 / chunk.len() as f32;
-            let mut acc: Option<Vec<axsnn_core::ann::AnnLayerGrads>> = None;
+            // Craft the training inputs: FGSM on the current model for
+            // the adversarial share of the batch.
+            let mut inputs = Vec::with_capacity(chunk.len());
+            let mut labels = Vec::with_capacity(chunk.len());
             for &i in chunk {
                 let (clean, label) = &data[i];
-                // Craft the training input: FGSM on the current model for
-                // the adversarial share of the batch.
                 let input = if rng.gen::<f32>() < cfg.adversarial_fraction && cfg.epsilon > 0.0 {
                     let grad = net.input_gradient(clean, *label)?;
                     clean
@@ -91,29 +99,22 @@ pub fn adversarial_train_ann<R: Rng>(
                 } else {
                     clean.clone()
                 };
-                let (logits, loss, back) = net.forward_backward(&input, *label, true, rng)?;
+                inputs.push(input);
+                labels.push(*label);
+            }
+            let out = net.forward_backward_batch(&inputs, &labels, true, rng)?;
+            // Per-sample accumulation keeps the reported mean loss
+            // bit-identical to the per-sample loop this replaced.
+            for &loss in &out.losses {
                 loss_sum += loss;
-                if logits.argmax() == Some(*label) {
-                    correct += 1;
-                }
-                acc = Some(match acc {
-                    None => back.layer_grads,
-                    Some(mut grads) => {
-                        for (a, b) in grads.iter_mut().zip(&back.layer_grads) {
-                            if let (Some(aw), Some(bw)) = (&mut a.weight, &b.weight) {
-                                *aw = aw.add(bw).map_err(axsnn_core::CoreError::from)?;
-                            }
-                            if let (Some(ab), Some(bb)) = (&mut a.bias, &b.bias) {
-                                *ab = ab.add(bb).map_err(axsnn_core::CoreError::from)?;
-                            }
-                        }
-                        grads
-                    }
-                });
             }
-            if let Some(grads) = acc {
-                net.apply_grads(&grads, cfg.train.learning_rate * scale)?;
-            }
+            correct += out
+                .predictions
+                .iter()
+                .zip(&labels)
+                .filter(|(p, l)| p == l)
+                .count();
+            net.apply_grads(&out.layer_grads, cfg.train.learning_rate * scale)?;
         }
         report.epochs.push(EpochReport {
             epoch,

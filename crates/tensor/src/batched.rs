@@ -311,6 +311,49 @@ pub fn sparse_matmul_bias(w: &Tensor, x: &SpikeMatrix, bias: &Tensor) -> Result<
     Tensor::from_vec(out, &[x.rows(), m])
 }
 
+/// [`sparse_matmul_bias`] in the *dense accumulation order*: per output
+/// element a single accumulator gathers the row's active columns in
+/// ascending index order and the bias is added after the sum — the
+/// batched form of [`crate::sparse::sparse_matvec_bias_exact`].
+///
+/// Row `b` is the same `f32` value per element as the per-sample dense
+/// `matvec(w, row_b).add(bias)`, which is what lets the recorded
+/// (training) batch forward keep sparse-tape numerics interchangeable
+/// with the dense tape. The weight-row-outer loop keeps the GEMM
+/// amortization: each weight row streams once per batch, gathered
+/// against every row's index list while hot — only the 4-wide
+/// accumulator split of the inference kernel is given up.
+///
+/// # Errors
+///
+/// As [`sparse_matmul_bias`].
+pub fn sparse_matmul_bias_exact(w: &Tensor, x: &SpikeMatrix, bias: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_weight(w, x.cols(), "sparse_matmul_bias_exact")?;
+    if bias.len() != m {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![m, k],
+            rhs: bias.shape().dims().to_vec(),
+            op: "sparse_matmul_bias_exact",
+        });
+    }
+    let b = x.rows();
+    let wv = w.as_slice();
+    let bv = bias.as_slice();
+    let mut out = vec![0.0f32; b * m];
+    for o in 0..m {
+        let row = &wv[o * k..(o + 1) * k];
+        let bo = bv[o];
+        for r in 0..b {
+            let mut acc = 0.0f32;
+            for &j in x.row(r) {
+                acc += row[j as usize];
+            }
+            out[r * m + o] = acc + bo;
+        }
+    }
+    Tensor::from_vec(out, &[b, m])
+}
+
 /// Dense batched fallback `Y = X · Wᵀ + b` for analog (non-binary)
 /// planes: `x` is `[B, in]`, `w` is `[out, in]`, output `[B, out]`.
 ///
@@ -489,6 +532,39 @@ mod tests {
                 SpikeVector::from_dense(&Tensor::from_vec(data, &[n]).unwrap()).unwrap()
             })
             .collect()
+    }
+
+    #[test]
+    fn sparse_matmul_bias_exact_bitwise_matches_dense_rows() {
+        let w =
+            Tensor::from_vec((0..35).map(|i| (i as f32 * 0.29).sin()).collect(), &[5, 7]).unwrap();
+        let bias = Tensor::from_vec(vec![0.5, -1.0, 0.25, 2.0, -0.125], &[5]).unwrap();
+        // `every == 1` gives 100%-dense rows: the exact kernel must
+        // still be value-identical to the dense per-row path there.
+        for every in [1usize, 2, 3, 7] {
+            let rows = binary_rows(3, 7, every);
+            let batch = SpikeMatrix::from_rows(&rows).unwrap();
+            let y = sparse_matmul_bias_exact(&w, &batch, &bias).unwrap();
+            assert_eq!(y.shape().dims(), &[3, 5]);
+            for (r, row) in rows.iter().enumerate() {
+                let dense_row = row.to_dense(&[7]).unwrap();
+                let reference = linalg::matvec(&w, &dense_row).unwrap().add(&bias).unwrap();
+                assert_eq!(
+                    &y.as_slice()[r * 5..(r + 1) * 5],
+                    reference.as_slice(),
+                    "every {every} row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_matmul_bias_exact_shape_errors() {
+        let w = Tensor::zeros(&[3, 4]);
+        let batch = SpikeMatrix::from_rows(&binary_rows(2, 4, 2)).unwrap();
+        assert!(sparse_matmul_bias_exact(&w, &batch, &Tensor::zeros(&[2])).is_err());
+        let short = SpikeMatrix::from_rows(&binary_rows(2, 3, 2)).unwrap();
+        assert!(sparse_matmul_bias_exact(&w, &short, &Tensor::zeros(&[3])).is_err());
     }
 
     #[test]

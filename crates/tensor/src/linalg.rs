@@ -203,6 +203,92 @@ pub fn outer(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     Tensor::from_vec(out, &[m, n])
 }
 
+/// Transposed matrix–vector product `y = Aᵀ·x` without materializing
+/// the transpose: `y[j] = Σ_i a[i][j]·x[i]`.
+///
+/// Per output element the accumulation runs over `i` ascending with a
+/// single accumulator — exactly the order `matvec(&transpose(a), x)`
+/// produces — so results are bit-identical to the transpose-then-matvec
+/// path this replaces on the BPTT hot loop (one `[out,in]` transpose
+/// allocation per layer per time step).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`]
+/// when inputs are not a compatible matrix/vector pair.
+///
+/// # Example
+///
+/// ```
+/// use axsnn_tensor::{linalg, Tensor};
+///
+/// # fn main() -> axsnn_tensor::Result<()> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let x = Tensor::from_vec(vec![1.0, 1.0], &[2])?;
+/// assert_eq!(linalg::matvec_t(&a, &x)?.as_slice(), &[4.0, 6.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matvec_t(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    let (m, n) = check_rank2(a, "matvec_t")?;
+    if x.shape().rank() != 1 || x.len() != m {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.shape().dims().to_vec(),
+            rhs: x.shape().dims().to_vec(),
+            op: "matvec_t",
+        });
+    }
+    let av = a.as_slice();
+    let xv = x.as_slice();
+    let mut out = vec![0.0f32; n];
+    for (i, &xi) in xv.iter().enumerate() {
+        let row = &av[i * n..(i + 1) * n];
+        for (o, &w) in out.iter_mut().zip(row) {
+            *o += w * xi;
+        }
+    }
+    Tensor::from_vec(out, &[n])
+}
+
+/// In-place rank-1 accumulation `acc[i][j] += a[i]·b[j]` — the weight
+/// gradient update of a linear layer, without the two tensor
+/// allocations of `acc.add(&outer(a, b))`.
+///
+/// Each accumulator cell receives exactly one add of the identical
+/// product, so results are bit-identical to the allocate-then-add form.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-vector `a`/`b` and
+/// [`TensorError::ShapeMismatch`] when `acc` is not `[a.len, b.len]`.
+pub fn outer_acc(acc: &mut Tensor, a: &Tensor, b: &Tensor) -> Result<()> {
+    if a.shape().rank() != 1 || b.shape().rank() != 1 {
+        return Err(TensorError::RankMismatch {
+            expected: 1,
+            actual: a.shape().rank().max(b.shape().rank()),
+            op: "outer_acc",
+        });
+    }
+    let (m, n) = (a.len(), b.len());
+    if acc.shape().dims() != [m, n] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: acc.shape().dims().to_vec(),
+            rhs: vec![m, n],
+            op: "outer_acc",
+        });
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let accv = acc.as_mut_slice();
+    for (i, &ai) in av.iter().enumerate() {
+        let row = &mut accv[i * n..(i + 1) * n];
+        for (c, &bj) in row.iter_mut().zip(bv) {
+            *c += ai * bj;
+        }
+    }
+    Ok(())
+}
+
 /// Matrix–vector product `y = A·x` for a rank-2 `a` and rank-1 `x`.
 ///
 /// # Errors
@@ -307,6 +393,46 @@ mod tests {
         let o = outer(&a, &b).unwrap();
         assert_eq!(o.shape().dims(), &[2, 3]);
         assert_eq!(o.as_slice(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn matvec_t_bitwise_matches_transpose_matvec() {
+        let a = t(
+            (0..15).map(|i| (i as f32 * 0.73).sin() * 2.0).collect(),
+            &[3, 5],
+        );
+        let x = t(vec![0.5, -1.25, 2.0], &[3]);
+        let fast = matvec_t(&a, &x).unwrap();
+        let reference = matvec(&transpose(&a).unwrap(), &x).unwrap();
+        assert_eq!(fast.as_slice(), reference.as_slice());
+        assert_eq!(fast.shape().dims(), &[5]);
+    }
+
+    #[test]
+    fn matvec_t_rejects_bad_shapes() {
+        let a = t(vec![0.0; 6], &[2, 3]);
+        assert!(matvec_t(&a, &t(vec![0.0; 3], &[3])).is_err());
+        assert!(matvec_t(&t(vec![0.0; 2], &[2]), &t(vec![0.0; 2], &[2])).is_err());
+    }
+
+    #[test]
+    fn outer_acc_bitwise_matches_add_outer() {
+        let a = t(vec![1.5, -0.5], &[2]);
+        let b = t(vec![0.25, 2.0, -3.0], &[3]);
+        let mut acc = t(vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6], &[2, 3]);
+        let reference = acc.add(&outer(&a, &b).unwrap()).unwrap();
+        outer_acc(&mut acc, &a, &b).unwrap();
+        assert_eq!(acc.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn outer_acc_rejects_bad_shapes() {
+        let a = t(vec![1.0, 2.0], &[2]);
+        let b = t(vec![1.0], &[1]);
+        let mut wrong = Tensor::zeros(&[2, 2]);
+        assert!(outer_acc(&mut wrong, &a, &b).is_err());
+        let mut mat = Tensor::zeros(&[2, 1]);
+        assert!(outer_acc(&mut mat, &t(vec![0.0; 4], &[2, 2]), &b).is_err());
     }
 
     #[test]

@@ -330,6 +330,96 @@ pub fn sparse_matvec_bias(a: &Tensor, x: &SpikeVector, bias: &Tensor) -> Result<
     Tensor::from_vec(out, &[m])
 }
 
+/// [`sparse_matvec_bias`] in the *dense accumulation order*: a single
+/// accumulator per output row gathering the active columns in ascending
+/// index order, with the bias added **after** the sum.
+///
+/// For a binary frame the dense path `matvec(a, x).add(bias)` adds
+/// `a[i][j]·x[j]` over all `j` ascending — the inactive columns
+/// contribute exact zeros — and then adds the bias, so this kernel's
+/// result per element is the same `f32` value the dense kernels
+/// produce. The event-form BPTT tape uses it on recorded steps so the
+/// sparse training path stays numerically interchangeable with the
+/// dense tape at any density (the fast 4-wide [`sparse_matvec_bias`]
+/// reassociates its accumulators and is reserved for inference).
+///
+/// # Errors
+///
+/// As [`sparse_matvec_bias`].
+pub fn sparse_matvec_bias_exact(a: &Tensor, x: &SpikeVector, bias: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_matrix(a, x, "sparse_matvec_bias_exact")?;
+    if bias.len() != m {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![m, k],
+            rhs: bias.shape().dims().to_vec(),
+            op: "sparse_matvec_bias_exact",
+        });
+    }
+    let av = a.as_slice();
+    let bv = bias.as_slice();
+    let mut out = vec![0.0f32; m];
+    for (i, o) in out.iter_mut().enumerate() {
+        let row = &av[i * k..(i + 1) * k];
+        let mut acc = 0.0f32;
+        for &j in x.indices() {
+            acc += row[j as usize];
+        }
+        *o = acc + bv[i];
+    }
+    Tensor::from_vec(out, &[m])
+}
+
+/// Event-masked rank-1 gradient accumulation
+/// `acc[i][j] += g[i]` for every active column `j` — the sparse form of
+/// the linear-layer weight-gradient update `acc += g ⊗ x` for a binary
+/// `x`, touching `rows × nnz` cells instead of `rows × cols`.
+///
+/// The dense update adds `g[i]·x[j]`, which is `g[i]` exactly at active
+/// columns and an exact zero elsewhere, so each accumulator cell ends
+/// at the same `f32` value as the dense path.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix `acc` /
+/// non-vector `g` and [`TensorError::ShapeMismatch`] when `acc` is not
+/// `[g.len, x.len]`.
+pub fn sparse_outer_acc(acc: &mut Tensor, g: &Tensor, x: &SpikeVector) -> Result<()> {
+    if acc.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: acc.shape().rank(),
+            op: "sparse_outer_acc",
+        });
+    }
+    if g.shape().rank() != 1 {
+        return Err(TensorError::RankMismatch {
+            expected: 1,
+            actual: g.shape().rank(),
+            op: "sparse_outer_acc",
+        });
+    }
+    let (m, k) = (acc.shape().dims()[0], acc.shape().dims()[1]);
+    if g.len() != m || x.len() != k {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![m, k],
+            rhs: vec![g.len(), x.len()],
+            op: "sparse_outer_acc",
+        });
+    }
+    let gv = g.as_slice();
+    let accv = acc.as_mut_slice();
+    for (i, &gi) in gv.iter().enumerate() {
+        if gi == 0.0 {
+            continue;
+        }
+        let row = &mut accv[i * k..(i + 1) * k];
+        for &j in x.indices() {
+            row[j as usize] += gi;
+        }
+    }
+    Ok(())
+}
+
 fn check_conv_input(
     input: &SpikeVector,
     in_hw: (usize, usize),
@@ -571,6 +661,166 @@ pub fn sparse_max_pool2d(input: &SpikeVector, dims: &[usize], k: usize) -> Resul
         out[ch * oh * ow + (iy / k) * ow + ix / k] = 1.0;
     }
     Tensor::from_vec(out, &[c, oh, ow])
+}
+
+/// Gathers one event's gradient stencil from the output planes into the
+/// weight gradient: `gw[oc·wstride + wbase] += g[oc·ohw + obase]` for
+/// every output channel, unrolled 4-wide — the transpose of
+/// [`scatter_stencil`]. Each weight cell receives exactly one add per
+/// (event, kernel-offset) pair, so the unroll reorders nothing.
+#[inline]
+fn gather_stencil(
+    gw: &mut [f32],
+    gv: &[f32],
+    out_channels: usize,
+    ohw: usize,
+    wstride: usize,
+    obase: usize,
+    wbase: usize,
+) {
+    let mut oc = 0usize;
+    while oc + 4 <= out_channels {
+        gw[oc * wstride + wbase] += gv[oc * ohw + obase];
+        gw[(oc + 1) * wstride + wbase] += gv[(oc + 1) * ohw + obase];
+        gw[(oc + 2) * wstride + wbase] += gv[(oc + 2) * ohw + obase];
+        gw[(oc + 3) * wstride + wbase] += gv[(oc + 3) * ohw + obase];
+        oc += 4;
+    }
+    while oc < out_channels {
+        gw[oc * wstride + wbase] += gv[oc * ohw + obase];
+        oc += 1;
+    }
+}
+
+/// Event-masked backward pass of a 2-D convolution over a *binary*
+/// input recorded in event form: computes the same three gradients as
+/// [`crate::conv::conv2d_backward`] with the weight gradient driven by
+/// the input events instead of the full dense input.
+///
+/// * **Weight gradient** — each active input spike gathers the output
+///   gradients its stencil touched (`nnz × Cout × K²` accumulates
+///   instead of `Cout·OH·OW·Cin·K²`). Per weight cell the contributions
+///   arrive in the same ascending `(oy, ox)` order as the dense
+///   backward, and the dense path's inactive-input contributions are
+///   exact zeros, so each cell ends at the same `f32` value.
+/// * **Input and bias gradients** — computed with the dense backward's
+///   own loop structure (they are dense quantities: every input
+///   position needs its gradient for the upstream layer), bit-identical
+///   to [`crate::conv::conv2d_backward`].
+///
+/// # Errors
+///
+/// As [`sparse_conv2d`], plus [`TensorError::ShapeMismatch`] when
+/// `grad_out` does not have the forward output shape.
+pub fn sparse_conv2d_backward(
+    input: &SpikeVector,
+    in_hw: (usize, usize),
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: &Conv2dSpec,
+) -> Result<crate::conv::Conv2dGrads> {
+    check_conv_input(input, in_hw, weight, spec)?;
+    let (h, w) = in_hw;
+    let (oh, ow) = spec.output_hw(h, w);
+    if grad_out.shape().dims() != [spec.out_channels, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_out.shape().dims().to_vec(),
+            rhs: vec![spec.out_channels, oh, ow],
+            op: "sparse_conv2d_backward grad_out",
+        });
+    }
+    let k = spec.kernel;
+    let ohw = oh * ow;
+    let wstride = spec.in_channels * k * k;
+    let wv = weight.as_slice();
+    let gv = grad_out.as_slice();
+    let mut gi = vec![0.0f32; spec.in_channels * h * w];
+    let mut gw = vec![0.0f32; spec.out_channels * wstride];
+    let mut gb = vec![0.0f32; spec.out_channels];
+
+    // Input + bias gradients: the dense backward's exact loop (minus
+    // the weight-gradient update), so both stay bit-identical to
+    // `conv2d_backward`.
+    for oc in 0..spec.out_channels {
+        let wbase_oc = oc * wstride;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let g = gv[oc * ohw + oy * ow + ox];
+                if g == 0.0 {
+                    continue;
+                }
+                gb[oc] += g;
+                let iy0 = (oy * spec.stride) as isize - spec.padding as isize;
+                let ix0 = (ox * spec.stride) as isize - spec.padding as isize;
+                for ic in 0..spec.in_channels {
+                    let ibase = ic * h * w;
+                    let wbase = wbase_oc + ic * k * k;
+                    for ky in 0..k {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let irow = ibase + iy as usize * w;
+                        let wrow = wbase + ky * k;
+                        for kx in 0..k {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            gi[irow + ix as usize] += g * wv[wrow + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Weight gradient: event-driven, mirroring the scatter conv's
+    // coordinate arithmetic in gather direction.
+    for &flat in input.indices() {
+        let flat = flat as usize;
+        let ic = flat / (h * w);
+        let rem = flat % (h * w);
+        let iy = rem / w;
+        let ix = rem % w;
+        for ky in 0..k {
+            let oy_num = iy + spec.padding;
+            if oy_num < ky {
+                break;
+            }
+            let oy_off = oy_num - ky;
+            if !oy_off.is_multiple_of(spec.stride) {
+                continue;
+            }
+            let oy = oy_off / spec.stride;
+            if oy >= oh {
+                continue;
+            }
+            for kx in 0..k {
+                let ox_num = ix + spec.padding;
+                if ox_num < kx {
+                    break;
+                }
+                let ox_off = ox_num - kx;
+                if !ox_off.is_multiple_of(spec.stride) {
+                    continue;
+                }
+                let ox = ox_off / spec.stride;
+                if ox >= ow {
+                    continue;
+                }
+                let obase = oy * ow + ox;
+                let wbase = ic * k * k + ky * k + kx;
+                gather_stencil(&mut gw, gv, spec.out_channels, ohw, wstride, obase, wbase);
+            }
+        }
+    }
+
+    Ok(crate::conv::Conv2dGrads {
+        input: Tensor::from_vec(gi, &[spec.in_channels, h, w])?,
+        weight: Tensor::from_vec(gw, &[spec.out_channels, spec.in_channels, k, k])?,
+        bias: Tensor::from_vec(gb, &[spec.out_channels])?,
+    })
 }
 
 /// Reference scatter conv with the pre-unroll single-step `oc` loop,
@@ -862,6 +1112,144 @@ mod tests {
                 "out_channels {out_channels}"
             );
         }
+    }
+
+    #[test]
+    fn matvec_bias_exact_bitwise_matches_dense() {
+        // The exact-order kernel must reproduce the dense
+        // matvec-then-add-bias value per element, including at 100%
+        // density where every column is active.
+        let w =
+            Tensor::from_vec((0..28).map(|i| (i as f32 * 0.31).sin()).collect(), &[4, 7]).unwrap();
+        let b = Tensor::from_vec(vec![0.3, -0.7, 0.11, 1.9], &[4]).unwrap();
+        for every in [1usize, 2, 3, 7] {
+            let x = binary_frame(7, every);
+            let s = SpikeVector::from_dense(&x).unwrap();
+            let exact = sparse_matvec_bias_exact(&w, &s, &b).unwrap();
+            let dense = linalg::matvec(&w, &x).unwrap().add(&b).unwrap();
+            assert_eq!(exact.as_slice(), dense.as_slice(), "every {every}");
+        }
+    }
+
+    #[test]
+    fn matvec_bias_exact_shape_errors() {
+        let w = Tensor::zeros(&[3, 4]);
+        let s = SpikeVector::new(vec![0], 5).unwrap();
+        assert!(sparse_matvec_bias_exact(&w, &s, &Tensor::zeros(&[3])).is_err());
+        let s4 = SpikeVector::new(vec![0], 4).unwrap();
+        assert!(sparse_matvec_bias_exact(&w, &s4, &Tensor::zeros(&[2])).is_err());
+    }
+
+    #[test]
+    fn sparse_outer_acc_matches_dense_outer() {
+        let g = Tensor::from_vec(vec![1.5, 0.0, -2.25], &[3]).unwrap();
+        for every in [1usize, 2, 5] {
+            let x = binary_frame(5, every);
+            let s = SpikeVector::from_dense(&x).unwrap();
+            let mut acc =
+                Tensor::from_vec((0..15).map(|i| i as f32 * 0.1).collect(), &[3, 5]).unwrap();
+            let reference = acc.add(&linalg::outer(&g, &x).unwrap()).unwrap();
+            sparse_outer_acc(&mut acc, &g, &s).unwrap();
+            assert_eq!(acc.as_slice(), reference.as_slice(), "every {every}");
+        }
+    }
+
+    #[test]
+    fn sparse_outer_acc_shape_errors() {
+        let g = Tensor::zeros(&[3]);
+        let s = SpikeVector::new(vec![0], 5).unwrap();
+        let mut wrong_rows = Tensor::zeros(&[2, 5]);
+        assert!(sparse_outer_acc(&mut wrong_rows, &g, &s).is_err());
+        let mut wrong_cols = Tensor::zeros(&[3, 4]);
+        assert!(sparse_outer_acc(&mut wrong_cols, &g, &s).is_err());
+        let mut vec_acc = Tensor::zeros(&[15]);
+        assert!(sparse_outer_acc(&mut vec_acc, &g, &s).is_err());
+        let mut ok = Tensor::zeros(&[3, 5]);
+        assert!(sparse_outer_acc(&mut ok, &Tensor::zeros(&[2, 2]), &s).is_err());
+    }
+
+    #[test]
+    fn conv_backward_matches_dense_all_geometries() {
+        use crate::conv::conv2d_backward;
+        for &(stride, padding, every) in &[
+            (1usize, 0usize, 3usize),
+            (1, 1, 2),
+            (2, 0, 4),
+            (2, 1, 3),
+            (1, 2, 1), // 100% density: every input position active
+        ] {
+            let spec = Conv2dSpec {
+                in_channels: 2,
+                out_channels: 5,
+                kernel: 3,
+                stride,
+                padding,
+            };
+            let (h, w) = (6, 5);
+            let input_data: Vec<f32> = (0..2 * h * w)
+                .map(|i| if i % every == 0 { 1.0 } else { 0.0 })
+                .collect();
+            let input = Tensor::from_vec(input_data, &[2, h, w]).unwrap();
+            let events = SpikeVector::from_dense(&input).unwrap();
+            let weight = Tensor::from_vec(
+                (0..5 * 2 * 9).map(|i| (i as f32 * 0.77).cos()).collect(),
+                &[5, 2, 3, 3],
+            )
+            .unwrap();
+            let (oh, ow) = spec.output_hw(h, w);
+            let grad_out = Tensor::from_vec(
+                (0..5 * oh * ow).map(|i| (i as f32 * 0.41).sin()).collect(),
+                &[5, oh, ow],
+            )
+            .unwrap();
+            let dense = conv2d_backward(&input, &weight, &grad_out, &spec).unwrap();
+            let sparse =
+                sparse_conv2d_backward(&events, (h, w), &weight, &grad_out, &spec).unwrap();
+            assert_eq!(
+                sparse.input.as_slice(),
+                dense.input.as_slice(),
+                "stride {stride} pad {padding} every {every}: input grad"
+            );
+            assert_eq!(
+                sparse.bias.as_slice(),
+                dense.bias.as_slice(),
+                "stride {stride} pad {padding} every {every}: bias grad"
+            );
+            assert_eq!(
+                sparse.weight.as_slice(),
+                dense.weight.as_slice(),
+                "stride {stride} pad {padding} every {every}: weight grad"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_backward_validation() {
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 3,
+            stride: 1,
+            padding: 0,
+        };
+        let events = SpikeVector::new(vec![], 16).unwrap();
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        // Wrong grad_out shape.
+        assert!(
+            sparse_conv2d_backward(&events, (4, 4), &w, &Tensor::zeros(&[1, 3, 3]), &spec).is_err()
+        );
+        assert!(
+            sparse_conv2d_backward(&events, (4, 4), &w, &Tensor::zeros(&[1, 2, 2]), &spec).is_ok()
+        );
+        // Wrong weight shape.
+        assert!(sparse_conv2d_backward(
+            &events,
+            (4, 4),
+            &Tensor::ones(&[1, 1, 2, 2]),
+            &Tensor::zeros(&[1, 2, 2]),
+            &spec
+        )
+        .is_err());
     }
 
     #[test]
