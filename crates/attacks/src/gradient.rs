@@ -345,6 +345,7 @@ mod tests {
                 momentum: 0.0,
                 batch_size: 8,
                 encoder: axsnn_core::encoding::Encoder::DirectCurrent,
+                ..TrainConfig::default()
             },
             rng,
         )

@@ -83,6 +83,7 @@ fn bench_training_step(c: &mut Criterion) {
         momentum: 0.9,
         batch_size: 8,
         encoder: Encoder::DirectCurrent,
+        ..TrainConfig::default()
     };
     c.bench_function("surrogate_bptt_epoch_8samples_T8", |b| {
         b.iter(|| {

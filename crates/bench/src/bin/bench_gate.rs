@@ -1,0 +1,63 @@
+//! Consolidated bench-trajectory gate: loads `BENCH_*.json` artifacts,
+//! validates their schema and fails when any gated speedup regressed
+//! below its documented floor (one table for every floor — see
+//! `axsnn_bench::gates`).
+//!
+//! Usage: `cargo run --release -p axsnn-bench --bin bench_gate
+//! [files...]` — with no arguments, every default artifact present in
+//! the working directory is checked (and at least one must exist).
+
+use axsnn_bench::gates::check_bench_file;
+
+const DEFAULT_FILES: [&str; 4] = [
+    "BENCH_sparse.json",
+    "BENCH_batch.json",
+    "BENCH_train.json",
+    "BENCH_backward.json",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files: Vec<String> = if args.is_empty() {
+        DEFAULT_FILES
+            .iter()
+            .filter(|f| std::path::Path::new(f).exists())
+            .map(|f| f.to_string())
+            .collect()
+    } else {
+        args
+    };
+    if files.is_empty() {
+        eprintln!("bench_gate: no BENCH_*.json artifacts found");
+        std::process::exit(1);
+    }
+
+    let mut failed = false;
+    for file in &files {
+        match check_bench_file(file) {
+            Ok(report) => {
+                for note in &report.notes {
+                    println!("note: {note}");
+                }
+                for failure in &report.failures {
+                    eprintln!("FAIL: {failure}");
+                }
+                if report.failures.is_empty() {
+                    println!(
+                        "{file}: ok — {} records, {} gated, all floors hold",
+                        report.total, report.gated
+                    );
+                } else {
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -24,6 +24,7 @@ use axsnn::core::layer::Layer;
 use axsnn::core::network::{SnnConfig, SpikingNetwork};
 use axsnn::tensor::conv::Conv2dSpec;
 use axsnn::tensor::Tensor;
+use axsnn_bench::json::{write_bench_json, BenchRow};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -317,57 +318,29 @@ fn main() {
         "{:<32} {:>8} {:>16} {:>14} {:>9}",
         "benchmark", "density", "dense-tape ns", "sparse ns", "speedup"
     );
-    let mut json = String::from("[\n");
-    for (i, r) in records.iter().enumerate() {
-        println!(
-            "{:<32} {:>7.0}% {:>16.0} {:>14.0} {:>8.2}x",
-            r.name,
-            r.density * 100.0,
-            r.dense_ns,
-            r.sparse_ns,
-            r.speedup()
-        );
-        let sep = if i + 1 == records.len() { "" } else { "," };
-        json.push_str(&format!(
-            "  {{\"name\": \"{}\", \"density\": {:.2}, \"time_steps\": {TIME_STEPS}, \"dense_tape_ns\": {:.0}, \"sparse_tape_ns\": {:.0}, \"speedup\": {:.3}}}{sep}\n",
-            r.name, r.density, r.dense_ns, r.sparse_ns, r.speedup()
-        ));
-    }
-    json.push_str("]\n");
-    std::fs::write(&out_path, json).expect("write benchmark JSON");
-    println!("\nwrote {out_path}");
-
-    // CI gate: at ≤10% spike density the sparse tape must be at least
-    // 2× the dense tape per training step on the weight-bound records
-    // (MLP per-sample tape and the minibatched trainer). The conv
-    // record is informational with a no-regression floor: conv weights
-    // are cache-resident, so the event tape saves less there, but must
-    // never lose.
-    let mut failing: Vec<String> = Vec::new();
-    for r in &records {
-        if (r.name.starts_with("mlp_tape") || r.name.starts_with("mlp_minibatch"))
-            && r.density <= 0.10
-            && r.speedup() < 2.0
-        {
-            failing.push(format!(
-                "{} @ {:.0}%: {:.2}x < 2x",
+    let rows: Vec<BenchRow> = records
+        .iter()
+        .map(|r| {
+            println!(
+                "{:<32} {:>7.0}% {:>16.0} {:>14.0} {:>8.2}x",
                 r.name,
                 r.density * 100.0,
+                r.dense_ns,
+                r.sparse_ns,
                 r.speedup()
-            ));
-        }
-        if r.name.starts_with("conv_tape") && r.speedup() < 0.9 {
-            failing.push(format!(
-                "{}: sparse tape regressed conv, {:.2}x < 0.9x",
-                r.name,
-                r.speedup()
-            ));
-        }
-    }
-    if failing.is_empty() {
-        println!("speedup gate passed: sparse tape ≥ 2x dense tape at ≤10% density, conv ≥ 0.9x");
-    } else {
-        eprintln!("speedup gate FAILED: {failing:?}");
-        std::process::exit(1);
-    }
+            );
+            BenchRow::new()
+                .str("name", &r.name)
+                .num("density", r.density as f64, 2)
+                .num("time_steps", TIME_STEPS as f64, 0)
+                .num("dense_tape_ns", r.dense_ns, 0)
+                .num("sparse_tape_ns", r.sparse_ns, 0)
+                .num("speedup", r.speedup(), 3)
+        })
+        .collect();
+    write_bench_json(&out_path, &rows).expect("write benchmark JSON");
+    // The sparse-tape ≥2×-at-≤10%-density and conv ≥0.9× floors live in
+    // the consolidated gate (`bench_gate`, documented in
+    // `axsnn_bench::gates`).
+    println!("\nwrote {out_path} (floors enforced by bench_gate)");
 }

@@ -1,0 +1,434 @@
+//! Consolidated perf-trajectory floors for the `BENCH_*.json` artifacts.
+//!
+//! PRs 1–4 each added a smoke benchmark whose speedup ratios CI gates;
+//! the floors used to live as copy-pasted asserts inside each binary.
+//! This module is now the **single place** they are documented and
+//! enforced: the bench binaries only *emit* records, and the
+//! `bench_gate` binary loads the emitted files, validates their schema,
+//! and fails when any gated ratio regressed below its floor.
+//!
+//! The floors, by artifact:
+//!
+//! * `BENCH_sparse.json` — event-driven kernels ≥ **2×** dense at ≤10%
+//!   spike density (full-network `network_*` records are
+//!   informational).
+//! * `BENCH_batch.json` — spike-plane GEMM (`linear_*`) and the fused
+//!   batch-32 MLP forward ≥ **2×** sequential, the MLP forward
+//!   additionally ≥ **3×**; `convnet_*` never loses (≥ **0.9×** —
+//!   conv weights are cache-resident, there is nothing to amortize).
+//! * `BENCH_train.json` — sparse BPTT tape ≥ **2×** the dense tape at
+//!   ≤10% density on the weight-bound records (`mlp_tape_*`,
+//!   `mlp_minibatch_*`); `conv_tape_*` ≥ **0.9×**.
+//! * `BENCH_backward.json` — the parallel minibatch backward
+//!   (`mlp_parallel_backward_*`) ≥ **2×** sequential at 4 threads,
+//!   enforced only when the runner's `hardware_threads` covers the
+//!   measured thread count (a 1-core box cannot show parallel speedup —
+//!   the gate reports a skip note instead); the thresholded
+//!   input-gradient kernel (`matvec_t_thresholded_*`) ≥ **2×** dense at
+//!   ≤10% surviving coefficients; its `eps = 0` exact mode
+//!   (`matvec_t_eps0_*`) never regresses dense below **0.9×**.
+//!   `conv_parallel_backward_*` is informational.
+//!
+//! Renaming or dropping a gated record cannot silently disarm a floor:
+//! every artifact kind declares the record families it must contain,
+//! and a file missing one of them — or gating nothing at all — fails.
+
+use crate::json::{self, Json};
+
+/// Outcome of gating one bench artifact.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// Records that carried an enforced floor.
+    pub gated: usize,
+    /// Records present in the file.
+    pub total: usize,
+    /// Floor violations and schema errors (non-empty ⇒ the gate fails).
+    pub failures: Vec<String>,
+    /// Informational notes (e.g. hardware-skipped gates).
+    pub notes: Vec<String>,
+}
+
+fn num(rec: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    rec.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{ctx}: missing numeric field \"{key}\""))
+}
+
+fn name_of(rec: &Json, ctx: &str) -> Result<String, String> {
+    rec.get("name")
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("{ctx}: missing string field \"name\""))
+}
+
+fn require_fields(rec: &Json, fields: &[&str], ctx: &str, failures: &mut Vec<String>) {
+    for key in fields {
+        if let Err(e) = num(rec, key, ctx) {
+            failures.push(e);
+        }
+    }
+}
+
+/// Validates one `BENCH_*.json` artifact against its schema and floors.
+/// The artifact kind is inferred from the file name
+/// (`sparse`/`batch`/`train`/`backward`).
+///
+/// # Errors
+///
+/// Returns a message when the file cannot be read or parsed, or its
+/// kind is unknown; floor violations are reported through
+/// [`GateReport::failures`] instead.
+pub fn check_bench_file(path: &str) -> Result<GateReport, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read ({e})"))?;
+    let doc = json::parse(&src).map_err(|e| format!("{path}: invalid JSON ({e})"))?;
+    let records = doc
+        .as_array()
+        .ok_or_else(|| format!("{path}: expected a top-level array"))?;
+    // Infer the kind from the file *name* only — directory components
+    // like an artifact folder named "bench_batch/" must not win.
+    let file_name = std::path::Path::new(path)
+        .file_name()
+        .and_then(|f| f.to_str())
+        .unwrap_or(path);
+    let kind = ["sparse", "batch", "train", "backward"]
+        .into_iter()
+        .find(|k| file_name.contains(k))
+        .ok_or_else(|| format!("{path}: unknown bench artifact kind"))?;
+
+    let mut report = GateReport {
+        total: records.len(),
+        ..GateReport::default()
+    };
+    if records.is_empty() {
+        report.failures.push(format!("{path}: no records"));
+        return Ok(report);
+    }
+    // Each artifact must carry the record families its floors anchor
+    // on — emitter/gate name drift fails loudly instead of silently
+    // un-gating a ratio.
+    let expected: &[&str] = match kind {
+        "sparse" => &["linear_"],
+        "batch" => &["linear_", "mlp_forward", "convnet"],
+        "train" => &["mlp_tape", "mlp_minibatch", "conv_tape"],
+        "backward" => &[
+            "mlp_parallel_backward",
+            "matvec_t_thresholded",
+            "matvec_t_eps0",
+        ],
+        _ => &[],
+    };
+    for prefix in expected {
+        let present = records.iter().any(|r| {
+            r.get("name")
+                .and_then(Json::as_str)
+                .is_some_and(|n| n.starts_with(prefix))
+        });
+        if !present {
+            report.failures.push(format!(
+                "{path}: missing expected record family \"{prefix}*\""
+            ));
+        }
+    }
+    for (i, rec) in records.iter().enumerate() {
+        let ctx = format!("{path}[{i}]");
+        let name = match name_of(rec, &ctx) {
+            Ok(n) => n,
+            Err(e) => {
+                report.failures.push(e);
+                continue;
+            }
+        };
+        let ctx = format!("{path}: {name}");
+        let fail = |report: &mut GateReport, ratio: f64, floor: f64, what: &str| {
+            report
+                .failures
+                .push(format!("{ctx}: {what} {ratio:.2}x < {floor}x"));
+        };
+        match kind {
+            "sparse" => {
+                require_fields(
+                    rec,
+                    &["density", "dense_ns", "sparse_ns", "speedup"],
+                    &ctx,
+                    &mut report.failures,
+                );
+                let density = num(rec, "density", &ctx).unwrap_or(1.0);
+                let speedup = num(rec, "speedup", &ctx).unwrap_or(0.0);
+                if density <= 0.10 && !name.starts_with("network_") {
+                    report.gated += 1;
+                    if speedup < 2.0 {
+                        fail(&mut report, speedup, 2.0, "sparse kernel");
+                    }
+                }
+            }
+            "batch" => {
+                require_fields(
+                    rec,
+                    &["density", "sequential_ns", "fused_ns", "speedup"],
+                    &ctx,
+                    &mut report.failures,
+                );
+                let speedup = num(rec, "speedup", &ctx).unwrap_or(0.0);
+                if name.starts_with("linear_") || name.starts_with("mlp_forward") {
+                    report.gated += 1;
+                    if speedup < 2.0 {
+                        fail(&mut report, speedup, 2.0, "fused batch");
+                    }
+                }
+                if name.starts_with("mlp_forward") && speedup < 3.0 {
+                    fail(&mut report, speedup, 3.0, "fused MLP forward");
+                }
+                if name.starts_with("convnet") {
+                    report.gated += 1;
+                    if speedup < 0.9 {
+                        fail(&mut report, speedup, 0.9, "fused conv no-regression");
+                    }
+                }
+            }
+            "train" => {
+                require_fields(
+                    rec,
+                    &["density", "dense_tape_ns", "sparse_tape_ns", "speedup"],
+                    &ctx,
+                    &mut report.failures,
+                );
+                let density = num(rec, "density", &ctx).unwrap_or(1.0);
+                let speedup = num(rec, "speedup", &ctx).unwrap_or(0.0);
+                if (name.starts_with("mlp_tape") || name.starts_with("mlp_minibatch"))
+                    && density <= 0.10
+                {
+                    report.gated += 1;
+                    if speedup < 2.0 {
+                        fail(&mut report, speedup, 2.0, "sparse tape");
+                    }
+                }
+                if name.starts_with("conv_tape") {
+                    report.gated += 1;
+                    if speedup < 0.9 {
+                        fail(&mut report, speedup, 0.9, "conv tape no-regression");
+                    }
+                }
+            }
+            "backward" => {
+                let speedup = num(rec, "speedup", &ctx).unwrap_or(0.0);
+                if name.starts_with("mlp_parallel_backward")
+                    || name.starts_with("conv_parallel_backward")
+                {
+                    require_fields(
+                        rec,
+                        &[
+                            "threads",
+                            "hardware_threads",
+                            "sequential_ns",
+                            "parallel_ns",
+                            "speedup",
+                        ],
+                        &ctx,
+                        &mut report.failures,
+                    );
+                    let threads = num(rec, "threads", &ctx).unwrap_or(0.0);
+                    let hardware = num(rec, "hardware_threads", &ctx).unwrap_or(0.0);
+                    if name.starts_with("mlp_parallel_backward") {
+                        if hardware >= threads {
+                            report.gated += 1;
+                            if speedup < 2.0 {
+                                fail(&mut report, speedup, 2.0, "parallel backward");
+                            }
+                        } else {
+                            report.notes.push(format!(
+                                "{ctx}: parallel floor skipped — {hardware} hardware \
+                                 threads cannot show a {threads}-thread speedup"
+                            ));
+                        }
+                    }
+                } else if name.starts_with("matvec_t_thresholded") {
+                    require_fields(
+                        rec,
+                        &["active_fraction", "dense_ns", "thresholded_ns", "speedup"],
+                        &ctx,
+                        &mut report.failures,
+                    );
+                    let active = num(rec, "active_fraction", &ctx).unwrap_or(1.0);
+                    if active <= 0.10 {
+                        report.gated += 1;
+                        if speedup < 2.0 {
+                            fail(&mut report, speedup, 2.0, "thresholded matvec_t");
+                        }
+                    }
+                } else if name.starts_with("matvec_t_eps0") {
+                    require_fields(
+                        rec,
+                        &["dense_ns", "thresholded_ns", "speedup"],
+                        &ctx,
+                        &mut report.failures,
+                    );
+                    report.gated += 1;
+                    if speedup < 0.9 {
+                        fail(&mut report, speedup, 0.9, "eps=0 no-regression");
+                    }
+                }
+            }
+            _ => unreachable!("kind matched above"),
+        }
+    }
+    if report.gated == 0 {
+        report.failures.push(format!(
+            "{path}: no record carried an enforced floor — the gate would be vacuous"
+        ));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{write_bench_json, BenchRow};
+
+    fn tmp(name: &str, rows: &[BenchRow]) -> String {
+        let path = std::env::temp_dir().join(name);
+        let path = path.to_str().unwrap().to_string();
+        write_bench_json(&path, rows).unwrap();
+        path
+    }
+
+    fn matvec_rows() -> Vec<BenchRow> {
+        vec![
+            BenchRow::new()
+                .str("name", "matvec_t_thresholded_512x1568")
+                .num("active_fraction", 0.10, 2)
+                .num("dense_ns", 100.0, 0)
+                .num("thresholded_ns", 10.0, 0)
+                .num("speedup", 10.0, 3),
+            BenchRow::new()
+                .str("name", "matvec_t_eps0_512x1568")
+                .num("dense_ns", 100.0, 0)
+                .num("thresholded_ns", 100.0, 0)
+                .num("speedup", 1.0, 3),
+        ]
+    }
+
+    #[test]
+    fn sparse_floor_enforced() {
+        let path = tmp(
+            "axsnn_gate_sparse.json",
+            &[
+                BenchRow::new()
+                    .str("name", "linear_1568_to_256")
+                    .num("density", 0.05, 2)
+                    .num("dense_ns", 100.0, 0)
+                    .num("sparse_ns", 60.0, 0)
+                    .num("speedup", 1.67, 3),
+                BenchRow::new()
+                    .str("name", "network_forward")
+                    .num("density", 0.10, 2)
+                    .num("dense_ns", 100.0, 0)
+                    .num("sparse_ns", 90.0, 0)
+                    .num("speedup", 1.1, 3),
+            ],
+        );
+        let report = check_bench_file(&path).unwrap();
+        assert_eq!(report.gated, 1, "network_* records stay informational");
+        assert_eq!(report.failures.len(), 1);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn backward_parallel_floor_is_hardware_aware() {
+        let rows = |hardware: f64, speedup: f64| {
+            let mut rows = vec![BenchRow::new()
+                .str("name", "mlp_parallel_backward_B16_T8")
+                .num("threads", 4.0, 0)
+                .num("hardware_threads", hardware, 0)
+                .num("sequential_ns", 100.0, 0)
+                .num("parallel_ns", 100.0 / speedup, 0)
+                .num("speedup", speedup, 3)];
+            rows.extend(matvec_rows());
+            rows
+        };
+        // Enough cores + slow parallel path ⇒ failure.
+        let path = tmp("axsnn_gate_backward_a.json", &rows(8.0, 1.2));
+        let report = check_bench_file(&path).unwrap();
+        assert_eq!(report.failures.len(), 1);
+        let _ = std::fs::remove_file(path);
+        // One core ⇒ skip note, no failure.
+        let path = tmp("axsnn_gate_backward_b.json", &rows(1.0, 1.0));
+        let report = check_bench_file(&path).unwrap();
+        assert!(report.failures.is_empty());
+        assert_eq!(report.notes.len(), 1);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn kind_inferred_from_file_name_not_directory() {
+        // A backward artifact inside a directory named after another
+        // bench (the CI artifact-download layout) must classify as
+        // backward, not batch.
+        let dir = std::env::temp_dir().join("bench_batch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_backward.json");
+        let path = path.to_str().unwrap().to_string();
+        write_bench_json(&path, &matvec_rows()).unwrap();
+        let report = check_bench_file(&path).unwrap();
+        // Classified as backward: the matvec records gate cleanly, and
+        // the only complaint is the genuinely absent parallel family —
+        // never a batch-schema error.
+        assert_eq!(report.gated, 2);
+        assert!(
+            report
+                .failures
+                .iter()
+                .all(|f| f.contains("missing expected record family")),
+            "misclassified as batch: {:?}",
+            report.failures
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(dir);
+    }
+
+    #[test]
+    fn renamed_gated_record_fails_loudly() {
+        let path = tmp(
+            "axsnn_gate_backward_renamed.json",
+            &[BenchRow::new()
+                .str("name", "renamed_backward_record")
+                .num("speedup", 9.9, 3)],
+        );
+        let report = check_bench_file(&path).unwrap();
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|f| f.contains("missing expected record family")),
+            "renaming a gated record must fail: {:?}",
+            report.failures
+        );
+        assert!(
+            report.failures.iter().any(|f| f.contains("vacuous")),
+            "an artifact gating nothing must fail: {:?}",
+            report.failures
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn schema_violations_fail() {
+        let path = tmp(
+            "axsnn_gate_train.json",
+            &[BenchRow::new()
+                .str("name", "mlp_tape_step")
+                .num("speedup", 5.0, 3)],
+        );
+        let report = check_bench_file(&path).unwrap();
+        assert!(
+            report.failures.iter().any(|f| f.contains("density")),
+            "missing fields must be reported: {:?}",
+            report.failures
+        );
+        let _ = std::fs::remove_file(path);
+        assert!(check_bench_file("/nonexistent/BENCH_train.json").is_err());
+        let garbage = std::env::temp_dir().join("BENCH_sparse_garbage.json");
+        std::fs::write(&garbage, "not json").unwrap();
+        assert!(check_bench_file(garbage.to_str().unwrap()).is_err());
+        let _ = std::fs::remove_file(garbage);
+    }
+}

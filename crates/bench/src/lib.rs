@@ -15,6 +15,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gates;
+pub mod json;
+
 use axsnn::core::network::SnnConfig;
 use axsnn::datasets::dvs::DvsGestureConfig;
 use axsnn::datasets::mnist::MnistConfig;

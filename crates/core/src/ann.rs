@@ -8,6 +8,8 @@
 //! recording for data-based ANN→SNN threshold balancing
 //! ([`crate::convert`]).
 
+use crate::batch::fan_out_with;
+use crate::fused::BackwardOpts;
 use crate::{CoreError, Result};
 use axsnn_tensor::batched::matmul_bt_bias;
 use axsnn_tensor::conv::{self, Conv2dSpec};
@@ -451,6 +453,30 @@ impl AnnNetwork {
         train: bool,
         rng: &mut R,
     ) -> Result<AnnBatchBackward> {
+        self.forward_backward_batch_with(inputs, labels, train, rng, &BackwardOpts::default())
+    }
+
+    /// [`AnnNetwork::forward_backward_batch`] with explicit
+    /// [`BackwardOpts`]: `opts.threads` fans the independent per-row
+    /// convolution passes out across workers (results are bit-identical
+    /// for every thread count — rows compute independently and their
+    /// gradients reduce in ascending row order, the sequential loop's
+    /// own order), and `opts.input_grad_eps` thresholds the
+    /// input-gradient GEMMs `G·W` of the linear layers (`0.0` = exact).
+    ///
+    /// # Errors
+    ///
+    /// As [`AnnNetwork::forward_backward_batch`], plus
+    /// [`CoreError::Config`] for invalid `opts`.
+    pub fn forward_backward_batch_with<R: Rng>(
+        &self,
+        inputs: &[Tensor],
+        labels: &[usize],
+        train: bool,
+        rng: &mut R,
+        opts: &BackwardOpts,
+    ) -> Result<AnnBatchBackward> {
+        opts.validate()?;
         if inputs.is_empty() || inputs.len() != labels.len() {
             return Err(CoreError::Config {
                 message: format!(
@@ -503,21 +529,34 @@ impl AnnNetwork {
             let n = block.len() / b;
             match layer {
                 AnnLayer::ConvRelu { spec, weight, bias } => {
+                    // Rows are independent: fan the per-row convolutions
+                    // out, then stitch in ascending row order.
+                    let block_ref = &block;
+                    let dims_ref = &dims;
+                    let pre_rows: Vec<(Option<Tensor>, Vec<f32>)> = fan_out_with(
+                        b,
+                        opts.threads,
+                        || (),
+                        |_, r, slot: &mut (Option<Tensor>, Vec<f32>)| -> Result<()> {
+                            let x =
+                                Tensor::from_vec(block_ref[r * n..(r + 1) * n].to_vec(), dims_ref)?;
+                            let pre = conv::conv2d(&x, weight, bias, spec)?.as_slice().to_vec();
+                            *slot = (Some(x), pre);
+                            Ok(())
+                        },
+                    )?;
+                    let out_dims = {
+                        let (oh, ow) = spec.output_hw(dims[1], dims[2]);
+                        vec![spec.out_channels, oh, ow]
+                    };
+                    let row_len = pre_rows[0].1.len();
                     let mut rows = Vec::with_capacity(b);
-                    let mut preact = Vec::with_capacity(0);
-                    let mut out = Vec::with_capacity(0);
-                    let mut out_dims = Vec::new();
-                    for r in 0..b {
-                        let x = Tensor::from_vec(block[r * n..(r + 1) * n].to_vec(), &dims)?;
-                        let pre = conv::conv2d(&x, weight, bias, spec)?;
-                        if out_dims.is_empty() {
-                            out_dims = pre.shape().dims().to_vec();
-                            preact.reserve(b * pre.len());
-                            out.reserve(b * pre.len());
-                        }
-                        preact.extend_from_slice(pre.as_slice());
-                        out.extend(pre.as_slice().iter().map(|&v| v.max(0.0)));
-                        rows.push(x);
+                    let mut preact = Vec::with_capacity(b * row_len);
+                    let mut out = Vec::with_capacity(b * row_len);
+                    for (x, pre) in pre_rows {
+                        preact.extend_from_slice(&pre);
+                        out.extend(pre.iter().map(|&v| v.max(0.0)));
+                        rows.push(x.expect("every conv row computed"));
                     }
                     tapes.push(Tape::Conv {
                         inputs: rows,
@@ -631,34 +670,59 @@ impl AnnNetwork {
             let n = grad.len() / b;
             grad = match (layer, tape) {
                 (AnnLayer::ConvRelu { spec, weight, .. }, Tape::Conv { inputs, preact }) => {
+                    // Per-row gradients are independent; compute them in
+                    // parallel, then reduce in ascending row order — the
+                    // sequential loop's own accumulation order, so the
+                    // sums are bit-identical for every thread count.
+                    let grad_ref = &grad;
+                    let row_grads: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> = fan_out_with(
+                        b,
+                        opts.threads,
+                        || (),
+                        |_, r, slot: &mut (Vec<f32>, Vec<f32>, Vec<f32>)| -> Result<()> {
+                            let input = &inputs[r];
+                            let gpre: Vec<f32> = grad_ref[r * n..(r + 1) * n]
+                                .iter()
+                                .zip(&preact[r * n..(r + 1) * n])
+                                .map(|(&g, &p)| if p > 0.0 { g } else { 0.0 })
+                                .collect();
+                            let odims = {
+                                let (oh, ow) = spec
+                                    .output_hw(input.shape().dims()[1], input.shape().dims()[2]);
+                                [spec.out_channels, oh, ow]
+                            };
+                            let gpre = Tensor::from_vec(gpre, &odims)?;
+                            let grads = conv::conv2d_backward(input, weight, &gpre, spec)?;
+                            *slot = (
+                                grads.weight.as_slice().to_vec(),
+                                grads.bias.as_slice().to_vec(),
+                                grads.input.as_slice().to_vec(),
+                            );
+                            Ok(())
+                        },
+                    )?;
                     let mut gw: Option<Tensor> = None;
                     let mut gb: Option<Tensor> = None;
                     let in_len = inputs[0].len();
                     let mut gi = vec![0.0f32; b * in_len];
-                    for (r, input) in inputs.iter().enumerate() {
-                        let gpre: Vec<f32> = grad[r * n..(r + 1) * n]
-                            .iter()
-                            .zip(&preact[r * n..(r + 1) * n])
-                            .map(|(&g, &p)| if p > 0.0 { g } else { 0.0 })
-                            .collect();
-                        let odims = {
-                            let (oh, ow) =
-                                spec.output_hw(input.shape().dims()[1], input.shape().dims()[2]);
-                            [spec.out_channels, oh, ow]
-                        };
-                        let gpre = Tensor::from_vec(gpre, &odims)?;
-                        let grads = conv::conv2d_backward(input, weight, &gpre, spec)?;
-                        // In-place accumulation: same add order as the
-                        // allocate-then-add form, no per-sample tensors.
+                    for (r, (rw, rb, ri)) in row_grads.into_iter().enumerate() {
                         match &mut gw {
-                            None => gw = Some(grads.weight),
-                            Some(acc) => crate::layer::acc_grad(acc, &grads.weight),
+                            None => gw = Some(Tensor::from_vec(rw, weight.shape().dims())?),
+                            Some(acc) => {
+                                for (a, d) in acc.as_mut_slice().iter_mut().zip(&rw) {
+                                    *a += d;
+                                }
+                            }
                         }
                         match &mut gb {
-                            None => gb = Some(grads.bias),
-                            Some(acc) => crate::layer::acc_grad(acc, &grads.bias),
+                            None => gb = Some(Tensor::from_vec(rb, &[spec.out_channels])?),
+                            Some(acc) => {
+                                for (a, d) in acc.as_mut_slice().iter_mut().zip(&rb) {
+                                    *a += d;
+                                }
+                            }
                         }
-                        gi[r * in_len..(r + 1) * in_len].copy_from_slice(grads.input.as_slice());
+                        gi[r * in_len..(r + 1) * in_len].copy_from_slice(&ri);
                     }
                     lg.weight = gw;
                     lg.bias = gb;
@@ -673,13 +737,17 @@ impl AnnNetwork {
                     let g_block = Tensor::from_vec(gpre, &[b, n])?;
                     lg.weight = Some(linalg::matmul_at(&g_block, input)?);
                     lg.bias = Some(column_sums(&g_block)?);
-                    linalg::matmul(&g_block, weight)?.as_slice().to_vec()
+                    linalg::matmul_thresholded(&g_block, weight, opts.input_grad_eps)?
+                        .as_slice()
+                        .to_vec()
                 }
                 (AnnLayer::LinearOut { weight, .. }, Tape::LinearOut { input }) => {
                     let g_block = Tensor::from_vec(std::mem::take(&mut grad), &[b, n])?;
                     lg.weight = Some(linalg::matmul_at(&g_block, input)?);
                     lg.bias = Some(column_sums(&g_block)?);
-                    linalg::matmul(&g_block, weight)?.as_slice().to_vec()
+                    linalg::matmul_thresholded(&g_block, weight, opts.input_grad_eps)?
+                        .as_slice()
+                        .to_vec()
                 }
                 (AnnLayer::AvgPool { window }, Tape::Pool { input_dims }) => {
                     let in_len: usize = input_dims.iter().product();

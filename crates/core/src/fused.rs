@@ -31,9 +31,11 @@
 //! tapes each row's input (events where the density gate admits, dense
 //! otherwise) plus the stacked pre-reset membranes, using the
 //! *exact-order* sparse kernels so every taped current equals what the
-//! dense tape would hold. [`SpikingNetwork::backward_batch`] then walks
-//! time in reverse once for the whole minibatch, accumulating weight
-//! gradients through the event-masked kernels. `train_snn` consumes
+//! dense tape would hold. [`SpikingNetwork::backward_batch`] then
+//! partitions the minibatch into fixed row-shards, fans the reverse-time
+//! sweeps out across worker threads ([`BackwardOpts::threads`]), and
+//! reduces the per-shard gradient buffers in a fixed order — gradients
+//! are bit-identical for every thread count. `train_snn` consumes
 //! minibatches this way instead of sample-at-a-time.
 //!
 //! Train-mode dropout draws per-sample masks the fused engine cannot
@@ -50,10 +52,12 @@ use axsnn_tensor::batched::{
     matmul_bt_bias, sparse_matmul_bias, sparse_matmul_bias_exact, SpikeMatrix,
 };
 use axsnn_tensor::conv::{self, Conv2dSpec};
+use axsnn_tensor::grads::{self, GradShard};
 use axsnn_tensor::sparse::{self, SpikeVector};
 use axsnn_tensor::{linalg, Tensor, TensorError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// Default number of samples fused into one batched forward pass.
 ///
@@ -655,50 +659,157 @@ fn pool_plane(
     ))
 }
 
-/// Input-gradient propagation of a linear layer for the whole batch:
-/// `GI = G · W` via one transposed GEMM that streams the weight matrix
-/// **once** per layer per time step instead of once per row. Per
-/// output cell the accumulation runs over the output dimension
-/// ascending — the same order as a per-row
-/// [`axsnn_tensor::linalg::matvec_t`], so rows stay value-identical to
-/// the per-sample backward.
-fn linear_input_grads(weight: &Tensor, gv: Vec<f32>, b: usize, n: usize) -> Result<Vec<f32>> {
-    let g_t = linalg::transpose(&Tensor::from_vec(gv, &[b, n])?)?;
-    let gi = linalg::matmul_at(&g_t, weight).map_err(CoreError::from)?;
-    Ok(gi.as_slice().to_vec())
+/// Maximum number of fixed row-shards the parallel backward partitions
+/// a minibatch into.
+///
+/// The shard boundaries are a function of the batch size **only** —
+/// never the thread count — so the per-shard accumulation and the
+/// fixed-order reduction produce bit-identical gradients for every
+/// thread count. More shards expose more parallelism; fewer shards
+/// amortize the weight stream of the input-gradient kernel across more
+/// rows per shard. Eight balances both for the minibatch sizes the
+/// trainers use (8–32).
+pub const MAX_BACKWARD_SHARDS: usize = 8;
+
+/// Execution options for the batched backward passes
+/// ([`SpikingNetwork::backward_batch_with`],
+/// [`crate::ann::AnnNetwork::forward_backward_batch_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackwardOpts {
+    /// Worker threads for the row-sharded backward; `0` uses all
+    /// available cores. Gradients are bit-identical for every value —
+    /// the shard partition and reduction order never depend on it.
+    pub threads: usize,
+    /// Input-gradient sparsification threshold: `|g|` entries below
+    /// this are skipped in the `Wᵀ·g` propagation products. `0.0`
+    /// (default) keeps the exact dense result; small positive values
+    /// trade a bounded gradient perturbation for skipped weight
+    /// traffic (the tolerance budget is pinned by
+    /// `tests/grad_equivalence.rs`).
+    pub input_grad_eps: f32,
 }
 
-/// One layer's reverse step over the whole batch block: consumes the
-/// `[B, n_out]` gradient block, accumulates parameter gradients row by
-/// row (ascending `b`, so sparse- and dense-tape accumulation orders
-/// coincide), and returns the `[B, n_in]` gradient block.
-fn backward_batch_layer(
-    layer: &mut Layer,
+impl Default for BackwardOpts {
+    fn default() -> Self {
+        BackwardOpts {
+            threads: 0,
+            input_grad_eps: 0.0,
+        }
+    }
+}
+
+impl BackwardOpts {
+    /// Validates the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] for a negative or non-finite
+    /// `input_grad_eps`.
+    pub fn validate(&self) -> Result<()> {
+        if !self.input_grad_eps.is_finite() || self.input_grad_eps < 0.0 {
+            return Err(CoreError::Config {
+                message: format!(
+                    "input_grad_eps must be finite and ≥ 0, got {}",
+                    self.input_grad_eps
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The row range and options one shard worker operates under.
+struct ShardCtx {
+    /// Full minibatch size (tape rows are indexed globally).
+    batch: usize,
+    /// First row of this shard (inclusive).
+    lo: usize,
+    /// Last row of this shard (exclusive).
+    hi: usize,
+    /// Input-gradient sparsification threshold.
+    eps: f32,
+}
+
+impl ShardCtx {
+    fn rows(&self) -> usize {
+        self.hi - self.lo
+    }
+}
+
+/// Runs the full reverse-time sweep for one row-shard, accumulating the
+/// shard's parameter gradients into a fresh [`GradShard`]. Rows are
+/// mutually independent in the backward recurrence (per-row membrane
+/// carries, per-row tape entries), so a shard's gradients do not depend
+/// on which other shards exist or when they run.
+fn backward_rows(
+    layers: &[Layer],
+    shapes: &[Option<(Vec<usize>, Vec<usize>)>],
+    tape: &BatchTape,
+    grad_logits: &Tensor,
+    ctx: &ShardCtx,
+) -> Result<GradShard> {
+    let mut shard = GradShard::zeros(shapes);
+    let classes = tape.classes;
+    let mut carries: Vec<Vec<f32>> = vec![Vec::new(); layers.len()];
+    let gl = grad_logits.as_slice();
+    for t in (0..tape.time_steps).rev() {
+        // The logits sum over time, so each row's logit gradient is
+        // injected at every step — same as the per-sample backward.
+        let mut g_block: Vec<f32> = gl[ctx.lo * classes..ctx.hi * classes].to_vec();
+        for (li, layer) in layers.iter().enumerate().rev() {
+            let step = &tape.steps[t][li];
+            g_block = backward_rows_layer(
+                layer,
+                step,
+                g_block,
+                ctx,
+                &mut carries[li],
+                shard.slot_mut(li),
+            )?;
+        }
+    }
+    Ok(shard)
+}
+
+/// One layer's reverse step over a shard's row range: consumes the
+/// `[rows, n_out]` gradient block, accumulates parameter gradients row
+/// by row (ascending global row index, so sparse- and dense-tape
+/// accumulation orders coincide), and returns the `[rows, n_in]`
+/// gradient block. Input gradients of the linear layers run through the
+/// thresholded shard-level `Wᵀ·g` kernel
+/// ([`axsnn_tensor::linalg::matvec_t_block_thresholded_into`]), which at
+/// `eps == 0.0` is value-identical to the dense transposed GEMM.
+fn backward_rows_layer(
+    layer: &Layer,
     step: &BatchTapeStep,
     g_block: Vec<f32>,
-    b: usize,
+    ctx: &ShardCtx,
     carry: &mut Vec<f32>,
+    grads: Option<&mut (Tensor, Tensor)>,
 ) -> Result<Vec<f32>> {
     let mismatch = || CoreError::Config {
         message: "batch tape entry does not match its layer".into(),
     };
+    let rows_n = ctx.rows();
     match (layer, step) {
         (Layer::SpikingConv2d(l), BatchTapeStep::SpikingConv { rows, in_dims, pre }) => {
-            if carry.len() != pre.len() {
-                *carry = vec![0.0; pre.len()];
+            let n = pre.len() / ctx.batch;
+            let pre_rows = &pre[ctx.lo * n..ctx.hi * n];
+            if carry.len() != pre_rows.len() {
+                *carry = vec![0.0; pre_rows.len()];
             }
-            let gv = surrogate_carry_grad(&g_block, pre, carry, &l.lif_params);
+            let gv = surrogate_carry_grad(&g_block, pre_rows, carry, &l.lif_params);
             let (h, w) = (in_dims[1], in_dims[2]);
             let (oh, ow) = l.spec.output_hw(h, w);
-            let n = l.spec.out_channels * oh * ow;
             let in_len: usize = in_dims.iter().product();
-            let mut gi_block = vec![0.0f32; b * in_len];
-            for r in 0..b {
+            let (gw, gb) = grads.ok_or_else(mismatch)?;
+            let mut gi_block = vec![0.0f32; rows_n * in_len];
+            for r in 0..rows_n {
                 let gcur = Tensor::from_vec(
                     gv[r * n..(r + 1) * n].to_vec(),
                     &[l.spec.out_channels, oh, ow],
                 )?;
-                let grads = match &rows[r] {
+                let out = match &rows[ctx.lo + r] {
                     BatchTapeRow::Events(events) => sparse::sparse_conv2d_backward(
                         events,
                         (h, w),
@@ -711,58 +822,73 @@ fn backward_batch_layer(
                         conv::conv2d_backward(&input, &l.weight.value, &gcur, &l.spec)?
                     }
                 };
-                acc_grad(&mut l.weight.grad, &grads.weight);
-                acc_grad(&mut l.bias.grad, &grads.bias);
-                gi_block[r * in_len..(r + 1) * in_len].copy_from_slice(grads.input.as_slice());
+                acc_grad(gw, &out.weight);
+                acc_grad(gb, &out.bias);
+                gi_block[r * in_len..(r + 1) * in_len].copy_from_slice(out.input.as_slice());
             }
             Ok(gi_block)
         }
         (Layer::SpikingLinear(l), BatchTapeStep::SpikingLinear { rows, pre }) => {
-            if carry.len() != pre.len() {
-                *carry = vec![0.0; pre.len()];
+            let n = pre.len() / ctx.batch;
+            let pre_rows = &pre[ctx.lo * n..ctx.hi * n];
+            if carry.len() != pre_rows.len() {
+                *carry = vec![0.0; pre_rows.len()];
             }
-            let gv = surrogate_carry_grad(&g_block, pre, carry, &l.lif_params);
-            let n = pre.len() / b;
+            let gv = surrogate_carry_grad(&g_block, pre_rows, carry, &l.lif_params);
             let in_len = l.weight.value.shape().dims()[1];
-            for r in 0..b {
+            let (gw, gb) = grads.ok_or_else(mismatch)?;
+            for r in 0..rows_n {
                 let gvt = Tensor::from_vec(gv[r * n..(r + 1) * n].to_vec(), &[n])?;
-                match &rows[r] {
-                    BatchTapeRow::Events(events) => {
-                        sparse::sparse_outer_acc(&mut l.weight.grad, &gvt, events)?
-                    }
+                match &rows[ctx.lo + r] {
+                    BatchTapeRow::Events(events) => sparse::sparse_outer_acc(gw, &gvt, events)?,
                     BatchTapeRow::Dense(data) => {
                         let x = Tensor::from_vec(data.clone(), &[in_len])?;
-                        linalg::outer_acc(&mut l.weight.grad, &gvt, &x)?
+                        linalg::outer_acc(gw, &gvt, &x)?
                     }
                 }
-                acc_grad(&mut l.bias.grad, &gvt);
+                acc_grad(gb, &gvt);
             }
-            linear_input_grads(&l.weight.value, gv, b, n)
+            let mut gi_block = vec![0.0f32; rows_n * in_len];
+            linalg::matvec_t_block_thresholded_into(
+                &l.weight.value,
+                &gv,
+                rows_n,
+                ctx.eps,
+                &mut gi_block,
+            )?;
+            Ok(gi_block)
         }
         (Layer::OutputLinear(l), BatchTapeStep::Output { rows }) => {
-            let n = g_block.len() / b;
+            let n = g_block.len() / rows_n;
             let in_len = l.weight.value.shape().dims()[1];
-            for r in 0..b {
+            let (gw, gb) = grads.ok_or_else(mismatch)?;
+            for r in 0..rows_n {
                 let g_row = Tensor::from_vec(g_block[r * n..(r + 1) * n].to_vec(), &[n])?;
-                match &rows[r] {
-                    BatchTapeRow::Events(events) => {
-                        sparse::sparse_outer_acc(&mut l.weight.grad, &g_row, events)?
-                    }
+                match &rows[ctx.lo + r] {
+                    BatchTapeRow::Events(events) => sparse::sparse_outer_acc(gw, &g_row, events)?,
                     BatchTapeRow::Dense(data) => {
                         let x = Tensor::from_vec(data.clone(), &[in_len])?;
-                        linalg::outer_acc(&mut l.weight.grad, &g_row, &x)?
+                        linalg::outer_acc(gw, &g_row, &x)?
                     }
                 }
-                acc_grad(&mut l.bias.grad, &g_row);
+                acc_grad(gb, &g_row);
             }
-            linear_input_grads(&l.weight.value, g_block, b, n)
+            let mut gi_block = vec![0.0f32; rows_n * in_len];
+            linalg::matvec_t_block_thresholded_into(
+                &l.weight.value,
+                &g_block,
+                rows_n,
+                ctx.eps,
+                &mut gi_block,
+            )?;
+            Ok(gi_block)
         }
         (Layer::AvgPool2d(l), BatchTapeStep::AvgPool { in_dims }) => {
-            let n = g_block.len() / b;
+            let n = g_block.len() / rows_n;
             let (c, oh, ow) = (in_dims[0], in_dims[1] / l.window, in_dims[2] / l.window);
             let in_len: usize = in_dims.iter().product();
-            let mut gi_block = vec![0.0f32; b * in_len];
-            for r in 0..b {
+            let mut gi_block = vec![0.0f32; rows_n * in_len];
+            for r in 0..rows_n {
                 let g_row = Tensor::from_vec(g_block[r * n..(r + 1) * n].to_vec(), &[c, oh, ow])?;
                 let gi = conv::avg_pool2d_backward(&g_row, in_dims, l.window)?;
                 gi_block[r * in_len..(r + 1) * in_len].copy_from_slice(gi.as_slice());
@@ -770,13 +896,13 @@ fn backward_batch_layer(
             Ok(gi_block)
         }
         (Layer::MaxPool2d(l), BatchTapeStep::MaxPool { in_dims, argmax }) => {
-            let n = g_block.len() / b;
+            let n = g_block.len() / rows_n;
             let (c, oh, ow) = (in_dims[0], in_dims[1] / l.window, in_dims[2] / l.window);
             let in_len: usize = in_dims.iter().product();
-            let mut gi_block = vec![0.0f32; b * in_len];
-            for r in 0..b {
+            let mut gi_block = vec![0.0f32; rows_n * in_len];
+            for r in 0..rows_n {
                 let g_row = Tensor::from_vec(g_block[r * n..(r + 1) * n].to_vec(), &[c, oh, ow])?;
-                let gi = conv::max_pool2d_backward(&g_row, &argmax[r], in_dims)?;
+                let gi = conv::max_pool2d_backward(&g_row, &argmax[ctx.lo + r], in_dims)?;
                 gi_block[r * in_len..(r + 1) * in_len].copy_from_slice(gi.as_slice());
             }
             Ok(gi_block)
@@ -1079,17 +1205,39 @@ impl SpikingNetwork {
         ))
     }
 
+    /// BPTT backward pass over a recorded batch tape with the default
+    /// [`BackwardOpts`] (all cores, exact input gradients) — see
+    /// [`SpikingNetwork::backward_batch_with`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SpikingNetwork::backward_batch_with`].
+    pub fn backward_batch(&mut self, tape: &BatchTape, grad_logits: &Tensor) -> Result<()> {
+        self.backward_batch_with(tape, grad_logits, &BackwardOpts::default())
+    }
+
     /// BPTT backward pass over a recorded batch tape: injects
     /// `grad_logits` (`[B, classes]`, one row per sample — the logits
     /// are a sum over time, so each row is injected at every step) and
-    /// accumulates parameter gradients for the whole minibatch in one
-    /// reverse-time sweep.
+    /// accumulates parameter gradients for the whole minibatch.
+    ///
+    /// The minibatch partitions into at most [`MAX_BACKWARD_SHARDS`]
+    /// fixed row-shards (boundaries depend only on `B`); each shard
+    /// runs the full reverse-time sweep over its rows on one worker
+    /// (fanned out via [`crate::batch::fan_out_with`] under
+    /// `opts.threads`), accumulating into its own
+    /// [`axsnn_tensor::grads::GradShard`]. Shards then reduce in fixed
+    /// ascending order into the network's gradient accumulators, so the
+    /// resulting gradients are **bit-identical for every thread count**
+    /// (pinned by `tests/grad_equivalence.rs`).
     ///
     /// Weight gradients of rows taped in event form accumulate through
     /// the event-masked kernels ([`axsnn_tensor::sparse::sparse_outer_acc`],
     /// [`axsnn_tensor::sparse::sparse_conv2d_backward`]); dense rows use
-    /// the dense kernels. Parameter gradients *accumulate* across calls
-    /// exactly like [`SpikingNetwork::backward`] — call
+    /// the dense kernels. Input-gradient propagation through the linear
+    /// layers skips `|g| < opts.input_grad_eps` entries (`0.0` = exact).
+    /// Parameter gradients *accumulate* across calls exactly like
+    /// [`SpikingNetwork::backward`] — call
     /// [`SpikingNetwork::zero_grads`] between minibatches.
     ///
     /// Frame gradients are not materialized (training updates do not
@@ -1099,9 +1247,15 @@ impl SpikingNetwork {
     /// # Errors
     ///
     /// Returns [`CoreError::Config`] when `grad_logits` does not match
-    /// the tape's `[B, classes]`, or the tape does not match the
-    /// network's layer stack.
-    pub fn backward_batch(&mut self, tape: &BatchTape, grad_logits: &Tensor) -> Result<()> {
+    /// the tape's `[B, classes]`, the tape does not match the network's
+    /// layer stack, or `opts` is invalid.
+    pub fn backward_batch_with(
+        &mut self,
+        tape: &BatchTape,
+        grad_logits: &Tensor,
+        opts: &BackwardOpts,
+    ) -> Result<()> {
+        opts.validate()?;
         let b = tape.batch;
         if grad_logits.shape().dims() != [b, tape.classes] {
             return Err(CoreError::Config {
@@ -1119,13 +1273,52 @@ impl SpikingNetwork {
                 message: "batch tape does not match the network's layer stack".into(),
             });
         }
-        // Per-layer membrane carries, `[B, n]`, fresh for this sweep.
-        let mut carries: Vec<Vec<f32>> = vec![Vec::new(); depth];
-        for t in (0..tape.time_steps).rev() {
-            let mut g_block: Vec<f32> = grad_logits.as_slice().to_vec();
-            for (li, layer) in self.layers_mut().iter_mut().enumerate().rev() {
-                let step = &tape.steps[t][li];
-                g_block = backward_batch_layer(layer, step, g_block, b, &mut carries[li])?;
+        if b == 0 {
+            return Ok(());
+        }
+        // Fixed partition: shard boundaries are a function of B only.
+        let shard_rows = b.div_ceil(MAX_BACKWARD_SHARDS).max(1);
+        let shard_count = b.div_ceil(shard_rows);
+        let shapes: Vec<Option<(Vec<usize>, Vec<usize>)>> = self
+            .layers()
+            .iter()
+            .map(|l| {
+                l.params().map(|(w, bias)| {
+                    (
+                        w.value.shape().dims().to_vec(),
+                        bias.value.shape().dims().to_vec(),
+                    )
+                })
+            })
+            .collect();
+        let eps = opts.input_grad_eps;
+        let layers = self.layers();
+        let shards: Vec<GradShard> = fan_out_with(
+            shard_count,
+            opts.threads,
+            || (),
+            |_, s, slot: &mut GradShard| -> Result<()> {
+                let lo = s * shard_rows;
+                let ctx = ShardCtx {
+                    batch: b,
+                    lo,
+                    hi: (lo + shard_rows).min(b),
+                    eps,
+                };
+                *slot = backward_rows(layers, &shapes, tape, grad_logits, &ctx)?;
+                Ok(())
+            },
+        )?;
+        // Fixed-order reduction (ascending shard index), then one add
+        // into the network's accumulators — the same final values no
+        // matter which worker computed which shard.
+        let reduced = grads::reduce_in_order(shards)
+            .map_err(CoreError::from)?
+            .expect("at least one shard for a non-empty batch");
+        for (layer, slot) in self.layers_mut().iter_mut().zip(reduced.slots()) {
+            if let (Some((w, bias)), Some((gw, gb))) = (layer.params_mut(), slot.as_ref()) {
+                acc_grad(&mut w.grad, gw);
+                acc_grad(&mut bias.grad, gb);
             }
         }
         Ok(())

@@ -13,7 +13,7 @@
 
 use crate::ann::AnnNetwork;
 use crate::encoding::Encoder;
-use crate::fused::FrameTrain;
+use crate::fused::{BackwardOpts, FrameTrain};
 use crate::network::SpikingNetwork;
 use crate::{CoreError, Result};
 use axsnn_tensor::{ops, Tensor};
@@ -41,6 +41,12 @@ pub struct TrainConfig {
     pub batch_size: usize,
     /// Spike encoder for the SNN trainer.
     pub encoder: Encoder,
+    /// Backward-pass execution options (worker threads and
+    /// input-gradient sparsification), consumed by the minibatched SNN
+    /// backward and the batched ANN trainer. The defaults (all cores,
+    /// exact gradients) never change results — gradients are
+    /// thread-count invariant by construction.
+    pub backward: BackwardOpts,
 }
 
 impl Default for TrainConfig {
@@ -51,6 +57,7 @@ impl Default for TrainConfig {
             momentum: 0.9,
             batch_size: 8,
             encoder: Encoder::DirectCurrent,
+            backward: BackwardOpts::default(),
         }
     }
 }
@@ -67,7 +74,7 @@ impl TrainConfig {
                 message: format!("learning_rate must be positive, got {}", self.learning_rate),
             });
         }
-        Ok(())
+        self.backward.validate()
     }
 }
 
@@ -172,7 +179,7 @@ pub fn train_snn<R: Rng>(
                     }
                 }
                 let grad_block = Tensor::from_vec(grad_block, &[chunk.len(), classes])?;
-                net.backward_batch(&tape, &grad_block)?;
+                net.backward_batch_with(&tape, &grad_block, &cfg.backward)?;
             } else {
                 for &i in chunk {
                     let (image, label) = &data[i];
@@ -252,7 +259,8 @@ pub fn train_ann<R: Rng>(
             let scale = 1.0 / chunk.len() as f32;
             let inputs: Vec<Tensor> = chunk.iter().map(|&i| data[i].0.clone()).collect();
             let labels: Vec<usize> = chunk.iter().map(|&i| data[i].1).collect();
-            let out = net.forward_backward_batch(&inputs, &labels, true, rng)?;
+            let out =
+                net.forward_backward_batch_with(&inputs, &labels, true, rng, &cfg.backward)?;
             // Per-sample accumulation keeps the reported mean loss
             // bit-identical to the per-sample loop this replaced.
             for &loss in &out.losses {
@@ -355,6 +363,7 @@ mod tests {
             momentum: 0.9,
             batch_size: 8,
             encoder: Encoder::DirectCurrent,
+            ..TrainConfig::default()
         };
         let report = train_snn(&mut net, &data, &tcfg, &mut rng).unwrap();
         let acc = evaluate_snn(&mut net, &data, Encoder::DirectCurrent, &mut rng).unwrap();
@@ -379,6 +388,7 @@ mod tests {
             momentum: 0.0,
             batch_size: 8,
             encoder: Encoder::DirectCurrent,
+            ..TrainConfig::default()
         };
         train_ann(&mut net, &data, &tcfg, &mut rng).unwrap();
         let acc = evaluate_ann(&net, &data).unwrap();

@@ -11,7 +11,7 @@
 //! batched-vs-per-sample gradients are pinned at 1e-5 relative while
 //! batched-sparse-vs-batched-dense stays exact.
 
-use axsnn_core::fused::FrameTrain;
+use axsnn_core::fused::{BackwardOpts, FrameTrain};
 use axsnn_core::layer::Layer;
 use axsnn_core::network::{SnnConfig, SpikingNetwork};
 use axsnn_tensor::conv::Conv2dSpec;
@@ -356,6 +356,185 @@ fn batched_sparse_tape_equals_batched_dense_tape_exactly() {
                 "{arch} density {density}: dense tape must hold no event rows"
             );
         }
+    }
+}
+
+/// The parallel backward's core contract: the minibatch partitions into
+/// row-shards whose boundaries depend only on the batch size, each
+/// shard's reverse-time sweep is row-independent, and shards reduce in
+/// a fixed order — so gradients are **bit-identical** for every thread
+/// count. Exercised across both architectures, batch sizes spanning
+/// single-row and multi-row shards, and both tape forms.
+#[test]
+fn parallel_backward_bit_identical_across_thread_counts() {
+    for arch in ["mlp", "conv"] {
+        for &batch in &[3usize, 8, 19] {
+            let c = cfg(3);
+            let (mut net, dims): (SpikingNetwork, Vec<usize>) = match arch {
+                "mlp" => (mlp_net(51, c), vec![36]),
+                _ => (conv_net(51, c), vec![1, 12, 12]),
+            };
+            let trains: Vec<FrameTrain> = (0..batch as u64)
+                .map(|s| FrameTrain::from_frames(&binary_frames(300 + s, 3, &dims, 0.15)).unwrap())
+                .collect();
+            let (_, tape) = net.forward_batch_recorded(&trains).unwrap();
+            let g = logit_grad(5);
+            let mut grad_block = Vec::with_capacity(batch * 5);
+            for _ in 0..batch {
+                grad_block.extend(g.as_slice());
+            }
+            let grad_block = Tensor::from_vec(grad_block, &[batch, 5]).unwrap();
+
+            let grads_at = |threads: usize| {
+                let mut run = net.clone();
+                run.zero_grads();
+                run.backward_batch_with(
+                    &tape,
+                    &grad_block,
+                    &BackwardOpts {
+                        threads,
+                        input_grad_eps: 0.0,
+                    },
+                )
+                .unwrap();
+                grads_of(&run)
+            };
+            let reference = grads_at(1);
+            for &threads in &[2usize, 4, 8] {
+                assert_eq!(
+                    grads_at(threads),
+                    reference,
+                    "{arch} B={batch}: {threads}-thread gradients must equal 1-thread bitwise"
+                );
+            }
+        }
+    }
+}
+
+/// `input_grad_eps = 0` is the exact dense path: the thresholded
+/// input-gradient kernel skips only exact zeros, so the gradients equal
+/// the default [`SpikingNetwork::backward_batch`] value-for-value.
+#[test]
+fn zero_input_grad_eps_equals_dense_path_exactly() {
+    for arch in ["mlp", "conv"] {
+        let c = cfg(4);
+        let (mut net, dims): (SpikingNetwork, Vec<usize>) = match arch {
+            "mlp" => (mlp_net(61, c), vec![36]),
+            _ => (conv_net(61, c), vec![1, 12, 12]),
+        };
+        let trains: Vec<FrameTrain> = (0..6u64)
+            .map(|s| FrameTrain::from_frames(&binary_frames(400 + s, 4, &dims, 0.2)).unwrap())
+            .collect();
+        let (_, tape) = net.forward_batch_recorded(&trains).unwrap();
+        let g = logit_grad(5);
+        let mut grad_block = Vec::new();
+        for _ in 0..6 {
+            grad_block.extend(g.as_slice());
+        }
+        let grad_block = Tensor::from_vec(grad_block, &[6, 5]).unwrap();
+
+        let mut default_net = net.clone();
+        default_net.zero_grads();
+        default_net.backward_batch(&tape, &grad_block).unwrap();
+
+        let mut eps_net = net.clone();
+        eps_net.zero_grads();
+        eps_net
+            .backward_batch_with(
+                &tape,
+                &grad_block,
+                &BackwardOpts {
+                    threads: 4,
+                    input_grad_eps: 0.0,
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            grads_of(&eps_net),
+            grads_of(&default_net),
+            "{arch}: eps = 0 must be the exact dense path"
+        );
+    }
+}
+
+/// The documented tolerance budget of input-gradient sparsification: at
+/// `input_grad_eps = 3e-3` on the seeded MLP and conv cases, every
+/// parameter gradient stays within 1e-2 relative of the exact path —
+/// and the threshold genuinely engages (some gradients change), so the
+/// bound is not vacuous. (The threshold only drops `|g| < eps` terms
+/// from the `Wᵀ·g` propagation; weight/bias accumulation always sees
+/// the full gradient.)
+#[test]
+fn small_input_grad_eps_stays_within_tolerance() {
+    const EPS: f32 = 3e-3;
+    const TOL: f32 = 1e-2;
+    for arch in ["mlp", "conv"] {
+        let c = cfg(5);
+        let (mut net, dims): (SpikingNetwork, Vec<usize>) = match arch {
+            "mlp" => (mlp_net(71, c), vec![36]),
+            _ => (conv_net(71, c), vec![1, 12, 12]),
+        };
+        let trains: Vec<FrameTrain> = (0..8u64)
+            .map(|s| FrameTrain::from_frames(&binary_frames(500 + s, 5, &dims, 0.15)).unwrap())
+            .collect();
+        let (_, tape) = net.forward_batch_recorded(&trains).unwrap();
+        let g = logit_grad(5);
+        let mut grad_block = Vec::new();
+        for _ in 0..8 {
+            grad_block.extend(g.as_slice());
+        }
+        let grad_block = Tensor::from_vec(grad_block, &[8, 5]).unwrap();
+
+        let run = |eps: f32| {
+            let mut r = net.clone();
+            r.zero_grads();
+            r.backward_batch_with(
+                &tape,
+                &grad_block,
+                &BackwardOpts {
+                    threads: 2,
+                    input_grad_eps: eps,
+                },
+            )
+            .unwrap();
+            grads_of(&r)
+        };
+        let exact = run(0.0);
+        let approx = run(EPS);
+        let mut engaged = false;
+        for (li, ((wa, ba), (we, be))) in approx.iter().zip(&exact).enumerate() {
+            assert_close(wa, we, TOL, &format!("{arch} eps weight grad layer {li}"));
+            assert_close(ba, be, TOL, &format!("{arch} eps bias grad layer {li}"));
+            engaged |= wa != we || ba != be;
+        }
+        assert!(
+            engaged,
+            "{arch}: eps = {EPS} must actually drop some propagation terms"
+        );
+    }
+}
+
+/// Invalid backward options are rejected up front.
+#[test]
+fn backward_opts_validation() {
+    let c = cfg(2);
+    let mut net = mlp_net(81, c);
+    let trains = vec![FrameTrain::from_frames(&binary_frames(0, 2, &[36], 0.1)).unwrap()];
+    let (_, tape) = net.forward_batch_recorded(&trains).unwrap();
+    let g = Tensor::zeros(&[1, 5]);
+    for bad in [f32::NAN, f32::INFINITY, -1.0] {
+        assert!(
+            net.backward_batch_with(
+                &tape,
+                &g,
+                &BackwardOpts {
+                    threads: 1,
+                    input_grad_eps: bad
+                }
+            )
+            .is_err(),
+            "eps {bad} must be rejected"
+        );
     }
 }
 

@@ -50,6 +50,7 @@ fn train_cfg(encoder: Encoder) -> TrainConfig {
         momentum: 0.9,
         batch_size: 8,
         encoder,
+        ..TrainConfig::default()
     }
 }
 

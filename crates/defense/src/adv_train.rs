@@ -102,7 +102,8 @@ pub fn adversarial_train_ann<R: Rng>(
                 inputs.push(input);
                 labels.push(*label);
             }
-            let out = net.forward_backward_batch(&inputs, &labels, true, rng)?;
+            let out =
+                net.forward_backward_batch_with(&inputs, &labels, true, rng, &cfg.train.backward)?;
             // Per-sample accumulation keeps the reported mean loss
             // bit-identical to the per-sample loop this replaced.
             for &loss in &out.losses {

@@ -333,6 +333,7 @@ mod tests {
                 momentum: 0.0,
                 batch_size: 8,
                 encoder: Encoder::DirectCurrent,
+                ..TrainConfig::default()
             },
             rng,
         )

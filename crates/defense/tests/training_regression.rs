@@ -55,6 +55,7 @@ fn sparse_tape_hardened_accuracy_no_worse_than_dense_tape_baseline() {
             momentum: 0.0,
             batch_size: 8,
             encoder: Encoder::DirectCurrent,
+            ..TrainConfig::default()
         },
         &mut rng,
     )
@@ -81,6 +82,7 @@ fn sparse_tape_hardened_accuracy_no_worse_than_dense_tape_baseline() {
         momentum: 0.9,
         batch_size: 8,
         encoder: Encoder::Deterministic,
+        ..TrainConfig::default()
     };
 
     let mut sparse_net = net0.clone();
@@ -145,6 +147,7 @@ fn batched_adversarial_training_matches_per_sample_reference() {
             momentum: 0.0,
             batch_size: 8,
             encoder: Encoder::DirectCurrent,
+            ..TrainConfig::default()
         },
         epsilon: 0.1,
         adversarial_fraction: 0.5,

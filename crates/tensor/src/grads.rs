@@ -1,0 +1,185 @@
+//! Deterministic per-shard gradient accumulation for parallel backward
+//! passes.
+//!
+//! A parallel minibatch backward cannot let workers race on one shared
+//! gradient accumulator — and even lock-free designs would make the f32
+//! accumulation order (and therefore the result) depend on the thread
+//! count. This module fixes both: the minibatch is partitioned into
+//! **row shards whose boundaries depend only on the batch size**, each
+//! shard accumulates into its own [`GradShard`] buffers, and
+//! [`reduce_in_order`] folds the shards in ascending shard order — a
+//! fixed left-leaning reduction tree. Threads only decide *which worker
+//! computes which shard*, never what is summed with what, so gradients
+//! are bit-identical for every thread count.
+
+use crate::{Result, Tensor, TensorError};
+
+/// One worker-shard's gradient accumulation buffers: per layer slot an
+/// optional `(weight_grad, bias_grad)` pair (parameterless layers hold
+/// `None`).
+#[derive(Debug, Clone, Default)]
+pub struct GradShard {
+    slots: Vec<Option<(Tensor, Tensor)>>,
+}
+
+impl GradShard {
+    /// Builds a zeroed shard from per-slot `(weight_dims, bias_dims)`
+    /// shapes (`None` for parameterless slots).
+    pub fn zeros(shapes: &[Option<(Vec<usize>, Vec<usize>)>]) -> GradShard {
+        GradShard {
+            slots: shapes
+                .iter()
+                .map(|s| {
+                    s.as_ref()
+                        .map(|(w, b)| (Tensor::zeros(w), Tensor::zeros(b)))
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of layer slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when the shard holds no slots (the [`Default`] state).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The per-slot gradient pairs.
+    pub fn slots(&self) -> &[Option<(Tensor, Tensor)>] {
+        &self.slots
+    }
+
+    /// Mutable access to one slot's `(weight_grad, bias_grad)` pair.
+    pub fn slot_mut(&mut self, i: usize) -> Option<&mut (Tensor, Tensor)> {
+        self.slots.get_mut(i).and_then(|s| s.as_mut())
+    }
+
+    /// Elementwise accumulation `self += other`, slot by slot in stack
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the two shards do not
+    /// share the same slot structure.
+    pub fn accumulate(&mut self, other: &GradShard) -> Result<()> {
+        if self.slots.len() != other.slots.len() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![self.slots.len()],
+                rhs: vec![other.slots.len()],
+                op: "grad shard accumulate",
+            });
+        }
+        for (mine, theirs) in self.slots.iter_mut().zip(&other.slots) {
+            match (mine, theirs) {
+                (Some((wa, ba)), Some((wb, bb))) => {
+                    add_assign(wa, wb, "grad shard accumulate")?;
+                    add_assign(ba, bb, "grad shard accumulate")?;
+                }
+                (None, None) => {}
+                _ => {
+                    return Err(TensorError::ShapeMismatch {
+                        lhs: vec![self.slots.len()],
+                        rhs: vec![other.slots.len()],
+                        op: "grad shard accumulate",
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn add_assign(acc: &mut Tensor, delta: &Tensor, op: &'static str) -> Result<()> {
+    if acc.shape().dims() != delta.shape().dims() {
+        return Err(TensorError::ShapeMismatch {
+            lhs: acc.shape().dims().to_vec(),
+            rhs: delta.shape().dims().to_vec(),
+            op,
+        });
+    }
+    for (a, &d) in acc.as_mut_slice().iter_mut().zip(delta.as_slice()) {
+        *a += d;
+    }
+    Ok(())
+}
+
+/// Folds shards in ascending shard order into the first one — the fixed
+/// left-leaning reduction tree that makes parallel gradient sums
+/// independent of which worker produced which shard. Returns `None` for
+/// an empty input.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the shards disagree on
+/// slot structure.
+pub fn reduce_in_order(shards: Vec<GradShard>) -> Result<Option<GradShard>> {
+    let mut iter = shards.into_iter();
+    let mut acc = match iter.next() {
+        Some(first) => first,
+        None => return Ok(None),
+    };
+    for shard in iter {
+        acc.accumulate(&shard)?;
+    }
+    Ok(Some(acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shapes() -> Vec<Option<(Vec<usize>, Vec<usize>)>> {
+        vec![
+            Some((vec![2, 3], vec![2])),
+            None,
+            Some((vec![1, 2], vec![1])),
+        ]
+    }
+
+    fn shard_with(v: f32) -> GradShard {
+        let mut s = GradShard::zeros(&shapes());
+        for i in 0..s.len() {
+            if let Some((w, b)) = s.slot_mut(i) {
+                w.as_mut_slice().fill(v);
+                b.as_mut_slice().fill(v * 2.0);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn zeros_mirrors_slot_structure() {
+        let s = GradShard::zeros(&shapes());
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(s.slots()[1].is_none());
+        assert_eq!(s.slots()[0].as_ref().unwrap().0.shape().dims(), &[2, 3]);
+        assert!(GradShard::default().is_empty());
+    }
+
+    #[test]
+    fn reduce_folds_in_ascending_order() {
+        let reduced = reduce_in_order(vec![shard_with(1.0), shard_with(2.0), shard_with(4.0)])
+            .unwrap()
+            .unwrap();
+        let (w, b) = reduced.slots()[0].as_ref().unwrap();
+        assert!(w.as_slice().iter().all(|&v| v == 7.0));
+        assert!(b.as_slice().iter().all(|&v| v == 14.0));
+        assert!(reduce_in_order(Vec::new()).unwrap().is_none());
+    }
+
+    #[test]
+    fn accumulate_rejects_mismatched_structure() {
+        let mut a = shard_with(1.0);
+        assert!(a.accumulate(&GradShard::default()).is_err());
+        let other = GradShard::zeros(&[
+            Some((vec![3, 2], vec![2])),
+            None,
+            Some((vec![1, 2], vec![1])),
+        ]);
+        assert!(a.accumulate(&other).is_err());
+    }
+}

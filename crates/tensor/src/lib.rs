@@ -7,8 +7,9 @@
 //! (forward *and* backward passes, [`conv`]), event-driven sparse spike
 //! kernels whose cost scales with activity instead of layer size
 //! ([`sparse`]), batched spike-plane GEMM kernels that amortize weight
-//! traffic across B samples ([`batched`]), and weight initializers
-//! ([`init`]).
+//! traffic across B samples ([`batched`]), deterministic per-shard
+//! gradient buffers for thread-count-invariant parallel backward passes
+//! ([`grads`]), and weight initializers ([`init`]).
 //!
 //! The paper's authors used a Python deep-learning stack as their substrate;
 //! no equivalent mature crate exists offline, so this crate implements the
@@ -38,6 +39,7 @@ mod tensor;
 
 pub mod batched;
 pub mod conv;
+pub mod grads;
 pub mod init;
 pub mod linalg;
 pub mod ops;

@@ -43,32 +43,7 @@ fn check_rank2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (m, k) = check_rank2(a, "matmul")?;
-    let (k2, n) = check_rank2(b, "matmul")?;
-    if k != k2 {
-        return Err(TensorError::ShapeMismatch {
-            lhs: a.shape().dims().to_vec(),
-            rhs: b.shape().dims().to_vec(),
-            op: "matmul",
-        });
-    }
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for p in 0..k {
-            let aik = av[i * k + p];
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &bv[p * n..(p + 1) * n];
-            let crow = &mut out[i * n..(i + 1) * n];
-            for (c, &bval) in crow.iter_mut().zip(brow) {
-                *c += aik * bval;
-            }
-        }
-    }
-    Tensor::from_vec(out, &[m, n])
+    matmul_thresholded(a, b, 0.0)
 }
 
 /// Computes `C = Aᵀ · B`.
@@ -208,9 +183,13 @@ pub fn outer(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// Per output element the accumulation runs over `i` ascending with a
 /// single accumulator — exactly the order `matvec(&transpose(a), x)`
-/// produces — so results are bit-identical to the transpose-then-matvec
-/// path this replaces on the BPTT hot loop (one `[out,in]` transpose
-/// allocation per layer per time step).
+/// produces — so results are value-identical to the
+/// transpose-then-matvec path this replaces on the BPTT hot loop (one
+/// `[out,in]` transpose allocation per layer per time step). Rows with
+/// an exactly-zero coefficient contribute only exact zeros and are
+/// skipped; the surviving rows process in blocks of four with the
+/// per-cell accumulator held in a register across the block (same add
+/// sequence, a quarter of the output loads/stores).
 ///
 /// # Errors
 ///
@@ -230,6 +209,25 @@ pub fn outer(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// # }
 /// ```
 pub fn matvec_t(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    matvec_t_thresholded(a, x, 0.0)
+}
+
+/// [`matvec_t`] with input-gradient sparsification: rows whose
+/// coefficient satisfies `|x[i]| < eps` (or is exactly zero) are
+/// skipped entirely, so the weight traffic scales with the number of
+/// surviving coefficients instead of the full row count.
+///
+/// With `eps == 0.0` only exact zeros are skipped — those contribute
+/// `±0.0` adds that cannot change any accumulator value — so the result
+/// equals [`matvec_t`]'s dense accumulation value-for-value. Surviving
+/// rows accumulate in ascending `i` order with a single accumulator per
+/// output cell, the same order regardless of how many rows the
+/// threshold removed.
+///
+/// # Errors
+///
+/// As [`matvec_t`].
+pub fn matvec_t_thresholded(a: &Tensor, x: &Tensor, eps: f32) -> Result<Tensor> {
     let (m, n) = check_rank2(a, "matvec_t")?;
     if x.shape().rank() != 1 || x.len() != m {
         return Err(TensorError::ShapeMismatch {
@@ -238,16 +236,138 @@ pub fn matvec_t(a: &Tensor, x: &Tensor) -> Result<Tensor> {
             op: "matvec_t",
         });
     }
-    let av = a.as_slice();
-    let xv = x.as_slice();
     let mut out = vec![0.0f32; n];
-    for (i, &xi) in xv.iter().enumerate() {
+    matvec_t_rows(a.as_slice(), n, x.as_slice(), eps, &mut out);
+    Tensor::from_vec(out, &[n])
+}
+
+/// Slice-level core of [`matvec_t_thresholded`]: accumulates
+/// `out[j] += a[i][j]·x[i]` over the admitted rows of `a` (row length
+/// `n`), four rows per pass. `out` is accumulated into, not overwritten.
+fn matvec_t_rows(av: &[f32], n: usize, xv: &[f32], eps: f32, out: &mut [f32]) {
+    // The skip set matches the sibling thresholded kernels: exact zeros
+    // and sub-threshold magnitudes only — NaN coefficients stay in, so
+    // a diverged gradient still surfaces as NaN instead of being
+    // silently masked.
+    let active: Vec<usize> = (0..xv.len())
+        .filter(|&i| xv[i] != 0.0 && (xv[i].abs() >= eps || xv[i].is_nan()))
+        .collect();
+    let mut quads = active.chunks_exact(4);
+    for q in quads.by_ref() {
+        let (r0, r1, r2, r3) = (
+            &av[q[0] * n..q[0] * n + n],
+            &av[q[1] * n..q[1] * n + n],
+            &av[q[2] * n..q[2] * n + n],
+            &av[q[3] * n..q[3] * n + n],
+        );
+        let (x0, x1, x2, x3) = (xv[q[0]], xv[q[1]], xv[q[2]], xv[q[3]]);
+        for (j, o) in out.iter_mut().enumerate() {
+            // Four sequential adds into one register accumulator: the
+            // identical per-cell add order as four single-row passes.
+            let mut acc = *o;
+            acc += r0[j] * x0;
+            acc += r1[j] * x1;
+            acc += r2[j] * x2;
+            acc += r3[j] * x3;
+            *o = acc;
+        }
+    }
+    for &i in quads.remainder() {
         let row = &av[i * n..(i + 1) * n];
+        let xi = xv[i];
         for (o, &w) in out.iter_mut().zip(row) {
             *o += w * xi;
         }
     }
-    Tensor::from_vec(out, &[n])
+}
+
+/// Shard-level transposed product `GI = G·A` for a `[rows, m]` gradient
+/// block against a `[m, n]` matrix, with `|g| < eps` entries skipped —
+/// the input-gradient kernel of the parallel minibatch backward.
+///
+/// The matrix streams **once per call** (outer loop over its rows),
+/// amortizing weight traffic across every row of the shard, while each
+/// output cell still accumulates over `p` ascending with a single
+/// accumulator — the same per-cell order as a per-row
+/// [`matvec_t_thresholded`], so results are value-identical to it (and,
+/// at `eps == 0.0`, to the dense `G·A` GEMM that skips exact zeros).
+///
+/// `out` must be `rows × n` and is overwritten.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for a non-matrix `a` and
+/// [`TensorError::ShapeMismatch`] when `g` is not `rows × m` or `out`
+/// is not `rows × n`.
+pub fn matvec_t_block_thresholded_into(
+    a: &Tensor,
+    g: &[f32],
+    rows: usize,
+    eps: f32,
+    out: &mut [f32],
+) -> Result<()> {
+    let (m, n) = check_rank2(a, "matvec_t_block")?;
+    if g.len() != rows * m || out.len() != rows * n {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![rows, m],
+            rhs: vec![g.len() / m.max(1), m],
+            op: "matvec_t_block",
+        });
+    }
+    out.fill(0.0);
+    let av = a.as_slice();
+    for p in 0..m {
+        let arow = &av[p * n..(p + 1) * n];
+        for r in 0..rows {
+            let gv = g[r * m + p];
+            if gv == 0.0 || gv.abs() < eps {
+                continue;
+            }
+            let orow = &mut out[r * n..(r + 1) * n];
+            for (o, &w) in orow.iter_mut().zip(arow) {
+                *o += gv * w;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// [`matmul`] with `|a[i][k]| < eps` entries skipped in addition to the
+/// exact zeros `matmul` already skips — the thresholded input-gradient
+/// GEMM `GI = G·W` of the batched ANN backward. At `eps == 0.0` the
+/// skip set and per-cell accumulation order equal [`matmul`]'s, so the
+/// result is value-identical to it.
+///
+/// # Errors
+///
+/// As [`matmul`].
+pub fn matmul_thresholded(a: &Tensor, b: &Tensor, eps: f32) -> Result<Tensor> {
+    let (m, k) = check_rank2(a, "matmul")?;
+    let (k2, n) = check_rank2(b, "matmul")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+            op: "matmul",
+        });
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let aik = av[i * k + p];
+            if aik == 0.0 || aik.abs() < eps {
+                continue;
+            }
+            let brow = &bv[p * n..(p + 1) * n];
+            let crow = &mut out[i * n..(i + 1) * n];
+            for (c, &bval) in crow.iter_mut().zip(brow) {
+                *c += aik * bval;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
 }
 
 /// In-place rank-1 accumulation `acc[i][j] += a[i]·b[j]` — the weight
@@ -406,6 +526,108 @@ mod tests {
         let reference = matvec(&transpose(&a).unwrap(), &x).unwrap();
         assert_eq!(fast.as_slice(), reference.as_slice());
         assert_eq!(fast.shape().dims(), &[5]);
+    }
+
+    #[test]
+    fn matvec_t_blocked_matches_naive_reference() {
+        // 11 rows exercises two full quads plus a 3-row remainder.
+        let a = t(
+            (0..11 * 7).map(|i| ((i as f32) * 0.37).cos()).collect(),
+            &[11, 7],
+        );
+        let x = t(
+            (0..11)
+                .map(|i| if i % 3 == 0 { 0.0 } else { (i as f32) - 5.0 })
+                .collect(),
+            &[11],
+        );
+        let fast = matvec_t(&a, &x).unwrap();
+        let mut naive = vec![0.0f32; 7];
+        for (i, &xi) in x.as_slice().iter().enumerate() {
+            for (j, o) in naive.iter_mut().enumerate() {
+                *o += a.as_slice()[i * 7 + j] * xi;
+            }
+        }
+        assert_eq!(fast.as_slice(), naive.as_slice());
+    }
+
+    #[test]
+    fn matvec_t_thresholded_zero_eps_equals_dense() {
+        let a = t(
+            (0..12 * 5).map(|i| ((i as f32) * 0.91).sin()).collect(),
+            &[12, 5],
+        );
+        let x = t((0..12).map(|i| (i as f32 - 6.0) * 1e-4).collect(), &[12]);
+        assert_eq!(
+            matvec_t_thresholded(&a, &x, 0.0).unwrap().as_slice(),
+            matvec_t(&a, &x).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn matvec_t_thresholded_drops_small_rows() {
+        let a = t(vec![1.0, 1.0, 10.0, 10.0, 1.0, 1.0], &[3, 2]);
+        let x = t(vec![1e-4, 1.0, 1e-4], &[3]);
+        let y = matvec_t_thresholded(&a, &x, 1e-3).unwrap();
+        assert_eq!(y.as_slice(), &[10.0, 10.0], "tiny rows skipped");
+        let dense = matvec_t(&a, &x).unwrap();
+        assert!(dense.as_slice()[0] != 10.0, "dense keeps tiny rows");
+    }
+
+    #[test]
+    fn matvec_t_block_matches_per_row_thresholded() {
+        let a = t(
+            (0..9 * 6)
+                .map(|i| ((i as f32) * 0.53).sin() * 1.5)
+                .collect(),
+            &[9, 6],
+        );
+        let rows = 4;
+        let g: Vec<f32> = (0..rows * 9)
+            .map(|i| {
+                let v = ((i as f32) * 0.71).cos();
+                if i % 5 == 0 {
+                    v * 1e-7
+                } else {
+                    v
+                }
+            })
+            .collect();
+        for &eps in &[0.0f32, 1e-5] {
+            let mut block = vec![0.0f32; rows * 6];
+            matvec_t_block_thresholded_into(&a, &g, rows, eps, &mut block).unwrap();
+            for r in 0..rows {
+                let x = t(g[r * 9..(r + 1) * 9].to_vec(), &[9]);
+                let per_row = matvec_t_thresholded(&a, &x, eps).unwrap();
+                assert_eq!(
+                    &block[r * 6..(r + 1) * 6],
+                    per_row.as_slice(),
+                    "row {r} eps {eps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_t_block_rejects_bad_shapes() {
+        let a = t(vec![0.0; 6], &[2, 3]);
+        let mut out = vec![0.0f32; 3];
+        assert!(matvec_t_block_thresholded_into(&a, &[0.0; 3], 1, 0.0, &mut out).is_err());
+        assert!(matvec_t_block_thresholded_into(&a, &[0.0; 2], 1, 0.0, &mut [0.0; 2]).is_err());
+        assert!(matvec_t_block_thresholded_into(&a, &[0.0; 2], 1, 0.0, &mut out).is_ok());
+    }
+
+    #[test]
+    fn matmul_thresholded_zero_eps_equals_matmul() {
+        let a = t((0..6).map(|i| ((i as f32) - 2.5) * 1e-3).collect(), &[2, 3]);
+        let b = t((0..6).map(|i| i as f32).collect(), &[3, 2]);
+        assert_eq!(
+            matmul_thresholded(&a, &b, 0.0).unwrap(),
+            matmul(&a, &b).unwrap()
+        );
+        // A positive threshold drops the small coefficients.
+        let c = matmul_thresholded(&a, &b, 1.0).unwrap();
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
     }
 
     #[test]
