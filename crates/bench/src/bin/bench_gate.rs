@@ -9,11 +9,12 @@
 
 use axsnn_bench::gates::check_bench_file;
 
-const DEFAULT_FILES: [&str; 4] = [
+const DEFAULT_FILES: [&str; 5] = [
     "BENCH_sparse.json",
     "BENCH_batch.json",
     "BENCH_train.json",
     "BENCH_backward.json",
+    "BENCH_conv_batch.json",
 ];
 
 fn main() {

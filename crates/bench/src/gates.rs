@@ -28,6 +28,14 @@
 //!   ≤10% surviving coefficients; its `eps = 0` exact mode
 //!   (`matvec_t_eps0_*`) never regresses dense below **0.9×**.
 //!   `conv_parallel_backward_*` is informational.
+//! * `BENCH_conv_batch.json` — the event-sorted batched conv
+//!   (`conv_batch_sorted_*`, PR 5) vs the row-by-row fused conv path:
+//!   the paper-architecture **stack aggregate** and the k=5 layers ≥
+//!   **1.5×** at ≤10% density and batch ≥ 32; the small k=3 layer and
+//!   the end-to-end plan-selected network forward (`convnet_plan_*`)
+//!   never regress (≥ **0.9×**). Both kernels are bit-identical and the
+//!   A/B is single-threaded, so no hardware skip applies; records carry
+//!   `hardware_threads` like the PR 4 floors for observability.
 //!
 //! Renaming or dropping a gated record cannot silently disarm a floor:
 //! every artifact kind declares the record families it must contain,
@@ -86,11 +94,13 @@ pub fn check_bench_file(path: &str) -> Result<GateReport, String> {
         .ok_or_else(|| format!("{path}: expected a top-level array"))?;
     // Infer the kind from the file *name* only — directory components
     // like an artifact folder named "bench_batch/" must not win.
+    // "conv_batch" must be probed before "batch": the former's file
+    // name contains the latter.
     let file_name = std::path::Path::new(path)
         .file_name()
         .and_then(|f| f.to_str())
         .unwrap_or(path);
-    let kind = ["sparse", "batch", "train", "backward"]
+    let kind = ["conv_batch", "sparse", "batch", "train", "backward"]
         .into_iter()
         .find(|k| file_name.contains(k))
         .ok_or_else(|| format!("{path}: unknown bench artifact kind"))?;
@@ -114,6 +124,11 @@ pub fn check_bench_file(path: &str) -> Result<GateReport, String> {
             "mlp_parallel_backward",
             "matvec_t_thresholded",
             "matvec_t_eps0",
+        ],
+        "conv_batch" => &[
+            "conv_batch_sorted_l",
+            "conv_batch_sorted_stack",
+            "convnet_plan",
         ],
         _ => &[],
     };
@@ -268,6 +283,50 @@ pub fn check_bench_file(path: &str) -> Result<GateReport, String> {
                     }
                 }
             }
+            "conv_batch" => {
+                require_fields(
+                    rec,
+                    &[
+                        "density",
+                        "batch",
+                        "hardware_threads",
+                        "row_by_row_ns",
+                        "sorted_ns",
+                        "speedup",
+                    ],
+                    &ctx,
+                    &mut report.failures,
+                );
+                let density = num(rec, "density", &ctx).unwrap_or(1.0);
+                let batch = num(rec, "batch", &ctx).unwrap_or(0.0);
+                let speedup = num(rec, "speedup", &ctx).unwrap_or(0.0);
+                if name.starts_with("conv_batch_sorted_") {
+                    report.gated += 1;
+                    // The paper stack aggregate and its k=5 layers carry
+                    // the 1.5× floor; the small k=3 layer only has to
+                    // never regress.
+                    let headline = density <= 0.10
+                        && batch >= 32.0
+                        && !name.starts_with("conv_batch_sorted_l3");
+                    if headline {
+                        if speedup < 1.5 {
+                            fail(&mut report, speedup, 1.5, "event-sorted batched conv");
+                        }
+                    } else if speedup < 0.9 {
+                        fail(&mut report, speedup, 0.9, "batched conv no-regression");
+                    }
+                } else if name.starts_with("convnet_plan") {
+                    report.gated += 1;
+                    if speedup < 0.9 {
+                        fail(
+                            &mut report,
+                            speedup,
+                            0.9,
+                            "plan-selected conv no-regression",
+                        );
+                    }
+                }
+            }
             _ => unreachable!("kind matched above"),
         }
     }
@@ -383,6 +442,56 @@ mod tests {
         );
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_dir(dir);
+    }
+
+    fn conv_batch_rows(stack_speedup: f64) -> Vec<BenchRow> {
+        let rec = |name: &str, speedup: f64| {
+            BenchRow::new()
+                .str("name", name)
+                .num("density", 0.10, 2)
+                .num("batch", 32.0, 0)
+                .num("hardware_threads", 1.0, 0)
+                .num("row_by_row_ns", 100.0 * speedup, 0)
+                .num("sorted_ns", 100.0, 0)
+                .num("speedup", speedup, 3)
+        };
+        vec![
+            rec("conv_batch_sorted_l1_1to8_k5_28x28_B32", 2.5),
+            rec("conv_batch_sorted_l3_16to16_k3_7x7_B32", 1.2),
+            rec("conv_batch_sorted_stack_B32", stack_speedup),
+            rec("convnet_plan_forward_T16_28x28_B32", 1.1),
+        ]
+    }
+
+    #[test]
+    fn conv_batch_floors_enforced() {
+        // The stack aggregate carries the 1.5× headline floor...
+        let path = tmp("axsnn_gate_conv_batch_a.json", &conv_batch_rows(1.3));
+        let report = check_bench_file(&path).unwrap();
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert!(report.failures[0].contains("1.5"));
+        let _ = std::fs::remove_file(path);
+        // ...and passing rows gate cleanly (the k=3 layer is only held
+        // to the 0.9× no-regression floor).
+        let path = tmp("axsnn_gate_conv_batch_b.json", &conv_batch_rows(2.0));
+        let report = check_bench_file(&path).unwrap();
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.gated, 4);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn conv_batch_kind_wins_over_batch_in_file_name() {
+        // "BENCH_conv_batch.json" contains "batch" too; the kind probe
+        // must classify it as conv_batch, not batch.
+        let path = tmp("BENCH_conv_batch.json", &conv_batch_rows(2.0));
+        let report = check_bench_file(&path).unwrap();
+        assert!(
+            report.failures.is_empty(),
+            "misclassified as batch: {:?}",
+            report.failures
+        );
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -1,225 +1,16 @@
-//! Minimal JSON writer/parser for the `BENCH_*.json` perf artifacts.
+//! Bench-artifact JSON layer over the in-tree JSON module.
 //!
-//! The workspace vendors a no-op `serde` shim (no crates.io access), so
-//! the bench binaries serialize their records through this module
-//! instead: [`BenchRow`]/[`write_bench_json`] produce the flat
-//! array-of-objects layout every `BENCH_*.json` file shares, and
-//! [`parse`] reads them back for the consolidated trajectory gate
-//! (`bench_gate`). Only the subset of JSON the bench artifacts need is
-//! supported: objects, arrays, strings (no escapes beyond `\"`, `\\`,
-//! `\n`, `\t`), numbers, booleans and `null`.
+//! The generic JSON value, parser and writer were factored into
+//! [`axsnn::core::json`] (PR 5) so the model snapshots in
+//! `axsnn_core::io` can serialize for real; this module re-exports them
+//! and keeps the bench-specific pieces: [`BenchRow`] /
+//! [`write_bench_json`] produce the flat array-of-objects layout every
+//! `BENCH_*.json` file shares, and the consolidated trajectory gate
+//! (`bench_gate`) reads them back through [`parse`].
 
 use std::fmt::Write as _;
 
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// A number (all JSON numbers parse as `f64`).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// A boolean.
-    Bool(bool),
-    /// `null`.
-    Null,
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, in source order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// The numeric value, if this is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(v) => Some(*v),
-            _ => None,
-        }
-    }
-
-    /// The string value, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The elements, if this is an array.
-    pub fn as_array(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(v) => Some(v),
-            _ => None,
-        }
-    }
-
-    /// Looks a key up, if this is an object.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-}
-
-/// Parses a JSON document.
-///
-/// # Errors
-///
-/// Returns a human-readable message (with byte offset) for malformed
-/// input or trailing garbage.
-pub fn parse(src: &str) -> Result<Json, String> {
-    let bytes = src.as_bytes();
-    let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
-    }
-    Ok(value)
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-    if *pos < b.len() && b[*pos] == c {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!("expected '{}' at byte {pos}", c as char))
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        Some(b'{') => parse_obj(b, pos),
-        Some(b'[') => parse_arr(b, pos),
-        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
-        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
-        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
-        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
-        Some(_) => parse_num(b, pos),
-        None => Err("unexpected end of input".into()),
-    }
-}
-
-fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
-    if b[*pos..].starts_with(lit.as_bytes()) {
-        *pos += lit.len();
-        Ok(value)
-    } else {
-        Err(format!("invalid literal at byte {pos}"))
-    }
-}
-
-fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
-        *pos += 1;
-    }
-    std::str::from_utf8(&b[start..*pos])
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .map(Json::Num)
-        .ok_or_else(|| format!("invalid number at byte {start}"))
-}
-
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-    expect(b, pos, b'"')?;
-    let mut out = String::new();
-    while *pos < b.len() {
-        match b[*pos] {
-            b'"' => {
-                *pos += 1;
-                return Ok(out);
-            }
-            b'\\' => {
-                *pos += 1;
-                match b.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b't') => out.push('\t'),
-                    _ => return Err(format!("unsupported escape at byte {pos}")),
-                }
-                *pos += 1;
-            }
-            c => {
-                // Multi-byte UTF-8 passes through unchanged.
-                let ch_len = utf8_len(c);
-                out.push_str(
-                    std::str::from_utf8(&b[*pos..*pos + ch_len])
-                        .map_err(|_| format!("invalid UTF-8 at byte {pos}"))?,
-                );
-                *pos += ch_len;
-            }
-        }
-    }
-    Err("unterminated string".into())
-}
-
-fn utf8_len(first: u8) -> usize {
-    match first {
-        0x00..=0x7f => 1,
-        0xc0..=0xdf => 2,
-        0xe0..=0xef => 3,
-        _ => 4,
-    }
-}
-
-fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    expect(b, pos, b'{')?;
-    let mut fields = Vec::new();
-    skip_ws(b, pos);
-    if b.get(*pos) == Some(&b'}') {
-        *pos += 1;
-        return Ok(Json::Obj(fields));
-    }
-    loop {
-        skip_ws(b, pos);
-        let key = parse_string(b, pos)?;
-        skip_ws(b, pos);
-        expect(b, pos, b':')?;
-        let value = parse_value(b, pos)?;
-        fields.push((key, value));
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b'}') => {
-                *pos += 1;
-                return Ok(Json::Obj(fields));
-            }
-            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-        }
-    }
-}
-
-fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    expect(b, pos, b'[')?;
-    let mut items = Vec::new();
-    skip_ws(b, pos);
-    if b.get(*pos) == Some(&b']') {
-        *pos += 1;
-        return Ok(Json::Arr(items));
-    }
-    loop {
-        items.push(parse_value(b, pos)?);
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b']') => {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-        }
-    }
-}
+pub use axsnn::core::json::{parse, Json};
 
 /// One record of a bench artifact: ordered `(key, preformatted value)`
 /// fields, built with [`BenchRow::str`]/[`BenchRow::num`].
@@ -305,17 +96,6 @@ mod tests {
         assert_eq!(arr[0].get("speedup").unwrap().as_f64(), Some(2.517));
         assert_eq!(arr[1].get("name").unwrap().as_str(), Some("kernel_b"));
         let _ = std::fs::remove_file(path);
-    }
-
-    #[test]
-    fn parses_nested_values_and_rejects_garbage() {
-        let ok = parse(r#"{"a": [1, -2.5e3, true, null], "b": "x\"y"}"#).unwrap();
-        assert_eq!(ok.get("a").unwrap().as_array().unwrap().len(), 4);
-        assert_eq!(ok.get("b").unwrap().as_str(), Some("x\"y"));
-        assert!(parse("[1, 2").is_err());
-        assert!(parse("{\"a\" 1}").is_err());
-        assert!(parse("[] trailing").is_err());
-        assert!(parse("").is_err());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! ([`crate::convert`]).
 
 use crate::batch::fan_out_with;
-use crate::fused::BackwardOpts;
+use crate::plan::BackwardOpts;
 use crate::{CoreError, Result};
 use axsnn_tensor::batched::matmul_bt_bias;
 use axsnn_tensor::conv::{self, Conv2dSpec};

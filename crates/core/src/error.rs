@@ -38,6 +38,12 @@ pub enum CoreError {
         /// Description of the incompatibility.
         message: String,
     },
+    /// A model snapshot could not be serialized, parsed or written
+    /// (malformed JSON, filesystem errors).
+    Serialization {
+        /// Description of the serialization failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -53,6 +59,7 @@ impl fmt::Display for CoreError {
                 write!(f, "backward requested without a recorded forward pass")
             }
             CoreError::Incompatible { message } => write!(f, "incompatible models: {message}"),
+            CoreError::Serialization { message } => write!(f, "serialization failed: {message}"),
         }
     }
 }

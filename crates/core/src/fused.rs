@@ -44,12 +44,14 @@
 
 use crate::batch::{fan_out_with, sample_seed};
 use crate::encoding::Encoder;
-use crate::layer::{acc_grad, surrogate_carry_grad, FallbackCounter, Layer};
+use crate::layer::{acc_grad, surrogate_carry_grad, Layer};
 use crate::lif::BatchedLifState;
 use crate::network::SpikingNetwork;
+use crate::plan::{ConvBatchKernel, KernelPolicy};
 use crate::{CoreError, Result};
 use axsnn_tensor::batched::{
-    matmul_bt_bias, sparse_matmul_bias, sparse_matmul_bias_exact, SpikeMatrix,
+    matmul_bt_bias, sparse_conv2d_batch_sorted_into, sparse_matmul_bias, sparse_matmul_bias_exact,
+    SpikeMatrix,
 };
 use axsnn_tensor::conv::{self, Conv2dSpec};
 use axsnn_tensor::grads::{self, GradShard};
@@ -57,7 +59,8 @@ use axsnn_tensor::sparse::{self, SpikeVector};
 use axsnn_tensor::{linalg, Tensor, TensorError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+
+pub use crate::plan::BackwardOpts;
 
 /// Default number of samples fused into one batched forward pass.
 ///
@@ -276,30 +279,20 @@ impl BatchPlane {
         self.dims.iter().product()
     }
 
-    /// Replicates [`SpikeVector::from_dense_if_sparse`]'s admission
-    /// rule for row `r`, returning the row's events exactly when the
+    /// Runs the plan's density gate ([`KernelPolicy::admit`] and
+    /// friends) on row `r`, returning the row's events exactly when the
     /// per-sample gate would: the frame is binary and its density is at
-    /// most `threshold`.
-    fn admit(&self, r: usize, threshold: f32) -> Option<SpikeVector> {
+    /// most the policy's threshold. Declines count on the policy's
+    /// fallback counter, matching the per-sample unit (one per batch
+    /// row).
+    fn admit(&self, r: usize, policy: &KernelPolicy) -> Option<SpikeVector> {
         let len = self.volume();
         match &self.data {
             PlaneData::Rows(rows) => match &rows[r] {
-                PlaneRow::Events(events) => {
-                    if threshold <= 0.0 || threshold.is_nan() {
-                        return None;
-                    }
-                    let cap = (threshold as f64 * len as f64).floor() as usize;
-                    if events.nnz() <= cap {
-                        Some(events.clone())
-                    } else {
-                        None
-                    }
-                }
-                PlaneRow::Dense(t) => SpikeVector::from_dense_if_sparse(t, threshold),
+                PlaneRow::Events(events) => policy.admit_events(events).then(|| events.clone()),
+                PlaneRow::Dense(t) => policy.admit(t),
             },
-            PlaneData::Stacked(block) => {
-                SpikeVector::from_slice_if_sparse(&block[r * len..(r + 1) * len], threshold)
-            }
+            PlaneData::Stacked(block) => policy.admit_slice(&block[r * len..(r + 1) * len]),
         }
     }
 
@@ -442,9 +435,8 @@ impl BatchTape {
 fn linear_current_block(
     weight: &Tensor,
     bias: &Tensor,
-    threshold: f32,
+    policy: &KernelPolicy,
     plane: &BatchPlane,
-    fallbacks: &FallbackCounter,
     record: bool,
 ) -> Result<(Vec<f32>, Vec<BatchTapeRow>)> {
     let wdims = weight.shape().dims();
@@ -463,15 +455,12 @@ fn linear_current_block(
     let mut dense_data: Vec<f32> = Vec::new();
     let mut dense_pos: Vec<usize> = Vec::new();
     for r in 0..b {
-        match plane.admit(r, threshold) {
+        match plane.admit(r, policy) {
             Some(events) => {
                 sparse_pos.push(r);
                 sparse_rows.push(events);
             }
             None => {
-                if threshold > 0.0 {
-                    fallbacks.bump();
-                }
                 dense_pos.push(r);
                 plane.extend_dense(r, &mut dense_data);
             }
@@ -523,19 +512,23 @@ fn linear_current_block(
 }
 
 /// Computes the `[B, Cout·OH·OW]` current block of a spiking conv
-/// layer: admitted rows scatter their events directly into the block
-/// through the shared stencil kernel, the rest run the dense conv.
+/// layer. Gate-admitted rows execute under the plan's batched-conv
+/// kernel choice: [`ConvBatchKernel::EventSorted`] packs them into a
+/// CSR batch and runs the tile-sorted scatter
+/// ([`sparse_conv2d_batch_sorted_into`]) straight into the block — one
+/// pass over the conv weights per batch — while
+/// [`ConvBatchKernel::RowByRow`] keeps the per-row stencil sweep. Both
+/// are bit-identical per row; declined rows run the dense conv.
 ///
-/// The scatter conv already accumulates each output cell in the dense
-/// kernel's order, so the same kernels serve recorded steps; `record`
-/// only asks for the per-row tape inputs back (empty otherwise).
+/// The scatter convs accumulate each output cell in the dense kernel's
+/// order, so the same kernels serve recorded steps; `record` only asks
+/// for the per-row tape inputs back (empty otherwise).
 fn conv_current_block(
     spec: &Conv2dSpec,
     weight: &Tensor,
     bias: &Tensor,
-    threshold: f32,
+    policy: &KernelPolicy,
     plane: &BatchPlane,
-    fallbacks: &FallbackCounter,
     record: bool,
 ) -> Result<(Vec<f32>, Vec<usize>, Vec<BatchTapeRow>)> {
     if plane.dims.len() != 3 {
@@ -570,21 +563,40 @@ fn conv_current_block(
     let (oh, ow) = spec.output_hw(h, w);
     let n = spec.out_channels * oh * ow;
     let b = plane.batch;
+    let in_len = plane.volume();
     let mut block = vec![0.0f32; b * n];
     let mut rows = Vec::with_capacity(if record { b } else { 0 });
-    for r in 0..b {
+    // One gate decision per row, through the plan's policy.
+    let admitted: Vec<Option<SpikeVector>> = (0..b).map(|r| plane.admit(r, policy)).collect();
+    let sorted = policy.conv_batch() == ConvBatchKernel::EventSorted
+        && b > 1
+        && admitted.iter().any(Option::is_some);
+    if sorted {
+        // Pack every row (declined rows as empty event lists — their
+        // slots are overwritten by the dense conv below) and run the
+        // event-sorted scatter straight into the block.
+        let packed: Vec<SpikeVector> = admitted
+            .iter()
+            .map(|row| match row {
+                Some(events) => events.clone(),
+                None => SpikeVector::new(Vec::new(), in_len).expect("empty rows are in bounds"),
+            })
+            .collect();
+        let matrix = SpikeMatrix::from_rows(&packed).map_err(CoreError::from)?;
+        sparse_conv2d_batch_sorted_into(&matrix, (h, w), weight, bias, spec, &mut block)?;
+    }
+    for (r, admitted_row) in admitted.into_iter().enumerate() {
         let slot = &mut block[r * n..(r + 1) * n];
-        match plane.admit(r, threshold) {
+        match admitted_row {
             Some(events) => {
-                sparse::sparse_conv2d_into(&events, (h, w), weight, bias, spec, slot)?;
+                if !sorted {
+                    sparse::sparse_conv2d_into(&events, (h, w), weight, bias, spec, slot)?;
+                }
                 if record {
                     rows.push(BatchTapeRow::Events(events));
                 }
             }
             None => {
-                if threshold > 0.0 {
-                    fallbacks.bump();
-                }
                 let t = plane.dense_row(r)?;
                 let out = conv::conv2d(&t, weight, bias, spec)?;
                 slot.copy_from_slice(out.as_slice());
@@ -608,9 +620,8 @@ fn conv_current_block(
 fn pool_plane(
     plane: BatchPlane,
     window: usize,
-    threshold: f32,
+    policy: &KernelPolicy,
     max: bool,
-    fallbacks: &FallbackCounter,
     record: bool,
 ) -> Result<(BatchPlane, Vec<Vec<usize>>)> {
     let gate_ok = !record && plane.dims.len() == 3;
@@ -619,7 +630,7 @@ fn pool_plane(
     let mut out_dims = Vec::new();
     let mut argmax_rows = Vec::with_capacity(if record && max { b } else { 0 });
     for r in 0..b {
-        let pooled = match gate_ok.then(|| plane.admit(r, threshold)).flatten() {
+        let pooled = match gate_ok.then(|| plane.admit(r, policy)).flatten() {
             Some(events) => {
                 if max {
                     sparse::sparse_max_pool2d(&events, &plane.dims, window)?
@@ -628,9 +639,6 @@ fn pool_plane(
                 }
             }
             None => {
-                if gate_ok && threshold > 0.0 {
-                    fallbacks.bump();
-                }
                 let t = plane.dense_row(r)?;
                 if max {
                     let pooled = conv::max_pool2d(&t, window)?;
@@ -670,53 +678,6 @@ fn pool_plane(
 /// rows per shard. Eight balances both for the minibatch sizes the
 /// trainers use (8–32).
 pub const MAX_BACKWARD_SHARDS: usize = 8;
-
-/// Execution options for the batched backward passes
-/// ([`SpikingNetwork::backward_batch_with`],
-/// [`crate::ann::AnnNetwork::forward_backward_batch_with`]).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct BackwardOpts {
-    /// Worker threads for the row-sharded backward; `0` uses all
-    /// available cores. Gradients are bit-identical for every value —
-    /// the shard partition and reduction order never depend on it.
-    pub threads: usize,
-    /// Input-gradient sparsification threshold: `|g|` entries below
-    /// this are skipped in the `Wᵀ·g` propagation products. `0.0`
-    /// (default) keeps the exact dense result; small positive values
-    /// trade a bounded gradient perturbation for skipped weight
-    /// traffic (the tolerance budget is pinned by
-    /// `tests/grad_equivalence.rs`).
-    pub input_grad_eps: f32,
-}
-
-impl Default for BackwardOpts {
-    fn default() -> Self {
-        BackwardOpts {
-            threads: 0,
-            input_grad_eps: 0.0,
-        }
-    }
-}
-
-impl BackwardOpts {
-    /// Validates the options.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::Config`] for a negative or non-finite
-    /// `input_grad_eps`.
-    pub fn validate(&self) -> Result<()> {
-        if !self.input_grad_eps.is_finite() || self.input_grad_eps < 0.0 {
-            return Err(CoreError::Config {
-                message: format!(
-                    "input_grad_eps must be finite and ≥ 0, got {}",
-                    self.input_grad_eps
-                ),
-            });
-        }
-        Ok(())
-    }
-}
 
 /// The row range and options one shard worker operates under.
 struct ShardCtx {
@@ -1031,9 +992,8 @@ impl SpikingNetwork {
                             &l.spec,
                             &l.weight.value,
                             &l.bias.value,
-                            l.sparse_threshold,
+                            &l.policy,
                             &plane,
-                            &l.dense_fallbacks,
                             record,
                         )?;
                         let n = current.len() / b;
@@ -1060,9 +1020,8 @@ impl SpikingNetwork {
                         let (current, rows) = linear_current_block(
                             &l.weight.value,
                             &l.bias.value,
-                            l.sparse_threshold,
+                            &l.policy,
                             &plane,
-                            &l.dense_fallbacks,
                             record,
                         )?;
                         let n = current.len() / b;
@@ -1089,9 +1048,8 @@ impl SpikingNetwork {
                         let (block, rows) = linear_current_block(
                             &l.weight.value,
                             &l.bias.value,
-                            l.sparse_threshold,
+                            &l.policy,
                             &plane,
-                            &l.dense_fallbacks,
                             record,
                         )?;
                         if record {
@@ -1106,14 +1064,7 @@ impl SpikingNetwork {
                     }
                     Layer::AvgPool2d(l) => {
                         let in_dims = plane.dims.clone();
-                        let (pooled, _) = pool_plane(
-                            plane,
-                            l.window,
-                            l.sparse_threshold,
-                            false,
-                            &l.dense_fallbacks,
-                            record,
-                        )?;
+                        let (pooled, _) = pool_plane(plane, l.window, &l.policy, false, record)?;
                         if record {
                             step_tape.push(BatchTapeStep::AvgPool { in_dims });
                         }
@@ -1121,14 +1072,8 @@ impl SpikingNetwork {
                     }
                     Layer::MaxPool2d(l) => {
                         let in_dims = plane.dims.clone();
-                        let (pooled, argmax) = pool_plane(
-                            plane,
-                            l.window,
-                            l.sparse_threshold,
-                            true,
-                            &l.dense_fallbacks,
-                            record,
-                        )?;
+                        let (pooled, argmax) =
+                            pool_plane(plane, l.window, &l.policy, true, record)?;
                         if record {
                             step_tape.push(BatchTapeStep::MaxPool { in_dims, argmax });
                         }

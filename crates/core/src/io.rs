@@ -3,17 +3,25 @@
 //!
 //! Algorithm 1 sweeps dozens of `(V_th, T)` configurations; persisting
 //! the trained accurate model once and re-loading it per grid point is
-//! how a deployment would actually use this library. The format is
-//! self-describing JSON built from the crate's `serde` derives — stable
-//! across runs and diffable in experiments.
+//! how a deployment would actually use this library. The in-memory
+//! snapshot types ([`SnnSnapshot`], [`AnnSnapshot`]) capture structure
+//! and weights; [`NetworkSnapshot`] additionally carries the serialized
+//! execution plan ([`crate::plan::ExecPlan`]) and round-trips through
+//! real bytes via the in-tree JSON module ([`crate::json`]) —
+//! [`save_network`] / [`load_network`] write and read actual files,
+//! with weights restored value-exact (the JSON writer uses shortest-
+//! roundtrip float formatting).
 
 use crate::ann::{AnnLayer, AnnNetwork};
+use crate::json::{self, Json};
 use crate::layer::Layer;
 use crate::network::{SnnConfig, SpikingNetwork};
+use crate::plan::ConvBatchKernel;
 use crate::{CoreError, Result};
 use axsnn_tensor::conv::Conv2dSpec;
 use axsnn_tensor::Tensor;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// Serializable description of one layer.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -276,6 +284,454 @@ pub fn restore_ann(snapshot: &AnnSnapshot) -> Result<AnnNetwork> {
     AnnNetwork::new(layers)
 }
 
+/// One layer's serialized execution-plan entry of a
+/// [`NetworkSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPlanSpec {
+    /// Layer kind (as [`Layer::kind`]), for validation and diffability.
+    pub kind: String,
+    /// The layer's density-gate threshold (`None` for layers without
+    /// kernels to choose — flatten, dropout).
+    pub threshold: Option<f32>,
+    /// The batched-conv kernel choice, for conv layers.
+    pub conv_batch: Option<ConvBatchKernel>,
+}
+
+/// Full serializable snapshot of a spiking network: structure, weights
+/// and the execution plan. This is the on-disk unit —
+/// [`NetworkSnapshot::to_json_string`] / [`NetworkSnapshot::from_json_str`]
+/// round-trip through real JSON bytes.
+#[derive(Debug, Clone)]
+pub struct NetworkSnapshot {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Structure + weights.
+    pub snn: SnnSnapshot,
+    /// Per-layer execution-plan entries, aligned with `snn.layers`.
+    pub plan: Vec<LayerPlanSpec>,
+}
+
+/// Captures a spiking network — including its execution plan — into a
+/// serializable snapshot.
+///
+/// # Errors
+///
+/// Propagates [`snapshot_snn`] failures.
+pub fn snapshot_network(net: &SpikingNetwork) -> Result<NetworkSnapshot> {
+    let snn = snapshot_snn(net)?;
+    let plan = net
+        .layers()
+        .iter()
+        .zip(net.exec_plan().layers())
+        .map(|(layer, entry)| LayerPlanSpec {
+            kind: layer.kind().to_string(),
+            threshold: layer.sparse_threshold(),
+            conv_batch: entry.conv_batch,
+        })
+        .collect();
+    Ok(NetworkSnapshot {
+        version: FORMAT_VERSION,
+        snn,
+        plan,
+    })
+}
+
+/// Rebuilds a spiking network from a full snapshot, re-installing the
+/// serialized execution plan (per-layer thresholds and batched-conv
+/// kernel choices).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Incompatible`] for unsupported versions or a
+/// plan that does not align with the layer stack, plus any
+/// [`restore_snn`] failure.
+pub fn restore_network(snapshot: &NetworkSnapshot) -> Result<SpikingNetwork> {
+    if snapshot.version != FORMAT_VERSION {
+        return Err(CoreError::Incompatible {
+            message: format!("unsupported snapshot version {}", snapshot.version),
+        });
+    }
+    let mut net = restore_snn(&snapshot.snn)?;
+    if snapshot.plan.len() != net.depth() {
+        return Err(CoreError::Incompatible {
+            message: format!(
+                "plan has {} entries for {} layers",
+                snapshot.plan.len(),
+                net.depth()
+            ),
+        });
+    }
+    for (layer, spec) in net.layers_mut().iter_mut().zip(&snapshot.plan) {
+        if layer.kind() != spec.kind {
+            return Err(CoreError::Incompatible {
+                message: format!(
+                    "plan entry kind {:?} does not match layer {:?}",
+                    spec.kind,
+                    layer.kind()
+                ),
+            });
+        }
+        if let Some(threshold) = spec.threshold {
+            layer.set_sparse_threshold(threshold);
+        }
+        if let (Some(policy), Some(conv_batch)) = (layer.policy_mut(), spec.conv_batch) {
+            policy.set_conv_batch(conv_batch);
+        }
+    }
+    net.refresh_plan();
+    Ok(net)
+}
+
+fn ser_err(message: impl Into<String>) -> CoreError {
+    CoreError::Serialization {
+        message: message.into(),
+    }
+}
+
+fn tensor_to_json(t: &Tensor) -> Json {
+    Json::Obj(vec![
+        (
+            "dims".into(),
+            Json::Arr(
+                t.shape()
+                    .dims()
+                    .iter()
+                    .map(|&d| Json::Num(d as f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "data".into(),
+            Json::Arr(t.as_slice().iter().map(|&v| Json::Num(v as f64)).collect()),
+        ),
+    ])
+}
+
+fn tensor_from_json(value: &Json, ctx: &str) -> Result<Tensor> {
+    let dims: Vec<usize> = value
+        .get("dims")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ser_err(format!("{ctx}: missing tensor dims")))?
+        .iter()
+        .map(|d| {
+            d.as_f64()
+                .map(|v| v as usize)
+                .ok_or_else(|| ser_err(format!("{ctx}: non-numeric dim")))
+        })
+        .collect::<Result<_>>()?;
+    let data: Vec<f32> = value
+        .get("data")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ser_err(format!("{ctx}: missing tensor data")))?
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .map(|v| v as f32)
+                .ok_or_else(|| ser_err(format!("{ctx}: non-numeric tensor element")))
+        })
+        .collect::<Result<_>>()?;
+    Tensor::from_vec(data, &dims).map_err(CoreError::from)
+}
+
+fn num_field(value: &Json, key: &str, ctx: &str) -> Result<f64> {
+    value
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| ser_err(format!("{ctx}: missing numeric field {key:?}")))
+}
+
+fn layer_spec_to_json(spec: &LayerSpec) -> Json {
+    match spec {
+        LayerSpec::Conv {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            weight,
+            bias,
+        } => Json::Obj(vec![
+            ("kind".into(), Json::Str("conv".into())),
+            ("in_channels".into(), Json::Num(*in_channels as f64)),
+            ("out_channels".into(), Json::Num(*out_channels as f64)),
+            ("kernel".into(), Json::Num(*kernel as f64)),
+            ("stride".into(), Json::Num(*stride as f64)),
+            ("padding".into(), Json::Num(*padding as f64)),
+            ("weight".into(), tensor_to_json(weight)),
+            ("bias".into(), tensor_to_json(bias)),
+        ]),
+        LayerSpec::Linear { weight, bias } => Json::Obj(vec![
+            ("kind".into(), Json::Str("linear".into())),
+            ("weight".into(), tensor_to_json(weight)),
+            ("bias".into(), tensor_to_json(bias)),
+        ]),
+        LayerSpec::Output { weight, bias } => Json::Obj(vec![
+            ("kind".into(), Json::Str("output".into())),
+            ("weight".into(), tensor_to_json(weight)),
+            ("bias".into(), tensor_to_json(bias)),
+        ]),
+        LayerSpec::AvgPool { window } => Json::Obj(vec![
+            ("kind".into(), Json::Str("avg_pool".into())),
+            ("window".into(), Json::Num(*window as f64)),
+        ]),
+        LayerSpec::MaxPool { window } => Json::Obj(vec![
+            ("kind".into(), Json::Str("max_pool".into())),
+            ("window".into(), Json::Num(*window as f64)),
+        ]),
+        LayerSpec::Flatten => Json::Obj(vec![("kind".into(), Json::Str("flatten".into()))]),
+        LayerSpec::Dropout { probability } => Json::Obj(vec![
+            ("kind".into(), Json::Str("dropout".into())),
+            ("probability".into(), Json::Num(*probability as f64)),
+        ]),
+    }
+}
+
+fn layer_spec_from_json(value: &Json, ctx: &str) -> Result<LayerSpec> {
+    let kind = value
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ser_err(format!("{ctx}: missing layer kind")))?;
+    Ok(match kind {
+        "conv" => LayerSpec::Conv {
+            in_channels: num_field(value, "in_channels", ctx)? as usize,
+            out_channels: num_field(value, "out_channels", ctx)? as usize,
+            kernel: num_field(value, "kernel", ctx)? as usize,
+            stride: num_field(value, "stride", ctx)? as usize,
+            padding: num_field(value, "padding", ctx)? as usize,
+            weight: tensor_from_json(
+                value
+                    .get("weight")
+                    .ok_or_else(|| ser_err(format!("{ctx}: missing weight")))?,
+                ctx,
+            )?,
+            bias: tensor_from_json(
+                value
+                    .get("bias")
+                    .ok_or_else(|| ser_err(format!("{ctx}: missing bias")))?,
+                ctx,
+            )?,
+        },
+        "linear" | "output" => {
+            let weight = tensor_from_json(
+                value
+                    .get("weight")
+                    .ok_or_else(|| ser_err(format!("{ctx}: missing weight")))?,
+                ctx,
+            )?;
+            let bias = tensor_from_json(
+                value
+                    .get("bias")
+                    .ok_or_else(|| ser_err(format!("{ctx}: missing bias")))?,
+                ctx,
+            )?;
+            if kind == "linear" {
+                LayerSpec::Linear { weight, bias }
+            } else {
+                LayerSpec::Output { weight, bias }
+            }
+        }
+        "avg_pool" => LayerSpec::AvgPool {
+            window: num_field(value, "window", ctx)? as usize,
+        },
+        "max_pool" => LayerSpec::MaxPool {
+            window: num_field(value, "window", ctx)? as usize,
+        },
+        "flatten" => LayerSpec::Flatten,
+        "dropout" => LayerSpec::Dropout {
+            probability: num_field(value, "probability", ctx)? as f32,
+        },
+        other => return Err(ser_err(format!("{ctx}: unknown layer kind {other:?}"))),
+    })
+}
+
+fn plan_spec_to_json(spec: &LayerPlanSpec) -> Json {
+    Json::Obj(vec![
+        ("kind".into(), Json::Str(spec.kind.clone())),
+        (
+            "threshold".into(),
+            match spec.threshold {
+                Some(t) => Json::Num(t as f64),
+                None => Json::Null,
+            },
+        ),
+        (
+            "conv_batch".into(),
+            match spec.conv_batch {
+                Some(ConvBatchKernel::EventSorted) => Json::Str("event_sorted".into()),
+                Some(ConvBatchKernel::RowByRow) => Json::Str("row_by_row".into()),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+fn plan_spec_from_json(value: &Json, ctx: &str) -> Result<LayerPlanSpec> {
+    let kind = value
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ser_err(format!("{ctx}: missing plan entry kind")))?
+        .to_string();
+    let threshold = match value.get("threshold") {
+        Some(Json::Null) | None => None,
+        Some(v) => Some(
+            v.as_f64()
+                .ok_or_else(|| ser_err(format!("{ctx}: non-numeric threshold")))?
+                as f32,
+        ),
+    };
+    let conv_batch = match value.get("conv_batch") {
+        Some(Json::Null) | None => None,
+        Some(v) => Some(match v.as_str() {
+            Some("event_sorted") => ConvBatchKernel::EventSorted,
+            Some("row_by_row") => ConvBatchKernel::RowByRow,
+            other => {
+                return Err(ser_err(format!(
+                    "{ctx}: unknown conv_batch kernel {other:?}"
+                )))
+            }
+        }),
+    };
+    Ok(LayerPlanSpec {
+        kind,
+        threshold,
+        conv_batch,
+    })
+}
+
+impl NetworkSnapshot {
+    /// Serializes the snapshot as a JSON document.
+    pub fn to_json_string(&self) -> String {
+        Json::Obj(vec![
+            ("version".into(), Json::Num(self.version as f64)),
+            (
+                "config".into(),
+                Json::Obj(vec![
+                    (
+                        "threshold".into(),
+                        Json::Num(self.snn.config.threshold as f64),
+                    ),
+                    (
+                        "time_steps".into(),
+                        Json::Num(self.snn.config.time_steps as f64),
+                    ),
+                    ("leak".into(), Json::Num(self.snn.config.leak as f64)),
+                ]),
+            ),
+            (
+                "layers".into(),
+                Json::Arr(self.snn.layers.iter().map(layer_spec_to_json).collect()),
+            ),
+            (
+                "plan".into(),
+                Json::Arr(self.plan.iter().map(plan_spec_to_json).collect()),
+            ),
+        ])
+        .to_json_string()
+    }
+
+    /// Parses a snapshot from a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Serialization`] for malformed documents.
+    pub fn from_json_str(src: &str) -> Result<NetworkSnapshot> {
+        let doc = json::parse(src).map_err(|e| ser_err(format!("invalid JSON: {e}")))?;
+        let version = num_field(&doc, "version", "snapshot")? as u32;
+        let config = doc
+            .get("config")
+            .ok_or_else(|| ser_err("snapshot: missing config"))?;
+        let config = SnnConfig {
+            threshold: num_field(config, "threshold", "config")? as f32,
+            time_steps: num_field(config, "time_steps", "config")? as usize,
+            leak: num_field(config, "leak", "config")? as f32,
+        };
+        let layers = doc
+            .get("layers")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ser_err("snapshot: missing layers array"))?
+            .iter()
+            .enumerate()
+            .map(|(i, l)| layer_spec_from_json(l, &format!("layer[{i}]")))
+            .collect::<Result<Vec<_>>>()?;
+        let plan = doc
+            .get("plan")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ser_err("snapshot: missing plan array"))?
+            .iter()
+            .enumerate()
+            .map(|(i, p)| plan_spec_from_json(p, &format!("plan[{i}]")))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(NetworkSnapshot {
+            version,
+            snn: SnnSnapshot {
+                version,
+                config,
+                layers,
+            },
+            plan,
+        })
+    }
+}
+
+/// Snapshots a spiking network — structure, weights and execution plan
+/// — and writes it to `path` as JSON.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Serialization`] for filesystem failures.
+pub fn save_network(net: &SpikingNetwork, path: impl AsRef<Path>) -> Result<()> {
+    let snapshot = snapshot_network(net)?;
+    std::fs::write(path.as_ref(), snapshot.to_json_string())
+        .map_err(|e| ser_err(format!("cannot write {:?}: {e}", path.as_ref())))
+}
+
+/// Loads a spiking network — weights value-exact, execution plan
+/// re-installed — from a JSON file written by [`save_network`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::Serialization`] for unreadable or malformed
+/// files and [`CoreError::Incompatible`] for version/structure
+/// mismatches.
+pub fn load_network(path: impl AsRef<Path>) -> Result<SpikingNetwork> {
+    let src = std::fs::read_to_string(path.as_ref())
+        .map_err(|e| ser_err(format!("cannot read {:?}: {e}", path.as_ref())))?;
+    restore_network(&NetworkSnapshot::from_json_str(&src)?)
+}
+
+/// Serializes an ANN snapshot as a JSON document (the ANN twin's
+/// counterpart of [`NetworkSnapshot::to_json_string`]; ANNs carry no
+/// execution plan).
+pub fn ann_to_json_string(snapshot: &AnnSnapshot) -> String {
+    Json::Obj(vec![
+        ("version".into(), Json::Num(snapshot.version as f64)),
+        (
+            "layers".into(),
+            Json::Arr(snapshot.layers.iter().map(layer_spec_to_json).collect()),
+        ),
+    ])
+    .to_json_string()
+}
+
+/// Parses an ANN snapshot from a JSON document.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Serialization`] for malformed documents.
+pub fn ann_from_json_str(src: &str) -> Result<AnnSnapshot> {
+    let doc = json::parse(src).map_err(|e| ser_err(format!("invalid JSON: {e}")))?;
+    let version = num_field(&doc, "version", "snapshot")? as u32;
+    let layers = doc
+        .get("layers")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ser_err("snapshot: missing layers array"))?
+        .iter()
+        .enumerate()
+        .map(|(i, l)| layer_spec_from_json(l, &format!("layer[{i}]")))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(AnnSnapshot { version, layers })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +805,101 @@ mod tests {
         let mut snapshot = snapshot_snn(&original).unwrap();
         snapshot.version = 999;
         assert!(restore_snn(&snapshot).is_err());
+    }
+
+    #[test]
+    fn network_snapshot_json_roundtrip_is_value_exact() {
+        let mut net = sample_snn();
+        net.set_sparse_threshold(0.4);
+        let snapshot = snapshot_network(&net).unwrap();
+        let text = snapshot.to_json_string();
+        let parsed = NetworkSnapshot::from_json_str(&text).unwrap();
+        let restored = restore_network(&parsed).unwrap();
+
+        // Weights restore bit-for-bit (shortest-roundtrip floats).
+        for (a, b) in net.layers().iter().zip(restored.layers()) {
+            if let (Some((wa, ba)), Some((wb, bb))) = (a.params(), b.params()) {
+                assert_eq!(wa.value.as_slice(), wb.value.as_slice());
+                assert_eq!(ba.value.as_slice(), bb.value.as_slice());
+            }
+            assert_eq!(a.sparse_threshold(), b.sparse_threshold());
+        }
+        // The serialized plan survives: thresholds and conv kernel
+        // choices re-install.
+        assert_eq!(restored.layers()[0].sparse_threshold(), Some(0.4));
+        assert_eq!(
+            restored.exec_plan().layers()[0].conv_batch,
+            net.exec_plan().layers()[0].conv_batch
+        );
+        // Classification is identical.
+        let mut rng = StdRng::seed_from_u64(3);
+        let image = Tensor::full(&[1, 4, 4], 0.6);
+        let mut restored = restored;
+        let a = net
+            .classify(&image, Encoder::DirectCurrent, &mut rng)
+            .unwrap();
+        let b = restored
+            .classify(&image, Encoder::DirectCurrent, &mut rng)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn network_snapshot_file_roundtrip() {
+        let net = sample_snn();
+        let path = std::env::temp_dir().join("axsnn_network_snapshot.json");
+        save_network(&net, &path).unwrap();
+        let restored = load_network(&path).unwrap();
+        assert_eq!(restored.depth(), net.depth());
+        assert_eq!(restored.parameter_count(), net.parameter_count());
+        assert_eq!(
+            restored.exec_plan().eligibility(),
+            net.exec_plan().eligibility()
+        );
+        let _ = std::fs::remove_file(&path);
+        assert!(load_network(&path).is_err(), "missing file must error");
+    }
+
+    #[test]
+    fn network_snapshot_rejects_malformed_documents() {
+        assert!(NetworkSnapshot::from_json_str("not json").is_err());
+        assert!(NetworkSnapshot::from_json_str("{}").is_err());
+        assert!(NetworkSnapshot::from_json_str(
+            r#"{"version": 1, "config": {"threshold": 1.0, "time_steps": 8, "leak": 0.9},
+                "layers": [{"kind": "warp_drive"}], "plan": []}"#
+        )
+        .is_err());
+        // A plan that does not align with the stack is rejected.
+        let net = sample_snn();
+        let mut snapshot = snapshot_network(&net).unwrap();
+        snapshot.plan.pop();
+        assert!(restore_network(&snapshot).is_err());
+        let mut snapshot = snapshot_network(&net).unwrap();
+        snapshot.plan[0].kind = "flatten".into();
+        assert!(restore_network(&snapshot).is_err());
+        let mut snapshot = snapshot_network(&net).unwrap();
+        snapshot.version = 999;
+        assert!(restore_network(&snapshot).is_err());
+    }
+
+    #[test]
+    fn ann_snapshot_json_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let ann = AnnNetwork::new(vec![
+            AnnLayer::linear_relu(&mut rng, 4, 8),
+            AnnLayer::linear_out(&mut rng, 8, 3),
+        ])
+        .unwrap();
+        let snapshot = snapshot_ann(&ann).unwrap();
+        let text = ann_to_json_string(&snapshot);
+        let parsed = ann_from_json_str(&text).unwrap();
+        let restored = restore_ann(&parsed).unwrap();
+        let x = Tensor::full(&[4], 0.7);
+        assert_eq!(
+            ann.forward(&x).unwrap().as_slice(),
+            restored.forward(&x).unwrap().as_slice()
+        );
+        assert!(ann_from_json_str("[]").is_err());
     }
 
     #[test]

@@ -38,13 +38,12 @@
 
 use crate::lif::{LifParams, LifState};
 use crate::network::SnnConfig;
+use crate::plan::KernelPolicy;
 use crate::{CoreError, Result};
 use axsnn_tensor::conv::{self, Conv2dSpec};
-use axsnn_tensor::sparse::{self, SpikeVector, DEFAULT_DENSITY_THRESHOLD};
+use axsnn_tensor::sparse::{self, SpikeVector};
 use axsnn_tensor::{init, linalg, Tensor};
 use rand::Rng;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// Learnable parameter pair (value + gradient accumulator + momentum).
 #[derive(Debug, Clone)]
@@ -110,27 +109,6 @@ impl Param {
     }
 }
 
-/// Dense-fallback counter shared across clones of a layer.
-///
-/// The sharded batch evaluators hand each worker a *clone* of the
-/// network; an `Arc`-shared atomic lets those workers' fallback events
-/// aggregate into the instance the caller holds, so the sparse→dense
-/// degradation stays observable on exactly the sweep paths it matters
-/// for. Relaxed ordering suffices — it is a statistics counter with no
-/// ordering dependencies.
-#[derive(Debug, Clone, Default)]
-pub(crate) struct FallbackCounter(Arc<AtomicU64>);
-
-impl FallbackCounter {
-    pub(crate) fn bump(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
-}
-
 /// An input frame recorded on the BPTT tape: event form when the
 /// density gate admitted it, dense otherwise.
 #[derive(Debug, Clone)]
@@ -166,8 +144,7 @@ pub struct SpikingConv2d {
     carry: Vec<f32>,
     input_hw: Option<(usize, usize)>,
     last_spikes: Option<f32>,
-    pub(crate) sparse_threshold: f32,
-    pub(crate) dense_fallbacks: FallbackCounter,
+    pub(crate) policy: KernelPolicy,
 }
 
 /// Spiking fully-connected layer (`[In] → [Out]` spikes).
@@ -182,8 +159,7 @@ pub struct SpikingLinear {
     tape: Vec<SpikeTape>,
     carry: Vec<f32>,
     last_spikes: Option<f32>,
-    pub(crate) sparse_threshold: f32,
-    pub(crate) dense_fallbacks: FallbackCounter,
+    pub(crate) policy: KernelPolicy,
 }
 
 /// Non-spiking integrator readout; the network sums its per-step outputs.
@@ -194,8 +170,7 @@ pub struct OutputLinear {
     /// Bias `[Out]`.
     pub bias: Param,
     inputs: Vec<TapeInput>,
-    pub(crate) sparse_threshold: f32,
-    pub(crate) dense_fallbacks: FallbackCounter,
+    pub(crate) policy: KernelPolicy,
 }
 
 /// Average-pooling layer over spikes (linear, stateless).
@@ -204,8 +179,7 @@ pub struct AvgPool2d {
     /// Square window / stride.
     pub window: usize,
     input_dims: Vec<usize>,
-    pub(crate) sparse_threshold: f32,
-    pub(crate) dense_fallbacks: FallbackCounter,
+    pub(crate) policy: KernelPolicy,
 }
 
 /// Max-pooling layer over spikes (winner-take-all, stateless per step).
@@ -215,8 +189,7 @@ pub struct MaxPool2d {
     pub window: usize,
     input_dims: Vec<usize>,
     argmax_per_step: Vec<Vec<usize>>,
-    pub(crate) sparse_threshold: f32,
-    pub(crate) dense_fallbacks: FallbackCounter,
+    pub(crate) policy: KernelPolicy,
 }
 
 /// Flatten `[C,H,W] → [C·H·W]`.
@@ -329,8 +302,7 @@ impl Layer {
             carry: Vec::new(),
             input_hw: None,
             last_spikes: None,
-            sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
-            dense_fallbacks: FallbackCounter::default(),
+            policy: KernelPolicy::for_conv(&spec),
         })
     }
 
@@ -350,8 +322,7 @@ impl Layer {
             tape: Vec::new(),
             carry: vec![0.0; outputs],
             last_spikes: None,
-            sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
-            dense_fallbacks: FallbackCounter::default(),
+            policy: KernelPolicy::for_linear(),
         })
     }
 
@@ -362,8 +333,7 @@ impl Layer {
             weight: Param::new(weight),
             bias: Param::new(Tensor::zeros(&[outputs])),
             inputs: Vec::new(),
-            sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
-            dense_fallbacks: FallbackCounter::default(),
+            policy: KernelPolicy::for_linear(),
         })
     }
 
@@ -406,8 +376,7 @@ impl Layer {
             carry: Vec::new(),
             input_hw: None,
             last_spikes: None,
-            sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
-            dense_fallbacks: FallbackCounter::default(),
+            policy: KernelPolicy::for_conv(&spec),
         }))
     }
 
@@ -432,8 +401,7 @@ impl Layer {
             tape: Vec::new(),
             carry: vec![0.0; outputs],
             last_spikes: None,
-            sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
-            dense_fallbacks: FallbackCounter::default(),
+            policy: KernelPolicy::for_linear(),
         }))
     }
 
@@ -452,8 +420,7 @@ impl Layer {
             weight: Param::new(weight),
             bias: Param::new(bias),
             inputs: Vec::new(),
-            sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
-            dense_fallbacks: FallbackCounter::default(),
+            policy: KernelPolicy::for_linear(),
         }))
     }
 
@@ -462,8 +429,7 @@ impl Layer {
         Layer::AvgPool2d(AvgPool2d {
             window,
             input_dims: Vec::new(),
-            sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
-            dense_fallbacks: FallbackCounter::default(),
+            policy: KernelPolicy::for_pool(),
         })
     }
 
@@ -473,8 +439,7 @@ impl Layer {
             window,
             input_dims: Vec::new(),
             argmax_per_step: Vec::new(),
-            sparse_threshold: DEFAULT_DENSITY_THRESHOLD,
-            dense_fallbacks: FallbackCounter::default(),
+            policy: KernelPolicy::for_pool(),
         })
     }
 
@@ -614,11 +579,7 @@ impl Layer {
                 let sparse_input = if idims.len() != 3 || idims[0] != l.spec.in_channels {
                     None
                 } else {
-                    let events = SpikeVector::from_dense_if_sparse(input, l.sparse_threshold);
-                    if events.is_none() && l.sparse_threshold > 0.0 {
-                        l.dense_fallbacks.bump();
-                    }
-                    events
+                    l.policy.admit(input)
                 };
                 let current = match &sparse_input {
                     Some(events) => sparse::sparse_conv2d(
@@ -655,13 +616,7 @@ impl Layer {
                 Tensor::from_vec(out.spikes, &dims).map_err(CoreError::from)
             }
             Layer::SpikingLinear(l) => {
-                let sparse_input = {
-                    let events = SpikeVector::from_dense_if_sparse(input, l.sparse_threshold);
-                    if events.is_none() && l.sparse_threshold > 0.0 {
-                        l.dense_fallbacks.bump();
-                    }
-                    events
-                };
+                let sparse_input = l.policy.admit(input);
                 let (current, flat) = match &sparse_input {
                     // Recorded steps use the exact-order gather so the
                     // event tape's currents equal the dense tape's;
@@ -701,10 +656,7 @@ impl Layer {
                 Tensor::from_vec(out.spikes, &[n]).map_err(CoreError::from)
             }
             Layer::OutputLinear(l) => {
-                let events = SpikeVector::from_dense_if_sparse(input, l.sparse_threshold);
-                if events.is_none() && l.sparse_threshold > 0.0 {
-                    l.dense_fallbacks.bump();
-                }
+                let events = l.policy.admit(input);
                 match events {
                     Some(events) if !record => {
                         sparse::sparse_matvec_bias(&l.weight.value, &events, &l.bias.value)
@@ -736,13 +688,9 @@ impl Layer {
             Layer::AvgPool2d(l) => {
                 l.input_dims = input.shape().dims().to_vec();
                 if !record && l.input_dims.len() == 3 {
-                    match SpikeVector::from_dense_if_sparse(input, l.sparse_threshold) {
-                        Some(events) => {
-                            return sparse::sparse_avg_pool2d(&events, &l.input_dims, l.window)
-                                .map_err(CoreError::from);
-                        }
-                        None if l.sparse_threshold > 0.0 => l.dense_fallbacks.bump(),
-                        None => {}
+                    if let Some(events) = l.policy.admit(input) {
+                        return sparse::sparse_avg_pool2d(&events, &l.input_dims, l.window)
+                            .map_err(CoreError::from);
                     }
                 }
                 conv::avg_pool2d(input, l.window).map_err(CoreError::from)
@@ -750,13 +698,9 @@ impl Layer {
             Layer::MaxPool2d(l) => {
                 l.input_dims = input.shape().dims().to_vec();
                 if !record && l.input_dims.len() == 3 {
-                    match SpikeVector::from_dense_if_sparse(input, l.sparse_threshold) {
-                        Some(events) => {
-                            return sparse::sparse_max_pool2d(&events, &l.input_dims, l.window)
-                                .map_err(CoreError::from);
-                        }
-                        None if l.sparse_threshold > 0.0 => l.dense_fallbacks.bump(),
-                        None => {}
+                    if let Some(events) = l.policy.admit(input) {
+                        return sparse::sparse_max_pool2d(&events, &l.input_dims, l.window)
+                            .map_err(CoreError::from);
                     }
                 }
                 let out = conv::max_pool2d(input, l.window)?;
@@ -954,13 +898,33 @@ impl Layer {
     /// event-form BPTT tape (`0.0` forces the dense path and a dense
     /// tape everywhere; no-op for flatten/dropout layers).
     pub fn set_sparse_threshold(&mut self, threshold: f32) {
+        if let Some(policy) = self.policy_mut() {
+            policy.set_threshold(threshold);
+        }
+    }
+
+    /// Shared access to the layer's kernel policy, if it has kernels to
+    /// choose (`None` for flatten/dropout).
+    pub(crate) fn policy(&self) -> Option<&KernelPolicy> {
         match self {
-            Layer::SpikingConv2d(l) => l.sparse_threshold = threshold,
-            Layer::SpikingLinear(l) => l.sparse_threshold = threshold,
-            Layer::OutputLinear(l) => l.sparse_threshold = threshold,
-            Layer::AvgPool2d(l) => l.sparse_threshold = threshold,
-            Layer::MaxPool2d(l) => l.sparse_threshold = threshold,
-            _ => {}
+            Layer::SpikingConv2d(l) => Some(&l.policy),
+            Layer::SpikingLinear(l) => Some(&l.policy),
+            Layer::OutputLinear(l) => Some(&l.policy),
+            Layer::AvgPool2d(l) => Some(&l.policy),
+            Layer::MaxPool2d(l) => Some(&l.policy),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the layer's kernel policy.
+    pub(crate) fn policy_mut(&mut self) -> Option<&mut KernelPolicy> {
+        match self {
+            Layer::SpikingConv2d(l) => Some(&mut l.policy),
+            Layer::SpikingLinear(l) => Some(&mut l.policy),
+            Layer::OutputLinear(l) => Some(&mut l.policy),
+            Layer::AvgPool2d(l) => Some(&mut l.policy),
+            Layer::MaxPool2d(l) => Some(&mut l.policy),
+            _ => None,
         }
     }
 
@@ -981,26 +945,12 @@ impl Layer {
     /// aggregate into the caller's instance) and is never reset by
     /// [`Layer::reset`].
     pub fn dense_fallback_count(&self) -> Option<u64> {
-        match self {
-            Layer::SpikingConv2d(l) => Some(l.dense_fallbacks.get()),
-            Layer::SpikingLinear(l) => Some(l.dense_fallbacks.get()),
-            Layer::OutputLinear(l) => Some(l.dense_fallbacks.get()),
-            Layer::AvgPool2d(l) => Some(l.dense_fallbacks.get()),
-            Layer::MaxPool2d(l) => Some(l.dense_fallbacks.get()),
-            _ => None,
-        }
+        self.policy().map(KernelPolicy::fallback_count)
     }
 
     /// The layer's sparse-density threshold, if it has a sparse path.
     pub fn sparse_threshold(&self) -> Option<f32> {
-        match self {
-            Layer::SpikingConv2d(l) => Some(l.sparse_threshold),
-            Layer::SpikingLinear(l) => Some(l.sparse_threshold),
-            Layer::OutputLinear(l) => Some(l.sparse_threshold),
-            Layer::AvgPool2d(l) => Some(l.sparse_threshold),
-            Layer::MaxPool2d(l) => Some(l.sparse_threshold),
-            _ => None,
-        }
+        self.policy().map(KernelPolicy::threshold)
     }
 }
 

@@ -17,8 +17,14 @@
 //! * [`convert`] — data-based threshold balancing conversion,
 //! * [`approx`] — approximation levels and Eq. (1) `a_th` computation that
 //!   turn an AccSNN into an AxSNN,
-//! * [`io`] — serializable model snapshots (save a trained model once,
-//!   restore per grid point),
+//! * [`plan`] — the unified kernel-dispatch layer: per-layer
+//!   [`plan::KernelPolicy`] (density gate, kernel choice, fallback
+//!   accounting) and the per-network [`plan::ExecPlan`],
+//! * [`io`] — model snapshots with real JSON save/load (save a trained
+//!   model once, restore per grid point), including the serialized
+//!   execution plan,
+//! * [`json`] — the in-tree JSON value/parser/writer those snapshots
+//!   (and the bench artifacts) serialize through,
 //! * [`precision`] — FP32/FP16/INT8 precision scaling and scalar
 //!   quantization.
 //!
@@ -56,9 +62,11 @@ pub mod convert;
 pub mod encoding;
 pub mod fused;
 pub mod io;
+pub mod json;
 pub mod layer;
 pub mod lif;
 pub mod network;
+pub mod plan;
 pub mod precision;
 pub mod train;
 

@@ -14,10 +14,13 @@
 use crate::encoding::Encoder;
 use crate::layer::Layer;
 use crate::lif::LifParams;
+use crate::plan::{ExecPlan, PlanOverride};
 use crate::{CoreError, Result};
 use axsnn_tensor::Tensor;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+pub use crate::plan::{LayerEligibility, SparseEligibility};
 
 /// Global structural parameters of an SNN (the paper's robustness knobs).
 ///
@@ -114,34 +117,6 @@ impl SpikeStats {
     }
 }
 
-/// One layer's entry in the [`SparseEligibility`] report.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LayerEligibility {
-    /// Layer kind (as [`Layer::kind`]).
-    pub kind: String,
-    /// Whether the layer has an event-driven kernel at all.
-    pub has_sparse_kernel: bool,
-    /// Whether the layer's input can still be binary at this depth
-    /// (assuming a binary network input).
-    pub binary_input: bool,
-    /// Whether this layer destroys binarity for everything downstream
-    /// (average pooling, active train-mode dropout).
-    pub debinarizes: bool,
-}
-
-/// Result of [`SpikingNetwork::sparse_eligible`]: which layers can ever
-/// take the event-driven sparse path.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SparseEligibility {
-    /// Per-layer audit entries, in stack order.
-    pub per_layer: Vec<LayerEligibility>,
-    /// `true` when every layer with a sparse kernel can receive binary
-    /// input — no silent dense degradation anywhere.
-    pub fully_eligible: bool,
-    /// Index of the first de-binarizing layer, if any.
-    pub first_debinarizing: Option<usize>,
-}
-
 /// Output of a forward simulation.
 #[derive(Debug, Clone)]
 pub struct ForwardOutput {
@@ -181,6 +156,7 @@ pub struct ForwardOutput {
 pub struct SpikingNetwork {
     layers: Vec<Layer>,
     config: SnnConfig,
+    plan: ExecPlan,
 }
 
 impl SpikingNetwork {
@@ -202,7 +178,36 @@ impl SpikingNetwork {
                 message: "last layer must be an output_linear readout".into(),
             });
         }
-        Ok(SpikingNetwork { layers, config })
+        let plan = ExecPlan::capture(&layers);
+        Ok(SpikingNetwork {
+            layers,
+            config,
+            plan,
+        })
+    }
+
+    /// The network's execution plan: the per-layer kernel choices and
+    /// sparse-path eligibility the dispatch layer derived (see
+    /// [`crate::plan`]). Re-captured automatically on the mutation
+    /// points that can change it ([`SpikingNetwork::apply_plan`],
+    /// [`SpikingNetwork::set_sparse_threshold`],
+    /// [`SpikingNetwork::set_train_mode`]).
+    pub fn exec_plan(&self) -> &ExecPlan {
+        &self.plan
+    }
+
+    /// Applies a plan override to every layer ([`PlanOverride::Auto`]
+    /// restores the shape-derived defaults) and re-captures the plan.
+    pub fn apply_plan(&mut self, plan: PlanOverride) {
+        self.plan = ExecPlan::apply(&mut self.layers, plan);
+    }
+
+    /// Re-captures the execution plan after direct layer mutations
+    /// through [`SpikingNetwork::layers_mut`] or
+    /// [`Layer::set_sparse_threshold`] (the structured entry points
+    /// re-capture automatically).
+    pub fn refresh_plan(&mut self) {
+        self.plan = ExecPlan::capture(&self.layers);
     }
 
     /// The network configuration.
@@ -226,11 +231,14 @@ impl SpikingNetwork {
         self.layers.len()
     }
 
-    /// Switches every dropout layer between train and inference mode.
+    /// Switches every dropout layer between train and inference mode
+    /// (and re-captures the execution plan — active train-mode dropout
+    /// de-binarizes the frames behind it).
     pub fn set_train_mode(&mut self, train: bool) {
         for l in &mut self.layers {
             l.set_train_mode(train);
         }
+        self.plan = ExecPlan::capture(&self.layers);
     }
 
     /// Re-applies `threshold`/`leak` from a new configuration to every
@@ -258,11 +266,11 @@ impl SpikingNetwork {
 
     /// Sets every layer's spike-density threshold for the event-driven
     /// sparse forward path (`0.0` forces the dense kernels everywhere —
-    /// useful for A/B comparisons and equivalence tests).
+    /// useful for A/B comparisons and equivalence tests). Equivalent to
+    /// [`SpikingNetwork::apply_plan`] with
+    /// [`PlanOverride::ForceThreshold`].
     pub fn set_sparse_threshold(&mut self, threshold: f32) {
-        for l in &mut self.layers {
-            l.set_sparse_threshold(threshold);
-        }
+        self.apply_plan(PlanOverride::ForceThreshold(threshold));
     }
 
     /// Runs the network over a sequence of input frames (one per time
@@ -384,12 +392,10 @@ impl SpikingNetwork {
 
     /// Per-layer dense-fallback counters (see
     /// [`Layer::dense_fallback_count`]); `0` for layers without a
-    /// sparse path.
+    /// sparse path. A view over the execution plan's shared per-layer
+    /// counters, so worker clones' fallbacks are included.
     pub fn dense_fallback_counts(&self) -> Vec<u64> {
-        self.layers
-            .iter()
-            .map(|l| l.dense_fallback_count().unwrap_or(0))
-            .collect()
+        self.plan.dense_fallback_counts()
     }
 
     /// Total dense-fallback conversions across all layers — the
@@ -399,52 +405,13 @@ impl SpikingNetwork {
         self.dense_fallback_counts().iter().sum()
     }
 
-    /// Static sparse-path eligibility audit: walks the layer stack
-    /// assuming a binary (rate-coded) network input and reports, per
-    /// layer, whether its input can still be binary when it arrives —
-    /// i.e. whether the event-driven kernels can ever engage there.
-    ///
-    /// Average pooling de-binarizes inter-layer frames (window sums
-    /// become fractions), silently forcing every downstream layer onto
-    /// the dense path until the next spiking layer re-binarizes; this
-    /// report makes that visible before running anything.
+    /// Static sparse-path eligibility audit — a view over the
+    /// execution plan (see [`ExecPlan::eligibility`] for the audit
+    /// semantics): which layers can ever take the event-driven sparse
+    /// path, and where average pooling or train-mode dropout silently
+    /// forces the dense kernels downstream.
     pub fn sparse_eligible(&self) -> SparseEligibility {
-        let mut per_layer = Vec::with_capacity(self.layers.len());
-        let mut first_debinarizing = None;
-        let mut binary = true;
-        for (i, layer) in self.layers.iter().enumerate() {
-            let has_sparse_kernel = layer.sparse_threshold().is_some();
-            let debinarizes = match layer {
-                Layer::AvgPool2d(p) => p.window > 1,
-                Layer::Dropout(d) => d.train_mode && d.probability > 0.0,
-                _ => false,
-            };
-            per_layer.push(LayerEligibility {
-                kind: layer.kind().to_string(),
-                has_sparse_kernel,
-                binary_input: binary,
-                debinarizes,
-            });
-            if debinarizes && first_debinarizing.is_none() {
-                first_debinarizing = Some(i);
-            }
-            binary = if layer.is_spiking() {
-                // LIF populations emit binary spikes regardless of input.
-                true
-            } else if matches!(layer, Layer::OutputLinear(_)) {
-                false
-            } else {
-                binary && !debinarizes
-            };
-        }
-        let fully_eligible = per_layer
-            .iter()
-            .all(|l| !l.has_sparse_kernel || l.binary_input);
-        SparseEligibility {
-            per_layer,
-            fully_eligible,
-            first_debinarizing,
-        }
+        self.plan.eligibility()
     }
 
     /// Encodes an image and returns the predicted class label.

@@ -13,8 +13,9 @@
 
 use crate::ann::AnnNetwork;
 use crate::encoding::Encoder;
-use crate::fused::{BackwardOpts, FrameTrain};
+use crate::fused::FrameTrain;
 use crate::network::SpikingNetwork;
+use crate::plan::BackwardOpts;
 use crate::{CoreError, Result};
 use axsnn_tensor::{ops, Tensor};
 use rand::seq::SliceRandom;

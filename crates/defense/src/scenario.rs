@@ -21,6 +21,7 @@ use axsnn_core::ann::{AnnLayer, AnnNetwork};
 use axsnn_core::approx::{apply_quantile_approximation, ApproximationLevel};
 use axsnn_core::convert::ann_to_snn;
 use axsnn_core::network::{SnnConfig, SpikingNetwork};
+use axsnn_core::plan::ExecPlan;
 use axsnn_core::train::{evaluate_ann, train_ann, TrainConfig, TrainReport};
 use axsnn_datasets::dvs::{DvsGestureConfig, SyntheticDvsGestures, CLASSES as DVS_CLASSES};
 use axsnn_datasets::mnist::{MnistConfig, SyntheticMnist, CLASSES as MNIST_CLASSES};
@@ -324,6 +325,22 @@ impl MnistScenario {
         apply_quantile_approximation(&mut net, level);
         Ok(net)
     }
+
+    /// The execution plan the kernel-dispatch layer derives for this
+    /// scenario's converted SNN at `cfg` — per-layer kernel choices
+    /// (for the paper conv architecture: event-sorted batched conv on
+    /// every conv layer) plus the sparse-path eligibility audit. Sweeps
+    /// construct it once and print
+    /// [`axsnn_core::plan::ExecPlan::summary`] to see where the
+    /// activity-proportional kernels will engage before running
+    /// anything.
+    ///
+    /// # Errors
+    ///
+    /// Propagates conversion failures.
+    pub fn exec_plan(&self, cfg: SnnConfig) -> Result<ExecPlan> {
+        Ok(self.acc_snn(cfg)?.exec_plan().clone())
+    }
 }
 
 /// Configuration of the DVS gesture scenario.
@@ -483,6 +500,16 @@ impl DvsScenario {
         apply_quantile_approximation(&mut net, level);
         Ok(net)
     }
+
+    /// The execution plan of this scenario's converted SNN at `cfg`
+    /// (see [`MnistScenario::exec_plan`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates conversion failures.
+    pub fn exec_plan(&self, cfg: SnnConfig) -> Result<ExecPlan> {
+        Ok(self.acc_snn(cfg)?.exec_plan().clone())
+    }
 }
 
 #[cfg(test)]
@@ -571,34 +598,63 @@ mod tests {
         assert_eq!(d.layers().len(), 8);
     }
 
-    /// The pooling audit: both paper architectures convert into SNNs
-    /// whose every sparse-kernel layer can receive binary input — no
-    /// silent dense-path degradation anywhere in the stack.
+    /// The plan audit: both paper architectures convert into SNNs whose
+    /// execution plan is fully sparse-eligible (no silent dense-path
+    /// degradation anywhere) and selects the event-sorted batched conv
+    /// kernel for every conv layer.
     #[test]
-    fn paper_architectures_are_fully_sparse_eligible() {
+    fn paper_architectures_build_fully_sparse_event_sorted_plans() {
         use axsnn_core::convert::ann_to_snn;
+        use axsnn_core::plan::{ConvBatchKernel, ExecPlan};
         let mut rng = StdRng::seed_from_u64(0);
         let cfg = SnnConfig {
             threshold: 1.0,
             time_steps: 8,
             leak: 0.9,
         };
+        let check_plan = |plan: &ExecPlan, what: &str| {
+            let report = plan.eligibility();
+            assert!(
+                report.fully_eligible,
+                "{what} must be sparse-eligible end to end: {report:?}"
+            );
+            assert_eq!(report.first_debinarizing, None, "{what}");
+            let conv_kernels: Vec<_> = plan
+                .layers()
+                .iter()
+                .filter(|l| l.kind == "spiking_conv2d")
+                .map(|l| l.conv_batch)
+                .collect();
+            assert!(!conv_kernels.is_empty(), "{what} has conv layers");
+            assert!(
+                conv_kernels
+                    .iter()
+                    .all(|k| *k == Some(ConvBatchKernel::EventSorted)),
+                "{what} conv layers must select the event-sorted kernel: {conv_kernels:?}"
+            );
+        };
         let calib = vec![Tensor::full(&[1, 16, 16], 0.5)];
         let mnist = ann_to_snn(&mnist_conv_ann(&mut rng, 16), cfg, &calib).unwrap();
-        let report = mnist.sparse_eligible();
-        assert!(
-            report.fully_eligible,
-            "MNIST paper net must be sparse-eligible end to end: {report:?}"
-        );
-        assert_eq!(report.first_debinarizing, None);
+        check_plan(mnist.exec_plan(), "MNIST paper net");
 
         let dvs_calib = vec![Tensor::full(&[2, 32, 32], 0.5)];
         let dvs = ann_to_snn(&dvs_conv_ann(&mut rng, 32), cfg, &dvs_calib).unwrap();
-        let report = dvs.sparse_eligible();
-        assert!(
-            report.fully_eligible,
-            "DVS paper net must be sparse-eligible end to end: {report:?}"
-        );
+        check_plan(dvs.exec_plan(), "DVS paper net");
+    }
+
+    /// Scenario-level plan construction: the prepared scenario hands
+    /// sweeps the converted network's execution plan directly.
+    #[test]
+    fn scenario_exec_plan_is_constructible() {
+        let s = MnistScenario::prepare(small_mnist()).unwrap();
+        let cfg = SnnConfig {
+            threshold: 1.0,
+            time_steps: 16,
+            leak: 0.9,
+        };
+        let plan = s.exec_plan(cfg).unwrap();
+        assert_eq!(plan.layers().len(), s.acc_snn(cfg).unwrap().depth());
+        assert!(!plan.summary().is_empty());
     }
 
     #[test]
