@@ -1,0 +1,142 @@
+//! Smoke benchmark: the crash-safe sweep engine's checkpoint costs,
+//! exported to `BENCH_sweep.json` for the CI perf trajectory.
+//!
+//! Times three runs of the same deterministic grid through
+//! [`axsnn::defense::journal::GridSweep`]:
+//!
+//! * **cold** — no journal at all (the pre-journal baseline),
+//! * **journaled** — a fresh journal, every cell committed and flushed
+//!   as it completes (the steady-state cost of crash safety),
+//! * **resume** — the journal already holds every cell, so the run is
+//!   pure replay (the cost of restarting after a crash at the finish
+//!   line).
+//!
+//! The `axsnn_bench::gates` floors assert journaling never costs more
+//! than ~10% of a cold run (`speedup = cold/journaled ≥ 0.9`) and that
+//! resuming a completed grid is at least 10× faster than re-running it
+//! (`speedup = cold/resume ≥ 10`). The resumed payloads are also
+//! asserted bit-identical to the cold run's — the bench doubles as an
+//! equivalence smoke test.
+//!
+//! Usage: `cargo run --release -p axsnn-bench --bin bench_sweep
+//! [out.json]` (default output `BENCH_sweep.json`).
+//! `AXSNN_BENCH_ITERS` scales the per-cell workload (default 20).
+
+use axsnn::core::json::Json;
+use axsnn::defense::journal::{fnv1a, GridFingerprint, GridSweep, SweepOptions};
+use axsnn_bench::json::{write_bench_json, BenchRow};
+use std::hint::black_box;
+use std::time::Instant;
+
+const CELLS: usize = 32;
+
+fn iters() -> u64 {
+    std::env::var("AXSNN_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20)
+}
+
+/// Deterministic per-cell workload: a few milliseconds of hashing whose
+/// result depends only on the cell index, so every run — cold,
+/// journaled, resumed, any thread count — produces the same payloads.
+fn eval_cell(cell: usize) -> Result<Json, axsnn::defense::DefenseError> {
+    let rounds = 20_000 * iters();
+    let mut acc = cell as u64;
+    for i in 0..rounds {
+        acc = fnv1a(&(acc ^ i).to_le_bytes());
+    }
+    black_box(acc);
+    Ok(Json::Obj(vec![(
+        "value".into(),
+        Json::Num(f64::from(acc as u32)),
+    )]))
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".into());
+    let journal_path =
+        std::env::temp_dir().join(format!("axsnn_bench_sweep_{}.jsonl", std::process::id()));
+    let sweep = GridSweep::new(CELLS, GridFingerprint::of("axsnn.bench_sweep.v1"));
+    // Single-threaded A/B: the engine's checkpoint overhead is what is
+    // being measured, not the workload's parallel scaling.
+    let opts_cold = SweepOptions {
+        threads: 1,
+        ..SweepOptions::new()
+    };
+    let opts_journaled = SweepOptions {
+        threads: 1,
+        ..SweepOptions::journaled(&journal_path)
+    };
+
+    let mut cold_ns = Vec::new();
+    let mut journaled_ns = Vec::new();
+    let mut resume_ns = Vec::new();
+    let mut cold_payloads = None;
+    let mut resumed_payloads = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let (payloads, _) = sweep.run_parallel(&opts_cold, eval_cell).expect("cold run");
+        cold_ns.push(start.elapsed().as_nanos() as f64);
+        cold_payloads = Some(payloads);
+
+        // Fresh journal: full execution plus one committed record per
+        // cell.
+        let _ = std::fs::remove_file(&journal_path);
+        let start = Instant::now();
+        let (_, report) = sweep
+            .run_parallel(&opts_journaled, eval_cell)
+            .expect("journaled run");
+        journaled_ns.push(start.elapsed().as_nanos() as f64);
+        assert_eq!(report.executed, CELLS, "journaled run executes everything");
+
+        // The journal is now complete: resuming is pure replay.
+        let start = Instant::now();
+        let (payloads, report) = sweep
+            .run_parallel(&opts_journaled, eval_cell)
+            .expect("resumed run");
+        resume_ns.push(start.elapsed().as_nanos() as f64);
+        assert_eq!(report.replayed, CELLS, "resume replays everything");
+        assert_eq!(report.executed, 0, "resume re-executes nothing");
+        resumed_payloads = Some(payloads);
+    }
+    let _ = std::fs::remove_file(&journal_path);
+    assert_eq!(
+        cold_payloads, resumed_payloads,
+        "resumed payloads must be bit-identical to the cold run"
+    );
+
+    let (cold, journaled, resume) = (median(cold_ns), median(journaled_ns), median(resume_ns));
+    let rows = vec![
+        BenchRow::new()
+            .str("name", &format!("sweep_journal_overhead_{CELLS}cells"))
+            .num("cells", CELLS as f64, 0)
+            .num("cold_ns", cold, 0)
+            .num("journaled_ns", journaled, 0)
+            .num("speedup", cold / journaled.max(1.0), 3),
+        BenchRow::new()
+            .str("name", &format!("sweep_resume_replay_{CELLS}cells"))
+            .num("cells", CELLS as f64, 0)
+            .num("cold_ns", cold, 0)
+            .num("resume_ns", resume, 0)
+            .num("speedup", cold / resume.max(1.0), 3),
+    ];
+    println!(
+        "sweep {CELLS} cells: cold {:.2} ms, journaled {:.2} ms ({:.3}x), \
+         resume {:.3} ms ({:.1}x)",
+        cold / 1e6,
+        journaled / 1e6,
+        cold / journaled.max(1.0),
+        resume / 1e6,
+        cold / resume.max(1.0)
+    );
+    write_bench_json(&out, &rows).expect("write bench artifact");
+    println!("wrote {out}");
+}

@@ -36,6 +36,11 @@
 //!   never regress (≥ **0.9×**). Both kernels are bit-identical and the
 //!   A/B is single-threaded, so no hardware skip applies; records carry
 //!   `hardware_threads` like the PR 4 floors for observability.
+//! * `BENCH_sweep.json` — the crash-safe sweep engine (PR 6):
+//!   journaling the grid costs ≤ ~10% of a cold run
+//!   (`sweep_journal_overhead_*` ≥ **0.9×**), and resuming a completed
+//!   journal is pure replay, ≥ **10×** faster than re-running the grid
+//!   (`sweep_resume_replay_*`).
 //!
 //! Renaming or dropping a gated record cannot silently disarm a floor:
 //! every artifact kind declares the record families it must contain,
@@ -100,10 +105,17 @@ pub fn check_bench_file(path: &str) -> Result<GateReport, String> {
         .file_name()
         .and_then(|f| f.to_str())
         .unwrap_or(path);
-    let kind = ["conv_batch", "sparse", "batch", "train", "backward"]
-        .into_iter()
-        .find(|k| file_name.contains(k))
-        .ok_or_else(|| format!("{path}: unknown bench artifact kind"))?;
+    let kind = [
+        "conv_batch",
+        "sparse",
+        "batch",
+        "train",
+        "backward",
+        "sweep",
+    ]
+    .into_iter()
+    .find(|k| file_name.contains(k))
+    .ok_or_else(|| format!("{path}: unknown bench artifact kind"))?;
 
     let mut report = GateReport {
         total: records.len(),
@@ -130,6 +142,7 @@ pub fn check_bench_file(path: &str) -> Result<GateReport, String> {
             "conv_batch_sorted_stack",
             "convnet_plan",
         ],
+        "sweep" => &["sweep_journal_overhead", "sweep_resume_replay"],
         _ => &[],
     };
     for prefix in expected {
@@ -327,6 +340,32 @@ pub fn check_bench_file(path: &str) -> Result<GateReport, String> {
                     }
                 }
             }
+            "sweep" => {
+                let speedup = num(rec, "speedup", &ctx).unwrap_or(0.0);
+                if name.starts_with("sweep_journal_overhead") {
+                    require_fields(
+                        rec,
+                        &["cells", "cold_ns", "journaled_ns", "speedup"],
+                        &ctx,
+                        &mut report.failures,
+                    );
+                    report.gated += 1;
+                    if speedup < 0.9 {
+                        fail(&mut report, speedup, 0.9, "journal overhead no-regression");
+                    }
+                } else if name.starts_with("sweep_resume_replay") {
+                    require_fields(
+                        rec,
+                        &["cells", "cold_ns", "resume_ns", "speedup"],
+                        &ctx,
+                        &mut report.failures,
+                    );
+                    report.gated += 1;
+                    if speedup < 10.0 {
+                        fail(&mut report, speedup, 10.0, "resume replay");
+                    }
+                }
+            }
             _ => unreachable!("kind matched above"),
         }
     }
@@ -491,6 +530,45 @@ mod tests {
             "misclassified as batch: {:?}",
             report.failures
         );
+        let _ = std::fs::remove_file(path);
+    }
+
+    fn sweep_rows(overhead_speedup: f64, replay_speedup: f64) -> Vec<BenchRow> {
+        vec![
+            BenchRow::new()
+                .str("name", "sweep_journal_overhead_32cells")
+                .num("cells", 32.0, 0)
+                .num("cold_ns", 100.0, 0)
+                .num("journaled_ns", 100.0 / overhead_speedup, 0)
+                .num("speedup", overhead_speedup, 3),
+            BenchRow::new()
+                .str("name", "sweep_resume_replay_32cells")
+                .num("cells", 32.0, 0)
+                .num("cold_ns", 100.0, 0)
+                .num("resume_ns", 100.0 / replay_speedup, 0)
+                .num("speedup", replay_speedup, 3),
+        ]
+    }
+
+    #[test]
+    fn sweep_floors_enforced() {
+        // Journal overhead above 10% of a cold run fails...
+        let path = tmp("BENCH_sweep_a.json", &sweep_rows(0.8, 50.0));
+        let report = check_bench_file(&path).unwrap();
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert!(report.failures[0].contains("journal overhead"));
+        let _ = std::fs::remove_file(path);
+        // ...as does a slow resume replay...
+        let path = tmp("BENCH_sweep_b.json", &sweep_rows(0.95, 4.0));
+        let report = check_bench_file(&path).unwrap();
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert!(report.failures[0].contains("resume replay"));
+        let _ = std::fs::remove_file(path);
+        // ...and healthy rows gate cleanly.
+        let path = tmp("BENCH_sweep_c.json", &sweep_rows(0.98, 400.0));
+        let report = check_bench_file(&path).unwrap();
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.gated, 2);
         let _ = std::fs::remove_file(path);
     }
 

@@ -21,6 +21,7 @@ pub mod json;
 use axsnn::core::network::SnnConfig;
 use axsnn::datasets::dvs::DvsGestureConfig;
 use axsnn::datasets::mnist::MnistConfig;
+use axsnn::defense::journal::{SweepOptions, SweepReport};
 use axsnn::defense::scenario::{
     Architecture, DvsScenario, DvsScenarioConfig, MnistScenario, MnistScenarioConfig,
 };
@@ -211,16 +212,9 @@ pub fn sweep_schedule(
 /// accuracy of the precision-scaled AxSNN (approximation level 0.01 by
 /// default) at ε = 1.
 ///
-/// The adversarial test set is crafted **once** — it depends only on
-/// the adversary's surrogate and ε, not on the swept `(V_th, T)` — and
-/// its encoded frame trains are cached per `T`
-/// ([`axsnn::datasets::cache::EncodedCache`]), so the 63 grid cells
-/// share 7 encode passes and every cell is one fused batched
-/// classification of pre-encoded shards instead of a from-scratch
-/// attack + encode + per-sample forward. The fan-out is grouped by `T`
-/// ([`sweep_schedule`]): each worker owns whole `T` rows, so a shard's
-/// encoded set is touched by exactly one worker and stays hot in its
-/// cache across all nine thresholds.
+/// Thin wrapper over [`heatmap_sweep_resumable`] without a journal —
+/// the run is not checkpointed and a permanently failed cell panics
+/// (there is no later run to heal it).
 ///
 /// Returns `cells[t_index][vth_index]` aligned with [`time_step_grid`] /
 /// [`threshold_grid`].
@@ -235,12 +229,66 @@ pub fn heatmap_sweep(
     approx_level: f32,
     epsilon: f32,
 ) -> Vec<Vec<f32>> {
+    let opts = axsnn::defense::journal::SweepOptions::new();
+    let (rows, report) =
+        heatmap_sweep_resumable(scenario, precision, attack, approx_level, epsilon, &opts)
+            .expect("heatmap sweep");
+    assert!(
+        report.failures.is_empty(),
+        "unjournaled sweep cells failed: {:?}",
+        report.failures
+    );
+    rows
+}
+
+/// [`heatmap_sweep`] on the crash-safe sweep engine
+/// ([`axsnn::defense::journal`]): cells are dispatched through the
+/// work-stealing parallel runner, each completed cell is checkpointed
+/// the moment it finishes (when [`SweepOptions::journal`] is set), and
+/// a restarted process replays committed cells instead of re-running
+/// them — at paper scale (`AXSNN_FULL=1`) a crash at cell 62/63 no
+/// longer loses the first 61.
+///
+/// The adversarial test set is crafted **once** — it depends only on
+/// the adversary's surrogate and ε, not on the swept `(V_th, T)` — and
+/// its encoded frame trains are cached per `T`
+/// ([`axsnn::datasets::cache::EncodedCache`]), so the 63 grid cells
+/// share 7 encode passes. Every cell's payload is a pure function of
+/// its cell index (crafting uses the per-sample
+/// [`axsnn::core::batch::sample_seed`] convention, evaluation is
+/// deterministic), so the merged grid is identical whether it ran
+/// uninterrupted, was killed and resumed, or was sharded across
+/// processes via [`SweepOptions::shard`] and merged with
+/// [`axsnn::defense::journal::merge_journals`].
+///
+/// Cells that failed permanently (all retries exhausted) are reported
+/// in the [`SweepReport`] and carry `NaN` in the grid; a later
+/// journaled run retries them.
+///
+/// # Errors
+///
+/// Propagates journal validation/write failures and the fault plan's
+/// kill switch ([`axsnn::defense::DefenseError::Interrupted`]).
+///
+/// # Panics
+///
+/// Panics on internal pipeline failures (all inputs are generated).
+pub fn heatmap_sweep_resumable(
+    scenario: &MnistScenario,
+    precision: axsnn::core::precision::PrecisionScale,
+    attack: axsnn::defense::search::StaticAttackKind,
+    approx_level: f32,
+    epsilon: f32,
+    opts: &SweepOptions,
+) -> Result<(Vec<Vec<f32>>, SweepReport), axsnn::defense::DefenseError> {
     use axsnn::attacks::gradient::{AnnGradientSource, AttackBudget, Bim, ImageAttack, Pgd};
     use axsnn::core::approx::ApproximationLevel;
     use axsnn::core::batch::{fan_out_with, sample_seed};
     use axsnn::core::encoding::Encoder;
+    use axsnn::core::json::Json;
     use axsnn::core::precision::apply_precision;
     use axsnn::datasets::cache::EncodedCache;
+    use axsnn::defense::journal::{GridFingerprint, GridSweep};
     use axsnn::defense::search::StaticAttackKind;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -280,45 +328,61 @@ pub fn heatmap_sweep(
     // its cached shards single-threaded.
     let adv_cache = EncodedCache::new(&adv, seed(), 1);
 
-    let eval_cell = |&(ti, vi): &(usize, usize)| -> f32 {
-        let (t, v) = (steps[ti], thresholds[vi]);
-        let mut net = scenario
-            .ax_snn(snn_config(v, t), level)
-            .expect("conversion");
+    // Row-major cells: cell = ti * |V_th| + vi, matching the returned
+    // row layout. The fingerprint covers everything that shapes a cell
+    // value (grids, precision, attack, ε before and after calibration,
+    // the experiment seed and the evaluated sample count) — a journal
+    // from a differently-scaled run is refused, not replayed.
+    let (n_t, n_v) = (steps.len(), thresholds.len());
+    let sweep = GridSweep::new(
+        n_t * n_v,
+        GridFingerprint::of(&format!(
+            "axsnn.heatmap.v1|T={steps:?}|th={thresholds:?}|prec={precision}|attack={}|\
+             level={approx_level:?}|eps={epsilon:?}|eps_scale={:?}|seed={}|samples={}",
+            attack.name(),
+            epsilon_scale(),
+            seed(),
+            test.len(),
+        )),
+    );
+    let eval = |cell: usize| -> Result<Json, axsnn::defense::DefenseError> {
+        let (t, v) = (steps[cell / n_v], thresholds[cell % n_v]);
+        let mut net = scenario.ax_snn(snn_config(v, t), level)?;
         apply_precision(&mut net, precision);
-        let adv_set = adv_cache
-            .get(Encoder::DirectCurrent, t)
-            .expect("encoded cache");
-        adv_set.accuracy(&net, 1).expect("evaluation")
+        let adv_set = adv_cache.get(Encoder::DirectCurrent, t)?;
+        let acc = adv_set.accuracy(&net, 1)?;
+        Ok(Json::Obj(vec![("acc".into(), Json::Num(f64::from(acc)))]))
     };
-
-    // Cache-aware fan-out: shards never span two Ts, so each T's
-    // encoded set stays hot in the worker(s) that own it; rows
-    // subdivide only when there are more cores than T rows.
-    let workers =
-        axsnn::core::batch::effective_threads(sweep_threads(), steps.len() * thresholds.len());
-    let shards = sweep_schedule(steps.len(), thresholds.len(), workers);
-    let per_shard: Vec<Vec<f32>> = fan_out_with(
-        shards.len(),
-        workers.min(shards.len()),
-        || (),
-        |(), si, slot: &mut Vec<f32>| -> Result<(), Infallible> {
-            *slot = shards[si].iter().map(&eval_cell).collect();
-            Ok(())
+    let run_opts = SweepOptions {
+        threads: if opts.threads == 0 {
+            sweep_threads()
+        } else {
+            opts.threads
         },
-    )
-    .unwrap_or_else(|e| match e {});
+        journal: opts.journal.clone(),
+        shard: opts.shard,
+        ..SweepOptions::new()
+    };
+    let (payloads, report) = sweep.run_parallel(&run_opts, eval)?;
     assert!(
         adv_cache.encode_passes() <= steps.len(),
         "cells sharing a T must share one encode pass"
     );
-    // Reassemble rows in (T, V_th) grid order: shards are emitted in
-    // row-major order and each lies within one T row.
-    let mut rows = vec![Vec::with_capacity(thresholds.len()); steps.len()];
-    for (shard, cells) in shards.iter().zip(per_shard) {
-        rows[shard[0].0].extend(cells);
-    }
-    rows
+    // Reassemble rows in (T, V_th) grid order; failed cells carry NaN.
+    let rows = (0..n_t)
+        .map(|ti| {
+            (0..n_v)
+                .map(|vi| {
+                    payloads[ti * n_v + vi]
+                        .as_ref()
+                        .and_then(|p| p.get("acc"))
+                        .and_then(Json::as_f64)
+                        .map_or(f32::NAN, |v| v as f32)
+                })
+                .collect()
+        })
+        .collect();
+    Ok((rows, report))
 }
 
 /// Reads the sweep worker count from `AXSNN_THREADS` (default 0 = all

@@ -43,6 +43,11 @@ pub enum CoreError {
     Serialization {
         /// Description of the serialization failure.
         message: String,
+        /// File the failure occurred in, when known.
+        path: Option<String>,
+        /// Byte offset of a parse failure within the document, when
+        /// known — what makes a corrupt snapshot or journal actionable.
+        offset: Option<usize>,
     },
 }
 
@@ -59,7 +64,42 @@ impl fmt::Display for CoreError {
                 write!(f, "backward requested without a recorded forward pass")
             }
             CoreError::Incompatible { message } => write!(f, "incompatible models: {message}"),
-            CoreError::Serialization { message } => write!(f, "serialization failed: {message}"),
+            CoreError::Serialization {
+                message,
+                path,
+                offset,
+            } => {
+                write!(f, "serialization failed: {message}")?;
+                if let Some(path) = path {
+                    write!(f, " in {path}")?;
+                }
+                if let Some(offset) = offset {
+                    write!(f, " at byte {offset}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl CoreError {
+    /// Attaches the originating file path to a serialization error
+    /// (other variants pass through unchanged), so `load`-style entry
+    /// points can report *which* file was damaged without every parse
+    /// helper threading a path around.
+    #[must_use]
+    pub fn with_path(self, path: &std::path::Path) -> CoreError {
+        match self {
+            CoreError::Serialization {
+                message,
+                path: _,
+                offset,
+            } => CoreError::Serialization {
+                message,
+                path: Some(path.display().to_string()),
+                offset,
+            },
+            other => other,
         }
     }
 }

@@ -385,7 +385,43 @@ pub fn restore_network(snapshot: &NetworkSnapshot) -> Result<SpikingNetwork> {
 fn ser_err(message: impl Into<String>) -> CoreError {
     CoreError::Serialization {
         message: message.into(),
+        path: None,
+        offset: None,
     }
+}
+
+fn parse_err(e: &json::ParseError) -> CoreError {
+    CoreError::Serialization {
+        message: format!("invalid JSON: {}", e.message),
+        path: None,
+        offset: Some(e.offset),
+    }
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in a sibling
+/// temporary file first and are renamed into place, so a crash (or a
+/// concurrent reader) can never observe a torn, half-written file —
+/// either the old contents survive intact or the new ones are complete.
+/// The primitive behind [`save_network`] and the sweep journals'
+/// compaction writes.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Serialization`] (carrying `path`) for
+/// filesystem failures; a failed rename removes the temporary file.
+pub fn atomic_write(path: impl AsRef<Path>, contents: &str) -> Result<()> {
+    let path = path.as_ref();
+    let file_name = path
+        .file_name()
+        .and_then(|f| f.to_str())
+        .ok_or_else(|| ser_err(format!("invalid path {path:?}")).with_path(path))?;
+    let tmp = path.with_file_name(format!(".{file_name}.tmp{}", std::process::id()));
+    std::fs::write(&tmp, contents)
+        .map_err(|e| ser_err(format!("cannot write temp file {tmp:?}: {e}")).with_path(path))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        ser_err(format!("cannot rename {tmp:?} into place: {e}")).with_path(path)
+    })
 }
 
 fn tensor_to_json(t: &Tensor) -> Json {
@@ -633,9 +669,10 @@ impl NetworkSnapshot {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Serialization`] for malformed documents.
+    /// Returns [`CoreError::Serialization`] for malformed documents,
+    /// carrying the byte offset of the parse failure.
     pub fn from_json_str(src: &str) -> Result<NetworkSnapshot> {
-        let doc = json::parse(src).map_err(|e| ser_err(format!("invalid JSON: {e}")))?;
+        let doc = json::parse(src).map_err(|e| parse_err(&e))?;
         let version = num_field(&doc, "version", "snapshot")? as u32;
         let config = doc
             .get("config")
@@ -674,15 +711,16 @@ impl NetworkSnapshot {
 }
 
 /// Snapshots a spiking network — structure, weights and execution plan
-/// — and writes it to `path` as JSON.
+/// — and writes it to `path` as JSON. The write is atomic
+/// ([`atomic_write`]): a crash mid-save can never leave a torn,
+/// half-written snapshot behind.
 ///
 /// # Errors
 ///
 /// Returns [`CoreError::Serialization`] for filesystem failures.
 pub fn save_network(net: &SpikingNetwork, path: impl AsRef<Path>) -> Result<()> {
     let snapshot = snapshot_network(net)?;
-    std::fs::write(path.as_ref(), snapshot.to_json_string())
-        .map_err(|e| ser_err(format!("cannot write {:?}: {e}", path.as_ref())))
+    atomic_write(path, &snapshot.to_json_string())
 }
 
 /// Loads a spiking network — weights value-exact, execution plan
@@ -691,12 +729,15 @@ pub fn save_network(net: &SpikingNetwork, path: impl AsRef<Path>) -> Result<()> 
 /// # Errors
 ///
 /// Returns [`CoreError::Serialization`] for unreadable or malformed
-/// files and [`CoreError::Incompatible`] for version/structure
+/// files — carrying the file path, and the byte offset for parse
+/// failures — and [`CoreError::Incompatible`] for version/structure
 /// mismatches.
 pub fn load_network(path: impl AsRef<Path>) -> Result<SpikingNetwork> {
-    let src = std::fs::read_to_string(path.as_ref())
-        .map_err(|e| ser_err(format!("cannot read {:?}: {e}", path.as_ref())))?;
-    restore_network(&NetworkSnapshot::from_json_str(&src)?)
+    let path = path.as_ref();
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| ser_err(format!("cannot read file: {e}")).with_path(path))?;
+    let snapshot = NetworkSnapshot::from_json_str(&src).map_err(|e| e.with_path(path))?;
+    restore_network(&snapshot)
 }
 
 /// Serializes an ANN snapshot as a JSON document (the ANN twin's
@@ -717,9 +758,10 @@ pub fn ann_to_json_string(snapshot: &AnnSnapshot) -> String {
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::Serialization`] for malformed documents.
+/// Returns [`CoreError::Serialization`] for malformed documents,
+/// carrying the byte offset of the parse failure.
 pub fn ann_from_json_str(src: &str) -> Result<AnnSnapshot> {
-    let doc = json::parse(src).map_err(|e| ser_err(format!("invalid JSON: {e}")))?;
+    let doc = json::parse(src).map_err(|e| parse_err(&e))?;
     let version = num_field(&doc, "version", "snapshot")? as u32;
     let layers = doc
         .get("layers")
@@ -880,6 +922,54 @@ mod tests {
         let mut snapshot = snapshot_network(&net).unwrap();
         snapshot.version = 999;
         assert!(restore_network(&snapshot).is_err());
+    }
+
+    #[test]
+    fn atomic_save_leaves_no_temp_files() {
+        let net = sample_snn();
+        let dir = std::env::temp_dir().join(format!("axsnn_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.json");
+        // Save twice (second overwrites through a rename) and check the
+        // directory contains only the final file.
+        save_network(&net, &path).unwrap();
+        save_network(&net, &path).unwrap();
+        let entries: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(entries, vec![std::ffi::OsString::from("snapshot.json")]);
+        assert!(load_network(&path).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_file_reports_path_and_offset() {
+        let net = sample_snn();
+        let path = std::env::temp_dir().join(format!("axsnn_corrupt_{}.json", std::process::id()));
+        save_network(&net, &path).unwrap();
+        // Damage the document partway through so the parser fails at a
+        // known-ish offset.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.truncate(text.len() / 2);
+        std::fs::write(&path, &text).unwrap();
+        let err = load_network(&path).unwrap_err();
+        match &err {
+            CoreError::Serialization {
+                path: p, offset, ..
+            } => {
+                assert_eq!(p.as_deref(), Some(path.display().to_string().as_str()));
+                assert!(offset.is_some(), "parse failure must carry a byte offset");
+            }
+            other => panic!("expected Serialization, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("at byte"), "display must show offset: {msg}");
+        assert!(
+            msg.contains(&path.display().to_string()),
+            "display must show path: {msg}"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

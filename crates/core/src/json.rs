@@ -27,7 +27,38 @@
 //! assert_eq!(parse(&text).unwrap(), doc);
 //! ```
 
+use std::fmt;
 use std::fmt::Write as _;
+
+/// A JSON parse failure: what went wrong and the byte offset it went
+/// wrong at. The offset is what lets higher layers (model snapshots,
+/// sweep journals) point at the exact damaged spot in a file instead of
+/// returning a bare message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure in the source document.
+    pub offset: usize,
+    /// Description of the failure (offset excluded; [`fmt::Display`]
+    /// appends it).
+    pub message: String,
+}
+
+impl ParseError {
+    fn at(offset: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -148,15 +179,15 @@ fn write_escaped(out: &mut String, s: &str) {
 ///
 /// # Errors
 ///
-/// Returns a human-readable message (with byte offset) for malformed
-/// input or trailing garbage.
-pub fn parse(src: &str) -> Result<Json, String> {
+/// Returns a [`ParseError`] carrying the byte offset of the failure for
+/// malformed input or trailing garbage.
+pub fn parse(src: &str) -> Result<Json, ParseError> {
     let bytes = src.as_bytes();
     let mut pos = 0usize;
     let value = parse_value(bytes, &mut pos)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
+        return Err(ParseError::at(pos, "trailing data"));
     }
     Ok(value)
 }
@@ -167,16 +198,16 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), ParseError> {
     if *pos < b.len() && b[*pos] == c {
         *pos += 1;
         Ok(())
     } else {
-        Err(format!("expected '{}' at byte {pos}", c as char))
+        Err(ParseError::at(*pos, format!("expected '{}'", c as char)))
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
     skip_ws(b, pos);
     match b.get(*pos) {
         Some(b'{') => parse_obj(b, pos),
@@ -186,20 +217,20 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
         Some(b'n') => parse_lit(b, pos, "null", Json::Null),
         Some(_) => parse_num(b, pos),
-        None => Err("unexpected end of input".into()),
+        None => Err(ParseError::at(*pos, "unexpected end of input")),
     }
 }
 
-fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, ParseError> {
     if b[*pos..].starts_with(lit.as_bytes()) {
         *pos += lit.len();
         Ok(value)
     } else {
-        Err(format!("invalid literal at byte {pos}"))
+        Err(ParseError::at(*pos, "invalid literal"))
     }
 }
 
-fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
     let start = *pos;
     while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
         *pos += 1;
@@ -208,10 +239,10 @@ fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
         .map(Json::Num)
-        .ok_or_else(|| format!("invalid number at byte {start}"))
+        .ok_or_else(|| ParseError::at(start, "invalid number"))
 }
 
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, ParseError> {
     expect(b, pos, b'"')?;
     let mut out = String::new();
     while *pos < b.len() {
@@ -227,7 +258,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'\\') => out.push('\\'),
                     Some(b'n') => out.push('\n'),
                     Some(b't') => out.push('\t'),
-                    _ => return Err(format!("unsupported escape at byte {pos}")),
+                    _ => return Err(ParseError::at(*pos, "unsupported escape")),
                 }
                 *pos += 1;
             }
@@ -236,13 +267,13 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 let ch_len = utf8_len(c);
                 out.push_str(
                     std::str::from_utf8(&b[*pos..*pos + ch_len])
-                        .map_err(|_| format!("invalid UTF-8 at byte {pos}"))?,
+                        .map_err(|_| ParseError::at(*pos, "invalid UTF-8"))?,
                 );
                 *pos += ch_len;
             }
         }
     }
-    Err("unterminated string".into())
+    Err(ParseError::at(b.len(), "unterminated string"))
 }
 
 fn utf8_len(first: u8) -> usize {
@@ -254,7 +285,7 @@ fn utf8_len(first: u8) -> usize {
     }
 }
 
-fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
     expect(b, pos, b'{')?;
     let mut fields = Vec::new();
     skip_ws(b, pos);
@@ -276,12 +307,12 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 *pos += 1;
                 return Ok(Json::Obj(fields));
             }
-            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+            _ => return Err(ParseError::at(*pos, "expected ',' or '}'")),
         }
     }
 }
 
-fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
     expect(b, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(b, pos);
@@ -298,7 +329,7 @@ fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 *pos += 1;
                 return Ok(Json::Arr(items));
             }
-            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+            _ => return Err(ParseError::at(*pos, "expected ',' or ']'")),
         }
     }
 }

@@ -36,6 +36,28 @@ pub enum DefenseError {
     Neuro(NeuroError),
     /// A tensor operation failed.
     Tensor(TensorError),
+    /// A sweep journal could not be created, validated or written.
+    Journal {
+        /// The journal file involved.
+        path: String,
+        /// Description of the failure.
+        message: String,
+    },
+    /// A sweep was cut short by an injected fault (the
+    /// [`crate::journal::FaultPlan`] kill switch) after `completed`
+    /// cell commits — the crash-simulation signal the resume tests
+    /// catch.
+    Interrupted {
+        /// Cells committed to the journal before the kill fired.
+        completed: usize,
+    },
+    /// A sweep cell failed permanently (every retry exhausted).
+    SweepFailed {
+        /// The failing cell index.
+        cell: usize,
+        /// The final attempt's error or panic message.
+        message: String,
+    },
 }
 
 impl fmt::Display for DefenseError {
@@ -49,6 +71,15 @@ impl fmt::Display for DefenseError {
             DefenseError::Attack(e) => write!(f, "attack error: {e}"),
             DefenseError::Neuro(e) => write!(f, "event error: {e}"),
             DefenseError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DefenseError::Journal { path, message } => {
+                write!(f, "journal error in {path}: {message}")
+            }
+            DefenseError::Interrupted { completed } => {
+                write!(f, "sweep interrupted after {completed} cell commits")
+            }
+            DefenseError::SweepFailed { cell, message } => {
+                write!(f, "sweep cell {cell} failed permanently: {message}")
+            }
         }
     }
 }

@@ -1,0 +1,1116 @@
+//! Crash-safe, resumable sweep engine with journaled checkpoints.
+//!
+//! The paper's evaluation is one large scenario grid — `(V_th, T,
+//! precision, a_th)` for Algorithm 1, `(V_th, T)` per precision for the
+//! Figs. 4–6 heatmaps — and at paper scale (`AXSNN_FULL=1`) a process
+//! that dies at cell 900/1000 used to lose everything. This module
+//! makes any grid-shaped computation crash-safe:
+//!
+//! * [`Journal`] — an append-only JSONL checkpoint file. Each completed
+//!   cell is persisted as one checksummed record the moment it
+//!   finishes; the header carries a [`GridFingerprint`] so a restarted
+//!   process refuses a journal that belongs to a different grid. Torn
+//!   tails and corrupt records are detected (FNV-1a checksums), dropped
+//!   with their byte offset reported, and their cells re-queued —
+//!   damage never crashes a resume.
+//! * [`GridSweep`] — the execution engine. [`GridSweep::run_serial`]
+//!   evaluates cells in order with a stateful (`FnMut`) evaluator and
+//!   an early-stop predicate (Algorithm 1's `stop_at_first`);
+//!   [`GridSweep::run_parallel`] dispatches cells through a
+//!   work-stealing queue over scoped worker threads. Both replay
+//!   journaled cells without re-executing them, isolate per-cell
+//!   panics (`catch_unwind` → bounded retry with backoff → recorded
+//!   [`CellFailure`], never an aborted grid), and honour a cell-range
+//!   [`SweepOptions::shard`] knob so independent processes can split
+//!   one grid and [`merge_journals`] afterwards.
+//! * [`FaultPlan`] — the injection harness driving the resume test
+//!   suite: kill-after-N-commits (simulated crash), panic-in-cell-K,
+//!   and the [`truncate_tail`] / [`corrupt_byte`] file mutilators.
+//!
+//! Determinism contract: a cell's payload must depend only on its cell
+//! index (callers seed per-cell randomness via
+//! [`axsnn_core::batch::sample_seed`]). Under that contract the merged
+//! payload vector — assembled in fixed cell order — is bit-identical
+//! whether the grid ran uninterrupted, was killed and resumed at any
+//! cell boundary, or was sharded across processes.
+//!
+//! # Journal format
+//!
+//! Line 1 is the header; every later line is a cell record or an
+//! informational failure note:
+//!
+//! ```text
+//! {"version":1.0,"fingerprint":"8f3a…16 hex…","cells":63.0}
+//! {"cell":0.0,"crc":"…16 hex…","payload":{…}}
+//! {"fail":7.0,"attempt":1.0,"message":"…"}
+//! ```
+//!
+//! The `crc` is FNV-1a over `"{cell}:{canonical payload}"`, where the
+//! canonical payload is [`axsnn_core::json`]'s own deterministic
+//! serialization — so a record re-parsed and re-serialized verifies
+//! against the checksum written at commit time. Cell records are
+//! appended and flushed one per line; header writes and compactions go
+//! through [`axsnn_core::io::atomic_write`] (sibling temp file +
+//! rename), the same primitive `save_network` uses.
+
+use crate::{DefenseError, Result};
+use axsnn_core::batch::effective_threads;
+use axsnn_core::io::atomic_write;
+use axsnn_core::json::{self, Json};
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+const JOURNAL_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit hash — the workspace's dependency-free checksum, used
+/// for both record CRCs and grid fingerprints.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Identity of a sweep grid: a hash over everything that shapes cell
+/// payloads (search space, configuration, seeds, dataset size). A
+/// journal records the fingerprint it was created for and a resume
+/// refuses to replay records from a different grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridFingerprint(u64);
+
+impl GridFingerprint {
+    /// Fingerprints a canonical grid description string.
+    #[must_use]
+    pub fn of(description: &str) -> GridFingerprint {
+        GridFingerprint(fnv1a(description.as_bytes()))
+    }
+
+    /// The 16-hex-digit form stored in journal headers.
+    #[must_use]
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parses the header form back — how an offline merge tool, which
+    /// only has the journal files, recovers the grid identity to pass
+    /// to [`merge_journals`].
+    #[must_use]
+    pub fn from_hex(hex: &str) -> Option<GridFingerprint> {
+        u64::from_str_radix(hex, 16).ok().map(GridFingerprint)
+    }
+}
+
+/// One damaged journal region: where it was found and why it was
+/// rejected. Damaged records are dropped (their cells re-queued), never
+/// fatal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalDamage {
+    /// Byte offset of the damaged line within the journal file.
+    pub offset: usize,
+    /// What was wrong (parse failure, checksum mismatch, …).
+    pub message: String,
+}
+
+fn jerr(path: &Path, message: impl Into<String>) -> DefenseError {
+    DefenseError::Journal {
+        path: path.display().to_string(),
+        message: message.into(),
+    }
+}
+
+/// Append-only, checksummed JSONL checkpoint file for one sweep grid.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    fingerprint: GridFingerprint,
+    cells: usize,
+    completed: Vec<Option<String>>,
+    damage: Vec<JournalDamage>,
+    file: std::fs::File,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path` for a grid of `cells`
+    /// cells with the given fingerprint. An existing file is validated
+    /// line by line: intact cell records are loaded for replay, damaged
+    /// ones are dropped with their byte offset recorded in
+    /// [`Journal::damage`], and the file is compacted so later appends
+    /// land after clean content.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DefenseError::Journal`] when the file exists but
+    /// belongs to a *different* grid (fingerprint or cell-count
+    /// mismatch — replaying it would silently corrupt results), or for
+    /// filesystem failures.
+    pub fn open(
+        path: impl AsRef<Path>,
+        fingerprint: GridFingerprint,
+        cells: usize,
+    ) -> Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        let mut completed = vec![None; cells];
+        let mut damage = Vec::new();
+        if path.exists() {
+            let src = std::fs::read_to_string(&path)
+                .map_err(|e| jerr(&path, format!("cannot read: {e}")))?;
+            load_records(&path, &src, fingerprint, cells, &mut completed, &mut damage)?;
+            if !damage.is_empty() {
+                compact(&path, fingerprint, cells, &completed)?;
+            }
+        } else {
+            atomic_write(&path, &(header_line(fingerprint, cells) + "\n"))
+                .map_err(|e| jerr(&path, format!("cannot create: {e}")))?;
+        }
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| jerr(&path, format!("cannot open for append: {e}")))?;
+        Ok(Journal {
+            path,
+            fingerprint,
+            cells,
+            completed,
+            damage,
+            file,
+        })
+    }
+
+    /// The journal file's location.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The grid fingerprint this journal belongs to.
+    #[must_use]
+    pub fn fingerprint(&self) -> GridFingerprint {
+        self.fingerprint
+    }
+
+    /// Damage found (and dropped) while loading an existing file.
+    #[must_use]
+    pub fn damage(&self) -> &[JournalDamage] {
+        &self.damage
+    }
+
+    /// Number of cells with a committed record.
+    #[must_use]
+    pub fn completed_count(&self) -> usize {
+        self.completed.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// The committed payload of `cell`, parsed, or `None` when the cell
+    /// has not been journaled (or its record was damaged).
+    #[must_use]
+    pub fn payload(&self, cell: usize) -> Option<Json> {
+        let canonical = self.completed.get(cell)?.as_deref()?;
+        json::parse(canonical).ok()
+    }
+
+    /// Commits one completed cell: appends a checksummed record and
+    /// flushes it, so the work survives a crash the instant this
+    /// returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DefenseError::Journal`] for out-of-range cells or
+    /// write failures.
+    pub fn record_cell(&mut self, cell: usize, payload: &Json) -> Result<()> {
+        if cell >= self.cells {
+            return Err(jerr(
+                &self.path,
+                format!("cell {cell} out of range for {} cells", self.cells),
+            ));
+        }
+        let canonical = payload.to_json_string();
+        let line = cell_line(cell, &canonical);
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| jerr(&self.path, format!("cannot append cell {cell}: {e}")))?;
+        self.completed[cell] = Some(canonical);
+        Ok(())
+    }
+
+    /// Appends an informational failure note (a cell attempt that
+    /// panicked or errored). Notes never mark a cell completed — the
+    /// cell stays queued on resume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DefenseError::Journal`] for write failures.
+    pub fn record_failure(&mut self, cell: usize, attempt: usize, message: &str) -> Result<()> {
+        let line = Json::Obj(vec![
+            ("fail".into(), Json::Num(cell as f64)),
+            ("attempt".into(), Json::Num(attempt as f64)),
+            ("message".into(), Json::Str(message.into())),
+        ])
+        .to_json_string()
+            + "\n";
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| jerr(&self.path, format!("cannot append failure note: {e}")))
+    }
+}
+
+fn header_line(fingerprint: GridFingerprint, cells: usize) -> String {
+    Json::Obj(vec![
+        ("version".into(), Json::Num(f64::from(JOURNAL_VERSION))),
+        ("fingerprint".into(), Json::Str(fingerprint.hex())),
+        ("cells".into(), Json::Num(cells as f64)),
+    ])
+    .to_json_string()
+}
+
+fn cell_line(cell: usize, canonical: &str) -> String {
+    let crc = fnv1a(format!("{cell}:{canonical}").as_bytes());
+    format!("{{\"cell\":{cell}.0,\"crc\":\"{crc:016x}\",\"payload\":{canonical}}}\n")
+}
+
+/// Validates every line of an existing journal file, filling
+/// `completed` with intact records and `damage` with dropped ones.
+fn load_records(
+    path: &Path,
+    src: &str,
+    fingerprint: GridFingerprint,
+    cells: usize,
+    completed: &mut [Option<String>],
+    damage: &mut Vec<JournalDamage>,
+) -> Result<()> {
+    let mut offset = 0usize;
+    let mut saw_header = false;
+    for line in src.split_inclusive('\n') {
+        let line_offset = offset;
+        offset += line.len();
+        let trimmed = line.trim_end_matches('\n');
+        if trimmed.is_empty() {
+            continue;
+        }
+        // A record is only trustworthy if its newline made it to disk —
+        // a torn tail (no terminator) is damage by definition.
+        if !line.ends_with('\n') {
+            damage.push(JournalDamage {
+                offset: line_offset,
+                message: "truncated tail record (missing newline)".into(),
+            });
+            continue;
+        }
+        let doc = match json::parse(trimmed) {
+            Ok(doc) => doc,
+            Err(e) => {
+                damage.push(JournalDamage {
+                    offset: line_offset + e.offset,
+                    message: format!("unparseable record: {}", e.message),
+                });
+                continue;
+            }
+        };
+        if !saw_header {
+            // The first intact line must be the header; validate the
+            // grid identity before trusting any record.
+            let header_fp = doc.get("fingerprint").and_then(Json::as_str);
+            let header_cells = doc.get("cells").and_then(Json::as_f64);
+            match (header_fp, header_cells) {
+                (Some(fp), Some(n)) => {
+                    if fp != fingerprint.hex() || n as usize != cells {
+                        return Err(jerr(
+                            path,
+                            format!(
+                                "journal belongs to a different grid \
+                                 (fingerprint {fp}, {n} cells — expected {}, {cells} cells)",
+                                fingerprint.hex()
+                            ),
+                        ));
+                    }
+                    saw_header = true;
+                }
+                _ => damage.push(JournalDamage {
+                    offset: line_offset,
+                    message: "missing or damaged header".into(),
+                }),
+            }
+            continue;
+        }
+        if doc.get("fail").is_some() {
+            continue; // informational note
+        }
+        let cell = doc.get("cell").and_then(Json::as_f64).map(|v| v as usize);
+        let crc = doc.get("crc").and_then(Json::as_str);
+        let payload = doc.get("payload");
+        let (Some(cell), Some(crc), Some(payload)) = (cell, crc, payload) else {
+            damage.push(JournalDamage {
+                offset: line_offset,
+                message: "record missing cell/crc/payload".into(),
+            });
+            continue;
+        };
+        if cell >= cells {
+            damage.push(JournalDamage {
+                offset: line_offset,
+                message: format!("cell {cell} out of range for {cells} cells"),
+            });
+            continue;
+        }
+        let canonical = payload.to_json_string();
+        let expect = format!("{:016x}", fnv1a(format!("{cell}:{canonical}").as_bytes()));
+        if crc != expect {
+            damage.push(JournalDamage {
+                offset: line_offset,
+                message: format!("checksum mismatch for cell {cell}"),
+            });
+            continue;
+        }
+        completed[cell] = Some(canonical);
+    }
+    if !saw_header {
+        damage.push(JournalDamage {
+            offset: 0,
+            message: "no intact header".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Atomically rewrites the journal as header + intact cell records (in
+/// cell order), shedding damaged bytes so later appends land cleanly.
+fn compact(
+    path: &Path,
+    fingerprint: GridFingerprint,
+    cells: usize,
+    completed: &[Option<String>],
+) -> Result<()> {
+    let mut out = header_line(fingerprint, cells) + "\n";
+    for (cell, canonical) in completed.iter().enumerate() {
+        if let Some(canonical) = canonical {
+            out.push_str(&cell_line(cell, canonical));
+        }
+    }
+    atomic_write(path, &out).map_err(|e| jerr(path, format!("cannot compact: {e}")))
+}
+
+/// Merges shard journals of the *same* grid into one journal file at
+/// `out` — the join step after independent processes split a grid via
+/// [`SweepOptions::shard`]. The merge is deterministic: records land in
+/// cell order regardless of input order, and two shards committing
+/// different payloads for the same cell (a determinism-contract
+/// violation) fail loudly.
+///
+/// Returns the number of completed cells in the merged journal.
+///
+/// # Errors
+///
+/// Returns [`DefenseError::Journal`] for fingerprint mismatches,
+/// conflicting duplicate cells, or filesystem failures.
+pub fn merge_journals(
+    inputs: &[PathBuf],
+    out: impl AsRef<Path>,
+    fingerprint: GridFingerprint,
+    cells: usize,
+) -> Result<usize> {
+    let out = out.as_ref();
+    let mut completed: Vec<Option<String>> = vec![None; cells];
+    for input in inputs {
+        let src =
+            std::fs::read_to_string(input).map_err(|e| jerr(input, format!("cannot read: {e}")))?;
+        let mut shard = vec![None; cells];
+        let mut damage = Vec::new();
+        load_records(input, &src, fingerprint, cells, &mut shard, &mut damage)?;
+        for (cell, canonical) in shard.into_iter().enumerate() {
+            let Some(canonical) = canonical else { continue };
+            match &completed[cell] {
+                Some(existing) if *existing != canonical => {
+                    return Err(jerr(
+                        out,
+                        format!(
+                            "cell {cell} has conflicting payloads across shard journals \
+                             (from {})",
+                            input.display()
+                        ),
+                    ));
+                }
+                _ => completed[cell] = Some(canonical),
+            }
+        }
+    }
+    compact(out, fingerprint, cells, &completed)?;
+    Ok(completed.iter().filter(|c| c.is_some()).count())
+}
+
+/// Truncates the last `bytes` bytes off a journal file — the
+/// fault-injection harness's "crash mid-append" simulator.
+///
+/// # Errors
+///
+/// Returns [`DefenseError::Journal`] for filesystem failures.
+pub fn truncate_tail(path: impl AsRef<Path>, bytes: usize) -> Result<()> {
+    let path = path.as_ref();
+    let mut data = std::fs::read(path).map_err(|e| jerr(path, format!("cannot read: {e}")))?;
+    data.truncate(data.len().saturating_sub(bytes));
+    std::fs::write(path, data).map_err(|e| jerr(path, format!("cannot write: {e}")))
+}
+
+/// Flips one byte of a journal file in place — the fault-injection
+/// harness's bit-rot simulator.
+///
+/// # Errors
+///
+/// Returns [`DefenseError::Journal`] for filesystem failures or an
+/// out-of-range offset.
+pub fn corrupt_byte(path: impl AsRef<Path>, offset: usize) -> Result<()> {
+    let path = path.as_ref();
+    let mut data = std::fs::read(path).map_err(|e| jerr(path, format!("cannot read: {e}")))?;
+    let byte = data
+        .get_mut(offset)
+        .ok_or_else(|| jerr(path, format!("offset {offset} out of range")))?;
+    *byte ^= 0x55;
+    std::fs::write(path, data).map_err(|e| jerr(path, format!("cannot write: {e}")))
+}
+
+/// Fault-injection plan for the resume test suite: simulated crashes
+/// (kill after N cell commits) and per-cell panics. [`FaultPlan::none`]
+/// (the default) injects nothing and costs two relaxed atomic loads per
+/// cell.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    kill_after: Option<usize>,
+    panic_cell: Option<usize>,
+    panics_left: AtomicUsize,
+    commits: AtomicUsize,
+}
+
+impl FaultPlan {
+    /// No injected faults.
+    #[must_use]
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Kills the sweep (returns [`DefenseError::Interrupted`]) once
+    /// `commits` cells have been committed in this run — *after* their
+    /// journal writes, simulating a crash at a cell boundary.
+    #[must_use]
+    pub fn kill_after(commits: usize) -> FaultPlan {
+        FaultPlan {
+            kill_after: Some(commits),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Panics inside cell `cell`'s evaluation for its first `times`
+    /// attempts (then lets it succeed) — exercises the `catch_unwind`
+    /// isolation and bounded retry.
+    #[must_use]
+    pub fn panic_in_cell(cell: usize, times: usize) -> FaultPlan {
+        FaultPlan {
+            panic_cell: Some(cell),
+            panics_left: AtomicUsize::new(times),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Whether this attempt of `cell` should panic (consumes one
+    /// injected panic).
+    fn take_panic(&self, cell: usize) -> bool {
+        if self.panic_cell != Some(cell) {
+            return false;
+        }
+        self.panics_left
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |left| {
+                left.checked_sub(1)
+            })
+            .is_ok()
+    }
+
+    /// Counts one committed cell; `true` when the kill switch fires.
+    fn commit_and_check_kill(&self) -> bool {
+        let committed = self.commits.fetch_add(1, Ordering::Relaxed) + 1;
+        self.kill_after.is_some_and(|n| committed >= n)
+    }
+
+    /// Cells committed in this run so far.
+    fn committed(&self) -> usize {
+        self.commits.load(Ordering::Relaxed)
+    }
+}
+
+/// Knobs of one sweep run.
+#[derive(Debug, Default)]
+pub struct SweepOptions {
+    /// Checkpoint file; `None` disables journaling (and therefore
+    /// resume) entirely.
+    pub journal: Option<PathBuf>,
+    /// Cell-range shard `(index, count)`: this process only executes
+    /// its contiguous 1/`count` slice of the grid, so independent
+    /// processes can split one grid and [`merge_journals`] afterwards.
+    /// `None` runs the whole grid.
+    pub shard: Option<(usize, usize)>,
+    /// Worker threads for [`GridSweep::run_parallel`] (`0` = all
+    /// available cores). Ignored by the serial runner.
+    pub threads: usize,
+    /// Extra attempts after a cell's first failure before it is
+    /// recorded as a permanent [`CellFailure`].
+    pub max_retries: usize,
+    /// Backoff between retry attempts, in milliseconds (linear:
+    /// attempt × backoff).
+    pub retry_backoff_ms: u64,
+    /// Injected faults (tests only; [`FaultPlan::none`] in production).
+    pub fault: FaultPlan,
+}
+
+impl SweepOptions {
+    /// Production defaults: no journal, no shard, all cores, 2 retries
+    /// with 5 ms linear backoff, no injected faults.
+    #[must_use]
+    pub fn new() -> SweepOptions {
+        SweepOptions {
+            journal: None,
+            shard: None,
+            threads: 0,
+            max_retries: 2,
+            retry_backoff_ms: 5,
+            fault: FaultPlan::none(),
+        }
+    }
+
+    /// [`SweepOptions::new`] with a journal path — the one-liner for
+    /// "make this sweep resumable".
+    #[must_use]
+    pub fn journaled(path: impl Into<PathBuf>) -> SweepOptions {
+        SweepOptions {
+            journal: Some(path.into()),
+            ..SweepOptions::new()
+        }
+    }
+}
+
+/// One permanently failed cell (all retries exhausted). The grid keeps
+/// going; the caller decides whether missing cells are fatal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// The failing cell.
+    pub cell: usize,
+    /// Attempts made (1 + retries).
+    pub attempts: usize,
+    /// The final attempt's error or panic message.
+    pub message: String,
+}
+
+/// What a sweep run actually did — the resume observability surface.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Cells evaluated in this run.
+    pub executed: usize,
+    /// Cells replayed from the journal without re-execution.
+    pub replayed: usize,
+    /// Retry attempts across all cells.
+    pub retried: usize,
+    /// Cells that failed permanently.
+    pub failures: Vec<CellFailure>,
+    /// Damaged journal records found (and dropped) on open.
+    pub damage: Vec<JournalDamage>,
+}
+
+/// A grid of `cells` independent cells identified by a
+/// [`GridFingerprint`], ready to run under journaled checkpointing.
+#[derive(Debug, Clone, Copy)]
+pub struct GridSweep {
+    /// Total number of cells (across all shards).
+    pub cells: usize,
+    /// Grid identity for journal validation.
+    pub fingerprint: GridFingerprint,
+}
+
+/// The contiguous cell range shard `index` of `count` owns.
+fn shard_range(cells: usize, shard: Option<(usize, usize)>) -> Result<std::ops::Range<usize>> {
+    let Some((index, count)) = shard else {
+        return Ok(0..cells);
+    };
+    if count == 0 || index >= count {
+        return Err(DefenseError::InvalidData {
+            message: format!("invalid shard {index}/{count}"),
+        });
+    }
+    let chunk = cells.div_ceil(count.max(1)).max(1);
+    let lo = (index * chunk).min(cells);
+    Ok(lo..((index + 1) * chunk).min(cells))
+}
+
+/// Runs one evaluation attempt with panic isolation, returning the
+/// payload or a failure message.
+fn attempt_cell<E>(
+    cell: usize,
+    fault: &FaultPlan,
+    eval: &mut E,
+) -> std::result::Result<Json, String>
+where
+    E: FnMut(usize) -> Result<Json>,
+{
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if fault.take_panic(cell) {
+            panic!("injected fault: panic in cell {cell}");
+        }
+        eval(cell)
+    }));
+    match outcome {
+        Ok(Ok(payload)) => Ok(payload),
+        Ok(Err(e)) => Err(e.to_string()),
+        Err(panic) => Err(panic_message(&panic)),
+    }
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".into()
+    }
+}
+
+impl GridSweep {
+    /// Builds a sweep over `cells` cells with the given identity.
+    #[must_use]
+    pub fn new(cells: usize, fingerprint: GridFingerprint) -> GridSweep {
+        GridSweep { cells, fingerprint }
+    }
+
+    fn open_journal(&self, opts: &SweepOptions) -> Result<Option<Journal>> {
+        opts.journal
+            .as_deref()
+            .map(|path| Journal::open(path, self.fingerprint, self.cells))
+            .transpose()
+    }
+
+    /// Evaluates the grid serially, in ascending cell order — the
+    /// runner for stateful evaluators (Algorithm 1's `FnMut` trainer)
+    /// and ordered early stopping.
+    ///
+    /// `eval` produces cell `c`'s payload; `stop` inspects each
+    /// completed (or replayed) payload in order and ends the sweep when
+    /// it returns `true` (`stop_at_first` semantics — later cells stay
+    /// unevaluated). Journaled cells replay without re-execution; a
+    /// panicking or erroring cell is retried `max_retries` times and
+    /// then recorded as a [`CellFailure`] (its payload slot stays
+    /// `None`) without aborting the grid.
+    ///
+    /// Returns the payloads indexed by cell plus the run report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DefenseError::Journal`] for journal validation/write
+    /// failures and [`DefenseError::Interrupted`] when the fault plan's
+    /// kill switch fires.
+    pub fn run_serial<E, S>(
+        &self,
+        opts: &SweepOptions,
+        mut eval: E,
+        mut stop: S,
+    ) -> Result<(Vec<Option<Json>>, SweepReport)>
+    where
+        E: FnMut(usize) -> Result<Json>,
+        S: FnMut(usize, &Json) -> bool,
+    {
+        let mut journal = self.open_journal(opts)?;
+        let mut report = SweepReport::default();
+        if let Some(j) = &journal {
+            report.damage = j.damage().to_vec();
+        }
+        let mut payloads: Vec<Option<Json>> = vec![None; self.cells];
+        'grid: for cell in shard_range(self.cells, opts.shard)? {
+            if let Some(payload) = journal.as_ref().and_then(|j| j.payload(cell)) {
+                report.replayed += 1;
+                let halt = stop(cell, &payload);
+                payloads[cell] = Some(payload);
+                if halt {
+                    break 'grid;
+                }
+                continue;
+            }
+            let mut attempts = 0;
+            let payload = loop {
+                attempts += 1;
+                match attempt_cell(cell, &opts.fault, &mut eval) {
+                    Ok(payload) => break Some(payload),
+                    Err(message) => {
+                        if let Some(j) = &mut journal {
+                            j.record_failure(cell, attempts, &message)?;
+                        }
+                        if attempts > opts.max_retries {
+                            report.failures.push(CellFailure {
+                                cell,
+                                attempts,
+                                message,
+                            });
+                            break None;
+                        }
+                        report.retried += 1;
+                        std::thread::sleep(Duration::from_millis(
+                            opts.retry_backoff_ms * attempts as u64,
+                        ));
+                    }
+                }
+            };
+            let Some(payload) = payload else { continue };
+            if let Some(j) = &mut journal {
+                j.record_cell(cell, &payload)?;
+            }
+            report.executed += 1;
+            let kill = opts.fault.commit_and_check_kill();
+            let halt = stop(cell, &payload);
+            payloads[cell] = Some(payload);
+            if kill {
+                return Err(DefenseError::Interrupted {
+                    completed: opts.fault.committed(),
+                });
+            }
+            if halt {
+                break 'grid;
+            }
+        }
+        Ok((payloads, report))
+    }
+
+    /// Evaluates the grid on a work-stealing queue over scoped worker
+    /// threads — the runner for `Fn + Sync` evaluators (the heatmap
+    /// sweeps). Pending cells (journal-completed ones are replayed, not
+    /// queued) are claimed one at a time from a shared atomic cursor,
+    /// so a slow cell never stalls the rest of its pre-assigned chunk.
+    /// Panic isolation, bounded retry and permanent-failure recording
+    /// match [`GridSweep::run_serial`].
+    ///
+    /// Returns the payloads indexed by cell plus the run report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DefenseError::Journal`] for journal validation/write
+    /// failures and [`DefenseError::Interrupted`] when the fault plan's
+    /// kill switch fires (in-flight cells finish and commit first).
+    pub fn run_parallel<E>(
+        &self,
+        opts: &SweepOptions,
+        eval: E,
+    ) -> Result<(Vec<Option<Json>>, SweepReport)>
+    where
+        E: Fn(usize) -> Result<Json> + Sync,
+    {
+        let journal = self.open_journal(opts)?;
+        let mut report = SweepReport::default();
+        if let Some(j) = &journal {
+            report.damage = j.damage().to_vec();
+        }
+        let mut payloads: Vec<Option<Json>> = vec![None; self.cells];
+        let mut pending = Vec::new();
+        for cell in shard_range(self.cells, opts.shard)? {
+            match journal.as_ref().and_then(|j| j.payload(cell)) {
+                Some(payload) => {
+                    payloads[cell] = Some(payload);
+                    report.replayed += 1;
+                }
+                None => pending.push(cell),
+            }
+        }
+        let workers = effective_threads(opts.threads, pending.len());
+        let next = AtomicUsize::new(0);
+        let killed = AtomicBool::new(false);
+        // One lock guards the journal, payloads and report together: a
+        // cell's commit (journal append + in-memory result) is a single
+        // critical section, so the journal can never record a cell the
+        // merged results lack or vice versa.
+        let state = Mutex::new((journal, &mut payloads, &mut report));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| -> Result<()> {
+                        loop {
+                            if killed.load(Ordering::Relaxed) {
+                                return Ok(());
+                            }
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&cell) = pending.get(i) else {
+                                return Ok(());
+                            };
+                            let mut attempts = 0;
+                            let payload = loop {
+                                attempts += 1;
+                                let mut shim = &eval;
+                                match attempt_cell(cell, &opts.fault, &mut shim) {
+                                    Ok(payload) => break Some(payload),
+                                    Err(message) => {
+                                        let mut s = state.lock().expect("sweep state lock");
+                                        if let Some(j) = &mut s.0 {
+                                            j.record_failure(cell, attempts, &message)?;
+                                        }
+                                        if attempts > opts.max_retries {
+                                            s.2.failures.push(CellFailure {
+                                                cell,
+                                                attempts,
+                                                message,
+                                            });
+                                            break None;
+                                        }
+                                        s.2.retried += 1;
+                                        drop(s);
+                                        std::thread::sleep(Duration::from_millis(
+                                            opts.retry_backoff_ms * attempts as u64,
+                                        ));
+                                    }
+                                }
+                            };
+                            let Some(payload) = payload else { continue };
+                            let mut s = state.lock().expect("sweep state lock");
+                            if let Some(j) = &mut s.0 {
+                                j.record_cell(cell, &payload)?;
+                            }
+                            s.1[cell] = Some(payload);
+                            s.2.executed += 1;
+                            if opts.fault.commit_and_check_kill() {
+                                killed.store(true, Ordering::Relaxed);
+                                return Ok(());
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().expect("sweep worker panicked")?;
+            }
+            Ok::<(), DefenseError>(())
+        })?;
+        if killed.load(Ordering::Relaxed) {
+            return Err(DefenseError::Interrupted {
+                completed: opts.fault.committed(),
+            });
+        }
+        Ok((payloads, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("axsnn_journal_{}_{name}", std::process::id()))
+    }
+
+    fn payload_for(cell: usize) -> Json {
+        Json::Obj(vec![(
+            "value".into(),
+            Json::Num(f64::from(fnv1a(&cell.to_le_bytes()) as u32)),
+        )])
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = GridFingerprint::of("grid|a");
+        assert_eq!(a, GridFingerprint::of("grid|a"));
+        assert_ne!(a, GridFingerprint::of("grid|b"));
+        assert_eq!(a.hex().len(), 16);
+    }
+
+    #[test]
+    fn journal_roundtrip_and_replay() {
+        let path = tmp("roundtrip.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let fp = GridFingerprint::of("roundtrip");
+        let mut j = Journal::open(&path, fp, 4).unwrap();
+        j.record_cell(2, &payload_for(2)).unwrap();
+        j.record_cell(0, &payload_for(0)).unwrap();
+        j.record_failure(1, 1, "flaky").unwrap();
+        drop(j);
+        let j = Journal::open(&path, fp, 4).unwrap();
+        assert!(j.damage().is_empty());
+        assert_eq!(j.completed_count(), 2);
+        assert_eq!(j.payload(0), Some(payload_for(0)));
+        assert_eq!(j.payload(1), None, "failure notes never complete a cell");
+        assert_eq!(j.payload(2), Some(payload_for(2)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_rejects_foreign_grid() {
+        let path = tmp("foreign.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let fp = GridFingerprint::of("mine");
+        Journal::open(&path, fp, 3).unwrap();
+        let err = Journal::open(&path, GridFingerprint::of("other"), 3).unwrap_err();
+        assert!(matches!(err, DefenseError::Journal { .. }), "{err}");
+        let err = Journal::open(&path, fp, 4).unwrap_err();
+        assert!(err.to_string().contains("different grid"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn damaged_records_are_dropped_reported_and_compacted() {
+        let path = tmp("damage.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let fp = GridFingerprint::of("damage");
+        let mut j = Journal::open(&path, fp, 3).unwrap();
+        for cell in 0..3 {
+            j.record_cell(cell, &payload_for(cell)).unwrap();
+        }
+        drop(j);
+        // Corrupt the middle record's payload bytes.
+        let src = std::fs::read_to_string(&path).unwrap();
+        let second_record = src.match_indices('\n').nth(1).unwrap().0 + 1;
+        corrupt_byte(&path, second_record + 30).unwrap();
+        let j = Journal::open(&path, fp, 3).unwrap();
+        assert_eq!(j.damage().len(), 1, "{:?}", j.damage());
+        assert!(j.damage()[0].offset >= second_record);
+        assert_eq!(j.completed_count(), 2);
+        assert_eq!(j.payload(1), None, "damaged cell re-queued");
+        drop(j);
+        // The compaction healed the file: reopening is damage-free.
+        let j = Journal::open(&path, fp, 3).unwrap();
+        assert!(j.damage().is_empty());
+        assert_eq!(j.completed_count(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_tail_is_recovered() {
+        let path = tmp("tail.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let fp = GridFingerprint::of("tail");
+        let mut j = Journal::open(&path, fp, 2).unwrap();
+        j.record_cell(0, &payload_for(0)).unwrap();
+        j.record_cell(1, &payload_for(1)).unwrap();
+        drop(j);
+        truncate_tail(&path, 7).unwrap();
+        let mut j = Journal::open(&path, fp, 2).unwrap();
+        assert_eq!(j.damage().len(), 1);
+        assert!(j.damage()[0].message.contains("truncated"));
+        assert_eq!(j.payload(1), None);
+        // The torn cell can be re-committed after compaction.
+        j.record_cell(1, &payload_for(1)).unwrap();
+        drop(j);
+        let j = Journal::open(&path, fp, 2).unwrap();
+        assert!(j.damage().is_empty());
+        assert_eq!(j.completed_count(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn serial_run_with_stop_and_replay() {
+        let path = tmp("serial.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let sweep = GridSweep::new(6, GridFingerprint::of("serial"));
+        let opts = SweepOptions::journaled(&path);
+        // Stop once cell 3's payload is seen: cells 4..6 never run.
+        let (payloads, report) = sweep
+            .run_serial(&opts, |cell| Ok(payload_for(cell)), |cell, _| cell == 3)
+            .unwrap();
+        assert_eq!(report.executed, 4);
+        assert!(payloads[3].is_some() && payloads[4].is_none());
+        // Resume replays the four committed cells and runs nothing.
+        let (replayed, report2) = sweep
+            .run_serial(
+                &opts,
+                |_| panic!("must not re-execute"),
+                |cell, _| cell == 3,
+            )
+            .unwrap();
+        assert_eq!(report2.executed, 0);
+        assert_eq!(report2.replayed, 4);
+        assert_eq!(payloads, replayed);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_and_survives_panics() {
+        let sweep = GridSweep::new(10, GridFingerprint::of("parallel"));
+        let serial = sweep
+            .run_serial(&SweepOptions::new(), |c| Ok(payload_for(c)), |_, _| false)
+            .unwrap()
+            .0;
+        // A fault that panics cell 4 twice: retries absorb it.
+        let opts = SweepOptions {
+            fault: FaultPlan::panic_in_cell(4, 2),
+            retry_backoff_ms: 0,
+            threads: 4,
+            ..SweepOptions::new()
+        };
+        let (parallel, report) = sweep.run_parallel(&opts, |c| Ok(payload_for(c))).unwrap();
+        assert_eq!(serial, parallel, "work stealing must not change results");
+        assert_eq!(report.retried, 2);
+        assert!(report.failures.is_empty());
+        // Panics beyond the retry budget become a recorded failure —
+        // the other nine cells still complete.
+        let opts = SweepOptions {
+            fault: FaultPlan::panic_in_cell(4, 9),
+            max_retries: 1,
+            retry_backoff_ms: 0,
+            threads: 4,
+            ..SweepOptions::new()
+        };
+        let (payloads, report) = sweep.run_parallel(&opts, |c| Ok(payload_for(c))).unwrap();
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].cell, 4);
+        assert!(payloads[4].is_none());
+        assert_eq!(payloads.iter().filter(|p| p.is_some()).count(), 9);
+    }
+
+    #[test]
+    fn shards_merge_into_a_complete_journal() {
+        let fp = GridFingerprint::of("shards");
+        let sweep = GridSweep::new(7, fp);
+        let (a, b, merged) = (tmp("sh_a.jsonl"), tmp("sh_b.jsonl"), tmp("sh_m.jsonl"));
+        for p in [&a, &b, &merged] {
+            let _ = std::fs::remove_file(p);
+        }
+        for (index, path) in [(0, &a), (1, &b)] {
+            let opts = SweepOptions {
+                journal: Some(path.clone()),
+                shard: Some((index, 2)),
+                ..SweepOptions::new()
+            };
+            sweep
+                .run_serial(&opts, |c| Ok(payload_for(c)), |_, _| false)
+                .unwrap();
+        }
+        let n = merge_journals(&[a.clone(), b.clone()], &merged, fp, 7).unwrap();
+        assert_eq!(n, 7);
+        // Resuming the full grid from the merged journal executes zero.
+        let opts = SweepOptions::journaled(&merged);
+        let (payloads, report) = sweep
+            .run_serial(&opts, |_| panic!("must not execute"), |_, _| false)
+            .unwrap();
+        assert_eq!(report.replayed, 7);
+        assert!(payloads.iter().all(Option::is_some));
+        for p in [&a, &b, &merged] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn kill_switch_interrupts_after_commits() {
+        let path = tmp("kill.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let sweep = GridSweep::new(5, GridFingerprint::of("kill"));
+        let opts = SweepOptions {
+            journal: Some(path.clone()),
+            fault: FaultPlan::kill_after(2),
+            ..SweepOptions::new()
+        };
+        let err = sweep
+            .run_serial(&opts, |c| Ok(payload_for(c)), |_, _| false)
+            .unwrap_err();
+        assert!(
+            matches!(err, DefenseError::Interrupted { completed: 2 }),
+            "{err}"
+        );
+        let j = Journal::open(&path, GridFingerprint::of("kill"), 5).unwrap();
+        assert_eq!(j.completed_count(), 2, "commits survive the crash");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -7,6 +7,9 @@
 //! * [`search`] — Algorithm 1: the precision-scaling robustness search
 //!   over `(V_th, T, precision scale, a_th)` under a quality constraint
 //!   `Q`,
+//! * [`journal`] — the crash-safe, resumable sweep engine: journaled
+//!   checkpoints, work-stealing dispatch with per-cell panic isolation,
+//!   sharding/merge, and the fault-injection harness that tests it,
 //! * [`scenario`] — reusable end-to-end experiment scenarios (train the
 //!   accurate model, convert, approximate, attack, defend) shared by the
 //!   examples and the benchmark harness,
@@ -28,6 +31,7 @@
 mod error;
 
 pub mod adv_train;
+pub mod journal;
 pub mod metrics;
 pub mod scenario;
 pub mod search;

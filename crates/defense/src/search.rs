@@ -23,6 +23,7 @@
 //! batch engine ([`axsnn_core::fused`]). [`SearchOutcome::encode_passes`]
 //! records how many full-dataset encode passes actually happened.
 
+use crate::journal::{GridFingerprint, GridSweep, SweepOptions, SweepReport};
 use crate::metrics::RobustnessOutcome;
 use crate::{DefenseError, Result};
 use axsnn_attacks::gradient::{
@@ -30,12 +31,15 @@ use axsnn_attacks::gradient::{
 };
 use axsnn_core::ann::AnnNetwork;
 use axsnn_core::approx::apply_eq1_approximation;
+use axsnn_core::batch::sample_seed;
 use axsnn_core::encoding::Encoder;
+use axsnn_core::json::Json;
 use axsnn_core::network::{SnnConfig, SpikingNetwork};
 use axsnn_core::precision::{apply_precision, PrecisionScale};
 use axsnn_datasets::cache::EncodedCache;
 use axsnn_tensor::Tensor;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Gradient attack selection for the search.
@@ -175,6 +179,66 @@ where
     F: FnMut(SnnConfig) -> axsnn_core::Result<SpikingNetwork>,
     R: Rng,
 {
+    let (outcome, report) = precision_scaling_search_resumable(
+        config,
+        trainer,
+        adversary,
+        test,
+        rng,
+        &SweepOptions::new(),
+    )?;
+    // Without a journal there is no later run to fill a hole, so a
+    // permanently failed cell is fatal here.
+    if let Some(failure) = report.failures.first() {
+        return Err(DefenseError::SweepFailed {
+            cell: failure.cell,
+            message: failure.message.clone(),
+        });
+    }
+    Ok(outcome)
+}
+
+/// [`precision_scaling_search`] on the crash-safe sweep engine
+/// ([`crate::journal`]): with [`SweepOptions::journal`] set, every
+/// completed `(V_th, T)` macro cell is checkpointed the moment it
+/// finishes and a re-invocation replays committed cells instead of
+/// re-running them. Per-cell determinism (the Eq. (1) statistics RNG is
+/// seeded from [`sample_seed`] of the cell index) makes the assembled
+/// [`SearchOutcome`] identical whether the grid ran uninterrupted or
+/// was killed and resumed at any cell boundary — except
+/// [`SearchOutcome::encode_passes`], which counts the encode work each
+/// *process* actually performed.
+///
+/// The resume contract requires the *caller's* inputs to be
+/// reproducible too: the same `rng` seed (it feeds the adversarial
+/// crafting and the grid fingerprint) and a deterministic, stateless
+/// `trainer` (ANN→SNN conversion qualifies; a stateful trainer would
+/// diverge across cells that re-run).
+///
+/// Unlike the plain entry point, permanent cell failures are reported
+/// in the returned [`SweepReport`] instead of failing the whole search
+/// — their records are simply absent from the trace, and a later
+/// resume retries them.
+///
+/// # Errors
+///
+/// Returns [`DefenseError::InvalidSearchSpace`] /
+/// [`DefenseError::InvalidData`] for malformed inputs,
+/// [`DefenseError::Journal`] for journal validation/write failures, and
+/// [`DefenseError::Interrupted`] when a [`crate::journal::FaultPlan`]
+/// kill switch fires.
+pub fn precision_scaling_search_resumable<F, R>(
+    config: &PrecisionSearchConfig,
+    trainer: &mut F,
+    adversary: &AnnNetwork,
+    test: &[(Tensor, usize)],
+    rng: &mut R,
+    opts: &SweepOptions,
+) -> Result<(SearchOutcome, SweepReport)>
+where
+    F: FnMut(SnnConfig) -> axsnn_core::Result<SpikingNetwork>,
+    R: Rng,
+{
     config.space.validate()?;
     if test.is_empty() {
         return Err(DefenseError::InvalidData {
@@ -182,7 +246,6 @@ where
         });
     }
     let budget = AttackBudget::for_epsilon(config.epsilon);
-    let mut outcome = SearchOutcome::default();
 
     // Lines 5/15: craft the adversarial test set *once* — it depends
     // only on the attacker's surrogate and ε, never on the swept knobs.
@@ -195,90 +258,210 @@ where
     };
     // Encoded-frame caches shared by every grid cell with the same T.
     let cache_seed = rng.gen::<u64>();
+    // All remaining randomness is re-derived per cell from this seed so
+    // a cell's payload depends only on its index — the determinism
+    // contract the journal's bit-identical resume rests on.
+    let grid_seed = rng.gen::<u64>();
     let clean_cache = EncodedCache::new(test, cache_seed, config.threads);
     let adv_cache = EncodedCache::new(&adv_data, cache_seed ^ 0xadf0_0d5e, config.threads);
 
-    'grid: for &threshold in &config.space.thresholds {
-        for &time_steps in &config.space.time_steps {
-            let snn_cfg = SnnConfig {
-                threshold,
-                time_steps,
-                leak: 0.9,
-            };
-            // Line 3: obtain the accurate model.
-            let accurate = trainer(snn_cfg).map_err(DefenseError::from)?;
-            let clean_set = clean_cache
-                .get(Encoder::DirectCurrent, time_steps)
+    let thresholds = &config.space.thresholds;
+    let steps = &config.space.time_steps;
+    let n_t = steps.len();
+    let sweep = GridSweep::new(
+        thresholds.len() * n_t,
+        search_fingerprint(config, cache_seed, grid_seed, test.len()),
+    );
+
+    // One macro cell per (V_th, T) pair, threshold-major — the unit of
+    // checkpointing, holding every inner (precision, a_th) record.
+    let eval = |cell: usize| -> Result<Json> {
+        let threshold = thresholds[cell / n_t];
+        let time_steps = steps[cell % n_t];
+        let snn_cfg = SnnConfig {
+            threshold,
+            time_steps,
+            leak: 0.9,
+        };
+        let mut cell_rng = StdRng::seed_from_u64(sample_seed(grid_seed, cell));
+        // Line 3: obtain the accurate model.
+        let accurate = trainer(snn_cfg).map_err(DefenseError::from)?;
+        let clean_set = clean_cache
+            .get(Encoder::DirectCurrent, time_steps)
+            .map_err(DefenseError::from)?;
+        let adv_set = adv_cache
+            .get(Encoder::DirectCurrent, time_steps)
+            .map_err(DefenseError::from)?;
+        // Line 4: quality gate on clean accuracy.
+        let clean = clean_set
+            .accuracy(&accurate, config.threads)
+            .map_err(DefenseError::from)?;
+        if clean < config.quality_constraint {
+            return Ok(Json::Obj(vec![("skipped".into(), Json::Bool(true))]));
+        }
+        // Collect spike statistics once per accurate model for Eq. (1).
+        let stats = {
+            let mut stat_net = accurate.clone();
+            let frames = Encoder::DirectCurrent
+                .encode(&test[0].0, time_steps, &mut cell_rng)
                 .map_err(DefenseError::from)?;
-            let adv_set = adv_cache
-                .get(Encoder::DirectCurrent, time_steps)
-                .map_err(DefenseError::from)?;
-            // Line 4: quality gate on clean accuracy.
-            let clean = clean_set
-                .accuracy(&accurate, config.threads)
-                .map_err(DefenseError::from)?;
-            if clean < config.quality_constraint {
-                outcome.skipped.push((threshold, time_steps));
-                continue;
-            }
-            // Collect spike statistics once per accurate model for Eq. (1).
-            let stats = {
-                let mut stat_net = accurate.clone();
-                let sample = &test[0].0;
-                let frames = Encoder::DirectCurrent
-                    .encode(sample, time_steps, rng)
+            stat_net
+                .forward(&frames, false, &mut cell_rng)
+                .map_err(DefenseError::from)?
+                .stats
+        };
+        let mut records = Vec::new();
+        let mut stopped = false;
+        'cell: for &precision in &config.space.precision_scales {
+            for &approx_scale in &config.space.approx_scales {
+                // Lines 8–11: precision-scale then approximate.
+                let mut candidate = accurate.clone();
+                apply_precision(&mut candidate, precision);
+                let report = apply_eq1_approximation(&mut candidate, &stats, approx_scale)
                     .map_err(DefenseError::from)?;
-                stat_net
-                    .forward(&frames, false, rng)
-                    .map_err(DefenseError::from)?
-                    .stats
-            };
-            for &precision in &config.space.precision_scales {
-                for &approx_scale in &config.space.approx_scales {
-                    // Lines 8–11: precision-scale then approximate.
-                    let mut candidate = accurate.clone();
-                    apply_precision(&mut candidate, precision);
-                    let report = apply_eq1_approximation(&mut candidate, &stats, approx_scale)
-                        .map_err(DefenseError::from)?;
-                    // Lines 15–21: classify the cached clean and
-                    // adversarial sets through the fused batch engine.
-                    let clean_acc = clean_set
-                        .accuracy(&candidate, config.threads)
-                        .map_err(DefenseError::from)?;
-                    let adv_acc = adv_set
-                        .accuracy(&candidate, config.threads)
-                        .map_err(DefenseError::from)?;
-                    let eval = RobustnessOutcome {
-                        clean_accuracy: clean_acc,
-                        adversarial_accuracy: adv_acc,
-                        robustness: adv_acc,
-                        samples: test.len(),
-                    };
-                    let record = SearchRecord {
-                        threshold,
-                        time_steps,
-                        precision,
-                        approx_scale,
-                        pruned_fraction: report.pruned_fraction(),
-                        outcome: eval,
-                    };
-                    let satisfies = record.outcome.robustness >= config.quality_constraint;
-                    outcome.trace.push(record.clone());
-                    let better = match &outcome.best {
-                        None => satisfies,
-                        Some(b) => satisfies && record.outcome.robustness > b.outcome.robustness,
-                    };
-                    if better {
-                        outcome.best = Some(record);
-                        if config.stop_at_first {
-                            break 'grid;
-                        }
-                    }
+                // Lines 15–21: classify the cached clean and
+                // adversarial sets through the fused batch engine.
+                let clean_acc = clean_set
+                    .accuracy(&candidate, config.threads)
+                    .map_err(DefenseError::from)?;
+                let adv_acc = adv_set
+                    .accuracy(&candidate, config.threads)
+                    .map_err(DefenseError::from)?;
+                records.push(Json::Obj(vec![
+                    ("precision".into(), Json::Str(precision.to_string())),
+                    ("approx_scale".into(), Json::Num(f64::from(approx_scale))),
+                    (
+                        "pruned_fraction".into(),
+                        Json::Num(f64::from(report.pruned_fraction())),
+                    ),
+                    ("clean".into(), Json::Num(f64::from(clean_acc))),
+                    ("adv".into(), Json::Num(f64::from(adv_acc))),
+                ]));
+                // Lines 22–24: under stop_at_first the sweep halts at
+                // the first satisfying record; no earlier cell had one
+                // (it would have halted there), so "satisfying" is the
+                // whole condition.
+                if config.stop_at_first && adv_acc >= config.quality_constraint {
+                    stopped = true;
+                    break 'cell;
                 }
             }
         }
-    }
+        Ok(Json::Obj(vec![
+            ("skipped".into(), Json::Bool(false)),
+            ("stopped".into(), Json::Bool(stopped)),
+            ("records".into(), Json::Arr(records)),
+        ]))
+    };
+    let stop = |_cell: usize, payload: &Json| -> bool {
+        matches!(payload.get("stopped"), Some(Json::Bool(true)))
+    };
+    let (payloads, report) = sweep.run_serial(opts, eval, stop)?;
+
+    let mut outcome = assemble_outcome(config, test.len(), &payloads)?;
     outcome.encode_passes = clean_cache.encode_passes() + adv_cache.encode_passes();
+    Ok((outcome, report))
+}
+
+/// The search grid's identity for journal validation: every input that
+/// shapes a cell payload. Worker-thread counts are deliberately absent
+/// — results are thread-count invariant.
+fn search_fingerprint(
+    config: &PrecisionSearchConfig,
+    cache_seed: u64,
+    grid_seed: u64,
+    samples: usize,
+) -> GridFingerprint {
+    GridFingerprint::of(&format!(
+        "axsnn.search.v1|th={:?}|T={:?}|prec={:?}|ax={:?}|Q={:?}|eps={:?}|attack={}|stop={}|\
+         cache_seed={cache_seed}|grid_seed={grid_seed}|samples={samples}",
+        config.space.thresholds,
+        config.space.time_steps,
+        config.space.precision_scales,
+        config.space.approx_scales,
+        config.quality_constraint,
+        config.epsilon,
+        config.attack.name(),
+        config.stop_at_first,
+    ))
+}
+
+fn payload_num(payload: &Json, key: &str) -> Result<f32> {
+    payload
+        .get(key)
+        .and_then(Json::as_f64)
+        .map(|v| v as f32)
+        .ok_or_else(|| DefenseError::InvalidData {
+            message: format!("sweep payload missing numeric field {key:?}"),
+        })
+}
+
+fn precision_from_name(name: &str) -> Result<PrecisionScale> {
+    PrecisionScale::ALL
+        .iter()
+        .copied()
+        .find(|p| p.to_string() == name)
+        .ok_or_else(|| DefenseError::InvalidData {
+            message: format!("sweep payload has unknown precision {name:?}"),
+        })
+}
+
+/// Rebuilds the [`SearchOutcome`] from the per-cell payloads, in fixed
+/// cell order — the step that makes resumed and uninterrupted runs
+/// indistinguishable. The best/trace logic here mirrors the original
+/// in-loop accumulation exactly.
+fn assemble_outcome(
+    config: &PrecisionSearchConfig,
+    samples: usize,
+    payloads: &[Option<Json>],
+) -> Result<SearchOutcome> {
+    let n_t = config.space.time_steps.len();
+    let mut outcome = SearchOutcome::default();
+    for (cell, payload) in payloads.iter().enumerate() {
+        let Some(payload) = payload else { continue };
+        let threshold = config.space.thresholds[cell / n_t];
+        let time_steps = config.space.time_steps[cell % n_t];
+        if matches!(payload.get("skipped"), Some(Json::Bool(true))) {
+            outcome.skipped.push((threshold, time_steps));
+            continue;
+        }
+        let records = payload
+            .get("records")
+            .and_then(Json::as_array)
+            .ok_or_else(|| DefenseError::InvalidData {
+                message: "sweep payload missing records array".into(),
+            })?;
+        for rec in records {
+            let precision = precision_from_name(
+                rec.get("precision")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default(),
+            )?;
+            let adv = payload_num(rec, "adv")?;
+            let record = SearchRecord {
+                threshold,
+                time_steps,
+                precision,
+                approx_scale: payload_num(rec, "approx_scale")?,
+                pruned_fraction: payload_num(rec, "pruned_fraction")?,
+                outcome: RobustnessOutcome {
+                    clean_accuracy: payload_num(rec, "clean")?,
+                    adversarial_accuracy: adv,
+                    robustness: adv,
+                    samples,
+                },
+            };
+            let satisfies = record.outcome.robustness >= config.quality_constraint;
+            outcome.trace.push(record.clone());
+            let better = match &outcome.best {
+                None => satisfies,
+                Some(b) => satisfies && record.outcome.robustness > b.outcome.robustness,
+            };
+            if better {
+                outcome.best = Some(record);
+            }
+        }
+    }
     Ok(outcome)
 }
 

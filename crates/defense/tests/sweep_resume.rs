@@ -1,0 +1,383 @@
+//! Crash-resume equivalence suite for the journaled sweep engine.
+//!
+//! The acceptance bar: kill the sweep at *every* cell boundary, resume
+//! from the journal, and the merged result must be bit-identical to an
+//! uninterrupted run — and a truncated or corrupted journal record must
+//! be detected, reported with its byte offset, and re-run rather than
+//! crashing the grid. The generic-engine tests sweep every kill point
+//! exhaustively; the Algorithm 1 tests pin the same property on the
+//! real `precision_scaling_search_resumable` (whose `encode_passes`
+//! counter is process-local work accounting, so it is normalized to 0
+//! before comparison).
+
+use axsnn_core::ann::{AnnLayer, AnnNetwork};
+use axsnn_core::encoding::Encoder;
+use axsnn_core::json::Json;
+use axsnn_core::network::SnnConfig;
+use axsnn_core::precision::PrecisionScale;
+use axsnn_core::train::{train_ann, TrainConfig};
+use axsnn_defense::journal::{
+    corrupt_byte, truncate_tail, FaultPlan, GridFingerprint, GridSweep, SweepOptions,
+};
+use axsnn_defense::search::{
+    precision_scaling_search_resumable, PrecisionSearchConfig, SearchOutcome, SearchSpace,
+    StaticAttackKind,
+};
+use axsnn_defense::DefenseError;
+use axsnn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("axsnn_resume_{}_{name}", std::process::id()))
+}
+
+fn payload_for(cell: usize) -> Json {
+    Json::Obj(vec![
+        ("cell".into(), Json::Num(cell as f64)),
+        ("value".into(), Json::Num((cell as f64) * 1.25 + 0.5)),
+    ])
+}
+
+/// Kill the generic engine after every possible number of commits;
+/// every resume must reproduce the uninterrupted payload vector
+/// bit-for-bit and execute only the lost cells.
+#[test]
+fn kill_at_every_cell_boundary_resumes_bit_identically() {
+    const CELLS: usize = 9;
+    let sweep = GridSweep::new(CELLS, GridFingerprint::of("boundary"));
+    let baseline = sweep
+        .run_serial(&SweepOptions::new(), |c| Ok(payload_for(c)), |_, _| false)
+        .unwrap()
+        .0;
+    for kill_at in 1..CELLS {
+        let path = tmp(&format!("boundary_{kill_at}.jsonl"));
+        let _ = std::fs::remove_file(&path);
+        let opts = SweepOptions {
+            fault: FaultPlan::kill_after(kill_at),
+            ..SweepOptions::journaled(&path)
+        };
+        let err = sweep
+            .run_serial(&opts, |c| Ok(payload_for(c)), |_, _| false)
+            .unwrap_err();
+        assert!(
+            matches!(err, DefenseError::Interrupted { completed } if completed == kill_at),
+            "kill_at {kill_at}: {err}"
+        );
+        let (resumed, report) = sweep
+            .run_serial(
+                &SweepOptions::journaled(&path),
+                |c| Ok(payload_for(c)),
+                |_, _| false,
+            )
+            .unwrap();
+        assert_eq!(resumed, baseline, "kill_at {kill_at}: resume must match");
+        assert_eq!(report.replayed, kill_at);
+        assert_eq!(report.executed, CELLS - kill_at, "only lost cells re-run");
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// A record whose tail was torn off mid-append is dropped (reported
+/// with its offset), its cell re-queued, and the resumed grid matches.
+#[test]
+fn truncated_tail_record_is_requeued_and_result_matches() {
+    const CELLS: usize = 5;
+    let sweep = GridSweep::new(CELLS, GridFingerprint::of("torn"));
+    let path = tmp("torn.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let baseline = sweep
+        .run_serial(
+            &SweepOptions::journaled(&path),
+            |c| Ok(payload_for(c)),
+            |_, _| false,
+        )
+        .unwrap()
+        .0;
+    truncate_tail(&path, 9).unwrap();
+    let (resumed, report) = sweep
+        .run_serial(
+            &SweepOptions::journaled(&path),
+            |c| Ok(payload_for(c)),
+            |_, _| false,
+        )
+        .unwrap();
+    assert_eq!(resumed, baseline);
+    assert_eq!(report.executed, 1, "exactly the torn cell re-runs");
+    assert_eq!(report.replayed, CELLS - 1);
+    assert_eq!(report.damage.len(), 1);
+    assert!(
+        report.damage[0].message.contains("truncated"),
+        "{:?}",
+        report.damage
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A bit-rotted mid-file record fails its checksum, is reported with
+/// path and byte offset, and only its cell re-runs.
+#[test]
+fn corrupted_record_is_detected_reported_and_rerun() {
+    const CELLS: usize = 6;
+    let sweep = GridSweep::new(CELLS, GridFingerprint::of("rot"));
+    let path = tmp("rot.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let baseline = sweep
+        .run_serial(
+            &SweepOptions::journaled(&path),
+            |c| Ok(payload_for(c)),
+            |_, _| false,
+        )
+        .unwrap()
+        .0;
+    // Flip a byte inside the third record (header + cells 0,1 precede).
+    let src = std::fs::read_to_string(&path).unwrap();
+    let third_record = src.match_indices('\n').nth(2).unwrap().0 + 1;
+    corrupt_byte(&path, third_record + 25).unwrap();
+    let (resumed, report) = sweep
+        .run_serial(
+            &SweepOptions::journaled(&path),
+            |c| Ok(payload_for(c)),
+            |_, _| false,
+        )
+        .unwrap();
+    assert_eq!(resumed, baseline);
+    assert_eq!(report.executed, 1, "exactly the rotted cell re-runs");
+    assert_eq!(report.damage.len(), 1);
+    assert!(
+        report.damage[0].offset >= third_record,
+        "damage offset {} must point into the corrupted record (≥ {third_record})",
+        report.damage[0].offset
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+fn toy_setup(rng: &mut StdRng) -> (AnnNetwork, Vec<(Tensor, usize)>) {
+    let mut ann = AnnNetwork::new(vec![
+        AnnLayer::linear_relu(rng, 4, 16),
+        AnnLayer::linear_out(rng, 16, 2),
+    ])
+    .unwrap();
+    let data: Vec<(Tensor, usize)> = (0..24)
+        .map(|i| {
+            let c = i % 2;
+            let base = if c == 0 { 0.15 } else { 0.85 };
+            let x = Tensor::from_vec(
+                (0..4)
+                    .map(|_| (base + rng.gen_range(-0.05..0.05f32)).clamp(0.0, 1.0))
+                    .collect(),
+                &[4],
+            )
+            .unwrap();
+            (x, c)
+        })
+        .collect();
+    train_ann(
+        &mut ann,
+        &data,
+        &TrainConfig {
+            epochs: 20,
+            learning_rate: 0.3,
+            momentum: 0.0,
+            batch_size: 8,
+            encoder: Encoder::DirectCurrent,
+            ..TrainConfig::default()
+        },
+        rng,
+    )
+    .unwrap();
+    (ann, data)
+}
+
+fn search_config(stop_at_first: bool) -> PrecisionSearchConfig {
+    PrecisionSearchConfig {
+        space: SearchSpace {
+            thresholds: vec![0.5, 1.0, 1.5],
+            time_steps: vec![12, 20],
+            precision_scales: vec![PrecisionScale::Fp32, PrecisionScale::Int8],
+            approx_scales: vec![0.5, 1.0],
+        },
+        quality_constraint: 55.0,
+        epsilon: 0.05,
+        attack: StaticAttackKind::Pgd,
+        stop_at_first,
+        threads: 1,
+    }
+}
+
+/// Runs the real search with a fresh, identically-seeded RNG + trainer
+/// each time — the caller-side half of the resume contract.
+fn run_search(
+    config: &PrecisionSearchConfig,
+    opts: &SweepOptions,
+) -> axsnn_defense::Result<(SearchOutcome, axsnn_defense::journal::SweepReport)> {
+    let mut rng = StdRng::seed_from_u64(77);
+    let (ann, data) = toy_setup(&mut rng);
+    let calib: Vec<Tensor> = data.iter().take(8).map(|(x, _)| x.clone()).collect();
+    let test: Vec<(Tensor, usize)> = data.iter().take(10).cloned().collect();
+    let ann_for_trainer = ann.clone();
+    let mut trainer =
+        move |cfg: SnnConfig| axsnn_core::convert::ann_to_snn(&ann_for_trainer, cfg, &calib);
+    precision_scaling_search_resumable(config, &mut trainer, &ann, &test, &mut rng, opts)
+}
+
+/// `encode_passes` counts the encode work *this process* performed, so
+/// it legitimately differs between a cold run and a resume; the
+/// equivalence claim covers everything else.
+fn normalized(mut outcome: SearchOutcome) -> SearchOutcome {
+    outcome.encode_passes = 0;
+    outcome
+}
+
+/// Kill the real Algorithm 1 search at several cell boundaries and
+/// resume: the assembled `SearchOutcome` must be bit-identical to the
+/// uninterrupted run's.
+#[test]
+fn search_kill_resume_outcome_is_bit_identical() {
+    let config = search_config(false);
+    let baseline = normalized(run_search(&config, &SweepOptions::new()).unwrap().0);
+    assert_eq!(baseline.trace.len(), 24, "6 macro cells × 4 records");
+    for kill_at in [1, 3, 5] {
+        let path = tmp(&format!("search_{kill_at}.jsonl"));
+        let _ = std::fs::remove_file(&path);
+        let opts = SweepOptions {
+            fault: FaultPlan::kill_after(kill_at),
+            ..SweepOptions::journaled(&path)
+        };
+        let err = run_search(&config, &opts).unwrap_err();
+        assert!(matches!(err, DefenseError::Interrupted { .. }), "{err}");
+        let (resumed, report) = run_search(&config, &SweepOptions::journaled(&path)).unwrap();
+        assert_eq!(report.replayed, kill_at);
+        assert_eq!(
+            normalized(resumed),
+            baseline,
+            "kill_at {kill_at}: resumed search outcome must be bit-identical"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// The same property under `stop_at_first`: the replayed stop cell
+/// halts the resumed sweep at the same boundary, and cells past the
+/// stop stay unevaluated.
+#[test]
+fn search_stop_at_first_survives_kill_and_resume() {
+    let config = search_config(true);
+    let baseline = normalized(run_search(&config, &SweepOptions::new()).unwrap().0);
+    assert!(baseline.best.is_some(), "toy task must satisfy Q");
+    let path = tmp("search_stop.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let opts = SweepOptions {
+        fault: FaultPlan::kill_after(1),
+        ..SweepOptions::journaled(&path)
+    };
+    let err = run_search(&config, &opts).unwrap_err();
+    assert!(matches!(err, DefenseError::Interrupted { .. }), "{err}");
+    let (resumed, _) = run_search(&config, &SweepOptions::journaled(&path)).unwrap();
+    assert_eq!(normalized(resumed), baseline);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A journal whose tail record was torn off by a crash mid-append still
+/// resumes the real search to the uninterrupted outcome.
+#[test]
+fn search_truncated_journal_recovers() {
+    let config = search_config(false);
+    let baseline = normalized(run_search(&config, &SweepOptions::new()).unwrap().0);
+    let path = tmp("search_torn.jsonl");
+    let _ = std::fs::remove_file(&path);
+    run_search(&config, &SweepOptions::journaled(&path)).unwrap();
+    truncate_tail(&path, 13).unwrap();
+    let (resumed, report) = run_search(&config, &SweepOptions::journaled(&path)).unwrap();
+    assert_eq!(report.executed, 1, "only the torn cell re-runs");
+    assert_eq!(report.damage.len(), 1);
+    assert_eq!(normalized(resumed), baseline);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Two shards, two journals, one merge: the merged journal resumes the
+/// full search with zero execution and a bit-identical outcome.
+#[test]
+fn search_shards_merge_and_resume_with_zero_execution() {
+    let config = search_config(false);
+    let baseline = normalized(run_search(&config, &SweepOptions::new()).unwrap().0);
+    let (a, b, merged) = (
+        tmp("search_sh_a.jsonl"),
+        tmp("search_sh_b.jsonl"),
+        tmp("search_sh_m.jsonl"),
+    );
+    for p in [&a, &b, &merged] {
+        let _ = std::fs::remove_file(p);
+    }
+    for (index, path) in [(0usize, &a), (1, &b)] {
+        let opts = SweepOptions {
+            journal: Some(path.clone()),
+            shard: Some((index, 2)),
+            ..SweepOptions::new()
+        };
+        run_search(&config, &opts).unwrap();
+    }
+    // An offline merge tool only has the files: recover the grid
+    // identity from a shard's header and check the shards agree.
+    let fingerprint = fingerprint_of(&a);
+    assert_eq!(fingerprint, fingerprint_of(&b), "shards share one grid");
+    axsnn_defense::journal::merge_journals(&[a.clone(), b.clone()], &merged, fingerprint, 6)
+        .unwrap();
+    let (resumed, report) = run_search(&config, &SweepOptions::journaled(&merged)).unwrap();
+    assert_eq!(report.executed, 0, "merged journal covers the whole grid");
+    assert_eq!(report.replayed, 6);
+    assert_eq!(normalized(resumed), baseline);
+    for p in [&a, &b, &merged] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// Reads the fingerprint a journal file was written with from its
+/// header — how an offline merge tool, which only has the files,
+/// recovers the grid identity.
+fn fingerprint_of(path: &std::path::Path) -> GridFingerprint {
+    let src = std::fs::read_to_string(path).unwrap();
+    let header = axsnn_core::json::parse(src.lines().next().unwrap()).unwrap();
+    let hex = header.get("fingerprint").and_then(Json::as_str).unwrap();
+    GridFingerprint::from_hex(hex).unwrap()
+}
+
+/// A stateful (panicking-then-healthy) cell is retried and the grid
+/// never aborts; past the retry budget it is a recorded failure and the
+/// remaining cells still complete.
+#[test]
+fn panics_are_isolated_retried_and_bounded() {
+    const CELLS: usize = 8;
+    let sweep = GridSweep::new(CELLS, GridFingerprint::of("panics"));
+    let opts = SweepOptions {
+        fault: FaultPlan::panic_in_cell(5, 2),
+        retry_backoff_ms: 0,
+        ..SweepOptions::new()
+    };
+    let (payloads, report) = sweep
+        .run_serial(&opts, |c| Ok(payload_for(c)), |_, _| false)
+        .unwrap();
+    assert!(report.failures.is_empty());
+    assert_eq!(report.retried, 2);
+    assert!(payloads.iter().all(Option::is_some));
+
+    let opts = SweepOptions {
+        fault: FaultPlan::panic_in_cell(5, 99),
+        max_retries: 1,
+        retry_backoff_ms: 0,
+        ..SweepOptions::new()
+    };
+    let (payloads, report) = sweep
+        .run_serial(&opts, |c| Ok(payload_for(c)), |_, _| false)
+        .unwrap();
+    assert_eq!(report.failures.len(), 1);
+    assert_eq!(report.failures[0].cell, 5);
+    assert_eq!(report.failures[0].attempts, 2, "1 try + 1 retry");
+    assert!(payloads[5].is_none());
+    assert_eq!(
+        payloads.iter().filter(|p| p.is_some()).count(),
+        CELLS - 1,
+        "a permanently failing cell never aborts the grid"
+    );
+}

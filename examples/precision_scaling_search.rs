@@ -5,14 +5,21 @@
 //! ```text
 //! cargo run --release -p axsnn --example precision_scaling_search
 //! ```
+//!
+//! Set `AXSNN_JOURNAL=/path/to/search.jsonl` to make the search
+//! crash-safe: every completed `(V_th, T)` cell is checkpointed to the
+//! journal, and re-running the example with the same journal replays
+//! finished cells instead of re-evaluating them — the final outcome is
+//! bit-identical to an uninterrupted run.
 
 use axsnn::core::convert::ann_to_snn;
 use axsnn::core::network::SnnConfig;
 use axsnn::core::precision::PrecisionScale;
 use axsnn::datasets::mnist::MnistConfig;
+use axsnn::defense::journal::SweepOptions;
 use axsnn::defense::scenario::{MnistScenario, MnistScenarioConfig};
 use axsnn::defense::search::{
-    precision_scaling_search, PrecisionSearchConfig, SearchSpace, StaticAttackKind,
+    precision_scaling_search_resumable, PrecisionSearchConfig, SearchSpace, StaticAttackKind,
 };
 use axsnn::tensor::Tensor;
 use rand::rngs::StdRng;
@@ -67,15 +74,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         search_cfg.quality_constraint
     );
 
+    let opts = match std::env::var("AXSNN_JOURNAL") {
+        Ok(path) => {
+            println!("journaling completed cells to {path} (restart to resume)");
+            SweepOptions::journaled(path)
+        }
+        Err(_) => SweepOptions::new(),
+    };
+
     let ann = scenario.ann().clone();
     let mut trainer = move |snn_cfg: SnnConfig| ann_to_snn(&ann, snn_cfg, &calibration);
-    let outcome = precision_scaling_search(
+    let (outcome, report) = precision_scaling_search_resumable(
         &search_cfg,
         &mut trainer,
         scenario.adversary(),
         &scenario.dataset().test,
         &mut rng,
+        &opts,
     )?;
+    if let Some(f) = report.failures.first() {
+        return Err(format!("cell {} failed permanently: {}", f.cell, f.message).into());
+    }
+    if report.replayed > 0 {
+        println!(
+            "resumed from journal: {} cells replayed, {} evaluated fresh",
+            report.replayed, report.executed
+        );
+    }
 
     println!(
         "\n=== trace ({} configurations evaluated) ===",
