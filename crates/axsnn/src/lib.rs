@@ -12,6 +12,7 @@
 //! | [`datasets`] | `axsnn-datasets` | synthetic MNIST and DVS128-Gesture generators |
 //! | [`attacks`] | `axsnn-attacks` | FGSM/BIM/PGD and Sparse/Frame attacks |
 //! | [`defense`] | `axsnn-defense` | robustness metrics, Algorithm 1 search, experiment scenarios |
+//! | [`serve`] | `axsnn-serve` | fault-tolerant micro-batching inference service |
 //!
 //! # Quickstart
 //!
@@ -45,6 +46,7 @@ pub use axsnn_core as core;
 pub use axsnn_datasets as datasets;
 pub use axsnn_defense as defense;
 pub use axsnn_neuromorphic as neuromorphic;
+pub use axsnn_serve as serve;
 pub use axsnn_tensor as tensor;
 
 /// Workspace version string.

@@ -41,6 +41,17 @@
 //!   (`sweep_journal_overhead_*` ≥ **0.9×**), and resuming a completed
 //!   journal is pure replay, ≥ **10×** faster than re-running the grid
 //!   (`sweep_resume_replay_*`).
+//! * `BENCH_serve.json` — the micro-batching inference service (PR 7):
+//!   fused-coalesced serving at concurrency ≥ 32 ≥ **3×** sequential
+//!   per-request classify (`serve_throughput_*`; hardware-aware like
+//!   the PR 4 parallel floor — skipped with a note when the runner has
+//!   fewer hardware threads than service workers); the p99 end-to-end
+//!   latency stays bounded at ≤ **64×** one direct classify
+//!   (`serve_latency_*`); and under injected worker panics plus
+//!   expired-deadline bursts the service keeps goodput ≥ **0.5** of
+//!   attempted submissions with **zero** hung requests and served
+//!   predictions bit-identical to the direct fused path
+//!   (`serve_robust_*`).
 //!
 //! Renaming or dropping a gated record cannot silently disarm a floor:
 //! every artifact kind declares the record families it must contain,
@@ -112,6 +123,7 @@ pub fn check_bench_file(path: &str) -> Result<GateReport, String> {
         "train",
         "backward",
         "sweep",
+        "serve",
     ]
     .into_iter()
     .find(|k| file_name.contains(k))
@@ -143,6 +155,7 @@ pub fn check_bench_file(path: &str) -> Result<GateReport, String> {
             "convnet_plan",
         ],
         "sweep" => &["sweep_journal_overhead", "sweep_resume_replay"],
+        "serve" => &["serve_throughput", "serve_latency", "serve_robust"],
         _ => &[],
     };
     for prefix in expected {
@@ -366,6 +379,85 @@ pub fn check_bench_file(path: &str) -> Result<GateReport, String> {
                     }
                 }
             }
+            "serve" => {
+                if name.starts_with("serve_throughput") {
+                    require_fields(
+                        rec,
+                        &[
+                            "concurrency",
+                            "workers",
+                            "hardware_threads",
+                            "sequential_ns",
+                            "served_ns",
+                            "speedup",
+                        ],
+                        &ctx,
+                        &mut report.failures,
+                    );
+                    let workers = num(rec, "workers", &ctx).unwrap_or(f64::MAX);
+                    let hardware = num(rec, "hardware_threads", &ctx).unwrap_or(0.0);
+                    let speedup = num(rec, "speedup", &ctx).unwrap_or(0.0);
+                    if hardware >= workers {
+                        report.gated += 1;
+                        if speedup < 3.0 {
+                            fail(&mut report, speedup, 3.0, "coalesced serve throughput");
+                        }
+                    } else {
+                        report.notes.push(format!(
+                            "{ctx}: serve throughput floor skipped — {hardware} hardware \
+                             threads cannot drive {workers} service workers"
+                        ));
+                    }
+                } else if name.starts_with("serve_latency") {
+                    require_fields(
+                        rec,
+                        &["direct_us", "p50_us", "p99_us", "p99_over_direct"],
+                        &ctx,
+                        &mut report.failures,
+                    );
+                    let tail = num(rec, "p99_over_direct", &ctx).unwrap_or(f64::MAX);
+                    report.gated += 1;
+                    if tail > 64.0 {
+                        report.failures.push(format!(
+                            "{ctx}: p99 latency {tail:.1}x one direct classify exceeds the \
+                             64x tail bound"
+                        ));
+                    }
+                } else if name.starts_with("serve_robust") {
+                    require_fields(
+                        rec,
+                        &[
+                            "attempted",
+                            "completed",
+                            "hung",
+                            "goodput_fraction",
+                            "bit_identical",
+                        ],
+                        &ctx,
+                        &mut report.failures,
+                    );
+                    let hung = num(rec, "hung", &ctx).unwrap_or(f64::MAX);
+                    let goodput = num(rec, "goodput_fraction", &ctx).unwrap_or(0.0);
+                    let bit_identical = num(rec, "bit_identical", &ctx).unwrap_or(0.0);
+                    report.gated += 1;
+                    if hung > 0.0 {
+                        report
+                            .failures
+                            .push(format!("{ctx}: {hung} hung requests (must be 0)"));
+                    }
+                    if goodput < 0.5 {
+                        report.failures.push(format!(
+                            "{ctx}: goodput {goodput:.2} under chaos below the 0.5 floor"
+                        ));
+                    }
+                    if bit_identical < 1.0 {
+                        report.failures.push(format!(
+                            "{ctx}: served predictions diverged from the direct fused path \
+                             (bit_identical {bit_identical})"
+                        ));
+                    }
+                }
+            }
             _ => unreachable!("kind matched above"),
         }
     }
@@ -568,6 +660,87 @@ mod tests {
         let path = tmp("BENCH_sweep_c.json", &sweep_rows(0.98, 400.0));
         let report = check_bench_file(&path).unwrap();
         assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.gated, 2);
+        let _ = std::fs::remove_file(path);
+    }
+
+    fn serve_rows(
+        speedup: f64,
+        tail: f64,
+        hung: f64,
+        goodput: f64,
+        identical: f64,
+    ) -> Vec<BenchRow> {
+        vec![
+            BenchRow::new()
+                .str("name", "serve_throughput_c32")
+                .num("concurrency", 32.0, 0)
+                .num("workers", 2.0, 0)
+                .num("hardware_threads", 8.0, 0)
+                .num("sequential_ns", 100.0 * speedup, 0)
+                .num("served_ns", 100.0, 0)
+                .num("speedup", speedup, 3),
+            BenchRow::new()
+                .str("name", "serve_latency_steady")
+                .num("direct_us", 100.0, 0)
+                .num("p50_us", 150.0, 0)
+                .num("p99_us", 100.0 * tail, 0)
+                .num("p99_over_direct", tail, 2),
+            BenchRow::new()
+                .str("name", "serve_robust_chaos")
+                .num("attempted", 180.0, 0)
+                .num("completed", goodput * 180.0, 0)
+                .num("hung", hung, 0)
+                .num("goodput_fraction", goodput, 3)
+                .num("bit_identical", identical, 0),
+        ]
+    }
+
+    #[test]
+    fn serve_floors_enforced() {
+        // Healthy rows gate cleanly.
+        let path = tmp("BENCH_serve_a.json", &serve_rows(4.0, 10.0, 0.0, 0.9, 1.0));
+        let report = check_bench_file(&path).unwrap();
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.gated, 3);
+        let _ = std::fs::remove_file(path);
+        // Throughput below 3x fails.
+        let path = tmp("BENCH_serve_b.json", &serve_rows(2.0, 10.0, 0.0, 0.9, 1.0));
+        let report = check_bench_file(&path).unwrap();
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert!(report.failures[0].contains("3x"));
+        let _ = std::fs::remove_file(path);
+        // An unbounded p99 tail fails.
+        let path = tmp("BENCH_serve_c.json", &serve_rows(4.0, 100.0, 0.0, 0.9, 1.0));
+        let report = check_bench_file(&path).unwrap();
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert!(report.failures[0].contains("tail bound"));
+        let _ = std::fs::remove_file(path);
+        // Hung requests, low goodput and divergent predictions all fail.
+        let path = tmp("BENCH_serve_d.json", &serve_rows(4.0, 10.0, 2.0, 0.3, 0.0));
+        let report = check_bench_file(&path).unwrap();
+        assert_eq!(report.failures.len(), 3, "{:?}", report.failures);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn serve_throughput_floor_is_hardware_aware() {
+        // A 1-thread runner cannot drive 2 service workers: the
+        // throughput floor is skipped with a note, the other serve
+        // records still gate.
+        let mut rows = serve_rows(1.0, 10.0, 0.0, 0.9, 1.0);
+        rows[0] = BenchRow::new()
+            .str("name", "serve_throughput_c32")
+            .num("concurrency", 32.0, 0)
+            .num("workers", 2.0, 0)
+            .num("hardware_threads", 1.0, 0)
+            .num("sequential_ns", 100.0, 0)
+            .num("served_ns", 100.0, 0)
+            .num("speedup", 1.0, 3);
+        let path = tmp("BENCH_serve_hw.json", &rows);
+        let report = check_bench_file(&path).unwrap();
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.notes.len(), 1);
         assert_eq!(report.gated, 2);
         let _ = std::fs::remove_file(path);
     }

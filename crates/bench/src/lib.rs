@@ -292,7 +292,6 @@ pub fn heatmap_sweep_resumable(
     use axsnn::defense::search::StaticAttackKind;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use std::convert::Infallible;
 
     let test = capped_test(scenario);
     let thresholds = threshold_grid();
@@ -313,12 +312,14 @@ pub fn heatmap_sweep_resumable(
                 StaticAttackKind::Pgd => Pgd::new(budget).perturb(source, image, *label, &mut rng),
                 StaticAttackKind::Bim => Bim::new(budget).perturb(source, image, *label, &mut rng),
             }
-            .expect("attack crafting");
+            .map_err(|e| axsnn::core::CoreError::Config {
+                message: format!("attack crafting failed: {e}"),
+            })?;
             *slot = Some((adversarial, *label));
-            Ok::<(), Infallible>(())
+            Ok::<(), axsnn::core::CoreError>(())
         },
     )
-    .unwrap_or_else(|e| match e {})
+    .map_err(axsnn::defense::DefenseError::from)?
     .into_iter()
     .map(|s| s.expect("every slot crafted"))
     .collect();

@@ -40,12 +40,25 @@
 //! ```
 
 use crate::encoding::Encoder;
+use crate::error::FromWorkerPanic;
 use crate::network::SpikingNetwork;
 use crate::Result;
 use axsnn_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::thread;
+
+/// Renders a panic payload as a string (best effort — most panics carry
+/// `&str` or `String`).
+pub fn panic_payload(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".into()
+    }
+}
 
 /// Result of a parallel batch evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,11 +98,13 @@ pub fn sample_seed(seed: u64, index: usize) -> u64 {
 ///
 /// # Errors
 ///
-/// Returns the first error any worker produced.
-///
-/// # Panics
-///
-/// Propagates worker panics.
+/// Returns the first error any worker produced. A panicking worker no
+/// longer aborts the whole batch: its panic payload is caught and
+/// surfaced as [`FromWorkerPanic::from_worker_panic`] (for
+/// [`crate::CoreError`] callers, [`crate::CoreError::WorkerPanicked`]),
+/// so sweeps and the inference service can retry or degrade instead of
+/// dying. Every worker is joined before returning — a fast-failing
+/// chunk never leaves stragglers unobserved.
 pub fn fan_out_with<W, T, E, I, F>(
     jobs: usize,
     threads: usize,
@@ -98,22 +113,34 @@ pub fn fan_out_with<W, T, E, I, F>(
 ) -> std::result::Result<Vec<T>, E>
 where
     T: Send + Default + Clone,
-    E: Send,
+    E: Send + FromWorkerPanic,
     I: Fn() -> W + Sync,
     F: Fn(&mut W, usize, &mut T) -> std::result::Result<(), E> + Sync,
 {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
     let threads = effective_threads(threads, jobs);
     let mut out = vec![T::default(); jobs];
     if threads == 1 {
-        let mut worker = init();
-        for (i, slot) in out.iter_mut().enumerate() {
-            work(&mut worker, i, slot)?;
-        }
-        return Ok(out);
+        // Same recoverability contract as the threaded path: a panic in
+        // the (inlined) worker becomes an error, not an abort.
+        let run = catch_unwind(AssertUnwindSafe(|| -> std::result::Result<(), E> {
+            let mut worker = init();
+            for (i, slot) in out.iter_mut().enumerate() {
+                work(&mut worker, i, slot)?;
+            }
+            Ok(())
+        }));
+        return match run {
+            Ok(Ok(())) => Ok(out),
+            Ok(Err(e)) => Err(e),
+            Err(panic) => Err(E::from_worker_panic(panic_payload(panic.as_ref()))),
+        };
     }
     let chunk = jobs.div_ceil(threads);
     let (work, init) = (&work, &init);
-    thread::scope(|scope| -> std::result::Result<(), E> {
+    let mut first_err: Option<E> = None;
+    thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for (ci, slots) in out.chunks_mut(chunk).enumerate() {
             handles.push(scope.spawn(move || -> std::result::Result<(), E> {
@@ -124,12 +151,23 @@ where
                 Ok(())
             }));
         }
+        // Join *all* handles before surfacing anything: an early return
+        // with an unjoined panicking thread would re-raise its panic at
+        // scope exit, defeating the recoverable-error contract.
         for handle in handles {
-            handle.join().expect("batch evaluation worker panicked")?;
+            let result = match handle.join() {
+                Ok(r) => r,
+                Err(panic) => Err(E::from_worker_panic(panic_payload(panic.as_ref()))),
+            };
+            if let Err(e) = result {
+                first_err.get_or_insert(e);
+            }
         }
-        Ok(())
-    })?;
-    Ok(out)
+    });
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
 }
 
 /// Runs `work` over `jobs` slots on `threads` workers, each worker
@@ -373,6 +411,62 @@ mod tests {
             .unwrap();
         assert!(out.predictions.is_empty());
         assert_eq!(out.accuracy, 0.0);
+    }
+
+    #[test]
+    fn worker_panic_is_recoverable_at_every_thread_count() {
+        use crate::CoreError;
+        for threads in [1, 2, 4, 8] {
+            let err = fan_out_with(
+                16,
+                threads,
+                || (),
+                |(), i, _slot: &mut usize| -> Result<()> {
+                    if i == 11 {
+                        panic!("poisoned job {i}");
+                    }
+                    Ok(())
+                },
+            )
+            .unwrap_err();
+            match err {
+                CoreError::WorkerPanicked { payload } => {
+                    assert!(payload.contains("poisoned job 11"), "{payload}");
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn worker_error_still_wins_over_later_panics() {
+        use crate::CoreError;
+        // A genuine error in an early chunk is reported even when a
+        // later chunk panics — all workers are joined either way.
+        let err = fan_out_with(
+            8,
+            4,
+            || (),
+            |(), i, _slot: &mut usize| -> Result<()> {
+                if i == 0 {
+                    return Err(CoreError::Config {
+                        message: "job 0 failed".into(),
+                    });
+                }
+                if i == 7 {
+                    panic!("job 7 panicked");
+                }
+                Ok(())
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                CoreError::Config { .. } | CoreError::WorkerPanicked { .. }
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -49,6 +49,32 @@ pub enum CoreError {
         /// known — what makes a corrupt snapshot or journal actionable.
         offset: Option<usize>,
     },
+    /// A parallel worker panicked mid-batch. Surfaced as a recoverable
+    /// error by [`crate::batch::fan_out_with`] instead of aborting the
+    /// whole process, so sweep engines and the inference service can
+    /// retry, degrade or shed instead of dying with the worker.
+    WorkerPanicked {
+        /// The panic payload, when it was a string (the common case).
+        payload: String,
+    },
+}
+
+/// Conversion from a worker panic payload into a caller's error type.
+///
+/// [`crate::batch::fan_out_with`] is generic over the error its workers
+/// return; this trait is how a panicking worker's payload crosses back
+/// into that error type as a *recoverable* value — callers holding a
+/// `CoreError` get [`CoreError::WorkerPanicked`], other crates map onto
+/// their own panic-carrying variant.
+pub trait FromWorkerPanic {
+    /// Builds the error representing a worker panic with `payload`.
+    fn from_worker_panic(payload: String) -> Self;
+}
+
+impl FromWorkerPanic for CoreError {
+    fn from_worker_panic(payload: String) -> Self {
+        CoreError::WorkerPanicked { payload }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -77,6 +103,9 @@ impl fmt::Display for CoreError {
                     write!(f, " at byte {offset}")?;
                 }
                 Ok(())
+            }
+            CoreError::WorkerPanicked { payload } => {
+                write!(f, "worker panicked: {payload}")
             }
         }
     }

@@ -723,21 +723,97 @@ pub fn save_network(net: &SpikingNetwork, path: impl AsRef<Path>) -> Result<()> 
     atomic_write(path, &snapshot.to_json_string())
 }
 
-/// Loads a spiking network — weights value-exact, execution plan
-/// re-installed — from a JSON file written by [`save_network`].
+/// Validates a parsed snapshot before any network is built from it: every
+/// layer's weights and biases must be finite (a snapshot with NaN/Inf
+/// weights would classify garbage while looking healthy), and the
+/// serialized plan must align with the layer stack entry for entry.
+///
+/// This is the guard that makes hot swap safe — a corrupt or truncated
+/// model file is rejected *here*, before it can ever be installed.
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::Serialization`] for unreadable or malformed
-/// files — carrying the file path, and the byte offset for parse
-/// failures — and [`CoreError::Incompatible`] for version/structure
-/// mismatches.
+/// Returns [`CoreError::Serialization`] whose message carries the
+/// offending layer index (attach the file path with
+/// [`CoreError::with_path`] at load sites).
+pub fn validate_snapshot(snapshot: &NetworkSnapshot) -> Result<()> {
+    for (i, spec) in snapshot.snn.layers.iter().enumerate() {
+        let params: Option<(&Tensor, &Tensor)> = match spec {
+            LayerSpec::Conv { weight, bias, .. }
+            | LayerSpec::Linear { weight, bias }
+            | LayerSpec::Output { weight, bias } => Some((weight, bias)),
+            _ => None,
+        };
+        if let Some((weight, bias)) = params {
+            for (what, tensor) in [("weight", weight), ("bias", bias)] {
+                if let Some(j) = tensor.as_slice().iter().position(|v| !v.is_finite()) {
+                    return Err(ser_err(format!(
+                        "layer[{i}]: non-finite {what} value {} at element {j}",
+                        tensor.as_slice()[j]
+                    )));
+                }
+            }
+        }
+    }
+    if snapshot.plan.len() != snapshot.snn.layers.len() {
+        return Err(ser_err(format!(
+            "plan has {} entries for {} layers",
+            snapshot.plan.len(),
+            snapshot.snn.layers.len()
+        )));
+    }
+    for (i, (spec, plan)) in snapshot.snn.layers.iter().zip(&snapshot.plan).enumerate() {
+        let kind = match spec {
+            LayerSpec::Conv { .. } => "spiking_conv2d",
+            LayerSpec::Linear { .. } => "spiking_linear",
+            LayerSpec::Output { .. } => "output_linear",
+            LayerSpec::AvgPool { .. } => "avg_pool2d",
+            LayerSpec::MaxPool { .. } => "max_pool2d",
+            LayerSpec::Flatten => "flatten",
+            LayerSpec::Dropout { .. } => "dropout",
+        };
+        if plan.kind != kind {
+            return Err(ser_err(format!(
+                "layer[{i}]: plan entry kind {:?} does not match layer kind {kind:?}",
+                plan.kind
+            )));
+        }
+        if let Some(t) = plan.threshold {
+            if t.is_nan() {
+                return Err(ser_err(format!("layer[{i}]: NaN plan threshold")));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Loads a spiking network — weights value-exact, execution plan
+/// re-installed — from a JSON file written by [`save_network`].
+///
+/// The snapshot is validated ([`validate_snapshot`]) before any network
+/// is built: non-finite weights and structure/plan mismatches are
+/// rejected with the file path and offending layer index, so a hot-swap
+/// site can never install a corrupt model.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Serialization`] for unreadable, malformed or
+/// invalid files — carrying the file path, the byte offset for parse
+/// failures, and the layer index for validation failures — and
+/// [`CoreError::Incompatible`] for unsupported versions.
 pub fn load_network(path: impl AsRef<Path>) -> Result<SpikingNetwork> {
     let path = path.as_ref();
     let src = std::fs::read_to_string(path)
         .map_err(|e| ser_err(format!("cannot read file: {e}")).with_path(path))?;
     let snapshot = NetworkSnapshot::from_json_str(&src).map_err(|e| e.with_path(path))?;
-    restore_network(&snapshot)
+    validate_snapshot(&snapshot).map_err(|e| e.with_path(path))?;
+    restore_network(&snapshot).map_err(|e| match e {
+        // Structure/plan inconsistencies in an on-disk snapshot are a
+        // serialization problem to the caller — report them with the
+        // damaged file's path.
+        CoreError::Incompatible { message } => ser_err(message).with_path(path),
+        other => other,
+    })
 }
 
 /// Serializes an ANN snapshot as a JSON document (the ANN twin's
@@ -969,6 +1045,69 @@ mod tests {
             msg.contains(&path.display().to_string()),
             "display must show path: {msg}"
         );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn validate_snapshot_rejects_non_finite_weights() {
+        let net = sample_snn();
+        let snapshot = snapshot_network(&net).unwrap();
+        assert!(validate_snapshot(&snapshot).is_ok());
+
+        // NaN weight in the first parameterized layer.
+        let mut bad = snapshot.clone();
+        if let LayerSpec::Conv { weight, .. } = &mut bad.snn.layers[0] {
+            weight.as_mut_slice()[1] = f32::NAN;
+        } else {
+            panic!("sample_snn layer 0 should be a conv");
+        }
+        let err = validate_snapshot(&bad).unwrap_err();
+        assert!(matches!(err, CoreError::Serialization { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("layer[0]"), "must name the layer: {msg}");
+        assert!(msg.contains("weight"), "must name the tensor: {msg}");
+
+        // Infinite bias in a later layer reports that layer's index.
+        let mut bad = snapshot.clone();
+        if let LayerSpec::Linear { bias, .. } = &mut bad.snn.layers[4] {
+            bias.as_mut_slice()[0] = f32::INFINITY;
+        } else {
+            panic!("sample_snn layer 4 should be a linear");
+        }
+        let msg = validate_snapshot(&bad).unwrap_err().to_string();
+        assert!(msg.contains("layer[4]"), "must name the layer: {msg}");
+        assert!(msg.contains("bias"), "must name the tensor: {msg}");
+
+        // Misaligned plan and NaN plan thresholds are caught too.
+        let mut bad = snapshot.clone();
+        bad.plan.pop();
+        assert!(validate_snapshot(&bad).is_err());
+        let mut bad = snapshot.clone();
+        bad.plan[0].threshold = Some(f32::NAN);
+        let msg = validate_snapshot(&bad).unwrap_err().to_string();
+        assert!(msg.contains("layer[0]"), "must name the layer: {msg}");
+    }
+
+    #[test]
+    fn load_rejects_structure_mismatch_with_path() {
+        // A snapshot whose plan disagrees with the layer stack parses
+        // fine but must fail to load as Serialization carrying the
+        // file's path and the offending layer index — hot swap relies
+        // on this to never install a damaged model.
+        let net = sample_snn();
+        let mut snapshot = snapshot_network(&net).unwrap();
+        snapshot.plan[2].kind = "dropout".into();
+        let path = std::env::temp_dir().join(format!("axsnn_mismatch_{}.json", std::process::id()));
+        std::fs::write(&path, snapshot.to_json_string()).unwrap();
+        let err = load_network(&path).unwrap_err();
+        match &err {
+            CoreError::Serialization { path: p, .. } => {
+                assert_eq!(p.as_deref(), Some(path.display().to_string().as_str()));
+            }
+            other => panic!("expected Serialization, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("layer[2]"), "must name the layer: {msg}");
         let _ = std::fs::remove_file(&path);
     }
 

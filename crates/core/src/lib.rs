@@ -70,7 +70,7 @@ pub mod plan;
 pub mod precision;
 pub mod train;
 
-pub use error::CoreError;
+pub use error::{CoreError, FromWorkerPanic};
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

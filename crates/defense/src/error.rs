@@ -102,6 +102,12 @@ impl From<CoreError> for DefenseError {
     }
 }
 
+impl axsnn_core::FromWorkerPanic for DefenseError {
+    fn from_worker_panic(payload: String) -> Self {
+        DefenseError::Core(CoreError::WorkerPanicked { payload })
+    }
+}
+
 impl From<AttackError> for DefenseError {
     fn from(e: AttackError) -> Self {
         DefenseError::Attack(e)

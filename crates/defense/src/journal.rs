@@ -397,6 +397,34 @@ fn compact(
     atomic_write(path, &out).map_err(|e| jerr(path, format!("cannot compact: {e}")))
 }
 
+/// Reads the `(fingerprint, cells)` grid identity from a journal's
+/// header line, without loading or validating cell records — how a
+/// join step learns the grid identity from the shard files themselves
+/// instead of recomputing a producer-private fingerprint.
+///
+/// # Errors
+///
+/// Returns [`DefenseError::Journal`] when the file is unreadable,
+/// empty, or its first non-blank line is not a journal header.
+pub fn read_journal_header(path: impl AsRef<Path>) -> Result<(GridFingerprint, usize)> {
+    let path = path.as_ref();
+    let src = std::fs::read_to_string(path).map_err(|e| jerr(path, format!("cannot read: {e}")))?;
+    let Some(line) = src.lines().find(|l| !l.trim().is_empty()) else {
+        return Err(jerr(path, "empty journal (no header)"));
+    };
+    let doc =
+        json::parse(line).map_err(|e| jerr(path, format!("unparseable header: {}", e.message)))?;
+    let fingerprint = doc
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .and_then(GridFingerprint::from_hex);
+    let cells = doc.get("cells").and_then(Json::as_f64);
+    match (fingerprint, cells) {
+        (Some(fingerprint), Some(cells)) if cells >= 0.0 => Ok((fingerprint, cells as usize)),
+        _ => Err(jerr(path, "first record is not a journal header")),
+    }
+}
+
 /// Merges shard journals of the *same* grid into one journal file at
 /// `out` — the join step after independent processes split a grid via
 /// [`SweepOptions::shard`]. The merge is deterministic: records land in
@@ -1088,6 +1116,28 @@ mod tests {
         assert_eq!(report.replayed, 7);
         assert!(payloads.iter().all(Option::is_some));
         for p in [&a, &b, &merged] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn header_reader_recovers_grid_identity() {
+        let fp = GridFingerprint::of("header-id");
+        let sweep = GridSweep::new(4, fp);
+        let path = tmp("hdr.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let opts = SweepOptions::journaled(&path);
+        sweep
+            .run_serial(&opts, |c| Ok(payload_for(c)), |_, _| false)
+            .unwrap();
+        assert_eq!(read_journal_header(&path).unwrap(), (fp, 4));
+
+        let garbage = tmp("hdr_bad.jsonl");
+        std::fs::write(&garbage, "{\"cell\":0.0}\n").unwrap();
+        assert!(read_journal_header(&garbage).is_err());
+        std::fs::write(&garbage, "").unwrap();
+        assert!(read_journal_header(&garbage).is_err());
+        for p in [&path, &garbage] {
             let _ = std::fs::remove_file(p);
         }
     }

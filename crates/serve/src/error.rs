@@ -1,0 +1,187 @@
+use axsnn_core::CoreError;
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+/// Error type for the inference service.
+///
+/// Every rejected or failed request observes exactly one of these — the
+/// service never leaves a submitted request unanswered (the zero-hangs
+/// invariant the robustness bench enforces).
+///
+/// # Example
+///
+/// ```
+/// use axsnn_serve::ServeError;
+///
+/// let e = ServeError::QueueFull { depth: 64, capacity: 64 };
+/// assert!(e.to_string().contains("backpressure"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The bounded admission queue is at capacity — backpressure. The
+    /// caller should retry later or slow its submission rate.
+    QueueFull {
+        /// Requests currently queued.
+        depth: usize,
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The request was shed by the degradation ladder: the service is
+    /// in its shedding level and the request's priority is below the
+    /// admission floor.
+    Shed {
+        /// The shed request's priority (as [`crate::Priority`] debug text).
+        priority: String,
+    },
+    /// The request's deadline expired while it waited in the queue, so
+    /// it was dropped *before* execution — late work is never run.
+    DeadlineExpired {
+        /// How long the request had waited when it was dropped.
+        waited: Duration,
+    },
+    /// The worker executing this request panicked, and the panic was
+    /// pinned to this request by the isolation retry (the rest of its
+    /// batch was re-run without it).
+    WorkerPanicked {
+        /// The panic payload, when it was a string.
+        payload: String,
+    },
+    /// A hot-swap candidate model failed validation and was rolled
+    /// back; the previous model keeps serving.
+    SwapRejected {
+        /// Why the candidate was rejected.
+        reason: String,
+    },
+    /// The request is malformed (e.g. its image shape does not match
+    /// the served model's input).
+    InvalidRequest {
+        /// Description of the problem.
+        message: String,
+    },
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// The service configuration is invalid.
+    Config {
+        /// Description of the violated precondition.
+        message: String,
+    },
+    /// An underlying model operation failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { depth, capacity } => write!(
+                f,
+                "admission queue full ({depth}/{capacity}): backpressure, retry later"
+            ),
+            ServeError::Shed { priority } => {
+                write!(f, "request shed under overload (priority {priority})")
+            }
+            ServeError::DeadlineExpired { waited } => {
+                write!(f, "deadline expired after waiting {waited:?}")
+            }
+            ServeError::WorkerPanicked { payload } => {
+                write!(f, "worker panicked serving this request: {payload}")
+            }
+            ServeError::SwapRejected { reason } => {
+                write!(f, "model swap rejected (rolled back): {reason}")
+            }
+            ServeError::InvalidRequest { message } => write!(f, "invalid request: {message}"),
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::Config { message } => write!(f, "invalid service config: {message}"),
+            ServeError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl axsnn_core::FromWorkerPanic for ServeError {
+    fn from_worker_panic(payload: String) -> Self {
+        ServeError::WorkerPanicked { payload }
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<(ServeError, &str)> = vec![
+            (
+                ServeError::QueueFull {
+                    depth: 8,
+                    capacity: 8,
+                },
+                "backpressure",
+            ),
+            (
+                ServeError::Shed {
+                    priority: "Low".into(),
+                },
+                "shed",
+            ),
+            (
+                ServeError::DeadlineExpired {
+                    waited: Duration::from_millis(5),
+                },
+                "deadline",
+            ),
+            (
+                ServeError::WorkerPanicked {
+                    payload: "boom".into(),
+                },
+                "boom",
+            ),
+            (
+                ServeError::SwapRejected {
+                    reason: "NaN".into(),
+                },
+                "rolled back",
+            ),
+            (ServeError::ShuttingDown, "shutting down"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn from_worker_panic_maps() {
+        use axsnn_core::FromWorkerPanic;
+        let e = ServeError::from_worker_panic("p".into());
+        assert_eq!(
+            e,
+            ServeError::WorkerPanicked {
+                payload: "p".into()
+            }
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Service counters and latency accounting.
+//!
+//! All counters are lock-free atomics so workers never contend on
+//! bookkeeping; latencies go through a small mutex-guarded recorder
+//! (appended once per completed request).
+
+use crate::config::ServiceLevel;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Live counters for a running service. Obtain a consistent copy with
+/// [`ServeMetrics::snapshot`].
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Requests accepted into the queue.
+    pub submitted: AtomicU64,
+    /// Requests answered with a prediction.
+    pub completed: AtomicU64,
+    /// Submissions rejected by queue-full backpressure.
+    pub rejected_full: AtomicU64,
+    /// Requests shed for priority under the shedding level.
+    pub shed_priority: AtomicU64,
+    /// Requests dropped because their deadline expired pre-execution.
+    pub expired: AtomicU64,
+    /// Batch executions that panicked.
+    pub batch_panics: AtomicU64,
+    /// Worker state rebuilds after a panic (fresh model clone).
+    pub worker_respawns: AtomicU64,
+    /// Requests retried individually after a batch panic.
+    pub isolation_retries: AtomicU64,
+    /// Requests that failed with a pinned worker panic.
+    pub poisoned_failed: AtomicU64,
+    /// Fused batches executed.
+    pub batches: AtomicU64,
+    /// Requests served through fused batches (sum of batch sizes).
+    pub batched_requests: AtomicU64,
+    /// Successful hot swaps.
+    pub swaps: AtomicU64,
+    /// Hot-swap candidates rejected and rolled back.
+    pub swap_rollbacks: AtomicU64,
+    /// Degradation-ladder transitions, counted per target level
+    /// (indexed by [`ServiceLevel::index`]).
+    pub level_entries: [AtomicU64; 4],
+    /// Largest queue depth observed at dispatch.
+    pub max_queue_depth: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+impl ServeMetrics {
+    /// Records one end-to-end (submit → response) latency.
+    pub fn record_latency(&self, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.latencies_us.lock().expect("metrics lock").push(us);
+    }
+
+    /// Records a ladder transition into `level`.
+    pub fn record_level_entry(&self, level: ServiceLevel) {
+        self.level_entries[level.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises the observed max queue depth to at least `depth`.
+    pub fn observe_queue_depth(&self, depth: usize) {
+        self.max_queue_depth
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// A consistent point-in-time copy of every counter plus latency
+    /// percentiles.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let lat = self.latencies_us.lock().expect("metrics lock").clone();
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected_full: self.rejected_full.load(Ordering::Relaxed),
+            shed_priority: self.shed_priority.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            batch_panics: self.batch_panics.load(Ordering::Relaxed),
+            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
+            isolation_retries: self.isolation_retries.load(Ordering::Relaxed),
+            poisoned_failed: self.poisoned_failed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            swap_rollbacks: self.swap_rollbacks.load(Ordering::Relaxed),
+            level_entries: [
+                self.level_entries[0].load(Ordering::Relaxed),
+                self.level_entries[1].load(Ordering::Relaxed),
+                self.level_entries[2].load(Ordering::Relaxed),
+                self.level_entries[3].load(Ordering::Relaxed),
+            ],
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            p50_latency_us: percentile_us(&lat, 50.0),
+            p99_latency_us: percentile_us(&lat, 99.0),
+            latency_samples: lat.len() as u64,
+        }
+    }
+}
+
+/// Point-in-time copy of [`ServeMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests answered with a prediction.
+    pub completed: u64,
+    /// Submissions rejected by queue-full backpressure.
+    pub rejected_full: u64,
+    /// Requests shed for priority under the shedding level.
+    pub shed_priority: u64,
+    /// Requests dropped on an expired deadline, pre-execution.
+    pub expired: u64,
+    /// Batch executions that panicked.
+    pub batch_panics: u64,
+    /// Worker state rebuilds after a panic.
+    pub worker_respawns: u64,
+    /// Requests retried individually after a batch panic.
+    pub isolation_retries: u64,
+    /// Requests failed with a pinned worker panic.
+    pub poisoned_failed: u64,
+    /// Fused batches executed.
+    pub batches: u64,
+    /// Requests served through fused batches.
+    pub batched_requests: u64,
+    /// Successful hot swaps.
+    pub swaps: u64,
+    /// Rejected, rolled-back hot swaps.
+    pub swap_rollbacks: u64,
+    /// Ladder transitions per target level.
+    pub level_entries: [u64; 4],
+    /// Largest queue depth observed at dispatch.
+    pub max_queue_depth: u64,
+    /// Median end-to-end latency, microseconds.
+    pub p50_latency_us: u64,
+    /// 99th-percentile end-to-end latency, microseconds.
+    pub p99_latency_us: u64,
+    /// Latency samples recorded.
+    pub latency_samples: u64,
+}
+
+impl MetricsSnapshot {
+    /// Mean fused-batch size, 0.0 before any batch ran.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Total degradation-ladder transitions.
+    pub fn total_transitions(&self) -> u64 {
+        self.level_entries.iter().sum()
+    }
+}
+
+/// Nearest-rank percentile of raw microsecond samples (`p` in
+/// `[0, 100]`). Returns 0 for an empty set.
+pub fn percentile_us(samples: &[u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_edges() {
+        assert_eq!(percentile_us(&[], 99.0), 0);
+        assert_eq!(percentile_us(&[7], 50.0), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&v, 50.0), 50);
+        assert_eq!(percentile_us(&v, 99.0), 99);
+        assert_eq!(percentile_us(&v, 100.0), 100);
+    }
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = ServeMetrics::default();
+        m.submitted.fetch_add(3, Ordering::Relaxed);
+        m.completed.fetch_add(2, Ordering::Relaxed);
+        m.batches.fetch_add(1, Ordering::Relaxed);
+        m.batched_requests.fetch_add(2, Ordering::Relaxed);
+        m.record_latency(Duration::from_micros(40));
+        m.record_latency(Duration::from_micros(60));
+        m.record_level_entry(ServiceLevel::Shedding);
+        m.observe_queue_depth(5);
+        m.observe_queue_depth(3);
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 3);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.mean_batch_size(), 2.0);
+        assert_eq!(s.level_entries[ServiceLevel::Shedding.index()], 1);
+        assert_eq!(s.total_transitions(), 1);
+        assert_eq!(s.max_queue_depth, 5);
+        assert_eq!(s.p50_latency_us, 40);
+        assert_eq!(s.p99_latency_us, 60);
+        assert_eq!(s.latency_samples, 2);
+    }
+}

@@ -11,23 +11,75 @@
 //! journal, and re-running the example with the same journal replays
 //! finished cells instead of re-evaluating them — the final outcome is
 //! bit-identical to an uninterrupted run.
+//!
+//! Add `AXSNN_SHARD=i/n` (0-based index `i`, `n` processes) to split
+//! the grid across independent processes: each shard journals its
+//! contiguous slice to `{AXSNN_JOURNAL}.shard{i}-of-{n}`, and whichever
+//! shard finishes last merges the shard journals into `AXSNN_JOURNAL`
+//! and replays the merged journal for the complete, bit-identical
+//! outcome. Run e.g.:
+//!
+//! ```text
+//! AXSNN_JOURNAL=search.jsonl AXSNN_SHARD=0/2 cargo run --release -p axsnn --example precision_scaling_search &
+//! AXSNN_JOURNAL=search.jsonl AXSNN_SHARD=1/2 cargo run --release -p axsnn --example precision_scaling_search
+//! ```
 
 use axsnn::core::convert::ann_to_snn;
 use axsnn::core::network::SnnConfig;
 use axsnn::core::precision::PrecisionScale;
 use axsnn::datasets::mnist::MnistConfig;
-use axsnn::defense::journal::SweepOptions;
+use axsnn::defense::journal::{merge_journals, read_journal_header, SweepOptions, SweepReport};
 use axsnn::defense::scenario::{MnistScenario, MnistScenarioConfig};
 use axsnn::defense::search::{
-    precision_scaling_search_resumable, PrecisionSearchConfig, SearchSpace, StaticAttackKind,
+    precision_scaling_search_resumable, PrecisionSearchConfig, SearchOutcome, SearchSpace,
+    StaticAttackKind,
 };
 use axsnn::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// Parses `AXSNN_SHARD=i/n` (0-based shard index, process count).
+fn parse_shard() -> Result<Option<(usize, usize)>, String> {
+    let Ok(spec) = std::env::var("AXSNN_SHARD") else {
+        return Ok(None);
+    };
+    let parsed = spec
+        .split_once('/')
+        .and_then(|(i, n)| Some((i.trim().parse().ok()?, n.trim().parse().ok()?)));
+    match parsed {
+        Some((index, count)) if count > 0 && index < count => Ok(Some((index, count))),
+        _ => Err(format!(
+            "AXSNN_SHARD must be i/n with 0 <= i < n, got {spec:?}"
+        )),
+    }
+}
+
+fn shard_journal_path(journal: &str, index: usize, count: usize) -> PathBuf {
+    PathBuf::from(format!("{journal}.shard{index}-of-{count}"))
+}
+
+/// Cells in shard `index`'s contiguous slice of a `cells`-cell grid
+/// (the same split [`SweepOptions::shard`] executes).
+fn shard_slice_len(cells: usize, index: usize, count: usize) -> usize {
+    let chunk = cells.div_ceil(count).max(1);
+    cells.min((index + 1) * chunk) - cells.min(index * chunk)
+}
+
+/// Counts committed cell records in a shard journal without opening it
+/// for writing — the sibling process may still be appending, so this
+/// stays strictly read-only. A torn tail line simply doesn't count.
+fn shard_completed(path: &std::path::Path) -> usize {
+    std::fs::read_to_string(path)
+        .map(|s| {
+            s.lines()
+                .filter(|l| l.starts_with("{\"cell\":") && l.ends_with('}'))
+                .count()
+        })
+        .unwrap_or(0)
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = StdRng::seed_from_u64(3);
-
     println!("preparing scenario…");
     let mut cfg = MnistScenarioConfig::default();
     cfg.mnist = MnistConfig {
@@ -74,32 +126,91 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         search_cfg.quality_constraint
     );
 
-    let opts = match std::env::var("AXSNN_JOURNAL") {
-        Ok(path) => {
+    let journal = std::env::var("AXSNN_JOURNAL").ok();
+    let shard = parse_shard()?;
+    let opts = match (&journal, shard) {
+        (Some(path), Some((index, count))) => {
+            let shard_path = shard_journal_path(path, index, count);
+            println!(
+                "shard {index}/{count}: journaling this slice to {}",
+                shard_path.display()
+            );
+            SweepOptions {
+                journal: Some(shard_path),
+                shard: Some((index, count)),
+                ..SweepOptions::new()
+            }
+        }
+        (None, Some(_)) => {
+            return Err(
+                "AXSNN_SHARD requires AXSNN_JOURNAL (shard journals are how the \
+                        processes meet for the merge)"
+                    .into(),
+            )
+        }
+        (Some(path), None) => {
             println!("journaling completed cells to {path} (restart to resume)");
             SweepOptions::journaled(path)
         }
-        Err(_) => SweepOptions::new(),
+        (None, None) => SweepOptions::new(),
     };
 
-    let ann = scenario.ann().clone();
-    let mut trainer = move |snn_cfg: SnnConfig| ann_to_snn(&ann, snn_cfg, &calibration);
-    let (outcome, report) = precision_scaling_search_resumable(
-        &search_cfg,
-        &mut trainer,
-        scenario.adversary(),
-        &scenario.dataset().test,
-        &mut rng,
-        &opts,
-    )?;
-    if let Some(f) = report.failures.first() {
-        return Err(format!("cell {} failed permanently: {}", f.cell, f.message).into());
-    }
+    // Per-run RNG with a fixed seed: every shard process draws the same
+    // seed stream, so their grids share one fingerprint and the merged
+    // journal is bit-identical to an unsharded run.
+    let run_search =
+        |opts: &SweepOptions| -> Result<(SearchOutcome, SweepReport), Box<dyn std::error::Error>> {
+            let mut rng = StdRng::seed_from_u64(3);
+            let ann = scenario.ann().clone();
+            let mut trainer = |snn_cfg: SnnConfig| ann_to_snn(&ann, snn_cfg, &calibration);
+            let (outcome, report) = precision_scaling_search_resumable(
+                &search_cfg,
+                &mut trainer,
+                scenario.adversary(),
+                &scenario.dataset().test,
+                &mut rng,
+                opts,
+            )?;
+            if let Some(f) = report.failures.first() {
+                return Err(format!("cell {} failed permanently: {}", f.cell, f.message).into());
+            }
+            Ok((outcome, report))
+        };
+
+    let (mut outcome, report) = run_search(&opts)?;
     if report.replayed > 0 {
         println!(
             "resumed from journal: {} cells replayed, {} evaluated fresh",
             report.replayed, report.executed
         );
+    }
+
+    if let (Some(path), Some((index, count))) = (&journal, shard) {
+        let shards: Vec<PathBuf> = (0..count)
+            .map(|k| shard_journal_path(path, k, count))
+            .collect();
+        let (fingerprint, cells) = read_journal_header(&shards[index])?;
+        let pending = (0..count)
+            .filter(|&k| shard_completed(&shards[k]) < shard_slice_len(cells, k, count))
+            .count();
+        if pending > 0 {
+            println!(
+                "shard {index}/{count} complete — {pending} shard slice(s) still running; \
+                 the last shard to finish merges into {path}"
+            );
+            return Ok(());
+        }
+        // Last shard standing: join the slices and replay the merged
+        // journal (zero cells re-executed) for the full outcome.
+        let completed = merge_journals(&shards, path, fingerprint, cells)?;
+        println!("merged {count} shard journals → {path} ({completed}/{cells} cells)");
+        let merged_opts = SweepOptions::journaled(path);
+        let (merged_outcome, merged_report) = run_search(&merged_opts)?;
+        println!(
+            "replayed merged journal: {} cells replayed, {} evaluated fresh",
+            merged_report.replayed, merged_report.executed
+        );
+        outcome = merged_outcome;
     }
 
     println!(
