@@ -80,10 +80,10 @@ fn bench_precision(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let w = init::uniform(&mut rng, &[256 * 96], 1.0);
     c.bench_function("quantize_fp16_24k_weights", |b| {
-        b.iter(|| black_box(PrecisionScale::Fp16.quantize_tensor(black_box(&w))))
+        b.iter(|| black_box(PrecisionScale::Fp16.quantize_tensor(black_box(&w)).unwrap()))
     });
     c.bench_function("quantize_int8_24k_weights", |b| {
-        b.iter(|| black_box(PrecisionScale::Int8.quantize_tensor(black_box(&w))))
+        b.iter(|| black_box(PrecisionScale::Int8.quantize_tensor(black_box(&w)).unwrap()))
     });
 }
 

@@ -9,12 +9,15 @@
 
 use axsnn_bench::gates::check_bench_file;
 
-const DEFAULT_FILES: [&str; 5] = [
+const DEFAULT_FILES: [&str; 8] = [
     "BENCH_sparse.json",
     "BENCH_batch.json",
     "BENCH_train.json",
     "BENCH_backward.json",
     "BENCH_conv_batch.json",
+    "BENCH_sweep.json",
+    "BENCH_serve.json",
+    "BENCH_quant.json",
 ];
 
 fn main() {

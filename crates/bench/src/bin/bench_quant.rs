@@ -1,0 +1,370 @@
+//! Smoke benchmark: reduced-precision weight planes (PR 8) vs f32
+//! weight storage, exported to `BENCH_quant.json` for the CI perf
+//! trajectory.
+//!
+//! Every kernel A/B compares the *same values* in two storage formats:
+//! the f32 baseline runs on the **dequantized image** of the plane (so
+//! both sides do identical arithmetic and the outputs are asserted
+//! bit-identical), isolating the effect of streaming 1 or 2 bytes per
+//! gathered weight instead of 4:
+//!
+//! * `quant_matvec_*` — the gather-bound sparse matvec on a
+//!   `1024×4096` layer at ≤10% spike density, per plane (the headline:
+//!   int8 carries a ≥1.3× floor, f16 — which pays a software
+//!   half-to-float conversion per element — a ≥0.6× no-collapse floor);
+//! * `quant_gemm_*` — the batch-32 spike-plane GEMM (informational);
+//! * `quant_conv_*` — the event-sorted batched conv on the paper's
+//!   8→16 k=5 layer (informational);
+//! * `quant_accuracy_*` — prediction agreement between an int8/f16
+//!   planed MLP and its f32 twin over 256 deterministic samples through
+//!   the fused batch engine; the disagreement may cost at most **5
+//!   percentage points** (the plane is a precision trade, not a
+//!   lobotomy).
+//!
+//! Usage: `cargo run --release -p axsnn-bench --bin bench_quant
+//! [out.json]` (default output `BENCH_quant.json`).
+//! `AXSNN_BENCH_ITERS` scales the iteration counts (default 20).
+
+use axsnn::core::fused::FrameTrain;
+use axsnn::core::layer::Layer;
+use axsnn::core::network::{SnnConfig, SpikingNetwork};
+use axsnn::core::plan::WeightPlane;
+use axsnn::tensor::batched::{
+    sparse_conv2d_batch_sorted_into, sparse_conv2d_batch_sorted_planed_into, sparse_matmul_bias,
+    sparse_matmul_bias_planed, SpikeMatrix,
+};
+use axsnn::tensor::conv::Conv2dSpec;
+use axsnn::tensor::plane::QuantizedPlane;
+use axsnn::tensor::sparse::{sparse_matvec_bias, sparse_matvec_bias_planed, SpikeVector};
+use axsnn::tensor::{init, Tensor};
+use axsnn_bench::json::{write_bench_json, BenchRow};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+const BATCH: usize = 32;
+const PLANES: [WeightPlane; 2] = [WeightPlane::Int8, WeightPlane::F16];
+
+struct KernelRecord {
+    name: String,
+    density: f32,
+    bits: u32,
+    f32_ns: f64,
+    planed_ns: f64,
+}
+
+impl KernelRecord {
+    fn speedup(&self) -> f64 {
+        self.f32_ns / self.planed_ns.max(1.0)
+    }
+}
+
+struct AccuracyRecord {
+    name: String,
+    samples: usize,
+    agreement_pct: f64,
+}
+
+fn iters() -> u32 {
+    std::env::var("AXSNN_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20)
+}
+
+fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+    let n = iters();
+    f(); // warmup
+    let start = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / n as f64
+}
+
+fn hash_unit(i: usize, salt: u64) -> f32 {
+    let mut h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt;
+    h ^= h >> 29;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    (h >> 40) as f32 / (1u64 << 24) as f32
+}
+
+fn spike_frame(len: usize, density: f32, dims: &[usize], salt: u64) -> Tensor {
+    let data: Vec<f32> = (0..len)
+        .map(|i| {
+            if hash_unit(i, salt) < density {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Tensor::from_vec(data, dims).unwrap()
+}
+
+/// Quantizes `weight` into `plane` and returns the packed buffer plus
+/// its dequantized f32 image — the two storage formats of one value
+/// set the A/B compares.
+fn planed_pair(weight: &Tensor, plane: WeightPlane) -> (QuantizedPlane, Tensor) {
+    let quant = QuantizedPlane::quantize(weight.as_slice(), plane)
+        .expect("finite weights")
+        .expect("non-f32 plane");
+    let deq = Tensor::from_vec(quant.dequantize(), weight.shape().dims()).unwrap();
+    (quant, deq)
+}
+
+/// The headline: gather-bound sparse matvec, f32 vs planed storage.
+fn matvec_records(records: &mut Vec<KernelRecord>, density: f32) {
+    const OUT: usize = 1024;
+    const IN: usize = 4096;
+    let mut rng = StdRng::seed_from_u64(2);
+    let weight = init::uniform(&mut rng, &[OUT, IN], 0.1);
+    let bias = init::uniform(&mut rng, &[OUT], 0.1);
+    let x = SpikeVector::from_dense(&spike_frame(IN, density, &[IN], 7)).expect("binary frame");
+    for plane in PLANES {
+        let (quant, deq) = planed_pair(&weight, plane);
+        let f32_ns = time_ns(|| {
+            black_box(sparse_matvec_bias(black_box(&deq), &x, &bias).unwrap());
+        });
+        let planed_ns = time_ns(|| {
+            black_box(sparse_matvec_bias_planed(quant.view(), (OUT, IN), &x, &bias).unwrap());
+        });
+        let a = sparse_matvec_bias(&deq, &x, &bias).unwrap();
+        let b = sparse_matvec_bias_planed(quant.view(), (OUT, IN), &x, &bias).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice(), "{plane} matvec diverged");
+        records.push(KernelRecord {
+            name: format!("quant_matvec_{}_{OUT}x{IN}", plane.name()),
+            density,
+            bits: plane.bits_per_weight(),
+            f32_ns,
+            planed_ns,
+        });
+    }
+}
+
+/// Batch-32 spike-plane GEMM, f32 vs planed storage (informational).
+fn gemm_records(records: &mut Vec<KernelRecord>, density: f32) {
+    const OUT: usize = 512;
+    const IN: usize = 2048;
+    let mut rng = StdRng::seed_from_u64(3);
+    let weight = init::uniform(&mut rng, &[OUT, IN], 0.1);
+    let bias = init::uniform(&mut rng, &[OUT], 0.1);
+    let rows: Vec<SpikeVector> = (0..BATCH)
+        .map(|b| {
+            SpikeVector::from_dense(&spike_frame(IN, density, &[IN], b as u64 * 977))
+                .expect("binary frame")
+        })
+        .collect();
+    let batch = SpikeMatrix::from_rows(&rows).unwrap();
+    for plane in PLANES {
+        let (quant, deq) = planed_pair(&weight, plane);
+        let f32_ns = time_ns(|| {
+            black_box(sparse_matmul_bias(black_box(&deq), &batch, &bias).unwrap());
+        });
+        let planed_ns = time_ns(|| {
+            black_box(sparse_matmul_bias_planed(quant.view(), (OUT, IN), &batch, &bias).unwrap());
+        });
+        let a = sparse_matmul_bias(&deq, &batch, &bias).unwrap();
+        let b = sparse_matmul_bias_planed(quant.view(), (OUT, IN), &batch, &bias).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice(), "{plane} GEMM diverged");
+        records.push(KernelRecord {
+            name: format!("quant_gemm_{}_{OUT}x{IN}_B{BATCH}", plane.name()),
+            density,
+            bits: plane.bits_per_weight(),
+            f32_ns,
+            planed_ns,
+        });
+    }
+}
+
+/// Event-sorted batched conv on the paper's 8→16 k=5 layer at 14×14,
+/// f32 vs planed storage (informational).
+fn conv_records(records: &mut Vec<KernelRecord>, density: f32) {
+    let spec = Conv2dSpec {
+        in_channels: 8,
+        out_channels: 16,
+        kernel: 5,
+        stride: 1,
+        padding: 2,
+    };
+    let (h, w) = (14usize, 14usize);
+    let mut rng = StdRng::seed_from_u64(4);
+    let weight = init::uniform(
+        &mut rng,
+        &[
+            spec.out_channels,
+            spec.in_channels,
+            spec.kernel,
+            spec.kernel,
+        ],
+        0.1,
+    );
+    let bias = init::uniform(&mut rng, &[spec.out_channels], 0.1);
+    let len = spec.in_channels * h * w;
+    let rows: Vec<SpikeVector> = (0..BATCH)
+        .map(|b| {
+            SpikeVector::from_dense(&spike_frame(len, density, &[len], b as u64 * 131))
+                .expect("binary frame")
+        })
+        .collect();
+    let batch = SpikeMatrix::from_rows(&rows).unwrap();
+    let (oh, ow) = spec.output_hw(h, w);
+    let n = spec.out_channels * oh * ow;
+    let mut block_a = vec![0.0f32; BATCH * n];
+    let mut block_b = vec![0.0f32; BATCH * n];
+    for plane in PLANES {
+        let (quant, deq) = planed_pair(&weight, plane);
+        let f32_ns = time_ns(|| {
+            sparse_conv2d_batch_sorted_into(
+                black_box(&batch),
+                (h, w),
+                &deq,
+                &bias,
+                &spec,
+                &mut block_a,
+            )
+            .unwrap();
+            black_box(&block_a);
+        });
+        let planed_ns = time_ns(|| {
+            sparse_conv2d_batch_sorted_planed_into(
+                black_box(&batch),
+                (h, w),
+                quant.view(),
+                &bias,
+                &spec,
+                &mut block_b,
+            )
+            .unwrap();
+            black_box(&block_b);
+        });
+        assert_eq!(block_a, block_b, "{plane} batched conv diverged");
+        records.push(KernelRecord {
+            name: format!("quant_conv_{}_8to16_k5_14x14_B{BATCH}", plane.name()),
+            density,
+            bits: plane.bits_per_weight(),
+            f32_ns,
+            planed_ns,
+        });
+    }
+}
+
+/// Prediction agreement: the planed MLP vs its f32 twin over 256
+/// deterministic samples through the fused batch engine.
+fn accuracy_records(records: &mut Vec<AccuracyRecord>) {
+    const INPUT: usize = 64;
+    const CLASSES: usize = 10;
+    const SAMPLES: usize = 256;
+    const TIME_STEPS: usize = 8;
+    let cfg = SnnConfig {
+        threshold: 0.8,
+        time_steps: TIME_STEPS,
+        leak: 0.9,
+    };
+    let mut rng = StdRng::seed_from_u64(6);
+    let net = SpikingNetwork::new(
+        vec![
+            Layer::spiking_linear(&mut rng, INPUT, 48, &cfg),
+            Layer::output_linear(&mut rng, 48, CLASSES),
+        ],
+        cfg,
+    )
+    .expect("static topology");
+    let trains: Vec<FrameTrain> = (0..SAMPLES)
+        .map(|s| {
+            let image = Tensor::from_vec(
+                (0..INPUT).map(|i| hash_unit(i, s as u64 * 7919)).collect(),
+                &[INPUT],
+            )
+            .unwrap();
+            let mut rng = StdRng::seed_from_u64(s as u64);
+            FrameTrain::encode(
+                &image,
+                axsnn::core::encoding::Encoder::Deterministic,
+                TIME_STEPS,
+                &mut rng,
+            )
+            .unwrap()
+        })
+        .collect();
+    let baseline = net.clone().classify_batch_fused(&trains).unwrap();
+    for plane in PLANES {
+        let mut planed = net.clone();
+        planed.set_weight_plane(plane).expect("finite weights");
+        let predictions = planed.classify_batch_fused(&trains).unwrap();
+        let agree = baseline
+            .iter()
+            .zip(&predictions)
+            .filter(|(a, b)| a == b)
+            .count();
+        records.push(AccuracyRecord {
+            name: format!("quant_accuracy_{}_mlp{INPUT}x48x{CLASSES}", plane.name()),
+            samples: SAMPLES,
+            agreement_pct: agree as f64 / SAMPLES as f64 * 100.0,
+        });
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_quant.json".to_string());
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut kernels = Vec::new();
+    for &density in &[0.05f32, 0.10] {
+        matvec_records(&mut kernels, density);
+    }
+    gemm_records(&mut kernels, 0.10);
+    conv_records(&mut kernels, 0.10);
+    let mut accuracy = Vec::new();
+    accuracy_records(&mut accuracy);
+
+    println!(
+        "{:<36} {:>8} {:>5} {:>12} {:>12} {:>9}",
+        "benchmark", "density", "bits", "f32 ns", "planed ns", "speedup"
+    );
+    let mut rows: Vec<BenchRow> = kernels
+        .iter()
+        .map(|r| {
+            println!(
+                "{:<36} {:>7.0}% {:>5} {:>12.0} {:>12.0} {:>8.2}x",
+                r.name,
+                r.density * 100.0,
+                r.bits,
+                r.f32_ns,
+                r.planed_ns,
+                r.speedup()
+            );
+            BenchRow::new()
+                .str("name", &r.name)
+                .num("density", r.density as f64, 2)
+                .num("bits_per_weight", r.bits as f64, 0)
+                .num("hardware_threads", hardware_threads as f64, 0)
+                .num("f32_ns", r.f32_ns, 0)
+                .num("planed_ns", r.planed_ns, 0)
+                .num("speedup", r.speedup(), 3)
+        })
+        .collect();
+    for r in &accuracy {
+        let delta = 100.0 - r.agreement_pct;
+        println!(
+            "{:<36} {} samples, {:.1}% agreement ({:.1} points delta)",
+            r.name, r.samples, r.agreement_pct, delta
+        );
+        rows.push(
+            BenchRow::new()
+                .str("name", &r.name)
+                .num("samples", r.samples as f64, 0)
+                .num("agreement_pct", r.agreement_pct, 2)
+                .num("accuracy_delta_points", delta, 2),
+        );
+    }
+    write_bench_json(&out_path, &rows).expect("write benchmark JSON");
+    // Floors (int8 matvec ≥1.3×, f16 matvec ≥0.6×, accuracy delta
+    // ≤5 points) live in the consolidated gate (`bench_gate`,
+    // documented in `axsnn_bench::gates`).
+    println!("\nwrote {out_path} (floors enforced by bench_gate)");
+}

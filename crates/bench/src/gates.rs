@@ -41,6 +41,17 @@
 //!   (`sweep_journal_overhead_*` ≥ **0.9×**), and resuming a completed
 //!   journal is pure replay, ≥ **10×** faster than re-running the grid
 //!   (`sweep_resume_replay_*`).
+//! * `BENCH_quant.json` — the reduced-precision weight planes (PR 8):
+//!   both sides of every kernel A/B compute on the *same dequantized
+//!   values* (bit-identical outputs), so the ratio isolates weight-
+//!   storage bandwidth. The gather-bound sparse matvec at ≤10% density
+//!   must show int8 ≥ **1.3×** f32 storage (`quant_matvec_int8_*`);
+//!   f16 — paying a software half-to-float conversion per gathered
+//!   element — must stay ≥ **0.6×** (`quant_matvec_f16_*`). The GEMM
+//!   and batched-conv records are informational. The planed MLP's
+//!   predictions over 256 deterministic samples may disagree with its
+//!   f32 twin by at most **5 percentage points**
+//!   (`quant_accuracy_*`).
 //! * `BENCH_serve.json` — the micro-batching inference service (PR 7):
 //!   fused-coalesced serving at concurrency ≥ 32 ≥ **3×** sequential
 //!   per-request classify (`serve_throughput_*`; hardware-aware like
@@ -124,6 +135,7 @@ pub fn check_bench_file(path: &str) -> Result<GateReport, String> {
         "backward",
         "sweep",
         "serve",
+        "quant",
     ]
     .into_iter()
     .find(|k| file_name.contains(k))
@@ -156,6 +168,7 @@ pub fn check_bench_file(path: &str) -> Result<GateReport, String> {
         ],
         "sweep" => &["sweep_journal_overhead", "sweep_resume_replay"],
         "serve" => &["serve_throughput", "serve_latency", "serve_robust"],
+        "quant" => &["quant_matvec_int8", "quant_matvec_f16", "quant_accuracy"],
         _ => &[],
     };
     for prefix in expected {
@@ -458,6 +471,53 @@ pub fn check_bench_file(path: &str) -> Result<GateReport, String> {
                     }
                 }
             }
+            "quant" => {
+                if name.starts_with("quant_accuracy") {
+                    require_fields(
+                        rec,
+                        &["samples", "agreement_pct", "accuracy_delta_points"],
+                        &ctx,
+                        &mut report.failures,
+                    );
+                    let delta = num(rec, "accuracy_delta_points", &ctx).unwrap_or(f64::MAX);
+                    report.gated += 1;
+                    if delta > 5.0 {
+                        report.failures.push(format!(
+                            "{ctx}: planed predictions disagree with f32 by {delta:.1} \
+                             points, exceeding the 5.0-point ceiling"
+                        ));
+                    }
+                } else {
+                    require_fields(
+                        rec,
+                        &[
+                            "density",
+                            "bits_per_weight",
+                            "hardware_threads",
+                            "f32_ns",
+                            "planed_ns",
+                            "speedup",
+                        ],
+                        &ctx,
+                        &mut report.failures,
+                    );
+                    let density = num(rec, "density", &ctx).unwrap_or(1.0);
+                    let speedup = num(rec, "speedup", &ctx).unwrap_or(0.0);
+                    // The gather-bound matvec is the headline; the GEMM
+                    // and batched-conv records stay informational.
+                    if name.starts_with("quant_matvec_int8") && density <= 0.10 {
+                        report.gated += 1;
+                        if speedup < 1.3 {
+                            fail(&mut report, speedup, 1.3, "int8 weight-plane matvec");
+                        }
+                    } else if name.starts_with("quant_matvec_f16") && density <= 0.10 {
+                        report.gated += 1;
+                        if speedup < 0.6 {
+                            fail(&mut report, speedup, 0.6, "f16 weight-plane matvec");
+                        }
+                    }
+                }
+            }
             _ => unreachable!("kind matched above"),
         }
     }
@@ -742,6 +802,52 @@ mod tests {
         assert!(report.failures.is_empty(), "{:?}", report.failures);
         assert_eq!(report.notes.len(), 1);
         assert_eq!(report.gated, 2);
+        let _ = std::fs::remove_file(path);
+    }
+
+    fn quant_rows(int8_speedup: f64, delta: f64) -> Vec<BenchRow> {
+        let kernel = |name: &str, bits: f64, speedup: f64| {
+            BenchRow::new()
+                .str("name", name)
+                .num("density", 0.10, 2)
+                .num("bits_per_weight", bits, 0)
+                .num("hardware_threads", 1.0, 0)
+                .num("f32_ns", 100.0 * speedup, 0)
+                .num("planed_ns", 100.0, 0)
+                .num("speedup", speedup, 3)
+        };
+        vec![
+            kernel("quant_matvec_int8_1024x4096", 8.0, int8_speedup),
+            kernel("quant_matvec_f16_1024x4096", 16.0, 0.8),
+            kernel("quant_gemm_int8_512x2048_B32", 8.0, 0.4),
+            BenchRow::new()
+                .str("name", "quant_accuracy_int8_mlp64x48x10")
+                .num("samples", 256.0, 0)
+                .num("agreement_pct", 100.0 - delta, 2)
+                .num("accuracy_delta_points", delta, 2),
+        ]
+    }
+
+    #[test]
+    fn quant_floors_enforced() {
+        // An int8 matvec below 1.3× fails; the slow GEMM row is
+        // informational and never gates.
+        let path = tmp("BENCH_quant_a.json", &quant_rows(1.1, 0.5));
+        let report = check_bench_file(&path).unwrap();
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert!(report.failures[0].contains("1.3"));
+        let _ = std::fs::remove_file(path);
+        // A planed model drifting more than 5 points from f32 fails.
+        let path = tmp("BENCH_quant_b.json", &quant_rows(2.0, 7.5));
+        let report = check_bench_file(&path).unwrap();
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert!(report.failures[0].contains("5.0-point"));
+        let _ = std::fs::remove_file(path);
+        // Healthy rows gate cleanly: both matvec planes + accuracy.
+        let path = tmp("BENCH_quant_c.json", &quant_rows(2.0, 0.5));
+        let report = check_bench_file(&path).unwrap();
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.gated, 3);
         let _ = std::fs::remove_file(path);
     }
 

@@ -349,7 +349,7 @@ pub fn heatmap_sweep_resumable(
     let eval = |cell: usize| -> Result<Json, axsnn::defense::DefenseError> {
         let (t, v) = (steps[cell / n_v], thresholds[cell % n_v]);
         let mut net = scenario.ax_snn(snn_config(v, t), level)?;
-        apply_precision(&mut net, precision);
+        apply_precision(&mut net, precision).map_err(axsnn::defense::DefenseError::from)?;
         let adv_set = adv_cache.get(Encoder::DirectCurrent, t)?;
         let acc = adv_set.accuracy(&net, 1)?;
         Ok(Json::Obj(vec![("acc".into(), Json::Num(f64::from(acc)))]))

@@ -50,11 +50,12 @@ use crate::network::SpikingNetwork;
 use crate::plan::{ConvBatchKernel, KernelPolicy};
 use crate::{CoreError, Result};
 use axsnn_tensor::batched::{
-    matmul_bt_bias, sparse_conv2d_batch_sorted_into, sparse_matmul_bias, sparse_matmul_bias_exact,
-    SpikeMatrix,
+    matmul_bt_bias, sparse_conv2d_batch_sorted_into, sparse_conv2d_batch_sorted_planed_into,
+    sparse_matmul_bias, sparse_matmul_bias_exact, sparse_matmul_bias_planed, SpikeMatrix,
 };
 use axsnn_tensor::conv::{self, Conv2dSpec};
 use axsnn_tensor::grads::{self, GradShard};
+use axsnn_tensor::plane::QuantizedPlane;
 use axsnn_tensor::sparse::{self, SpikeVector};
 use axsnn_tensor::{linalg, Tensor, TensorError};
 use rand::rngs::StdRng;
@@ -432,9 +433,15 @@ impl BatchTape {
 /// ([`sparse_matmul_bias_exact`]) so the taped currents equal the dense
 /// tape's, and the per-row inputs are returned for the tape (empty
 /// otherwise).
+///
+/// `weight`/`bias` are the layer's *effective* tensors; when `quant`
+/// carries a packed reduced-precision buffer of the same weights, the
+/// inference GEMM streams it directly (bit-identical to gathering the
+/// effective tensor).
 fn linear_current_block(
     weight: &Tensor,
     bias: &Tensor,
+    quant: Option<&QuantizedPlane>,
     policy: &KernelPolicy,
     plane: &BatchPlane,
     record: bool,
@@ -471,7 +478,11 @@ fn linear_current_block(
         let y = if record {
             sparse_matmul_bias_exact(weight, &batch, bias).map_err(CoreError::from)?
         } else {
-            sparse_matmul_bias(weight, &batch, bias).map_err(CoreError::from)?
+            match quant {
+                Some(q) => sparse_matmul_bias_planed(q.view(), (out_n, in_n), &batch, bias)
+                    .map_err(CoreError::from)?,
+                None => sparse_matmul_bias(weight, &batch, bias).map_err(CoreError::from)?,
+            }
         };
         let yv = y.as_slice();
         for (s, &r) in sparse_pos.iter().enumerate() {
@@ -523,10 +534,15 @@ fn linear_current_block(
 /// The scatter convs accumulate each output cell in the dense kernel's
 /// order, so the same kernels serve recorded steps; `record` only asks
 /// for the per-row tape inputs back (empty otherwise).
+///
+/// As in [`linear_current_block`], `weight`/`bias` are the effective
+/// tensors and `quant` lets the event-sorted scatter stream the packed
+/// reduced-precision buffer.
 fn conv_current_block(
     spec: &Conv2dSpec,
     weight: &Tensor,
     bias: &Tensor,
+    quant: Option<&QuantizedPlane>,
     policy: &KernelPolicy,
     plane: &BatchPlane,
     record: bool,
@@ -583,7 +599,19 @@ fn conv_current_block(
             })
             .collect();
         let matrix = SpikeMatrix::from_rows(&packed).map_err(CoreError::from)?;
-        sparse_conv2d_batch_sorted_into(&matrix, (h, w), weight, bias, spec, &mut block)?;
+        match quant {
+            Some(q) => sparse_conv2d_batch_sorted_planed_into(
+                &matrix,
+                (h, w),
+                q.view(),
+                bias,
+                spec,
+                &mut block,
+            )?,
+            None => {
+                sparse_conv2d_batch_sorted_into(&matrix, (h, w), weight, bias, spec, &mut block)?
+            }
+        }
     }
     for (r, admitted_row) in admitted.into_iter().enumerate() {
         let slot = &mut block[r * n..(r + 1) * n];
@@ -774,13 +802,13 @@ fn backward_rows_layer(
                     BatchTapeRow::Events(events) => sparse::sparse_conv2d_backward(
                         events,
                         (h, w),
-                        &l.weight.value,
+                        l.eff_weight(),
                         &gcur,
                         &l.spec,
                     )?,
                     BatchTapeRow::Dense(data) => {
                         let input = Tensor::from_vec(data.clone(), in_dims)?;
-                        conv::conv2d_backward(&input, &l.weight.value, &gcur, &l.spec)?
+                        conv::conv2d_backward(&input, l.eff_weight(), &gcur, &l.spec)?
                     }
                 };
                 acc_grad(gw, &out.weight);
@@ -811,7 +839,7 @@ fn backward_rows_layer(
             }
             let mut gi_block = vec![0.0f32; rows_n * in_len];
             linalg::matvec_t_block_thresholded_into(
-                &l.weight.value,
+                l.eff_weight(),
                 &gv,
                 rows_n,
                 ctx.eps,
@@ -836,7 +864,7 @@ fn backward_rows_layer(
             }
             let mut gi_block = vec![0.0f32; rows_n * in_len];
             linalg::matvec_t_block_thresholded_into(
-                &l.weight.value,
+                l.eff_weight(),
                 &g_block,
                 rows_n,
                 ctx.eps,
@@ -990,8 +1018,9 @@ impl SpikingNetwork {
                         let in_dims = plane.dims.clone();
                         let (current, out_dims, rows) = conv_current_block(
                             &l.spec,
-                            &l.weight.value,
-                            &l.bias.value,
+                            l.eff_weight(),
+                            l.eff_bias(),
+                            l.planed().map(|p| &p.quant),
                             &l.policy,
                             &plane,
                             record,
@@ -1018,8 +1047,9 @@ impl SpikingNetwork {
                     }
                     Layer::SpikingLinear(l) => {
                         let (current, rows) = linear_current_block(
-                            &l.weight.value,
-                            &l.bias.value,
+                            l.eff_weight(),
+                            l.eff_bias(),
+                            l.planed().map(|p| &p.quant),
                             &l.policy,
                             &plane,
                             record,
@@ -1046,8 +1076,9 @@ impl SpikingNetwork {
                     }
                     Layer::OutputLinear(l) => {
                         let (block, rows) = linear_current_block(
-                            &l.weight.value,
-                            &l.bias.value,
+                            l.eff_weight(),
+                            l.eff_bias(),
+                            l.planed().map(|p| &p.quant),
                             &l.policy,
                             &plane,
                             record,

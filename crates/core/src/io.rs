@@ -6,7 +6,10 @@
 //! how a deployment would actually use this library. The in-memory
 //! snapshot types ([`SnnSnapshot`], [`AnnSnapshot`]) capture structure
 //! and weights; [`NetworkSnapshot`] additionally carries the serialized
-//! execution plan ([`crate::plan::ExecPlan`]) and round-trips through
+//! execution plan ([`crate::plan::ExecPlan`]) — including each layer's
+//! reduced-precision weight plane ([`crate::plan::WeightPlane`]), which
+//! restore re-installs by re-quantizing the value-exact f32 weights —
+//! and round-trips through
 //! real bytes via the in-tree JSON module ([`crate::json`]) —
 //! [`save_network`] / [`load_network`] write and read actual files,
 //! with weights restored value-exact (the JSON writer uses shortest-
@@ -16,7 +19,7 @@ use crate::ann::{AnnLayer, AnnNetwork};
 use crate::json::{self, Json};
 use crate::layer::Layer;
 use crate::network::{SnnConfig, SpikingNetwork};
-use crate::plan::ConvBatchKernel;
+use crate::plan::{ConvBatchKernel, WeightPlane};
 use crate::{CoreError, Result};
 use axsnn_tensor::conv::Conv2dSpec;
 use axsnn_tensor::Tensor;
@@ -295,6 +298,15 @@ pub struct LayerPlanSpec {
     pub threshold: Option<f32>,
     /// The batched-conv kernel choice, for conv layers.
     pub conv_batch: Option<ConvBatchKernel>,
+    /// The reduced-precision weight-storage plane, for parameterized
+    /// layers (`None` for layers without weights). Absent in snapshots
+    /// written before planes existed — those load as `None` and run at
+    /// full precision.
+    pub plane: Option<WeightPlane>,
+    /// The int8 plane's dequantization scale, recorded for drift
+    /// detection: restore re-quantizes from the (value-exact) f32
+    /// weights and cross-checks the recomputed scale against this one.
+    pub plane_scale: Option<f32>,
 }
 
 /// Full serializable snapshot of a spiking network: structure, weights
@@ -327,6 +339,8 @@ pub fn snapshot_network(net: &SpikingNetwork) -> Result<NetworkSnapshot> {
             kind: layer.kind().to_string(),
             threshold: layer.sparse_threshold(),
             conv_batch: entry.conv_batch,
+            plane: layer.weight_plane(),
+            plane_scale: layer.weight_plane_scale(),
         })
         .collect();
     Ok(NetworkSnapshot {
@@ -376,6 +390,25 @@ pub fn restore_network(snapshot: &NetworkSnapshot) -> Result<SpikingNetwork> {
         }
         if let (Some(policy), Some(conv_batch)) = (layer.policy_mut(), spec.conv_batch) {
             policy.set_conv_batch(conv_batch);
+        }
+        if let Some(plane) = spec.plane {
+            layer.set_weight_plane(plane)?;
+            // The f32 weights round-trip value-exact, so re-quantizing
+            // must land on the same int8 grid the snapshot recorded. A
+            // scale mismatch means the weights and the plane entry come
+            // from different models — reject rather than silently run
+            // on a different grid.
+            if let (Some(stored), Some(recomputed)) = (spec.plane_scale, layer.weight_plane_scale())
+            {
+                if stored.to_bits() != recomputed.to_bits() {
+                    return Err(CoreError::Incompatible {
+                        message: format!(
+                            "plan entry int8 scale {stored:e} does not match \
+                             the scale {recomputed:e} recomputed from the weights"
+                        ),
+                    });
+                }
+            }
         }
     }
     net.refresh_plan();
@@ -598,6 +631,20 @@ fn plan_spec_to_json(spec: &LayerPlanSpec) -> Json {
                 None => Json::Null,
             },
         ),
+        (
+            "plane".into(),
+            match spec.plane {
+                Some(p) => Json::Str(p.name().into()),
+                None => Json::Null,
+            },
+        ),
+        (
+            "plane_scale".into(),
+            match spec.plane_scale {
+                Some(s) => Json::Num(s as f64),
+                None => Json::Null,
+            },
+        ),
     ])
 }
 
@@ -627,10 +674,30 @@ fn plan_spec_from_json(value: &Json, ctx: &str) -> Result<LayerPlanSpec> {
             }
         }),
     };
+    // Pre-plane snapshots have no "plane" key at all — treat a missing
+    // key exactly like an explicit null so old files keep loading.
+    let plane = match value.get("plane") {
+        Some(Json::Null) | None => None,
+        Some(v) => Some(
+            v.as_str()
+                .and_then(WeightPlane::from_name)
+                .ok_or_else(|| ser_err(format!("{ctx}: unknown weight plane {v:?}")))?,
+        ),
+    };
+    let plane_scale = match value.get("plane_scale") {
+        Some(Json::Null) | None => None,
+        Some(v) => Some(
+            v.as_f64()
+                .ok_or_else(|| ser_err(format!("{ctx}: non-numeric plane_scale")))?
+                as f32,
+        ),
+    };
     Ok(LayerPlanSpec {
         kind,
         threshold,
         conv_batch,
+        plane,
+        plane_scale,
     })
 }
 
@@ -781,6 +848,29 @@ pub fn validate_snapshot(snapshot: &NetworkSnapshot) -> Result<()> {
         if let Some(t) = plan.threshold {
             if t.is_nan() {
                 return Err(ser_err(format!("layer[{i}]: NaN plan threshold")));
+            }
+        }
+        let has_params = matches!(
+            spec,
+            LayerSpec::Conv { .. } | LayerSpec::Linear { .. } | LayerSpec::Output { .. }
+        );
+        if let Some(plane) = plan.plane {
+            if !has_params {
+                return Err(ser_err(format!(
+                    "layer[{i}]: weight plane {plane} on a layer without weights"
+                )));
+            }
+        }
+        if let Some(scale) = plan.plane_scale {
+            if plan.plane != Some(WeightPlane::Int8) {
+                return Err(ser_err(format!(
+                    "layer[{i}]: plane_scale only applies to the int8 plane"
+                )));
+            }
+            if !scale.is_finite() || scale < 0.0 {
+                return Err(ser_err(format!(
+                    "layer[{i}]: invalid int8 plane scale {scale}"
+                )));
             }
         }
     }
@@ -1109,6 +1199,102 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("layer[2]"), "must name the layer: {msg}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn weight_plane_survives_json_roundtrip() {
+        for plane in [WeightPlane::F16, WeightPlane::Int8] {
+            let mut net = sample_snn();
+            net.set_weight_plane(plane).unwrap();
+            let snapshot = snapshot_network(&net).unwrap();
+            // Param layers record the plane; pools and friends do not.
+            assert_eq!(snapshot.plan[0].plane, Some(plane));
+            assert_eq!(snapshot.plan[1].plane, None);
+            if plane == WeightPlane::Int8 {
+                assert!(snapshot.plan[0].plane_scale.is_some());
+            }
+
+            let text = snapshot.to_json_string();
+            let parsed = NetworkSnapshot::from_json_str(&text).unwrap();
+            assert_eq!(parsed.plan, snapshot.plan);
+            let mut restored = restore_network(&parsed).unwrap();
+            assert_eq!(restored.weight_plane(), plane);
+            // The restored plane buffers are value-exact: same
+            // dequantized weights, same int8 scale, same classification.
+            for (a, b) in net.layers().iter().zip(restored.layers()) {
+                assert_eq!(a.weight_plane(), b.weight_plane());
+                assert_eq!(a.weight_plane_scale(), b.weight_plane_scale());
+                if let (Some((wa, ba)), Some((wb, bb))) = (a.eff_params(), b.eff_params()) {
+                    assert_eq!(wa.as_slice(), wb.as_slice());
+                    assert_eq!(ba.as_slice(), bb.as_slice());
+                }
+            }
+            let mut rng = StdRng::seed_from_u64(3);
+            let image = Tensor::full(&[1, 4, 4], 0.6);
+            let a = net
+                .classify(&image, Encoder::DirectCurrent, &mut rng)
+                .unwrap();
+            let b = restored
+                .classify(&image, Encoder::DirectCurrent, &mut rng)
+                .unwrap();
+            assert_eq!(a, b, "restored {plane} network must classify identically");
+        }
+    }
+
+    #[test]
+    fn pre_plane_snapshots_still_load() {
+        // A snapshot written before planes existed has no "plane" /
+        // "plane_scale" keys at all; it must parse to None and load at
+        // full precision.
+        let net = sample_snn();
+        let text = snapshot_network(&net).unwrap().to_json_string();
+        let stripped: String = text
+            .replace(",\"plane\":null", "")
+            .replace(",\"plane\":\"f32\"", "")
+            .replace(",\"plane_scale\":null", "");
+        assert!(!stripped.contains("plane"), "test must strip every key");
+        let parsed = NetworkSnapshot::from_json_str(&stripped).unwrap();
+        assert!(parsed.plan.iter().all(|p| p.plane.is_none()));
+        let restored = restore_network(&parsed).unwrap();
+        assert_eq!(restored.weight_plane(), WeightPlane::F32);
+    }
+
+    #[test]
+    fn validate_snapshot_rejects_bad_planes() {
+        let mut net = sample_snn();
+        net.set_weight_plane(WeightPlane::Int8).unwrap();
+        let snapshot = snapshot_network(&net).unwrap();
+        assert!(validate_snapshot(&snapshot).is_ok());
+
+        // A plane on a layer without weights is structural corruption.
+        let mut bad = snapshot.clone();
+        bad.plan[1].plane = Some(WeightPlane::F16);
+        let msg = validate_snapshot(&bad).unwrap_err().to_string();
+        assert!(msg.contains("layer[1]"), "must name the layer: {msg}");
+        assert!(msg.contains("without weights"), "{msg}");
+
+        // plane_scale is int8-only, and must be finite and non-negative.
+        let mut bad = snapshot.clone();
+        bad.plan[0].plane = Some(WeightPlane::F16);
+        let msg = validate_snapshot(&bad).unwrap_err().to_string();
+        assert!(msg.contains("int8"), "{msg}");
+        let mut bad = snapshot.clone();
+        bad.plan[0].plane_scale = Some(f32::NAN);
+        assert!(validate_snapshot(&bad).is_err());
+
+        // An unknown plane name is rejected at parse time.
+        let text = snapshot.to_json_string().replace("\"int8\"", "\"int4\"");
+        assert!(NetworkSnapshot::from_json_str(&text).is_err());
+
+        // A stored int8 scale that disagrees with the weights fails to
+        // restore: the snapshot's plane entry belongs to another model.
+        let mut bad = snapshot.clone();
+        bad.plan[0].plane_scale = Some(snapshot.plan[0].plane_scale.unwrap() * 2.0);
+        let err = restore_network(&bad).unwrap_err();
+        assert!(
+            err.to_string().contains("does not match"),
+            "expected scale mismatch, got {err}"
+        );
     }
 
     #[test]

@@ -35,15 +35,30 @@
 //! The tape stores no spike vectors for the outputs: the emitted spike
 //! pattern is recomputed in the backward pass as
 //! `pre_membrane ≥ V_th`, which is exactly the forward firing rule.
+//!
+//! # Reduced-precision weight planes
+//!
+//! Parameterized layers (conv / linear / readout) can install a
+//! reduced-precision *storage plane* ([`Layer::set_weight_plane`]): the
+//! master `f32` weights stay in place (the knob is reversible and
+//! optimizer steps keep updating them), while a packed int8/f16 buffer
+//! plus its dequantized `f32` image are materialized once per mutation.
+//! Forward and backward consume the *effective* (dequantized) values —
+//! bit-identical to quantizing the weights in place with
+//! [`crate::precision::apply_precision`] — and the gather-bound
+//! inference kernels stream the packed buffer directly, dequantizing
+//! in-register while accumulating in `f32`.
 
 use crate::lif::{LifParams, LifState};
 use crate::network::SnnConfig;
 use crate::plan::KernelPolicy;
 use crate::{CoreError, Result};
 use axsnn_tensor::conv::{self, Conv2dSpec};
+use axsnn_tensor::plane::{QuantizedPlane, WeightPlane};
 use axsnn_tensor::sparse::{self, SpikeVector};
 use axsnn_tensor::{init, linalg, Tensor};
 use rand::Rng;
+use std::sync::Arc;
 
 /// Learnable parameter pair (value + gradient accumulator + momentum).
 #[derive(Debug, Clone)]
@@ -129,6 +144,80 @@ struct SpikeTape {
     pre_membrane: Vec<f32>,
 }
 
+/// Reduced-precision weight storage for one parameterized layer: the
+/// packed plane buffer the planed kernels stream, its dequantized `f32`
+/// image (for the kernels without a plane-consuming variant, and for
+/// training), and the plane-quantized bias. The master `f32` weights
+/// stay on the layer's [`Param`]s; this is derived state, rebuilt on
+/// every weight mutation. Clones share it through an `Arc` — the
+/// buffers are immutable, a refresh replaces the whole handle.
+#[derive(Debug, Clone)]
+pub(crate) struct PlanedParams {
+    /// Packed reduced-precision weight buffer.
+    pub(crate) quant: QuantizedPlane,
+    /// Dequantized weights, same shape as the master weights.
+    pub(crate) weight: Tensor,
+    /// Plane-quantized bias (biases ride along at the layer's
+    /// precision, matching [`crate::precision::apply_precision`]).
+    pub(crate) bias: Tensor,
+}
+
+/// Materializes the plane buffers for one `(weight, bias)` pair.
+/// Returns `None` for [`WeightPlane::F32`] (no plane installed).
+fn planed_params(
+    weight: &Tensor,
+    bias: &Tensor,
+    plane: WeightPlane,
+) -> Result<Option<Arc<PlanedParams>>> {
+    let quant = match QuantizedPlane::quantize(weight.as_slice(), plane).map_err(CoreError::from)? {
+        Some(quant) => quant,
+        None => return Ok(None),
+    };
+    let deq = Tensor::from_vec(quant.dequantize(), weight.shape().dims())?;
+    let qbias = QuantizedPlane::quantize(bias.as_slice(), plane)
+        .map_err(CoreError::from)?
+        .expect("non-f32 planes always materialize a buffer");
+    let bias = Tensor::from_vec(qbias.dequantize(), bias.shape().dims())?;
+    Ok(Some(Arc::new(PlanedParams {
+        quant,
+        weight: deq,
+        bias,
+    })))
+}
+
+macro_rules! impl_planed_accessors {
+    ($ty:ty) => {
+        impl $ty {
+            /// Effective weights: the dequantized plane image when a
+            /// reduced-precision plane is installed, the master
+            /// weights otherwise.
+            pub(crate) fn eff_weight(&self) -> &Tensor {
+                match self.planed.as_deref() {
+                    Some(p) => &p.weight,
+                    None => &self.weight.value,
+                }
+            }
+
+            /// Effective bias (plane-quantized under a plane).
+            pub(crate) fn eff_bias(&self) -> &Tensor {
+                match self.planed.as_deref() {
+                    Some(p) => &p.bias,
+                    None => &self.bias.value,
+                }
+            }
+
+            /// The installed plane buffers, if any.
+            pub(crate) fn planed(&self) -> Option<&PlanedParams> {
+                self.planed.as_deref()
+            }
+        }
+    };
+}
+
+impl_planed_accessors!(SpikingConv2d);
+impl_planed_accessors!(SpikingLinear);
+impl_planed_accessors!(OutputLinear);
+
 /// Spiking 2-D convolution layer (`[Cin,H,W] → [Cout,OH,OW]` spikes).
 #[derive(Debug, Clone)]
 pub struct SpikingConv2d {
@@ -145,6 +234,7 @@ pub struct SpikingConv2d {
     input_hw: Option<(usize, usize)>,
     last_spikes: Option<f32>,
     pub(crate) policy: KernelPolicy,
+    planed: Option<Arc<PlanedParams>>,
 }
 
 /// Spiking fully-connected layer (`[In] → [Out]` spikes).
@@ -160,6 +250,7 @@ pub struct SpikingLinear {
     carry: Vec<f32>,
     last_spikes: Option<f32>,
     pub(crate) policy: KernelPolicy,
+    planed: Option<Arc<PlanedParams>>,
 }
 
 /// Non-spiking integrator readout; the network sums its per-step outputs.
@@ -171,6 +262,7 @@ pub struct OutputLinear {
     pub bias: Param,
     inputs: Vec<TapeInput>,
     pub(crate) policy: KernelPolicy,
+    planed: Option<Arc<PlanedParams>>,
 }
 
 /// Average-pooling layer over spikes (linear, stateless).
@@ -303,6 +395,7 @@ impl Layer {
             input_hw: None,
             last_spikes: None,
             policy: KernelPolicy::for_conv(&spec),
+            planed: None,
         })
     }
 
@@ -323,6 +416,7 @@ impl Layer {
             carry: vec![0.0; outputs],
             last_spikes: None,
             policy: KernelPolicy::for_linear(),
+            planed: None,
         })
     }
 
@@ -334,6 +428,7 @@ impl Layer {
             bias: Param::new(Tensor::zeros(&[outputs])),
             inputs: Vec::new(),
             policy: KernelPolicy::for_linear(),
+            planed: None,
         })
     }
 
@@ -377,6 +472,7 @@ impl Layer {
             input_hw: None,
             last_spikes: None,
             policy: KernelPolicy::for_conv(&spec),
+            planed: None,
         }))
     }
 
@@ -402,6 +498,7 @@ impl Layer {
             carry: vec![0.0; outputs],
             last_spikes: None,
             policy: KernelPolicy::for_linear(),
+            planed: None,
         }))
     }
 
@@ -421,6 +518,7 @@ impl Layer {
             bias: Param::new(bias),
             inputs: Vec::new(),
             policy: KernelPolicy::for_linear(),
+            planed: None,
         }))
     }
 
@@ -483,6 +581,19 @@ impl Layer {
             Layer::SpikingConv2d(l) => Some((&mut l.weight, &mut l.bias)),
             Layer::SpikingLinear(l) => Some((&mut l.weight, &mut l.bias)),
             Layer::OutputLinear(l) => Some((&mut l.weight, &mut l.bias)),
+            _ => None,
+        }
+    }
+
+    /// The layer's *effective* weight/bias tensors — the dequantized
+    /// plane image when a reduced-precision plane is installed, the
+    /// master parameters otherwise. This is what forward/backward
+    /// actually consume.
+    pub(crate) fn eff_params(&self) -> Option<(&Tensor, &Tensor)> {
+        match self {
+            Layer::SpikingConv2d(l) => Some((l.eff_weight(), l.eff_bias())),
+            Layer::SpikingLinear(l) => Some((l.eff_weight(), l.eff_bias())),
+            Layer::OutputLinear(l) => Some((l.eff_weight(), l.eff_bias())),
             _ => None,
         }
     }
@@ -585,11 +696,11 @@ impl Layer {
                     Some(events) => sparse::sparse_conv2d(
                         events,
                         (idims[1], idims[2]),
-                        &l.weight.value,
-                        &l.bias.value,
+                        l.eff_weight(),
+                        l.eff_bias(),
                         &l.spec,
                     )?,
-                    None => conv::conv2d(input, &l.weight.value, &l.bias.value, &l.spec)?,
+                    None => conv::conv2d(input, l.eff_weight(), l.eff_bias(), &l.spec)?,
                 };
                 let dims = current.shape().dims().to_vec();
                 l.input_hw = Some((idims[1], idims[2]));
@@ -622,20 +733,36 @@ impl Layer {
                     // event tape's currents equal the dense tape's;
                     // inference keeps the faster 4-wide kernel.
                     Some(events) if record => (
-                        sparse::sparse_matvec_bias_exact(&l.weight.value, events, &l.bias.value)?,
+                        sparse::sparse_matvec_bias_exact(l.eff_weight(), events, l.eff_bias())?,
                         None,
                     ),
-                    Some(events) => (
-                        sparse::sparse_matvec_bias(&l.weight.value, events, &l.bias.value)?,
-                        None,
-                    ),
+                    Some(events) => {
+                        let current = match l.planed.as_deref() {
+                            // Stream the packed plane buffer directly;
+                            // the lane gather is bit-identical to
+                            // gathering the dequantized f32 image.
+                            Some(p) => {
+                                let dims = l.weight.value.shape().dims();
+                                sparse::sparse_matvec_bias_planed(
+                                    p.quant.view(),
+                                    (dims[0], dims[1]),
+                                    events,
+                                    &p.bias,
+                                )?
+                            }
+                            None => {
+                                sparse::sparse_matvec_bias(&l.weight.value, events, &l.bias.value)?
+                            }
+                        };
+                        (current, None)
+                    }
                     None => {
                         let flat = if input.shape().rank() == 1 {
                             input.clone()
                         } else {
                             input.reshape(&[input.len()])?
                         };
-                        let current = linalg::matvec(&l.weight.value, &flat)?.add(&l.bias.value)?;
+                        let current = linalg::matvec(l.eff_weight(), &flat)?.add(l.eff_bias())?;
                         (current, Some(flat))
                     }
                 };
@@ -658,15 +785,25 @@ impl Layer {
             Layer::OutputLinear(l) => {
                 let events = l.policy.admit(input);
                 match events {
-                    Some(events) if !record => {
-                        sparse::sparse_matvec_bias(&l.weight.value, &events, &l.bias.value)
+                    Some(events) if !record => match l.planed.as_deref() {
+                        Some(p) => {
+                            let dims = l.weight.value.shape().dims();
+                            sparse::sparse_matvec_bias_planed(
+                                p.quant.view(),
+                                (dims[0], dims[1]),
+                                &events,
+                                &p.bias,
+                            )
                             .map_err(CoreError::from)
-                    }
+                        }
+                        None => sparse::sparse_matvec_bias(&l.weight.value, &events, &l.bias.value)
+                            .map_err(CoreError::from),
+                    },
                     Some(events) => {
                         let out = sparse::sparse_matvec_bias_exact(
-                            &l.weight.value,
+                            l.eff_weight(),
                             &events,
-                            &l.bias.value,
+                            l.eff_bias(),
                         )?;
                         l.inputs.push(TapeInput::Events(events));
                         Ok(out)
@@ -677,7 +814,7 @@ impl Layer {
                         } else {
                             input.reshape(&[input.len()])?
                         };
-                        let out = linalg::matvec(&l.weight.value, &flat)?.add(&l.bias.value)?;
+                        let out = linalg::matvec(l.eff_weight(), &flat)?.add(l.eff_bias())?;
                         if record {
                             l.inputs.push(TapeInput::Dense(flat));
                         }
@@ -773,12 +910,12 @@ impl Layer {
                     TapeInput::Events(events) => sparse::sparse_conv2d_backward(
                         events,
                         (h, w),
-                        &l.weight.value,
+                        l.eff_weight(),
                         &gcur,
                         &l.spec,
                     )?,
                     TapeInput::Dense(input) => {
-                        conv::conv2d_backward(input, &l.weight.value, &gcur, &l.spec)?
+                        conv::conv2d_backward(input, l.eff_weight(), &gcur, &l.spec)?
                     }
                 };
                 acc_grad(&mut l.weight.grad, &grads.weight);
@@ -802,7 +939,7 @@ impl Layer {
                     TapeInput::Dense(input) => linalg::outer_acc(&mut l.weight.grad, &gvt, input)?,
                 }
                 acc_grad(&mut l.bias.grad, &gvt);
-                linalg::matvec_t(&l.weight.value, &gvt).map_err(CoreError::from)
+                linalg::matvec_t(l.eff_weight(), &gvt).map_err(CoreError::from)
             }
             Layer::OutputLinear(l) => {
                 let input = l.inputs.get(t).ok_or(CoreError::NoRecordedForward)?;
@@ -815,7 +952,7 @@ impl Layer {
                     }
                 }
                 acc_grad(&mut l.bias.grad, grad_out);
-                linalg::matvec_t(&l.weight.value, grad_out).map_err(CoreError::from)
+                linalg::matvec_t(l.eff_weight(), grad_out).map_err(CoreError::from)
             }
             Layer::AvgPool2d(l) => {
                 if l.input_dims.is_empty() {
@@ -866,17 +1003,102 @@ impl Layer {
         }
     }
 
-    /// Applies an SGD-with-momentum update to the layer parameters.
+    /// Applies an SGD-with-momentum update to the layer parameters and
+    /// re-materializes any installed reduced-precision weight plane
+    /// from the updated master weights.
     ///
     /// # Errors
     ///
-    /// Propagates tensor errors (cannot occur for well-formed layers).
+    /// Propagates tensor errors (cannot occur for well-formed layers
+    /// with finite weights).
     pub fn apply_grads(&mut self, lr: f32, momentum: f32) -> Result<()> {
         if let Some((w, b)) = self.params_mut() {
             w.apply(lr, momentum)?;
             b.apply(lr, momentum)?;
         }
+        self.refresh_weight_plane()
+    }
+
+    /// Installs a reduced-precision weight *storage plane* on a
+    /// parameterized layer (conv / linear / readout). The master `f32`
+    /// weights stay in place — the knob is reversible and training
+    /// keeps updating them — while forward and backward consume the
+    /// plane's dequantized values, bit-identical to quantizing the
+    /// weights in place with [`crate::precision::apply_precision`];
+    /// the gather-bound inference kernels stream the packed buffer
+    /// directly. [`WeightPlane::F32`] uninstalls any plane. No-op for
+    /// layers without weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the tensor error when [`WeightPlane::Int8`] is
+    /// requested over non-finite weights or biases; the layer is left
+    /// unchanged in that case.
+    pub fn set_weight_plane(&mut self, plane: WeightPlane) -> Result<()> {
+        match self {
+            Layer::SpikingConv2d(l) => {
+                l.planed = planed_params(&l.weight.value, &l.bias.value, plane)?;
+                l.policy.set_plane(plane);
+            }
+            Layer::SpikingLinear(l) => {
+                l.planed = planed_params(&l.weight.value, &l.bias.value, plane)?;
+                l.policy.set_plane(plane);
+            }
+            Layer::OutputLinear(l) => {
+                l.planed = planed_params(&l.weight.value, &l.bias.value, plane)?;
+                l.policy.set_plane(plane);
+            }
+            _ => {}
+        }
         Ok(())
+    }
+
+    /// The installed weight storage plane of a parameterized layer
+    /// ([`WeightPlane::F32`] when none is installed); `None` for
+    /// layers without weights.
+    pub fn weight_plane(&self) -> Option<WeightPlane> {
+        let planed = match self {
+            Layer::SpikingConv2d(l) => &l.planed,
+            Layer::SpikingLinear(l) => &l.planed,
+            Layer::OutputLinear(l) => &l.planed,
+            _ => return None,
+        };
+        Some(
+            planed
+                .as_deref()
+                .map(|p| p.quant.plane())
+                .unwrap_or(WeightPlane::F32),
+        )
+    }
+
+    /// Re-materializes the plane buffers from the current master
+    /// weights when a reduced-precision plane is installed (no-op
+    /// otherwise). Every mutation point that rewrites weights —
+    /// optimizer steps, [`crate::precision::apply_precision`] — calls
+    /// this so the derived buffers never go stale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the tensor error when the mutated weights are no
+    /// longer int8-quantizable (non-finite values).
+    pub fn refresh_weight_plane(&mut self) -> Result<()> {
+        match self.weight_plane() {
+            Some(plane) if plane != WeightPlane::F32 => self.set_weight_plane(plane),
+            _ => Ok(()),
+        }
+    }
+
+    /// The int8 quantization scale of the installed weight plane
+    /// (`None` for f32/f16 planes and non-parameterized layers).
+    /// Snapshot serialization stores it for integrity validation.
+    pub(crate) fn weight_plane_scale(&self) -> Option<f32> {
+        let planed = match self {
+            Layer::SpikingConv2d(l) => &l.planed,
+            Layer::SpikingLinear(l) => &l.planed,
+            Layer::OutputLinear(l) => &l.planed,
+            _ => return None,
+        };
+        planed.as_deref().and_then(|p| p.quant.int8_scale())
     }
 
     /// Number of spikes emitted at the most recent forward step, if the
@@ -1089,6 +1311,80 @@ mod tests {
         let x = Tensor::ones(&[1, 4, 4]);
         l.forward_step(&x, false, &mut rng).unwrap();
         assert!(l.backward_step(&Tensor::ones(&[1, 2, 2]), 0).is_err());
+    }
+
+    #[test]
+    fn weight_plane_install_and_uninstall() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut l = Layer::spiking_linear(&mut rng, 6, 4, &cfg());
+        assert_eq!(l.weight_plane(), Some(WeightPlane::F32));
+        assert!(l.weight_plane_scale().is_none());
+        l.set_weight_plane(WeightPlane::Int8).unwrap();
+        assert_eq!(l.weight_plane(), Some(WeightPlane::Int8));
+        assert!(l.weight_plane_scale().is_some());
+        l.set_weight_plane(WeightPlane::F16).unwrap();
+        assert_eq!(l.weight_plane(), Some(WeightPlane::F16));
+        assert!(l.weight_plane_scale().is_none(), "f16 has no scale");
+        l.set_weight_plane(WeightPlane::F32).unwrap();
+        assert_eq!(l.weight_plane(), Some(WeightPlane::F32));
+
+        let mut pool = Layer::max_pool2d(2);
+        pool.set_weight_plane(WeightPlane::Int8).unwrap();
+        assert_eq!(pool.weight_plane(), None, "no weights, no plane");
+    }
+
+    #[test]
+    fn planed_forward_matches_quantized_weights() {
+        use crate::precision::PrecisionScale;
+        let mut rng = StdRng::seed_from_u64(9);
+        let base = Layer::spiking_linear(&mut rng, 8, 5, &cfg());
+        // Two events over eight inputs: density 0.25, at the gate, so
+        // the planed sparse kernel is what actually runs.
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0], &[8]).unwrap();
+        for plane in [WeightPlane::F16, WeightPlane::Int8] {
+            let mut planed = base.clone();
+            planed.set_weight_plane(plane).unwrap();
+            let mut emulated = base.clone();
+            {
+                let scale = PrecisionScale::from_plane(plane);
+                let (w, b) = emulated.params_mut().unwrap();
+                w.value = scale.quantize_tensor(&w.value).unwrap();
+                b.value = scale.quantize_tensor(&b.value).unwrap();
+            }
+            let a = planed.forward_step(&x, false, &mut rng.clone()).unwrap();
+            let b = emulated.forward_step(&x, false, &mut rng.clone()).unwrap();
+            assert_eq!(
+                a.as_slice(),
+                b.as_slice(),
+                "{plane} plane must match emulation"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_grads_refreshes_installed_plane() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut l = Layer::output_linear(&mut rng, 3, 2);
+        l.set_weight_plane(WeightPlane::Int8).unwrap();
+        let x = Tensor::ones(&[3]);
+        l.forward_step(&x, true, &mut rng).unwrap();
+        l.backward_step(&Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap(), 0)
+            .unwrap();
+        let before = match &l {
+            Layer::OutputLinear(o) => o.eff_weight().clone(),
+            _ => unreachable!(),
+        };
+        l.apply_grads(0.1, 0.0).unwrap();
+        let after = match &l {
+            Layer::OutputLinear(o) => o.eff_weight().clone(),
+            _ => unreachable!(),
+        };
+        assert_ne!(
+            before.as_slice(),
+            after.as_slice(),
+            "plane buffers must be rebuilt from the updated master weights"
+        );
+        assert_eq!(l.weight_plane(), Some(WeightPlane::Int8));
     }
 
     #[test]

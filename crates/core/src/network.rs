@@ -14,7 +14,7 @@
 use crate::encoding::Encoder;
 use crate::layer::Layer;
 use crate::lif::LifParams;
-use crate::plan::{ExecPlan, PlanOverride};
+use crate::plan::{ExecPlan, PlanOverride, WeightPlane};
 use crate::{CoreError, Result};
 use axsnn_tensor::Tensor;
 use rand::Rng;
@@ -273,6 +273,52 @@ impl SpikingNetwork {
         self.apply_plan(PlanOverride::ForceThreshold(threshold));
     }
 
+    /// Installs a reduced-precision weight storage plane on every
+    /// parameterized layer (see [`Layer::set_weight_plane`]) and
+    /// re-captures the execution plan. [`WeightPlane::F32`] uninstalls
+    /// all planes. The knob is atomic: int8 finiteness is validated up
+    /// front across the whole stack, so a failing layer leaves the
+    /// network unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] when [`WeightPlane::Int8`] is
+    /// requested while any layer holds non-finite weights or biases.
+    pub fn set_weight_plane(&mut self, plane: WeightPlane) -> Result<()> {
+        if plane == WeightPlane::Int8 {
+            for (i, l) in self.layers.iter().enumerate() {
+                if let Some((w, b)) = l.params() {
+                    if !w.value.is_finite() || !b.value.is_finite() {
+                        return Err(CoreError::Config {
+                            message: format!(
+                                "int8 weight plane requires finite parameters; \
+                                 layer {i} ({}) has non-finite values",
+                                l.kind()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        for l in &mut self.layers {
+            l.set_weight_plane(plane)?;
+        }
+        self.refresh_plan();
+        Ok(())
+    }
+
+    /// The weight storage plane of the first parameterized layer
+    /// ([`WeightPlane::F32`] when none is installed; layers can in
+    /// principle differ when set individually through
+    /// [`SpikingNetwork::layers_mut`] — the execution plan reports the
+    /// per-layer truth).
+    pub fn weight_plane(&self) -> WeightPlane {
+        self.layers
+            .iter()
+            .find_map(|l| l.weight_plane())
+            .unwrap_or(WeightPlane::F32)
+    }
+
     /// Runs the network over a sequence of input frames (one per time
     /// step), returning accumulated logits and spike statistics.
     ///
@@ -302,13 +348,15 @@ impl SpikingNetwork {
         };
         // Energy proxy: only *non-zero* weights cost a synaptic operation —
         // this is exactly the saving approximation buys (skipped
-        // connections perform no work). Computed once per forward pass.
+        // connections perform no work). Counted over the *effective*
+        // weights so int8 quantization's snapped-to-zero connections
+        // register as savings. Computed once per forward pass.
         let nonzero_weights: Vec<usize> = self
             .layers
             .iter()
             .map(|l| {
-                l.params()
-                    .map(|(w, _)| w.value.as_slice().iter().filter(|v| **v != 0.0).count())
+                l.eff_params()
+                    .map(|(w, _)| w.as_slice().iter().filter(|v| **v != 0.0).count())
                     .unwrap_or(0)
             })
             .collect();
@@ -610,6 +658,32 @@ mod tests {
             .stats
             .total_spikes();
         assert!(high < low);
+    }
+
+    #[test]
+    fn weight_plane_is_atomic_and_observable() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = small_net(&mut rng, SnnConfig::default());
+        assert_eq!(net.weight_plane(), WeightPlane::F32);
+        net.set_weight_plane(WeightPlane::Int8).unwrap();
+        assert_eq!(net.weight_plane(), WeightPlane::Int8);
+        assert_eq!(
+            net.exec_plan().layers()[0].plane,
+            Some(WeightPlane::Int8),
+            "plan re-capture must see the installed plane"
+        );
+        net.set_weight_plane(WeightPlane::F32).unwrap();
+
+        // Poison one weight: the int8 install must fail up front and
+        // leave every layer plane-free.
+        if let Some((w, _)) = net.layers_mut()[1].params_mut() {
+            w.value.as_mut_slice()[0] = f32::NAN;
+        }
+        assert!(net.set_weight_plane(WeightPlane::Int8).is_err());
+        assert!(net
+            .layers()
+            .iter()
+            .all(|l| l.weight_plane().is_none_or(|p| p == WeightPlane::F32)));
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //! * [`PlanOverride`] replaces ad-hoc threshold plumbing for the
 //!   A/B paths the tests and benches need (`ForceDense`,
 //!   `ForceThreshold`).
+//! * Each policy also carries the layer's weight storage plane
+//!   ([`WeightPlane`], installed through
+//!   [`crate::layer::Layer::set_weight_plane`]) — an orthogonal knob:
+//!   the density gate picks *which* kernel runs, the plane decides
+//!   whether that kernel streams f32, f16 or int8 weights.
 //! * [`BackwardOpts`] — the backward-pass execution policy (worker
 //!   threads, input-gradient sparsification) consumed by the SNN
 //!   minibatch backward, the batched ANN trainer and the defense
@@ -45,6 +50,7 @@ use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+pub use axsnn_tensor::plane::WeightPlane;
 pub use axsnn_tensor::sparse::DEFAULT_DENSITY_THRESHOLD;
 
 /// Dense-fallback counter shared across clones of a layer.
@@ -148,6 +154,7 @@ impl ConvBatchKernel {
 pub struct KernelPolicy {
     choice: KernelChoice,
     conv_batch: ConvBatchKernel,
+    plane: WeightPlane,
     fallbacks: FallbackCounter,
 }
 
@@ -156,6 +163,7 @@ impl KernelPolicy {
         KernelPolicy {
             choice,
             conv_batch,
+            plane: WeightPlane::F32,
             fallbacks: FallbackCounter::default(),
         }
     }
@@ -212,6 +220,20 @@ impl KernelPolicy {
 
     pub(crate) fn set_conv_batch(&mut self, kernel: ConvBatchKernel) {
         self.conv_batch = kernel;
+    }
+
+    /// The weight storage plane the layer executes with
+    /// ([`WeightPlane::F32`] unless a reduced-precision plane is
+    /// installed through
+    /// [`crate::layer::Layer::set_weight_plane`]). Orthogonal to the
+    /// kernel choice: the density gate decides *which* kernel runs,
+    /// the plane decides what the kernel's weight stream is made of.
+    pub fn plane(&self) -> WeightPlane {
+        self.plane
+    }
+
+    pub(crate) fn set_plane(&mut self, plane: WeightPlane) {
+        self.plane = plane;
     }
 
     /// Cumulative dense-fallback conversions recorded by this policy
@@ -316,6 +338,9 @@ pub struct LayerPlan {
     pub choice: Option<KernelChoice>,
     /// The batched-conv kernel, for conv layers.
     pub conv_batch: Option<ConvBatchKernel>,
+    /// The weight storage plane, for parameterized layers (`None` for
+    /// layers without weights).
+    pub plane: Option<WeightPlane>,
     /// The layer's eligibility audit entry.
     pub eligibility: LayerEligibility,
     /// Shared handle onto the layer's fallback counter.
@@ -365,6 +390,7 @@ impl ExecPlan {
                     Layer::SpikingConv2d(_) => policy.map(KernelPolicy::conv_batch),
                     _ => None,
                 },
+                plane: layer.weight_plane(),
                 eligibility: LayerEligibility {
                     kind: layer.kind().to_string(),
                     has_sparse_kernel: policy.is_some(),
@@ -447,7 +473,8 @@ impl ExecPlan {
     /// diagnostics).
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from("layer              choice          conv-batch     eligible\n");
+        let mut out =
+            String::from("layer              choice          conv-batch     plane  eligible\n");
         for entry in &self.layers {
             let choice = match entry.choice {
                 None => "-".to_string(),
@@ -459,6 +486,10 @@ impl ExecPlan {
                 Some(ConvBatchKernel::RowByRow) => "row-by-row",
                 Some(ConvBatchKernel::EventSorted) => "event-sorted",
             };
+            let plane = match entry.plane {
+                None => "-",
+                Some(p) => p.name(),
+            };
             let eligible = if !entry.eligibility.has_sparse_kernel {
                 "-"
             } else if entry.eligibility.binary_input {
@@ -468,8 +499,8 @@ impl ExecPlan {
             };
             let _ = writeln!(
                 out,
-                "{:<18} {:<15} {:<14} {}",
-                entry.kind, choice, conv, eligible
+                "{:<18} {:<15} {:<14} {:<6} {}",
+                entry.kind, choice, conv, plane, eligible
             );
         }
         out
@@ -633,6 +664,17 @@ mod tests {
         );
         assert!(plan.eligibility().fully_eligible);
         assert!(plan.summary().contains("event-sorted"));
+        assert_eq!(plan.layers()[0].plane, Some(WeightPlane::F32));
+        assert_eq!(plan.layers()[1].plane, None, "pool has no weights");
+
+        layers[4].set_weight_plane(WeightPlane::Int8).unwrap();
+        let planed = ExecPlan::capture(&layers);
+        assert_eq!(planed.layers()[4].plane, Some(WeightPlane::Int8));
+        assert!(planed.summary().contains("int8"));
+        // Plan overrides steer the kernel choice, not the storage
+        // plane — re-applying Auto must leave the plane installed.
+        let auto = ExecPlan::apply(&mut layers, PlanOverride::Auto);
+        assert_eq!(auto.layers()[4].plane, Some(WeightPlane::Int8));
 
         let dense = ExecPlan::apply(&mut layers, PlanOverride::ForceDense);
         assert!(dense

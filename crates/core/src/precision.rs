@@ -7,11 +7,34 @@
 //! obfuscation / denoising defense. FP16 is emulated in software with a
 //! correct round-to-nearest-even `f32 → f16 → f32` round trip; INT8 is
 //! symmetric per-tensor affine quantization.
+//!
+//! [`apply_precision`] is the *emulation* form: weights are quantized
+//! and stored back as f32, so every kernel still streams full-width
+//! weights. The storage-level counterpart is
+//! [`SpikingNetwork::set_weight_plane`], which materializes the same
+//! quantized values as real int8/f16 buffers for the plane-aware
+//! kernels; the two are bit-identical by construction — both route
+//! through [`axsnn_tensor::plane`]'s shared quantization math
+//! ([`PrecisionScale::weight_plane`] maps between the knobs).
+//!
+//! # Tie rounding
+//!
+//! The two quantizers intentionally round ties differently: INT8 uses
+//! `f32::round` (ties away from zero), the convention of symmetric
+//! integer quantization in deployed fixed-point pipelines, while the
+//! f16 round trip follows IEEE 754 round-to-nearest-even, the
+//! convention of every hardware half unit. Unifying them would make one
+//! of the two emulations unfaithful to the hardware it models; the
+//! difference is pinned by this module's tests.
 
 use crate::network::SpikingNetwork;
+use crate::{CoreError, Result};
+use axsnn_tensor::plane::{QuantizedPlane, WeightPlane};
 use axsnn_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+pub use axsnn_tensor::plane::{f16_round_trip, f16_to_f32, f32_to_f16};
 
 /// Precision scale applied to network weights.
 ///
@@ -52,6 +75,21 @@ impl PrecisionScale {
 
     /// Quantizes a tensor to this precision and dequantizes back to f32.
     ///
+    /// INT8 routes through [`axsnn_tensor::plane::QuantizedPlane`]'s
+    /// quantizer, so the emulated values are bit-identical to what a
+    /// real int8 weight plane streams — including the `±max` endpoint
+    /// snapping that makes the quantizer exactly idempotent. See the
+    /// module docs for the intentional tie-rounding difference between
+    /// the INT8 and FP16 paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for [`PrecisionScale::Int8`] when any element
+    /// is non-finite: an infinity would drive the scale to `∞` and
+    /// collapse every weight to zero, and a NaN would poison the whole
+    /// tensor through the shared max. FP32/FP16 never fail (the f16
+    /// round trip keeps IEEE semantics for non-finite values).
+    ///
     /// # Example
     ///
     /// ```
@@ -59,23 +97,41 @@ impl PrecisionScale {
     /// use axsnn_tensor::Tensor;
     ///
     /// let w = Tensor::from_vec(vec![0.1234567, -1.0], &[2]).unwrap();
-    /// let q = PrecisionScale::Int8.quantize_tensor(&w);
+    /// let q = PrecisionScale::Int8.quantize_tensor(&w).unwrap();
     /// // 8-bit grid: 127 levels of max|w| = 1.0.
     /// assert!((q.as_slice()[0] - 0.1234567).abs() < 1.0 / 127.0);
     /// assert_eq!(q.as_slice()[1], -1.0);
     /// ```
-    pub fn quantize_tensor(&self, t: &Tensor) -> Tensor {
+    pub fn quantize_tensor(&self, t: &Tensor) -> Result<Tensor> {
         match self {
-            PrecisionScale::Fp32 => t.clone(),
-            PrecisionScale::Fp16 => t.map(f16_round_trip),
+            PrecisionScale::Fp32 => Ok(t.clone()),
+            PrecisionScale::Fp16 => Ok(t.map(f16_round_trip)),
             PrecisionScale::Int8 => {
-                let max = t.linf_norm();
-                if max == 0.0 {
-                    return t.clone();
-                }
-                let scale = max / 127.0;
-                t.map(|v| (v / scale).round().clamp(-127.0, 127.0) * scale)
+                let plane = QuantizedPlane::quantize(t.as_slice(), WeightPlane::Int8)
+                    .map_err(CoreError::from)?
+                    .expect("int8 always materializes a plane");
+                Ok(Tensor::from_vec(plane.dequantize(), t.shape().dims())?)
             }
+        }
+    }
+
+    /// The weight storage plane realizing this precision for real: the
+    /// knob [`SpikingNetwork::set_weight_plane`] takes so the paper's
+    /// `(precision, a_th)` grid sweeps actual int8/f16 weight buffers.
+    pub fn weight_plane(self) -> WeightPlane {
+        match self {
+            PrecisionScale::Fp32 => WeightPlane::F32,
+            PrecisionScale::Fp16 => WeightPlane::F16,
+            PrecisionScale::Int8 => WeightPlane::Int8,
+        }
+    }
+
+    /// Inverse of [`PrecisionScale::weight_plane`].
+    pub fn from_plane(plane: WeightPlane) -> PrecisionScale {
+        match plane {
+            WeightPlane::F32 => PrecisionScale::Fp32,
+            WeightPlane::F16 => PrecisionScale::Fp16,
+            WeightPlane::Int8 => PrecisionScale::Int8,
         }
     }
 }
@@ -92,7 +148,16 @@ impl fmt::Display for PrecisionScale {
 
 /// Quantizes all weights and biases of a spiking network in place.
 ///
-/// Returns the number of parameter tensors touched.
+/// Returns the number of parameter tensors touched. This is the
+/// emulation form (quantized values stored back as f32); to also switch
+/// the kernels onto real reduced-precision storage, follow with
+/// [`SpikingNetwork::set_weight_plane`] — the two compose bit-exactly.
+///
+/// # Errors
+///
+/// As [`PrecisionScale::quantize_tensor`]: fails for
+/// [`PrecisionScale::Int8`] when a parameter tensor contains a
+/// non-finite value, with no layer modified after the offending one.
 ///
 /// # Example
 ///
@@ -112,20 +177,23 @@ impl fmt::Display for PrecisionScale {
 ///     ],
 ///     cfg,
 /// )?;
-/// assert_eq!(apply_precision(&mut net, PrecisionScale::Int8), 2);
+/// assert_eq!(apply_precision(&mut net, PrecisionScale::Int8)?, 2);
 /// # Ok(())
 /// # }
 /// ```
-pub fn apply_precision(net: &mut SpikingNetwork, scale: PrecisionScale) -> usize {
+pub fn apply_precision(net: &mut SpikingNetwork, scale: PrecisionScale) -> Result<usize> {
     let mut touched = 0usize;
     for layer in net.layers_mut() {
         if let Some((w, b)) = layer.params_mut() {
-            w.value = scale.quantize_tensor(&w.value);
-            b.value = scale.quantize_tensor(&b.value);
+            w.value = scale.quantize_tensor(&w.value)?;
+            b.value = scale.quantize_tensor(&b.value)?;
             touched += 1;
         }
+        // Master weights changed; keep any installed storage plane
+        // coherent with them.
+        layer.refresh_weight_plane()?;
     }
-    touched
+    Ok(touched)
 }
 
 /// Quantizes every layer's weights with a *scalar step* `q_t`
@@ -133,9 +201,11 @@ pub fn apply_precision(net: &mut SpikingNetwork, scale: PrecisionScale) -> usize
 /// `(q_t, a_th)` combinations and Algorithm 2's event preprocessing.
 ///
 /// A step of `0.0` is the identity (matching Table II's `(0.0, 0.001)`
-/// row).
+/// row); so is any non-finite or NaN step — `step <= 0.0` alone would
+/// be *false* for NaN and let `(v/NaN).round()·NaN` poison every
+/// weight, and an infinite step would do the same through `v/∞ · ∞`.
 pub fn apply_step_quantization(net: &mut SpikingNetwork, step: f32) -> usize {
-    if step <= 0.0 {
+    if !step_is_usable(step) {
         return 0;
     }
     let mut touched = 0usize;
@@ -147,6 +217,14 @@ pub fn apply_step_quantization(net: &mut SpikingNetwork, step: f32) -> usize {
         }
     }
     touched
+}
+
+/// A step quantizes only when it is a finite positive number; `!(> 0.0)`
+/// (not `<= 0.0`, which is false for NaN) catches NaN alongside zero
+/// and negatives, and the finiteness check catches `+∞`.
+#[inline]
+fn step_is_usable(step: f32) -> bool {
+    step > 0.0 && step.is_finite()
 }
 
 /// Scalar step quantization of a tensor: `round(v/step)·step`.
@@ -163,98 +241,20 @@ pub fn apply_step_quantization(net: &mut SpikingNetwork, step: f32) -> usize {
 /// assert!((q.as_slice()[1] + 0.2).abs() < 1e-6);
 /// ```
 pub fn quantize_step_tensor(t: &Tensor, step: f32) -> Tensor {
-    if step <= 0.0 {
+    if !step_is_usable(step) {
         return t.clone();
     }
     t.map(|v| (v / step).round() * step)
 }
 
-/// Scalar step quantization of a single value.
+/// Scalar step quantization of a single value. A non-positive,
+/// non-finite or NaN step is the identity.
 pub fn quantize_step(v: f32, step: f32) -> f32 {
-    if step <= 0.0 {
-        v
-    } else {
+    if step_is_usable(step) {
         (v / step).round() * step
-    }
-}
-
-/// Converts `f32 → IEEE binary16 → f32` with round-to-nearest-even.
-///
-/// Out-of-range magnitudes saturate to ±∞ as real fp16 hardware would;
-/// NaN round-trips to NaN.
-///
-/// # Example
-///
-/// ```
-/// let v = axsnn_core::precision::f16_round_trip(1.0005);
-/// assert!((v - 1.0005).abs() < 0.001); // fp16 has ~3 decimal digits
-/// ```
-pub fn f16_round_trip(v: f32) -> f32 {
-    f16_to_f32(f32_to_f16(v))
-}
-
-/// Converts an `f32` to raw IEEE binary16 bits (round-to-nearest-even).
-pub fn f32_to_f16(v: f32) -> u16 {
-    let bits = v.to_bits();
-    let sign = ((bits >> 16) & 0x8000) as u16;
-    let exp = ((bits >> 23) & 0xff) as i32;
-    let mant = bits & 0x007f_ffff;
-
-    if exp == 0xff {
-        // Inf or NaN.
-        return sign | 0x7c00 | if mant != 0 { 0x0200 } else { 0 };
-    }
-    // Re-bias from 127 to 15.
-    let unbiased = exp - 127;
-    if unbiased > 15 {
-        return sign | 0x7c00; // overflow → inf
-    }
-    if unbiased >= -14 {
-        // Normal half.
-        let half_exp = (unbiased + 15) as u32;
-        let mut half_mant = mant >> 13;
-        let round_bits = mant & 0x1fff;
-        // Round to nearest even.
-        if round_bits > 0x1000 || (round_bits == 0x1000 && (half_mant & 1) == 1) {
-            half_mant += 1;
-        }
-        // Mantissa overflow carries into the exponent (still valid bits).
-        return sign | ((half_exp << 10) as u16).wrapping_add(half_mant as u16);
-    }
-    if unbiased >= -24 {
-        // Subnormal half.
-        let shift = (-14 - unbiased) as u32;
-        let full_mant = mant | 0x0080_0000; // implicit leading 1
-        let mut half_mant = full_mant >> (13 + shift);
-        let rem = full_mant & ((1u32 << (13 + shift)) - 1);
-        let half_point = 1u32 << (12 + shift);
-        if rem > half_point || (rem == half_point && (half_mant & 1) == 1) {
-            half_mant += 1;
-        }
-        return sign | half_mant as u16;
-    }
-    sign // underflow → signed zero
-}
-
-/// Converts raw IEEE binary16 bits back to `f32`.
-pub fn f16_to_f32(h: u16) -> f32 {
-    let sign = ((h & 0x8000) as u32) << 16;
-    let exp = ((h >> 10) & 0x1f) as u32;
-    let mant = (h & 0x03ff) as u32;
-    let bits = if exp == 0 {
-        if mant == 0 {
-            sign // signed zero
-        } else {
-            // Subnormal half = mant · 2⁻²⁴; exact in f32.
-            let mag = mant as f32 * 2.0f32.powi(-24);
-            return if sign != 0 { -mag } else { mag };
-        }
-    } else if exp == 0x1f {
-        sign | 0x7f80_0000 | (mant << 13) // inf / nan
     } else {
-        sign | ((exp + 127 - 15) << 23) | (mant << 13)
-    };
-    f32::from_bits(bits)
+        v
+    }
 }
 
 #[cfg(test)]
@@ -313,28 +313,65 @@ mod tests {
     fn int8_grid_has_255_levels() {
         let t =
             Tensor::from_vec((0..1000).map(|i| i as f32 / 500.0 - 1.0).collect(), &[1000]).unwrap();
-        let q = PrecisionScale::Int8.quantize_tensor(&t);
+        let q = PrecisionScale::Int8.quantize_tensor(&t).unwrap();
+        // Bucket against the *original* tensor's max: the quantization
+        // grid is max|t|/127, and recomputing the scale from the
+        // quantized tensor would mis-bucket levels whenever the
+        // max-magnitude element itself moved under quantization.
+        let scale = t.linf_norm() / 127.0;
         let mut levels: Vec<i64> = q
             .as_slice()
             .iter()
-            .map(|&v| (v * 127.0 / q.linf_norm()).round() as i64)
+            .map(|&v| (v / scale).round() as i64)
             .collect();
         levels.sort_unstable();
         levels.dedup();
         assert!(levels.len() <= 255);
         assert!(levels.len() > 200, "should use most of the grid");
+        assert!(levels.iter().all(|&l| (-127..=127).contains(&l)));
+    }
+
+    #[test]
+    fn int8_max_magnitude_is_exact_fixed_point() {
+        // The endpoint snap keeps the L∞ norm invariant, which is what
+        // makes requantization the identity bit for bit.
+        let t = Tensor::from_vec(vec![0.3, -2.7, 1.1, 0.0], &[4]).unwrap();
+        let q = PrecisionScale::Int8.quantize_tensor(&t).unwrap();
+        assert_eq!(q.linf_norm(), t.linf_norm());
+        assert_eq!(q.as_slice()[1], -2.7);
+        let again = PrecisionScale::Int8.quantize_tensor(&q).unwrap();
+        for (a, b) in q.as_slice().iter().zip(again.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn int8_rejects_non_finite_tensors() {
+        // Regression: ±Inf used to drive scale = ∞ and collapse every
+        // weight to 0; NaN used to poison the whole tensor through the
+        // shared max. Both must now be rejected with a diagnostic.
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let t = Tensor::from_vec(vec![1.0, bad, -0.5], &[3]).unwrap();
+            let err = PrecisionScale::Int8.quantize_tensor(&t).unwrap_err();
+            assert!(
+                err.to_string().contains("element 1"),
+                "diagnostic names the offending element: {err}"
+            );
+            // FP16 keeps IEEE semantics for non-finite values.
+            assert!(PrecisionScale::Fp16.quantize_tensor(&t).is_ok());
+        }
     }
 
     #[test]
     fn int8_zero_tensor_is_identity() {
         let t = Tensor::zeros(&[4]);
-        assert_eq!(PrecisionScale::Int8.quantize_tensor(&t), t);
+        assert_eq!(PrecisionScale::Int8.quantize_tensor(&t).unwrap(), t);
     }
 
     #[test]
     fn fp32_is_identity() {
         let t = Tensor::from_vec(vec![0.123_456_79, -9.87], &[2]).unwrap();
-        assert_eq!(PrecisionScale::Fp32.quantize_tensor(&t), t);
+        assert_eq!(PrecisionScale::Fp32.quantize_tensor(&t).unwrap(), t);
     }
 
     #[test]
@@ -342,9 +379,23 @@ mod tests {
         // INT8 error ≥ FP16 error ≥ FP32 error on a generic tensor.
         let t =
             Tensor::from_vec((0..256).map(|i| (i as f32 * 0.731).sin()).collect(), &[256]).unwrap();
-        let err = |s: PrecisionScale| s.quantize_tensor(&t).sub(&t).unwrap().l2_norm();
+        let err = |s: PrecisionScale| s.quantize_tensor(&t).unwrap().sub(&t).unwrap().l2_norm();
         assert_eq!(err(PrecisionScale::Fp32), 0.0);
         assert!(err(PrecisionScale::Fp16) <= err(PrecisionScale::Int8));
+    }
+
+    #[test]
+    fn tie_rounding_conventions_differ_intentionally() {
+        // INT8: ties away from zero (fixed-point convention). On
+        // [1.5, 127] the value 1.5·scale with scale = 127/127 = 1 sits
+        // exactly between levels 1 and 2 and must go *up*.
+        let t = Tensor::from_vec(vec![1.5, 127.0], &[2]).unwrap();
+        let q = PrecisionScale::Int8.quantize_tensor(&t).unwrap();
+        assert_eq!(q.as_slice()[0], 2.0);
+        // FP16: IEEE round-to-nearest-even. 2049 sits exactly between
+        // the representable 2048 and 2050 and must go to the *even*
+        // neighbour 2048.
+        assert_eq!(f16_round_trip(2049.0), 2048.0);
     }
 
     #[test]
@@ -355,6 +406,43 @@ mod tests {
         let q = quantize_step_tensor(&t, 0.1);
         assert_eq!(q.as_slice()[0], 0.0);
         assert!((q.as_slice()[1] - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_finite_step_is_identity_not_poison() {
+        // Regression: the old `step <= 0.0` guard is *false* for NaN,
+        // so a NaN step flowed into `(v/NaN).round()·NaN` and silently
+        // poisoned every weight; +∞ did the same via `v/∞ · ∞`.
+        let t = Tensor::from_vec(vec![0.26, -1.5], &[2]).unwrap();
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 0.0, -0.5] {
+            let q = quantize_step_tensor(&t, bad);
+            assert_eq!(q.as_slice(), t.as_slice(), "step {bad} must be identity");
+            assert_eq!(quantize_step(0.26, bad), 0.26);
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = SnnConfig::default();
+        let mut net = crate::network::SpikingNetwork::new(
+            vec![
+                Layer::spiking_linear(&mut rng, 4, 4, &cfg),
+                Layer::output_linear(&mut rng, 4, 2),
+            ],
+            cfg,
+        )
+        .unwrap();
+        let before: Vec<f32> = net
+            .layers()
+            .iter()
+            .filter_map(|l| l.params())
+            .flat_map(|(w, _)| w.value.as_slice().to_vec())
+            .collect();
+        assert_eq!(apply_step_quantization(&mut net, f32::NAN), 0);
+        let after: Vec<f32> = net
+            .layers()
+            .iter()
+            .filter_map(|l| l.params())
+            .flat_map(|(w, _)| w.value.as_slice().to_vec())
+            .collect();
+        assert_eq!(before, after, "NaN step must leave every weight intact");
     }
 
     #[test]
@@ -370,7 +458,7 @@ mod tests {
             cfg,
         )
         .unwrap();
-        assert_eq!(apply_precision(&mut net, PrecisionScale::Fp16), 2);
+        assert_eq!(apply_precision(&mut net, PrecisionScale::Fp16).unwrap(), 2);
     }
 
     #[test]

@@ -657,6 +657,52 @@ mod tests {
         assert!(!plan.summary().is_empty());
     }
 
+    /// A scenario-converted SNN executes end to end on the reduced-
+    /// precision weight planes: the plan records the plane per param
+    /// layer, and the quantized model's clean accuracy stays in the same
+    /// ballpark as full precision (int8 on a trained MLP is a mild
+    /// perturbation, not a lobotomy).
+    #[test]
+    fn scenario_snn_runs_on_reduced_precision_planes() {
+        use axsnn_core::plan::WeightPlane;
+        let s = MnistScenario::prepare(small_mnist()).unwrap();
+        let cfg = SnnConfig {
+            threshold: 1.0,
+            time_steps: 16,
+            leak: 1.0,
+        };
+        let mut f32_snn = s.acc_snn(cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let f32_acc = crate::metrics::clean_image_accuracy(
+            &mut f32_snn,
+            &s.dataset().test,
+            axsnn_core::encoding::Encoder::DirectCurrent,
+            &mut rng,
+        )
+        .unwrap();
+        for plane in [WeightPlane::F16, WeightPlane::Int8] {
+            let mut snn = s.acc_snn(cfg).unwrap();
+            snn.set_weight_plane(plane).unwrap();
+            for entry in snn.exec_plan().layers() {
+                if entry.kind == "spiking_linear" || entry.kind == "output_linear" {
+                    assert_eq!(entry.plane, Some(plane), "{}", entry.kind);
+                }
+            }
+            let mut rng = StdRng::seed_from_u64(0);
+            let acc = crate::metrics::clean_image_accuracy(
+                &mut snn,
+                &s.dataset().test,
+                axsnn_core::encoding::Encoder::DirectCurrent,
+                &mut rng,
+            )
+            .unwrap();
+            assert!(
+                (acc - f32_acc).abs() <= 20.0,
+                "{plane} accuracy {acc}% too far from f32 {f32_acc}%"
+            );
+        }
+    }
+
     #[test]
     fn mean_frame_image_statistics() {
         let gen = SyntheticDvsGestures::new(DvsGestureConfig {

@@ -3,7 +3,7 @@
 
 use crate::error::{Result, ServeError};
 use axsnn_core::encoding::Encoder;
-use axsnn_core::plan::PlanOverride;
+use axsnn_core::plan::{PlanOverride, WeightPlane};
 use std::time::Duration;
 
 /// Request priority class. Under overload the degradation ladder sheds
@@ -30,7 +30,8 @@ pub enum Priority {
 /// 3. [`ServiceLevel::DegradedPlan`] — additionally execute under the
 ///    configured cheaper [`PlanOverride`] (prediction-preserving by the
 ///    plan-equivalence guarantee) and, when configured, a reduced
-///    time-step count (a genuine precision-for-latency trade).
+///    time-step count and/or a reduced-precision weight plane (genuine
+///    precision-for-latency trades).
 /// 4. [`ServiceLevel::Shedding`] — additionally reject
 ///    [`Priority::Low`] work at admission and drop it at dispatch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -96,6 +97,12 @@ pub struct DegradeConfig {
     /// as a latency valve. `None` (default) keeps the encode length and
     /// with it bit-identical predictions.
     pub degraded_time_steps: Option<usize>,
+    /// Optional reduced-precision weight plane installed at
+    /// [`ServiceLevel::DegradedPlan`] — drops weight storage to f16 or
+    /// int8 so the gather-bound kernels stream fewer bytes under load.
+    /// Like `degraded_time_steps` this trades precision for latency;
+    /// `None` (default) keeps f32 weights and bit-identical predictions.
+    pub degraded_weight_plane: Option<WeightPlane>,
 }
 
 impl Default for DegradeConfig {
@@ -109,6 +116,7 @@ impl Default for DegradeConfig {
             window_shrink_divisor: 4,
             degraded_plan: PlanOverride::ForceDense,
             degraded_time_steps: None,
+            degraded_weight_plane: None,
         }
     }
 }
@@ -146,6 +154,9 @@ impl DegradeConfig {
         }
         if self.degraded_time_steps == Some(0) {
             return bad("degraded_time_steps must be >= 1".into());
+        }
+        if self.degraded_weight_plane == Some(WeightPlane::F32) {
+            return bad("degraded_weight_plane f32 is the healthy plane; use None".into());
         }
         Ok(())
     }
@@ -258,6 +269,12 @@ mod tests {
         let mut c = ServeConfig::default();
         c.degrade.degraded_time_steps = Some(0);
         assert!(c.validate().is_err());
+        let mut c = ServeConfig::default();
+        c.degrade.degraded_weight_plane = Some(WeightPlane::F32);
+        assert!(c.validate().is_err());
+        let mut c = ServeConfig::default();
+        c.degrade.degraded_weight_plane = Some(WeightPlane::Int8);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -56,7 +56,8 @@
 //! ```
 
 use crate::conv::Conv2dSpec;
-use crate::sparse::{gather_row, sparse_conv2d_into, SpikeVector};
+use crate::plane::{F16Lane, F32Lane, Int8Lane, PlaneView, WeightLane};
+use crate::sparse::{gather_row_lane, sparse_conv2d_into, SpikeVector};
 use crate::{Result, Tensor, TensorError};
 
 /// A batch of binary spike frames in CSR form: one concatenated index
@@ -199,11 +200,14 @@ fn check_weight(w: &Tensor, cols: usize, op: &'static str) -> Result<(usize, usi
 /// index-load → data-load chain; sharing each index load across 4
 /// weight rows quarters the index traffic and gives the out-of-order
 /// core 16 independent accumulator chains. Per output row the
-/// accumulation order is *identical* to [`gather_row`] (4 j-lanes
-/// combined as `(a0 + a1) + (a2 + a3)`, then the remainder tail), so
-/// every output stays bit-identical to the per-sample kernel.
+/// accumulation order is *identical* to
+/// [`crate::sparse::sparse_matvec`]'s gather (4 j-lanes combined as
+/// `(a0 + a1) + (a2 + a3)`, then the remainder tail), so every output
+/// stays bit-identical to the per-sample kernel. Lane-generic: `load`
+/// is a plain slice read for f32 (unchanged codegen) and an
+/// in-register dequantization for the f16/int8 planes.
 #[inline]
-fn gather_row_x4(rows: [&[f32]; 4], indices: &[u32], init: [f32; 4], out: &mut [f32]) {
+fn gather_row_x4<L: WeightLane>(rows: [L; 4], indices: &[u32], init: [f32; 4], out: &mut [f32]) {
     let mut acc = [[0.0f32; 4]; 4];
     for (m, &b) in init.iter().enumerate() {
         acc[m][0] = b;
@@ -211,19 +215,18 @@ fn gather_row_x4(rows: [&[f32]; 4], indices: &[u32], init: [f32; 4], out: &mut [
     let mut chunks = indices.chunks_exact(4);
     for c in &mut chunks {
         let j = [c[0] as usize, c[1] as usize, c[2] as usize, c[3] as usize];
-        for m in 0..4 {
-            let row = rows[m];
-            acc[m][0] += row[j[0]];
-            acc[m][1] += row[j[1]];
-            acc[m][2] += row[j[2]];
-            acc[m][3] += row[j[3]];
+        for (m, row) in rows.iter().enumerate() {
+            acc[m][0] += row.load(j[0]);
+            acc[m][1] += row.load(j[1]);
+            acc[m][2] += row.load(j[2]);
+            acc[m][3] += row.load(j[3]);
         }
     }
     let rem = chunks.remainder();
     for m in 0..4 {
         let mut tail = (acc[m][0] + acc[m][1]) + (acc[m][2] + acc[m][3]);
         for &j in rem {
-            tail += rows[m][j as usize];
+            tail += rows[m].load(j as usize);
         }
         out[m] = tail;
     }
@@ -231,9 +234,17 @@ fn gather_row_x4(rows: [&[f32]; 4], indices: &[u32], init: [f32; 4], out: &mut [
 
 fn sparse_matmul_impl(w: &Tensor, x: &SpikeMatrix, bias: Option<&Tensor>) -> Vec<f32> {
     let dims = w.shape().dims();
-    let (m, k) = (dims[0], dims[1]);
+    sparse_matmul_lane_impl(F32Lane(w.as_slice()), dims[0], dims[1], x, bias)
+}
+
+fn sparse_matmul_lane_impl<L: WeightLane>(
+    wv: L,
+    m: usize,
+    k: usize,
+    x: &SpikeMatrix,
+    bias: Option<&Tensor>,
+) -> Vec<f32> {
     let b = x.rows();
-    let wv = w.as_slice();
     let mut out = vec![0.0f32; b * m];
     // Weight-row tiles of 4 stay L1-resident while all B index lists
     // gather against them — weight traffic is per *batch*, not per
@@ -241,10 +252,10 @@ fn sparse_matmul_impl(w: &Tensor, x: &SpikeMatrix, bias: Option<&Tensor>) -> Vec
     let mut o = 0usize;
     while o + 4 <= m {
         let rows = [
-            &wv[o * k..(o + 1) * k],
-            &wv[(o + 1) * k..(o + 2) * k],
-            &wv[(o + 2) * k..(o + 3) * k],
-            &wv[(o + 3) * k..(o + 4) * k],
+            wv.slice(o * k, (o + 1) * k),
+            wv.slice((o + 1) * k, (o + 2) * k),
+            wv.slice((o + 2) * k, (o + 3) * k),
+            wv.slice((o + 3) * k, (o + 4) * k),
         ];
         let init = match bias {
             Some(bias) => {
@@ -259,10 +270,10 @@ fn sparse_matmul_impl(w: &Tensor, x: &SpikeMatrix, bias: Option<&Tensor>) -> Vec
         o += 4;
     }
     while o < m {
-        let row = &wv[o * k..(o + 1) * k];
+        let row = wv.slice(o * k, (o + 1) * k);
         let init = bias.map(|bv| bv.as_slice()[o]).unwrap_or(0.0);
         for r in 0..b {
-            out[r * m + o] = gather_row(row, x.row(r), init);
+            out[r * m + o] = gather_row_lane(row, x.row(r), init);
         }
         o += 1;
     }
@@ -308,6 +319,59 @@ pub fn sparse_matmul_bias(w: &Tensor, x: &SpikeMatrix, bias: &Tensor) -> Result<
         });
     }
     let out = sparse_matmul_impl(w, x, Some(bias));
+    Tensor::from_vec(out, &[x.rows(), m])
+}
+
+/// [`sparse_matmul_bias`] streaming a reduced-precision weight plane:
+/// each weight is dequantized in-register and every accumulate stays in
+/// f32, with the same 4-row tiling and gather order as the f32 kernel —
+/// so the result is bit-identical to [`sparse_matmul_bias`] over the
+/// plane's [`crate::plane::QuantizedPlane::dequantize`] tensor, and row
+/// `b` bit-identical to
+/// [`crate::sparse::sparse_matvec_bias_planed`] on that row.
+///
+/// This is the inference (4-wide reassociated) kernel only; recorded
+/// training steps use the exact-order f32 kernels over the dequantized
+/// tensors instead.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] when the plane does not hold
+/// `rows × cols` weights and [`TensorError::ShapeMismatch`] when the
+/// spike or bias length disagrees with `shape`.
+pub fn sparse_matmul_bias_planed(
+    weights: PlaneView<'_>,
+    shape: (usize, usize),
+    x: &SpikeMatrix,
+    bias: &Tensor,
+) -> Result<Tensor> {
+    let (m, k) = shape;
+    if weights.len() != m * k {
+        return Err(TensorError::LengthMismatch {
+            expected: m * k,
+            actual: weights.len(),
+        });
+    }
+    if x.cols() != k {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![m, k],
+            rhs: vec![x.cols()],
+            op: "sparse_matmul_bias_planed",
+        });
+    }
+    if bias.len() != m {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![m, k],
+            rhs: bias.shape().dims().to_vec(),
+            op: "sparse_matmul_bias_planed",
+        });
+    }
+    let out = match weights {
+        PlaneView::F16(bits) => sparse_matmul_lane_impl(F16Lane(bits), m, k, x, Some(bias)),
+        PlaneView::Int8 { codes, levels } => {
+            sparse_matmul_lane_impl(Int8Lane { codes, levels }, m, k, x, Some(bias))
+        }
+    };
     Tensor::from_vec(out, &[x.rows(), m])
 }
 
@@ -646,6 +710,48 @@ pub fn sparse_conv2d_batch_sorted_into(
     out: &mut [f32],
 ) -> Result<()> {
     crate::sparse::check_conv_geometry(x.cols(), in_hw, weight, spec)?;
+    conv_batch_sorted_lane(x, in_hw, F32Lane(weight.as_slice()), bias, spec, out)
+}
+
+/// [`sparse_conv2d_batch_sorted_into`] streaming a reduced-precision
+/// weight plane. The only places the sorted sweep reads weights are the
+/// once-per-batch reversed-patch build (stride 1) and the per-stencil
+/// register load (generic stride); both dequantize in-register there,
+/// so every inner sweep loop — and with it the accumulation order — is
+/// exactly the f32 kernel's, making the result bit-identical to
+/// [`sparse_conv2d_batch_sorted_into`] over the plane's
+/// [`crate::plane::QuantizedPlane::dequantize`] tensor.
+///
+/// # Errors
+///
+/// As [`sparse_conv2d_batch_sorted_into`], with
+/// [`TensorError::LengthMismatch`] when the plane does not hold
+/// `Cout·Cin·K·K` weights.
+pub fn sparse_conv2d_batch_sorted_planed_into(
+    x: &SpikeMatrix,
+    in_hw: (usize, usize),
+    weights: PlaneView<'_>,
+    bias: &Tensor,
+    spec: &Conv2dSpec,
+    out: &mut [f32],
+) -> Result<()> {
+    crate::sparse::check_conv_geometry_len(x.cols(), in_hw, weights.len(), spec)?;
+    match weights {
+        PlaneView::F16(bits) => conv_batch_sorted_lane(x, in_hw, F16Lane(bits), bias, spec, out),
+        PlaneView::Int8 { codes, levels } => {
+            conv_batch_sorted_lane(x, in_hw, Int8Lane { codes, levels }, bias, spec, out)
+        }
+    }
+}
+
+fn conv_batch_sorted_lane<L: WeightLane>(
+    x: &SpikeMatrix,
+    in_hw: (usize, usize),
+    wv: L,
+    bias: &Tensor,
+    spec: &Conv2dSpec,
+    out: &mut [f32],
+) -> Result<()> {
     if bias.len() != spec.out_channels {
         return Err(TensorError::ShapeMismatch {
             lhs: bias.shape().dims().to_vec(),
@@ -716,7 +822,6 @@ pub fn sparse_conv2d_batch_sorted_into(
     }
 
     let wstride = cin * k * k;
-    let wv = weight.as_slice();
     if spec.stride == 1 {
         // Stride-1 fast path (every paper conv): for one event and one
         // kernel row ky, the valid kx offsets map onto a *contiguous*
@@ -751,7 +856,7 @@ pub fn sparse_conv2d_batch_sorted_into(
                 let dst = oc * kk;
                 for ky in 0..k {
                     for j in 0..k {
-                        wrev[dst + ky * k + j] = wv[src + ky * k + (k - 1 - j)];
+                        wrev[dst + ky * k + j] = wv.load(src + ky * k + (k - 1 - j));
                     }
                 }
             }
@@ -811,7 +916,7 @@ pub fn sparse_conv2d_batch_sorted_into(
                 }
                 let wbase = ic * k * k + ky * k + kx;
                 for oc in 0..spec.out_channels {
-                    let wgt = wv[oc * wstride + wbase];
+                    let wgt = wv.load(oc * wstride + wbase);
                     let off = oc * ohw;
                     // Distinct targets within one (ic, ky, kx) group
                     // (two events reaching the same cell through the
@@ -1192,6 +1297,151 @@ mod tests {
             sparse_conv2d_batch_sorted(&empty, (4, 4), &Tensor::ones(&[2, 1, 3, 3]), &bias, &spec);
         // 0-row SpikeMatrix has 0 cols, which cannot match 1x4x4.
         assert!(y.is_err());
+    }
+
+    #[test]
+    fn planed_matmul_bitwise_matches_f32_over_dequantized_weights() {
+        use crate::plane::{QuantizedPlane, WeightPlane};
+        let (m, k) = (7, 13);
+        let w = Tensor::from_vec(
+            (0..m * k).map(|i| (i as f32 * 0.31).sin() * 2.0).collect(),
+            &[m, k],
+        )
+        .unwrap();
+        let bias = Tensor::from_vec((0..m).map(|i| i as f32 * 0.2 - 0.5).collect(), &[m]).unwrap();
+        for plane in [WeightPlane::F16, WeightPlane::Int8] {
+            let q = QuantizedPlane::quantize(w.as_slice(), plane)
+                .unwrap()
+                .unwrap();
+            let dq = Tensor::from_vec(q.dequantize(), &[m, k]).unwrap();
+            // Batch sizes around the 4-row tile boundary and densities
+            // including 100%.
+            for (b, every) in [(1usize, 2usize), (3, 1), (4, 3), (5, 13), (8, 2)] {
+                let rows = binary_rows(b, k, every);
+                let batch = SpikeMatrix::from_rows(&rows).unwrap();
+                let planed = sparse_matmul_bias_planed(q.view(), (m, k), &batch, &bias).unwrap();
+                let reference = sparse_matmul_bias(&dq, &batch, &bias).unwrap();
+                for (a, r) in planed.as_slice().iter().zip(reference.as_slice()) {
+                    assert_eq!(a.to_bits(), r.to_bits(), "{plane} b {b} every {every}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planed_matmul_shape_errors() {
+        use crate::plane::{QuantizedPlane, WeightPlane};
+        let q = QuantizedPlane::quantize(&[0.5; 12], WeightPlane::F16)
+            .unwrap()
+            .unwrap();
+        let batch = SpikeMatrix::from_rows(&binary_rows(2, 4, 2)).unwrap();
+        assert!(sparse_matmul_bias_planed(q.view(), (3, 4), &batch, &Tensor::zeros(&[3])).is_ok());
+        assert!(sparse_matmul_bias_planed(q.view(), (4, 4), &batch, &Tensor::zeros(&[4])).is_err());
+        assert!(sparse_matmul_bias_planed(q.view(), (3, 4), &batch, &Tensor::zeros(&[2])).is_err());
+        let wide = SpikeMatrix::from_rows(&binary_rows(2, 5, 2)).unwrap();
+        assert!(sparse_matmul_bias_planed(q.view(), (3, 4), &wide, &Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn planed_sorted_conv_bitwise_matches_f32_over_dequantized_weights() {
+        use crate::plane::{QuantizedPlane, WeightPlane};
+        for &(stride, padding, every) in
+            &[(1usize, 1usize, 3usize), (1, 0, 2), (2, 1, 4), (1, 2, 1)]
+        {
+            let spec = Conv2dSpec {
+                in_channels: 2,
+                out_channels: 3,
+                kernel: 3,
+                stride,
+                padding,
+            };
+            let (h, w) = (6, 5);
+            let weight = Tensor::from_vec(
+                (0..3 * 2 * 9).map(|i| (i as f32 * 0.13).sin()).collect(),
+                &[3, 2, 3, 3],
+            )
+            .unwrap();
+            let bias = Tensor::from_vec(vec![0.5, -1.0, 0.25], &[3]).unwrap();
+            let rows = binary_rows(4, 2 * h * w, every);
+            let batch = SpikeMatrix::from_rows(&rows).unwrap();
+            let (oh, ow) = spec.output_hw(h, w);
+            let n = 3 * oh * ow;
+            for plane in [WeightPlane::F16, WeightPlane::Int8] {
+                let q = QuantizedPlane::quantize(weight.as_slice(), plane)
+                    .unwrap()
+                    .unwrap();
+                let dq = Tensor::from_vec(q.dequantize(), &[3, 2, 3, 3]).unwrap();
+                let mut planed = vec![0.0f32; 4 * n];
+                sparse_conv2d_batch_sorted_planed_into(
+                    &batch,
+                    (h, w),
+                    q.view(),
+                    &bias,
+                    &spec,
+                    &mut planed,
+                )
+                .unwrap();
+                let reference =
+                    sparse_conv2d_batch_sorted(&batch, (h, w), &dq, &bias, &spec).unwrap();
+                for (a, r) in planed.iter().zip(reference.as_slice()) {
+                    assert_eq!(
+                        a.to_bits(),
+                        r.to_bits(),
+                        "{plane} stride {stride} pad {padding} every {every}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planed_sorted_conv_validation() {
+        use crate::plane::{QuantizedPlane, WeightPlane};
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 2,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let batch = SpikeMatrix::from_rows(&binary_rows(2, 16, 3)).unwrap();
+        let bias = Tensor::zeros(&[2]);
+        // Plane length disagrees with Cout·Cin·K·K.
+        let short = QuantizedPlane::quantize(&[1.0; 17], WeightPlane::Int8)
+            .unwrap()
+            .unwrap();
+        let mut out = vec![0.0f32; 2 * 2 * 16];
+        assert!(sparse_conv2d_batch_sorted_planed_into(
+            &batch,
+            (4, 4),
+            short.view(),
+            &bias,
+            &spec,
+            &mut out
+        )
+        .is_err());
+        let ok = QuantizedPlane::quantize(&[1.0; 18], WeightPlane::Int8)
+            .unwrap()
+            .unwrap();
+        assert!(sparse_conv2d_batch_sorted_planed_into(
+            &batch,
+            (4, 4),
+            ok.view(),
+            &bias,
+            &spec,
+            &mut out
+        )
+        .is_ok());
+        // Wrong bias length.
+        assert!(sparse_conv2d_batch_sorted_planed_into(
+            &batch,
+            (4, 4),
+            ok.view(),
+            &Tensor::zeros(&[3]),
+            &spec,
+            &mut out
+        )
+        .is_err());
     }
 
     #[test]

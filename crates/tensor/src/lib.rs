@@ -9,7 +9,9 @@
 //! ([`sparse`]), batched spike-plane GEMM kernels that amortize weight
 //! traffic across B samples ([`batched`]), deterministic per-shard
 //! gradient buffers for thread-count-invariant parallel backward passes
-//! ([`grads`]), and weight initializers ([`init`]).
+//! ([`grads`]), weight initializers ([`init`]), and reduced-precision
+//! weight storage planes that let the gather-bound kernels stream
+//! int8/f16 weights while accumulating in f32 ([`plane`]).
 //!
 //! The paper's authors used a Python deep-learning stack as their substrate;
 //! no equivalent mature crate exists offline, so this crate implements the
@@ -43,6 +45,7 @@ pub mod grads;
 pub mod init;
 pub mod linalg;
 pub mod ops;
+pub mod plane;
 pub mod sparse;
 
 pub use error::TensorError;

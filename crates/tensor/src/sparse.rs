@@ -48,6 +48,7 @@
 //! ```
 
 use crate::conv::Conv2dSpec;
+use crate::plane::{F16Lane, F32Lane, Int8Lane, PlaneView, WeightLane};
 use crate::{Result, Tensor, TensorError};
 
 /// Default maximum density at which the sparse path is considered
@@ -203,17 +204,28 @@ impl SpikeVector {
 /// produce bit-identical sums for the same row.
 #[inline]
 pub(crate) fn gather_row(row: &[f32], indices: &[u32], init: f32) -> f32 {
+    gather_row_lane(F32Lane(row), indices, init)
+}
+
+/// The lane-generic body of [`gather_row`]: `row.load` is a plain slice
+/// read for the f32 lane (identical codegen to the pre-plane kernel)
+/// and an in-register dequantization for the f16/int8 lanes. The
+/// accumulation structure is the same for every lane, which is what
+/// makes a planed gather bit-identical to the f32 gather over the
+/// dequantized weights.
+#[inline]
+pub(crate) fn gather_row_lane<L: WeightLane>(row: L, indices: &[u32], init: f32) -> f32 {
     let mut chunks = indices.chunks_exact(4);
     let (mut a0, mut a1, mut a2, mut a3) = (init, 0.0f32, 0.0f32, 0.0f32);
     for c in &mut chunks {
-        a0 += row[c[0] as usize];
-        a1 += row[c[1] as usize];
-        a2 += row[c[2] as usize];
-        a3 += row[c[3] as usize];
+        a0 += row.load(c[0] as usize);
+        a1 += row.load(c[1] as usize);
+        a2 += row.load(c[2] as usize);
+        a3 += row.load(c[3] as usize);
     }
     let mut tail = (a0 + a1) + (a2 + a3);
     for &j in chunks.remainder() {
-        tail += row[j as usize];
+        tail += row.load(j as usize);
     }
     tail
 }
@@ -330,6 +342,70 @@ pub fn sparse_matvec_bias(a: &Tensor, x: &SpikeVector, bias: &Tensor) -> Result<
     Tensor::from_vec(out, &[m])
 }
 
+/// [`sparse_matvec_bias`] streaming a reduced-precision weight plane:
+/// `y = dequant(W)·s + b` with each weight dequantized in-register and
+/// every accumulate in f32.
+///
+/// The gather structure is [`gather_row`]'s, so the result is
+/// bit-identical to [`sparse_matvec_bias`] over the plane's
+/// [`crate::plane::QuantizedPlane::dequantize`] tensor — quantizing the
+/// storage changes which bits are streamed, never the arithmetic.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] when the plane does not hold
+/// `rows × cols` weights and [`TensorError::ShapeMismatch`] when the
+/// spike or bias length disagrees with `shape`.
+pub fn sparse_matvec_bias_planed(
+    weights: PlaneView<'_>,
+    shape: (usize, usize),
+    x: &SpikeVector,
+    bias: &Tensor,
+) -> Result<Tensor> {
+    let (m, k) = shape;
+    if weights.len() != m * k {
+        return Err(TensorError::LengthMismatch {
+            expected: m * k,
+            actual: weights.len(),
+        });
+    }
+    if x.len() != k {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![m, k],
+            rhs: vec![x.len()],
+            op: "sparse_matvec_bias_planed",
+        });
+    }
+    if bias.len() != m {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![m, k],
+            rhs: bias.shape().dims().to_vec(),
+            op: "sparse_matvec_bias_planed",
+        });
+    }
+    let out = match weights {
+        PlaneView::F16(bits) => matvec_bias_lane(F16Lane(bits), m, k, x, bias.as_slice()),
+        PlaneView::Int8 { codes, levels } => {
+            matvec_bias_lane(Int8Lane { codes, levels }, m, k, x, bias.as_slice())
+        }
+    };
+    Tensor::from_vec(out, &[m])
+}
+
+fn matvec_bias_lane<L: WeightLane>(
+    weights: L,
+    m: usize,
+    k: usize,
+    x: &SpikeVector,
+    bv: &[f32],
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; m];
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = gather_row_lane(weights.slice(i * k, (i + 1) * k), x.indices(), bv[i]);
+    }
+    out
+}
+
 /// [`sparse_matvec_bias`] in the *dense accumulation order*: a single
 /// accumulator per output row gathering the active columns in ascending
 /// index order, with the bias added **after** the sum.
@@ -435,6 +511,31 @@ pub(crate) fn check_conv_geometry(
     weight: &Tensor,
     spec: &Conv2dSpec,
 ) -> Result<()> {
+    let wdims = weight.shape().dims();
+    let expected = [
+        spec.out_channels,
+        spec.in_channels,
+        spec.kernel,
+        spec.kernel,
+    ];
+    if wdims != expected {
+        return Err(TensorError::ShapeMismatch {
+            lhs: wdims.to_vec(),
+            rhs: expected.to_vec(),
+            op: "sparse_conv2d weight",
+        });
+    }
+    check_conv_geometry_len(input_len, in_hw, weight.len(), spec)
+}
+
+/// [`check_conv_geometry`] for a flat weight buffer (a quantized plane
+/// carries no shape metadata, only its length).
+pub(crate) fn check_conv_geometry_len(
+    input_len: usize,
+    in_hw: (usize, usize),
+    weight_len: usize,
+    spec: &Conv2dSpec,
+) -> Result<()> {
     if spec.kernel == 0 || spec.stride == 0 {
         return Err(TensorError::InvalidArgument {
             message: "conv2d kernel and stride must be non-zero".into(),
@@ -448,18 +549,11 @@ pub(crate) fn check_conv_geometry(
             op: "sparse_conv2d input",
         });
     }
-    let wdims = weight.shape().dims();
-    let expected = [
-        spec.out_channels,
-        spec.in_channels,
-        spec.kernel,
-        spec.kernel,
-    ];
-    if wdims != expected {
-        return Err(TensorError::ShapeMismatch {
-            lhs: wdims.to_vec(),
-            rhs: expected.to_vec(),
-            op: "sparse_conv2d weight",
+    let expected_w = spec.out_channels * spec.in_channels * spec.kernel * spec.kernel;
+    if weight_len != expected_w {
+        return Err(TensorError::LengthMismatch {
+            expected: expected_w,
+            actual: weight_len,
         });
     }
     if h + 2 * spec.padding < spec.kernel || w + 2 * spec.padding < spec.kernel {
@@ -1112,6 +1206,51 @@ mod tests {
                 "out_channels {out_channels}"
             );
         }
+    }
+
+    #[test]
+    fn planed_matvec_bitwise_matches_f32_over_dequantized_weights() {
+        use crate::plane::{QuantizedPlane, WeightPlane};
+        let (m, k) = (6, 9);
+        let w = Tensor::from_vec(
+            (0..m * k).map(|i| (i as f32 * 0.29).sin() * 1.7).collect(),
+            &[m, k],
+        )
+        .unwrap();
+        let b = Tensor::from_vec((0..m).map(|i| i as f32 * 0.05 - 0.1).collect(), &[m]).unwrap();
+        for plane in [WeightPlane::F16, WeightPlane::Int8] {
+            let q = QuantizedPlane::quantize(w.as_slice(), plane)
+                .unwrap()
+                .unwrap();
+            let dq = Tensor::from_vec(q.dequantize(), &[m, k]).unwrap();
+            for every in [1usize, 2, 3, 9] {
+                let x = binary_frame(k, every);
+                let s = SpikeVector::from_dense(&x).unwrap();
+                let planed = sparse_matvec_bias_planed(q.view(), (m, k), &s, &b).unwrap();
+                let reference = sparse_matvec_bias(&dq, &s, &b).unwrap();
+                for (a, r) in planed.as_slice().iter().zip(reference.as_slice()) {
+                    assert_eq!(a.to_bits(), r.to_bits(), "{plane} every {every}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planed_matvec_shape_errors() {
+        use crate::plane::{QuantizedPlane, WeightPlane};
+        let q = QuantizedPlane::quantize(&[1.0; 12], WeightPlane::Int8)
+            .unwrap()
+            .unwrap();
+        let b = Tensor::zeros(&[3]);
+        let s4 = SpikeVector::new(vec![0], 4).unwrap();
+        assert!(sparse_matvec_bias_planed(q.view(), (3, 4), &s4, &b).is_ok());
+        // Plane length disagrees with the claimed shape.
+        assert!(sparse_matvec_bias_planed(q.view(), (3, 5), &s4, &b).is_err());
+        // Spike length disagrees with the column count.
+        let s5 = SpikeVector::new(vec![0], 5).unwrap();
+        assert!(sparse_matvec_bias_planed(q.view(), (3, 4), &s5, &b).is_err());
+        // Bias length disagrees with the row count.
+        assert!(sparse_matvec_bias_planed(q.view(), (3, 4), &s4, &Tensor::zeros(&[2])).is_err());
     }
 
     #[test]

@@ -84,7 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hardened_snn = ann_to_snn(&hardened_ann, snn_cfg, &calibration)?;
     report("adversarially trained AccSNN", hardened_snn, &mut rng)?;
     let mut stacked = ann_to_snn(&hardened_ann, snn_cfg, &calibration)?;
-    apply_precision(&mut stacked, PrecisionScale::Int8);
+    apply_precision(&mut stacked, PrecisionScale::Int8)?;
     report("hardened + INT8 precision scaling", stacked, &mut rng)?;
 
     println!("\nExpected: the hardened rows keep more accuracy under attack than");

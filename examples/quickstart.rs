@@ -96,7 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("5. defense: precision-scaled AxSNN (INT8 + mild approximation)…");
     let mut defended = scenario.ax_snn(snn_cfg, ApproximationLevel::new(0.01).expect("valid"))?;
-    apply_precision(&mut defended, PrecisionScale::Int8);
+    apply_precision(&mut defended, PrecisionScale::Int8)?;
     let defended_attacked = evaluate_image_attack(
         &mut defended,
         &mut source,

@@ -185,7 +185,7 @@ fn precision_scaling_preserves_clean_accuracy() {
     .unwrap();
     for scale in PrecisionScale::ALL {
         let mut net = s.acc_snn(cfg).unwrap();
-        apply_precision(&mut net, scale);
+        apply_precision(&mut net, scale).unwrap();
         let acc = clean_image_accuracy(
             &mut net,
             &s.dataset().test,
