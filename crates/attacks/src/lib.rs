@@ -15,6 +15,20 @@
 //!   that injects a small number of events where they hurt most, and
 //!   [`neuromorphic::FrameAttack`], which fires every boundary pixel.
 //!
+//! Victims are abstracted behind [`neuromorphic::EventModel`]:
+//! [`neuromorphic::SnnEventModel`] simulates through the offline
+//! frame-accumulation pipeline, while
+//! [`neuromorphic::StreamingSnnEventModel`] (PR 9) replays the same
+//! events through the streaming path — bit-identical logits, so attack
+//! efficacy is provably unchanged when frames are never materialized
+//! (pinned by this crate's unit tests and the `stream_equivalence`
+//! suite).
+//!
+//! # Provenance
+//!
+//! The attack families are seed modules built on the threat model of
+//! the paper; the streaming victim model landed in PR 9.
+//!
 //! # Example
 //!
 //! ```

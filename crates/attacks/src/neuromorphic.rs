@@ -15,8 +15,10 @@
 
 use crate::{AttackError, Result};
 use axsnn_core::network::SpikingNetwork;
+use axsnn_neuromorphic::aqf::AqfConfig;
 use axsnn_neuromorphic::event::{DvsEvent, EventStream, Polarity};
 use axsnn_neuromorphic::frames::{accumulate_frames, Accumulation};
+use axsnn_neuromorphic::stream::{classify_event_stream, StreamConfig, WindowSchedule};
 use axsnn_tensor::Tensor;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -60,6 +62,46 @@ impl EventModel for SnnEventModel<'_> {
         let mut rng = rand::rngs::mock::StepRng::new(0, 1);
         let out = self.net.forward(&frames, false, &mut rng)?;
         Ok(out.logits)
+    }
+}
+
+/// [`EventModel`] adapter that never materializes frames: events are
+/// replayed through the streaming path
+/// ([`axsnn_neuromorphic::stream::StreamSession`]) with a uniform
+/// window schedule over the network's configured time steps.
+///
+/// Because the streamed path is bit-identical to the offline one for
+/// the same schedule (the `stream_equivalence` suite), Sparse/Frame
+/// attack efficacy is *unchanged* against a streaming victim — pinned
+/// by this crate's property tests. The adapter exists so defenses can
+/// be evaluated end-to-end against the latency-bound deployment shape,
+/// including in-stream AQF filtering.
+#[derive(Debug)]
+pub struct StreamingSnnEventModel<'a> {
+    net: &'a mut SpikingNetwork,
+    aqf: Option<AqfConfig>,
+}
+
+impl<'a> StreamingSnnEventModel<'a> {
+    /// Wraps a spiking network; `aqf` enables in-stream causal AQF
+    /// filtering in front of the accumulator.
+    pub fn new(net: &'a mut SpikingNetwork, aqf: Option<AqfConfig>) -> Self {
+        StreamingSnnEventModel { net, aqf }
+    }
+}
+
+impl EventModel for StreamingSnnEventModel<'_> {
+    fn logits(&mut self, stream: &EventStream) -> Result<Tensor> {
+        let cfg = StreamConfig {
+            schedule: WindowSchedule::Uniform {
+                time_steps: self.net.config().time_steps,
+            },
+            mode: Accumulation::Binary,
+            aqf: self.aqf,
+        };
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let outcome = classify_event_stream(self.net, stream, cfg, &mut rng)?;
+        Ok(outcome.logits)
     }
 }
 
@@ -470,6 +512,85 @@ mod tests {
             attack.perturb(&stream).unwrap(),
             attack.perturb(&stream).unwrap()
         );
+    }
+
+    fn small_net() -> SpikingNetwork {
+        use axsnn_core::layer::Layer;
+        use axsnn_core::network::SnnConfig;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let cfg = SnnConfig {
+            threshold: 0.5,
+            time_steps: 6,
+            leak: 0.9,
+        };
+        SpikingNetwork::new(
+            vec![
+                Layer::spiking_linear(&mut rng, 2 * 16 * 16, 12, &cfg),
+                Layer::output_linear(&mut rng, 12, 3),
+            ],
+            cfg,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn streaming_model_matches_offline_model() {
+        let stream = clean_stream();
+        let mut net = small_net();
+        let offline = SnnEventModel::new(&mut net).logits(&stream).unwrap();
+        let mut net2 = small_net();
+        let streamed = StreamingSnnEventModel::new(&mut net2, None)
+            .logits(&stream)
+            .unwrap();
+        assert_eq!(offline.as_slice(), streamed.as_slice());
+    }
+
+    #[test]
+    fn sparse_attack_efficacy_unchanged_on_streaming_victim() {
+        // The same seeded attack crafted against the offline and the
+        // streaming victim must accept the identical proposal sequence
+        // (bit-identical queries ⇒ bit-identical margins ⇒ identical
+        // adversarial stream): frame materialization is not load-bearing
+        // for attack efficacy.
+        let stream = clean_stream();
+        let cfg = SparseAttackConfig {
+            budget_fraction: 0.4,
+            events_per_iteration: 8,
+            max_iterations: 30,
+            ..SparseAttackConfig::default()
+        };
+        let mut net = small_net();
+        let mut rng = rand::rngs::mock::StepRng::new(3, 0x9e3779b97f4a7c15);
+        let adv_offline = SparseAttack::new(cfg)
+            .perturb(&mut SnnEventModel::new(&mut net), &stream, 0, &mut rng)
+            .unwrap();
+        let mut net2 = small_net();
+        let mut rng = rand::rngs::mock::StepRng::new(3, 0x9e3779b97f4a7c15);
+        let adv_streaming = SparseAttack::new(cfg)
+            .perturb(
+                &mut StreamingSnnEventModel::new(&mut net2, None),
+                &stream,
+                0,
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(adv_offline, adv_streaming);
+    }
+
+    #[test]
+    fn frame_attack_prediction_agrees_across_pipelines() {
+        let stream = clean_stream();
+        let adv = FrameAttack::new(FrameAttackConfig::default())
+            .perturb(&stream)
+            .unwrap();
+        let mut net = small_net();
+        let p_offline = SnnEventModel::new(&mut net).predict(&adv).unwrap();
+        let mut net2 = small_net();
+        let p_streaming = StreamingSnnEventModel::new(&mut net2, None)
+            .predict(&adv)
+            .unwrap();
+        assert_eq!(p_offline, p_streaming);
     }
 
     #[test]

@@ -8,11 +8,18 @@
 //! |--------|-------|----------|
 //! | [`tensor`] | `axsnn-tensor` | dense f32 tensors, GEMM, conv2d, pooling |
 //! | [`core`] | `axsnn-core` | LIF SNN simulator, BPTT training, ANN twin, conversion, approximation, precision scaling |
-//! | [`neuromorphic`] | `axsnn-neuromorphic` | DVS events, frame accumulation, AQF (Algorithm 2) |
+//! | [`neuromorphic`] | `axsnn-neuromorphic` | DVS events, frame accumulation, AQF (Algorithm 2), streaming event inference |
 //! | [`datasets`] | `axsnn-datasets` | synthetic MNIST and DVS128-Gesture generators |
 //! | [`attacks`] | `axsnn-attacks` | FGSM/BIM/PGD and Sparse/Frame attacks |
 //! | [`defense`] | `axsnn-defense` | robustness metrics, Algorithm 1 search, experiment scenarios |
 //! | [`serve`] | `axsnn-serve` | fault-tolerant micro-batching inference service |
+//!
+//! A ninth crate, `axsnn-bench` (not re-exported), holds the
+//! figure-reproduction binaries, the `BENCH_*.json` smoke benchmarks
+//! and the consolidated floor gate (`axsnn_bench::gates`) that CI
+//! enforces. Each crate's root documentation carries a *Provenance*
+//! section naming the PR that introduced each subsystem and the
+//! equivalence suite that pins it.
 //!
 //! # Quickstart
 //!

@@ -7,9 +7,9 @@
 //! [files...]` — with no arguments, every default artifact present in
 //! the working directory is checked (and at least one must exist).
 
-use axsnn_bench::gates::check_bench_file;
+use axsnn_bench::gates::{check_bench_file, FLOOR_TABLE};
 
-const DEFAULT_FILES: [&str; 8] = [
+const DEFAULT_FILES: [&str; 9] = [
     "BENCH_sparse.json",
     "BENCH_batch.json",
     "BENCH_train.json",
@@ -18,6 +18,7 @@ const DEFAULT_FILES: [&str; 8] = [
     "BENCH_sweep.json",
     "BENCH_serve.json",
     "BENCH_quant.json",
+    "BENCH_stream.json",
 ];
 
 fn main() {
@@ -62,6 +63,19 @@ fn main() {
         }
     }
     if failed {
+        // A regression report should carry the complete trajectory
+        // context, not just the violated rows: print every enforced
+        // floor so the reader sees where the failing ratio sits.
+        eprintln!("\nfull floor table (see axsnn_bench::gates):");
+        let width = FLOOR_TABLE
+            .iter()
+            .map(|(artifact, family, _)| artifact.len() + family.len())
+            .max()
+            .unwrap_or(0);
+        for (artifact, family, floor) in FLOOR_TABLE {
+            let lhs = format!("{artifact}  {family}");
+            eprintln!("  {lhs:<w$}  {floor}", w = width + 2);
+        }
         std::process::exit(1);
     }
 }

@@ -64,11 +64,126 @@
 //!   predictions bit-identical to the direct fused path
 //!   (`serve_robust_*`).
 //!
+//! * `BENCH_stream.json` — streaming DVS event inference (PR 9): both
+//!   pipelines run the same per-window `FrameStepper` engine with
+//!   bit-identical logits (pinned by the `stream_equivalence` suite),
+//!   so the ratios isolate event-at-a-time delivery. Full-sample
+//!   streamed classification never regresses offline
+//!   accumulate-then-forward beyond per-event accumulator cost
+//!   (`stream_classify_*` ≥ **0.8×**); the anytime first-window
+//!   readout beats one full offline classify ≥ **2×**
+//!   (`stream_first_window_*` — expected ~`time_steps`×, the floor is
+//!   deliberately slack for noisy runners). The in-stream AQF A/B
+//!   (`stream_aqf_*`) and the sustained event throughput
+//!   (`stream_event_throughput_*`) are informational.
+//!
 //! Renaming or dropping a gated record cannot silently disarm a floor:
 //! every artifact kind declares the record families it must contain,
 //! and a file missing one of them — or gating nothing at all — fails.
 
 use crate::json::{self, Json};
+
+/// Every enforced floor, one row per gated record family:
+/// `(artifact, record family + gating condition, floor)`.
+///
+/// This is the machine-readable twin of the module-level floor
+/// documentation; `bench_gate` prints it in full when any gate fails so
+/// a regression report always carries the complete trajectory context.
+pub const FLOOR_TABLE: &[(&str, &str, &str)] = &[
+    (
+        "BENCH_sparse.json",
+        "linear_* at density <= 10%",
+        ">= 2.0x dense",
+    ),
+    (
+        "BENCH_batch.json",
+        "linear_*, mlp_forward*",
+        ">= 2.0x sequential",
+    ),
+    ("BENCH_batch.json", "mlp_forward*", ">= 3.0x sequential"),
+    ("BENCH_batch.json", "convnet*", ">= 0.9x (no regression)"),
+    (
+        "BENCH_train.json",
+        "mlp_tape*, mlp_minibatch* at density <= 10%",
+        ">= 2.0x dense tape",
+    ),
+    ("BENCH_train.json", "conv_tape*", ">= 0.9x (no regression)"),
+    (
+        "BENCH_backward.json",
+        "mlp_parallel_backward* (when hardware threads cover the run)",
+        ">= 2.0x sequential",
+    ),
+    (
+        "BENCH_backward.json",
+        "matvec_t_thresholded* at active <= 10%",
+        ">= 2.0x dense",
+    ),
+    (
+        "BENCH_backward.json",
+        "matvec_t_eps0*",
+        ">= 0.9x (no regression)",
+    ),
+    (
+        "BENCH_conv_batch.json",
+        "conv_batch_sorted_* (k=5 + stack, density <= 10%, batch >= 32)",
+        ">= 1.5x row-by-row",
+    ),
+    (
+        "BENCH_conv_batch.json",
+        "conv_batch_sorted_l3*, convnet_plan*",
+        ">= 0.9x (no regression)",
+    ),
+    (
+        "BENCH_sweep.json",
+        "sweep_journal_overhead*",
+        ">= 0.9x cold run",
+    ),
+    (
+        "BENCH_sweep.json",
+        "sweep_resume_replay*",
+        ">= 10.0x cold run",
+    ),
+    (
+        "BENCH_serve.json",
+        "serve_throughput* (when hardware threads cover the workers)",
+        ">= 3.0x sequential",
+    ),
+    (
+        "BENCH_serve.json",
+        "serve_latency* p99_over_direct",
+        "<= 64x one direct classify",
+    ),
+    (
+        "BENCH_serve.json",
+        "serve_robust*",
+        "0 hung, goodput >= 0.5, bit-identical predictions",
+    ),
+    (
+        "BENCH_quant.json",
+        "quant_matvec_int8* at density <= 10%",
+        ">= 1.3x f32 storage",
+    ),
+    (
+        "BENCH_quant.json",
+        "quant_matvec_f16* at density <= 10%",
+        ">= 0.6x f32 storage",
+    ),
+    (
+        "BENCH_quant.json",
+        "quant_accuracy* accuracy_delta_points",
+        "<= 5.0 points vs f32",
+    ),
+    (
+        "BENCH_stream.json",
+        "stream_classify_*",
+        ">= 0.8x offline pipeline (no regression)",
+    ),
+    (
+        "BENCH_stream.json",
+        "stream_first_window_*",
+        ">= 2.0x one full offline classify",
+    ),
+];
 
 /// Outcome of gating one bench artifact.
 #[derive(Debug, Default)]
@@ -136,6 +251,7 @@ pub fn check_bench_file(path: &str) -> Result<GateReport, String> {
         "sweep",
         "serve",
         "quant",
+        "stream",
     ]
     .into_iter()
     .find(|k| file_name.contains(k))
@@ -169,6 +285,11 @@ pub fn check_bench_file(path: &str) -> Result<GateReport, String> {
         "sweep" => &["sweep_journal_overhead", "sweep_resume_replay"],
         "serve" => &["serve_throughput", "serve_latency", "serve_robust"],
         "quant" => &["quant_matvec_int8", "quant_matvec_f16", "quant_accuracy"],
+        "stream" => &[
+            "stream_classify",
+            "stream_first_window",
+            "stream_event_throughput",
+        ],
         _ => &[],
     };
     for prefix in expected {
@@ -518,6 +639,45 @@ pub fn check_bench_file(path: &str) -> Result<GateReport, String> {
                     }
                 }
             }
+            "stream" => {
+                if name.starts_with("stream_event_throughput") {
+                    require_fields(
+                        rec,
+                        &["events", "streamed_ns", "events_per_sec"],
+                        &ctx,
+                        &mut report.failures,
+                    );
+                } else {
+                    require_fields(
+                        rec,
+                        &[
+                            "events",
+                            "windows",
+                            "hardware_threads",
+                            "offline_ns",
+                            "streamed_ns",
+                            "speedup",
+                        ],
+                        &ctx,
+                        &mut report.failures,
+                    );
+                    let speedup = num(rec, "speedup", &ctx).unwrap_or(0.0);
+                    // The streamed/offline A/B is bit-identical and
+                    // single-threaded; the AQF A/B compares two
+                    // *different* filters and stays informational.
+                    if name.starts_with("stream_classify") {
+                        report.gated += 1;
+                        if speedup < 0.8 {
+                            fail(&mut report, speedup, 0.8, "streamed classify no-regression");
+                        }
+                    } else if name.starts_with("stream_first_window") {
+                        report.gated += 1;
+                        if speedup < 2.0 {
+                            fail(&mut report, speedup, 2.0, "first-window anytime readout");
+                        }
+                    }
+                }
+            }
             _ => unreachable!("kind matched above"),
         }
     }
@@ -849,6 +1009,114 @@ mod tests {
         assert!(report.failures.is_empty(), "{:?}", report.failures);
         assert_eq!(report.gated, 3);
         let _ = std::fs::remove_file(path);
+    }
+
+    fn stream_rows(classify_speedup: f64, first_window_speedup: f64) -> Vec<BenchRow> {
+        let ab = |name: &str, windows: f64, speedup: f64| {
+            BenchRow::new()
+                .str("name", name)
+                .num("events", 10_000.0, 0)
+                .num("windows", windows, 0)
+                .num("hardware_threads", 1.0, 0)
+                .num("offline_ns", 100.0 * speedup, 0)
+                .num("streamed_ns", 100.0, 0)
+                .num("speedup", speedup, 3)
+        };
+        vec![
+            ab(
+                "stream_classify_uniform_T16_10000ev",
+                16.0,
+                classify_speedup,
+            ),
+            ab("stream_first_window_T16_10000ev", 1.0, first_window_speedup),
+            ab("stream_aqf_uniform_T16_10000ev", 16.0, 0.3),
+            BenchRow::new()
+                .str("name", "stream_event_throughput_50000ev")
+                .num("events", 50_000.0, 0)
+                .num("streamed_ns", 9e6, 0)
+                .num("events_per_sec", 5.5e6, 0),
+        ]
+    }
+
+    #[test]
+    fn stream_floors_enforced() {
+        // A streamed classify regressing below 0.8x offline fails...
+        let path = tmp("BENCH_stream_a.json", &stream_rows(0.6, 10.0));
+        let report = check_bench_file(&path).unwrap();
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert!(report.failures[0].contains("streamed classify"));
+        let _ = std::fs::remove_file(path);
+        // ...as does a first-window readout slower than half a full
+        // offline classify...
+        let path = tmp("BENCH_stream_b.json", &stream_rows(0.95, 1.4));
+        let report = check_bench_file(&path).unwrap();
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert!(report.failures[0].contains("first-window"));
+        let _ = std::fs::remove_file(path);
+        // ...and healthy rows gate cleanly; the slow AQF A/B row is
+        // informational and never gates.
+        let path = tmp("BENCH_stream_c.json", &stream_rows(0.95, 10.0));
+        let report = check_bench_file(&path).unwrap();
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.gated, 2);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn floor_table_covers_every_expected_family() {
+        // Every record family an artifact kind requires must appear in
+        // the printable floor table (or be explicitly informational),
+        // so `bench_gate`'s failure report always shows the floor that
+        // applies to a family.
+        let kinds: &[(&str, &[&str])] = &[
+            ("BENCH_sparse.json", &["linear_"]),
+            ("BENCH_batch.json", &["linear_", "mlp_forward", "convnet"]),
+            (
+                "BENCH_train.json",
+                &["mlp_tape", "mlp_minibatch", "conv_tape"],
+            ),
+            (
+                "BENCH_backward.json",
+                &[
+                    "mlp_parallel_backward",
+                    "matvec_t_thresholded",
+                    "matvec_t_eps0",
+                ],
+            ),
+            (
+                "BENCH_conv_batch.json",
+                &["conv_batch_sorted_", "convnet_plan"],
+            ),
+            (
+                "BENCH_sweep.json",
+                &["sweep_journal_overhead", "sweep_resume_replay"],
+            ),
+            (
+                "BENCH_serve.json",
+                &["serve_throughput", "serve_latency", "serve_robust"],
+            ),
+            (
+                "BENCH_quant.json",
+                &["quant_matvec_int8", "quant_matvec_f16", "quant_accuracy"],
+            ),
+            (
+                "BENCH_stream.json",
+                &["stream_classify", "stream_first_window"],
+            ),
+        ];
+        for (artifact, families) in kinds {
+            for family in *families {
+                assert!(
+                    FLOOR_TABLE
+                        .iter()
+                        .any(|(a, f, _)| a == artifact && f.contains(family)),
+                    "floor table misses {artifact} family {family}*"
+                );
+            }
+        }
+        for (artifact, family, floor) in FLOOR_TABLE {
+            assert!(!artifact.is_empty() && !family.is_empty() && !floor.is_empty());
+        }
     }
 
     #[test]

@@ -4,6 +4,13 @@
 //! evaluation (see DESIGN.md §3 and EXPERIMENTS.md). They share the
 //! scenario construction and sweep helpers defined here.
 //!
+//! The perf trajectory lives beside the figures: each `bench_*` smoke
+//! binary (PRs 1–9: sparse, batch, train, backward, conv_batch,
+//! sweep, serve, quant, stream) emits one `BENCH_*.json` artifact
+//! through [`json::write_bench_json`], and the `bench_gate` binary
+//! enforces every documented floor from the one table in [`gates`]
+//! (printed in full on any failure).
+//!
 //! Scale knobs (environment variables):
 //!
 //! * `AXSNN_FULL=1` — paper-architecture conv networks and larger data

@@ -28,6 +28,23 @@
 //! * [`precision`] — FP32/FP16/INT8 precision scaling and scalar
 //!   quantization.
 //!
+//! # Provenance
+//!
+//! The simulator, training and conversion stack is the seed; the
+//! density-gated sparse inference path landed in PR 1, the fused batch
+//! engine ([`fused`]) in PR 2, the event-form BPTT tape in PR 3, the
+//! sharded parallel backward in PR 4, the [`plan`] dispatch seam and
+//! [`io`]/[`json`] serialization in PR 5, weight-plane selection in
+//! PR 8, and [`network::FrameStepper`] — the incremental
+//! frame-at-a-time seam `forward` is now built on, feeding the
+//! streaming DVS pipeline — in PR 9. Each layer of that trajectory is
+//! pinned by an equivalence suite in `tests/`: `grad_equivalence`
+//! (gradients bit-identical across tape form, density and thread
+//! count), `batched_equivalence` / `plan_equivalence` (fused batches
+//! and kernel choices are pure scheduling), `quant_equivalence`
+//! (planed execution ≡ precision emulation), and the neuromorphic
+//! crate's `stream_equivalence` (streamed ≡ offline forward).
+//!
 //! # Example
 //!
 //! ```

@@ -324,6 +324,12 @@ impl SpikingNetwork {
     ///
     /// Set `record` to enable a subsequent [`SpikingNetwork::backward`].
     ///
+    /// Internally this drives a [`FrameStepper`] over the frames, so the
+    /// offline full-sample path and incremental (streaming) consumers of
+    /// the stepper execute the exact same per-step operations — streamed
+    /// logits are bit-identical by construction, pinned by the
+    /// `stream_equivalence` suite.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::Config`] when `frames` is empty, plus any
@@ -339,18 +345,30 @@ impl SpikingNetwork {
                 message: "forward needs at least one input frame".into(),
             });
         }
+        let mut stepper = self.frame_stepper(record);
+        for frame in frames {
+            stepper.step(frame, rng)?;
+        }
+        stepper.finish()
+    }
+
+    /// Begins an incremental frame-at-a-time forward pass (the streaming
+    /// seam): resets all membrane state and returns a [`FrameStepper`]
+    /// that applies one membrane update per submitted frame.
+    ///
+    /// [`SpikingNetwork::forward`] is implemented on top of this, so a
+    /// stepper fed the same frames in the same order produces
+    /// bit-identical logits and statistics — including every
+    /// [`crate::plan::ExecPlan`] dispatch decision (density gates,
+    /// weight planes, dense fallbacks), which are made per frame.
+    pub fn frame_stepper(&mut self, record: bool) -> FrameStepper<'_> {
         self.reset();
         let spiking_layers = self.layers.iter().filter(|l| l.is_spiking()).count();
-        let mut stats = SpikeStats {
-            spikes_per_layer: vec![0.0; spiking_layers],
-            synaptic_ops: 0.0,
-            time_steps: frames.len(),
-        };
         // Energy proxy: only *non-zero* weights cost a synaptic operation —
         // this is exactly the saving approximation buys (skipped
         // connections perform no work). Counted over the *effective*
         // weights so int8 quantization's snapped-to-zero connections
-        // register as savings. Computed once per forward pass.
+        // register as savings. Computed once per pass.
         let nonzero_weights: Vec<usize> = self
             .layers
             .iter()
@@ -360,30 +378,17 @@ impl SpikingNetwork {
                     .unwrap_or(0)
             })
             .collect();
-        let mut logits: Option<Tensor> = None;
-        for frame in frames {
-            let mut x = frame.clone();
-            let mut spiking_idx = 0usize;
-            for (li, layer) in self.layers.iter_mut().enumerate() {
-                let fan_out = nonzero_weights[li] / x.len().max(1);
-                let in_spikes = x.sum();
-                x = layer.forward_step(&x, record, rng)?;
-                if layer.is_spiking() {
-                    let emitted = layer.last_step_spike_count().unwrap_or(0.0);
-                    stats.spikes_per_layer[spiking_idx] += emitted;
-                    spiking_idx += 1;
-                    stats.synaptic_ops += in_spikes as f64 * fan_out as f64;
-                }
-            }
-            logits = Some(match logits {
-                None => x,
-                Some(acc) => acc.add(&x)?,
-            });
+        FrameStepper {
+            stats: SpikeStats {
+                spikes_per_layer: vec![0.0; spiking_layers],
+                synaptic_ops: 0.0,
+                time_steps: 0,
+            },
+            net: self,
+            record,
+            nonzero_weights,
+            logits: None,
         }
-        Ok(ForwardOutput {
-            logits: logits.expect("at least one frame was processed"),
-            stats,
-        })
     }
 
     /// BPTT backward pass after a recorded forward.
@@ -495,6 +500,94 @@ impl SpikingNetwork {
             .filter_map(|l| l.params())
             .map(|(w, b)| w.value.len() + b.value.len())
             .sum()
+    }
+}
+
+/// Incremental frame-at-a-time forward pass over a [`SpikingNetwork`]
+/// (obtained from [`SpikingNetwork::frame_stepper`]).
+///
+/// Each [`FrameStepper::step`] applies exactly one membrane update —
+/// the per-frame body that [`SpikingNetwork::forward`] loops over — so
+/// streaming consumers (the `axsnn-neuromorphic` `StreamSession`) and
+/// the offline path share one code path and produce bit-identical
+/// logits and [`SpikeStats`] for the same frame sequence.
+///
+/// The stepper borrows the network mutably for its whole lifetime;
+/// call [`FrameStepper::finish`] to release it and obtain the
+/// accumulated [`ForwardOutput`].
+#[derive(Debug)]
+pub struct FrameStepper<'a> {
+    net: &'a mut SpikingNetwork,
+    record: bool,
+    nonzero_weights: Vec<usize>,
+    stats: SpikeStats,
+    logits: Option<Tensor>,
+}
+
+impl FrameStepper<'_> {
+    /// Applies one membrane update for `frame`, accumulating readout
+    /// logits and spike statistics. Every [`crate::plan::ExecPlan`]
+    /// dispatch decision (density gate, weight plane, dense fallback)
+    /// is made here, per frame, exactly as in the offline path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn step<R: Rng>(&mut self, frame: &Tensor, rng: &mut R) -> Result<()> {
+        let mut x = frame.clone();
+        let mut spiking_idx = 0usize;
+        for (li, layer) in self.net.layers.iter_mut().enumerate() {
+            let fan_out = self.nonzero_weights[li] / x.len().max(1);
+            let in_spikes = x.sum();
+            x = layer.forward_step(&x, self.record, rng)?;
+            if layer.is_spiking() {
+                let emitted = layer.last_step_spike_count().unwrap_or(0.0);
+                self.stats.spikes_per_layer[spiking_idx] += emitted;
+                spiking_idx += 1;
+                self.stats.synaptic_ops += in_spikes as f64 * fan_out as f64;
+            }
+        }
+        self.stats.time_steps += 1;
+        self.logits = Some(match self.logits.take() {
+            None => x,
+            Some(acc) => acc.add(&x)?,
+        });
+        Ok(())
+    }
+
+    /// Number of frames stepped so far.
+    pub fn steps(&self) -> usize {
+        self.stats.time_steps
+    }
+
+    /// The logits accumulated so far (readout sum over the frames
+    /// stepped to date), or `None` before the first step. Lets
+    /// streaming consumers read out an *anytime* prediction without
+    /// ending the pass.
+    pub fn logits_so_far(&self) -> Option<&Tensor> {
+        self.logits.as_ref()
+    }
+
+    /// Spike statistics accumulated so far.
+    pub fn stats_so_far(&self) -> &SpikeStats {
+        &self.stats
+    }
+
+    /// Ends the pass, returning accumulated logits and statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] when no frame was ever stepped.
+    pub fn finish(self) -> Result<ForwardOutput> {
+        match self.logits {
+            Some(logits) => Ok(ForwardOutput {
+                logits,
+                stats: self.stats,
+            }),
+            None => Err(CoreError::Config {
+                message: "forward needs at least one input frame".into(),
+            }),
+        }
     }
 }
 

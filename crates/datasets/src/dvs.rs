@@ -190,6 +190,76 @@ impl SyntheticDvsGestures {
     }
 }
 
+/// Streaming replay of one event sample: yields events one at a time
+/// in guaranteed non-decreasing timestamp order — the shape a
+/// `StreamSession` (`axsnn_neuromorphic::stream`) consumes, without
+/// ever materializing frames.
+///
+/// # Example
+///
+/// ```
+/// use axsnn_datasets::dvs::{DvsGestureConfig, EventReplay, SyntheticDvsGestures};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let gen = SyntheticDvsGestures::new(DvsGestureConfig::default());
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let sample = gen.generate_sample(0, &mut rng);
+/// let n = sample.len();
+/// let replay = EventReplay::new(&sample);
+/// assert_eq!(replay.count(), n);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventReplay {
+    events: std::vec::IntoIter<DvsEvent>,
+    width: usize,
+    height: usize,
+}
+
+impl EventReplay {
+    /// Builds a replay over a snapshot of `stream`, sorting by
+    /// timestamp so the yielded order is monotone even when the stream
+    /// was perturbed (e.g. by an attack) after collection.
+    pub fn new(stream: &EventStream) -> Self {
+        let mut events = stream.events().to_vec();
+        events.sort_by(|a, b| a.t.partial_cmp(&b.t).unwrap_or(std::cmp::Ordering::Equal));
+        EventReplay {
+            events: events.into_iter(),
+            width: stream.width(),
+            height: stream.height(),
+        }
+    }
+
+    /// Sensor width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sensor height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Events not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.events.len()
+    }
+}
+
+impl Iterator for EventReplay {
+    type Item = DvsEvent;
+
+    fn next(&mut self) -> Option<DvsEvent> {
+        self.events.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.events.size_hint()
+    }
+}
+
+impl ExactSizeIterator for EventReplay {}
+
 /// Emitter centre positions (unit coordinates) of gesture `class` at
 /// normalized time `t`.
 fn emitter_positions(class: usize, t: f32, phase: f32, amp: f32, speed: f32) -> Vec<(f32, f32)> {
@@ -380,5 +450,32 @@ mod tests {
         assert_eq!(GESTURE_NAMES.len(), CLASSES);
         assert_eq!(GESTURE_NAMES[0], "hand_clap");
         assert_eq!(GESTURE_NAMES[10], "other");
+    }
+
+    #[test]
+    fn replay_yields_every_event_in_time_order() {
+        let gen = SyntheticDvsGestures::new(small());
+        let mut rng = StdRng::seed_from_u64(9);
+        let sample = gen.generate_sample(6, &mut rng);
+        let replay = EventReplay::new(&sample);
+        assert_eq!(replay.len(), sample.len());
+        assert_eq!(replay.width(), sample.width());
+        let mut last = f32::NEG_INFINITY;
+        let mut n = 0usize;
+        for e in replay {
+            assert!(e.t >= last, "replay must be monotone");
+            last = e.t;
+            n += 1;
+        }
+        assert_eq!(n, sample.len());
+    }
+
+    #[test]
+    fn replay_sorts_perturbed_streams() {
+        let mut s = EventStream::new(8, 8).unwrap();
+        s.push(DvsEvent::new(1, 1, Polarity::On, 0.9)).unwrap();
+        s.push(DvsEvent::new(2, 2, Polarity::Off, 0.1)).unwrap();
+        let times: Vec<f32> = EventReplay::new(&s).map(|e| e.t).collect();
+        assert_eq!(times, vec![0.1, 0.9]);
     }
 }

@@ -14,6 +14,16 @@
 //! Both generators are deterministic given a seed, which the benchmark
 //! harness relies on.
 //!
+//! # Provenance
+//!
+//! The generators are seed modules; [`cache`] (encode-once
+//! [`cache::EncodedCache`] shared across sweep grid cells) landed in
+//! PR 2 and [`dvs::EventReplay`] — the time-ordered iterator that
+//! feeds collected streams to the PR 9 streaming inference path — in
+//! PR 9. Generator determinism is pinned by the in-crate tests;
+//! the streaming consumer is pinned by the neuromorphic crate's
+//! `stream_equivalence` suite.
+//!
 //! # Example
 //!
 //! ```

@@ -16,6 +16,17 @@
 //! * [`adv_train`] — FGSM adversarial training of the accurate twin (the
 //!   paper's future-work hardening, stackable with precision scaling).
 //!
+//! # Provenance
+//!
+//! The metrics/search/scenario stack is the seed; [`journal`] landed
+//! in PR 6 (kill-at-any-cell resume bit-identical to an uninterrupted
+//! run, pinned by the `sweep_resume` suite) and
+//! [`metrics::EventPipeline`] in PR 9, letting every neuromorphic
+//! robustness evaluation choose between the offline frame pipeline and
+//! the streaming event path (without AQF the two outcomes are
+//! identical, pinned in the in-crate tests; with AQF the streaming
+//! path uses the causal in-stream filter).
+//!
 //! # Example
 //!
 //! ```

@@ -8,7 +8,9 @@
 
 use crate::{DefenseError, Result};
 use axsnn_attacks::gradient::{GradientSource, ImageAttack};
-use axsnn_attacks::neuromorphic::{EventModel, FrameAttack, SnnEventModel, SparseAttack};
+use axsnn_attacks::neuromorphic::{
+    EventModel, FrameAttack, SnnEventModel, SparseAttack, StreamingSnnEventModel,
+};
 use axsnn_core::encoding::Encoder;
 use axsnn_core::network::SpikingNetwork;
 use axsnn_neuromorphic::aqf::{approximate_quantized_filter, AqfConfig};
@@ -243,13 +245,28 @@ impl EventAttackKind {
     }
 }
 
+/// How the *victim* consumes event streams during evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventPipeline {
+    /// Materialize whole-sample spike frames, then simulate (the
+    /// original pipeline; AQF runs as the offline two-pass filter).
+    OfflineFrames,
+    /// Never materialize frames: replay events through the streaming
+    /// path ([`axsnn_neuromorphic::stream::StreamSession`]) with AQF —
+    /// when enabled — applied in-stream by the causal filter.
+    Streaming,
+}
+
 /// Evaluates a spiking network on event streams under a neuromorphic
 /// attack, optionally protected by AQF (Algorithm 2).
 ///
 /// The sparse attack queries `surrogate` (the adversary's accurate model
 /// per the threat model); the frame attack is model-free. When `aqf` is
 /// set, the *victim* filters every incoming stream before classification
-/// — the defended pipeline of Table II.
+/// — the defended pipeline of Table II. The victim consumes streams
+/// through the offline frame pipeline; use
+/// [`evaluate_event_attack_via`] to evaluate the streaming deployment
+/// shape instead.
 ///
 /// # Errors
 ///
@@ -261,6 +278,39 @@ pub fn evaluate_event_attack<R: Rng>(
     attack: EventAttackKind,
     data: &[(EventStream, usize)],
     aqf: Option<&AqfConfig>,
+    rng: &mut R,
+) -> Result<RobustnessOutcome> {
+    evaluate_event_attack_via(
+        victim,
+        surrogate,
+        attack,
+        data,
+        aqf,
+        EventPipeline::OfflineFrames,
+        rng,
+    )
+}
+
+/// [`evaluate_event_attack`] with an explicit victim [`EventPipeline`].
+///
+/// Attack crafting is pipeline-independent (the surrogate is queried
+/// offline either way, per the threat model); the pipeline selects how
+/// the *victim* classifies. Without AQF the two pipelines are
+/// bit-identical (pinned by the `stream_equivalence` suite); with AQF
+/// the streaming victim runs the causal in-stream filter, which removes
+/// at most what the offline filter removes.
+///
+/// # Errors
+///
+/// Returns [`DefenseError::InvalidData`] for empty data and propagates
+/// attack/filter/model failures.
+pub fn evaluate_event_attack_via<R: Rng>(
+    victim: &mut SpikingNetwork,
+    surrogate: &mut SpikingNetwork,
+    attack: EventAttackKind,
+    data: &[(EventStream, usize)],
+    aqf: Option<&AqfConfig>,
+    pipeline: EventPipeline,
     rng: &mut R,
 ) -> Result<RobustnessOutcome> {
     if data.is_empty() {
@@ -282,17 +332,25 @@ pub fn evaluate_event_attack<R: Rng>(
         };
         // Victim pipeline: optional AQF, then classify.
         let classify = |victim: &mut SpikingNetwork, s: &EventStream| -> Result<usize> {
-            let filtered;
-            let input = match aqf {
-                Some(cfg) => {
-                    let (f, _) = approximate_quantized_filter(s, cfg)?;
-                    filtered = f;
-                    &filtered
+            match pipeline {
+                EventPipeline::OfflineFrames => {
+                    let filtered;
+                    let input = match aqf {
+                        Some(cfg) => {
+                            let (f, _) = approximate_quantized_filter(s, cfg)?;
+                            filtered = f;
+                            &filtered
+                        }
+                        None => s,
+                    };
+                    let mut model = SnnEventModel::new(victim);
+                    Ok(model.predict(input)?)
                 }
-                None => s,
-            };
-            let mut model = SnnEventModel::new(victim);
-            Ok(model.predict(input)?)
+                EventPipeline::Streaming => {
+                    let mut model = StreamingSnnEventModel::new(victim, aqf.copied());
+                    Ok(model.predict(s)?)
+                }
+            }
         };
         if classify(victim, stream)? == *label {
             clean_correct += 1;
@@ -445,5 +503,108 @@ mod tests {
         assert_eq!(s.name(), "Sparse");
         let f = EventAttackKind::Frame(FrameAttack::new(Default::default()));
         assert_eq!(f.name(), "Frame");
+    }
+
+    fn event_victim(seed: u64) -> SpikingNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SnnConfig {
+            threshold: 0.5,
+            time_steps: 6,
+            leak: 0.9,
+        };
+        SpikingNetwork::new(
+            vec![
+                Layer::spiking_linear(&mut rng, 2 * 12 * 12, 10, &cfg),
+                Layer::output_linear(&mut rng, 10, 3),
+            ],
+            cfg,
+        )
+        .unwrap()
+    }
+
+    fn event_data(n: usize) -> Vec<(EventStream, usize)> {
+        use axsnn_neuromorphic::event::{DvsEvent, Polarity};
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(23);
+        (0..n)
+            .map(|i| {
+                let events = (0..40)
+                    .map(|k| {
+                        DvsEvent::new(
+                            rng.gen_range(0..12) as u16,
+                            rng.gen_range(0..12) as u16,
+                            if rng.gen_bool(0.5) {
+                                Polarity::On
+                            } else {
+                                Polarity::Off
+                            },
+                            (k as f32 / 40.0).min(0.999),
+                        )
+                    })
+                    .collect();
+                (EventStream::from_events(12, 12, events).unwrap(), i % 3)
+            })
+            .collect()
+    }
+
+    /// Without AQF the streaming pipeline is bit-identical to the
+    /// offline one, so every evaluation outcome must match exactly —
+    /// clean, Frame-attacked, and Sparse-attacked.
+    #[test]
+    fn streaming_pipeline_outcome_matches_offline_without_aqf() {
+        let data = event_data(5);
+        let attacks = [
+            EventAttackKind::None,
+            EventAttackKind::Frame(FrameAttack::new(Default::default())),
+        ];
+        for attack in attacks {
+            let mut rng = StdRng::seed_from_u64(3);
+            let offline = evaluate_event_attack_via(
+                &mut event_victim(9),
+                &mut event_victim(10),
+                attack,
+                &data,
+                None,
+                EventPipeline::OfflineFrames,
+                &mut rng,
+            )
+            .unwrap();
+            let mut rng = StdRng::seed_from_u64(3);
+            let streaming = evaluate_event_attack_via(
+                &mut event_victim(9),
+                &mut event_victim(10),
+                attack,
+                &data,
+                None,
+                EventPipeline::Streaming,
+                &mut rng,
+            )
+            .unwrap();
+            assert_eq!(offline, streaming, "{} diverged", attack.name());
+        }
+    }
+
+    /// The streaming AQF pipeline runs end to end and produces a valid
+    /// outcome against the frame attack (the causal filter removes at
+    /// most what the offline filter removes, so accuracy is a valid —
+    /// possibly equal — outcome rather than bit-pinned here; exactness
+    /// is pinned by the neuromorphic `stream_equivalence` suite).
+    #[test]
+    fn streaming_pipeline_with_aqf_runs_end_to_end() {
+        let data = event_data(3);
+        let aqf = AqfConfig::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let outcome = evaluate_event_attack_via(
+            &mut event_victim(9),
+            &mut event_victim(10),
+            EventAttackKind::Frame(FrameAttack::new(Default::default())),
+            &data,
+            Some(&aqf),
+            EventPipeline::Streaming,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(outcome.samples, 3);
+        assert!((0.0..=100.0).contains(&outcome.adversarial_accuracy));
     }
 }

@@ -31,6 +31,31 @@ pub enum NeuroError {
         /// Description of the violated precondition.
         message: String,
     },
+    /// A streaming consumer received an event with a timestamp earlier
+    /// than its predecessor. Streaming accumulation requires monotone
+    /// (non-decreasing) timestamps; sort the stream first
+    /// ([`crate::event::EventStream::sort_by_time`]) or replay it
+    /// through [`crate::stream::StreamSession`] in time order.
+    OutOfOrderEvent {
+        /// Timestamp of the previously accepted event.
+        previous: f32,
+        /// Timestamp of the rejected event.
+        current: f32,
+    },
+    /// The spiking-network simulation beneath a streaming session
+    /// failed (wrapped [`axsnn_core::CoreError`]).
+    Inference {
+        /// The underlying core error, rendered.
+        message: String,
+    },
+}
+
+impl From<axsnn_core::CoreError> for NeuroError {
+    fn from(e: axsnn_core::CoreError) -> Self {
+        NeuroError::Inference {
+            message: e.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for NeuroError {
@@ -44,6 +69,16 @@ impl fmt::Display for NeuroError {
             }
             NeuroError::InvalidParameter { message } => {
                 write!(f, "invalid parameter: {message}")
+            }
+            NeuroError::OutOfOrderEvent { previous, current } => {
+                write!(
+                    f,
+                    "out-of-order event: timestamp {current} arrived after {previous}; \
+                     streaming accumulation requires non-decreasing timestamps"
+                )
+            }
+            NeuroError::Inference { message } => {
+                write!(f, "streaming inference failed: {message}")
             }
         }
     }

@@ -12,7 +12,22 @@
 //!   and spatio-temporally uncorrelated events (adversarial noise) are
 //!   removed,
 //! * [`stats`] — stream statistics, rate profiles, windowing and
-//!   cropping transforms.
+//!   cropping transforms,
+//! * [`stream`] — streaming event-stream inference: incremental
+//!   membrane updates as events arrive ([`stream::StreamSession`] over
+//!   the core `FrameStepper`), uniform/rolling window accumulation
+//!   ([`stream::StreamAccumulator`]) and the causal in-stream AQF
+//!   ([`stream::StreamingAqf`]).
+//!
+//! # Provenance
+//!
+//! The event model, offline frame accumulation and the two-pass AQF
+//! are seed modules; the streaming subsystem landed in PR 9. Streamed
+//! classification is pinned **bit-identical** to the offline
+//! accumulate-then-forward path (same window schedule, every density,
+//! every plan override, int8/f16 planes installed) by the
+//! `stream_equivalence` suite in `tests/`; the causal AQF's superset /
+//! exactness relationship to the offline filter is pinned there too.
 //!
 //! # Example
 //!
@@ -36,6 +51,7 @@ pub mod aqf;
 pub mod event;
 pub mod frames;
 pub mod stats;
+pub mod stream;
 
 pub use error::NeuroError;
 

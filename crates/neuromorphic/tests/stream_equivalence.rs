@@ -1,0 +1,421 @@
+//! Streaming-vs-offline equivalence suite.
+//!
+//! Pins the tentpole guarantee of the streaming subsystem: streamed
+//! classification over a full sample is **bit-identical** to the
+//! offline frame-accumulated path for the same window schedule — at
+//! every event density, under every plan override, and with int8/f16
+//! weight planes installed — plus the causal AQF's relationship to the
+//! offline two-pass filter (superset always; exact when no pixel
+//! crosses the hot cut).
+
+use axsnn_core::layer::Layer;
+use axsnn_core::network::{SnnConfig, SpikingNetwork};
+use axsnn_core::plan::{PlanOverride, WeightPlane};
+use axsnn_neuromorphic::aqf::{approximate_quantized_filter, AqfConfig};
+use axsnn_neuromorphic::event::{DvsEvent, EventStream, Polarity};
+use axsnn_neuromorphic::frames::{accumulate_frames, Accumulation};
+use axsnn_neuromorphic::stream::{
+    classify_event_stream, StreamAccumulator, StreamConfig, StreamSession, StreamingAqf,
+    WindowSchedule,
+};
+use axsnn_neuromorphic::NeuroError;
+use axsnn_tensor::conv::Conv2dSpec;
+use proptest::prelude::*;
+use rand::rngs::mock::StepRng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const W: usize = 8;
+const H: usize = 8;
+const T: usize = 6;
+const CLASSES: usize = 4;
+
+/// A conv → flatten → linear stack small enough for the suite but deep
+/// enough to exercise the full dispatch seam (density-gated sparse
+/// conv, sparse matvec, dense readout).
+fn network(cfg: SnnConfig) -> SpikingNetwork {
+    let mut rng = StdRng::seed_from_u64(33);
+    let spec = Conv2dSpec {
+        in_channels: 2,
+        out_channels: 3,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    SpikingNetwork::new(
+        vec![
+            Layer::spiking_conv2d(&mut rng, spec, &cfg),
+            Layer::flatten(),
+            Layer::spiking_linear(&mut rng, 3 * H * W, 16, &cfg),
+            Layer::output_linear(&mut rng, 16, CLASSES),
+        ],
+        cfg,
+    )
+    .expect("valid network")
+}
+
+fn snn_cfg() -> SnnConfig {
+    SnnConfig {
+        threshold: 0.5,
+        time_steps: T,
+        leak: 0.9,
+    }
+}
+
+/// Seeded synthetic gesture-ish stream: a drifting cluster plus
+/// background noise, `n` events, time-sorted.
+fn synth_stream(seed: u64, n: usize) -> EventStream {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = i as f32 / n as f32;
+        let (x, y) = if rng.gen_bool(0.7) {
+            // Cluster drifting across the sensor.
+            let cx = (t * (W as f32 - 3.0)) as i64 + 1;
+            let cy = (H / 2) as i64;
+            (
+                (cx + rng.gen_range(-1i64..=1)).clamp(0, W as i64 - 1) as u16,
+                (cy + rng.gen_range(-1i64..=1)).clamp(0, H as i64 - 1) as u16,
+            )
+        } else {
+            (rng.gen_range(0..W) as u16, rng.gen_range(0..H) as u16)
+        };
+        let p = if rng.gen_bool(0.5) {
+            Polarity::On
+        } else {
+            Polarity::Off
+        };
+        events.push(DvsEvent::new(x, y, p, t.min(0.999_999)));
+    }
+    EventStream::from_events(W, H, events).expect("valid synthetic events")
+}
+
+fn offline_logits(net: &mut SpikingNetwork, stream: &EventStream) -> (Vec<f32>, f32, f64) {
+    let frames = accumulate_frames(stream, T, Accumulation::Binary).unwrap();
+    let mut rng = StepRng::new(0, 1);
+    let out = net.forward(&frames, false, &mut rng).unwrap();
+    (
+        out.logits.as_slice().to_vec(),
+        out.stats.total_spikes(),
+        out.stats.synaptic_ops,
+    )
+}
+
+fn streamed_logits(net: &mut SpikingNetwork, stream: &EventStream) -> (Vec<f32>, f32, f64) {
+    let cfg = StreamConfig {
+        schedule: WindowSchedule::Uniform { time_steps: T },
+        mode: Accumulation::Binary,
+        aqf: None,
+    };
+    let mut rng = StepRng::new(0, 1);
+    let outcome = classify_event_stream(net, stream, cfg, &mut rng).unwrap();
+    assert_eq!(outcome.windows, T);
+    (
+        outcome.logits.as_slice().to_vec(),
+        outcome.stats.total_spikes(),
+        outcome.stats.synaptic_ops,
+    )
+}
+
+/// Tentpole pin: streamed == offline, bit for bit, across densities
+/// and plan overrides.
+#[test]
+fn streamed_bit_identical_across_densities_and_overrides() {
+    // Densities from near-empty (sparse path) to saturating (dense
+    // fallback): 5 events up to 4 events/pixel.
+    let sizes = [5usize, 40, 160, 256];
+    let overrides = [
+        PlanOverride::Auto,
+        PlanOverride::ForceDense,
+        PlanOverride::ForceThreshold(1.0),
+    ];
+    for (si, &n) in sizes.iter().enumerate() {
+        let stream = synth_stream(100 + si as u64, n);
+        for ov in overrides {
+            let mut net = network(snn_cfg());
+            net.apply_plan(ov);
+            let offline = offline_logits(&mut net, &stream);
+            net.apply_plan(ov);
+            let streamed = streamed_logits(&mut net, &stream);
+            assert_eq!(
+                offline, streamed,
+                "diverged at n={n} override={ov:?} (logits/spikes/synops must be bit-identical)"
+            );
+        }
+    }
+}
+
+/// Tentpole pin: bit-identity holds with reduced-precision weight
+/// planes installed (the quantized storage path).
+#[test]
+fn streamed_bit_identical_with_weight_planes() {
+    let stream = synth_stream(7, 120);
+    for plane in [WeightPlane::F16, WeightPlane::Int8] {
+        let mut net = network(snn_cfg());
+        net.set_weight_plane(plane).unwrap();
+        let offline = offline_logits(&mut net, &stream);
+        let streamed = streamed_logits(&mut net, &stream);
+        assert_eq!(offline, streamed, "diverged with {plane:?} plane");
+    }
+}
+
+/// The streamed prediction matches `classify_frames` over the same
+/// accumulated frames.
+#[test]
+fn streamed_prediction_matches_offline_classify() {
+    let stream = synth_stream(12, 90);
+    let mut net = network(snn_cfg());
+    let frames = accumulate_frames(&stream, T, Accumulation::Binary).unwrap();
+    let mut rng = StepRng::new(0, 1);
+    let offline_pred = net.classify_frames(&frames, &mut rng).unwrap();
+    let cfg = StreamConfig {
+        schedule: WindowSchedule::Uniform { time_steps: T },
+        mode: Accumulation::Binary,
+        aqf: None,
+    };
+    let mut rng = StepRng::new(0, 1);
+    let outcome = classify_event_stream(&mut net, &stream, cfg, &mut rng).unwrap();
+    assert_eq!(outcome.prediction, offline_pred);
+    assert_eq!(outcome.events_in, stream.len());
+    assert_eq!(outcome.events_kept, stream.len());
+}
+
+/// Out-of-order events surface as an explicit session error, not a
+/// silently wrong frame.
+#[test]
+fn out_of_order_events_error_at_session_level() {
+    let mut net = network(snn_cfg());
+    let cfg = StreamConfig {
+        schedule: WindowSchedule::Uniform { time_steps: T },
+        mode: Accumulation::Binary,
+        aqf: None,
+    };
+    let mut rng = StepRng::new(0, 1);
+    let mut session = StreamSession::begin(&mut net, W, H, cfg).unwrap();
+    session
+        .push(DvsEvent::new(1, 1, Polarity::On, 0.6), &mut rng)
+        .unwrap();
+    let err = session
+        .push(DvsEvent::new(1, 1, Polarity::On, 0.2), &mut rng)
+        .unwrap_err();
+    assert!(matches!(err, NeuroError::OutOfOrderEvent { .. }));
+}
+
+/// In-stream AQF end-to-end equals offline filter + offline inference
+/// when no pixel crosses the hot cut (exactness regime).
+#[test]
+fn streamed_aqf_bit_identical_without_hot_pixels() {
+    // ≤ 8 events per pixel, far below the default cut of 40.
+    let stream = synth_stream(21, 200);
+    let aqf = AqfConfig::default();
+
+    let mut net = network(snn_cfg());
+    let (filtered, offline_report) = approximate_quantized_filter(&stream, &aqf).unwrap();
+    let offline = offline_logits(&mut net, &filtered);
+
+    let mut net2 = network(snn_cfg());
+    let cfg = StreamConfig {
+        schedule: WindowSchedule::Uniform { time_steps: T },
+        mode: Accumulation::Binary,
+        aqf: Some(aqf),
+    };
+    let mut rng = StepRng::new(0, 1);
+    let outcome = classify_event_stream(&mut net2, &stream, cfg, &mut rng).unwrap();
+
+    let report = outcome.aqf.expect("aqf report present");
+    assert_eq!(
+        report, offline_report,
+        "reports must agree with no hot pixels"
+    );
+    assert_eq!(
+        (
+            outcome.logits.as_slice().to_vec(),
+            outcome.stats.total_spikes(),
+            outcome.stats.synaptic_ops,
+        ),
+        offline,
+        "filtered inference must be bit-identical with no hot pixels"
+    );
+}
+
+fn offline_rolling_frames(
+    stream: &EventStream,
+    windows: usize,
+    len: f32,
+    hop: f32,
+    mode: Accumulation,
+) -> Vec<Vec<f32>> {
+    (0..windows)
+        .map(|i| {
+            let start = i as f32 * hop;
+            let sub: Vec<DvsEvent> = stream
+                .events()
+                .iter()
+                .copied()
+                .filter(|e| start <= e.t && e.t < start + len)
+                .collect();
+            let sub = EventStream::from_events(W, H, sub).unwrap();
+            accumulate_frames(&sub, 1, mode).unwrap()[0]
+                .as_slice()
+                .to_vec()
+        })
+        .collect()
+}
+
+fn event_strategy() -> impl Strategy<Value = DvsEvent> {
+    (
+        0u16..W as u16,
+        0u16..H as u16,
+        proptest::bool::ANY,
+        0.0f32..0.999,
+    )
+        .prop_map(|(x, y, p, t)| {
+            DvsEvent::new(x, y, if p { Polarity::On } else { Polarity::Off }, t)
+        })
+}
+
+fn sorted_events(max: usize) -> impl Strategy<Value = Vec<DvsEvent>> {
+    proptest::collection::vec(event_strategy(), 0..max).prop_map(|mut v| {
+        v.sort_by(|a, b| a.t.partial_cmp(&b.t).unwrap());
+        v
+    })
+}
+
+proptest! {
+    /// The streamed uniform accumulator is bit-identical to
+    /// `accumulate_frames` for arbitrary streams, bin counts and modes
+    /// (including empty bins).
+    #[test]
+    fn uniform_accumulator_matches_offline(
+        events in sorted_events(150),
+        t in 1usize..24,
+        count_mode in proptest::bool::ANY,
+    ) {
+        let mode = if count_mode { Accumulation::Count } else { Accumulation::Binary };
+        let stream = EventStream::from_events(W, H, events.clone()).unwrap();
+        let offline = accumulate_frames(&stream, t, mode).unwrap();
+        let mut acc = StreamAccumulator::new(
+            W, H, WindowSchedule::Uniform { time_steps: t }, mode,
+        ).unwrap();
+        let mut streamed = Vec::new();
+        for e in &events {
+            streamed.extend(acc.push(*e).unwrap());
+        }
+        streamed.extend(acc.finish());
+        prop_assert_eq!(streamed.len(), offline.len());
+        for (a, b) in streamed.iter().zip(&offline) {
+            prop_assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    /// The rolling accumulator matches per-window offline accumulation
+    /// across window counts, lengths and hops (overlapping and gapped),
+    /// and accounts for every event it drops.
+    #[test]
+    fn rolling_accumulator_matches_offline(
+        events in sorted_events(120),
+        windows in 1usize..10,
+        len_milli in 20u32..400,
+        hop_milli in 20u32..400,
+        count_mode in proptest::bool::ANY,
+    ) {
+        let (len, hop) = (len_milli as f32 / 1000.0, hop_milli as f32 / 1000.0);
+        let mode = if count_mode { Accumulation::Count } else { Accumulation::Binary };
+        let stream = EventStream::from_events(W, H, events.clone()).unwrap();
+        let offline = offline_rolling_frames(&stream, windows, len, hop, mode);
+        let mut acc = StreamAccumulator::new(
+            W, H, WindowSchedule::Rolling { windows, len, hop }, mode,
+        ).unwrap();
+        let mut streamed = Vec::new();
+        for e in &events {
+            streamed.extend(acc.push(*e).unwrap());
+        }
+        let dropped = acc.events_dropped();
+        streamed.extend(acc.finish());
+        prop_assert_eq!(streamed.len(), windows);
+        for (a, b) in streamed.iter().zip(&offline) {
+            prop_assert_eq!(a.as_slice(), b.as_slice());
+        }
+        let covered = events.iter().filter(|e| {
+            (0..windows).any(|i| {
+                let s = i as f32 * hop;
+                s <= e.t && e.t < s + len
+            })
+        }).count();
+        prop_assert_eq!(dropped, events.len() - covered);
+    }
+
+    /// Any unsorted stream with a genuine inversion is rejected with
+    /// the explicit out-of-order error at the first offending event.
+    #[test]
+    fn out_of_order_rejected(events in proptest::collection::vec(event_strategy(), 2..60)) {
+        let mut acc = StreamAccumulator::new(
+            W, H, WindowSchedule::Uniform { time_steps: 4 }, Accumulation::Binary,
+        ).unwrap();
+        let mut last = f32::NEG_INFINITY;
+        for e in &events {
+            let r = acc.push(*e);
+            if e.t >= last {
+                prop_assert!(r.is_ok());
+                last = e.t;
+            } else {
+                prop_assert!(matches!(r.unwrap_err(), NeuroError::OutOfOrderEvent { .. }));
+                break;
+            }
+        }
+    }
+
+    /// Causal-AQF superset property: every event the streaming filter
+    /// keeps includes all events the offline filter keeps
+    /// (`kept_streaming ⊇ kept_offline`), on arbitrary streams —
+    /// including ones with hot pixels.
+    #[test]
+    fn streaming_aqf_keeps_superset_of_offline(events in sorted_events(200)) {
+        let cfg = AqfConfig::default();
+        let stream = EventStream::from_events(W, H, events.clone()).unwrap();
+        let (offline_kept, _) = approximate_quantized_filter(&stream, &cfg).unwrap();
+        let mut filter = StreamingAqf::new(W, H, cfg).unwrap();
+        let streaming_kept: Vec<DvsEvent> =
+            events.iter().filter_map(|e| filter.push(*e)).collect();
+        // Multiset containment over (x, y, channel, quantized-t bits).
+        let key = |e: &DvsEvent| (e.x, e.y, e.polarity.channel(), e.t.to_bits());
+        let mut pool: Vec<_> = streaming_kept.iter().map(key).collect();
+        for e in offline_kept.events() {
+            let k = key(e);
+            let pos = pool.iter().position(|p| *p == k);
+            prop_assert!(pos.is_some(), "offline kept {e:?} but streaming dropped it");
+            pool.swap_remove(pos.unwrap());
+        }
+    }
+
+    /// Causal-AQF exactness: when no pixel crosses the hot cut, the
+    /// streaming filter keeps the identical event sequence (same order,
+    /// same quantized timestamps) and produces the identical report.
+    #[test]
+    fn streaming_aqf_exact_without_hot_pixels(events in sorted_events(150)) {
+        let cfg = AqfConfig::default();
+        let cut = (cfg.activity_threshold * cfg.saturation_persistence) as usize;
+        // Thin the stream so no pixel exceeds the cut.
+        let mut per_pixel = vec![0usize; W * H];
+        let thinned: Vec<DvsEvent> = events
+            .into_iter()
+            .filter(|e| {
+                let i = e.y as usize * W + e.x as usize;
+                per_pixel[i] += 1;
+                per_pixel[i] <= cut
+            })
+            .collect();
+        let stream = EventStream::from_events(W, H, thinned.clone()).unwrap();
+        let (offline_kept, offline_report) =
+            approximate_quantized_filter(&stream, &cfg).unwrap();
+        let mut filter = StreamingAqf::new(W, H, cfg).unwrap();
+        let streaming_kept: Vec<DvsEvent> =
+            thinned.iter().filter_map(|e| filter.push(*e)).collect();
+        prop_assert_eq!(filter.report(), offline_report);
+        prop_assert_eq!(streaming_kept.len(), offline_kept.len());
+        for (a, b) in streaming_kept.iter().zip(offline_kept.events()) {
+            prop_assert_eq!(a.t.to_bits(), b.t.to_bits());
+            prop_assert!(a.x == b.x && a.y == b.y && a.polarity == b.polarity);
+        }
+    }
+}

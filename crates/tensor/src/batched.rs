@@ -285,7 +285,7 @@ fn sparse_matmul_lane_impl<L: WeightLane>(
 ///
 /// Weight rows are processed in tiles of 4 that stay cache-hot across
 /// the whole batch while each sample's index list gathers against them
-/// ([`gather_row_x4`]); weight traffic is `out × in` per *batch*
+/// (`gather_row_x4`); weight traffic is `out × in` per *batch*
 /// instead of per sample — the GEMM amortization a per-sample matvec
 /// cannot reach. Row `b` equals `sparse_matvec(w, rows[b])` bit for
 /// bit.

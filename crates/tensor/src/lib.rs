@@ -18,6 +18,17 @@
 //! required kernels from scratch. Everything is deterministic given a seeded
 //! RNG, which the experiment harness relies on for reproducibility.
 //!
+//! # Provenance
+//!
+//! The dense substrate is a seed module; [`sparse`] landed in PR 1,
+//! [`batched`] in PR 2 (event-sorted batched conv in PR 5), the
+//! backward kernels and [`grads`] in PRs 3–4, and [`plane`] in PR 8.
+//! Every fast kernel is pinned value- or bit-identical to its naive
+//! reference by an equivalence suite: the in-crate sparse/dense
+//! property tests (PR 1), plus `batched_equivalence`,
+//! `grad_equivalence`, `plan_equivalence` and `quant_equivalence` in
+//! `axsnn-core`'s `tests/`.
+//!
 //! # Example
 //!
 //! ```

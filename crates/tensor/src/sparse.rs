@@ -346,7 +346,7 @@ pub fn sparse_matvec_bias(a: &Tensor, x: &SpikeVector, bias: &Tensor) -> Result<
 /// `y = dequant(W)·s + b` with each weight dequantized in-register and
 /// every accumulate in f32.
 ///
-/// The gather structure is [`gather_row`]'s, so the result is
+/// The gather structure is `gather_row`'s, so the result is
 /// bit-identical to [`sparse_matvec_bias`] over the plane's
 /// [`crate::plane::QuantizedPlane::dequantize`] tensor — quantizing the
 /// storage changes which bits are streamed, never the arithmetic.

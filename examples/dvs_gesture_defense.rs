@@ -5,6 +5,14 @@
 //! ```text
 //! cargo run --release -p axsnn --example dvs_gesture_defense
 //! ```
+//!
+//! Set `AXSNN_STREAM=1` to route every evaluation through the
+//! streaming event pipeline (PR 9) instead of materializing
+//! whole-sample frames: events replay through a
+//! [`StreamSession`], AQF — when enabled — runs as the causal
+//! in-stream filter, and the run ends with a per-window latency
+//! profile of one test sample. Without AQF the streamed accuracy
+//! columns are bit-identical to the offline default.
 
 use axsnn::attacks::neuromorphic::{
     FrameAttack, FrameAttackConfig, SparseAttack, SparseAttackConfig,
@@ -12,14 +20,74 @@ use axsnn::attacks::neuromorphic::{
 use axsnn::core::approx::ApproximationLevel;
 use axsnn::core::network::SnnConfig;
 use axsnn::datasets::dvs::DvsGestureConfig;
-use axsnn::defense::metrics::{evaluate_event_attack, EventAttackKind};
+use axsnn::defense::metrics::{evaluate_event_attack_via, EventAttackKind, EventPipeline};
 use axsnn::defense::scenario::{DvsScenario, DvsScenarioConfig};
 use axsnn::neuromorphic::aqf::AqfConfig;
+use axsnn::neuromorphic::event::EventStream;
+use axsnn::neuromorphic::frames::Accumulation;
+use axsnn::neuromorphic::stream::{StreamConfig, StreamSession, WindowSchedule};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Replays one test sample through a live [`StreamSession`] and prints
+/// when each window's incremental membrane update completed, relative
+/// to the arrival of the sample's first event — the anytime-latency
+/// story a frame pipeline cannot tell.
+fn profile_stream_latency<R: Rng>(
+    net: &mut axsnn::core::network::SpikingNetwork,
+    sample: &EventStream,
+    time_steps: usize,
+    rng: &mut R,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut ordered = sample.clone();
+    ordered.sort_by_time();
+    let cfg = StreamConfig {
+        schedule: WindowSchedule::Uniform { time_steps },
+        mode: Accumulation::Binary,
+        aqf: None,
+    };
+    let mut session = StreamSession::begin(net, sample.width(), sample.height(), cfg)?;
+    let start = Instant::now();
+    let mut closes: Vec<(usize, f64)> = Vec::new();
+    for e in ordered.events() {
+        if session.push(*e, rng)? > 0 {
+            closes.push((
+                session.windows_stepped(),
+                start.elapsed().as_secs_f64() * 1e6,
+            ));
+        }
+    }
+    let outcome = session.finish(rng)?;
+    closes.push((outcome.windows, start.elapsed().as_secs_f64() * 1e6));
+
+    println!("\n=== streaming per-window latency (one test sample) ===");
+    println!(
+        "{} events over {} windows; elapsed is wall time since the first event",
+        outcome.events_in, outcome.windows
+    );
+    println!("{:>8} {:>14} {:>14}", "window", "elapsed [µs]", "step [µs]");
+    let mut prev = 0.0;
+    for (window, elapsed) in &closes {
+        println!("{:>8} {:>14.1} {:>14.1}", window, elapsed, elapsed - prev);
+        prev = *elapsed;
+    }
+    println!(
+        "prediction {} ready {:.1} µs after the first event",
+        outcome.prediction,
+        closes.last().map_or(0.0, |&(_, t)| t)
+    );
+    Ok(())
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(11);
+    let streaming = std::env::var("AXSNN_STREAM").is_ok_and(|v| v == "1");
+    let pipeline = if streaming {
+        EventPipeline::Streaming
+    } else {
+        EventPipeline::OfflineFrames
+    };
 
     println!("preparing DVS gesture scenario…");
     let cfg = DvsScenarioConfig {
@@ -72,12 +140,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 time_steps: 24,
                 leak: 0.9,
             })?;
-            let outcome = evaluate_event_attack(
+            let outcome = evaluate_event_attack_via(
                 &mut victim,
                 &mut surrogate,
                 attack,
                 &scenario.dataset().test,
                 if use_aqf { Some(&aqf) } else { None },
+                pipeline,
                 &mut rng,
             )?;
             row.push(outcome.adversarial_accuracy);
@@ -93,5 +162,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nExpected shape (paper Fig. 7b + Table II): Sparse/Frame collapse");
     println!("the undefended columns; the AQF columns stay near the clean row.");
+    if streaming {
+        let mut net = scenario.acc_snn(snn_cfg)?;
+        let (sample, _) = &scenario.dataset().test[0];
+        profile_stream_latency(&mut net, sample, snn_cfg.time_steps, &mut rng)?;
+    } else {
+        println!("(set AXSNN_STREAM=1 to route through the streaming event pipeline)");
+    }
     Ok(())
 }
