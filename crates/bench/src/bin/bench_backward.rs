@@ -31,7 +31,7 @@ use axsnn::core::layer::Layer;
 use axsnn::core::network::{SnnConfig, SpikingNetwork};
 use axsnn::tensor::conv::Conv2dSpec;
 use axsnn::tensor::{init, linalg, Tensor};
-use axsnn_bench::json::{write_bench_json, BenchRow};
+use axsnn_bench::json::{bench_row, write_bench_json};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -265,8 +265,7 @@ fn main() {
             case.name, case.sequential_ns, case.parallel_ns, speedup
         );
         rows.push(
-            BenchRow::new()
-                .str("name", &case.name)
+            bench_row(&case.name)
                 .num("batch", BATCH as f64, 0)
                 .num("time_steps", TIME_STEPS as f64, 0)
                 .num("density", DENSITY as f64, 2)
@@ -283,8 +282,7 @@ fn main() {
         "matvec_t_thresholded_512x1568", dense_ns, thresholded_ns, thr_speedup
     );
     rows.push(
-        BenchRow::new()
-            .str("name", "matvec_t_thresholded_512x1568")
+        bench_row("matvec_t_thresholded_512x1568")
             .num("active_fraction", active_fraction, 4)
             .num("hardware_threads", hardware as f64, 0)
             .num("dense_ns", dense_ns, 0)
@@ -297,8 +295,7 @@ fn main() {
         "matvec_t_eps0_512x1568", dense_ns, eps0_ns, eps0_speedup
     );
     rows.push(
-        BenchRow::new()
-            .str("name", "matvec_t_eps0_512x1568")
+        bench_row("matvec_t_eps0_512x1568")
             .num("hardware_threads", hardware as f64, 0)
             .num("dense_ns", dense_ns, 0)
             .num("thresholded_ns", eps0_ns, 0)

@@ -20,7 +20,7 @@ use axsnn::tensor::batched::{sparse_matmul_bias, SpikeMatrix};
 use axsnn::tensor::conv::Conv2dSpec;
 use axsnn::tensor::sparse::{sparse_matvec_bias, SpikeVector};
 use axsnn::tensor::{init, Tensor};
-use axsnn_bench::json::{write_bench_json, BenchRow};
+use axsnn_bench::json::{bench_row, write_bench_json, BenchRow};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -251,8 +251,7 @@ fn main() {
                 r.fused_ns,
                 r.speedup()
             );
-            BenchRow::new()
-                .str("name", &r.name)
+            bench_row(&r.name)
                 .num("density", r.density as f64, 2)
                 .num("batch", BATCH as f64, 0)
                 .num("sequential_ns", r.sequential_ns, 0)

@@ -33,7 +33,7 @@ use axsnn::tensor::batched::{sparse_conv2d_batch_sorted_into, SpikeMatrix};
 use axsnn::tensor::conv::Conv2dSpec;
 use axsnn::tensor::sparse::{sparse_conv2d_into, SpikeVector};
 use axsnn::tensor::{init, Tensor};
-use axsnn_bench::json::{write_bench_json, BenchRow};
+use axsnn_bench::json::{bench_row, write_bench_json, BenchRow};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -294,8 +294,7 @@ fn main() {
                 r.sorted_ns,
                 r.speedup()
             );
-            BenchRow::new()
-                .str("name", &r.name)
+            bench_row(&r.name)
                 .num("density", r.density as f64, 2)
                 .num("batch", BATCH as f64, 0)
                 .num("hardware_threads", hardware_threads as f64, 0)

@@ -9,7 +9,7 @@
 
 use axsnn_bench::gates::{check_bench_file, FLOOR_TABLE};
 
-const DEFAULT_FILES: [&str; 9] = [
+const DEFAULT_FILES: [&str; 10] = [
     "BENCH_sparse.json",
     "BENCH_batch.json",
     "BENCH_train.json",
@@ -19,6 +19,7 @@ const DEFAULT_FILES: [&str; 9] = [
     "BENCH_serve.json",
     "BENCH_quant.json",
     "BENCH_stream.json",
+    "BENCH_simd.json",
 ];
 
 fn main() {
@@ -38,9 +39,14 @@ fn main() {
     }
 
     let mut failed = false;
+    let mut provenance: Vec<String> = Vec::new();
     for file in &files {
         match check_bench_file(file) {
             Ok(report) => {
+                // ISA provenance: a floor number means nothing without
+                // knowing what hardware and dispatch produced it.
+                let isa = report.isa.as_deref().unwrap_or("isa not recorded");
+                provenance.push(format!("{file}: {isa}"));
                 for note in &report.notes {
                     println!("note: {note}");
                 }
@@ -49,7 +55,7 @@ fn main() {
                 }
                 if report.failures.is_empty() {
                     println!(
-                        "{file}: ok — {} records, {} gated, all floors hold",
+                        "{file}: ok — {} records, {} gated, all floors hold [{isa}]",
                         report.total, report.gated
                     );
                 } else {
@@ -64,8 +70,13 @@ fn main() {
     }
     if failed {
         // A regression report should carry the complete trajectory
-        // context, not just the violated rows: print every enforced
-        // floor so the reader sees where the failing ratio sits.
+        // context, not just the violated rows: print where each
+        // artifact's numbers came from, then every enforced floor so
+        // the reader sees where the failing ratio sits.
+        eprintln!("\nartifact provenance:");
+        for line in &provenance {
+            eprintln!("  {line}");
+        }
         eprintln!("\nfull floor table (see axsnn_bench::gates):");
         let width = FLOOR_TABLE
             .iter()

@@ -37,7 +37,7 @@ use axsnn::tensor::conv::Conv2dSpec;
 use axsnn::tensor::plane::QuantizedPlane;
 use axsnn::tensor::sparse::{sparse_matvec_bias, sparse_matvec_bias_planed, SpikeVector};
 use axsnn::tensor::{init, Tensor};
-use axsnn_bench::json::{write_bench_json, BenchRow};
+use axsnn_bench::json::{bench_row, write_bench_json, BenchRow};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -73,14 +73,32 @@ fn iters() -> u32 {
         .unwrap_or(20)
 }
 
-fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+/// Times the f32 and planed sides **interleaved** (alternating
+/// measurement blocks, best-of-5 per side) instead of sequentially.
+/// Back-to-back single measurements on a shared core let one side
+/// absorb all the cache warm-up or a neighbour's noise burst and skew
+/// the ratio; alternating blocks give both sides the same conditions
+/// and the minimum discards interference — the floors gate the ratio,
+/// not the absolute times.
+fn time_pair<FA: FnMut(), FB: FnMut()>(mut f32_side: FA, mut planed_side: FB) -> (f64, f64) {
+    const REPS: usize = 5;
     let n = iters();
-    f(); // warmup
-    let start = Instant::now();
-    for _ in 0..n {
-        f();
+    f32_side(); // warmup
+    planed_side();
+    let mut best = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for _ in 0..n {
+            f32_side();
+        }
+        best.0 = best.0.min(start.elapsed().as_nanos() as f64 / n as f64);
+        let start = Instant::now();
+        for _ in 0..n {
+            planed_side();
+        }
+        best.1 = best.1.min(start.elapsed().as_nanos() as f64 / n as f64);
     }
-    start.elapsed().as_nanos() as f64 / n as f64
+    best
 }
 
 fn hash_unit(i: usize, salt: u64) -> f32 {
@@ -124,12 +142,14 @@ fn matvec_records(records: &mut Vec<KernelRecord>, density: f32) {
     let x = SpikeVector::from_dense(&spike_frame(IN, density, &[IN], 7)).expect("binary frame");
     for plane in PLANES {
         let (quant, deq) = planed_pair(&weight, plane);
-        let f32_ns = time_ns(|| {
-            black_box(sparse_matvec_bias(black_box(&deq), &x, &bias).unwrap());
-        });
-        let planed_ns = time_ns(|| {
-            black_box(sparse_matvec_bias_planed(quant.view(), (OUT, IN), &x, &bias).unwrap());
-        });
+        let (f32_ns, planed_ns) = time_pair(
+            || {
+                black_box(sparse_matvec_bias(black_box(&deq), &x, &bias).unwrap());
+            },
+            || {
+                black_box(sparse_matvec_bias_planed(quant.view(), (OUT, IN), &x, &bias).unwrap());
+            },
+        );
         let a = sparse_matvec_bias(&deq, &x, &bias).unwrap();
         let b = sparse_matvec_bias_planed(quant.view(), (OUT, IN), &x, &bias).unwrap();
         assert_eq!(a.as_slice(), b.as_slice(), "{plane} matvec diverged");
@@ -159,12 +179,16 @@ fn gemm_records(records: &mut Vec<KernelRecord>, density: f32) {
     let batch = SpikeMatrix::from_rows(&rows).unwrap();
     for plane in PLANES {
         let (quant, deq) = planed_pair(&weight, plane);
-        let f32_ns = time_ns(|| {
-            black_box(sparse_matmul_bias(black_box(&deq), &batch, &bias).unwrap());
-        });
-        let planed_ns = time_ns(|| {
-            black_box(sparse_matmul_bias_planed(quant.view(), (OUT, IN), &batch, &bias).unwrap());
-        });
+        let (f32_ns, planed_ns) = time_pair(
+            || {
+                black_box(sparse_matmul_bias(black_box(&deq), &batch, &bias).unwrap());
+            },
+            || {
+                black_box(
+                    sparse_matmul_bias_planed(quant.view(), (OUT, IN), &batch, &bias).unwrap(),
+                );
+            },
+        );
         let a = sparse_matmul_bias(&deq, &batch, &bias).unwrap();
         let b = sparse_matmul_bias_planed(quant.view(), (OUT, IN), &batch, &bias).unwrap();
         assert_eq!(a.as_slice(), b.as_slice(), "{plane} GEMM diverged");
@@ -215,30 +239,32 @@ fn conv_records(records: &mut Vec<KernelRecord>, density: f32) {
     let mut block_b = vec![0.0f32; BATCH * n];
     for plane in PLANES {
         let (quant, deq) = planed_pair(&weight, plane);
-        let f32_ns = time_ns(|| {
-            sparse_conv2d_batch_sorted_into(
-                black_box(&batch),
-                (h, w),
-                &deq,
-                &bias,
-                &spec,
-                &mut block_a,
-            )
-            .unwrap();
-            black_box(&block_a);
-        });
-        let planed_ns = time_ns(|| {
-            sparse_conv2d_batch_sorted_planed_into(
-                black_box(&batch),
-                (h, w),
-                quant.view(),
-                &bias,
-                &spec,
-                &mut block_b,
-            )
-            .unwrap();
-            black_box(&block_b);
-        });
+        let (f32_ns, planed_ns) = time_pair(
+            || {
+                sparse_conv2d_batch_sorted_into(
+                    black_box(&batch),
+                    (h, w),
+                    &deq,
+                    &bias,
+                    &spec,
+                    &mut block_a,
+                )
+                .unwrap();
+                black_box(&block_a);
+            },
+            || {
+                sparse_conv2d_batch_sorted_planed_into(
+                    black_box(&batch),
+                    (h, w),
+                    quant.view(),
+                    &bias,
+                    &spec,
+                    &mut block_b,
+                )
+                .unwrap();
+                black_box(&block_b);
+            },
+        );
         assert_eq!(block_a, block_b, "{plane} batched conv diverged");
         records.push(KernelRecord {
             name: format!("quant_conv_{}_8to16_k5_14x14_B{BATCH}", plane.name()),
@@ -338,8 +364,7 @@ fn main() {
                 r.planed_ns,
                 r.speedup()
             );
-            BenchRow::new()
-                .str("name", &r.name)
+            bench_row(&r.name)
                 .num("density", r.density as f64, 2)
                 .num("bits_per_weight", r.bits as f64, 0)
                 .num("hardware_threads", hardware_threads as f64, 0)
@@ -355,8 +380,7 @@ fn main() {
             r.name, r.samples, r.agreement_pct, delta
         );
         rows.push(
-            BenchRow::new()
-                .str("name", &r.name)
+            bench_row(&r.name)
                 .num("samples", r.samples as f64, 0)
                 .num("agreement_pct", r.agreement_pct, 2)
                 .num("accuracy_delta_points", delta, 2),

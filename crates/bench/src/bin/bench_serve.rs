@@ -30,7 +30,7 @@ use axsnn::serve::{
     run_open_loop, InferenceService, Request, ServeConfig, TrafficConfig, TrafficPhase,
 };
 use axsnn::tensor::Tensor;
-use axsnn_bench::json::{write_bench_json, BenchRow};
+use axsnn_bench::json::{bench_row, write_bench_json};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
@@ -256,8 +256,7 @@ fn main() {
     chaos_service.shutdown();
 
     let rows = vec![
-        BenchRow::new()
-            .str("name", &format!("serve_throughput_c{CONCURRENCY}"))
+        bench_row(&format!("serve_throughput_c{CONCURRENCY}"))
             .num("concurrency", CONCURRENCY as f64, 0)
             .num("requests", n_requests as f64, 0)
             .num("workers", WORKERS as f64, 0)
@@ -265,16 +264,14 @@ fn main() {
             .num("sequential_ns", sequential, 0)
             .num("served_ns", served, 0)
             .num("speedup", speedup, 3),
-        BenchRow::new()
-            .str("name", "serve_latency_steady")
+        bench_row("serve_latency_steady")
             .num("rate_hz", rate_hz, 0)
             .num("requests", steady_report.attempted as f64, 0)
             .num("direct_us", direct_us, 1)
             .num("p50_us", m.p50_latency_us as f64, 0)
             .num("p99_us", m.p99_latency_us as f64, 0)
             .num("p99_over_direct", p99_over_direct, 2),
-        BenchRow::new()
-            .str("name", "serve_robust_chaos")
+        bench_row("serve_robust_chaos")
             .num("attempted", chaos_report.attempted as f64, 0)
             .num("completed", chaos_report.completed as f64, 0)
             .num("expired", chaos_report.expired as f64, 0)

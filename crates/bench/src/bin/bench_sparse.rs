@@ -14,7 +14,7 @@ use axsnn::core::network::{SnnConfig, SpikingNetwork};
 use axsnn::tensor::conv::{conv2d, Conv2dSpec};
 use axsnn::tensor::sparse::{sparse_conv2d, sparse_matvec_bias, SpikeVector};
 use axsnn::tensor::{init, linalg, Tensor};
-use axsnn_bench::json::{write_bench_json, BenchRow};
+use axsnn_bench::json::{bench_row, write_bench_json, BenchRow};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -216,8 +216,7 @@ fn main() {
                 r.sparse_ns,
                 r.speedup()
             );
-            BenchRow::new()
-                .str("name", &r.name)
+            bench_row(&r.name)
                 .num("density", r.density as f64, 2)
                 .num("dense_ns", r.dense_ns, 0)
                 .num("sparse_ns", r.sparse_ns, 0)

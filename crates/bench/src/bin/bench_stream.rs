@@ -36,7 +36,7 @@ use axsnn::neuromorphic::stream::{
     classify_event_stream, StreamConfig, StreamSession, WindowSchedule,
 };
 use axsnn::tensor::conv::Conv2dSpec;
-use axsnn_bench::json::{write_bench_json, BenchRow};
+use axsnn_bench::json::{bench_row, write_bench_json, BenchRow};
 use rand::rngs::mock::StepRng;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -293,8 +293,7 @@ fn main() {
                 r.streamed_ns,
                 r.speedup()
             );
-            BenchRow::new()
-                .str("name", &r.name)
+            bench_row(&r.name)
                 .num("events", r.events as f64, 0)
                 .num("windows", r.windows as f64, 0)
                 .num("hardware_threads", hardware_threads as f64, 0)
@@ -312,8 +311,7 @@ fn main() {
         tp_rate
     );
     rows.push(
-        BenchRow::new()
-            .str("name", "stream_event_throughput_50000ev")
+        bench_row("stream_event_throughput_50000ev")
             .num("events", tp_events as f64, 0)
             .num("windows", T as f64, 0)
             .num("hardware_threads", hardware_threads as f64, 0)

@@ -24,7 +24,7 @@
 
 use axsnn::core::json::Json;
 use axsnn::defense::journal::{fnv1a, GridFingerprint, GridSweep, SweepOptions};
-use axsnn_bench::json::{write_bench_json, BenchRow};
+use axsnn_bench::json::{bench_row, write_bench_json};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -115,14 +115,12 @@ fn main() {
 
     let (cold, journaled, resume) = (median(cold_ns), median(journaled_ns), median(resume_ns));
     let rows = vec![
-        BenchRow::new()
-            .str("name", &format!("sweep_journal_overhead_{CELLS}cells"))
+        bench_row(&format!("sweep_journal_overhead_{CELLS}cells"))
             .num("cells", CELLS as f64, 0)
             .num("cold_ns", cold, 0)
             .num("journaled_ns", journaled, 0)
             .num("speedup", cold / journaled.max(1.0), 3),
-        BenchRow::new()
-            .str("name", &format!("sweep_resume_replay_{CELLS}cells"))
+        bench_row(&format!("sweep_resume_replay_{CELLS}cells"))
             .num("cells", CELLS as f64, 0)
             .num("cold_ns", cold, 0)
             .num("resume_ns", resume, 0)

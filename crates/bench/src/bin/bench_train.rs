@@ -24,7 +24,7 @@ use axsnn::core::layer::Layer;
 use axsnn::core::network::{SnnConfig, SpikingNetwork};
 use axsnn::tensor::conv::Conv2dSpec;
 use axsnn::tensor::Tensor;
-use axsnn_bench::json::{write_bench_json, BenchRow};
+use axsnn_bench::json::{bench_row, write_bench_json, BenchRow};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -53,14 +53,33 @@ fn iters() -> u32 {
         .unwrap_or(10)
 }
 
-fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+/// Times the dense and sparse sides **interleaved** (alternating
+/// measurement blocks, best-of-5 per side) instead of sequentially.
+/// Back-to-back sequential timings on a single shared core let one
+/// side absorb all the cache warm-up or a neighbour's noise burst and
+/// skew the ratio by 2×; alternating blocks give both sides the same
+/// cache and scheduler conditions, and the minimum discards
+/// interference — the gated floors need the ratio, not the absolute
+/// times.
+fn time_pair<FA: FnMut(), FB: FnMut()>(mut dense: FA, mut sparse: FB) -> (f64, f64) {
+    const REPS: usize = 5;
     let n = iters();
-    f(); // warmup
-    let start = Instant::now();
-    for _ in 0..n {
-        f();
+    dense(); // warmup
+    sparse();
+    let mut best = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for _ in 0..n {
+            dense();
+        }
+        best.0 = best.0.min(start.elapsed().as_nanos() as f64 / n as f64);
+        let start = Instant::now();
+        for _ in 0..n {
+            sparse();
+        }
+        best.1 = best.1.min(start.elapsed().as_nanos() as f64 / n as f64);
     }
-    start.elapsed().as_nanos() as f64 / n as f64
+    best
 }
 
 fn spike_frame(len: usize, density: f32, dims: &[usize], salt: u64) -> Tensor {
@@ -183,10 +202,11 @@ fn tape_record(
 
     let mut dense_net = net.clone();
     dense_net.set_sparse_threshold(0.0);
-    let dense_ns = time_ns(|| per_sample_step(&mut dense_net, &frames, &grad));
-
     let mut sparse_net = net.clone();
-    let sparse_ns = time_ns(|| per_sample_step(&mut sparse_net, &frames, &grad));
+    let (dense_ns, sparse_ns) = time_pair(
+        || per_sample_step(&mut dense_net, &frames, &grad),
+        || per_sample_step(&mut sparse_net, &frames, &grad),
+    );
 
     // Sanity: the two tapes must produce the same gradients.
     let mut rng = StdRng::seed_from_u64(1);
@@ -251,26 +271,27 @@ fn minibatch_record(
 
     let mut dense_net = net.clone();
     dense_net.set_sparse_threshold(0.0);
-    let dense_ns = time_ns(|| {
-        dense_net.zero_grads();
-        for frames in &materialized {
-            let mut rng = StdRng::seed_from_u64(7);
-            black_box(dense_net.forward(frames, true, &mut rng).unwrap());
-            black_box(dense_net.backward(&grad_row, TIME_STEPS).unwrap());
-        }
-        dense_net.apply_grads(0.01, 0.9).unwrap();
-    });
-
     let mut fused_net = net.clone();
-    let sparse_ns = time_ns(|| {
-        fused_net.zero_grads();
-        let (out, tape) = fused_net
-            .forward_batch_recorded(black_box(&trains))
-            .unwrap();
-        black_box(out);
-        fused_net.backward_batch(&tape, &grad_block).unwrap();
-        fused_net.apply_grads(0.01, 0.9).unwrap();
-    });
+    let (dense_ns, sparse_ns) = time_pair(
+        || {
+            dense_net.zero_grads();
+            for frames in &materialized {
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(dense_net.forward(frames, true, &mut rng).unwrap());
+                black_box(dense_net.backward(&grad_row, TIME_STEPS).unwrap());
+            }
+            dense_net.apply_grads(0.01, 0.9).unwrap();
+        },
+        || {
+            fused_net.zero_grads();
+            let (out, tape) = fused_net
+                .forward_batch_recorded(black_box(&trains))
+                .unwrap();
+            black_box(out);
+            fused_net.backward_batch(&tape, &grad_block).unwrap();
+            fused_net.apply_grads(0.01, 0.9).unwrap();
+        },
+    );
 
     records.push(Record {
         name: name.into(),
@@ -329,8 +350,7 @@ fn main() {
                 r.sparse_ns,
                 r.speedup()
             );
-            BenchRow::new()
-                .str("name", &r.name)
+            bench_row(&r.name)
                 .num("density", r.density as f64, 2)
                 .num("time_steps", TIME_STEPS as f64, 0)
                 .num("dense_tape_ns", r.dense_ns, 0)

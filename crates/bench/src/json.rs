@@ -43,6 +43,21 @@ impl BenchRow {
     }
 }
 
+/// Starts a bench record with the shared leading fields every bench bin
+/// emits: the record `name`, the detected CPU `isa_features`
+/// (`AXSNN_NO_SIMD`-independent, e.g. `"avx2,fma,f16c"`) and the
+/// `dispatch` the tensor kernels actually selected in this process
+/// (`"avx2"` or `"scalar"`). Floors gate on measured speedups, so the
+/// gate needs to know *what hardware and dispatch produced the number*
+/// — `bench_gate` prints both next to its FLOOR_TABLE and skips
+/// SIMD-vs-scalar floors when the dispatch was already scalar.
+pub fn bench_row(name: &str) -> BenchRow {
+    BenchRow::new()
+        .str("name", name)
+        .str("isa_features", axsnn::tensor::simd::detected_features())
+        .str("dispatch", axsnn::tensor::simd::isa_label())
+}
+
 /// Serializes bench records in the shared `BENCH_*.json` layout (one
 /// object per line inside a flat array) and writes them to `path`.
 ///

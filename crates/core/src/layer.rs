@@ -51,8 +51,9 @@
 
 use crate::lif::{LifParams, LifState};
 use crate::network::SnnConfig;
-use crate::plan::KernelPolicy;
+use crate::plan::{ConvBatchKernel, KernelPolicy};
 use crate::{CoreError, Result};
+use axsnn_tensor::batched::sparse_conv2d_sorted;
 use axsnn_tensor::conv::{self, Conv2dSpec};
 use axsnn_tensor::plane::{QuantizedPlane, WeightPlane};
 use axsnn_tensor::sparse::{self, SpikeVector};
@@ -693,6 +694,20 @@ impl Layer {
                     l.policy.admit(input)
                 };
                 let current = match &sparse_input {
+                    // The plan's conv-batch choice applies at B=1 too:
+                    // the event-sorted sweep streams the weight stencil
+                    // with contiguous segment-adds (bit-identical to the
+                    // per-event scatter), which pays off for the paper's
+                    // k=5 stencils even on a single frame.
+                    Some(events) if l.policy.conv_batch() == ConvBatchKernel::EventSorted => {
+                        sparse_conv2d_sorted(
+                            events,
+                            (idims[1], idims[2]),
+                            l.eff_weight(),
+                            l.eff_bias(),
+                            &l.spec,
+                        )?
+                    }
                     Some(events) => sparse::sparse_conv2d(
                         events,
                         (idims[1], idims[2]),

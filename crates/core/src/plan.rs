@@ -469,8 +469,26 @@ impl ExecPlan {
             .collect()
     }
 
+    /// The instruction-set backend the tensor kernels dispatch to in
+    /// this process — the plan's ISA dimension. `"avx2"` when runtime
+    /// detection found AVX2+FMA and `AXSNN_NO_SIMD` is unset, else
+    /// `"scalar"`. Unlike the per-layer choices it is process-global
+    /// and resolved live rather than stored, so a deserialized network
+    /// snapshot re-resolves it on the machine it actually runs on (both
+    /// backends are bit-identical, so the plan stays portable).
+    pub fn isa(&self) -> &'static str {
+        axsnn_tensor::simd::isa_label()
+    }
+
+    /// The detected CPU feature list (e.g. `"avx2,fma,f16c"`),
+    /// independent of the `AXSNN_NO_SIMD` override — what the bench
+    /// records store so perf floors stay hardware-aware.
+    pub fn isa_features(&self) -> &'static str {
+        axsnn_tensor::simd::detected_features()
+    }
+
     /// A compact human-readable table of the plan (bench/scenario
-    /// diagnostics).
+    /// diagnostics), ending with the process-global ISA dimension.
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;
         let mut out =
@@ -503,6 +521,12 @@ impl ExecPlan {
                 entry.kind, choice, conv, plane, eligible
             );
         }
+        let _ = writeln!(
+            out,
+            "isa: {} (detected: {}; AXSNN_NO_SIMD=1 forces scalar)",
+            self.isa(),
+            self.isa_features()
+        );
         out
     }
 }

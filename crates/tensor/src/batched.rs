@@ -234,7 +234,45 @@ fn gather_row_x4<L: WeightLane>(rows: [L; 4], indices: &[u32], init: [f32; 4], o
 
 fn sparse_matmul_impl(w: &Tensor, x: &SpikeMatrix, bias: Option<&Tensor>) -> Vec<f32> {
     let dims = w.shape().dims();
-    sparse_matmul_lane_impl(F32Lane(w.as_slice()), dims[0], dims[1], x, bias)
+    let (m, k) = (dims[0], dims[1]);
+    let wv = w.as_slice();
+    let b = x.rows();
+    let mut out = vec![0.0f32; b * m];
+    let mut o = 0usize;
+    if crate::simd::active() && crate::simd::indices_in_bounds(&x.indices, k) {
+        // 8-row AVX2 tiles: each vector lane owns one output row, so the
+        // per-output accumulation order — and the result — is
+        // bit-identical to the scalar tiles below. When the batch
+        // gathers at least one tile's worth of elements (nnz ≥ k), the
+        // tile is transposed into a contiguous panel once per batch so
+        // the inner loop trades 8-way gathers for contiguous loads;
+        // matvec-shaped calls (nnz < k) keep the gather kernel, whose
+        // setup is free.
+        let pack = x.nnz() >= k;
+        let mut panel = vec![0.0f32; if pack { crate::simd::ROW_LANES * k } else { 0 }];
+        while o + crate::simd::ROW_LANES <= m {
+            let rows = &wv[o * k..(o + crate::simd::ROW_LANES) * k];
+            let mut init = [0.0f32; crate::simd::ROW_LANES];
+            if let Some(bias) = bias {
+                init.copy_from_slice(&bias.as_slice()[o..o + crate::simd::ROW_LANES]);
+            }
+            if pack {
+                crate::simd::pack_rows8(rows, k, &mut panel);
+                for r in 0..b {
+                    let dst = &mut out[r * m + o..r * m + o + crate::simd::ROW_LANES];
+                    crate::simd::matmul_panel8(&panel, k, x.row(r), &init, dst);
+                }
+            } else {
+                for r in 0..b {
+                    let dst = &mut out[r * m + o..r * m + o + crate::simd::ROW_LANES];
+                    crate::simd::matvec_rows8(rows, k, x.row(r), &init, dst);
+                }
+            }
+            o += crate::simd::ROW_LANES;
+        }
+    }
+    matmul_lane_tiles(F32Lane(wv), m, k, x, bias, o, &mut out);
+    out
 }
 
 fn sparse_matmul_lane_impl<L: WeightLane>(
@@ -244,12 +282,29 @@ fn sparse_matmul_lane_impl<L: WeightLane>(
     x: &SpikeMatrix,
     bias: Option<&Tensor>,
 ) -> Vec<f32> {
+    let mut out = vec![0.0f32; x.rows() * m];
+    matmul_lane_tiles(wv, m, k, x, bias, 0, &mut out);
+    out
+}
+
+/// The portable scalar tile sweep over output rows `o0..m` — the single
+/// source of truth for GEMM semantics. Every dispatcher above finishes
+/// here: either from row 0 (scalar mode) or from the first row the
+/// 8-wide AVX2 tiles left over.
+fn matmul_lane_tiles<L: WeightLane>(
+    wv: L,
+    m: usize,
+    k: usize,
+    x: &SpikeMatrix,
+    bias: Option<&Tensor>,
+    o0: usize,
+    out: &mut [f32],
+) {
     let b = x.rows();
-    let mut out = vec![0.0f32; b * m];
     // Weight-row tiles of 4 stay L1-resident while all B index lists
     // gather against them — weight traffic is per *batch*, not per
     // sample, and each index load feeds 4 rows.
-    let mut o = 0usize;
+    let mut o = o0;
     while o + 4 <= m {
         let rows = [
             wv.slice(o * k, (o + 1) * k),
@@ -277,7 +332,6 @@ fn sparse_matmul_lane_impl<L: WeightLane>(
         }
         o += 1;
     }
-    out
 }
 
 /// Batched sparse product `Y = S · Wᵀ` for a CSR spike batch `S` of
@@ -322,6 +376,30 @@ pub fn sparse_matmul_bias(w: &Tensor, x: &SpikeMatrix, bias: &Tensor) -> Result<
     Tensor::from_vec(out, &[x.rows(), m])
 }
 
+/// The portable scalar reference for [`sparse_matmul_bias`]: always the
+/// 4-row unrolled tile loop, never the runtime-dispatched AVX2 tiles.
+///
+/// [`sparse_matmul_bias`] is bit-identical to this by construction
+/// (pinned by the `simd_equivalence` suite); `bench_simd` measures the
+/// dispatched kernel against it. Production callers want
+/// [`sparse_matmul_bias`], which picks the fastest equivalent path.
+///
+/// # Errors
+///
+/// As [`sparse_matmul_bias`].
+pub fn sparse_matmul_bias_scalar(w: &Tensor, x: &SpikeMatrix, bias: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_weight(w, x.cols(), "sparse_matmul_bias")?;
+    if bias.len() != m {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![m, k],
+            rhs: bias.shape().dims().to_vec(),
+            op: "sparse_matmul_bias",
+        });
+    }
+    let out = sparse_matmul_lane_impl(F32Lane(w.as_slice()), m, k, x, Some(bias));
+    Tensor::from_vec(out, &[x.rows(), m])
+}
+
 /// [`sparse_matmul_bias`] streaming a reduced-precision weight plane:
 /// each weight is dequantized in-register and every accumulate stays in
 /// f32, with the same 4-row tiling and gather order as the f32 kernel —
@@ -346,6 +424,49 @@ pub fn sparse_matmul_bias_planed(
     bias: &Tensor,
 ) -> Result<Tensor> {
     let (m, k) = shape;
+    check_planed(weights, shape, x, bias)?;
+    let out = match weights {
+        PlaneView::F16(bits) => matmul_planed_dispatch(F16Lane(bits), m, k, x, bias),
+        PlaneView::Int8 { codes, levels } => {
+            matmul_planed_dispatch(Int8Lane { codes, levels }, m, k, x, bias)
+        }
+    };
+    Tensor::from_vec(out, &[x.rows(), m])
+}
+
+/// The portable scalar reference for [`sparse_matmul_bias_planed`]:
+/// always the per-element in-register lane decode through the 4-row
+/// tiles — no blocked dequantization, no AVX2. The dispatched kernel is
+/// bit-identical to this by construction (pinned by `simd_equivalence`);
+/// `bench_simd` measures against it.
+///
+/// # Errors
+///
+/// As [`sparse_matmul_bias_planed`].
+pub fn sparse_matmul_bias_planed_scalar(
+    weights: PlaneView<'_>,
+    shape: (usize, usize),
+    x: &SpikeMatrix,
+    bias: &Tensor,
+) -> Result<Tensor> {
+    let (m, k) = shape;
+    check_planed(weights, shape, x, bias)?;
+    let out = match weights {
+        PlaneView::F16(bits) => sparse_matmul_lane_impl(F16Lane(bits), m, k, x, Some(bias)),
+        PlaneView::Int8 { codes, levels } => {
+            sparse_matmul_lane_impl(Int8Lane { codes, levels }, m, k, x, Some(bias))
+        }
+    };
+    Tensor::from_vec(out, &[x.rows(), m])
+}
+
+fn check_planed(
+    weights: PlaneView<'_>,
+    shape: (usize, usize),
+    x: &SpikeMatrix,
+    bias: &Tensor,
+) -> Result<()> {
+    let (m, k) = shape;
     if weights.len() != m * k {
         return Err(TensorError::LengthMismatch {
             expected: m * k,
@@ -366,13 +487,79 @@ pub fn sparse_matmul_bias_planed(
             op: "sparse_matmul_bias_planed",
         });
     }
-    let out = match weights {
-        PlaneView::F16(bits) => sparse_matmul_lane_impl(F16Lane(bits), m, k, x, Some(bias)),
-        PlaneView::Int8 { codes, levels } => {
-            sparse_matmul_lane_impl(Int8Lane { codes, levels }, m, k, x, Some(bias))
+    Ok(())
+}
+
+/// Planed GEMM dispatcher: **blocked dequantization** when the batch
+/// re-reads each weight tile often enough to amortize the decode.
+///
+/// The per-element lane path decodes one weight per gathered element —
+/// `O(nnz)` decodes *per tile*, which is why the planed GEMM historically
+/// regressed below the f32 kernel (int8 0.69×, f16 0.19×: the 255-entry
+/// LUT walk / f16 bit-twiddle sat inside the innermost gather). Decoding
+/// the tile into an f32 block once per batch costs `O(tile·k)` and drops
+/// the inner loop to plain f32 gathers, so the block pays for itself
+/// exactly when the batch gathers at least `k` elements (`nnz ≥ k`).
+/// Matvec-shaped calls below that keep the in-register lane decode.
+///
+/// Bit-identity: `decode_into` reproduces `load` bit for bit, and the
+/// f32 tile kernels run the same accumulation order as the lane tiles —
+/// so both blocked paths equal the scalar lane path exactly.
+fn matmul_planed_dispatch<L: WeightLane>(
+    wv: L,
+    m: usize,
+    k: usize,
+    x: &SpikeMatrix,
+    bias: &Tensor,
+) -> Vec<f32> {
+    let b = x.rows();
+    let mut out = vec![0.0f32; b * m];
+    if k > 0 && x.nnz() >= k {
+        if crate::simd::active() && crate::simd::indices_in_bounds(&x.indices, k) {
+            const LANES: usize = crate::simd::ROW_LANES;
+            let mut panel = vec![0.0f32; LANES * k];
+            let mut o = 0usize;
+            while o + LANES <= m {
+                // Fused decode-and-pack: one pass from the stored
+                // encoding straight to the index-major panel.
+                wv.slice(o * k, (o + LANES) * k).pack_panel8(k, &mut panel);
+                let mut init = [0.0f32; LANES];
+                init.copy_from_slice(&bias.as_slice()[o..o + LANES]);
+                for r in 0..b {
+                    let dst = &mut out[r * m + o..r * m + o + LANES];
+                    crate::simd::matmul_panel8(&panel, k, x.row(r), &init, dst);
+                }
+                o += LANES;
+            }
+            matmul_lane_tiles(wv, m, k, x, Some(bias), o, &mut out);
+        } else {
+            // Scalar blocked path: decode 4-row tiles and run the f32
+            // gather tile over the block — identical accumulation order
+            // to the per-element lane tile, decode hoisted out of the
+            // gather.
+            let mut block = vec![0.0f32; 4 * k];
+            let bv = bias.as_slice();
+            let mut o = 0usize;
+            while o + 4 <= m {
+                wv.slice(o * k, (o + 4) * k).decode_into(&mut block);
+                let rows = [
+                    F32Lane(&block[..k]),
+                    F32Lane(&block[k..2 * k]),
+                    F32Lane(&block[2 * k..3 * k]),
+                    F32Lane(&block[3 * k..4 * k]),
+                ];
+                let init = [bv[o], bv[o + 1], bv[o + 2], bv[o + 3]];
+                for r in 0..b {
+                    gather_row_x4(rows, x.row(r), init, &mut out[r * m + o..r * m + o + 4]);
+                }
+                o += 4;
+            }
+            matmul_lane_tiles(wv, m, k, x, Some(bias), o, &mut out);
         }
-    };
-    Tensor::from_vec(out, &[x.rows(), m])
+        return out;
+    }
+    matmul_lane_tiles(wv, m, k, x, Some(bias), 0, &mut out);
+    out
 }
 
 /// [`sparse_matmul_bias`] in the *dense accumulation order*: per output
@@ -689,6 +876,44 @@ pub fn sparse_conv2d_batch_sorted(
     let mut out = vec![0.0f32; x.rows() * n];
     sparse_conv2d_batch_sorted_into(x, in_hw, weight, bias, spec, &mut out)?;
     Tensor::from_vec(out, &[x.rows(), n])
+}
+
+/// Single-row event-sorted convolution: the B=1 form of
+/// [`sparse_conv2d_batch_sorted`], returning `[Cout, OH, OW]` like
+/// [`crate::sparse::sparse_conv2d`].
+///
+/// At B=1 the sort pass degenerates to bucketing one frame's events by
+/// input channel, but the tile sweep's payoff survives: the per-event
+/// scatter walks `Cout × K²` *strided* weight cells per event, while the
+/// sorted sweep builds each channel's kx-reversed `[Cout, K, K]` patch
+/// once and streams every event's clipped window as contiguous
+/// segment-adds. That trades one `O(nnz)` reorder for contiguous loads
+/// and stores on both sides — worthwhile for the paper's k=5 layers,
+/// where each event otherwise touches 25 strided cells per output
+/// channel. The plan layer exposes the choice through the same
+/// `ConvBatchKernel` knob as the batch form, so latency-bound serving
+/// and attack loops pick it per layer.
+///
+/// Bit-identical to [`crate::sparse::sparse_conv2d`] on the same events
+/// (same argument as the batch kernel, specialized to one row).
+///
+/// # Errors
+///
+/// As [`crate::sparse::sparse_conv2d`].
+pub fn sparse_conv2d_sorted(
+    input: &SpikeVector,
+    in_hw: (usize, usize),
+    weight: &Tensor,
+    bias: &Tensor,
+    spec: &Conv2dSpec,
+) -> Result<Tensor> {
+    let x = SpikeMatrix::from_rows(std::slice::from_ref(input))?;
+    crate::sparse::check_conv_geometry(x.cols(), in_hw, weight, spec)?;
+    let (h, w) = in_hw;
+    let (oh, ow) = spec.output_hw(h, w);
+    let mut out = vec![0.0f32; spec.out_channels * oh * ow];
+    conv_batch_sorted_lane(&x, in_hw, F32Lane(weight.as_slice()), bias, spec, &mut out)?;
+    Tensor::from_vec(out, &[spec.out_channels, oh, ow])
 }
 
 /// [`sparse_conv2d_batch_sorted`] writing into a caller-provided
@@ -1246,6 +1471,87 @@ mod tests {
                         "stride {stride} pad {padding} every {every} \
                          oc {out_channels} k {kernel} row {r}"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_row_sorted_conv_bitwise_matches_per_sample() {
+        for &(stride, padding, every, kernel) in &[
+            (1usize, 2usize, 3usize, 5usize), // the paper's k=5 shape
+            (1, 1, 2, 3),
+            (2, 0, 4, 3),
+            (1, 0, 1, 1), // 100% dense
+        ] {
+            let spec = Conv2dSpec {
+                in_channels: 2,
+                out_channels: 3,
+                kernel,
+                stride,
+                padding,
+            };
+            let (h, w) = (7, 6);
+            let weight = Tensor::from_vec(
+                (0..3 * 2 * kernel * kernel)
+                    .map(|i| (i as f32 * 0.17).sin())
+                    .collect(),
+                &[3, 2, kernel, kernel],
+            )
+            .unwrap();
+            let bias = Tensor::from_vec(vec![0.5, -1.0, 0.25], &[3]).unwrap();
+            for row in binary_rows(3, 2 * h * w, every) {
+                let sorted = sparse_conv2d_sorted(&row, (h, w), &weight, &bias, &spec).unwrap();
+                let scatter = sparse_conv2d(&row, (h, w), &weight, &bias, &spec).unwrap();
+                assert_eq!(sorted.shape().dims(), scatter.shape().dims());
+                assert_eq!(
+                    sorted.as_slice(),
+                    scatter.as_slice(),
+                    "stride {stride} pad {padding} every {every} k {kernel}"
+                );
+            }
+        }
+        // Empty frame: bias-only output.
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 2,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let empty = SpikeVector::new(vec![], 16).unwrap();
+        let bias = Tensor::from_vec(vec![0.5, -0.25], &[2]).unwrap();
+        let y = sparse_conv2d_sorted(&empty, (4, 4), &Tensor::ones(&[2, 1, 3, 3]), &bias, &spec)
+            .unwrap();
+        let reference =
+            sparse_conv2d(&empty, (4, 4), &Tensor::ones(&[2, 1, 3, 3]), &bias, &spec).unwrap();
+        assert_eq!(y.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn matmul_scalar_twins_bitwise_match_dispatched() {
+        use crate::plane::{QuantizedPlane, WeightPlane};
+        let (m, k) = (13, 9); // m % 8 ≠ 0, m % 4 ≠ 0: exercises remainders
+        let w = Tensor::from_vec(
+            (0..m * k).map(|i| (i as f32 * 0.23).sin()).collect(),
+            &[m, k],
+        )
+        .unwrap();
+        let bias = Tensor::from_vec((0..m).map(|i| i as f32 * 0.1 - 0.3).collect(), &[m]).unwrap();
+        for (b, every) in [(1usize, 3usize), (4, 1), (9, 2)] {
+            let batch = SpikeMatrix::from_rows(&binary_rows(b, k, every)).unwrap();
+            let fast = sparse_matmul_bias(&w, &batch, &bias).unwrap();
+            let scalar = sparse_matmul_bias_scalar(&w, &batch, &bias).unwrap();
+            assert_eq!(fast.as_slice(), scalar.as_slice(), "b {b} every {every}");
+            for plane in [WeightPlane::F16, WeightPlane::Int8] {
+                let q = QuantizedPlane::quantize(w.as_slice(), plane)
+                    .unwrap()
+                    .unwrap();
+                let fast = sparse_matmul_bias_planed(q.view(), (m, k), &batch, &bias).unwrap();
+                let scalar =
+                    sparse_matmul_bias_planed_scalar(q.view(), (m, k), &batch, &bias).unwrap();
+                for (a, r) in fast.as_slice().iter().zip(scalar.as_slice()) {
+                    assert_eq!(a.to_bits(), r.to_bits(), "{plane} b {b} every {every}");
                 }
             }
         }

@@ -9,9 +9,12 @@
 //! ([`sparse`]), batched spike-plane GEMM kernels that amortize weight
 //! traffic across B samples ([`batched`]), deterministic per-shard
 //! gradient buffers for thread-count-invariant parallel backward passes
-//! ([`grads`]), weight initializers ([`init`]), and reduced-precision
+//! ([`grads`]), weight initializers ([`init`]), reduced-precision
 //! weight storage planes that let the gather-bound kernels stream
-//! int8/f16 weights while accumulating in f32 ([`plane`]).
+//! int8/f16 weights while accumulating in f32 ([`plane`]), and a
+//! runtime-dispatched AVX2 backend for the gather-bound kernels whose
+//! results stay bit-identical to the portable scalar truth path
+//! ([`simd`], `AXSNN_NO_SIMD` forces scalar).
 //!
 //! The paper's authors used a Python deep-learning stack as their substrate;
 //! no equivalent mature crate exists offline, so this crate implements the
@@ -43,7 +46,11 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the [`simd`] module is the one sanctioned
+// `unsafe` island (std::arch intrinsics behind runtime detection); every
+// other module stays safe Rust and cannot opt out silently — an
+// `allow(unsafe_code)` outside `simd.rs` is a review flag.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
@@ -57,6 +64,7 @@ pub mod init;
 pub mod linalg;
 pub mod ops;
 pub mod plane;
+pub mod simd;
 pub mod sparse;
 
 pub use error::TensorError;

@@ -357,6 +357,23 @@ pub(crate) trait WeightLane: Copy {
     fn load(&self, i: usize) -> f32;
     /// The sub-lane covering `lo..hi`.
     fn slice(&self, lo: usize, hi: usize) -> Self;
+    /// Blocked dequantization: decodes elements `0..dst.len()` into
+    /// `dst`, element `i` bit-identical to `self.load(i)`. The batched
+    /// kernels use this to materialize a weight panel once per tile per
+    /// batch instead of re-decoding per `(event, output)` pair; the
+    /// reduced-precision lanes route through the SIMD decoders when
+    /// [`crate::simd::active`].
+    fn decode_into(&self, dst: &mut [f32]);
+    /// Fused panel pack for an 8-row tile (`self.len() == 8·k`): writes
+    /// `panel[j·8 + l]` = element `l·k + j`, each bit-identical to
+    /// `self.load(l·k + j)`. One pass from the stored encoding straight
+    /// to the index-major panel — decoding to an f32 block and then
+    /// transposing would cost an extra write+read round trip over the
+    /// tile per batch. The f32 impl requires [`crate::simd::active`]
+    /// (only the SIMD GEMM branch packs panels); the reduced-precision
+    /// impls degrade to scalar loops on hardware without the needed
+    /// ISA.
+    fn pack_panel8(&self, k: usize, panel: &mut [f32]);
 }
 
 /// Full-precision lane: a plain `&[f32]`.
@@ -373,6 +390,16 @@ impl WeightLane for F32Lane<'_> {
     fn slice(&self, lo: usize, hi: usize) -> Self {
         F32Lane(&self.0[lo..hi])
     }
+
+    #[inline]
+    fn decode_into(&self, dst: &mut [f32]) {
+        dst.copy_from_slice(&self.0[..dst.len()]);
+    }
+
+    #[inline]
+    fn pack_panel8(&self, k: usize, panel: &mut [f32]) {
+        crate::simd::pack_rows8(self.0, k, panel);
+    }
 }
 
 /// Half-precision lane: converts each 16-bit pattern in-register.
@@ -388,6 +415,16 @@ impl WeightLane for F16Lane<'_> {
     #[inline(always)]
     fn slice(&self, lo: usize, hi: usize) -> Self {
         F16Lane(&self.0[lo..hi])
+    }
+
+    #[inline]
+    fn decode_into(&self, dst: &mut [f32]) {
+        crate::simd::decode_f16(&self.0[..dst.len()], dst);
+    }
+
+    #[inline]
+    fn pack_panel8(&self, k: usize, panel: &mut [f32]) {
+        crate::simd::pack_panel8_f16(self.0, k, panel);
     }
 }
 
@@ -410,6 +447,16 @@ impl WeightLane for Int8Lane<'_> {
             codes: &self.codes[lo..hi],
             levels: self.levels,
         }
+    }
+
+    #[inline]
+    fn decode_into(&self, dst: &mut [f32]) {
+        crate::simd::decode_int8(&self.codes[..dst.len()], self.levels, dst);
+    }
+
+    #[inline]
+    fn pack_panel8(&self, k: usize, panel: &mut [f32]) {
+        crate::simd::pack_panel8_int8(self.codes, self.levels, k, panel);
     }
 }
 

@@ -1,0 +1,767 @@
+//! Runtime-dispatched x86-64 SIMD backends for the gather-bound kernels.
+//!
+//! Every sparse kernel in this crate has a **portable scalar
+//! implementation that is the single source of truth for semantics**
+//! ([`crate::sparse::gather_row`]'s 4-accumulator order and its batched
+//! relatives). This module adds AVX2 backends that execute the *same
+//! arithmetic* with 8 outputs per instruction: **lanes map to distinct
+//! output rows**, so each output's accumulation order — four partial
+//! sums over ascending index chunks combined as `(a0 + a1) + (a2 + a3)`
+//! followed by the scalar remainder tail — is unchanged, and SIMD
+//! results are **bit-identical** to the scalar kernels (pinned by the
+//! `simd_equivalence` suite in `tests/`).
+//!
+//! Dispatch is decided once per process with
+//! [`is_x86_feature_detected!`]: AVX2 + FMA select the vector backends,
+//! anything else (including non-x86 targets) keeps the scalar kernels.
+//! Setting the environment variable **`AXSNN_NO_SIMD`** (to any value)
+//! forces the scalar path — the escape hatch CI uses to keep the
+//! fallback exercised, and the first knob to reach for when triaging a
+//! suspected kernel miscompile.
+//!
+//! Three primitive shapes cover the hot paths:
+//!
+//! * [`matvec_rows8`] — gathers one index list against 8 weight rows at
+//!   once (`vgatherdps` over a row-strided offset vector): the sparse
+//!   matvec tile, also used by the spike-plane GEMM on matvec-shaped
+//!   batches.
+//! * [`pack_rows8`] / [`matmul_panel8`] — the GEMM fast path: an 8-row
+//!   weight tile is transposed once per batch into an index-major panel
+//!   (`panel[j·8 + l] = row_l[j]`), turning every per-event gather into
+//!   one contiguous 32-byte load shared by 8 output rows.
+//! * [`decode_f16`] / [`decode_int8`] — blocked dequantization for the
+//!   reduced-precision weight planes: a panel of f16 bits (F16C
+//!   `vcvtph2ps`) or int8 codes (LUT `vgatherdps`) is decoded to f32
+//!   once per tile per batch instead of per `(event, output)` pair.
+//!
+//! # Provenance
+//!
+//! Introduced in PR 10 (the ROADMAP's "explicit SIMD" single-core
+//! headroom item); bit-identity is pinned by `simd_equivalence` and the
+//! floors live in `BENCH_simd.json`.
+
+// The crate denies `unsafe_code`; the `std::arch` backends below are
+// the one sanctioned exception. Every `unsafe fn` documents the
+// contract its safe wrapper enforces, and no unsafe leaves this module.
+#![allow(unsafe_code)]
+
+use std::sync::OnceLock;
+
+/// One-time feature probe: (simd usable, f16c usable, detected list).
+struct Detection {
+    simd: bool,
+    f16c: bool,
+    features: String,
+}
+
+fn detection() -> &'static Detection {
+    static DETECTION: OnceLock<Detection> = OnceLock::new();
+    DETECTION.get_or_init(|| {
+        let disabled = std::env::var_os("AXSNN_NO_SIMD").is_some();
+        #[cfg(target_arch = "x86_64")]
+        {
+            let probes = [
+                ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+                ("fma", std::arch::is_x86_feature_detected!("fma")),
+                ("f16c", std::arch::is_x86_feature_detected!("f16c")),
+                ("avx512f", std::arch::is_x86_feature_detected!("avx512f")),
+            ];
+            let features = probes
+                .iter()
+                .filter(|(_, on)| *on)
+                .map(|(name, _)| *name)
+                .collect::<Vec<_>>()
+                .join(",");
+            let avx2 = probes[0].1 && probes[1].1;
+            Detection {
+                simd: avx2 && !disabled,
+                f16c: avx2 && probes[2].1 && !disabled,
+                features,
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = disabled;
+            Detection {
+                simd: false,
+                f16c: false,
+                features: String::new(),
+            }
+        }
+    })
+}
+
+/// Returns `true` when the AVX2 backends are selected: x86-64 with AVX2
+/// and FMA detected at runtime, and `AXSNN_NO_SIMD` not set. Decided
+/// once per process.
+pub fn active() -> bool {
+    detection().simd
+}
+
+/// The dispatch choice the kernels run under: `"avx2"` when [`active`],
+/// `"scalar"` otherwise. Recorded in every bench artifact so perf
+/// floors stay hardware-aware.
+pub fn isa_label() -> &'static str {
+    if active() {
+        "avx2"
+    } else {
+        "scalar"
+    }
+}
+
+/// Comma-separated ISA features detected on this machine (for example
+/// `"avx2,fma,f16c"`), independent of the `AXSNN_NO_SIMD` override;
+/// empty on hardware without any probed feature and on non-x86 targets.
+pub fn detected_features() -> &'static str {
+    &detection().features
+}
+
+/// Returns `true` when every index addresses a column below `k` — the
+/// bounds contract the unsafe gather kernels rely on. The event types
+/// ([`crate::sparse::SpikeVector`], [`crate::batched::SpikeMatrix`])
+/// validate this at construction; the dispatchers re-check in O(nnz) so
+/// the vector backends stay sound even against a hand-rolled index
+/// list.
+pub(crate) fn indices_in_bounds(indices: &[u32], k: usize) -> bool {
+    indices.iter().all(|&j| (j as usize) < k)
+}
+
+/// Number of output rows one vector tile covers.
+pub(crate) const ROW_LANES: usize = 8;
+
+/// Gathers `indices` against 8 consecutive weight rows at once:
+/// `out[l] = init[l] + Σ_j rows[l·k + indices[j]]` with exactly the
+/// scalar [`crate::sparse::gather_row`] accumulation order per lane.
+///
+/// # Panics
+///
+/// Panics when `rows` is not `8·k` long, `out` is shorter than 8, or an
+/// index is out of bounds for `k` — or when called without [`active`]
+/// (the dispatchers guarantee it).
+#[inline]
+pub(crate) fn matvec_rows8(
+    rows: &[f32],
+    k: usize,
+    indices: &[u32],
+    init: &[f32; 8],
+    out: &mut [f32],
+) {
+    assert!(rows.len() == ROW_LANES * k && out.len() >= ROW_LANES && active());
+    assert!(indices_in_bounds(indices, k), "spike index out of bounds");
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: AVX2 is detected (`active()` asserted above); every
+    // gather reads `rows[l·k + j]` with `l < 8` and `j < k`, in bounds
+    // of the asserted `8·k` slice; the store writes `out[0..8]`.
+    unsafe {
+        matvec_rows8_avx2(rows.as_ptr(), k, indices, init, out.as_mut_ptr());
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    unreachable!("SIMD dispatch is never active off x86-64");
+}
+
+/// Two [`matvec_rows8`] tiles sharing one walk of the index list:
+/// `out[l] = init[l] + Σ_j rows[l·k + indices[j]]` for 16 rows. Each
+/// 8-lane half keeps the exact scalar accumulation order; fusing the
+/// tiles doubles the independent gather chains in flight, which is what
+/// the L2-latency-bound matvec shape needs (the 8-row kernel leaves the
+/// out-of-order core starved for outstanding loads).
+///
+/// # Panics
+///
+/// As [`matvec_rows8`] with `16·k` rows and 16 outputs.
+#[inline]
+pub(crate) fn matvec_rows16(
+    rows: &[f32],
+    k: usize,
+    indices: &[u32],
+    init: &[f32; 16],
+    out: &mut [f32],
+) {
+    assert!(rows.len() == 2 * ROW_LANES * k && out.len() >= 2 * ROW_LANES && active());
+    assert!(indices_in_bounds(indices, k), "spike index out of bounds");
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: AVX2 is detected (`active()` asserted above); every
+    // gather reads `rows[l·k + j]` with `l < 16` and `j < k`, in bounds
+    // of the asserted `16·k` slice; the stores write `out[0..16]`.
+    unsafe {
+        matvec_rows16_avx2(rows.as_ptr(), k, indices, init, out.as_mut_ptr());
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    unreachable!("SIMD dispatch is never active off x86-64");
+}
+
+/// Transposes an 8-row weight tile into an index-major panel:
+/// `panel[j·8 + l] = rows[l·k + j]` — one contiguous 8-float line per
+/// weight column, built once per batch so the GEMM inner loop replaces
+/// gathers with plain vector loads.
+///
+/// # Panics
+///
+/// As [`matvec_rows8`] (`panel` takes the place of `out`, `8·k` long).
+#[inline]
+pub(crate) fn pack_rows8(rows: &[f32], k: usize, panel: &mut [f32]) {
+    assert!(rows.len() == ROW_LANES * k && panel.len() == ROW_LANES * k && active());
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: AVX2 detected; gathers read `rows[l·k + j]` for `j < k`,
+    // stores write `panel[j·8 .. j·8 + 8]` — both within the asserted
+    // `8·k` slices.
+    unsafe {
+        pack_rows8_avx2(rows.as_ptr(), k, panel.as_mut_ptr());
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    unreachable!("SIMD dispatch is never active off x86-64");
+}
+
+/// The GEMM microkernel over a packed panel: like [`matvec_rows8`] but
+/// each gathered column is one contiguous load `panel[j·8 .. j·8 + 8]`.
+/// Per lane the accumulation order is again exactly
+/// [`crate::sparse::gather_row`]'s.
+///
+/// # Panics
+///
+/// As [`matvec_rows8`] (`panel` must be `8·k` long).
+#[inline]
+pub(crate) fn matmul_panel8(
+    panel: &[f32],
+    k: usize,
+    indices: &[u32],
+    init: &[f32; 8],
+    out: &mut [f32],
+) {
+    assert!(panel.len() == ROW_LANES * k && out.len() >= ROW_LANES && active());
+    assert!(indices_in_bounds(indices, k), "spike index out of bounds");
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: AVX2 detected; every load reads `panel[j·8 .. j·8 + 8]`
+    // with `j < k`, in bounds of the asserted `8·k` panel; the store
+    // writes `out[0..8]`.
+    unsafe {
+        matmul_panel8_avx2(panel.as_ptr(), indices, init, out.as_mut_ptr());
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    unreachable!("SIMD dispatch is never active off x86-64");
+}
+
+/// Decodes a panel of IEEE binary16 bits to f32, bit-identical to
+/// [`crate::plane::f16_to_f32`] per element: F16C `vcvtph2ps` eight at
+/// a time when available, the scalar conversion otherwise.
+///
+/// # Panics
+///
+/// Panics when `bits` and `dst` differ in length.
+pub(crate) fn decode_f16(bits: &[u16], dst: &mut [f32]) {
+    assert_eq!(bits.len(), dst.len());
+    #[cfg(target_arch = "x86_64")]
+    if detection().f16c {
+        // SAFETY: F16C is detected; both pointers cover `len` elements
+        // of the asserted equal-length slices and the vector head stops
+        // 8 short of the end.
+        unsafe {
+            decode_f16_f16c(bits.as_ptr(), dst.as_mut_ptr(), bits.len());
+        }
+        return;
+    }
+    for (d, &b) in dst.iter_mut().zip(bits) {
+        *d = crate::plane::f16_to_f32(b);
+    }
+}
+
+/// Decodes a panel of int8 codes through the 255-entry `levels` table,
+/// bit-identical to the scalar `levels[code]` walk per element: AVX2
+/// widens 8 codes and gathers their levels per iteration when
+/// available.
+///
+/// # Panics
+///
+/// Panics when `codes` and `dst` differ in length or `levels` does not
+/// hold exactly 255 entries.
+pub(crate) fn decode_int8(codes: &[u8], levels: &[f32], dst: &mut [f32]) {
+    assert_eq!(codes.len(), dst.len());
+    assert_eq!(levels.len(), 255);
+    #[cfg(target_arch = "x86_64")]
+    if detection().simd {
+        // SAFETY: AVX2 is detected; code loads stay within `codes`, the
+        // level gather is clamped to index ≤ 254 < 255, and stores
+        // cover `dst[0..len]` of the asserted equal-length slices.
+        unsafe {
+            decode_int8_avx2(
+                codes.as_ptr(),
+                levels.as_ptr(),
+                dst.as_mut_ptr(),
+                codes.len(),
+            );
+        }
+        return;
+    }
+    for (d, &c) in dst.iter_mut().zip(codes) {
+        *d = levels[c as usize];
+    }
+}
+
+/// Fused decode-and-pack for an 8-row f16 tile: writes
+/// `panel[j·8 + l] = f16→f32(bits[l·k + j])` — each element
+/// bit-identical to [`crate::plane::f16_to_f32`] — without an f32 block
+/// intermediate (F16C converts 8 columns per row, an in-register 8×8
+/// transpose orders them index-major). Scalar loop without F16C.
+///
+/// # Panics
+///
+/// Panics when `bits` or `panel` is not `8·k` long.
+pub(crate) fn pack_panel8_f16(bits: &[u16], k: usize, panel: &mut [f32]) {
+    assert!(bits.len() == ROW_LANES * k && panel.len() == ROW_LANES * k);
+    #[cfg(target_arch = "x86_64")]
+    if detection().f16c {
+        // SAFETY: F16C is detected; loads read `bits[l·k + j]` windows
+        // and stores write `panel[j·8 ..]`, both within the asserted
+        // `8·k` slices.
+        unsafe {
+            avx2::pack_panel8_f16_f16c(bits.as_ptr(), k, panel.as_mut_ptr());
+        }
+        return;
+    }
+    for j in 0..k {
+        for l in 0..ROW_LANES {
+            panel[j * ROW_LANES + l] = crate::plane::f16_to_f32(bits[l * k + j]);
+        }
+    }
+}
+
+/// Fused decode-and-pack for an 8-row int8 tile through the 255-entry
+/// `levels` table: `panel[j·8 + l] = levels[codes[l·k + j]]`,
+/// bit-identical to the scalar LUT walk per element (the AVX2 path
+/// clamps corrupt codes to 254 like [`decode_int8`]).
+///
+/// # Panics
+///
+/// Panics when `codes` or `panel` is not `8·k` long or `levels` does
+/// not hold exactly 255 entries.
+pub(crate) fn pack_panel8_int8(codes: &[u8], levels: &[f32], k: usize, panel: &mut [f32]) {
+    assert!(codes.len() == ROW_LANES * k && panel.len() == ROW_LANES * k);
+    assert_eq!(levels.len(), 255);
+    #[cfg(target_arch = "x86_64")]
+    if detection().simd {
+        // An arithmetic decode of the quantizer's affine table
+        // (subtract, convert, multiply, endpoint blends) was measured
+        // *slower* here: its shuffle-port µops contend with the 8×8
+        // transpose, while the LUT gather hits a 1 KB L1-resident table
+        // and pipelines cleanly. The gather is the keeper.
+        //
+        // SAFETY: AVX2 is detected; code loads stay within the asserted
+        // `8·k` slice, level gathers are clamped to index ≤ 254 < 255,
+        // and stores cover `panel[0..8·k]`.
+        unsafe {
+            avx2::pack_panel8_int8_avx2(codes.as_ptr(), levels.as_ptr(), k, panel.as_mut_ptr());
+        }
+        return;
+    }
+    for j in 0..k {
+        for l in 0..ROW_LANES {
+            panel[j * ROW_LANES + l] = levels[codes[l * k + j] as usize];
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// The per-lane row offsets `{0, k, 2k, …, 7k}` of an 8-row tile.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX (caller holds the AVX2 target feature).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn row_offsets(k: usize) -> __m256i {
+        debug_assert!(7usize
+            .checked_mul(k)
+            .is_some_and(|v| v <= i32::MAX as usize));
+        let k = k as i32;
+        _mm256_setr_epi32(0, k, 2 * k, 3 * k, 4 * k, 5 * k, 6 * k, 7 * k)
+    }
+
+    /// # Safety
+    ///
+    /// AVX2 required; `rows` must cover `8·k` floats, every index must
+    /// be `< k`, and `out` must cover 8 floats.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn matvec_rows8_avx2(
+        rows: *const f32,
+        k: usize,
+        indices: &[u32],
+        init: &[f32; 8],
+        out: *mut f32,
+    ) {
+        let off = row_offsets(k);
+        let mut a0 = _mm256_loadu_ps(init.as_ptr());
+        let mut a1 = _mm256_setzero_ps();
+        let mut a2 = _mm256_setzero_ps();
+        let mut a3 = _mm256_setzero_ps();
+        let mut chunks = indices.chunks_exact(4);
+        for c in &mut chunks {
+            a0 = _mm256_add_ps(a0, _mm256_i32gather_ps::<4>(rows.add(c[0] as usize), off));
+            a1 = _mm256_add_ps(a1, _mm256_i32gather_ps::<4>(rows.add(c[1] as usize), off));
+            a2 = _mm256_add_ps(a2, _mm256_i32gather_ps::<4>(rows.add(c[2] as usize), off));
+            a3 = _mm256_add_ps(a3, _mm256_i32gather_ps::<4>(rows.add(c[3] as usize), off));
+        }
+        // Combine in the scalar kernel's fixed (a0 + a1) + (a2 + a3)
+        // order, then the remainder tail — per lane this is exactly
+        // `gather_row` on that lane's weight row.
+        let mut tail = _mm256_add_ps(_mm256_add_ps(a0, a1), _mm256_add_ps(a2, a3));
+        for &j in chunks.remainder() {
+            tail = _mm256_add_ps(tail, _mm256_i32gather_ps::<4>(rows.add(j as usize), off));
+        }
+        _mm256_storeu_ps(out, tail);
+    }
+
+    /// # Safety
+    ///
+    /// AVX2 required; `rows` must cover `16·k` floats, every index must
+    /// be `< k`, and `out` must cover 16 floats.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn matvec_rows16_avx2(
+        rows: *const f32,
+        k: usize,
+        indices: &[u32],
+        init: &[f32; 16],
+        out: *mut f32,
+    ) {
+        let off = row_offsets(k);
+        let lo = rows;
+        let hi = rows.add(8 * k);
+        let mut a0 = _mm256_loadu_ps(init.as_ptr());
+        let mut a1 = _mm256_setzero_ps();
+        let mut a2 = _mm256_setzero_ps();
+        let mut a3 = _mm256_setzero_ps();
+        let mut b0 = _mm256_loadu_ps(init.as_ptr().add(8));
+        let mut b1 = _mm256_setzero_ps();
+        let mut b2 = _mm256_setzero_ps();
+        let mut b3 = _mm256_setzero_ps();
+        let mut chunks = indices.chunks_exact(4);
+        for c in &mut chunks {
+            let (j0, j1, j2, j3) = (c[0] as usize, c[1] as usize, c[2] as usize, c[3] as usize);
+            a0 = _mm256_add_ps(a0, _mm256_i32gather_ps::<4>(lo.add(j0), off));
+            b0 = _mm256_add_ps(b0, _mm256_i32gather_ps::<4>(hi.add(j0), off));
+            a1 = _mm256_add_ps(a1, _mm256_i32gather_ps::<4>(lo.add(j1), off));
+            b1 = _mm256_add_ps(b1, _mm256_i32gather_ps::<4>(hi.add(j1), off));
+            a2 = _mm256_add_ps(a2, _mm256_i32gather_ps::<4>(lo.add(j2), off));
+            b2 = _mm256_add_ps(b2, _mm256_i32gather_ps::<4>(hi.add(j2), off));
+            a3 = _mm256_add_ps(a3, _mm256_i32gather_ps::<4>(lo.add(j3), off));
+            b3 = _mm256_add_ps(b3, _mm256_i32gather_ps::<4>(hi.add(j3), off));
+        }
+        let mut ta = _mm256_add_ps(_mm256_add_ps(a0, a1), _mm256_add_ps(a2, a3));
+        let mut tb = _mm256_add_ps(_mm256_add_ps(b0, b1), _mm256_add_ps(b2, b3));
+        for &j in chunks.remainder() {
+            ta = _mm256_add_ps(ta, _mm256_i32gather_ps::<4>(lo.add(j as usize), off));
+            tb = _mm256_add_ps(tb, _mm256_i32gather_ps::<4>(hi.add(j as usize), off));
+        }
+        _mm256_storeu_ps(out, ta);
+        _mm256_storeu_ps(out.add(8), tb);
+    }
+
+    /// In-register 8×8 f32 transpose: output vector `c` holds element
+    /// `c` of each input vector. The standard unpack/shuffle/permute
+    /// ladder — 24 shuffle µops replace 8 gathers when a tile is
+    /// transposed from contiguous row loads.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX (caller holds the AVX2 target feature).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn transpose8x8(r: [__m256; 8]) -> [__m256; 8] {
+        let t0 = _mm256_unpacklo_ps(r[0], r[1]);
+        let t1 = _mm256_unpackhi_ps(r[0], r[1]);
+        let t2 = _mm256_unpacklo_ps(r[2], r[3]);
+        let t3 = _mm256_unpackhi_ps(r[2], r[3]);
+        let t4 = _mm256_unpacklo_ps(r[4], r[5]);
+        let t5 = _mm256_unpackhi_ps(r[4], r[5]);
+        let t6 = _mm256_unpacklo_ps(r[6], r[7]);
+        let t7 = _mm256_unpackhi_ps(r[6], r[7]);
+        let s0 = _mm256_shuffle_ps::<0x44>(t0, t2);
+        let s1 = _mm256_shuffle_ps::<0xEE>(t0, t2);
+        let s2 = _mm256_shuffle_ps::<0x44>(t1, t3);
+        let s3 = _mm256_shuffle_ps::<0xEE>(t1, t3);
+        let s4 = _mm256_shuffle_ps::<0x44>(t4, t6);
+        let s5 = _mm256_shuffle_ps::<0xEE>(t4, t6);
+        let s6 = _mm256_shuffle_ps::<0x44>(t5, t7);
+        let s7 = _mm256_shuffle_ps::<0xEE>(t5, t7);
+        [
+            _mm256_permute2f128_ps::<0x20>(s0, s4),
+            _mm256_permute2f128_ps::<0x20>(s1, s5),
+            _mm256_permute2f128_ps::<0x20>(s2, s6),
+            _mm256_permute2f128_ps::<0x20>(s3, s7),
+            _mm256_permute2f128_ps::<0x31>(s0, s4),
+            _mm256_permute2f128_ps::<0x31>(s1, s5),
+            _mm256_permute2f128_ps::<0x31>(s2, s6),
+            _mm256_permute2f128_ps::<0x31>(s3, s7),
+        ]
+    }
+
+    /// # Safety
+    ///
+    /// AVX2 required; `rows` and `panel` must both cover `8·k` floats.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn pack_rows8_avx2(rows: *const f32, k: usize, panel: *mut f32) {
+        let mut j = 0usize;
+        // 8-column blocks: contiguous loads per row + one in-register
+        // transpose beat a gather per column.
+        while j + 8 <= k {
+            let mut v = [_mm256_setzero_ps(); 8];
+            for (l, slot) in v.iter_mut().enumerate() {
+                *slot = _mm256_loadu_ps(rows.add(l * k + j));
+            }
+            let t = transpose8x8(v);
+            for (c, col) in t.iter().enumerate() {
+                _mm256_storeu_ps(panel.add((j + c) * 8), *col);
+            }
+            j += 8;
+        }
+        let off = row_offsets(k);
+        while j < k {
+            _mm256_storeu_ps(panel.add(j * 8), _mm256_i32gather_ps::<4>(rows.add(j), off));
+            j += 1;
+        }
+    }
+
+    /// Fused f16 decode-and-pack: `panel[j·8 + l] = f16→f32(bits[l·k + j])`
+    /// with no f32 block intermediate.
+    ///
+    /// # Safety
+    ///
+    /// AVX2+F16C required; `bits` and `panel` must cover `8·k` elements.
+    #[target_feature(enable = "avx2,f16c")]
+    pub(super) unsafe fn pack_panel8_f16_f16c(bits: *const u16, k: usize, panel: *mut f32) {
+        let mut j = 0usize;
+        while j + 8 <= k {
+            let mut v = [_mm256_setzero_ps(); 8];
+            for (l, slot) in v.iter_mut().enumerate() {
+                *slot = _mm256_cvtph_ps(_mm_loadu_si128(bits.add(l * k + j).cast()));
+            }
+            let t = transpose8x8(v);
+            for (c, col) in t.iter().enumerate() {
+                _mm256_storeu_ps(panel.add((j + c) * 8), *col);
+            }
+            j += 8;
+        }
+        while j < k {
+            for l in 0..8 {
+                *panel.add(j * 8 + l) = crate::plane::f16_to_f32(*bits.add(l * k + j));
+            }
+            j += 1;
+        }
+    }
+
+    /// Fused int8 decode-and-pack through the 255-entry `levels` table:
+    /// `panel[j·8 + l] = levels[codes[l·k + j]]`, codes clamped to 254
+    /// like [`decode_int8_avx2`].
+    ///
+    /// # Safety
+    ///
+    /// AVX2 required; `codes` and `panel` must cover `8·k` elements and
+    /// `levels` 255 entries.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn pack_panel8_int8_avx2(
+        codes: *const u8,
+        levels: *const f32,
+        k: usize,
+        panel: *mut f32,
+    ) {
+        let cap = _mm256_set1_epi32(254);
+        let mut j = 0usize;
+        while j + 8 <= k {
+            let mut v = [_mm256_setzero_ps(); 8];
+            for (l, slot) in v.iter_mut().enumerate() {
+                let bytes = _mm_loadl_epi64(codes.add(l * k + j).cast());
+                let idx = _mm256_min_epu32(_mm256_cvtepu8_epi32(bytes), cap);
+                *slot = _mm256_i32gather_ps::<4>(levels, idx);
+            }
+            let t = transpose8x8(v);
+            for (c, col) in t.iter().enumerate() {
+                _mm256_storeu_ps(panel.add((j + c) * 8), *col);
+            }
+            j += 8;
+        }
+        while j < k {
+            for l in 0..8 {
+                *panel.add(j * 8 + l) = *levels.add((*codes.add(l * k + j)).min(254) as usize);
+            }
+            j += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// AVX2 required; `panel` must cover `8·k` floats with every index
+    /// `< k`, and `out` must cover 8 floats.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn matmul_panel8_avx2(
+        panel: *const f32,
+        indices: &[u32],
+        init: &[f32; 8],
+        out: *mut f32,
+    ) {
+        let mut a0 = _mm256_loadu_ps(init.as_ptr());
+        let mut a1 = _mm256_setzero_ps();
+        let mut a2 = _mm256_setzero_ps();
+        let mut a3 = _mm256_setzero_ps();
+        let mut chunks = indices.chunks_exact(4);
+        for c in &mut chunks {
+            a0 = _mm256_add_ps(a0, _mm256_loadu_ps(panel.add(c[0] as usize * 8)));
+            a1 = _mm256_add_ps(a1, _mm256_loadu_ps(panel.add(c[1] as usize * 8)));
+            a2 = _mm256_add_ps(a2, _mm256_loadu_ps(panel.add(c[2] as usize * 8)));
+            a3 = _mm256_add_ps(a3, _mm256_loadu_ps(panel.add(c[3] as usize * 8)));
+        }
+        let mut tail = _mm256_add_ps(_mm256_add_ps(a0, a1), _mm256_add_ps(a2, a3));
+        for &j in chunks.remainder() {
+            tail = _mm256_add_ps(tail, _mm256_loadu_ps(panel.add(j as usize * 8)));
+        }
+        _mm256_storeu_ps(out, tail);
+    }
+
+    /// # Safety
+    ///
+    /// F16C required; both pointers must cover `len` elements.
+    #[target_feature(enable = "avx2,f16c")]
+    pub(super) unsafe fn decode_f16_f16c(bits: *const u16, dst: *mut f32, len: usize) {
+        let mut i = 0usize;
+        while i + 8 <= len {
+            let h = _mm_loadu_si128(bits.add(i).cast());
+            _mm256_storeu_ps(dst.add(i), _mm256_cvtph_ps(h));
+            i += 8;
+        }
+        while i < len {
+            *dst.add(i) = crate::plane::f16_to_f32(*bits.add(i));
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// AVX2 required; `codes` and `dst` must cover `len` elements and
+    /// `levels` 255 entries.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn decode_int8_avx2(
+        codes: *const u8,
+        levels: *const f32,
+        dst: *mut f32,
+        len: usize,
+    ) {
+        // Valid planes only emit codes 0..=254; clamping keeps the
+        // gather in bounds of the 255-entry table even for a corrupt
+        // buffer (the scalar walk would panic on such input instead).
+        let cap = _mm256_set1_epi32(254);
+        let mut i = 0usize;
+        while i + 8 <= len {
+            let bytes = _mm_loadl_epi64(codes.add(i).cast());
+            let idx = _mm256_min_epu32(_mm256_cvtepu8_epi32(bytes), cap);
+            _mm256_storeu_ps(dst.add(i), _mm256_i32gather_ps::<4>(levels, idx));
+            i += 8;
+        }
+        while i < len {
+            *dst.add(i) = *levels.add((*codes.add(i)).min(254) as usize);
+            i += 1;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use avx2::{
+    decode_f16_f16c, decode_int8_avx2, matmul_panel8_avx2, matvec_rows16_avx2, matvec_rows8_avx2,
+    pack_rows8_avx2,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_consistent() {
+        // Whatever the hardware, the label must agree with the probe
+        // and the feature list must be well-formed.
+        assert_eq!(isa_label(), if active() { "avx2" } else { "scalar" });
+        let feats = detected_features();
+        assert!(feats
+            .split(',')
+            .all(|f| f.chars().all(|c| c.is_ascii_alphanumeric())));
+        if active() {
+            assert!(feats.contains("avx2") && feats.contains("fma"));
+        }
+    }
+
+    #[test]
+    fn bounds_probe() {
+        assert!(indices_in_bounds(&[0, 3, 7], 8));
+        assert!(!indices_in_bounds(&[0, 8], 8));
+        assert!(indices_in_bounds(&[], 0));
+    }
+
+    #[test]
+    fn decoders_match_scalar() {
+        // Decoder bit-identity on this machine's dispatch (the full
+        // cross-product lives in tests/simd_equivalence.rs).
+        let values: Vec<f32> = (0..37).map(|i| ((i as f32) * 0.713).sin() * 3.0).collect();
+        let bits: Vec<u16> = values
+            .iter()
+            .map(|&v| crate::plane::f32_to_f16(v))
+            .collect();
+        let mut dst = vec![0.0f32; bits.len()];
+        decode_f16(&bits, &mut dst);
+        for (d, &b) in dst.iter().zip(&bits) {
+            assert_eq!(d.to_bits(), crate::plane::f16_to_f32(b).to_bits());
+        }
+
+        let plane =
+            crate::plane::QuantizedPlane::quantize(&values, crate::plane::WeightPlane::Int8)
+                .unwrap()
+                .unwrap();
+        if let crate::plane::PlaneView::Int8 { codes, levels } = plane.view() {
+            let mut dst = vec![0.0f32; codes.len()];
+            decode_int8(codes, levels, &mut dst);
+            let dq = plane.dequantize();
+            for (d, q) in dst.iter().zip(&dq) {
+                assert_eq!(d.to_bits(), q.to_bits());
+            }
+        } else {
+            panic!("expected int8 view");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn row_kernels_match_gather_row() {
+        if !active() {
+            return;
+        }
+        let (m, k) = (16usize, 19usize);
+        let rows: Vec<f32> = (0..m * k).map(|i| ((i as f32) * 0.37).cos()).collect();
+        let indices: Vec<u32> = [0u32, 2, 3, 5, 7, 11, 13, 17, 18]
+            .iter()
+            .copied()
+            .filter(|&j| (j as usize) < k)
+            .collect();
+        let mut init = [0.0f32; 16];
+        for (l, slot) in init.iter_mut().enumerate() {
+            *slot = l as f32 * 0.75 - 3.0;
+        }
+        let mut out16 = [0.0f32; 16];
+        matvec_rows16(&rows, k, &indices, &init, &mut out16);
+        let init8: [f32; 8] = init[..8].try_into().unwrap();
+        let mut out = [0.0f32; 8];
+        matvec_rows8(&rows[..8 * k], k, &indices, &init8, &mut out);
+        let mut panel = vec![0.0f32; 8 * k];
+        pack_rows8(&rows[..8 * k], k, &mut panel);
+        let mut out_p = [0.0f32; 8];
+        matmul_panel8(&panel, k, &indices, &init8, &mut out_p);
+        for l in 0..16 {
+            let scalar = crate::sparse::gather_row(&rows[l * k..(l + 1) * k], &indices, init[l]);
+            assert_eq!(out16[l].to_bits(), scalar.to_bits(), "x16 lane {l}");
+            if l < 8 {
+                assert_eq!(out[l].to_bits(), scalar.to_bits(), "lane {l}");
+                assert_eq!(out_p[l].to_bits(), scalar.to_bits(), "packed lane {l}");
+                for j in 0..k {
+                    assert_eq!(panel[j * 8 + l].to_bits(), rows[l * k + j].to_bits());
+                }
+            }
+        }
+    }
+}

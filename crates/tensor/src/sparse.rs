@@ -307,13 +307,65 @@ fn check_matrix(a: &Tensor, x: &SpikeVector, op: &'static str) -> Result<(usize,
 /// column count.
 pub fn sparse_matvec(a: &Tensor, x: &SpikeVector) -> Result<Tensor> {
     let (m, k) = check_matrix(a, x, "sparse_matvec")?;
-    let av = a.as_slice();
     let mut out = vec![0.0f32; m];
-    for (i, o) in out.iter_mut().enumerate() {
-        let row = &av[i * k..(i + 1) * k];
-        *o = gather_row(row, x.indices(), 0.0);
-    }
+    matvec_rows_dispatch(a.as_slice(), m, k, x.indices(), None, &mut out);
     Tensor::from_vec(out, &[m])
+}
+
+/// The f32 matvec body shared by [`sparse_matvec`] and
+/// [`sparse_matvec_bias`]: 8-row AVX2 tiles when [`crate::simd`] is
+/// active, then the scalar [`gather_row`] for the remainder rows (and
+/// for everything under scalar dispatch). Per output row both paths
+/// run the identical accumulation order, so the dispatch choice never
+/// changes a bit of the result.
+fn matvec_rows_dispatch(
+    av: &[f32],
+    m: usize,
+    k: usize,
+    indices: &[u32],
+    bv: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    let mut i = 0usize;
+    if crate::simd::active() && crate::simd::indices_in_bounds(indices, k) {
+        // 16-row tiles first: the matvec shape is L2-latency-bound, so
+        // doubling the independent gather chains in flight matters more
+        // than tile residency. The 8-row kernel mops up, the scalar
+        // loop takes the rest — all three orders are bit-identical.
+        while i + 2 * crate::simd::ROW_LANES <= m {
+            let mut init = [0.0f32; 2 * crate::simd::ROW_LANES];
+            if let Some(bv) = bv {
+                init.copy_from_slice(&bv[i..i + 2 * crate::simd::ROW_LANES]);
+            }
+            crate::simd::matvec_rows16(
+                &av[i * k..(i + 2 * crate::simd::ROW_LANES) * k],
+                k,
+                indices,
+                &init,
+                &mut out[i..i + 2 * crate::simd::ROW_LANES],
+            );
+            i += 2 * crate::simd::ROW_LANES;
+        }
+        while i + crate::simd::ROW_LANES <= m {
+            let mut init = [0.0f32; crate::simd::ROW_LANES];
+            if let Some(bv) = bv {
+                init.copy_from_slice(&bv[i..i + crate::simd::ROW_LANES]);
+            }
+            crate::simd::matvec_rows8(
+                &av[i * k..(i + crate::simd::ROW_LANES) * k],
+                k,
+                indices,
+                &init,
+                &mut out[i..i + crate::simd::ROW_LANES],
+            );
+            i += crate::simd::ROW_LANES;
+        }
+    }
+    while i < m {
+        let row = &av[i * k..(i + 1) * k];
+        out[i] = gather_row(row, indices, bv.map_or(0.0, |bv| bv[i]));
+        i += 1;
+    }
 }
 
 /// [`sparse_matvec`] plus a bias: `y = A·s + b`, matching the fused
@@ -324,6 +376,36 @@ pub fn sparse_matvec(a: &Tensor, x: &SpikeVector) -> Result<Tensor> {
 /// As [`sparse_matvec`], plus [`TensorError::ShapeMismatch`] when the
 /// bias length differs from the row count.
 pub fn sparse_matvec_bias(a: &Tensor, x: &SpikeVector, bias: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_matrix(a, x, "sparse_matvec_bias")?;
+    if bias.len() != m {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![m, k],
+            rhs: bias.shape().dims().to_vec(),
+            op: "sparse_matvec_bias",
+        });
+    }
+    let mut out = vec![0.0f32; m];
+    matvec_rows_dispatch(
+        a.as_slice(),
+        m,
+        k,
+        x.indices(),
+        Some(bias.as_slice()),
+        &mut out,
+    );
+    Tensor::from_vec(out, &[m])
+}
+
+/// The portable scalar reference for [`sparse_matvec_bias`] — the
+/// single source of truth for the kernel's semantics, never dispatched
+/// to SIMD. The `simd_equivalence` suite pins the dispatching kernel
+/// bit-identical to this one on every shape, density and remainder lane
+/// count; the SIMD bench measures the dispatch against it.
+///
+/// # Errors
+///
+/// As [`sparse_matvec_bias`].
+pub fn sparse_matvec_bias_scalar(a: &Tensor, x: &SpikeVector, bias: &Tensor) -> Result<Tensor> {
     let (m, k) = check_matrix(a, x, "sparse_matvec_bias")?;
     if bias.len() != m {
         return Err(TensorError::ShapeMismatch {
